@@ -1,0 +1,73 @@
+// Ablation: does bundle-informed resource selection beat random selection?
+//
+// The paper's premise (§III.B) is that uniform resource characterization
+// "facilitates efficient resource selection by distributed applications."
+// This harness compares three site-selection policies for the early-binding
+// single-pilot strategy (where the choice of resource matters most):
+//
+//   random      — pick any feasible site (no bundle information);
+//   predicted   — rank sites by the bundle's QuantilePredictor forecast;
+//   utilization — rank by the UtilizationPredictor (the paper's preferred
+//                 signal: utilization history instead of queue-time).
+//
+// Expected shape: both predictive modes cut mean TTC and its variance versus
+// random selection; neither is perfect (queue-time prediction "is extremely
+// hard to predict accurately"), so the tail never fully disappears.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "core/aimes.hpp"
+#include "exp/matrix.hpp"
+#include "skeleton/application.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aimes;
+  const auto args = bench::BenchArgs::parse(argc, argv, 16);
+  const int tasks = 1024;
+
+  common::TableWriter table("Ablation — site selection policy (early binding, 1 pilot, " +
+                            std::to_string(tasks) + " tasks, " + std::to_string(args.trials) +
+                            " trials)");
+  table.header({"Selection", "TTC mean", "TTC stddev", "TTC max", "Tw mean"});
+
+  const auto e = exp::table1_experiment(1);
+  for (const std::string mode : {"random", "predicted", "utilization"}) {
+    common::Summary ttc;
+    common::Summary tw;
+    for (int t = 0; t < args.trials; ++t) {
+      const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(t) + 1;
+      core::AimesConfig config;
+      config.seed = seed;
+      core::Aimes aimes(config);
+      aimes.start();
+      if (mode == "utilization") {
+        for (auto* agent : aimes.bundles().agents()) {
+          agent->set_predictor(std::make_unique<bundle::UtilizationPredictor>());
+        }
+      }
+      const auto app = skeleton::materialize(e.make_skeleton(tasks), seed);
+      auto planner = e.make_planner_config();
+      planner.selection =
+          mode == "random" ? core::SiteSelection::kRandom : core::SiteSelection::kPredictedWait;
+      auto run = aimes.run(app, planner);
+      if (run.ok() && run->report.success) {
+        ttc.add(run->report.ttc.ttc.to_seconds());
+        tw.add(run->report.ttc.tw.to_seconds());
+      }
+    }
+    table.row({mode, common::TableWriter::num(ttc.mean(), 0),
+               common::TableWriter::num(ttc.stddev(), 0),
+               common::TableWriter::num(ttc.max(), 0),
+               common::TableWriter::num(tw.mean(), 0)});
+    std::fprintf(stderr, "  selection: %s done\n", mode.c_str());
+  }
+  table.render(std::cout);
+  std::cout << "\nshape check: predictive selection (either mode) should cut mean TTC and\n"
+               "variance versus random — the value of the Bundle abstraction — without\n"
+               "eliminating the tail (queue-time prediction stays hard).\n";
+  if (!args.csv.empty() && !table.save_csv(args.csv)) return 1;
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace aimes::bench {
+
+/// Command-line knobs common to every reproduction harness:
+///   --trials N   trials per cell (default varies per bench)
+///   --seed S     base seed (default 20160418, the paper's IPDPS date)
+///   --csv PATH   also write the series as CSV
+///   --quick      1/4 of the default trials (CI-friendly)
+struct BenchArgs {
+  int trials;
+  std::uint64_t seed = 20160418;
+  std::string csv;
+  bool quick = false;
+
+  static BenchArgs parse(int argc, char** argv, int default_trials) {
+    BenchArgs args;
+    args.trials = default_trials;
+    bool trials_given = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", a.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (a == "--trials") {
+        args.trials = std::atoi(next());
+        trials_given = true;
+      } else if (a == "--seed") {
+        args.seed = std::strtoull(next(), nullptr, 10);
+      } else if (a == "--csv") {
+        args.csv = next();
+      } else if (a == "--quick") {
+        args.quick = true;
+      } else if (a == "--help" || a == "-h") {
+        std::printf("usage: %s [--trials N] [--seed S] [--csv PATH] [--quick]\n", argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown argument '%s' (try --help)\n", a.c_str());
+        std::exit(2);
+      }
+    }
+    if (args.quick && !trials_given) args.trials = std::max(2, args.trials / 4);
+    return args;
+  }
+};
+
+}  // namespace aimes::bench

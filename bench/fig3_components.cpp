@@ -1,0 +1,65 @@
+// Reproduces Figure 3 (a)-(d): "TTC and its time constituents presented for
+// each experiment in Table I as a function of the distributed application
+// size. Tw = pilot setup and queuing time; Tx = execution time; Ts =
+// input/output files staging time. During execution Tw, Tx, and Ts overlap
+// so TTC < Tw + Tx + Ts."
+//
+// One panel per experiment: rows are application sizes, columns the mean
+// TTC and its three components. Expected shapes (paper §IV.B):
+//  * Ts small, growing with the number of tasks (1 MB in / 2 KB out each);
+//  * Tx ~ task duration x generations; late binding larger than early;
+//    gradient steepens above 256 tasks (middleware overhead);
+//  * Tw dominant, erratic for early binding (600-8600 s there), smooth and
+//    smaller for late binding (99-2800 s there);
+//  * TTC tracks Tw.
+
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "exp/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace aimes;
+  const auto args = bench::BenchArgs::parse(argc, argv, 12);
+
+  const char* panel = "abcd";
+  int panel_idx = 0;
+  std::vector<common::TableWriter> tables;
+
+  for (const auto& e : exp::table1_experiments()) {
+    common::TableWriter table(std::string("Figure 3 (") + panel[panel_idx++] + ") — " +
+                              e.label + ", mean seconds over " + std::to_string(args.trials) +
+                              " trials");
+    table.header({"#Tasks", "TTC", "Tw", "Tx", "Ts", "Tw/TTC"});
+    for (int tasks : exp::table1_task_counts()) {
+      const auto cell = exp::run_cell(e, tasks, args.trials,
+                                      args.seed + static_cast<std::uint64_t>(e.id) * 100000);
+      const double ttc = cell.ttc_s.mean();
+      table.row({std::to_string(tasks), common::TableWriter::num(ttc, 0),
+                 common::TableWriter::num(cell.tw_s.mean(), 0),
+                 common::TableWriter::num(cell.tx_s.mean(), 0),
+                 common::TableWriter::num(cell.ts_s.mean(), 0),
+                 common::TableWriter::num(ttc > 0 ? cell.tw_s.mean() / ttc : 0, 2)});
+      std::fprintf(stderr, "  fig3: exp %d, %d tasks done\n", e.id, tasks);
+    }
+    table.render(std::cout);
+    std::cout << '\n';
+    tables.push_back(std::move(table));
+  }
+
+  std::cout << "shape check (paper): Tw dominates TTC and mirrors its variation; Ts is a\n"
+               "small, task-proportional slice; Tx(late, c/d) > Tx(early, a/b); components\n"
+               "overlap so TTC < Tw + Tx + Ts.\n";
+  if (!args.csv.empty()) {
+    // One CSV holding all four panels back to back.
+    std::ofstream f(args.csv);
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", args.csv.c_str());
+      return 1;
+    }
+    for (const auto& t : tables) t.render_csv(f);
+  }
+  return 0;
+}

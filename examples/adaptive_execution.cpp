@@ -1,0 +1,124 @@
+// Adaptive execution example: strategies that change during execution.
+//
+// The paper's outlook (§V): "we will also study dynamic execution where
+// application strategies change during execution to maintain the coupling
+// between dynamic workloads and dynamic resources." This example engineers
+// exactly the situation that needs it — the planner's chosen resource turns
+// out to be hopelessly congested — and contrasts a static enactment with an
+// adaptive one that reinforces the fleet from a fresh bundle query. The
+// run's ASCII timeline makes the adaptation visible.
+//
+//   ./examples/adaptive_execution [tasks] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/adaptive.hpp"
+#include "core/aimes.hpp"
+#include "core/timeline.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace {
+
+using namespace aimes;
+
+/// A pool with one pathologically congested machine and two healthy ones.
+std::vector<cluster::TestbedSiteSpec> contrived_pool() {
+  auto pool = cluster::standard_testbed(common::SimDuration::hours(48));
+  pool.resize(3);
+  // Overload the first machine far beyond saturation and give it a strict
+  // FCFS policy: with a 20-30 machine-hour backlog ahead, anything queued
+  // there effectively never starts.
+  pool[0].site.scheduler = "fcfs";
+  pool[0].load.target_utilization = 2.5;
+  pool[0].load.backlog_machine_hours_lo = 20.0;
+  pool[0].load.backlog_machine_hours_hi = 30.0;
+  return pool;
+}
+
+core::ExecutionStrategy strategy_on_worst(core::Aimes& aimes, int tasks) {
+  core::ExecutionStrategy s;
+  s.binding = core::Binding::kLate;
+  s.unit_scheduler = pilot::UnitSchedulerKind::kBackfill;
+  s.n_pilots = 1;
+  s.pilot_cores = tasks;
+  s.pilot_walltime = common::SimDuration::hours(6);
+  s.sites = {aimes.testbed().sites()[0]->id()};  // the congested machine
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int tasks = argc > 1 ? std::atoi(argv[1]) : 64;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  const auto app = skeleton::materialize(skeleton::profiles::bag_gaussian(tasks), seed);
+  std::printf("application: %zu tasks; the strategy deliberately targets a machine whose\n"
+              "queue is hopeless — watch the adaptive manager escape it.\n\n",
+              app.task_count());
+
+  // --- Static enactment: stuck with the original decision. ---
+  {
+    core::AimesConfig config;
+    config.seed = seed;
+    config.testbed = contrived_pool();
+    core::Aimes aimes(config);
+    aimes.start();
+    const auto deadline = aimes.engine().now() + common::SimDuration::hours(8);
+    pilot::Profiler trace;
+    core::ExecutionManager manager(aimes.engine(), trace, aimes.services(), aimes.staging(),
+                                   config.execution, common::Rng(seed));
+    bool done = false;
+    auto status = manager.enact(app, strategy_on_worst(aimes, tasks),
+                                [&](const core::ExecutionReport&) { done = true; });
+    if (!status.ok()) {
+      std::fprintf(stderr, "enact failed: %s\n", status.error().c_str());
+      return 1;
+    }
+    aimes.engine().run_until(deadline);
+    std::printf("static enactment after 8 simulated hours: %s\n",
+                done ? "completed" : "STILL WAITING (pilot never activated)");
+    if (!done) manager.abort("example deadline");
+    aimes.engine().run_until(deadline + common::SimDuration::minutes(5));
+  }
+
+  // --- Adaptive enactment: same doomed strategy, plus the watchdog. ---
+  {
+    core::AimesConfig config;
+    config.seed = seed;
+    config.testbed = contrived_pool();
+    core::Aimes aimes(config);
+    aimes.start();
+    pilot::Profiler trace;
+    core::AdaptivePolicy policy;
+    policy.activation_deadline = common::SimDuration::minutes(20);
+    policy.check_interval = common::SimDuration::minutes(5);
+    core::AdaptiveExecutionManager manager(aimes.engine(), trace, aimes.services(),
+                                           aimes.staging(), aimes.bundles(),
+                                           config.execution, policy, common::Rng(seed));
+    bool done = false;
+    auto status = manager.enact(app, strategy_on_worst(aimes, tasks),
+                                [&](const core::ExecutionReport&) { done = true; });
+    if (!status.ok()) {
+      std::fprintf(stderr, "enact failed: %s\n", status.error().c_str());
+      return 1;
+    }
+    aimes.engine().run_until(aimes.engine().now() + common::SimDuration::hours(8));
+
+    std::printf("adaptive enactment: %s\n", done ? "completed" : "incomplete");
+    for (const auto& a : manager.adaptations()) {
+      std::printf("  %s %s pilot on %s\n", a.when.str().c_str(),
+                  a.kind == core::Adaptation::Kind::kReinforcement ? "reinforcement"
+                                                                   : "replacement",
+                  a.site.str().c_str());
+    }
+    const auto& r = manager.report();
+    std::printf("  TTC %s | Tw %s | Tx %s | Ts %s | %zu done\n\n",
+                r.ttc.ttc.str().c_str(), r.ttc.tw.str().c_str(), r.ttc.tx.str().c_str(),
+                r.ttc.ts.str().c_str(), r.units_done);
+    std::printf("timeline of the adaptive run:\n%s",
+                core::render_timeline(trace).c_str());
+    return done && r.success ? 0 : 1;
+  }
+}

@@ -1,0 +1,98 @@
+// Multi-stage workflow example: an iterative map-reduce skeleton.
+//
+// The paper generalizes bag-of-task, (iterative) map-reduce and multistage
+// workflows into one skeleton form (§III.A). This example builds a two-stage
+// map-reduce from a *config file* (the skeleton tool's native input),
+// materializes it, and executes it with late binding over two pilots,
+// showing how inter-task data dependencies gate execution and how outputs
+// are staged back to the origin between stages.
+//
+//   ./examples/mapreduce_workflow [maps] [reduces] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.hpp"
+#include "core/aimes.hpp"
+#include "skeleton/application.hpp"
+
+namespace {
+
+std::string make_config(int maps, int reduces) {
+  return aimes::common::format(R"(
+# An iterative map-reduce skeleton, in the tool's config format.
+[application]
+name = wordfreq
+iterations = 1
+
+[stage.map]
+tasks = %d
+duration = truncated_normal 300 90 30 900
+input_mapping = external
+inputs_per_task = 1
+input_size = constant 4194304        ; 4 MiB shard per mapper
+outputs_per_task = 1
+output_size = constant 1048576       ; 1 MiB of partials
+
+[stage.reduce]
+tasks = %d
+duration = truncated_normal 120 30 15 300
+input_mapping = round_robin          ; partials dealt across reducers
+outputs_per_task = 1
+output_size = constant 262144
+)",
+                               maps, reduces);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aimes;
+
+  const int maps = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int reduces = argc > 2 ? std::atoi(argv[2]) : 4;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+
+  // Parse the skeleton from its config-file form.
+  auto spec = skeleton::parse_spec_text(make_config(maps, reduces));
+  if (!spec) {
+    std::fprintf(stderr, "skeleton config rejected: %s\n", spec.error().c_str());
+    return 1;
+  }
+  const auto app = skeleton::materialize(*spec, seed);
+  std::printf("workflow '%s': %zu stages, %zu tasks, %zu files\n", app.name().c_str(),
+              app.stages().size(), app.task_count(), app.files().size());
+  for (const auto& stage : app.stages()) {
+    std::printf("  stage %-8s %4zu tasks\n", stage.name.c_str(), stage.task_count);
+  }
+  std::printf("  inter-task data: %s\n", app.has_inter_task_data() ? "yes" : "no");
+
+  // Assemble a warm world and run with late binding over two pilots.
+  core::AimesConfig config;
+  config.seed = seed;
+  core::Aimes aimes(config);
+  aimes.start();
+
+  core::PlannerConfig planner;
+  planner.binding = core::Binding::kLate;
+  planner.n_pilots = 2;
+  auto result = aimes.run(app, planner);
+  if (!result) {
+    std::fprintf(stderr, "run failed: %s\n", result.error().c_str());
+    return 1;
+  }
+  const auto& r = result->report;
+  std::printf("\n%s", r.strategy.describe().c_str());
+  std::printf("\nrun %s: %zu/%zu tasks done\n", r.success ? "succeeded" : "INCOMPLETE",
+              r.units_done, app.task_count());
+  std::printf("  TTC=%s Tw=%s Tx=%s Ts=%s\n", r.ttc.ttc.str().c_str(), r.ttc.tw.str().c_str(),
+              r.ttc.tx.str().c_str(), r.ttc.ts.str().c_str());
+
+  // Show the dependency gating in the trace: the first reducer cannot start
+  // executing before the last mapper output it needs is DONE.
+  const auto first_reduce_exec = result->trace.first(
+      pilot::Entity::kUnit, static_cast<std::uint64_t>(maps) + 1, "EXECUTING");
+  std::printf("  first reducer entered EXECUTING at %s (gated by mapper outputs)\n",
+              first_reduce_exec.str().c_str());
+  return r.success ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+// Execution-strategy explorer: walk the decision space for one application.
+//
+// "An Execution Strategy can be thought of as a tree, where each decision is
+// a vertex and each edge is a dependence relation among decisions" (§III.D).
+// This example enumerates a slice of that tree for a fixed application —
+// binding x #pilots x site-selection policy — executes each realization in
+// its own fresh world (same seed: same machine-room weather), and reports
+// the measured TTC decomposition side by side. It is the paper's methodology
+// in miniature: make the decisions explicit, then measure them.
+//
+//   ./examples/strategy_explorer [tasks] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "common/string_util.hpp"
+#include "core/aimes.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace {
+
+struct Choice {
+  aimes::core::Binding binding;
+  int n_pilots;
+  aimes::core::SiteSelection selection;
+  const char* label;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aimes;
+
+  const int tasks = argc > 1 ? std::atoi(argv[1]) : 256;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 31;
+
+  const Choice choices[] = {
+      {core::Binding::kEarly, 1, core::SiteSelection::kRandom, "early  1 pilot  random"},
+      {core::Binding::kEarly, 1, core::SiteSelection::kPredictedWait,
+       "early  1 pilot  predicted"},
+      {core::Binding::kLate, 2, core::SiteSelection::kRandom, "late   2 pilots random"},
+      {core::Binding::kLate, 3, core::SiteSelection::kRandom, "late   3 pilots random"},
+      {core::Binding::kLate, 3, core::SiteSelection::kPredictedWait,
+       "late   3 pilots predicted"},
+      {core::Binding::kLate, 4, core::SiteSelection::kPredictedWait,
+       "late   4 pilots predicted"},
+  };
+
+  common::TableWriter table(common::format(
+      "strategy exploration — %d single-core tasks, one seed (%llu) per world", tasks,
+      static_cast<unsigned long long>(seed)));
+  table.header({"strategy", "TTC", "Tw", "Tx", "Ts", "pilots active"});
+
+  for (const Choice& choice : choices) {
+    // A fresh world per strategy, same seed: every strategy faces the same
+    // background-load realization, so differences are the strategy's doing.
+    core::AimesConfig config;
+    config.seed = seed;
+    core::Aimes aimes(config);
+    aimes.start();
+
+    const auto app = skeleton::materialize(skeleton::profiles::bag_gaussian(tasks), seed);
+    core::PlannerConfig planner;
+    planner.binding = choice.binding;
+    planner.n_pilots = choice.n_pilots;
+    planner.selection = choice.selection;
+    auto result = aimes.run(app, planner);
+    if (!result) {
+      std::fprintf(stderr, "%s: %s\n", choice.label, result.error().c_str());
+      continue;
+    }
+    const auto& r = result->report;
+    table.row({choice.label, r.ttc.ttc.str(), r.ttc.tw.str(), r.ttc.tx.str(), r.ttc.ts.str(),
+               std::to_string(r.ttc.pilot_waits.size()) + "/" +
+                   std::to_string(choice.n_pilots)});
+    std::printf("evaluated: %s\n", choice.label);
+  }
+
+  std::printf("\n");
+  table.render(std::cout);
+  std::printf("\nreading guide: Tw is the price of queue wait (dominant, volatile for a\n"
+              "single pilot); Tx rises as pilots shrink; the paper's sweet spot is late\n"
+              "binding across >= 3 resources.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "bundle/agent.hpp"
+
+#include <cassert>
+
+namespace aimes::bundle {
+
+std::string_view to_string(Metric m) {
+  switch (m) {
+    case Metric::kUtilization: return "utilization";
+    case Metric::kQueueLength: return "queue_length";
+    case Metric::kQueuedNodes: return "queued_nodes";
+    case Metric::kFreeCores: return "free_cores";
+    case Metric::kPredictedWait: return "predicted_wait";
+  }
+  return "?";
+}
+
+BundleAgent::BundleAgent(sim::Engine& engine, const cluster::ClusterSite& site,
+                         const net::Topology& topology, const net::TransferManager& transfers)
+    : engine_(engine),
+      site_(site),
+      topology_(topology),
+      transfers_(transfers),
+      predictor_(std::make_unique<QuantilePredictor>()) {}
+
+ComputeInfo BundleAgent::query_compute() const {
+  ComputeInfo info;
+  info.total_nodes = site_.config().nodes;
+  info.cores_per_node = site_.config().cores_per_node;
+  info.free_nodes = site_.free_nodes();
+  info.queue_length = site_.queue_length();
+  info.queued_nodes = site_.queued_nodes();
+  info.utilization = site_.utilization();
+  info.scheduler = site_.config().scheduler;
+  return info;
+}
+
+NetworkInfo BundleAgent::query_network() const {
+  NetworkInfo info;
+  if (auto in = topology_.link(site_.id(), net::Direction::kIn); in.ok()) {
+    info.bandwidth_in = in->capacity;
+    info.latency = in->latency;
+  }
+  if (auto out = topology_.link(site_.id(), net::Direction::kOut); out.ok()) {
+    info.bandwidth_out = out->capacity;
+  }
+  info.active_flows_in = transfers_.active_flows(site_.id(), net::Direction::kIn);
+  return info;
+}
+
+ResourceRepresentation BundleAgent::query() const {
+  ResourceRepresentation rep;
+  rep.site = site_.id();
+  rep.name = site_.name();
+  rep.observed_at = engine_.now();
+  rep.compute = query_compute();
+  rep.network = query_network();
+  rep.setup_time_estimate = predict_wait(site_.config().cores_per_node);
+  return rep;
+}
+
+Expected<SimDuration> BundleAgent::estimate_transfer(net::Direction dir, DataSize size) const {
+  return transfers_.estimate(site_.id(), dir, size);
+}
+
+SimDuration BundleAgent::predict_wait(int cores) const {
+  const int nodes =
+      (cores + site_.config().cores_per_node - 1) / site_.config().cores_per_node;
+  // Keep the utilization predictor's pressure signal fresh.
+  if (auto* up = dynamic_cast<UtilizationPredictor*>(predictor_.get())) {
+    up->set_pressure(static_cast<double>(site_.queued_nodes()) /
+                     static_cast<double>(site_.config().nodes));
+  }
+  return predictor_->predict(site_.wait_history(), engine_.now(), nodes);
+}
+
+void BundleAgent::set_predictor(std::unique_ptr<WaitPredictor> predictor) {
+  assert(predictor);
+  predictor_ = std::move(predictor);
+}
+
+double BundleAgent::sample(Metric metric) const {
+  switch (metric) {
+    case Metric::kUtilization: return site_.utilization();
+    case Metric::kQueueLength: return static_cast<double>(site_.queue_length());
+    case Metric::kQueuedNodes: return static_cast<double>(site_.queued_nodes());
+    case Metric::kFreeCores:
+      return static_cast<double>(site_.free_nodes() * site_.config().cores_per_node);
+    case Metric::kPredictedWait:
+      return predict_wait(site_.config().cores_per_node).to_seconds();
+  }
+  return 0.0;
+}
+
+SubscriptionId BundleAgent::subscribe(Metric metric, Comparison comparison, double threshold,
+                                      SimDuration poll_interval, Notify callback) {
+  assert(callback);
+  assert(poll_interval > SimDuration::zero());
+  Subscription sub;
+  sub.id = sub_ids_.next();
+  sub.metric = metric;
+  sub.comparison = comparison;
+  sub.threshold = threshold;
+  sub.poll_interval = poll_interval;
+  sub.callback = std::move(callback);
+  subscriptions_.push_back(std::move(sub));
+  const std::size_t index = subscriptions_.size() - 1;
+  engine_.schedule(subscriptions_[index].poll_interval, [this, index] { poll(index); });
+  return subscriptions_[index].id;
+}
+
+void BundleAgent::unsubscribe(SubscriptionId id) {
+  for (auto& sub : subscriptions_) {
+    if (sub.id == id) sub.active = false;
+  }
+}
+
+void BundleAgent::poll(std::size_t index) {
+  Subscription& sub = subscriptions_[index];
+  if (!sub.active) return;  // dropped; stop polling
+  const double value = sample(sub.metric);
+  const bool is_true =
+      sub.comparison == Comparison::kAbove ? value > sub.threshold : value < sub.threshold;
+  const bool fire = is_true && !sub.was_true;
+  sub.was_true = is_true;
+  engine_.schedule(sub.poll_interval, [this, index] { poll(index); });
+  if (fire) {
+    // Last: the callback may subscribe/unsubscribe, invalidating `sub`.
+    const Notification n{sub.id, site_.id(), sub.metric, value, engine_.now()};
+    auto callback = sub.callback;
+    callback(n);
+  }
+}
+
+}  // namespace aimes::bundle

@@ -1,0 +1,122 @@
+// Per-site bundle agent: the query and monitoring interfaces (§III.B).
+//
+// "The resource interface exposes information about resource availability and
+// capabilities via an API. Two query modes are supported: on-demand and
+// predictive." The agent serves on-demand queries from live site state, and
+// predictive queries from the site's wait history through a pluggable
+// WaitPredictor. The monitoring interface evaluates subscriber predicates on
+// a poll loop and notifies on threshold crossings (edge-triggered).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bundle/predictor.hpp"
+#include "bundle/representation.hpp"
+#include "cluster/site.hpp"
+#include "common/expected.hpp"
+#include "net/staging.hpp"
+#include "net/transfer.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::bundle {
+
+using common::Expected;
+using common::SubscriptionId;
+
+/// Metrics the monitoring interface can watch.
+enum class Metric {
+  kUtilization,     // busy fraction, [0,1]
+  kQueueLength,     // queued job count
+  kQueuedNodes,     // queued node demand
+  kFreeCores,       // idle cores
+  kPredictedWait,   // seconds, for a nominal 1-node job
+};
+
+[[nodiscard]] std::string_view to_string(Metric m);
+
+enum class Comparison { kAbove, kBelow };
+
+/// A monitoring event delivered to a subscriber.
+struct Notification {
+  SubscriptionId subscription;
+  SiteId site;
+  Metric metric = Metric::kUtilization;
+  double value = 0.0;
+  SimTime when;
+};
+
+/// On-demand + predictive query interface for one site.
+class BundleAgent {
+ public:
+  using Notify = std::function<void(const Notification&)>;
+
+  /// `engine`, `site`, `transfers` must outlive the agent. The topology
+  /// entry for the site must exist before network queries are made.
+  BundleAgent(sim::Engine& engine, const cluster::ClusterSite& site,
+              const net::Topology& topology, const net::TransferManager& transfers);
+
+  BundleAgent(const BundleAgent&) = delete;
+  BundleAgent& operator=(const BundleAgent&) = delete;
+
+  [[nodiscard]] SiteId site_id() const { return site_.id(); }
+  [[nodiscard]] const std::string& site_name() const { return site_.name(); }
+
+  // --- Query interface (on-demand mode) ---
+  /// Full three-category snapshot.
+  [[nodiscard]] ResourceRepresentation query() const;
+  [[nodiscard]] ComputeInfo query_compute() const;
+  [[nodiscard]] NetworkInfo query_network() const;
+
+  /// End-to-end estimate: "how long would it take to transfer a file from
+  /// one location to a resource" (§III.B), contention included.
+  [[nodiscard]] Expected<SimDuration> estimate_transfer(net::Direction dir,
+                                                        DataSize size) const;
+
+  // --- Query interface (predictive mode) ---
+  /// Predicted queue wait of a `cores`-core pilot job submitted now.
+  [[nodiscard]] SimDuration predict_wait(int cores) const;
+
+  /// Swaps the prediction model (defaults to QuantilePredictor).
+  void set_predictor(std::unique_ptr<WaitPredictor> predictor);
+  [[nodiscard]] const WaitPredictor& predictor() const { return *predictor_; }
+
+  // --- Monitoring interface ---
+  /// Subscribes to edge-triggered threshold crossings of `metric`
+  /// `comparison` `threshold`, sampled every `poll_interval`. The callback
+  /// fires when the predicate becomes true after having been false.
+  SubscriptionId subscribe(Metric metric, Comparison comparison, double threshold,
+                           SimDuration poll_interval, Notify callback);
+
+  /// Cancels a subscription (no-op for unknown ids).
+  void unsubscribe(SubscriptionId id);
+
+  /// Current value of a metric (also used by the poll loop).
+  [[nodiscard]] double sample(Metric metric) const;
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    Metric metric;
+    Comparison comparison;
+    double threshold;
+    SimDuration poll_interval;
+    Notify callback;
+    bool was_true = false;
+    bool active = true;
+  };
+
+  void poll(std::size_t index);
+
+  sim::Engine& engine_;
+  const cluster::ClusterSite& site_;
+  const net::Topology& topology_;
+  const net::TransferManager& transfers_;
+  std::unique_ptr<WaitPredictor> predictor_;
+  common::IdGen<common::SubTag> sub_ids_;
+  std::vector<Subscription> subscriptions_;
+};
+
+}  // namespace aimes::bundle

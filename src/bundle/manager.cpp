@@ -1,0 +1,68 @@
+#include "bundle/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aimes::bundle {
+
+void BundleManager::add_agent(BundleAgent& agent) {
+  assert(!this->agent(agent.site_id()) && "agent already registered for site");
+  agents_.push_back(&agent);
+}
+
+BundleAgent* BundleManager::agent(SiteId site) const {
+  for (auto* a : agents_) {
+    if (a->site_id() == site) return a;
+  }
+  return nullptr;
+}
+
+std::vector<ResourceRepresentation> BundleManager::query_all() const {
+  std::vector<ResourceRepresentation> out;
+  out.reserve(agents_.size());
+  for (const auto* a : agents_) out.push_back(a->query());
+  return out;
+}
+
+std::vector<Candidate> BundleManager::discover(const Requirements& req) const {
+  std::vector<Candidate> candidates;
+  for (const auto* a : agents_) {
+    ResourceRepresentation rep = a->query();
+    if (rep.compute.total_cores() < req.min_total_cores) continue;
+    if (!req.scheduler.empty() && rep.compute.scheduler != req.scheduler) continue;
+    if (rep.network.bandwidth_in < req.min_bandwidth_in) continue;
+    const SimDuration wait = a->predict_wait(req.min_total_cores);
+    if (wait > req.max_predicted_wait) continue;
+    Candidate c;
+    c.site = rep.site;
+    c.name = rep.name;
+    c.predicted_wait = wait;
+    c.snapshot = std::move(rep);
+    candidates.push_back(std::move(c));
+  }
+  if (candidates.empty()) return candidates;
+
+  // Normalize each ranking signal to [0,1] across candidates, then combine.
+  double max_wait_s = 1e-9;
+  double max_free = 1e-9;
+  double max_bw = 1e-9;
+  for (const auto& c : candidates) {
+    max_wait_s = std::max(max_wait_s, c.predicted_wait.to_seconds());
+    max_free = std::max(max_free, static_cast<double>(c.snapshot.compute.free_cores()));
+    max_bw = std::max(max_bw, c.snapshot.network.bandwidth_in.bytes_per_sec());
+  }
+  for (auto& c : candidates) {
+    const double wait_score = 1.0 - c.predicted_wait.to_seconds() / max_wait_s;
+    const double free_score = static_cast<double>(c.snapshot.compute.free_cores()) / max_free;
+    const double bw_score = c.snapshot.network.bandwidth_in.bytes_per_sec() / max_bw;
+    c.score = req.weight_predicted_wait * wait_score + req.weight_free_cores * free_score +
+              req.weight_bandwidth * bw_score;
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.site < b.site;
+  });
+  return candidates;
+}
+
+}  // namespace aimes::bundle

@@ -1,0 +1,69 @@
+// Bundle manager: aggregated operations over a set of resources (§III.B).
+//
+// "A resource bundle may contain an arbitrary number of resource categories
+// ... users can be provided with a convenient handle for performing
+// aggregated operations such as querying and monitoring." The manager is
+// that handle. It also implements the *discovery* interface — "let the user
+// request resources based on abstract requirements so that a tailored bundle
+// can be created" — which the paper lists as future work; we implement it as
+// a constraint filter plus weighted ranking (the Tiera-style compact
+// requirement notation reduced to a struct).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bundle/agent.hpp"
+
+namespace aimes::bundle {
+
+/// Abstract resource requirements for discovery.
+struct Requirements {
+  /// Pilot size the caller intends to run.
+  int min_total_cores = 1;
+  /// Reject sites whose predicted wait for that pilot exceeds this.
+  SimDuration max_predicted_wait = SimDuration::max();
+  /// Reject sites with less inbound bandwidth than this.
+  Bandwidth min_bandwidth_in = Bandwidth(0.0);
+  /// Required batch policy; empty = any.
+  std::string scheduler;
+
+  // Ranking weights (higher-scored sites first). Scores are normalized
+  // across the candidate set before weighting.
+  double weight_predicted_wait = 1.0;  // prefer shorter predicted wait
+  double weight_free_cores = 0.25;     // prefer idle capacity
+  double weight_bandwidth = 0.0;       // prefer fat pipes (data-heavy apps)
+};
+
+/// One ranked discovery result.
+struct Candidate {
+  SiteId site;
+  std::string name;
+  double score = 0.0;
+  SimDuration predicted_wait = SimDuration::zero();
+  ResourceRepresentation snapshot;
+};
+
+/// Aggregated query/monitor/discovery over many BundleAgents.
+class BundleManager {
+ public:
+  /// Registers an agent (non-owning: agents usually live in the Aimes
+  /// facade alongside their sites).
+  void add_agent(BundleAgent& agent);
+
+  [[nodiscard]] std::size_t size() const { return agents_.size(); }
+  [[nodiscard]] const std::vector<BundleAgent*>& agents() const { return agents_; }
+  [[nodiscard]] BundleAgent* agent(SiteId site) const;
+
+  /// Snapshot of every registered resource.
+  [[nodiscard]] std::vector<ResourceRepresentation> query_all() const;
+
+  /// Discovery: candidates satisfying `req`, best first. Deterministic:
+  /// ties break on site id.
+  [[nodiscard]] std::vector<Candidate> discover(const Requirements& req) const;
+
+ private:
+  std::vector<BundleAgent*> agents_;
+};
+
+}  // namespace aimes::bundle

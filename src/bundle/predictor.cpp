@@ -1,0 +1,62 @@
+#include "bundle/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aimes::bundle {
+
+SimDuration QuantilePredictor::predict(const std::deque<WaitRecord>& history, SimTime now,
+                                       int nodes) const {
+  // Collect (wait_seconds, weight) for size-similar records.
+  struct Sample {
+    double wait_s;
+    double weight;
+  };
+  std::vector<Sample> samples;
+  samples.reserve(history.size());
+  const double lo = static_cast<double>(nodes) / params_.size_similarity_factor;
+  const double hi = static_cast<double>(nodes) * params_.size_similarity_factor;
+  const double half_life_s = std::max(1.0, params_.half_life.to_seconds());
+  for (const auto& rec : history) {
+    const auto n = static_cast<double>(rec.nodes);
+    if (n < lo || n > hi) continue;
+    const double age_s = (now - rec.started_at).to_seconds();
+    if (age_s < 0) continue;
+    const double weight = std::exp2(-age_s / half_life_s);
+    samples.push_back({rec.wait().to_seconds(), weight});
+  }
+  if (samples.empty()) return params_.fallback;
+
+  // Weighted quantile: sort by wait, walk the cumulative weight.
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) { return a.wait_s < b.wait_s; });
+  double total = 0.0;
+  for (const auto& s : samples) total += s.weight;
+  const double target = params_.quantile * total;
+  double acc = 0.0;
+  for (const auto& s : samples) {
+    acc += s.weight;
+    if (acc >= target) return SimDuration::seconds(s.wait_s);
+  }
+  return SimDuration::seconds(samples.back().wait_s);
+}
+
+SimDuration UtilizationPredictor::predict(const std::deque<WaitRecord>& history, SimTime now,
+                                          int nodes) const {
+  (void)nodes;  // the utilization signal is size-agnostic by design
+  double sum_s = 0.0;
+  std::size_t count = 0;
+  for (const auto& rec : history) {
+    if (now - rec.started_at > params_.window) continue;
+    sum_s += rec.wait().to_seconds();
+    ++count;
+  }
+  if (count == 0) return params_.fallback;
+  const double mean_s = sum_s / static_cast<double>(count);
+  // Backlog pressure scales the historical mean: an empty queue halves it,
+  // a queue holding the whole machine's worth of nodes triples it.
+  const double scale = 0.5 + 2.5 * std::min(1.0, pressure_);
+  return SimDuration::seconds(mean_s * scale);
+}
+
+}  // namespace aimes::bundle

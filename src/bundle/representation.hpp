@@ -1,0 +1,73 @@
+// Uniform resource representation (paper §III.B).
+//
+// "The resource representation characterizes heterogeneous resources with a
+// large degree of uniformity ... the resource bundle models resources across
+// three basic categories: compute, network, and storage." A snapshot of one
+// site's state in these categories is what every bundle query returns,
+// regardless of the machine behind it.
+#pragma once
+
+#include <string>
+
+#include "common/data_size.hpp"
+#include "common/id.hpp"
+#include "common/time.hpp"
+
+namespace aimes::bundle {
+
+using common::Bandwidth;
+using common::DataSize;
+using common::SimDuration;
+using common::SimTime;
+using common::SiteId;
+
+/// Compute category: capacity and queue state.
+struct ComputeInfo {
+  int total_nodes = 0;
+  int cores_per_node = 0;
+  int free_nodes = 0;
+  std::size_t queue_length = 0;
+  /// Total nodes requested by queued jobs.
+  int queued_nodes = 0;
+  /// Fraction of nodes busy, in [0,1].
+  double utilization = 0.0;
+  /// Batch policy name ("fcfs", "easy-backfill", ...).
+  std::string scheduler;
+
+  [[nodiscard]] int total_cores() const { return total_nodes * cores_per_node; }
+  [[nodiscard]] int free_cores() const { return free_nodes * cores_per_node; }
+};
+
+/// Network category: connectivity between the origin and the site.
+struct NetworkInfo {
+  Bandwidth bandwidth_in;
+  Bandwidth bandwidth_out;
+  SimDuration latency = SimDuration::zero();
+  /// Flows currently sharing the inbound channel.
+  std::size_t active_flows_in = 0;
+};
+
+/// Storage category. Our sites model a shared scratch filesystem large
+/// enough for the experiments; capacity accounting is still surfaced so
+/// data-intensive strategies can reason about it.
+struct StorageInfo {
+  DataSize capacity = DataSize::gib(512);
+  DataSize used;
+  [[nodiscard]] DataSize free() const { return capacity - used; }
+};
+
+/// One site's snapshot across all three categories.
+struct ResourceRepresentation {
+  SiteId site;
+  std::string name;
+  SimTime observed_at;
+  ComputeInfo compute;
+  NetworkInfo network;
+  StorageInfo storage;
+  /// "Setup time": the uniform cross-platform measure the paper calls out —
+  /// queue wait on an HPC cluster, VM startup on a cloud. Filled by the
+  /// agent's predictor for a nominal single-node job.
+  SimDuration setup_time_estimate = SimDuration::zero();
+};
+
+}  // namespace aimes::bundle

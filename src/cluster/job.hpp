@@ -1,0 +1,84 @@
+// Batch jobs as seen by a simulated HPC site.
+//
+// A Job is what a resource's batch system manages: a request for a number of
+// nodes for at most a walltime. Both the synthetic background workload and
+// AIMES pilots are Jobs — pilots gain no special treatment from the resource,
+// exactly as in the paper (the pilot "is submitted to the scheduler of a
+// resource", §III.C).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/id.hpp"
+#include "common/time.hpp"
+
+namespace aimes::cluster {
+
+using common::JobId;
+using common::SimDuration;
+using common::SimTime;
+
+/// Lifecycle of a batch job.
+///
+///   PENDING -> RUNNING -> COMPLETED   (runtime <= walltime)
+///                       -> TIMEOUT    (killed at the walltime limit)
+///                       -> CANCELLED  (user cancel while running)
+///                       -> PREEMPTED  (evicted by the resource; HTC pools)
+///   PENDING -> CANCELLED              (user cancel while queued)
+enum class JobState { kPending, kRunning, kCompleted, kTimeout, kCancelled, kPreempted };
+
+[[nodiscard]] constexpr std::string_view to_string(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "PENDING";
+    case JobState::kRunning: return "RUNNING";
+    case JobState::kCompleted: return "COMPLETED";
+    case JobState::kTimeout: return "TIMEOUT";
+    case JobState::kCancelled: return "CANCELLED";
+    case JobState::kPreempted: return "PREEMPTED";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_final(JobState s) {
+  return s == JobState::kCompleted || s == JobState::kTimeout ||
+         s == JobState::kCancelled || s == JobState::kPreempted;
+}
+
+/// A batch job record. Owned by the ClusterSite that admitted it.
+struct Job {
+  JobId id;
+  std::string name;
+  /// Whole nodes requested (the allocation granularity of every site).
+  int nodes = 1;
+  /// Hard limit enforced by the batch system.
+  SimDuration walltime = SimDuration::zero();
+  /// Intrinsic runtime: how long the job runs if not limited. Jobs meant to
+  /// "run until cancelled" (pilots) set runtime >= walltime.
+  SimDuration runtime = SimDuration::zero();
+  /// Free-form owner tag; "background" for synthetic load, "aimes" for pilots.
+  std::string owner;
+
+  JobState state = JobState::kPending;
+  SimTime submitted_at;
+  SimTime started_at;
+  SimTime ended_at;
+
+  /// Invoked on every state change (after the change is applied).
+  std::function<void(const Job&)> on_state_change;
+
+  /// Queue wait; only meaningful once the job has started.
+  [[nodiscard]] SimDuration wait() const { return started_at - submitted_at; }
+};
+
+/// A start record kept by the site for every job that left the queue; the
+/// Bundle predictor trains on these (paper §III.B: forecasts from historical
+/// measurements).
+struct WaitRecord {
+  SimTime submitted_at;
+  SimTime started_at;
+  int nodes = 0;
+  [[nodiscard]] SimDuration wait() const { return started_at - submitted_at; }
+};
+
+}  // namespace aimes::cluster

@@ -1,0 +1,196 @@
+#include "cluster/site.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+#include "common/string_util.hpp"
+
+namespace aimes::cluster {
+
+ClusterSite::ClusterSite(sim::Engine& engine, SiteId id, SiteConfig config, common::Rng rng)
+    : engine_(engine), id_(id), config_(std::move(config)), rng_(rng) {
+  assert(config_.nodes > 0 && config_.cores_per_node > 0);
+  scheduler_ = make_batch_scheduler(config_.scheduler);
+  assert(scheduler_ && "unknown batch scheduler policy");
+  free_nodes_ = config_.nodes;
+}
+
+Expected<JobId> ClusterSite::submit(const JobRequest& request) {
+  if (request.nodes <= 0) {
+    return Expected<JobId>::error("job '" + request.name + "': nodes must be positive");
+  }
+  if (request.nodes > config_.nodes) {
+    return Expected<JobId>::error(common::format(
+        "job '%s': %d nodes exceed machine size %d on %s", request.name.c_str(), request.nodes,
+        config_.nodes, config_.name.c_str()));
+  }
+  if (request.walltime > config_.max_walltime) {
+    return Expected<JobId>::error("job '" + request.name + "': walltime exceeds site limit");
+  }
+  if (request.walltime <= common::SimDuration::zero()) {
+    return Expected<JobId>::error("job '" + request.name + "': walltime must be positive");
+  }
+
+  const JobId id = job_ids_.next();
+  Job job;
+  job.id = id;
+  job.name = request.name;
+  job.nodes = request.nodes;
+  job.walltime = request.walltime;
+  job.runtime = request.runtime;
+  job.owner = request.owner;
+  job.state = JobState::kPending;
+  job.submitted_at = engine_.now();
+  job.on_state_change = request.on_state_change;
+  jobs_.emplace(id, std::move(job));
+  pending_.push_back(id);
+  common::Log::debug(config_.name, "submit " + id.str() + " '" + request.name + "' nodes=" +
+                                       std::to_string(request.nodes));
+  schedule_pass();
+  return id;
+}
+
+Status ClusterSite::cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::error("cancel: unknown job " + id.str());
+  Job& job = it->second;
+  if (is_final(job.state)) return Status::error("cancel: job " + id.str() + " already final");
+
+  if (job.state == JobState::kPending) {
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+    job.ended_at = engine_.now();
+    set_state(job, JobState::kCancelled);
+    finished_counts_[JobState::kCancelled]++;
+    return {};
+  }
+  // Running: revoke the completion event and free the allocation.
+  auto ev = completion_events_.find(id);
+  assert(ev != completion_events_.end());
+  engine_.cancel(ev->second);
+  completion_events_.erase(ev);
+  finish_job(job, JobState::kCancelled);
+  return {};
+}
+
+const Job* ClusterSite::find(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+int ClusterSite::queued_nodes() const {
+  int total = 0;
+  for (JobId id : pending_) total += jobs_.at(id).nodes;
+  return total;
+}
+
+void ClusterSite::set_history_limit(std::size_t limit) {
+  history_limit_ = limit;
+  while (wait_history_.size() > history_limit_) wait_history_.pop_front();
+}
+
+std::size_t ClusterSite::finished_count(JobState s) const {
+  auto it = finished_counts_.find(s);
+  return it == finished_counts_.end() ? 0 : it->second;
+}
+
+void ClusterSite::schedule_pass() {
+  if (pass_pending_) return;
+  pass_pending_ = true;
+  // Jobs start only on the periodic scheduler pass, like a production batch
+  // system; align the next pass to the cycle boundary.
+  const std::int64_t cycle = std::max<std::int64_t>(1, config_.scheduler_cycle.count_ms());
+  const std::int64_t now = engine_.now().count_ms();
+  const std::int64_t next = ((now / cycle) + 1) * cycle;
+  engine_.schedule_at(common::SimTime(next), [this] {
+    pass_pending_ = false;
+    run_pass();
+    // While work remains queued, keep cycling: completions inside a cycle
+    // may free nodes for queued jobs.
+    if (!pending_.empty()) schedule_pass();
+  });
+}
+
+SchedulerView ClusterSite::make_view() const {
+  SchedulerView view;
+  view.now = engine_.now();
+  view.free_nodes = free_nodes_;
+  view.total_nodes = config_.nodes;
+  view.pending.reserve(pending_.size());
+  for (JobId id : pending_) {
+    const Job& j = jobs_.at(id);
+    // Jobs younger than the ingestion age are invisible to this pass; they
+    // keep their queue position for later passes.
+    if (engine_.now() - j.submitted_at < config_.min_queue_age) continue;
+    view.pending.push_back({j.id, j.nodes, j.walltime, j.submitted_at});
+  }
+  view.running.reserve(running_.size());
+  for (JobId id : running_) {
+    const Job& j = jobs_.at(id);
+    view.running.push_back({j.id, j.nodes, j.started_at + j.walltime});
+  }
+  return view;
+}
+
+void ClusterSite::run_pass() {
+  if (pending_.empty()) return;
+  const std::vector<JobId> to_start = scheduler_->select(make_view());
+  for (JobId id : to_start) {
+    auto it = jobs_.find(id);
+    assert(it != jobs_.end());
+    Job& job = it->second;
+    assert(job.state == JobState::kPending);
+    assert(job.nodes <= free_nodes_ && "scheduler over-committed nodes");
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+    start_job(job);
+  }
+}
+
+void ClusterSite::start_job(Job& job) {
+  free_nodes_ -= job.nodes;
+  job.started_at = engine_.now();
+  set_state(job, JobState::kRunning);
+
+  wait_history_.push_back({job.submitted_at, job.started_at, job.nodes});
+  if (wait_history_.size() > history_limit_) wait_history_.pop_front();
+
+  const bool hits_walltime = job.runtime >= job.walltime;
+  common::SimDuration lifetime = hits_walltime ? job.walltime : job.runtime;
+  JobState final_state = hits_walltime ? JobState::kTimeout : JobState::kCompleted;
+  // Opportunistic resources may evict the job before it finishes.
+  if (config_.preemption_mean_time > common::SimDuration::zero()) {
+    const auto eviction = common::SimDuration::seconds(
+        rng_.exponential(config_.preemption_mean_time.to_seconds()));
+    if (eviction < lifetime) {
+      lifetime = eviction;
+      final_state = JobState::kPreempted;
+    }
+  }
+  const JobId id = job.id;
+  const auto ev = engine_.schedule(lifetime, [this, id, final_state] {
+    auto it = jobs_.find(id);
+    assert(it != jobs_.end());
+    completion_events_.erase(id);
+    finish_job(it->second, final_state);
+  });
+  completion_events_.emplace(id, ev);
+}
+
+void ClusterSite::finish_job(Job& job, JobState final_state) {
+  assert(job.state == JobState::kRunning);
+  running_.erase(std::remove(running_.begin(), running_.end(), job.id), running_.end());
+  free_nodes_ += job.nodes;
+  assert(free_nodes_ <= config_.nodes);
+  job.ended_at = engine_.now();
+  set_state(job, final_state);
+  finished_counts_[final_state]++;
+  schedule_pass();
+}
+
+void ClusterSite::set_state(Job& job, JobState s) {
+  job.state = s;
+  if (s == JobState::kRunning) running_.push_back(job.id);
+  if (job.on_state_change) job.on_state_change(job);
+}
+
+}  // namespace aimes::cluster

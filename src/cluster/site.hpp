@@ -1,0 +1,150 @@
+// A simulated HPC resource (the paper's "XSEDE/NERSC resource" substitute).
+//
+// A ClusterSite owns a pool of nodes and a batch queue driven by a pluggable
+// BatchScheduler. Jobs are submitted, wait in the queue under contention from
+// the synthetic background workload, run for min(runtime, walltime), and
+// finish (or are cancelled). Every admission is recorded as a WaitRecord, the
+// training data of the Bundle queue-time predictor.
+//
+// Heterogeneity knobs (node count, cores per node, scheduler policy, load)
+// live in SiteConfig; the standard five-site testbed mirroring the paper's
+// resource pool is built by testbed.hpp.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/batch_scheduler.hpp"
+#include "cluster/job.hpp"
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+#include "common/id.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::cluster {
+
+using common::Expected;
+using common::SiteId;
+using common::Status;
+
+/// Static description of a site.
+struct SiteConfig {
+  std::string name = "site";
+  int nodes = 256;
+  int cores_per_node = 16;
+  /// Batch policy: "fcfs" or "easy-backfill" (the default on our testbed,
+  /// as on most production machines).
+  std::string scheduler = "easy-backfill";
+  /// Longest admissible walltime request.
+  common::SimDuration max_walltime = common::SimDuration::hours(48);
+  /// Scheduling-cycle period: jobs only start when the batch scheduler runs
+  /// its periodic pass (production schedulers cycle every 30-120 s). This
+  /// sets the floor of every queue wait.
+  common::SimDuration scheduler_cycle = common::SimDuration::seconds(45);
+  /// A job becomes eligible to start only after sitting in the queue this
+  /// long (priority/fairshare ingestion on production systems). Together
+  /// with the cycle this gives the 1-3 minute wait floor real machines show
+  /// even when idle.
+  common::SimDuration min_queue_age = common::SimDuration::seconds(90);
+  /// Accounting rate charged against allocations (service units per
+  /// core-hour) — the "economic considerations" metric of §III.D.
+  double charge_per_core_hour = 1.0;
+  /// Per-core power draw under load, for the energy metric of §V.
+  double watts_per_core = 10.0;
+  /// Mean time until a *running* job is evicted by the resource owner
+  /// (exponential). Zero disables. This is the opportunistic-cycles model
+  /// of HTC pools (OSG glidein slots are reclaimable); batch machines leave
+  /// it off.
+  common::SimDuration preemption_mean_time = common::SimDuration::zero();
+
+  [[nodiscard]] int total_cores() const { return nodes * cores_per_node; }
+};
+
+/// Parameters of a job submission.
+struct JobRequest {
+  std::string name;
+  int nodes = 1;
+  common::SimDuration walltime = common::SimDuration::hours(1);
+  common::SimDuration runtime = common::SimDuration::hours(1);
+  std::string owner = "background";
+  std::function<void(const Job&)> on_state_change;
+};
+
+/// The simulated resource.
+class ClusterSite {
+ public:
+  /// `engine` must outlive the site. `rng` drives preemption sampling only
+  /// (unused when preemption is disabled).
+  ClusterSite(sim::Engine& engine, SiteId id, SiteConfig config,
+              common::Rng rng = common::Rng(0x51731));
+
+  ClusterSite(const ClusterSite&) = delete;
+  ClusterSite& operator=(const ClusterSite&) = delete;
+
+  [[nodiscard]] SiteId id() const { return id_; }
+  [[nodiscard]] const SiteConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+
+  /// Submits a job to the batch queue. Fails (without queueing) if the
+  /// request exceeds the machine size or the walltime limit.
+  Expected<JobId> submit(const JobRequest& request);
+
+  /// Cancels a pending or running job. Cancelling a finished job is an error.
+  Status cancel(JobId id);
+
+  /// Read access to any job ever admitted (sites keep full history).
+  [[nodiscard]] const Job* find(JobId id) const;
+
+  // --- Instantaneous state (the Bundle's on-demand query mode) ---
+  [[nodiscard]] int free_nodes() const { return free_nodes_; }
+  [[nodiscard]] int busy_nodes() const { return config_.nodes - free_nodes_; }
+  [[nodiscard]] std::size_t queue_length() const { return pending_.size(); }
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+  /// Total nodes requested by currently queued jobs ("queue depth").
+  [[nodiscard]] int queued_nodes() const;
+  /// Fraction of nodes busy, in [0,1].
+  [[nodiscard]] double utilization() const {
+    return static_cast<double>(busy_nodes()) / static_cast<double>(config_.nodes);
+  }
+
+  // --- History (the Bundle's predictive mode trains on this) ---
+  [[nodiscard]] const std::deque<WaitRecord>& wait_history() const { return wait_history_; }
+  /// Caps the retained history (default 4096 records).
+  void set_history_limit(std::size_t limit);
+
+  /// Count of jobs that reached a final state, by state.
+  [[nodiscard]] std::size_t finished_count(JobState s) const;
+
+ private:
+  void schedule_pass();
+  void run_pass();
+  void start_job(Job& job);
+  void finish_job(Job& job, JobState final_state);
+  void set_state(Job& job, JobState s);
+  [[nodiscard]] SchedulerView make_view() const;
+
+  sim::Engine& engine_;
+  SiteId id_;
+  SiteConfig config_;
+  common::Rng rng_;
+  std::unique_ptr<BatchScheduler> scheduler_;
+
+  common::IdGen<common::JobTag> job_ids_;
+  std::unordered_map<JobId, Job> jobs_;
+  std::vector<JobId> pending_;  // queue order
+  std::vector<JobId> running_;
+  std::unordered_map<JobId, common::EventId> completion_events_;
+
+  int free_nodes_ = 0;
+  bool pass_pending_ = false;
+
+  std::deque<WaitRecord> wait_history_;
+  std::size_t history_limit_ = 4096;
+  std::unordered_map<JobState, std::size_t> finished_counts_;
+};
+
+}  // namespace aimes::cluster

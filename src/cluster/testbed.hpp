@@ -1,0 +1,75 @@
+// The standard simulated resource pool.
+//
+// The paper used four XSEDE machines and one NERSC machine ("up to five
+// concurrent resources"). This testbed builds five heterogeneous simulated
+// sites loosely shaped after them — different machine sizes, cores per node,
+// batch policies, and load levels — plus per-site background workload
+// generators. Heterogeneity matters: the paper's central observation is that
+// *independent* per-resource queue dynamics let multiple pilots normalize Tw.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/site.hpp"
+#include "cluster/workload.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::cluster {
+
+/// A site plus the background load that keeps it busy.
+struct TestbedSiteSpec {
+  SiteConfig site;
+  WorkloadConfig load;
+};
+
+/// The five-resource pool shaped after the paper's testbed (four XSEDE-like
+/// machines + one NERSC-like machine).
+[[nodiscard]] std::vector<TestbedSiteSpec> standard_testbed(
+    common::SimDuration horizon = common::SimDuration::hours(48));
+
+/// A smaller two-site pool for tests and the quickstart example.
+[[nodiscard]] std::vector<TestbedSiteSpec> mini_testbed(
+    common::SimDuration horizon = common::SimDuration::hours(24));
+
+/// An OSG-like opportunistic HTC pool (paper §V: "We have added support for
+/// distinct DCI worldwide including OSG ..."): thousands of single-core
+/// slots, short scheduling cycles and near-empty queues — but running jobs
+/// are preemptable, so pilots trade queue wait for eviction risk.
+[[nodiscard]] TestbedSiteSpec osg_pool_spec(
+    int slots = 4096, common::SimDuration preemption_mean = common::SimDuration::hours(6),
+    common::SimDuration horizon = common::SimDuration::hours(48));
+
+/// The five HPC machines plus the OSG-like pool: the heterogeneous
+/// multi-DCI federation of the paper's outlook.
+[[nodiscard]] std::vector<TestbedSiteSpec> hybrid_testbed(
+    common::SimDuration horizon = common::SimDuration::hours(48));
+
+/// Owns a set of ClusterSites and their WorkloadGenerators on one engine.
+class Testbed {
+ public:
+  /// Builds sites and generators; RNG streams derive from `seed` and each
+  /// site's name. Call `prime_and_start()` before running experiments.
+  Testbed(sim::Engine& engine, std::vector<TestbedSiteSpec> specs, std::uint64_t seed);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Primes each site to steady-state occupancy and starts arrivals.
+  void prime_and_start();
+
+  [[nodiscard]] std::vector<ClusterSite*> sites();
+  [[nodiscard]] ClusterSite* site(const std::string& name);
+  [[nodiscard]] ClusterSite* site(common::SiteId id);
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::unique_ptr<ClusterSite> site;
+    std::unique_ptr<WorkloadGenerator> generator;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace aimes::cluster

@@ -1,0 +1,126 @@
+#include "cluster/testbed_config.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace aimes::cluster {
+
+namespace {
+
+using common::Expected;
+
+/// Applies one [site.*] section to a spec; returns an error naming the key
+/// on invalid values.
+common::Status apply_section(const common::ConfigSection& section, TestbedSiteSpec& spec) {
+  auto fail = [&](const std::string& what) {
+    return common::Status::error("[" + section.name() + "] " + what);
+  };
+
+  spec.site.name = section.name().substr(5);
+  spec.site.nodes = static_cast<int>(section.get_int_or("nodes", 256));
+  spec.site.cores_per_node = static_cast<int>(section.get_int_or("cores_per_node", 16));
+  if (spec.site.nodes <= 0 || spec.site.cores_per_node <= 0) {
+    return fail("nodes and cores_per_node must be positive");
+  }
+  spec.site.scheduler = section.get_or("scheduler", "easy-backfill");
+  if (!make_batch_scheduler(spec.site.scheduler)) {
+    return fail("unknown scheduler '" + spec.site.scheduler + "'");
+  }
+  spec.site.scheduler_cycle =
+      common::SimDuration::seconds(section.get_double_or("scheduler_cycle_s", 45));
+  spec.site.min_queue_age =
+      common::SimDuration::seconds(section.get_double_or("min_queue_age_s", 90));
+  spec.site.max_walltime = common::SimDuration::hours(section.get_double_or("max_walltime_h", 48));
+  spec.site.charge_per_core_hour = section.get_double_or("charge_per_core_hour", 1.0);
+  spec.site.watts_per_core = section.get_double_or("watts_per_core", 10.0);
+  spec.site.preemption_mean_time =
+      common::SimDuration::hours(section.get_double_or("preemption_mean_time_h", 0.0));
+
+  WorkloadConfig& load = spec.load;
+  load.target_utilization = section.get_double_or("target_utilization", 0.95);
+  if (load.target_utilization <= 0) return fail("target_utilization must be positive");
+  if (section.has("runtime")) {
+    auto dist = common::DistributionSpec::parse(*section.get("runtime"));
+    if (!dist) return fail("runtime: " + dist.error());
+    load.runtime = *dist;
+  }
+  if (section.has("backlog_machine_hours")) {
+    const auto parts = common::split_ws(*section.get("backlog_machine_hours"));
+    if (parts.size() != 2) return fail("backlog_machine_hours wants 'lo hi'");
+    load.backlog_machine_hours_lo = std::atof(parts[0].c_str());
+    load.backlog_machine_hours_hi = std::atof(parts[1].c_str());
+    if (load.backlog_machine_hours_lo > load.backlog_machine_hours_hi) {
+      return fail("backlog_machine_hours requires lo <= hi");
+    }
+  }
+  load.p_small = section.get_double_or("p_small", load.p_small);
+  load.p_medium = section.get_double_or("p_medium", load.p_medium);
+  if (load.p_small < 0 || load.p_medium < 0 || load.p_small + load.p_medium > 1.0) {
+    return fail("p_small/p_medium must be non-negative and sum to <= 1");
+  }
+  load.max_nodes_log2 = static_cast<int>(section.get_int_or("max_nodes_log2", 7));
+  load.diurnal_amplitude = section.get_double_or("diurnal_amplitude", load.diurnal_amplitude);
+  if (load.diurnal_amplitude < 0 || load.diurnal_amplitude >= 1.0) {
+    return fail("diurnal_amplitude must be in [0, 1)");
+  }
+  load.diurnal_phase = section.get_double_or("diurnal_phase", load.diurnal_phase);
+  load.burst_probability = section.get_double_or("burst_probability", load.burst_probability);
+  load.burst_max = static_cast<int>(section.get_int_or("burst_max", load.burst_max));
+  load.horizon = common::SimDuration::hours(section.get_double_or("horizon_h", 48));
+  return {};
+}
+
+}  // namespace
+
+Expected<std::vector<TestbedSiteSpec>> parse_testbed(const common::Config& config) {
+  using E = Expected<std::vector<TestbedSiteSpec>>;
+  std::vector<TestbedSiteSpec> specs;
+  for (const auto* section : config.sections_with_prefix("site.")) {
+    TestbedSiteSpec spec;
+    if (auto status = apply_section(*section, spec); !status.ok()) {
+      return E::error(status.error());
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) return E::error("no [site.<name>] sections found");
+  return specs;
+}
+
+Expected<std::vector<TestbedSiteSpec>> parse_testbed_text(const std::string& text) {
+  auto config = common::Config::parse(text);
+  if (!config) return Expected<std::vector<TestbedSiteSpec>>::error(config.error());
+  return parse_testbed(*config);
+}
+
+std::string testbed_to_config(const std::vector<TestbedSiteSpec>& specs) {
+  std::ostringstream out;
+  for (const auto& spec : specs) {
+    out << "[site." << spec.site.name << "]\n";
+    out << "nodes = " << spec.site.nodes << "\n";
+    out << "cores_per_node = " << spec.site.cores_per_node << "\n";
+    out << "scheduler = " << spec.site.scheduler << "\n";
+    out << "scheduler_cycle_s = " << spec.site.scheduler_cycle.to_seconds() << "\n";
+    out << "min_queue_age_s = " << spec.site.min_queue_age.to_seconds() << "\n";
+    out << "max_walltime_h = " << spec.site.max_walltime.to_hours() << "\n";
+    out << "charge_per_core_hour = " << spec.site.charge_per_core_hour << "\n";
+    out << "watts_per_core = " << spec.site.watts_per_core << "\n";
+    out << "preemption_mean_time_h = " << spec.site.preemption_mean_time.to_hours() << "\n";
+    out << "target_utilization = " << spec.load.target_utilization << "\n";
+    out << "runtime = " << spec.load.runtime.str() << "\n";
+    out << "backlog_machine_hours = " << spec.load.backlog_machine_hours_lo << " "
+        << spec.load.backlog_machine_hours_hi << "\n";
+    out << "p_small = " << spec.load.p_small << "\n";
+    out << "p_medium = " << spec.load.p_medium << "\n";
+    out << "max_nodes_log2 = " << spec.load.max_nodes_log2 << "\n";
+    out << "diurnal_amplitude = " << spec.load.diurnal_amplitude << "\n";
+    out << "diurnal_phase = " << spec.load.diurnal_phase << "\n";
+    out << "burst_probability = " << spec.load.burst_probability << "\n";
+    out << "burst_max = " << spec.load.burst_max << "\n";
+    out << "horizon_h = " << spec.load.horizon.to_hours() << "\n\n";
+  }
+  return out.str();
+}
+
+}  // namespace aimes::cluster

@@ -1,0 +1,48 @@
+// Config-file driven resource pools.
+//
+// The built-in five-site testbed (testbed.hpp) mirrors the paper's pool, but
+// a virtual laboratory must let the experimenter define their own machines.
+// This parser reads pools from the same INI dialect as skeleton configs:
+//
+//   [site.stampede-sim]
+//   nodes = 1024
+//   cores_per_node = 16
+//   scheduler = easy-backfill       ; or fcfs
+//   scheduler_cycle_s = 45
+//   min_queue_age_s = 90
+//   max_walltime_h = 48
+//   ; background workload of this site
+//   target_utilization = 1.10
+//   runtime = lognormal 8.0 1.25
+//   backlog_machine_hours = 1.0 5.0
+//   p_small = 0.6
+//   p_medium = 0.3
+//   max_nodes_log2 = 7
+//   diurnal_amplitude = 0.18
+//   diurnal_phase = 0.0
+//   burst_probability = 0.03
+//   burst_max = 32
+//   horizon_h = 48
+#pragma once
+
+#include <vector>
+
+#include "cluster/testbed.hpp"
+#include "common/config.hpp"
+
+namespace aimes::cluster {
+
+/// Parses every [site.<name>] section of `config` into a pool spec.
+/// Unknown keys are ignored (forward compatibility); invalid values fail
+/// with the offending site and key named.
+[[nodiscard]] common::Expected<std::vector<TestbedSiteSpec>> parse_testbed(
+    const common::Config& config);
+
+/// Convenience: parse from config text.
+[[nodiscard]] common::Expected<std::vector<TestbedSiteSpec>> parse_testbed_text(
+    const std::string& text);
+
+/// Renders a pool back to config text (round-trips through parse_testbed).
+[[nodiscard]] std::string testbed_to_config(const std::vector<TestbedSiteSpec>& specs);
+
+}  // namespace aimes::cluster

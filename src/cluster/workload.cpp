@@ -1,0 +1,165 @@
+#include "cluster/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+#include "common/log.hpp"
+
+namespace aimes::cluster {
+
+namespace {
+/// Mean of 2^k with k uniform over [lo, hi].
+double mean_pow2(int lo, int hi) {
+  double sum = 0.0;
+  for (int k = lo; k <= hi; ++k) sum += std::pow(2.0, k);
+  return sum / static_cast<double>(hi - lo + 1);
+}
+
+/// Expected node request under the small/medium/large mixture.
+double expected_nodes(const WorkloadConfig& cfg) {
+  const int max_log2 = std::max(6, cfg.max_nodes_log2);
+  const double p_large = std::max(0.0, 1.0 - cfg.p_small - cfg.p_medium);
+  return cfg.p_small * mean_pow2(0, 2) + cfg.p_medium * mean_pow2(3, 5) +
+         p_large * mean_pow2(6, max_log2);
+}
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(sim::Engine& engine, ClusterSite& site,
+                                     WorkloadConfig config, common::Rng rng)
+    : engine_(engine), site_(site), config_(config), rng_(rng) {
+  assert(config_.target_utilization > 0.0 && config_.target_utilization < 1.5);
+  assert(config_.max_nodes_log2 >= 0);
+}
+
+common::SimDuration WorkloadGenerator::mean_interarrival() const {
+  // Load balance: target_util * nodes = E[nodes] * E[runtime] / E[interarrival]
+  const double e_nodes =
+      std::min(expected_nodes(config_), static_cast<double>(site_.config().nodes));
+  const double e_runtime = config_.runtime.mean();
+  // Bursts multiply the effective arrival volume.
+  const double burst_boost =
+      1.0 + config_.burst_probability * (static_cast<double>(config_.burst_max) / 2.0);
+  const double demand_node_sec = e_nodes * e_runtime * burst_boost;
+  const double target_node_sec_per_sec =
+      config_.target_utilization * static_cast<double>(site_.config().nodes);
+  return common::SimDuration::seconds(demand_node_sec / target_node_sec_per_sec);
+}
+
+int WorkloadGenerator::sample_nodes() {
+  const double r = rng_.uniform01();
+  int k;
+  if (r < config_.p_small) {
+    k = static_cast<int>(rng_.uniform_int(0, 2));
+  } else if (r < config_.p_small + config_.p_medium) {
+    k = static_cast<int>(rng_.uniform_int(3, 5));
+  } else {
+    k = static_cast<int>(rng_.uniform_int(6, std::max(6, config_.max_nodes_log2)));
+  }
+  return std::min(1 << k, site_.config().nodes);
+}
+
+double WorkloadGenerator::rate_multiplier() const {
+  const double t_hours = engine_.now().to_seconds() / 3600.0;
+  return 1.0 + config_.diurnal_amplitude *
+                   std::sin(2.0 * std::numbers::pi * t_hours / 24.0 + config_.diurnal_phase);
+}
+
+void WorkloadGenerator::prime() {
+  assert(!started_);
+  assert(engine_.now() == common::SimTime::epoch());
+  // Fill the machine to roughly the target utilization with jobs already
+  // "in flight" (they start as soon as the engine runs, with zero queue
+  // time since the machine is empty), plus a modest initial queue so the
+  // scheduler has backfill material immediately.
+  const int target_busy =
+      static_cast<int>(config_.target_utilization * static_cast<double>(site_.config().nodes));
+  int planned = 0;
+  int guard = 0;
+  while (planned < target_busy && guard++ < 10000) {
+    JobRequest req;
+    req.name = "bg-primed";
+    req.nodes = sample_nodes();
+    if (planned + req.nodes > site_.config().nodes) {
+      req.nodes = std::max(1, site_.config().nodes - planned);
+    }
+    // Residual lifetime of a job observed at a random instant: sample a
+    // fresh runtime and keep a uniform fraction of it.
+    const double full = config_.runtime.sample(rng_);
+    const double residual = full * rng_.uniform01();
+    req.runtime = common::SimDuration::seconds(std::max(60.0, residual));
+    req.walltime = req.runtime * rng_.uniform(config_.walltime_factor_lo,
+                                              config_.walltime_factor_hi);
+    req.walltime = std::min(req.walltime, site_.config().max_walltime);
+    auto res = site_.submit(req);
+    assert(res.ok());
+    (void)res;
+    planned += req.nodes;
+    ++submitted_;
+  }
+  // A starter backlog: pending work worth a trial-specific number of
+  // machine-hours, so the queue is never unrealistically empty and trials
+  // observe different congestion states.
+  const double backlog_target_node_sec =
+      rng_.uniform(config_.backlog_machine_hours_lo, config_.backlog_machine_hours_hi) *
+      3600.0 * static_cast<double>(site_.config().nodes);
+  double backlog = 0.0;
+  guard = 0;
+  while (backlog < backlog_target_node_sec && guard++ < 100000) {
+    JobRequest req;
+    req.name = "bg-backlog";
+    req.nodes = sample_nodes();
+    const double runtime_s = std::max(60.0, config_.runtime.sample(rng_));
+    req.runtime = common::SimDuration::seconds(runtime_s);
+    req.walltime =
+        req.runtime * rng_.uniform(config_.walltime_factor_lo, config_.walltime_factor_hi);
+    req.walltime = std::min(req.walltime, site_.config().max_walltime);
+    auto res = site_.submit(req);
+    assert(res.ok());
+    (void)res;
+    backlog += static_cast<double>(req.nodes) * runtime_s;
+    ++submitted_;
+  }
+}
+
+void WorkloadGenerator::start() {
+  if (started_) return;
+  started_ = true;
+  schedule_next_arrival();
+}
+
+void WorkloadGenerator::schedule_next_arrival() {
+  const double mean_s = mean_interarrival().to_seconds() / rate_multiplier();
+  const double gap = rng_.exponential(std::max(1.0, mean_s));
+  const common::SimTime when = engine_.now() + common::SimDuration::seconds(gap);
+  if (when - common::SimTime::epoch() > config_.horizon) return;  // horizon reached
+  engine_.schedule_at(when, [this] {
+    submit_one();
+    if (rng_.bernoulli(config_.burst_probability)) {
+      const int extra = static_cast<int>(rng_.uniform_int(1, config_.burst_max));
+      for (int i = 0; i < extra; ++i) submit_one();
+    }
+    schedule_next_arrival();
+  });
+}
+
+void WorkloadGenerator::submit_one() {
+  JobRequest req;
+  req.name = "bg";
+  req.nodes = sample_nodes();
+  const double runtime_s = std::max(60.0, config_.runtime.sample(rng_));
+  req.runtime = common::SimDuration::seconds(runtime_s);
+  req.walltime =
+      req.runtime * rng_.uniform(config_.walltime_factor_lo, config_.walltime_factor_hi);
+  req.walltime = std::min(req.walltime, site_.config().max_walltime);
+  req.owner = "background";
+  auto res = site_.submit(req);
+  if (!res.ok()) {
+    common::Log::warn("workload", "background submit rejected: " + res.error());
+    return;
+  }
+  ++submitted_;
+}
+
+}  // namespace aimes::cluster

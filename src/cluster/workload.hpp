@@ -1,0 +1,111 @@
+// Synthetic background workload.
+//
+// The paper's experiments ran against *production* queues: the dominant TTC
+// component Tw comes from contention with other users' jobs. This generator
+// is the substitute: a Poisson arrival process with diurnal modulation and
+// occasional bursts, lognormal runtimes, and power-of-two node requests —
+// the stylized facts of open-science HPC workload logs (cf. the XDMoD
+// statistics the paper cites: most jobs are small and short, a heavy tail is
+// large and long).
+//
+// Each site gets its own generator with its own RNG stream, so perturbing one
+// site's load never changes another's (a property the ablation benches use).
+#pragma once
+
+#include <string>
+
+#include "cluster/site.hpp"
+#include "common/distribution.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::cluster {
+
+/// Tuning knobs of a site's synthetic load.
+struct WorkloadConfig {
+  /// Long-run average fraction of the machine the background demands.
+  /// Production machines run near (or transiently above) capacity; values
+  /// around 0.95-1.05 produce the persistent, volatile queues that make
+  /// queue wait the dominant and unpredictable TTC component, as the paper
+  /// observes. Arrival rate is derived from this and the job shape means.
+  double target_utilization = 0.95;
+
+  /// Job runtime in seconds (lognormal by default: median ~50 min,
+  /// mean ~2.2 h — the long-job mass that keeps queues deep).
+  common::DistributionSpec runtime = common::DistributionSpec::lognormal(8.0, 1.25);
+
+  /// The queue is primed with this much pending work (in machine-hours,
+  /// drawn uniformly from [lo, hi] per trial) so experiments start against
+  /// a realistic, trial-varying backlog rather than an empty queue.
+  double backlog_machine_hours_lo = 1.0;
+  double backlog_machine_hours_hi = 5.0;
+
+  /// Node requests are a small/medium/large mixture of powers of two, the
+  /// shape of open-science workload logs: most jobs are small (they are also
+  /// the backfill competitors that deny pilots free holes), a heavy tail is
+  /// large. small = 2^[0,2], medium = 2^[3,5], large = 2^[6,max_nodes_log2],
+  /// all capped to the machine size.
+  double p_small = 0.60;
+  double p_medium = 0.30;
+  int max_nodes_log2 = 7;
+
+  /// Requested walltime = runtime * factor, factor uniform in this range
+  /// (users overestimate; Tsafrir et al. report factors of 1.5-10).
+  double walltime_factor_lo = 1.2;
+  double walltime_factor_hi = 4.0;
+
+  /// Diurnal modulation amplitude in [0,1): arrival rate varies as
+  /// 1 + A*sin(2*pi*t/24h + phase).
+  double diurnal_amplitude = 0.18;
+  double diurnal_phase = 0.0;
+
+  /// With this probability an arrival is a burst (a user sweeps a parameter
+  /// study): `burst_max` extra jobs of the same shape arrive at once. Bursts
+  /// create the occasional very long queue that makes Tw heavy-tailed.
+  double burst_probability = 0.03;
+  int burst_max = 32;
+
+  /// Generation horizon; no arrivals are produced after it.
+  common::SimDuration horizon = common::SimDuration::hours(48);
+};
+
+/// Drives synthetic arrivals into one ClusterSite.
+class WorkloadGenerator {
+ public:
+  /// `engine` and `site` must outlive the generator. `rng` seeds this
+  /// generator's private stream.
+  WorkloadGenerator(sim::Engine& engine, ClusterSite& site, WorkloadConfig config,
+                    common::Rng rng);
+
+  WorkloadGenerator(const WorkloadGenerator&) = delete;
+  WorkloadGenerator& operator=(const WorkloadGenerator&) = delete;
+
+  /// Starts the arrival process (idempotent).
+  void start();
+
+  /// Jobs submitted so far.
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+
+  /// The derived mean inter-arrival time implied by the configuration.
+  [[nodiscard]] common::SimDuration mean_interarrival() const;
+
+  /// Pre-fills the site with running/queued jobs approximating the
+  /// steady-state so experiments do not observe an empty machine. Must be
+  /// called before start(), at virtual time zero.
+  void prime();
+
+ private:
+  void schedule_next_arrival();
+  void submit_one();
+  [[nodiscard]] double rate_multiplier() const;
+  [[nodiscard]] int sample_nodes();
+
+  sim::Engine& engine_;
+  ClusterSite& site_;
+  WorkloadConfig config_;
+  common::Rng rng_;
+  bool started_ = false;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace aimes::cluster

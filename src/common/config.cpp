@@ -1,0 +1,133 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace aimes::common {
+
+bool ConfigSection::has(const std::string& key) const { return values_.count(key) > 0; }
+
+Expected<std::string> ConfigSection::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Expected<std::string>::error("missing key '" + key + "' in section [" + name_ + "]");
+  }
+  return it->second;
+}
+
+std::string ConfigSection::get_or(const std::string& key, const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Expected<std::int64_t> ConfigSection::get_int(const std::string& key) const {
+  auto raw = get(key);
+  if (!raw) return Expected<std::int64_t>::error(raw.error());
+  char* end = nullptr;
+  const long long v = std::strtoll(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0') {
+    return Expected<std::int64_t>::error("key '" + key + "' is not an integer: '" + *raw + "'");
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+std::int64_t ConfigSection::get_int_or(const std::string& key, std::int64_t fallback) const {
+  auto v = get_int(key);
+  return v ? *v : fallback;
+}
+
+Expected<double> ConfigSection::get_double(const std::string& key) const {
+  auto raw = get(key);
+  if (!raw) return Expected<double>::error(raw.error());
+  char* end = nullptr;
+  const double v = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str() || *end != '\0') {
+    return Expected<double>::error("key '" + key + "' is not a number: '" + *raw + "'");
+  }
+  return v;
+}
+
+double ConfigSection::get_double_or(const std::string& key, double fallback) const {
+  auto v = get_double(key);
+  return v ? *v : fallback;
+}
+
+Expected<bool> ConfigSection::get_bool(const std::string& key) const {
+  auto raw = get(key);
+  if (!raw) return Expected<bool>::error(raw.error());
+  const std::string v = to_lower(trim(*raw));
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  return Expected<bool>::error("key '" + key + "' is not a boolean: '" + *raw + "'");
+}
+
+void ConfigSection::set(const std::string& key, std::string value) {
+  if (values_.find(key) == values_.end()) order_.push_back(key);
+  values_[key] = std::move(value);
+}
+
+Expected<Config> Config::parse(const std::string& text) {
+  Config cfg;
+  cfg.sections_.emplace_back("");  // unnamed leading section
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments ('#' or ';' outside of values is fine for our format).
+    const std::size_t hash = line.find_first_of("#;");
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    if (t.front() == '[') {
+      if (t.back() != ']' || t.size() < 3) {
+        return Expected<Config>::error("line " + std::to_string(lineno) +
+                                       ": malformed section header '" + t + "'");
+      }
+      cfg.sections_.emplace_back(trim(t.substr(1, t.size() - 2)));
+      continue;
+    }
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      return Expected<Config>::error("line " + std::to_string(lineno) +
+                                     ": expected 'key = value', got '" + t + "'");
+    }
+    cfg.sections_.back().set(trim(t.substr(0, eq)), trim(t.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+Expected<Config> Config::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Expected<Config>::error("cannot open config file '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse(buf.str());
+}
+
+bool Config::has_section(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name() == name) return true;
+  }
+  return false;
+}
+
+Expected<const ConfigSection*> Config::section(const std::string& name) const {
+  for (const auto& s : sections_) {
+    if (s.name() == name) return &s;
+  }
+  return Expected<const ConfigSection*>::error("missing section [" + name + "]");
+}
+
+std::vector<const ConfigSection*> Config::sections_with_prefix(const std::string& prefix) const {
+  std::vector<const ConfigSection*> out;
+  for (const auto& s : sections_) {
+    if (starts_with(s.name(), prefix)) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace aimes::common

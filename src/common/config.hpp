@@ -1,0 +1,81 @@
+// INI-style configuration files.
+//
+// The Application Skeleton tool (paper §III.A) "is implemented as a parser
+// that reads in a configuration file that specifies a skeleton application".
+// This module provides that file format: sections, key = value pairs,
+// '#'/';' comments, with typed accessors. The same format configures
+// simulated resource pools.
+//
+//   [application]
+//   name = bag_of_tasks
+//
+//   [stage.main]
+//   tasks = 128
+//   duration = truncated_normal 900 300 60 1800
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace aimes::common {
+
+/// One parsed [section] of a config file: ordered key/value pairs.
+class ConfigSection {
+ public:
+  ConfigSection() = default;
+  explicit ConfigSection(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Raw string accessor; error if the key is absent.
+  [[nodiscard]] Expected<std::string> get(const std::string& key) const;
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& fallback) const;
+
+  [[nodiscard]] Expected<std::int64_t> get_int(const std::string& key) const;
+  [[nodiscard]] std::int64_t get_int_or(const std::string& key, std::int64_t fallback) const;
+  [[nodiscard]] Expected<double> get_double(const std::string& key) const;
+  [[nodiscard]] double get_double_or(const std::string& key, double fallback) const;
+  [[nodiscard]] Expected<bool> get_bool(const std::string& key) const;
+
+  void set(const std::string& key, std::string value);
+
+  /// All keys in insertion order.
+  [[nodiscard]] const std::vector<std::string>& keys() const { return order_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+/// A parsed configuration: sections in file order. Keys occurring before any
+/// section header land in the unnamed section "".
+class Config {
+ public:
+  /// Parses config text; returns an error with a line number on malformed
+  /// input (unterminated section header, missing '=').
+  [[nodiscard]] static Expected<Config> parse(const std::string& text);
+
+  /// Reads and parses a file.
+  [[nodiscard]] static Expected<Config> load(const std::string& path);
+
+  [[nodiscard]] bool has_section(const std::string& name) const;
+  [[nodiscard]] Expected<const ConfigSection*> section(const std::string& name) const;
+
+  /// All sections in file order.
+  [[nodiscard]] const std::vector<ConfigSection>& sections() const { return sections_; }
+
+  /// All sections whose name starts with `prefix` (e.g. "stage."), in order.
+  [[nodiscard]] std::vector<const ConfigSection*> sections_with_prefix(
+      const std::string& prefix) const;
+
+ private:
+  std::vector<ConfigSection> sections_;
+};
+
+}  // namespace aimes::common

@@ -1,0 +1,22 @@
+#include "common/data_size.hpp"
+
+#include <cstdio>
+
+namespace aimes::common {
+
+std::string DataSize::str() const {
+  char buf[48];
+  const double b = static_cast<double>(bytes_);
+  if (bytes_ < 1024) {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(bytes_));
+  } else if (bytes_ < 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", b / 1024.0);
+  } else if (bytes_ < 1024LL * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fMiB", b / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB", b / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+}  // namespace aimes::common

@@ -1,0 +1,63 @@
+// Strongly-typed data sizes (bytes), used by the skeleton (file sizes) and
+// the network substrate (transfer volumes, bandwidths).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace aimes::common {
+
+/// A non-negative amount of data in bytes.
+class DataSize {
+ public:
+  constexpr DataSize() = default;
+  constexpr explicit DataSize(std::int64_t bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] static constexpr DataSize bytes(std::int64_t v) { return DataSize(v); }
+  [[nodiscard]] static constexpr DataSize kib(double v) {
+    return DataSize(static_cast<std::int64_t>(v * 1024.0));
+  }
+  [[nodiscard]] static constexpr DataSize mib(double v) { return kib(v * 1024.0); }
+  [[nodiscard]] static constexpr DataSize gib(double v) { return mib(v * 1024.0); }
+  [[nodiscard]] static constexpr DataSize zero() { return DataSize(0); }
+
+  [[nodiscard]] constexpr std::int64_t count_bytes() const { return bytes_; }
+  [[nodiscard]] constexpr double to_mib() const {
+    return static_cast<double>(bytes_) / (1024.0 * 1024.0);
+  }
+
+  constexpr auto operator<=>(const DataSize&) const = default;
+  constexpr DataSize operator+(DataSize o) const { return DataSize(bytes_ + o.bytes_); }
+  constexpr DataSize operator-(DataSize o) const { return DataSize(bytes_ - o.bytes_); }
+  constexpr DataSize& operator+=(DataSize o) { bytes_ += o.bytes_; return *this; }
+  constexpr DataSize operator*(double f) const {
+    return DataSize(static_cast<std::int64_t>(static_cast<double>(bytes_) * f));
+  }
+
+  /// Human readable, e.g. "1.00MiB", "2.0KiB", "17B".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int64_t bytes_ = 0;
+};
+
+/// Bandwidth in bytes per (virtual) second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(double bytes_per_sec) : bps_(bytes_per_sec) {}
+
+  [[nodiscard]] static constexpr Bandwidth mib_per_sec(double v) {
+    return Bandwidth(v * 1024.0 * 1024.0);
+  }
+
+  [[nodiscard]] constexpr double bytes_per_sec() const { return bps_; }
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+  constexpr Bandwidth operator/(double n) const { return Bandwidth(bps_ / n); }
+
+ private:
+  double bps_ = 0.0;
+};
+
+}  // namespace aimes::common

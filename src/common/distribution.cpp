@@ -1,0 +1,167 @@
+#include "common/distribution.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace aimes::common {
+
+std::string_view to_string(DistKind k) {
+  switch (k) {
+    case DistKind::kConstant: return "constant";
+    case DistKind::kUniform: return "uniform";
+    case DistKind::kNormal: return "normal";
+    case DistKind::kTruncatedNormal: return "truncated_normal";
+    case DistKind::kLognormal: return "lognormal";
+    case DistKind::kExponential: return "exponential";
+  }
+  return "?";
+}
+
+DistributionSpec::DistributionSpec(DistKind k, double a, double b, double c, double d)
+    : kind_(k), p_{a, b, c, d} {}
+
+DistributionSpec DistributionSpec::constant(double value) {
+  assert(value >= 0.0);
+  return {DistKind::kConstant, value};
+}
+
+DistributionSpec DistributionSpec::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return {DistKind::kUniform, lo, hi};
+}
+
+DistributionSpec DistributionSpec::normal(double mean, double stddev) {
+  assert(stddev >= 0.0);
+  return {DistKind::kNormal, mean, stddev};
+}
+
+DistributionSpec DistributionSpec::truncated_normal(double mean, double stddev,
+                                                    double lo, double hi) {
+  assert(lo <= hi && stddev >= 0.0);
+  return {DistKind::kTruncatedNormal, mean, stddev, lo, hi};
+}
+
+DistributionSpec DistributionSpec::lognormal(double mu, double sigma) {
+  assert(sigma >= 0.0);
+  return {DistKind::kLognormal, mu, sigma};
+}
+
+DistributionSpec DistributionSpec::exponential(double mean) {
+  assert(mean > 0.0);
+  return {DistKind::kExponential, mean};
+}
+
+Expected<DistributionSpec> DistributionSpec::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string kind;
+  in >> kind;
+  std::vector<double> p;
+  double v = 0;
+  while (in >> v) p.push_back(v);
+
+  auto arity_error = [&](std::size_t want) {
+    return Expected<DistributionSpec>::error(
+        "distribution '" + kind + "' expects " + std::to_string(want) +
+        " parameter(s), got " + std::to_string(p.size()));
+  };
+
+  if (kind == "constant") {
+    if (p.size() != 1) return arity_error(1);
+    if (p[0] < 0) return Expected<DistributionSpec>::error("constant must be >= 0");
+    return constant(p[0]);
+  }
+  if (kind == "uniform") {
+    if (p.size() != 2) return arity_error(2);
+    if (p[0] > p[1]) return Expected<DistributionSpec>::error("uniform requires lo <= hi");
+    return uniform(p[0], p[1]);
+  }
+  if (kind == "normal") {
+    if (p.size() != 2) return arity_error(2);
+    if (p[1] < 0) return Expected<DistributionSpec>::error("normal requires stddev >= 0");
+    return normal(p[0], p[1]);
+  }
+  if (kind == "truncated_normal") {
+    if (p.size() != 4) return arity_error(4);
+    if (p[2] > p[3]) return Expected<DistributionSpec>::error("truncated_normal requires lo <= hi");
+    if (p[1] < 0) return Expected<DistributionSpec>::error("truncated_normal requires stddev >= 0");
+    return truncated_normal(p[0], p[1], p[2], p[3]);
+  }
+  if (kind == "lognormal") {
+    if (p.size() != 2) return arity_error(2);
+    if (p[1] < 0) return Expected<DistributionSpec>::error("lognormal requires sigma >= 0");
+    return lognormal(p[0], p[1]);
+  }
+  if (kind == "exponential") {
+    if (p.size() != 1) return arity_error(1);
+    if (p[0] <= 0) return Expected<DistributionSpec>::error("exponential requires mean > 0");
+    return exponential(p[0]);
+  }
+  return Expected<DistributionSpec>::error("unknown distribution kind '" + kind + "'");
+}
+
+double DistributionSpec::sample(Rng& rng) const {
+  switch (kind_) {
+    case DistKind::kConstant:
+      return p_[0];
+    case DistKind::kUniform:
+      return rng.uniform(p_[0], p_[1]);
+    case DistKind::kNormal: {
+      const double v = rng.normal(p_[0], p_[1]);
+      return v < 0.0 ? 0.0 : v;
+    }
+    case DistKind::kTruncatedNormal: {
+      // Rejection sampling; for the paper's parameters (bounds at ±~3 sigma)
+      // acceptance is ~99.7%, so this terminates quickly. Degenerate sigma
+      // returns the clamped mean.
+      if (p_[1] == 0.0) return std::min(std::max(p_[0], p_[2]), p_[3]);
+      for (int i = 0; i < 1024; ++i) {
+        const double v = rng.normal(p_[0], p_[1]);
+        if (v >= p_[2] && v <= p_[3]) return v;
+      }
+      return std::min(std::max(p_[0], p_[2]), p_[3]);
+    }
+    case DistKind::kLognormal:
+      return rng.lognormal(p_[0], p_[1]);
+    case DistKind::kExponential:
+      return rng.exponential(p_[0]);
+  }
+  return 0.0;
+}
+
+double DistributionSpec::mean() const {
+  switch (kind_) {
+    case DistKind::kConstant: return p_[0];
+    case DistKind::kUniform: return 0.5 * (p_[0] + p_[1]);
+    case DistKind::kNormal: return p_[0];
+    case DistKind::kTruncatedNormal: return p_[0];
+    case DistKind::kLognormal: return std::exp(p_[0] + 0.5 * p_[1] * p_[1]);
+    case DistKind::kExponential: return p_[0];
+  }
+  return 0.0;
+}
+
+double DistributionSpec::upper_bound() const {
+  switch (kind_) {
+    case DistKind::kConstant: return p_[0];
+    case DistKind::kUniform: return p_[1];
+    case DistKind::kNormal: return p_[0] + 4.0 * p_[1];
+    case DistKind::kTruncatedNormal: return p_[3];
+    case DistKind::kLognormal: return std::exp(p_[0] + 4.0 * p_[1]);
+    case DistKind::kExponential: return 6.0 * p_[0];
+  }
+  return 0.0;
+}
+
+std::string DistributionSpec::str() const {
+  std::ostringstream out;
+  out << to_string(kind_);
+  const int arity = kind_ == DistKind::kTruncatedNormal ? 4
+                  : (kind_ == DistKind::kConstant || kind_ == DistKind::kExponential) ? 1
+                  : 2;
+  for (int i = 0; i < arity; ++i) out << ' ' << p_[i];
+  return out.str();
+}
+
+}  // namespace aimes::common

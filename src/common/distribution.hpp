@@ -1,0 +1,85 @@
+// Statistical distribution specifications.
+//
+// The Application Skeleton abstraction (paper §III.A) describes task lengths
+// and file sizes as "statistical distributions or polynomial functions of
+// other parameters". DistributionSpec is the value type carrying such a
+// specification; it can be sampled (given an Rng), queried for its mean, and
+// round-tripped through the textual form used in skeleton config files, e.g.
+//
+//   constant 900
+//   uniform 60 1800
+//   normal 900 300
+//   truncated_normal 900 300 60 1800     # the paper's task-length model
+//   lognormal 6.5 0.8
+//   exponential 120
+#pragma once
+
+#include <string>
+
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+
+namespace aimes::common {
+
+enum class DistKind {
+  kConstant,
+  kUniform,
+  kNormal,
+  kTruncatedNormal,
+  kLognormal,
+  kExponential,
+};
+
+[[nodiscard]] std::string_view to_string(DistKind k);
+
+/// A sampleable distribution over non-negative reals.
+class DistributionSpec {
+ public:
+  /// Degenerate distribution, always `value`.
+  [[nodiscard]] static DistributionSpec constant(double value);
+  /// Uniform over [lo, hi].
+  [[nodiscard]] static DistributionSpec uniform(double lo, double hi);
+  /// Normal(mean, stddev), clamped at zero when sampled.
+  [[nodiscard]] static DistributionSpec normal(double mean, double stddev);
+  /// Normal(mean, stddev) truncated by rejection to [lo, hi]. This is the
+  /// paper's task-duration model: mean 15 min, stdev 5 min, bounds [1,30] min.
+  [[nodiscard]] static DistributionSpec truncated_normal(double mean, double stddev,
+                                                         double lo, double hi);
+  /// Log-normal with underlying normal (mu, sigma).
+  [[nodiscard]] static DistributionSpec lognormal(double mu, double sigma);
+  /// Exponential with the given mean.
+  [[nodiscard]] static DistributionSpec exponential(double mean);
+
+  /// Parses the textual form ("kind p1 p2 ..."); returns an error message on
+  /// unknown kinds, wrong arity, or invalid parameters.
+  [[nodiscard]] static Expected<DistributionSpec> parse(const std::string& text);
+
+  /// Draws one sample. Samples are always >= 0 (and within [lo,hi] for
+  /// truncated/uniform kinds).
+  [[nodiscard]] double sample(Rng& rng) const;
+
+  /// Analytic mean of the distribution (for the truncated normal this is the
+  /// mean of the *untruncated* normal, which is what the paper's walltime
+  /// estimates use; the truncation is symmetric in all our configs).
+  [[nodiscard]] double mean() const;
+
+  /// A conservative upper bound of a sample (used for pilot walltime
+  /// derivation): hi for bounded kinds, mean + 4 sigma for unbounded ones.
+  [[nodiscard]] double upper_bound() const;
+
+  [[nodiscard]] DistKind kind() const { return kind_; }
+  [[nodiscard]] double param(int i) const { return p_[i]; }
+
+  /// Textual form, parseable by `parse()`.
+  [[nodiscard]] std::string str() const;
+
+  bool operator==(const DistributionSpec&) const = default;
+
+ private:
+  DistributionSpec(DistKind k, double a, double b = 0, double c = 0, double d = 0);
+
+  DistKind kind_ = DistKind::kConstant;
+  double p_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace aimes::common

@@ -1,0 +1,70 @@
+// Minimal Expected<T>: value-or-error-string result type.
+//
+// Recoverable failures (config parse errors, unsatisfiable resource requests,
+// unreachable sites) are reported by value instead of by exception, keeping
+// control flow explicit on the simulation hot path. Programming errors are
+// asserts.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace aimes::common {
+
+/// Either a T or an error message. Inspect with `ok()` before dereferencing.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Expected error(std::string message) {
+    Expected e{Unexpected{}};
+    e.error_ = std::move(message);
+    return e;
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& { assert(ok()); return *value_; }
+  [[nodiscard]] T& value() & { assert(ok()); return *value_; }
+  [[nodiscard]] T&& value() && { assert(ok()); return std::move(*value_); }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  /// The value, or `fallback` when this holds an error.
+  [[nodiscard]] T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  [[nodiscard]] const std::string& error() const { assert(!ok()); return error_; }
+
+ private:
+  struct Unexpected {};
+  explicit Expected(Unexpected) {}
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+/// Result of an operation with no value: success or error message.
+class Status {
+ public:
+  Status() = default;
+  [[nodiscard]] static Status error(std::string message) {
+    Status s;
+    s.error_ = std::move(message);
+    return s;
+  }
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const { assert(!ok()); return *error_; }
+
+ private:
+  std::optional<std::string> error_;
+};
+
+}  // namespace aimes::common

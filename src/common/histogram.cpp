@@ -1,0 +1,72 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace aimes::common {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets, Scale scale)
+    : lo_(lo), hi_(hi), scale_(scale), counts_(buckets, 0) {
+  assert(buckets >= 1);
+  assert(hi > lo);
+  assert(scale != Scale::kLog || lo > 0.0);
+}
+
+std::size_t Histogram::bucket_of(double sample) const {
+  double frac;
+  if (scale_ == Scale::kLog) {
+    frac = (std::log(sample) - std::log(lo_)) / (std::log(hi_) - std::log(lo_));
+  } else {
+    frac = (sample - lo_) / (hi_ - lo_);
+  }
+  const auto idx = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double sample) {
+  ++total_;
+  samples_.push_back(sample);
+  if (sample < lo_) {
+    ++underflow_;
+  } else if (sample >= hi_) {
+    ++overflow_;
+  } else {
+    ++counts_[bucket_of(sample)];
+  }
+}
+
+std::pair<double, double> Histogram::bucket_bounds(std::size_t i) const {
+  assert(i < counts_.size());
+  const double n = static_cast<double>(counts_.size());
+  if (scale_ == Scale::kLog) {
+    const double step = (std::log(hi_) - std::log(lo_)) / n;
+    return {std::exp(std::log(lo_) + step * static_cast<double>(i)),
+            std::exp(std::log(lo_) + step * static_cast<double>(i + 1))};
+  }
+  const double step = (hi_ - lo_) / n;
+  return {lo_ + step * static_cast<double>(i), lo_ + step * static_cast<double>(i + 1)};
+}
+
+double Histogram::cdf(double value) const {
+  if (total_ == 0) return 0.0;
+  const auto at_or_below = static_cast<double>(
+      std::count_if(samples_.begin(), samples_.end(), [&](double s) { return s <= value; }));
+  return at_or_below / static_cast<double>(total_);
+}
+
+std::string Histogram::str() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i) out << '|';
+    out << counts_[i];
+  }
+  out << ']';
+  if (underflow_) out << " <" << underflow_;
+  if (overflow_) out << " >" << overflow_;
+  return out.str();
+}
+
+}  // namespace aimes::common

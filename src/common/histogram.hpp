@@ -1,0 +1,56 @@
+// Fixed-bucket histograms for wait/TTC distributions.
+//
+// The paper characterizes queue waits by their *distribution* (heavy tails,
+// variance across trials); Histogram gives the benches and tests a compact
+// way to assert and print distribution shapes without hauling sample vectors
+// around. Buckets are logarithmic by default because queue waits span four
+// orders of magnitude.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aimes::common {
+
+/// A histogram over [lo, hi) with either linear or logarithmic buckets.
+/// Samples outside the range land in the under/overflow counters.
+class Histogram {
+ public:
+  enum class Scale { kLinear, kLog };
+
+  /// `buckets` >= 1; for kLog, lo must be > 0.
+  Histogram(double lo, double hi, std::size_t buckets, Scale scale = Scale::kLog);
+
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_[i]; }
+
+  /// Bucket boundaries [lower, upper) of bucket i.
+  [[nodiscard]] std::pair<double, double> bucket_bounds(std::size_t i) const;
+
+  /// Fraction of all samples (including under/overflow) at or below `value`.
+  [[nodiscard]] double cdf(double value) const;
+
+  /// A one-line sparkline-ish rendering, e.g. "[2|10|31|8|1] <0 >3".
+  [[nodiscard]] std::string str() const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double sample) const;
+
+  double lo_;
+  double hi_;
+  Scale scale_;
+  std::vector<std::size_t> counts_;
+  std::vector<double> samples_;  // kept for cdf()
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace aimes::common

@@ -1,0 +1,77 @@
+// Typed identifiers.
+//
+// Every first-class entity in the middleware (pilots, units, jobs, sites,
+// files, transfers) carries a distinct id type so ids cannot be mixed up at
+// compile time. Ids are small value types: an integer plus a tag.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <string>
+
+namespace aimes::common {
+
+/// A strongly-typed integer identifier. `Tag` is an empty struct unique to
+/// the entity kind; `prefix()` on the tag provides the printable prefix.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value_(v) {}
+
+  [[nodiscard]] static constexpr Id invalid() { return Id(0); }
+  [[nodiscard]] constexpr bool valid() const { return value_ != 0; }
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+  [[nodiscard]] std::string str() const {
+    return std::string(Tag::prefix()) + "." + std::to_string(value_);
+  }
+
+ private:
+  std::uint64_t value_ = 0;  // 0 is reserved for "invalid"
+};
+
+/// Monotonic generator for one id type. Not thread-safe by design: all id
+/// allocation happens on the single-threaded simulation path.
+template <typename Tag>
+class IdGen {
+ public:
+  [[nodiscard]] Id<Tag> next() { return Id<Tag>(++last_); }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+struct PilotTag   { static constexpr const char* prefix() { return "pilot"; } };
+struct UnitTag    { static constexpr const char* prefix() { return "unit"; } };
+struct JobTag     { static constexpr const char* prefix() { return "job"; } };
+struct SiteTag    { static constexpr const char* prefix() { return "site"; } };
+struct TaskTag    { static constexpr const char* prefix() { return "task"; } };
+struct FileTag    { static constexpr const char* prefix() { return "file"; } };
+struct XferTag    { static constexpr const char* prefix() { return "xfer"; } };
+struct EventTag   { static constexpr const char* prefix() { return "ev"; } };
+struct SubTag     { static constexpr const char* prefix() { return "sub"; } };
+
+using PilotId    = Id<PilotTag>;
+using UnitId     = Id<UnitTag>;
+using JobId      = Id<JobTag>;
+using SiteId     = Id<SiteTag>;
+using TaskId     = Id<TaskTag>;
+using FileId     = Id<FileTag>;
+using TransferId = Id<XferTag>;
+using EventId    = Id<EventTag>;
+using SubscriptionId = Id<SubTag>;
+
+}  // namespace aimes::common
+
+namespace std {
+template <typename Tag>
+struct hash<aimes::common::Id<Tag>> {
+  size_t operator()(const aimes::common::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,39 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace aimes::common {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+std::function<std::string()> g_clock;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+void Log::set_clock(std::function<std::string()> clock) { g_clock = std::move(clock); }
+
+void Log::emit(LogLevel level, const std::string& component, const std::string& message) {
+  if (level < g_level) return;
+  const std::string ts = g_clock ? g_clock() : std::string();
+  std::fprintf(stderr, "%s %s %-12s %s\n", level_name(level), ts.c_str(), component.c_str(),
+               message.c_str());
+}
+
+void Log::debug(const std::string& c, const std::string& m) { emit(LogLevel::kDebug, c, m); }
+void Log::info(const std::string& c, const std::string& m) { emit(LogLevel::kInfo, c, m); }
+void Log::warn(const std::string& c, const std::string& m) { emit(LogLevel::kWarn, c, m); }
+void Log::error(const std::string& c, const std::string& m) { emit(LogLevel::kError, c, m); }
+
+}  // namespace aimes::common

@@ -1,0 +1,37 @@
+// Leveled logging with a pluggable virtual-time prefix.
+//
+// The middleware is "instrumented to support investigative analysis"
+// (paper §I); structured traces live in pilot::Profiler — this logger is for
+// human-oriented diagnostics. The sim engine installs a clock hook so log
+// lines carry virtual timestamps.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace aimes::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide logger configuration. Single-threaded by design (the
+/// simulation itself is single-threaded; bench drivers log only from the
+/// main thread).
+class Log {
+ public:
+  /// Minimum level that is emitted. Defaults to kWarn so tests stay quiet.
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Installs a callback that supplies the current virtual-time prefix.
+  static void set_clock(std::function<std::string()> clock);
+
+  static void debug(const std::string& component, const std::string& message);
+  static void info(const std::string& component, const std::string& message);
+  static void warn(const std::string& component, const std::string& message);
+  static void error(const std::string& component, const std::string& message);
+
+ private:
+  static void emit(LogLevel level, const std::string& component, const std::string& message);
+};
+
+}  // namespace aimes::common

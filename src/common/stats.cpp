@@ -1,0 +1,88 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace aimes::common {
+
+void Summary::add(double sample) { samples_.push_back(sample); }
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double v : samples_) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 100.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void IntervalSet::add(SimTime begin, SimTime end) {
+  if (end <= begin) return;
+  intervals_.push_back({begin, end});
+}
+
+std::vector<Interval> IntervalSet::merged() const {
+  std::vector<Interval> sorted = intervals_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  std::vector<Interval> out;
+  for (const auto& iv : sorted) {
+    if (!out.empty() && iv.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+SimDuration IntervalSet::union_length() const {
+  SimDuration total = SimDuration::zero();
+  for (const auto& iv : merged()) total += iv.length();
+  return total;
+}
+
+SimTime IntervalSet::first_begin() const {
+  SimTime best = SimTime::max();
+  for (const auto& iv : intervals_) best = std::min(best, iv.begin);
+  return intervals_.empty() ? SimTime::epoch() : best;
+}
+
+SimTime IntervalSet::last_end() const {
+  SimTime best = SimTime::epoch();
+  for (const auto& iv : intervals_) best = std::max(best, iv.end);
+  return best;
+}
+
+}  // namespace aimes::common

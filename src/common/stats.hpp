@@ -1,0 +1,71 @@
+// Summary statistics and interval algebra used by the trace analysis.
+//
+// The paper's methodology (§IV.A) decomposes TTC into possibly *overlapping*
+// time components (Tw, Tx, Ts); IntervalSet computes the total covered
+// duration of a set of intervals, which is how those components are measured
+// from traces. Summary aggregates repeated trials into mean/stdev/min/max and
+// percentiles for the error bars of Figure 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace aimes::common {
+
+/// Accumulates scalar samples and reports summary statistics.
+class Summary {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  /// Sample (n-1) standard deviation; 0 for fewer than two samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Linear-interpolated percentile, q in [0, 100].
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// A closed-open virtual-time interval [begin, end).
+struct Interval {
+  SimTime begin;
+  SimTime end;
+  [[nodiscard]] SimDuration length() const { return end - begin; }
+  bool operator==(const Interval&) const = default;
+};
+
+/// A set of intervals supporting union-length queries.
+class IntervalSet {
+ public:
+  /// Adds an interval; empty or inverted intervals are ignored.
+  void add(SimTime begin, SimTime end);
+  void add(const Interval& iv) { add(iv.begin, iv.end); }
+
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  [[nodiscard]] std::size_t count() const { return intervals_.size(); }
+
+  /// Total duration covered by the union of all intervals (overlap counted
+  /// once). This is the paper's definition of a TTC component's duration.
+  [[nodiscard]] SimDuration union_length() const;
+
+  /// Earliest begin over all intervals; epoch if empty.
+  [[nodiscard]] SimTime first_begin() const;
+  /// Latest end over all intervals; epoch if empty.
+  [[nodiscard]] SimTime last_end() const;
+
+  /// The merged, sorted, non-overlapping intervals.
+  [[nodiscard]] std::vector<Interval> merged() const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace aimes::common

@@ -1,0 +1,80 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace aimes::common {
+
+void TableWriter::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TableWriter::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TableWriter::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TableWriter::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      out << (i == 0 ? "" : "  ");
+      out << c << std::string(widths[i] - c.size(), ' ');
+    }
+    out << '\n';
+  };
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  if (!title_.empty()) {
+    out << title_ << '\n' << std::string(std::max<std::size_t>(total, title_.size()), '-') << '\n';
+  }
+  if (!header_.empty()) {
+    print_row(header_);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+void TableWriter::render_csv(std::ostream& out) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ',';
+      // Cells with commas/quotes get quoted.
+      if (cells[i].find_first_of(",\"") != std::string::npos) {
+        out << '"';
+        for (char c : cells[i]) {
+          if (c == '"') out << '"';
+          out << c;
+        }
+        out << '"';
+      } else {
+        out << cells[i];
+      }
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) print_row(header_);
+  for (const auto& r : rows_) print_row(r);
+}
+
+bool TableWriter::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  render_csv(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace aimes::common

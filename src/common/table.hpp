@@ -1,0 +1,46 @@
+// Tabular output for the benchmark harnesses.
+//
+// Every bench binary reproduces a table or figure from the paper by printing
+// rows; TableWriter renders them aligned for the terminal and can also emit
+// CSV so the series can be re-plotted.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aimes::common {
+
+/// Collects rows of string cells and renders them column-aligned, with an
+/// optional title and CSV export.
+class TableWriter {
+ public:
+  explicit TableWriter(std::string title = "") : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row; it may have fewer cells than the header.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double v, int precision = 1);
+
+  /// Renders the aligned table (with title and rule lines) to `out`.
+  void render(std::ostream& out) const;
+
+  /// Renders as CSV (header first) to `out`.
+  void render_csv(std::ostream& out) const;
+
+  /// Writes the CSV form to a file; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aimes::common

@@ -1,0 +1,35 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aimes::common {
+
+std::string SimDuration::str() const {
+  char buf[64];
+  const std::int64_t ms = ms_ < 0 ? -ms_ : ms_;
+  const char* sign = ms_ < 0 ? "-" : "";
+  if (ms < 1000) {
+    std::snprintf(buf, sizeof(buf), "%s%lldms", sign, static_cast<long long>(ms));
+  } else if (ms < 60 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign, static_cast<double>(ms) / 1000.0);
+  } else if (ms < 3600 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%s%lldm%02llds", sign,
+                  static_cast<long long>(ms / 60000),
+                  static_cast<long long>((ms % 60000) / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldh%02lldm%02llds", sign,
+                  static_cast<long long>(ms / 3600000),
+                  static_cast<long long>((ms % 3600000) / 60000),
+                  static_cast<long long>((ms % 60000) / 1000));
+  }
+  return buf;
+}
+
+std::string SimTime::str() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "[+%.3fs]", static_cast<double>(ms_) / 1000.0);
+  return buf;
+}
+
+}  // namespace aimes::common

@@ -1,0 +1,100 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aimes::core {
+
+AdaptiveExecutionManager::AdaptiveExecutionManager(
+    sim::Engine& engine, pilot::Profiler& profiler, std::vector<saga::JobService*> services,
+    net::StagingService& staging, const bundle::BundleManager& bundles,
+    ExecutionOptions options, AdaptivePolicy policy, common::Rng rng)
+    : engine_(engine),
+      profiler_(profiler),
+      bundles_(bundles),
+      policy_(policy),
+      manager_(engine, profiler, std::move(services), staging, options, rng) {}
+
+common::Status AdaptiveExecutionManager::enact(const skeleton::SkeletonApplication& app,
+                                               const ExecutionStrategy& strategy,
+                                               Callback done) {
+  strategy_ = strategy;
+  enacted_at_ = engine_.now();
+  auto status = manager_.enact(app, strategy, std::move(done));
+  if (!status.ok()) return status;
+  engine_.schedule(policy_.check_interval, [this] { watchdog(); });
+  return {};
+}
+
+common::SiteId AdaptiveExecutionManager::pick_site() const {
+  // Fresh predictive query, like the planner's kPredictedWait mode, but with
+  // *now*'s information. Prefer a site not already hosting one of our
+  // pilots; fall back to the best overall.
+  bundle::Requirements req;
+  req.min_total_cores = strategy_.pilot_cores;
+  const auto candidates = bundles_.discover(req);
+  if (candidates.empty()) return common::SiteId::invalid();
+  for (const auto& candidate : candidates) {
+    const bool used = std::find(strategy_.sites.begin(), strategy_.sites.end(),
+                                candidate.site) != strategy_.sites.end();
+    if (!used) return candidate.site;
+  }
+  return candidates.front().site;
+}
+
+void AdaptiveExecutionManager::adapt(Adaptation::Kind kind) {
+  const common::SiteId site = pick_site();
+  if (!site.valid()) {
+    common::Log::warn("adaptive", "no feasible site for adaptation");
+    return;
+  }
+  pilot::PilotDescription pd;
+  pd.name = common::format("adaptive/extra%zu", adaptations_.size());
+  pd.site = site;
+  pd.cores = strategy_.pilot_cores;
+  pd.walltime = strategy_.pilot_walltime;
+  const common::PilotId pilot = manager_.pilot_manager().submit(pd);
+
+  Adaptation record;
+  record.kind = kind;
+  record.when = engine_.now();
+  record.site = site;
+  record.pilot = pilot;
+  adaptations_.push_back(record);
+  profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "ADAPTATION",
+                   (kind == Adaptation::Kind::kReinforcement ? "reinforcement on "
+                                                             : "replacement on ") +
+                       site.str());
+}
+
+void AdaptiveExecutionManager::watchdog() {
+  if (manager_.finished()) return;
+
+  const bool budget_left =
+      adaptations_.size() < static_cast<std::size_t>(policy_.max_extra_pilots);
+  if (!budget_left) return;  // nothing more we could ever do: stop polling
+
+  auto& pilots = manager_.pilot_manager();
+  const bool any_active = !pilots.active_pilots().empty();
+  bool all_final = true;
+  for (auto* pilot : pilots.pilots()) {
+    if (!pilot::is_final(pilot->state)) all_final = false;
+  }
+  // The deadline re-arms after every adaptation so escalations are paced.
+  const common::SimTime reference =
+      adaptations_.empty() ? enacted_at_ : adaptations_.back().when;
+
+  if (!any_active && all_final && policy_.replace_lost_pilots) {
+    // The whole fleet died with work outstanding: replace.
+    adapt(Adaptation::Kind::kReplacement);
+  } else if (!any_active && engine_.now() - reference >= policy_.activation_deadline) {
+    // Nothing activated within the deadline: reinforce on the site with the
+    // best current forecast.
+    adapt(Adaptation::Kind::kReinforcement);
+  }
+  engine_.schedule(policy_.check_interval, [this] { watchdog(); });
+}
+
+}  // namespace aimes::core

@@ -1,0 +1,89 @@
+// Adaptive (dynamic) execution — the paper's §V outlook, implemented.
+//
+// "Ultimately, we will also study dynamic execution where application
+// strategies change during execution to maintain the coupling between
+// dynamic workloads and dynamic resources."
+//
+// AdaptiveExecutionManager wraps the static ExecutionManager with a
+// watchdog that revises the strategy mid-flight:
+//
+//  * activation deadline — if no pilot has become ACTIVE within a deadline,
+//    a reinforcement pilot is submitted to the site with the best *current*
+//    predicted wait (a fresh bundle query: the decision uses information
+//    that did not exist at planning time);
+//  * pilot replacement — if every pilot reached a final state while units
+//    remain unfinished, a replacement pilot is submitted so the run can
+//    complete instead of exhausting unit restart attempts.
+//
+// Adaptations are themselves traced (manager records "ADAPTATION"), so the
+// analysis can attribute TTC changes to them.
+#pragma once
+
+#include "common/string_util.hpp"
+
+#include "bundle/manager.hpp"
+#include "core/execution_manager.hpp"
+
+namespace aimes::core {
+
+/// Knobs of the adaptation watchdog.
+struct AdaptivePolicy {
+  /// Submit a reinforcement pilot if nothing is ACTIVE after this long.
+  common::SimDuration activation_deadline = common::SimDuration::minutes(30);
+  /// Re-check interval of the watchdog.
+  common::SimDuration check_interval = common::SimDuration::minutes(5);
+  /// Upper bound on extra pilots (reinforcements + replacements).
+  int max_extra_pilots = 2;
+  /// Replace a fully-dead fleet while units remain unfinished.
+  bool replace_lost_pilots = true;
+};
+
+/// One recorded adaptation.
+struct Adaptation {
+  enum class Kind { kReinforcement, kReplacement };
+  Kind kind = Kind::kReinforcement;
+  common::SimTime when;
+  common::SiteId site;
+  common::PilotId pilot;
+};
+
+/// Enacts a strategy with mid-run adaptation. Single-use, like the static
+/// manager it wraps.
+class AdaptiveExecutionManager {
+ public:
+  using Callback = std::function<void(const ExecutionReport&)>;
+
+  /// `bundles` supplies the fresh resource information adaptations use; all
+  /// references must outlive the manager.
+  AdaptiveExecutionManager(sim::Engine& engine, pilot::Profiler& profiler,
+                           std::vector<saga::JobService*> services,
+                           net::StagingService& staging, const bundle::BundleManager& bundles,
+                           ExecutionOptions options, AdaptivePolicy policy, common::Rng rng);
+
+  AdaptiveExecutionManager(const AdaptiveExecutionManager&) = delete;
+  AdaptiveExecutionManager& operator=(const AdaptiveExecutionManager&) = delete;
+
+  /// Enacts like ExecutionManager::enact, plus the watchdog.
+  common::Status enact(const skeleton::SkeletonApplication& app,
+                       const ExecutionStrategy& strategy, Callback done);
+
+  [[nodiscard]] bool finished() const { return manager_.finished(); }
+  [[nodiscard]] const ExecutionReport& report() const { return manager_.report(); }
+  [[nodiscard]] const std::vector<Adaptation>& adaptations() const { return adaptations_; }
+
+ private:
+  void watchdog();
+  void adapt(Adaptation::Kind kind);
+  [[nodiscard]] common::SiteId pick_site() const;
+
+  sim::Engine& engine_;
+  pilot::Profiler& profiler_;
+  const bundle::BundleManager& bundles_;
+  AdaptivePolicy policy_;
+  ExecutionManager manager_;
+  ExecutionStrategy strategy_;
+  common::SimTime enacted_at_;
+  std::vector<Adaptation> adaptations_;
+};
+
+}  // namespace aimes::core

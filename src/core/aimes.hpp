@@ -1,0 +1,128 @@
+// The AIMES middleware facade (paper §III.E, Figure 1).
+//
+// Assembles the whole stack — discrete-event engine, simulated resource pool
+// with background load, network topology and staging, SAGA job services,
+// bundle agents and manager — and exposes the paper's workflow:
+//
+//   aimes::core::Aimes aimes(config);
+//   aimes.start();                                   // warm the testbed
+//   auto app      = skeleton::materialize(spec, s);  // Figure 1, step 1
+//   auto strategy = aimes.plan(app, planner_config); // steps 2-3
+//   auto report   = aimes.execute(app, *strategy);   // steps 4-6
+//
+// "Self-containment": nothing is deployed into the resources — pilots are
+// ordinary batch jobs. "Self-introspection": execute() returns the full
+// state-transition trace with the TTC decomposition.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bundle/agent.hpp"
+#include "bundle/manager.hpp"
+#include "cluster/testbed.hpp"
+#include "core/execution_manager.hpp"
+#include "core/planner.hpp"
+#include "net/staging.hpp"
+#include "net/topology.hpp"
+#include "net/transfer.hpp"
+#include "pilot/profiler.hpp"
+#include "saga/job_service.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::core {
+
+/// World configuration.
+struct AimesConfig {
+  /// Master seed; every RNG stream in the world derives from it.
+  std::uint64_t seed = 42;
+  /// The simulated resource pool (defaults to the paper-shaped 5 sites).
+  std::vector<cluster::TestbedSiteSpec> testbed = cluster::standard_testbed();
+  /// Virtual time to run background load before any experiment, so queues
+  /// and histories reach steady state.
+  common::SimDuration warmup = common::SimDuration::hours(6);
+  net::StagingPolicy staging;
+  ExecutionOptions execution;
+  /// Origin->site links; when empty, a deterministic heterogeneous set is
+  /// generated (different bandwidth/latency per site).
+  std::vector<net::LinkSpec> links;
+};
+
+/// Result of a full run, including the trace.
+struct RunResult {
+  ExecutionReport report;
+  /// The complete state-transition trace of this run (self-introspection).
+  pilot::Profiler trace;
+};
+
+/// Result of a staged (per-stage re-planned) run.
+struct StagedRunResult {
+  /// One report per stage, in stage order.
+  std::vector<ExecutionReport> stage_reports;
+  /// All stages completed successfully.
+  bool success = false;
+  /// Wall (virtual) time from first stage start to last stage end.
+  common::SimDuration total_ttc = common::SimDuration::zero();
+};
+
+/// The integrated middleware.
+class Aimes {
+ public:
+  explicit Aimes(AimesConfig config);
+
+  Aimes(const Aimes&) = delete;
+  Aimes& operator=(const Aimes&) = delete;
+
+  /// Primes and starts the background workload, then advances virtual time
+  /// by the configured warmup. Call once before planning or executing.
+  void start();
+
+  // --- Component access (the virtual laboratory's instruments) ---
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] cluster::Testbed& testbed() { return *testbed_; }
+  [[nodiscard]] bundle::BundleManager& bundles() { return bundle_manager_; }
+  [[nodiscard]] net::StagingService& staging() { return *staging_; }
+  [[nodiscard]] const AimesConfig& config() const { return config_; }
+  [[nodiscard]] std::vector<saga::JobService*> services();
+
+  /// Figure 1 steps 2-3: derive a strategy from bundle information.
+  [[nodiscard]] common::Expected<ExecutionStrategy> plan(
+      const skeleton::SkeletonApplication& app, const PlannerConfig& planner);
+
+  /// Figure 1 steps 4-6: enact a strategy and run virtual time forward until
+  /// the application completes (or the world runs out of events, reported as
+  /// failure). Can be called repeatedly on the same warm world.
+  RunResult execute(const skeleton::SkeletonApplication& app,
+                    const ExecutionStrategy& strategy);
+
+  /// plan() + execute().
+  common::Expected<RunResult> run(const skeleton::SkeletonApplication& app,
+                                  const PlannerConfig& planner);
+
+  /// Staged dynamic execution (paper §V): the application runs stage by
+  /// stage; before *each* stage the planner re-derives a strategy sized to
+  /// that stage from the bundle's *current* information, so the coupling
+  /// tracks both the workload's shape and the resources' weather. Stages
+  /// run sequentially (stage N+1's inputs are stage N's outputs, staged
+  /// back to the origin in between). Fails fast on the first stage that
+  /// cannot be planned.
+  common::Expected<StagedRunResult> execute_staged(const skeleton::SkeletonApplication& app,
+                                                   const PlannerConfig& planner);
+
+ private:
+  AimesConfig config_;
+  sim::Engine engine_;
+  std::unique_ptr<cluster::Testbed> testbed_;
+  net::Topology topology_;
+  std::unique_ptr<net::TransferManager> transfers_;
+  std::unique_ptr<net::StagingService> staging_;
+  std::vector<std::unique_ptr<saga::JobService>> services_;
+  std::vector<std::unique_ptr<bundle::BundleAgent>> agents_;
+  bundle::BundleManager bundle_manager_;
+  common::Rng planner_rng_;
+  common::Rng exec_rng_;
+  bool started_ = false;
+  int run_counter_ = 0;
+};
+
+}  // namespace aimes::core

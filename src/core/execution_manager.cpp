@@ -1,0 +1,120 @@
+#include "core/execution_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aimes::core {
+
+ExecutionManager::ExecutionManager(sim::Engine& engine, pilot::Profiler& profiler,
+                                   std::vector<saga::JobService*> services,
+                                   net::StagingService& staging, ExecutionOptions options,
+                                   common::Rng rng)
+    : engine_(engine),
+      profiler_(profiler),
+      services_(std::move(services)),
+      staging_(staging),
+      options_(options),
+      rng_(rng) {}
+
+std::vector<pilot::ComputeUnitDescription> ExecutionManager::units_from_skeleton(
+    const skeleton::SkeletonApplication& app) {
+  std::vector<pilot::ComputeUnitDescription> batch;
+  batch.reserve(app.task_count());
+  // Skeleton task ids are dense and in submission order: task id N is batch
+  // index N-1, so producer ids translate directly to depends_on indices.
+  for (const auto& task : app.tasks()) {
+    pilot::ComputeUnitDescription cud;
+    cud.name = task.name;
+    cud.cores = task.cores;
+    cud.duration = task.duration;
+    cud.task = task.id;
+    for (auto fid : task.inputs) {
+      const auto& file = app.file(fid);
+      cud.inputs.push_back({file.name, file.size, file.id});
+      if (!file.external()) {
+        const std::size_t producer_index = file.producer.value() - 1;
+        if (std::find(cud.depends_on.begin(), cud.depends_on.end(), producer_index) ==
+            cud.depends_on.end()) {
+          cud.depends_on.push_back(producer_index);
+        }
+      }
+    }
+    for (auto fid : task.outputs) {
+      const auto& file = app.file(fid);
+      cud.outputs.push_back({file.name, file.size, file.id});
+    }
+    batch.push_back(std::move(cud));
+  }
+  return batch;
+}
+
+void ExecutionManager::abort(const std::string& reason) {
+  if (!units_ || finished_) return;
+  profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "ABORT", reason);
+  // Cancelling the units completes the batch, whose completion handler
+  // cancels the pilots and builds the report.
+  units_->cancel_all(reason);
+}
+
+common::Status ExecutionManager::enact(const skeleton::SkeletonApplication& app,
+                                       const ExecutionStrategy& strategy, Callback done) {
+  assert(!pilots_ && "ExecutionManager is single-use");
+  if (auto v = strategy.validate(); !v.ok()) return v;
+  for (SiteId site : strategy.sites) {
+    const bool known = std::any_of(services_.begin(), services_.end(),
+                                   [&](const saga::JobService* s) { return s->site_id() == site; });
+    if (!known) return common::Status::error("enact: no job service for " + site.str());
+  }
+
+  report_.strategy = strategy;
+  profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "RUN_START", app.name());
+
+  // Step 4: describe and instantiate the pilots.
+  pilots_ = std::make_unique<pilot::PilotManager>(engine_, profiler_, services_,
+                                                  options_.agent);
+  pilot::UnitManagerOptions unit_options = options_.units;
+  unit_options.scheduler = strategy.unit_scheduler;
+  units_ = std::make_unique<pilot::UnitManager>(engine_, profiler_, *pilots_, staging_,
+                                                unit_options, rng_);
+
+  units_->on_complete = [this, done = std::move(done)](const pilot::UnitBatchResult& result) {
+    // Step 5 epilogue: "all pilots are canceled when all tasks have executed
+    // so as not to waste resources."
+    pilots_->cancel_all();
+    report_.units_done = result.done;
+    report_.units_failed = result.failed;
+    report_.units_cancelled = result.cancelled;
+    report_.success = result.all_done();
+    report_.ttc = analyze_ttc(profiler_);
+    std::vector<SiteRates> rates;
+    for (const auto* service : services_) {
+      rates.push_back({service->site_id(), service->site().config().charge_per_core_hour,
+                       service->site().config().watts_per_core});
+    }
+    report_.metrics = compute_run_metrics(profiler_, *pilots_, *units_, rates, engine_.now());
+    finished_ = true;
+    profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "RUN_END",
+                     report_.success ? "success" : "incomplete");
+    if (done) {
+      // Defer so pilot cancellations settle within the same timestamp.
+      engine_.schedule(common::SimDuration::zero(), [this, done] { done(report_); });
+    }
+  };
+
+  for (int i = 0; i < strategy.n_pilots; ++i) {
+    pilot::PilotDescription pd;
+    pd.name = app.name() + "/pilot" + std::to_string(i);
+    pd.site = strategy.sites[static_cast<std::size_t>(i)];
+    pd.cores = strategy.pilot_cores;
+    pd.walltime = strategy.pilot_walltime;
+    pilots_->submit(pd);
+  }
+
+  // Step 5: execute the application on the instantiated pilots.
+  units_->submit_units(units_from_skeleton(app));
+  return {};
+}
+
+}  // namespace aimes::core

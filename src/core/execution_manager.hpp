@@ -1,0 +1,104 @@
+// The Execution Manager (paper §III.D-E).
+//
+// "This module derives and enacts an execution strategy in five steps:
+//  (1) information is gathered about an application via the skeleton API and
+//      about resources via the bundle API;
+//  (2) application requirements and resource availability/capabilities are
+//      determined;
+//  (3) a set of suitable resources is chosen;
+//  (4) a set of suitable pilots is described and then instantiated;
+//  (5) the application is executed on the instantiated pilots."
+//
+// Steps 1-3 live in core/planner.*; this class enacts steps 4-5 (Figure 1,
+// steps 4-6): it instantiates pilots through the PilotManager, translates
+// skeleton tasks into compute units (with data dependencies), submits them
+// to the UnitManager, and cancels all pilots when the batch completes "so as
+// not to waste resources".
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/metrics.hpp"
+#include "core/strategy.hpp"
+#include "core/ttc.hpp"
+#include "net/staging.hpp"
+#include "pilot/pilot_manager.hpp"
+#include "pilot/unit_manager.hpp"
+#include "saga/job_service.hpp"
+#include "skeleton/application.hpp"
+
+namespace aimes::core {
+
+/// Outcome of one enacted strategy.
+struct ExecutionReport {
+  ExecutionStrategy strategy;
+  /// True when every unit reached DONE.
+  bool success = false;
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;
+  std::size_t units_cancelled = 0;
+  TtcBreakdown ttc;
+  RunMetrics metrics;
+};
+
+/// Tuning of an enactment.
+struct ExecutionOptions {
+  pilot::AgentOptions agent;
+  /// Base unit-manager options; scheduler is overridden by the strategy.
+  pilot::UnitManagerOptions units;
+};
+
+/// Enacts one strategy for one application. Single-use: construct, call
+/// enact(), wait for the callback, read the report.
+class ExecutionManager {
+ public:
+  using Callback = std::function<void(const ExecutionReport&)>;
+
+  /// `services` must cover every site the strategy names; `profiler`
+  /// receives the run's trace. All references must outlive the manager.
+  ExecutionManager(sim::Engine& engine, pilot::Profiler& profiler,
+                   std::vector<saga::JobService*> services, net::StagingService& staging,
+                   ExecutionOptions options, common::Rng rng);
+
+  ExecutionManager(const ExecutionManager&) = delete;
+  ExecutionManager& operator=(const ExecutionManager&) = delete;
+
+  /// Enacts `strategy` for `app`. The strategy must validate. `done` fires
+  /// (as an engine event) once every unit is final and pilots are cancelled.
+  common::Status enact(const skeleton::SkeletonApplication& app,
+                       const ExecutionStrategy& strategy, Callback done);
+
+  /// Aborts a running enactment: cancels every unfinished unit and all
+  /// pilots; the completion callback still fires (success = false when any
+  /// unit was cancelled). No-op before enact() or after completion.
+  void abort(const std::string& reason = "aborted by user");
+
+  /// True once the completion callback has fired.
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const ExecutionReport& report() const { return report_; }
+
+  [[nodiscard]] pilot::PilotManager& pilot_manager() { return *pilots_; }
+  [[nodiscard]] pilot::UnitManager& unit_manager() { return *units_; }
+
+  /// Translates skeleton tasks into compute-unit descriptions (exposed for
+  /// tests): inputs/outputs become staged files; producer tasks become
+  /// depends_on indices (tasks are in stage order, so indices are earlier).
+  [[nodiscard]] static std::vector<pilot::ComputeUnitDescription> units_from_skeleton(
+      const skeleton::SkeletonApplication& app);
+
+ private:
+  sim::Engine& engine_;
+  pilot::Profiler& profiler_;
+  std::vector<saga::JobService*> services_;
+  net::StagingService& staging_;
+  ExecutionOptions options_;
+  common::Rng rng_;
+
+  std::unique_ptr<pilot::PilotManager> pilots_;
+  std::unique_ptr<pilot::UnitManager> units_;
+  ExecutionReport report_;
+  bool finished_ = false;
+};
+
+}  // namespace aimes::core

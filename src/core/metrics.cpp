@@ -1,0 +1,62 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace aimes::core {
+
+RunMetrics compute_run_metrics(const pilot::Profiler& trace, const pilot::PilotManager& pilots,
+                               const pilot::UnitManager& units,
+                               const std::vector<SiteRates>& rates, common::SimTime now) {
+  RunMetrics m;
+
+  auto rate_for = [&](common::SiteId site) -> const SiteRates* {
+    for (const auto& r : rates) {
+      if (r.site == site) return &r;
+    }
+    return nullptr;
+  };
+
+  // Consumption: each pilot occupies its cores from ACTIVE until teardown.
+  for (std::uint64_t pid = 1; pid <= pilots.size(); ++pid) {
+    const pilot::ComputePilot* pilot = pilots.find(common::PilotId(pid));
+    if (!pilot) continue;
+    const common::SimTime active = trace.first(pilot::Entity::kPilot, pid, "ACTIVE");
+    if (active == common::SimTime::max()) continue;  // never ran: nothing consumed
+    const common::SimTime end = pilot::is_final(pilot->state) ? pilot->finished_at : now;
+    if (end <= active) continue;
+    const double core_hours =
+        static_cast<double>(pilot->description.cores) * (end - active).to_hours();
+    m.pilot_core_hours += core_hours;
+    if (const SiteRates* rate = rate_for(pilot->description.site)) {
+      m.charge += rate->charge_per_core_hour * core_hours;
+      m.energy_kwh += rate->watts_per_core * static_cast<double>(pilot->description.cores) *
+                      (end - active).to_hours() / 1000.0;
+    } else {
+      m.charge += core_hours;  // default 1 SU / core-hour
+      m.energy_kwh += 10.0 * core_hours / 1000.0;
+    }
+  }
+
+  // Useful work: the compute of units that reached DONE.
+  std::size_t done = 0;
+  for (std::uint64_t uid = 1; uid <= units.size(); ++uid) {
+    const pilot::ComputeUnit* unit = units.find(common::UnitId(uid));
+    if (!unit || unit->state != pilot::UnitState::kDone) continue;
+    ++done;
+    m.useful_core_hours +=
+        static_cast<double>(unit->description.cores) * unit->description.duration.to_hours();
+  }
+  if (m.pilot_core_hours > 0) {
+    m.pilot_efficiency = std::min(1.0, m.useful_core_hours / m.pilot_core_hours);
+  }
+
+  // Throughput over the run's TTC window.
+  const common::SimTime start = trace.first_any(pilot::Entity::kManager, "RUN_START");
+  const common::SimTime finish = trace.first_any(pilot::Entity::kManager, "BATCH_COMPLETE");
+  if (start != common::SimTime::max() && finish != common::SimTime::max() && finish > start) {
+    m.throughput_tasks_per_hour = static_cast<double>(done) / (finish - start).to_hours();
+  }
+  return m;
+}
+
+}  // namespace aimes::core

@@ -1,0 +1,57 @@
+// Run metrics beyond TTC (paper §III.D / §V).
+//
+// "Execution strategies may differ in terms of time-to-completion (TTC),
+// throughput, energy consumption, affinity to specific resources, or
+// economic considerations." TTC lives in ttc.hpp; this header adds the
+// other quantitative metrics the paper names, computed from the run's
+// pilots and trace:
+//
+//  * throughput        — completed tasks per hour of TTC;
+//  * pilot core-hours  — resource consumption: every core of every pilot,
+//                        from ACTIVE to teardown (what an allocation is
+//                        charged for);
+//  * useful core-hours — core-time actually spent executing tasks;
+//  * efficiency        — useful / consumed (space-time utilization of the
+//                        placeholders; the paper's "both space and time
+//                        efficiency would be maintained" argument);
+//  * charge            — Σ per-site rate × consumed core-hours;
+//  * energy            — Σ per-site watts/core × consumed core-time.
+#pragma once
+
+#include "core/strategy.hpp"
+#include "pilot/pilot_manager.hpp"
+#include "pilot/profiler.hpp"
+#include "pilot/unit_manager.hpp"
+
+namespace aimes::core {
+
+/// Quantitative outcome of one run, complementing TtcBreakdown.
+struct RunMetrics {
+  double throughput_tasks_per_hour = 0.0;
+  double pilot_core_hours = 0.0;
+  double useful_core_hours = 0.0;
+  /// useful / consumed, in [0, 1]; 0 when nothing was consumed.
+  double pilot_efficiency = 0.0;
+  /// Service units charged (per-site rate x core-hours).
+  double charge = 0.0;
+  double energy_kwh = 0.0;
+};
+
+/// Per-site accounting rates, keyed by site id.
+struct SiteRates {
+  common::SiteId site;
+  double charge_per_core_hour = 1.0;
+  double watts_per_core = 10.0;
+};
+
+/// Computes the metrics for a finished run. `now` bounds pilots that are
+/// still tearing down; the trace and unit manager provide the useful-work
+/// side (per-unit EXECUTING spans weighted by the unit's cores); pilot
+/// spans and sizes the consumption side.
+[[nodiscard]] RunMetrics compute_run_metrics(const pilot::Profiler& trace,
+                                             const pilot::PilotManager& pilots,
+                                             const pilot::UnitManager& units,
+                                             const std::vector<SiteRates>& rates,
+                                             common::SimTime now);
+
+}  // namespace aimes::core

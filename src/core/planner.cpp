@@ -1,0 +1,124 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aimes::core {
+
+int derive_pilot_cores(const skeleton::SkeletonApplication& app, int n_pilots) {
+  assert(n_pilots >= 1);
+  const int peak = std::max(1, app.peak_concurrent_cores());
+  const int per_pilot = (peak + n_pilots - 1) / n_pilots;  // ceil(peak / n)
+  // A pilot must at least fit the largest single task.
+  return std::max(per_pilot, app.max_task_cores());
+}
+
+WalltimeEstimate derive_walltime(const skeleton::SkeletonApplication& app,
+                                 const bundle::BundleManager& bundles,
+                                 const PlannerConfig& config, int pilot_cores) {
+  WalltimeEstimate est;
+
+  // Tx: stage by stage, generations of concurrent tasks on the *total*
+  // fleet, each generation bounded by the slowest task.
+  const int fleet_cores = pilot_cores * config.n_pilots;
+  const SimDuration max_task = app.max_task_duration();
+  double generations = 0;
+  for (const auto& stage : app.stages()) {
+    int demand = 0;
+    for (std::size_t i = stage.first_task; i < stage.first_task + stage.task_count; ++i) {
+      demand += app.tasks()[i].cores;
+    }
+    generations += std::ceil(static_cast<double>(demand) / static_cast<double>(fleet_cores));
+  }
+  est.tx = max_task * generations;
+
+  // Ts: total bytes over the slowest registered inbound link, plus per-file
+  // overheads amortized over the fleet (files stage concurrently). Falls
+  // back to a nominal 100 MiB/s when no bundle has network data.
+  const common::DataSize total_bytes =
+      app.total_external_input() + app.total_final_output();
+  double worst_bps = 0.0;
+  for (const auto* agent : bundles.agents()) {
+    const double bps = agent->query_network().bandwidth_in.bytes_per_sec();
+    if (bps > 0.0 && (worst_bps == 0.0 || bps < worst_bps)) worst_bps = bps;
+  }
+  if (worst_bps == 0.0) worst_bps = 100.0 * 1024 * 1024;
+  const double wire_s = static_cast<double>(total_bytes.count_bytes()) / worst_bps;
+  const double files = static_cast<double>(app.files().size());
+  const double overhead_s = 0.5 * files / std::max(1.0, static_cast<double>(fleet_cores));
+  est.ts = SimDuration::seconds(wire_s + overhead_s);
+
+  // Trp: middleware overhead, linear in the task count.
+  est.trp = config.per_task_overhead * static_cast<double>(app.task_count());
+
+  SimDuration base = est.tx + est.ts + est.trp;
+  if (config.binding == Binding::kLate) {
+    base = base * static_cast<double>(config.n_pilots);
+  }
+  est.walltime = base * config.walltime_safety + SimDuration::minutes(10);
+  return est;
+}
+
+common::Expected<ExecutionStrategy> derive_strategy(const skeleton::SkeletonApplication& app,
+                                                    const bundle::BundleManager& bundles,
+                                                    const PlannerConfig& config,
+                                                    common::Rng& rng) {
+  using E = common::Expected<ExecutionStrategy>;
+  if (config.n_pilots < 1) return E::error("planner: n_pilots must be >= 1");
+  if (bundles.size() == 0) return E::error("planner: no resources registered");
+
+  ExecutionStrategy strategy;
+  strategy.binding = config.binding;
+  strategy.unit_scheduler =
+      config.scheduler.value_or(config.binding == Binding::kLate
+                                    ? pilot::UnitSchedulerKind::kBackfill
+                                    : pilot::UnitSchedulerKind::kDirect);
+  strategy.n_pilots = config.n_pilots;
+  strategy.pilot_cores = derive_pilot_cores(app, config.n_pilots);
+
+  const WalltimeEstimate est = derive_walltime(app, bundles, config, strategy.pilot_cores);
+  strategy.estimated_tx = est.tx;
+  strategy.estimated_ts = est.ts;
+  strategy.estimated_trp = est.trp;
+  strategy.pilot_walltime = est.walltime;
+
+  // Resource selection.
+  if (config.selection == SiteSelection::kFixed) {
+    if (config.fixed_sites.size() != static_cast<std::size_t>(config.n_pilots)) {
+      return E::error("planner: kFixed needs exactly one site per pilot");
+    }
+    strategy.sites = config.fixed_sites;
+  } else {
+    // Feasible sites: machine can hold the pilot.
+    bundle::Requirements req;
+    req.min_total_cores = strategy.pilot_cores;
+    req.weight_bandwidth = config.bandwidth_weight;
+    auto candidates = bundles.discover(req);
+    if (candidates.empty() ||
+        (!config.allow_site_reuse &&
+         candidates.size() < static_cast<std::size_t>(config.n_pilots))) {
+      return E::error("planner: only " + std::to_string(candidates.size()) +
+                      " feasible site(s) for " + std::to_string(strategy.pilot_cores) +
+                      "-core pilots, need " + std::to_string(config.n_pilots));
+    }
+    if (config.selection == SiteSelection::kRandom) {
+      // Deterministic Fisher-Yates on the candidate list.
+      for (std::size_t i = candidates.size(); i > 1; --i) {
+        std::swap(candidates[i - 1], candidates[rng.index(i)]);
+      }
+    }
+    // kPredictedWait: discover() already ranks by predicted wait (default
+    // weights), so the top of the list is what we want. With reuse allowed,
+    // pilots wrap around the candidate list.
+    for (int i = 0; i < config.n_pilots; ++i) {
+      strategy.sites.push_back(
+          candidates[static_cast<std::size_t>(i) % candidates.size()].site);
+    }
+  }
+
+  if (auto v = strategy.validate(); !v.ok()) return E::error(v.error());
+  return strategy;
+}
+
+}  // namespace aimes::core

@@ -1,0 +1,81 @@
+// Strategy derivation (paper §III.D, Execution Manager steps 1-4).
+//
+// The planner integrates application information (via the skeleton API) and
+// resource information (via the bundle API) into an ExecutionStrategy:
+// pilot count/size/walltime following Table I's formulas, and resource
+// selection driven by the bundle's predictive mode. "Note that this type of
+// optimization uses semi-empirical heuristics" — the planner is exactly
+// that: explicit, inspectable heuristics, not an optimizer.
+#pragma once
+
+#include <optional>
+
+#include "bundle/manager.hpp"
+#include "common/rng.hpp"
+#include "core/strategy.hpp"
+#include "skeleton/application.hpp"
+
+namespace aimes::core {
+
+/// How the planner picks resources.
+enum class SiteSelection {
+  /// Rank by the bundle's predicted queue wait for the pilot size (the
+  /// predictive query mode) — the default.
+  kPredictedWait,
+  /// Uniformly random among feasible sites (the paper randomized submission
+  /// order across resources; this mode supports those experiments).
+  kRandom,
+  /// Use `fixed_sites` verbatim.
+  kFixed,
+};
+
+/// Planner inputs that are choices, not derivations.
+struct PlannerConfig {
+  Binding binding = Binding::kLate;
+  int n_pilots = 3;
+  /// Scheduler override; by default early -> direct, late -> backfill
+  /// (the Table I pairings).
+  std::optional<pilot::UnitSchedulerKind> scheduler;
+  SiteSelection selection = SiteSelection::kPredictedWait;
+  std::vector<SiteId> fixed_sites;
+  /// Allow several pilots on the same resource. Off by default (the paper's
+  /// experiments spread pilots over distinct machines); on for HTC pools,
+  /// where multiple pilots on one pool are eviction insurance.
+  bool allow_site_reuse = false;
+  /// Weight of inbound bandwidth in resource ranking (data-aware selection
+  /// for data-intensive applications — the §IV "compute/data affinity"
+  /// outlook). 0 keeps the paper's wait-only ranking.
+  double bandwidth_weight = 0.0;
+  /// Multiplicative safety margin on the derived walltime.
+  double walltime_safety = 1.25;
+  /// Middleware per-task overhead assumed for the Trp estimate (manager
+  /// dispatch + agent launch, per task).
+  SimDuration per_task_overhead = SimDuration::millis(80);
+};
+
+/// Derives a strategy for `app` over the resources in `bundles`.
+/// Fails when no feasible resource set exists (too few sites, pilots larger
+/// than every machine). `rng` drives kRandom selection only.
+[[nodiscard]] common::Expected<ExecutionStrategy> derive_strategy(
+    const skeleton::SkeletonApplication& app, const bundle::BundleManager& bundles,
+    const PlannerConfig& config, common::Rng& rng);
+
+/// The Table I sizing rule: with early binding one pilot holds all the
+/// concurrency the application can use; with late binding the cores are
+/// split evenly over the pilots.
+[[nodiscard]] int derive_pilot_cores(const skeleton::SkeletonApplication& app, int n_pilots);
+
+/// The Table I walltime rule: Tx + Ts + Trp for early binding, multiplied by
+/// the number of pilots for late binding (any one pilot may end up executing
+/// the whole bag in the worst case).
+struct WalltimeEstimate {
+  SimDuration tx;
+  SimDuration ts;
+  SimDuration trp;
+  SimDuration walltime;  // safety-adjusted total
+};
+[[nodiscard]] WalltimeEstimate derive_walltime(const skeleton::SkeletonApplication& app,
+                                               const bundle::BundleManager& bundles,
+                                               const PlannerConfig& config, int pilot_cores);
+
+}  // namespace aimes::core

@@ -1,0 +1,74 @@
+#include "core/report_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace aimes::core {
+
+namespace {
+/// Escapes the characters JSON strings cannot hold raw.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string report_to_json(const ExecutionReport& report) {
+  std::ostringstream out;
+  const auto& s = report.strategy;
+  const auto& t = report.ttc;
+  const auto& m = report.metrics;
+  out << "{\n";
+  out << "  \"success\": " << (report.success ? "true" : "false") << ",\n";
+  out << "  \"units_done\": " << report.units_done << ",\n";
+  out << "  \"units_failed\": " << report.units_failed << ",\n";
+  out << "  \"units_cancelled\": " << report.units_cancelled << ",\n";
+  out << "  \"strategy\": {\n";
+  out << "    \"binding\": \"" << to_string(s.binding) << "\",\n";
+  out << "    \"unit_scheduler\": \"" << pilot::to_string(s.unit_scheduler) << "\",\n";
+  out << "    \"n_pilots\": " << s.n_pilots << ",\n";
+  out << "    \"pilot_cores\": " << s.pilot_cores << ",\n";
+  out << "    \"pilot_walltime_s\": " << s.pilot_walltime.to_seconds() << ",\n";
+  out << "    \"sites\": [";
+  for (std::size_t i = 0; i < s.sites.size(); ++i) {
+    out << (i ? ", " : "") << "\"" << json_escape(s.sites[i].str()) << "\"";
+  }
+  out << "]\n  },\n";
+  out << "  \"ttc_s\": " << t.ttc.to_seconds() << ",\n";
+  out << "  \"tw_s\": " << t.tw.to_seconds() << ",\n";
+  out << "  \"tx_s\": " << t.tx.to_seconds() << ",\n";
+  out << "  \"ts_s\": " << t.ts.to_seconds() << ",\n";
+  out << "  \"pilot_waits_s\": [";
+  for (std::size_t i = 0; i < t.pilot_waits.size(); ++i) {
+    out << (i ? ", " : "") << t.pilot_waits[i].to_seconds();
+  }
+  out << "],\n";
+  out << "  \"restarted_units\": " << t.restarted_units << ",\n";
+  out << "  \"throughput_tasks_per_hour\": " << m.throughput_tasks_per_hour << ",\n";
+  out << "  \"pilot_core_hours\": " << m.pilot_core_hours << ",\n";
+  out << "  \"useful_core_hours\": " << m.useful_core_hours << ",\n";
+  out << "  \"pilot_efficiency\": " << m.pilot_efficiency << ",\n";
+  out << "  \"charge\": " << m.charge << ",\n";
+  out << "  \"energy_kwh\": " << m.energy_kwh << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+bool save_report_json(const ExecutionReport& report, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << report_to_json(report);
+  return static_cast<bool>(f);
+}
+
+}  // namespace aimes::core

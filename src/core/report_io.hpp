@@ -1,0 +1,21 @@
+// Report serialization.
+//
+// The virtual laboratory's outputs need to leave the process: benches emit
+// CSV tables, aimes-run emits this JSON form of an ExecutionReport so runs
+// can be archived and diffed. The format is stable and flat on purpose —
+// one object, scalar fields, no nesting beyond the strategy block.
+#pragma once
+
+#include <string>
+
+#include "core/execution_manager.hpp"
+
+namespace aimes::core {
+
+/// Renders a report as a JSON object (UTF-8, two-space indent).
+[[nodiscard]] std::string report_to_json(const ExecutionReport& report);
+
+/// Writes the JSON form to a file; false on I/O failure.
+bool save_report_json(const ExecutionReport& report, const std::string& path);
+
+}  // namespace aimes::core

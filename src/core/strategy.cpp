@@ -1,0 +1,44 @@
+#include "core/strategy.hpp"
+
+#include <sstream>
+
+namespace aimes::core {
+
+common::Status ExecutionStrategy::validate() const {
+  if (n_pilots < 1) return common::Status::error("strategy: n_pilots must be >= 1");
+  if (pilot_cores < 1) return common::Status::error("strategy: pilot_cores must be >= 1");
+  if (pilot_walltime <= SimDuration::zero()) {
+    return common::Status::error("strategy: pilot walltime must be positive");
+  }
+  if (sites.size() != static_cast<std::size_t>(n_pilots)) {
+    return common::Status::error("strategy: expected one site per pilot, got " +
+                                 std::to_string(sites.size()) + " sites for " +
+                                 std::to_string(n_pilots) + " pilots");
+  }
+  const bool late = binding == Binding::kLate;
+  const bool backfill = unit_scheduler == pilot::UnitSchedulerKind::kBackfill;
+  if (late != backfill) {
+    return common::Status::error(
+        "strategy: late binding requires the backfill scheduler and early binding a "
+        "push scheduler (Table I pairings)");
+  }
+  return {};
+}
+
+std::string ExecutionStrategy::describe() const {
+  std::ostringstream out;
+  out << "execution strategy (decision tree)\n";
+  out << "  1. binding          = " << to_string(binding) << "\n";
+  out << "  2. unit scheduler   = " << pilot::to_string(unit_scheduler) << "\n";
+  out << "  3. #pilots          = " << n_pilots << "\n";
+  out << "  4. pilot size       = " << pilot_cores << " cores each\n";
+  out << "  5. pilot walltime   = " << pilot_walltime.str()
+      << "  (Tx~" << estimated_tx.str() << " + Ts~" << estimated_ts.str() << " + Trp~"
+      << estimated_trp.str() << (binding == Binding::kLate ? ", x #pilots" : "") << ")\n";
+  out << "  6. resources        = ";
+  for (std::size_t i = 0; i < sites.size(); ++i) out << (i ? ", " : "") << sites[i].str();
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace aimes::core

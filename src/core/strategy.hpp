@@ -1,0 +1,63 @@
+// The Execution Strategy abstraction (paper §III.D).
+//
+// "We use 'Execution Strategy' to refer to all the decisions taken when
+// executing a given application on one or more resources... Once the
+// decisions are made explicit, they can be integrated into a model and
+// their effects can be measured empirically."
+//
+// ExecutionStrategy is one realization: a concrete value for every decision
+// of Table I — binding, unit scheduler, number of pilots, pilot size, pilot
+// walltime, and the chosen resources. describe() renders the decision tree
+// (each decision a vertex, dependencies as order).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/id.hpp"
+#include "common/time.hpp"
+#include "pilot/unit_manager.hpp"
+
+namespace aimes::core {
+
+using common::SimDuration;
+using common::SiteId;
+
+/// When tasks are bound to pilots (Table I, decision 1).
+enum class Binding { kEarly, kLate };
+
+[[nodiscard]] constexpr std::string_view to_string(Binding b) {
+  return b == Binding::kEarly ? "early" : "late";
+}
+
+/// A fully-decided coupling of one application to resources.
+struct ExecutionStrategy {
+  /// Decision 1: early or late binding of tasks to pilots.
+  Binding binding = Binding::kLate;
+  /// Decision 2: the scheduler placing tasks on pilots.
+  pilot::UnitSchedulerKind unit_scheduler = pilot::UnitSchedulerKind::kBackfill;
+  /// Decision 3: the number of pilots.
+  int n_pilots = 3;
+  /// Decision 4: per-pilot size, in cores.
+  int pilot_cores = 1;
+  /// Decision 5: per-pilot walltime.
+  SimDuration pilot_walltime = SimDuration::hours(1);
+  /// The chosen resources, one per pilot (the resource-selection decision
+  /// the other decisions depend on).
+  std::vector<SiteId> sites;
+
+  /// Estimates that informed decisions 4-5 (recorded for reporting).
+  SimDuration estimated_tx = SimDuration::zero();  // task execution
+  SimDuration estimated_ts = SimDuration::zero();  // data staging
+  SimDuration estimated_trp = SimDuration::zero(); // middleware overhead
+
+  /// Consistency checks: pilots>=1, cores>=1, one site per pilot, and the
+  /// binding/scheduler combinations of Table I (late binding requires the
+  /// backfill scheduler; early binding a push scheduler).
+  [[nodiscard]] common::Status validate() const;
+
+  /// Human-readable decision-tree rendering.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace aimes::core

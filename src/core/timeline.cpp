@@ -1,0 +1,164 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace aimes::core {
+
+namespace {
+
+using common::SimTime;
+using pilot::Entity;
+
+/// Maps a time to a column in [0, width).
+std::size_t column_of(SimTime t, SimTime start, SimTime end, std::size_t width) {
+  const double span = static_cast<double>((end - start).count_ms());
+  if (span <= 0) return 0;
+  const double frac = static_cast<double>((t - start).count_ms()) / span;
+  const auto col = static_cast<std::size_t>(frac * static_cast<double>(width));
+  return std::min(col, width - 1);
+}
+
+}  // namespace
+
+std::vector<TimelineRow> build_timeline(const pilot::Profiler& trace,
+                                        TimelineOptions options) {
+  std::vector<TimelineRow> rows;
+  const SimTime start = trace.first_any(Entity::kManager, "RUN_START");
+  if (start == SimTime::max()) return rows;
+  SimTime end = start;
+  for (const auto& r : trace.records()) end = std::max(end, r.when);
+  if (end <= start) return rows;
+  const std::size_t width = std::max<std::size_t>(8, options.width);
+
+  // Pilot rows: '.' while queued (PENDING_LAUNCH..ACTIVE), '#' while active.
+  std::map<std::uint64_t, std::pair<SimTime, SimTime>> queued;  // uid -> [submit, active)
+  std::map<std::uint64_t, std::pair<SimTime, SimTime>> active;  // uid -> [active, final)
+  for (const auto& r : trace.records()) {
+    if (r.entity != Entity::kPilot) continue;
+    if (r.state == "PENDING_LAUNCH") {
+      queued[r.uid] = {r.when, end};
+      active[r.uid] = {SimTime::max(), SimTime::max()};
+    } else if (r.state == "ACTIVE") {
+      queued[r.uid].second = r.when;
+      active[r.uid] = {r.when, end};
+    } else if (r.state == "DONE" || r.state == "FAILED" || r.state == "CANCELED") {
+      if (active[r.uid].first != SimTime::max()) {
+        active[r.uid].second = r.when;
+      } else {
+        queued[r.uid].second = r.when;
+      }
+    }
+  }
+  for (const auto& [uid, span] : queued) {
+    TimelineRow row;
+    row.label = "pilot." + std::to_string(uid);
+    row.cells.assign(width, ' ');
+    for (std::size_t c = column_of(span.first, start, end, width);
+         c <= column_of(span.second, start, end, width); ++c) {
+      row.cells[c] = '.';
+    }
+    const auto& act = active.at(uid);
+    if (act.first != SimTime::max()) {
+      for (std::size_t c = column_of(act.first, start, end, width);
+           c <= column_of(act.second, start, end, width); ++c) {
+        row.cells[c] = '#';
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // Aggregate concurrency rows for unit execution and staging.
+  auto concurrency_row = [&](const char* label, auto include_open, auto include_close) {
+    std::vector<int> delta(width + 1, 0);
+    std::map<std::pair<std::uint64_t, std::string>, SimTime> open;
+    for (const auto& r : trace.records()) {
+      std::string key;
+      if (include_open(r, key)) {
+        open[{r.uid, key}] = r.when;
+      } else if (include_close(r, key)) {
+        auto it = open.find({r.uid, key});
+        if (it != open.end()) {
+          ++delta[column_of(it->second, start, end, width)];
+          --delta[column_of(r.when, start, end, width)];
+          open.erase(it);
+        }
+      }
+    }
+    std::vector<int> load(width, 0);
+    int running = 0;
+    int peak = 0;
+    for (std::size_t c = 0; c < width; ++c) {
+      running += delta[c];
+      load[c] = running;
+      peak = std::max(peak, running);
+    }
+    TimelineRow row;
+    row.label = label;
+    row.cells.assign(width, '.');
+    for (std::size_t c = 0; c < width; ++c) {
+      if (load[c] > 0 && peak > 0) {
+        const int decile = 1 + (load[c] * 8) / peak;  // 1..9
+        row.cells[c] = static_cast<char>('0' + std::min(decile, 9));
+      }
+    }
+    rows.push_back(std::move(row));
+  };
+
+  concurrency_row(
+      "exec",
+      [](const pilot::TraceRecord& r, std::string& key) {
+        key = "x";
+        return r.entity == Entity::kUnit && r.state == "EXECUTING";
+      },
+      [](const pilot::TraceRecord& r, std::string& key) {
+        key = "x";
+        return r.entity == Entity::kUnit &&
+               (r.state == "PENDING_OUTPUT_STAGING" || r.state == "FAILED" ||
+                r.state == "CANCELED" || r.state == "DONE");
+      });
+  concurrency_row(
+      "staging",
+      [](const pilot::TraceRecord& r, std::string& key) {
+        if (r.entity != Entity::kTransfer) return false;
+        if (r.state == "STAGE_IN_START") key = "i";
+        else if (r.state == "STAGE_OUT_START") key = "o";
+        else return false;
+        return true;
+      },
+      [](const pilot::TraceRecord& r, std::string& key) {
+        if (r.entity != Entity::kTransfer) return false;
+        if (r.state == "STAGE_IN_DONE") key = "i";
+        else if (r.state == "STAGE_OUT_DONE") key = "o";
+        else return false;
+        return true;
+      });
+  return rows;
+}
+
+std::string render_timeline(const pilot::Profiler& trace, TimelineOptions options) {
+  const auto rows = build_timeline(trace, options);
+  if (rows.empty()) return "(no run in trace)\n";
+
+  const SimTime start = trace.first_any(Entity::kManager, "RUN_START");
+  SimTime end = start;
+  for (const auto& r : trace.records()) end = std::max(end, r.when);
+
+  std::size_t label_width = 0;
+  for (const auto& row : rows) label_width = std::max(label_width, row.label.size());
+
+  std::ostringstream out;
+  out << std::string(label_width, ' ') << " 0s" << std::string(options.width - 6, ' ')
+      << (end - start).str() << "\n";
+  for (const auto& row : rows) {
+    out << row.label << std::string(label_width - row.label.size(), ' ') << ' ' << row.cells
+        << "\n";
+  }
+  out << "legend: pilot rows '.'=queued '#'=active; exec/staging rows show load "
+         "(1-9 = fraction of peak)\n";
+  return out.str();
+}
+
+}  // namespace aimes::core

@@ -1,0 +1,43 @@
+// ASCII timeline rendering of a run's trace.
+//
+// The middleware's self-introspection produces "complete traces of an
+// application execution" (§III.E); this module turns such a trace into a
+// human-readable Gantt-style timeline — one row per pilot plus aggregate
+// unit-activity rows — so a user can *see* the overlap of Tw, Tx and Ts that
+// the TTC decomposition quantifies. Used by aimes-run --timeline and the
+// examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pilot/profiler.hpp"
+
+namespace aimes::core {
+
+/// One row of the timeline: a label plus per-column glyphs.
+struct TimelineRow {
+  std::string label;
+  std::string cells;  // width glyphs
+};
+
+/// Rendering options.
+struct TimelineOptions {
+  /// Total character width of the time axis.
+  std::size_t width = 72;
+};
+
+/// Builds the timeline rows from a trace:
+///  * one row per pilot ('.' queued, '#' active);
+///  * one aggregate row of concurrently executing units (digit bucket:
+///    '.'=0, '1'..'9' = load deciles of the peak);
+///  * one aggregate row of in-flight staging operations (same buckets).
+/// Returns an empty vector for traces without a RUN_START record.
+[[nodiscard]] std::vector<TimelineRow> build_timeline(const pilot::Profiler& trace,
+                                                      TimelineOptions options = {});
+
+/// Renders the rows with a time axis header, ready to print.
+[[nodiscard]] std::string render_timeline(const pilot::Profiler& trace,
+                                          TimelineOptions options = {});
+
+}  // namespace aimes::core

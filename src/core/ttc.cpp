@@ -1,0 +1,82 @@
+#include "core/ttc.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace aimes::core {
+
+TtcBreakdown analyze_ttc(const pilot::Profiler& trace) {
+  using pilot::Entity;
+  TtcBreakdown out;
+
+  const SimTime start = trace.first_any(Entity::kManager, "RUN_START");
+  const SimTime end = trace.first_any(Entity::kManager, "BATCH_COMPLETE");
+  if (start == SimTime::max()) return out;  // no run in this trace
+  out.run_started = start;
+  out.run_finished = end == SimTime::max() ? start : end;
+  out.ttc = out.run_finished - out.run_started;
+
+  // Tw: enactment start to first ACTIVE pilot.
+  const SimTime first_active = trace.first_any(Entity::kPilot, "ACTIVE");
+  if (first_active != SimTime::max()) out.tw = first_active - start;
+
+  // Tx: union of EXECUTING intervals, closed by whichever state follows.
+  common::IntervalSet exec;
+  {
+    std::unordered_map<std::uint64_t, SimTime> open;
+    for (const auto& r : trace.records()) {
+      if (r.entity != Entity::kUnit) continue;
+      if (r.state == "EXECUTING") {
+        open[r.uid] = r.when;
+      } else {
+        auto it = open.find(r.uid);
+        if (it != open.end()) {
+          exec.add(it->second, r.when);
+          open.erase(it);
+        }
+      }
+    }
+  }
+  out.tx = exec.union_length();
+
+  // Ts: union of staging intervals in both directions.
+  common::IntervalSet staging;
+  for (const auto* dir : {"IN", "OUT"}) {
+    const std::string from = std::string("STAGE_") + dir + "_START";
+    const std::string to = std::string("STAGE_") + dir + "_DONE";
+    for (const auto& iv : trace.intervals(Entity::kTransfer, from, to).merged()) {
+      staging.add(iv);
+    }
+  }
+  out.ts = staging.union_length();
+
+  // Per-pilot waits: PENDING_LAUNCH (submission) to ACTIVE, by pilot id.
+  {
+    std::map<std::uint64_t, SimTime> submitted;  // ordered => submission order
+    std::map<std::uint64_t, SimTime> active;
+    for (const auto& r : trace.records()) {
+      if (r.entity != Entity::kPilot) continue;
+      if (r.state == "PENDING_LAUNCH") submitted.emplace(r.uid, r.when);
+      if (r.state == "ACTIVE") active.emplace(r.uid, r.when);
+    }
+    for (const auto& [uid, t_submit] : submitted) {
+      auto it = active.find(uid);
+      if (it != active.end()) out.pilot_waits.push_back(it->second - t_submit);
+    }
+  }
+
+  // Restarts: units entering EXECUTING more than once.
+  {
+    std::unordered_map<std::uint64_t, int> exec_counts;
+    for (const auto& r : trace.records()) {
+      if (r.entity == Entity::kUnit && r.state == "EXECUTING") ++exec_counts[r.uid];
+    }
+    for (const auto& [uid, n] : exec_counts) {
+      if (n > 1) ++out.restarted_units;
+    }
+  }
+  return out;
+}
+
+}  // namespace aimes::core

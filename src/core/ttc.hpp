@@ -1,0 +1,52 @@
+// TTC decomposition from middleware traces (paper §IV.A methodology).
+//
+// "We instrumented the AIMES middleware to record every TTC time component
+// related to middleware overhead, resource dynamism, task execution, and
+// data staging." analyze_ttc() reconstructs the paper's components from the
+// Profiler records alone:
+//
+//   TTC — from enactment start (RUN_START) to the last unit final state
+//         (BATCH_COMPLETE);
+//   Tw  — from enactment start to the *first* pilot becoming ACTIVE
+//         ("time setting up the execution including waiting for the
+//         pilot(s) to become active");
+//   Tx  — union duration of all unit EXECUTING intervals;
+//   Ts  — union duration of all file staging intervals (in and out).
+//
+// Components overlap (tasks execute while later pilots still queue and other
+// files stage), so TTC < Tw + Tx + Ts in general — exactly the relation
+// noted under the paper's Figure 3.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "pilot/profiler.hpp"
+
+namespace aimes::core {
+
+using common::SimDuration;
+using common::SimTime;
+
+/// The decomposition of one run.
+struct TtcBreakdown {
+  SimDuration ttc = SimDuration::zero();
+  SimDuration tw = SimDuration::zero();
+  SimDuration tx = SimDuration::zero();
+  SimDuration ts = SimDuration::zero();
+
+  SimTime run_started;
+  SimTime run_finished;
+  /// Per-pilot queue waits (submission to ACTIVE), in pilot submission
+  /// order; pilots that never activated are absent.
+  std::vector<SimDuration> pilot_waits;
+  /// Units that entered EXECUTING more than once (restarts).
+  std::size_t restarted_units = 0;
+};
+
+/// Computes the decomposition from a run's trace. The trace must contain a
+/// manager RUN_START record; missing phases yield zero components.
+[[nodiscard]] TtcBreakdown analyze_ttc(const pilot::Profiler& trace);
+
+}  // namespace aimes::core

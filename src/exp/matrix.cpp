@@ -1,0 +1,47 @@
+#include "exp/matrix.hpp"
+
+#include <cassert>
+
+#include "skeleton/profiles.hpp"
+
+namespace aimes::exp {
+
+skeleton::SkeletonSpec ExperimentSpec::make_skeleton(int tasks) const {
+  return gaussian_durations ? skeleton::profiles::bag_gaussian(tasks)
+                            : skeleton::profiles::bag_uniform(tasks);
+}
+
+core::PlannerConfig ExperimentSpec::make_planner_config() const {
+  core::PlannerConfig cfg;
+  cfg.binding = binding;
+  cfg.scheduler = scheduler;
+  cfg.n_pilots = n_pilots;
+  cfg.selection = core::SiteSelection::kRandom;
+  return cfg;
+}
+
+std::vector<ExperimentSpec> table1_experiments() {
+  std::vector<ExperimentSpec> out;
+  out.push_back({1, core::Binding::kEarly, pilot::UnitSchedulerKind::kDirect, 1, false,
+                 "Early Uniform 1 Pilot (Exp. 1)"});
+  out.push_back({2, core::Binding::kEarly, pilot::UnitSchedulerKind::kDirect, 1, true,
+                 "Early Gaussian 1 Pilot (Exp. 2)"});
+  out.push_back({3, core::Binding::kLate, pilot::UnitSchedulerKind::kBackfill, 3, false,
+                 "Late Uniform 3 Pilots (Exp. 3)"});
+  out.push_back({4, core::Binding::kLate, pilot::UnitSchedulerKind::kBackfill, 3, true,
+                 "Late Gaussian 3 Pilots (Exp. 4)"});
+  return out;
+}
+
+ExperimentSpec table1_experiment(int id) {
+  assert(id >= 1 && id <= 4);
+  return table1_experiments()[static_cast<std::size_t>(id - 1)];
+}
+
+std::vector<int> table1_task_counts() {
+  std::vector<int> out;
+  for (int n = 3; n <= 11; ++n) out.push_back(1 << n);
+  return out;
+}
+
+}  // namespace aimes::exp

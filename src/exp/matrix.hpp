@@ -1,0 +1,51 @@
+// The paper's experiment matrix (Table I).
+//
+// Four experiments x nine application sizes. "Each skeleton is a distinct
+// application that belongs to the same application class (bag-of-task) but
+// differs in size... between 8 and 2048 single-core tasks, with task length
+// of 15 minutes or distributed following a truncated Gaussian (mean: 15
+// min.; stdev: 5 min.; bounds: [1-30 min.])."
+//
+//   Exp 1: early binding, direct scheduler,   1 pilot,  uniform durations
+//   Exp 2: early binding, direct scheduler,   1 pilot,  Gaussian durations
+//   Exp 3: late binding,  backfill scheduler, 3 pilots, uniform durations
+//   Exp 4: late binding,  backfill scheduler, 3 pilots, Gaussian durations
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "skeleton/spec.hpp"
+
+namespace aimes::exp {
+
+/// One row class of Table I.
+struct ExperimentSpec {
+  int id = 1;
+  core::Binding binding = core::Binding::kEarly;
+  pilot::UnitSchedulerKind scheduler = pilot::UnitSchedulerKind::kDirect;
+  int n_pilots = 1;
+  /// False: every task 15 min; true: truncated Gaussian (15, 5, [1,30]) min.
+  bool gaussian_durations = false;
+  std::string label;
+
+  /// The skeleton for one application size of this experiment.
+  [[nodiscard]] skeleton::SkeletonSpec make_skeleton(int tasks) const;
+
+  /// The planner inputs realizing this experiment's strategy. Site selection
+  /// is randomized, as the paper randomized pilot submission across its
+  /// resource pool.
+  [[nodiscard]] core::PlannerConfig make_planner_config() const;
+};
+
+/// The four experiments of Table I.
+[[nodiscard]] std::vector<ExperimentSpec> table1_experiments();
+
+/// One experiment by id (1-4); asserts on out-of-range ids.
+[[nodiscard]] ExperimentSpec table1_experiment(int id);
+
+/// The nine application sizes: 2^n for n in [3, 11].
+[[nodiscard]] std::vector<int> table1_task_counts();
+
+}  // namespace aimes::exp

@@ -1,0 +1,58 @@
+#include "exp/runner.hpp"
+
+#include "common/log.hpp"
+#include "skeleton/application.hpp"
+
+namespace aimes::exp {
+
+TrialResult run_trial(const ExperimentSpec& experiment, int tasks, std::uint64_t seed,
+                      const WorldTweaks& tweaks) {
+  core::AimesConfig config;
+  config.seed = seed;
+  config.warmup = tweaks.warmup;
+  if (!tweaks.testbed.empty()) config.testbed = tweaks.testbed;
+  config.execution.units.unit_failure_probability = tweaks.unit_failure_probability;
+
+  core::Aimes aimes(config);
+  aimes.start();
+
+  const auto spec = experiment.make_skeleton(tasks);
+  const auto app = skeleton::materialize(spec, seed);
+
+  TrialResult result;
+  auto run = aimes.run(app, experiment.make_planner_config());
+  if (!run.ok()) {
+    common::Log::warn("exp", "trial failed to plan: " + run.error());
+    return result;
+  }
+  result.success = run->report.success;
+  result.ttc = run->report.ttc;
+  result.strategy = run->report.strategy;
+  result.units_done = run->report.units_done;
+  result.units_failed = run->report.units_failed;
+  return result;
+}
+
+CellResult run_cell(const ExperimentSpec& experiment, int tasks, int n_trials,
+                    std::uint64_t base_seed, const WorldTweaks& tweaks,
+                    const std::function<void(int, const TrialResult&)>& progress) {
+  CellResult cell;
+  cell.experiment = experiment;
+  cell.tasks = tasks;
+  for (int t = 0; t < n_trials; ++t) {
+    const TrialResult r =
+        run_trial(experiment, tasks, base_seed + static_cast<std::uint64_t>(t) + 1, tweaks);
+    if (r.success) {
+      cell.ttc_s.add(r.ttc.ttc.to_seconds());
+      cell.tw_s.add(r.ttc.tw.to_seconds());
+      cell.tx_s.add(r.ttc.tx.to_seconds());
+      cell.ts_s.add(r.ttc.ts.to_seconds());
+    } else {
+      ++cell.failures;
+    }
+    if (progress) progress(t, r);
+  }
+  return cell;
+}
+
+}  // namespace aimes::exp

@@ -1,0 +1,60 @@
+// Trial runner: the reproducible unit of the virtual laboratory.
+//
+// One *trial* = one fresh world (fresh testbed, fresh background-load
+// realization from the trial's seed) running one application under one
+// experiment's strategy. Repeated trials with distinct seeds reproduce the
+// paper's "each application was run many times depending on run-to-run
+// fluctuation"; a year of machine-room dynamics compresses into seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/stats.hpp"
+#include "core/aimes.hpp"
+#include "exp/matrix.hpp"
+
+namespace aimes::exp {
+
+/// Result of one trial.
+struct TrialResult {
+  bool success = false;
+  core::TtcBreakdown ttc;
+  core::ExecutionStrategy strategy;
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;
+};
+
+/// Aggregated results of repeated trials of one (experiment, size) cell.
+struct CellResult {
+  ExperimentSpec experiment;
+  int tasks = 0;
+  common::Summary ttc_s;  // seconds
+  common::Summary tw_s;
+  common::Summary tx_s;
+  common::Summary ts_s;
+  std::size_t failures = 0;  // trials that did not complete all units
+};
+
+/// Overrides applied to every trial's world.
+struct WorldTweaks {
+  /// Shrink or grow the default warmup (longer warmup = richer wait history).
+  common::SimDuration warmup = common::SimDuration::hours(6);
+  /// Replace the testbed entirely (empty = standard five-site pool).
+  std::vector<cluster::TestbedSiteSpec> testbed;
+  /// Failure injection for reliability experiments.
+  double unit_failure_probability = 0.0;
+};
+
+/// Runs one trial in a fresh world derived from `seed`.
+[[nodiscard]] TrialResult run_trial(const ExperimentSpec& experiment, int tasks,
+                                    std::uint64_t seed, const WorldTweaks& tweaks = {});
+
+/// Runs `n_trials` trials (seeds base_seed+1 ... base_seed+n) and aggregates.
+/// `progress` (optional) is invoked after each trial.
+[[nodiscard]] CellResult run_cell(const ExperimentSpec& experiment, int tasks, int n_trials,
+                                  std::uint64_t base_seed, const WorldTweaks& tweaks = {},
+                                  const std::function<void(int, const TrialResult&)>&
+                                      progress = nullptr);
+
+}  // namespace aimes::exp

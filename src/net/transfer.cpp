@@ -1,0 +1,130 @@
+#include "net/transfer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace aimes::net {
+
+namespace {
+// Flows with less than this many bytes left are considered drained; the
+// fluid model cannot split a byte meaningfully.
+constexpr double kDrainEpsilonBytes = 1.0;
+}  // namespace
+
+TransferManager::TransferManager(sim::Engine& engine, const Topology& topology)
+    : engine_(engine), topology_(topology) {}
+
+double TransferManager::share_bps(const ChannelKey& key, std::size_t nflows) const {
+  auto link = topology_.link(key.site, key.dir);
+  assert(link.ok());
+  return link->capacity.bytes_per_sec() / static_cast<double>(std::max<std::size_t>(1, nflows));
+}
+
+Expected<TransferId> TransferManager::start(SiteId site, Direction dir, DataSize size,
+                                            Callback done) {
+  auto link = topology_.link(site, dir);
+  if (!link) return Expected<TransferId>::error(link.error());
+  assert(done);
+
+  const TransferId id = ids_.next();
+  Flow flow;
+  flow.id = id;
+  flow.channel = ChannelKey{site, dir};
+  flow.remaining_bytes = static_cast<double>(size.count_bytes());
+  flow.total = size;
+  flow.started_at = engine_.now();
+  flow.done = std::move(done);
+  flows_.emplace(id, std::move(flow));
+
+  // Latency elapses before the flow occupies the channel; bytes then drain
+  // at the fair-share rate.
+  engine_.schedule(link->latency, [this, id] {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;
+    const ChannelKey key = it->second.channel;
+    update_channel(key);
+    Channel& ch = channels_[key];
+    if (ch.flows.empty()) ch.last_update = engine_.now();
+    ch.flows.push_back(id);
+    reschedule_channel(key);
+  });
+  return id;
+}
+
+std::size_t TransferManager::active_flows(SiteId site, Direction dir) const {
+  auto it = channels_.find(ChannelKey{site, dir});
+  return it == channels_.end() ? 0 : it->second.flows.size();
+}
+
+Expected<SimDuration> TransferManager::estimate(SiteId site, Direction dir,
+                                                DataSize size) const {
+  auto link = topology_.link(site, dir);
+  if (!link) return Expected<SimDuration>::error(link.error());
+  const std::size_t n = active_flows(site, dir) + 1;
+  const double bps = link->capacity.bytes_per_sec() / static_cast<double>(n);
+  return link->latency + SimDuration::seconds(static_cast<double>(size.count_bytes()) / bps);
+}
+
+void TransferManager::update_channel(const ChannelKey& key) {
+  auto cit = channels_.find(key);
+  if (cit == channels_.end()) return;
+  Channel& ch = cit->second;
+  if (ch.flows.empty()) {
+    ch.last_update = engine_.now();
+    return;
+  }
+  const double elapsed_s = (engine_.now() - ch.last_update).to_seconds();
+  if (elapsed_s > 0) {
+    const double rate = share_bps(key, ch.flows.size());
+    for (TransferId fid : ch.flows) {
+      flows_.at(fid).remaining_bytes -= rate * elapsed_s;
+    }
+  }
+  ch.last_update = engine_.now();
+}
+
+void TransferManager::reschedule_channel(const ChannelKey& key) {
+  auto cit = channels_.find(key);
+  if (cit == channels_.end()) return;
+  Channel& ch = cit->second;
+  if (ch.next_completion.valid()) {
+    engine_.cancel(ch.next_completion);
+    ch.next_completion = common::EventId::invalid();
+  }
+
+  // Complete every drained flow right away (preserving start order for
+  // deterministic callback sequencing).
+  std::vector<TransferId> done;
+  for (TransferId fid : ch.flows) {
+    if (flows_.at(fid).remaining_bytes <= kDrainEpsilonBytes) done.push_back(fid);
+  }
+  for (TransferId fid : done) {
+    ch.flows.erase(std::remove(ch.flows.begin(), ch.flows.end(), fid), ch.flows.end());
+    Flow flow = std::move(flows_.at(fid));
+    flows_.erase(fid);
+    ++completed_;
+    TransferDone notice{flow.id,        key.site,        key.dir,
+                        flow.total,     flow.started_at, engine_.now()};
+    flow.done(notice);
+  }
+  if (ch.flows.empty()) return;
+
+  // Next completion: the flow with the least remaining bytes at the current
+  // fair share.
+  const double rate = share_bps(key, ch.flows.size());
+  double min_remaining = flows_.at(ch.flows.front()).remaining_bytes;
+  for (TransferId fid : ch.flows) {
+    min_remaining = std::min(min_remaining, flows_.at(fid).remaining_bytes);
+  }
+  const double secs = std::max(0.0, min_remaining / rate);
+  const auto delay = SimDuration::millis(
+      static_cast<std::int64_t>(std::ceil(secs * 1000.0)) + 1);
+  ch.next_completion = engine_.schedule(delay, [this, key] {
+    channels_[key].next_completion = common::EventId::invalid();
+    update_channel(key);
+    reschedule_channel(key);
+  });
+}
+
+}  // namespace aimes::net

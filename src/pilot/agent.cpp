@@ -1,0 +1,76 @@
+#include "pilot/agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace aimes::pilot {
+
+Agent::Agent(sim::Engine& engine, PilotId pilot, int cores, AgentOptions options,
+             std::function<void(UnitId)> on_done, std::function<void()> on_capacity)
+    : engine_(engine),
+      pilot_(pilot),
+      total_cores_(cores),
+      free_cores_(cores),
+      options_(options),
+      on_done_(std::move(on_done)),
+      on_capacity_(std::move(on_capacity)) {
+  assert(cores > 0);
+  assert(on_done_);
+}
+
+void Agent::enqueue(UnitId unit, int cores, SimDuration duration) {
+  assert(!stopped_);
+  assert(cores <= total_cores_ && "unit cannot fit on this pilot at all");
+  queue_.push_back({unit, cores, duration});
+  pump();
+}
+
+void Agent::pump() {
+  if (stopped_ || launcher_busy_ || queue_.empty()) return;
+  const Queued next = queue_.front();
+  if (next.cores > free_cores_) return;  // wait for a completion
+  queue_.pop_front();
+  free_cores_ -= next.cores;
+
+  // The launcher serializes unit starts: one launch per launch_latency.
+  launcher_busy_ = true;
+  engine_.schedule(options_.launch_latency, [this, next] {
+    launcher_busy_ = false;
+    if (stopped_) return;
+    if (on_executing) on_executing(next.unit);
+    const auto completion = engine_.schedule(next.duration, [this, next] {
+      auto it = running_.find(next.unit);
+      assert(it != running_.end());
+      free_cores_ += it->second.cores;
+      running_.erase(it);
+      ++executed_;
+      on_done_(next.unit);
+      if (on_capacity_) on_capacity_();
+      pump();
+    });
+    running_.emplace(next.unit, Running{next.cores, completion, launch_order_++});
+    pump();  // next launch can begin immediately after this one
+  });
+}
+
+std::vector<UnitId> Agent::shutdown() {
+  stopped_ = true;
+  std::vector<UnitId> lost;
+  for (const auto& q : queue_) lost.push_back(q.unit);
+  queue_.clear();
+
+  std::vector<std::pair<std::uint64_t, UnitId>> running;
+  running.reserve(running_.size());
+  for (const auto& [unit, r] : running_) {
+    engine_.cancel(r.completion);
+    running.emplace_back(r.order, unit);
+  }
+  running_.clear();
+  std::sort(running.begin(), running.end());
+  for (const auto& [order, unit] : running) lost.push_back(unit);
+  free_cores_ = total_cores_;
+  return lost;
+}
+
+}  // namespace aimes::pilot

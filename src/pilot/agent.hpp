@@ -1,0 +1,96 @@
+// Pilot agent: the executor that runs inside an active pilot.
+//
+// Once a pilot becomes ACTIVE, its agent owns the pilot's cores and executes
+// the units dispatched to it. Launches are *serialized* through a single
+// launcher with a fixed per-unit latency — the dominant middleware overhead
+// of real pilot agents, and the cause of the paper's observation that Tx
+// grows "with a steeper gradient above 256 tasks due to the overheads
+// introduced by the AIMES middleware".
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/id.hpp"
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::pilot {
+
+using common::PilotId;
+using common::SimDuration;
+using common::UnitId;
+
+/// Agent tuning.
+struct AgentOptions {
+  /// Serial per-unit launch latency (fork/exec, LRMS interaction). 62 ms
+  /// yields ~16 launches/s, in line with measured RADICAL-Pilot agents.
+  SimDuration launch_latency = SimDuration::millis(62);
+};
+
+/// Executes units on an active pilot's cores.
+class Agent {
+ public:
+  /// `on_done(unit)` fires when a unit's compute phase finishes normally;
+  /// `on_capacity()` fires whenever cores free up or the agent goes idle —
+  /// the unit manager uses it to pull more units under late binding.
+  Agent(sim::Engine& engine, PilotId pilot, int cores, AgentOptions options,
+        std::function<void(UnitId)> on_done, std::function<void()> on_capacity);
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  [[nodiscard]] PilotId pilot() const { return pilot_; }
+  [[nodiscard]] int total_cores() const { return total_cores_; }
+  [[nodiscard]] int free_cores() const { return free_cores_; }
+  /// Units queued or executing.
+  [[nodiscard]] std::size_t load() const { return queue_.size() + running_.size(); }
+  [[nodiscard]] std::size_t executed_count() const { return executed_; }
+
+  /// Enqueues a unit whose inputs are already on site. The unit executes for
+  /// `duration` on `cores` cores when capacity and the launcher allow;
+  /// `on_done` fires at completion; execution start/stop are reported via
+  /// `on_executing` (set by the unit manager for state accounting).
+  void enqueue(UnitId unit, int cores, SimDuration duration);
+
+  /// Invoked when a queued/executing unit starts executing.
+  std::function<void(UnitId)> on_executing;
+
+  /// Stops everything (pilot died). Returns the units that were queued or
+  /// executing, in deterministic order (queued first, then running by
+  /// launch order); their compute is lost and they need a restart.
+  std::vector<UnitId> shutdown();
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+ private:
+  void pump();
+
+  sim::Engine& engine_;
+  PilotId pilot_;
+  int total_cores_;
+  int free_cores_;
+  AgentOptions options_;
+  std::function<void(UnitId)> on_done_;
+  std::function<void()> on_capacity_;
+
+  struct Queued {
+    UnitId unit;
+    int cores;
+    SimDuration duration;
+  };
+  struct Running {
+    int cores;
+    common::EventId completion;
+    std::uint64_t order;
+  };
+  std::deque<Queued> queue_;
+  std::unordered_map<UnitId, Running> running_;
+  bool launcher_busy_ = false;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+  std::uint64_t launch_order_ = 0;
+};
+
+}  // namespace aimes::pilot

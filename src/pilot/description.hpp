@@ -1,0 +1,53 @@
+// Descriptions of pilots and compute units — the value types a user of the
+// pilot API hands to the managers (the RADICAL-Pilot ComputePilotDescription
+// / ComputeUnitDescription analogues).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/data_size.hpp"
+#include "common/id.hpp"
+#include "common/time.hpp"
+
+namespace aimes::pilot {
+
+using common::DataSize;
+using common::SimDuration;
+using common::SiteId;
+
+/// A pilot to be instantiated on a resource.
+struct PilotDescription {
+  std::string name;
+  SiteId site;
+  /// Cores the placeholder requests (translated to nodes by the SAGA layer).
+  int cores = 1;
+  /// Requested walltime; the resource kills the pilot at this limit.
+  SimDuration walltime = SimDuration::hours(1);
+};
+
+/// A file a unit reads or writes, staged between the origin and the pilot's
+/// site by the unit manager.
+struct UnitFile {
+  std::string name;
+  DataSize size;
+  /// Skeleton file identity (for dependency bookkeeping and traces).
+  common::FileId file;
+};
+
+/// One task to execute on some pilot.
+struct ComputeUnitDescription {
+  std::string name;
+  int cores = 1;
+  /// Wall duration of the compute phase.
+  SimDuration duration = SimDuration::minutes(15);
+  std::vector<UnitFile> inputs;
+  std::vector<UnitFile> outputs;
+  /// Originating skeleton task (optional, for traces).
+  common::TaskId task;
+  /// Indices (within the same submit_units() batch) of units whose outputs
+  /// this unit consumes; it stays in SCHEDULING until they are DONE.
+  std::vector<std::size_t> depends_on;
+};
+
+}  // namespace aimes::pilot

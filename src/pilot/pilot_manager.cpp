@@ -1,0 +1,144 @@
+#include "pilot/pilot_manager.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aimes::pilot {
+
+PilotManager::PilotManager(sim::Engine& engine, Profiler& profiler,
+                           std::vector<saga::JobService*> services, AgentOptions agent_options)
+    : engine_(engine),
+      profiler_(profiler),
+      services_(std::move(services)),
+      agent_options_(agent_options) {}
+
+saga::JobService* PilotManager::service_for(common::SiteId site) {
+  for (auto* s : services_) {
+    if (s->site_id() == site) return s;
+  }
+  return nullptr;
+}
+
+void PilotManager::set_state(ComputePilot& pilot, PilotState s) {
+  pilot.state = s;
+  profiler_.record(engine_.now(), Entity::kPilot, pilot.id.value(), std::string(to_string(s)),
+                   pilot.description.name);
+}
+
+PilotId PilotManager::submit(const PilotDescription& description) {
+  auto* service = service_for(description.site);
+  assert(service && "no JobService registered for the pilot's site");
+
+  const PilotId id = ids_.next();
+  ComputePilot pilot;
+  pilot.id = id;
+  pilot.description = description;
+  pilot.submitted_at = engine_.now();
+  auto [it, inserted] = pilots_.emplace(id, std::move(pilot));
+  assert(inserted);
+  order_.push_back(id);
+
+  ComputePilot& p = it->second;
+  set_state(p, PilotState::kNew);
+  set_state(p, PilotState::kPendingLaunch);
+
+  saga::JobDescription job;
+  job.name = description.name.empty() ? id.str() : description.name;
+  job.cores = description.cores;
+  job.walltime = description.walltime;
+  job.runtime = description.walltime;  // a pilot runs until cancelled or killed
+  p.saga_job = service->submit(job, [this, id](const saga::JobEvent& event) {
+    handle_job_event(id, event);
+  });
+  set_state(p, PilotState::kLaunching);
+  return id;
+}
+
+void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
+  auto it = pilots_.find(id);
+  assert(it != pilots_.end());
+  ComputePilot& pilot = it->second;
+  if (is_final(pilot.state)) return;  // late events after cancel
+
+  switch (event.state) {
+    case saga::JobState::kNew:
+      break;
+    case saga::JobState::kPending:
+      set_state(pilot, PilotState::kPendingActive);
+      break;
+    case saga::JobState::kRunning: {
+      pilot.active_at = engine_.now();
+      pilot.agent = std::make_unique<Agent>(
+          engine_, id, pilot.description.cores, agent_options_,
+          [this, id](UnitId unit) {
+            if (on_unit_done) on_unit_done(id, unit);
+          },
+          [this, id] {
+            if (on_capacity) on_capacity(id);
+          });
+      pilot.agent->on_executing = [this, id](UnitId unit) {
+        if (on_unit_executing) on_unit_executing(id, unit);
+      };
+      set_state(pilot, PilotState::kActive);
+      if (on_pilot_active) on_pilot_active(pilot);
+      break;
+    }
+    case saga::JobState::kDone:
+    case saga::JobState::kFailed:
+    case saga::JobState::kCanceled: {
+      pilot.finished_at = engine_.now();
+      std::vector<UnitId> lost;
+      if (pilot.agent) {
+        lost = pilot.agent->shutdown();
+        pilot.agent.reset();
+      }
+      PilotState final_state = PilotState::kDone;
+      if (event.state == saga::JobState::kFailed) final_state = PilotState::kFailed;
+      if (event.state == saga::JobState::kCanceled) final_state = PilotState::kCanceled;
+      set_state(pilot, final_state);
+      if (on_pilot_gone) on_pilot_gone(pilot, lost);
+      break;
+    }
+  }
+}
+
+void PilotManager::cancel(PilotId id) {
+  auto it = pilots_.find(id);
+  if (it == pilots_.end() || is_final(it->second.state)) return;
+  auto* service = service_for(it->second.description.site);
+  assert(service);
+  service->cancel(it->second.saga_job);
+}
+
+void PilotManager::cancel_all() {
+  for (PilotId id : order_) cancel(id);
+}
+
+ComputePilot* PilotManager::find(PilotId id) {
+  auto it = pilots_.find(id);
+  return it == pilots_.end() ? nullptr : &it->second;
+}
+
+const ComputePilot* PilotManager::find(PilotId id) const {
+  auto it = pilots_.find(id);
+  return it == pilots_.end() ? nullptr : &it->second;
+}
+
+std::vector<ComputePilot*> PilotManager::pilots() {
+  std::vector<ComputePilot*> out;
+  out.reserve(order_.size());
+  for (PilotId id : order_) out.push_back(&pilots_.at(id));
+  return out;
+}
+
+std::vector<ComputePilot*> PilotManager::active_pilots() {
+  std::vector<ComputePilot*> out;
+  for (PilotId id : order_) {
+    ComputePilot& p = pilots_.at(id);
+    if (p.state == PilotState::kActive) out.push_back(&p);
+  }
+  return out;
+}
+
+}  // namespace aimes::pilot

@@ -1,0 +1,94 @@
+// Pilot manager (the RADICAL-Pilot PilotManager analogue).
+//
+// Owns ComputePilot records, drives their state machines by submitting
+// placeholder jobs through the SAGA layer (paper Figure 1, step 5), and
+// creates an Agent when a pilot becomes ACTIVE. All transitions land in the
+// shared Profiler.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "pilot/agent.hpp"
+#include "pilot/description.hpp"
+#include "pilot/profiler.hpp"
+#include "pilot/states.hpp"
+#include "saga/job_service.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::pilot {
+
+using common::JobId;
+using common::PilotId;
+
+/// A pilot instance.
+struct ComputePilot {
+  PilotId id;
+  PilotDescription description;
+  PilotState state = PilotState::kNew;
+  JobId saga_job;
+  common::SimTime submitted_at;
+  common::SimTime active_at;
+  common::SimTime finished_at;
+  /// The executor; non-null only while ACTIVE.
+  std::unique_ptr<Agent> agent;
+};
+
+/// Manages the pilot fleet of one application run.
+class PilotManager {
+ public:
+  /// `services` maps a site to its submission endpoint; all referenced
+  /// objects must outlive the manager.
+  PilotManager(sim::Engine& engine, Profiler& profiler,
+               std::vector<saga::JobService*> services, AgentOptions agent_options = {});
+
+  PilotManager(const PilotManager&) = delete;
+  PilotManager& operator=(const PilotManager&) = delete;
+
+  /// Fired when a pilot turns ACTIVE (agent exists by then).
+  std::function<void(ComputePilot&)> on_pilot_active;
+  /// Fired when a pilot leaves ACTIVE or fails to activate; `lost` holds the
+  /// units its agent was still executing/queueing, for restart.
+  std::function<void(ComputePilot&, const std::vector<UnitId>& lost)> on_pilot_gone;
+  /// Fired when a unit's compute phase completes on a pilot's agent.
+  std::function<void(PilotId, UnitId)> on_unit_done;
+  /// Fired when a unit enters execution on a pilot's agent.
+  std::function<void(PilotId, UnitId)> on_unit_executing;
+  /// Fired when an agent frees capacity (late binding pulls more units).
+  std::function<void(PilotId)> on_capacity;
+
+  /// Describes and submits one pilot. Returns its id immediately; state
+  /// progresses via engine events.
+  PilotId submit(const PilotDescription& description);
+
+  /// Cancels a pilot (releases its resource allocation).
+  void cancel(PilotId id);
+
+  /// Cancels every non-final pilot ("all pilots are canceled when all tasks
+  /// have executed so as not to waste resources", §III.E).
+  void cancel_all();
+
+  [[nodiscard]] ComputePilot* find(PilotId id);
+  [[nodiscard]] const ComputePilot* find(PilotId id) const;
+  [[nodiscard]] std::vector<ComputePilot*> pilots();
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  /// Pilots currently ACTIVE.
+  [[nodiscard]] std::vector<ComputePilot*> active_pilots();
+
+ private:
+  void set_state(ComputePilot& pilot, PilotState s);
+  void handle_job_event(PilotId id, const saga::JobEvent& event);
+  saga::JobService* service_for(common::SiteId site);
+
+  sim::Engine& engine_;
+  Profiler& profiler_;
+  std::vector<saga::JobService*> services_;
+  AgentOptions agent_options_;
+  common::IdGen<common::PilotTag> ids_;
+  std::unordered_map<PilotId, ComputePilot> pilots_;
+  std::vector<PilotId> order_;
+};
+
+}  // namespace aimes::pilot

@@ -1,0 +1,64 @@
+#include "pilot/profiler.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace aimes::pilot {
+
+void Profiler::record(SimTime when, Entity entity, std::uint64_t uid, std::string state,
+                      std::string detail) {
+  assert(records_.empty() || when >= records_.back().when);
+  records_.push_back({when, entity, uid, std::move(state), std::move(detail)});
+}
+
+SimTime Profiler::first(Entity entity, std::uint64_t uid, std::string_view state) const {
+  for (const auto& r : records_) {
+    if (r.entity == entity && r.uid == uid && r.state == state) return r.when;
+  }
+  return SimTime::max();
+}
+
+SimTime Profiler::first_any(Entity entity, std::string_view state) const {
+  for (const auto& r : records_) {
+    if (r.entity == entity && r.state == state) return r.when;
+  }
+  return SimTime::max();
+}
+
+common::IntervalSet Profiler::intervals(Entity entity, std::string_view from,
+                                        std::string_view to) const {
+  common::IntervalSet set;
+  std::unordered_map<std::uint64_t, SimTime> open;
+  for (const auto& r : records_) {
+    if (r.entity != entity) continue;
+    if (r.state == from) {
+      open[r.uid] = r.when;  // re-entry (restart) restarts the interval
+    } else if (r.state == to) {
+      auto it = open.find(r.uid);
+      if (it != open.end()) {
+        set.add(it->second, r.when);
+        open.erase(it);
+      }
+    }
+  }
+  return set;
+}
+
+std::size_t Profiler::count_entered(Entity entity, std::string_view state) const {
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& r : records_) {
+    if (r.entity == entity && r.state == state) seen.insert(r.uid);
+  }
+  return seen.size();
+}
+
+void Profiler::render_csv(std::ostream& out) const {
+  out << "when_ms,entity,uid,state,detail\n";
+  for (const auto& r : records_) {
+    out << r.when.count_ms() << ',' << to_string(r.entity) << ',' << r.uid << ',' << r.state
+        << ',' << r.detail << '\n';
+  }
+}
+
+}  // namespace aimes::pilot

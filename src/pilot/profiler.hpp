@@ -1,0 +1,79 @@
+// State-transition tracing (the middleware's self-introspection, §III.E).
+//
+// "Its state model is explicit and instrumented to produce complete traces
+// of an application execution." Every pilot/unit/transfer transition is
+// appended here with its virtual timestamp; the TTC decomposition in
+// core/ttc.* is computed *only* from these traces, reproducing the paper's
+// methodology (instrument the middleware, then analyze the records — not the
+// simulator's privileged state).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace aimes::pilot {
+
+using common::SimDuration;
+using common::SimTime;
+
+/// Entity classes that appear in traces.
+enum class Entity { kPilot, kUnit, kTransfer, kManager };
+
+[[nodiscard]] constexpr std::string_view to_string(Entity e) {
+  switch (e) {
+    case Entity::kPilot: return "pilot";
+    case Entity::kUnit: return "unit";
+    case Entity::kTransfer: return "transfer";
+    case Entity::kManager: return "manager";
+  }
+  return "?";
+}
+
+/// One trace record: entity `uid` entered `state` at `when`.
+struct TraceRecord {
+  SimTime when;
+  Entity entity = Entity::kUnit;
+  std::uint64_t uid = 0;
+  std::string state;
+  /// Free-form context (site name, pilot id, file name...).
+  std::string detail;
+};
+
+/// Append-only trace store with the query helpers the analysis needs.
+class Profiler {
+ public:
+  void record(SimTime when, Entity entity, std::uint64_t uid, std::string state,
+              std::string detail = "");
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// First time `uid` entered `state`; SimTime::max() if never.
+  [[nodiscard]] SimTime first(Entity entity, std::uint64_t uid, std::string_view state) const;
+
+  /// First time *any* entity of this class entered `state`; max() if never.
+  [[nodiscard]] SimTime first_any(Entity entity, std::string_view state) const;
+
+  /// All [enter `from`, next enter of `to` for the same uid) intervals of an
+  /// entity class — e.g. every unit's [EXECUTING, PENDING_OUTPUT_STAGING)
+  /// span. Records are time-ordered by construction.
+  [[nodiscard]] common::IntervalSet intervals(Entity entity, std::string_view from,
+                                              std::string_view to) const;
+
+  /// Distinct uids of an entity class that ever entered `state`.
+  [[nodiscard]] std::size_t count_entered(Entity entity, std::string_view state) const;
+
+  /// Renders the full trace as CSV (when_ms, entity, uid, state, detail).
+  void render_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace aimes::pilot

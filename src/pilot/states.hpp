@@ -1,0 +1,100 @@
+// State models of pilots and compute units.
+//
+// Mirrors RADICAL-Pilot's explicit state models (paper §III.C): "Timers and
+// introspection tools record each state transition and the state properties
+// of each RADICAL-Pilot component." Every transition below is timestamped by
+// pilot::Profiler; the TTC analysis (core/ttc.*) is computed from those
+// traces alone.
+#pragma once
+
+#include <string_view>
+
+namespace aimes::pilot {
+
+/// Pilot lifecycle.
+///
+///   NEW -> PENDING_LAUNCH -> LAUNCHING -> PENDING_ACTIVE -> ACTIVE
+///       -> DONE | FAILED | CANCELED
+///
+/// PENDING_LAUNCH: described, not yet submitted through SAGA.
+/// LAUNCHING:      submission round-trip in progress.
+/// PENDING_ACTIVE: queued at the resource (this is where Tw accrues).
+/// ACTIVE:         the placeholder job is running; units may execute.
+enum class PilotState {
+  kNew,
+  kPendingLaunch,
+  kLaunching,
+  kPendingActive,
+  kActive,
+  kDone,
+  kFailed,
+  kCanceled,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(PilotState s) {
+  switch (s) {
+    case PilotState::kNew: return "NEW";
+    case PilotState::kPendingLaunch: return "PENDING_LAUNCH";
+    case PilotState::kLaunching: return "LAUNCHING";
+    case PilotState::kPendingActive: return "PENDING_ACTIVE";
+    case PilotState::kActive: return "ACTIVE";
+    case PilotState::kDone: return "DONE";
+    case PilotState::kFailed: return "FAILED";
+    case PilotState::kCanceled: return "CANCELED";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_final(PilotState s) {
+  return s == PilotState::kDone || s == PilotState::kFailed || s == PilotState::kCanceled;
+}
+
+/// Compute-unit lifecycle.
+///
+///   NEW -> SCHEDULING -> PENDING_INPUT_STAGING -> STAGING_INPUT
+///       -> PENDING_EXECUTION -> EXECUTING -> PENDING_OUTPUT_STAGING
+///       -> STAGING_OUTPUT -> DONE
+/// plus FAILED (restartable) and CANCELED from any non-final state.
+///
+/// SCHEDULING:      waiting for a pilot binding (late binding holds units
+///                  here until a pilot has capacity) and for data
+///                  dependencies on other units' outputs.
+/// PENDING_INPUT_STAGING / STAGING_INPUT: inputs move to the pilot's site.
+/// PENDING_EXECUTION: in the pilot agent's queue, waiting for cores.
+/// EXECUTING:       occupying cores on the active pilot.
+enum class UnitState {
+  kNew,
+  kScheduling,
+  kPendingInputStaging,
+  kStagingInput,
+  kPendingExecution,
+  kExecuting,
+  kPendingOutputStaging,
+  kStagingOutput,
+  kDone,
+  kFailed,
+  kCanceled,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(UnitState s) {
+  switch (s) {
+    case UnitState::kNew: return "NEW";
+    case UnitState::kScheduling: return "SCHEDULING";
+    case UnitState::kPendingInputStaging: return "PENDING_INPUT_STAGING";
+    case UnitState::kStagingInput: return "STAGING_INPUT";
+    case UnitState::kPendingExecution: return "PENDING_EXECUTION";
+    case UnitState::kExecuting: return "EXECUTING";
+    case UnitState::kPendingOutputStaging: return "PENDING_OUTPUT_STAGING";
+    case UnitState::kStagingOutput: return "STAGING_OUTPUT";
+    case UnitState::kDone: return "DONE";
+    case UnitState::kFailed: return "FAILED";
+    case UnitState::kCanceled: return "CANCELED";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_final(UnitState s) {
+  return s == UnitState::kDone || s == UnitState::kFailed || s == UnitState::kCanceled;
+}
+
+}  // namespace aimes::pilot

@@ -1,0 +1,371 @@
+#include "pilot/unit_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aimes::pilot {
+
+UnitManager::UnitManager(sim::Engine& engine, Profiler& profiler, PilotManager& pilots,
+                         net::StagingService& staging, UnitManagerOptions options,
+                         common::Rng rng)
+    : engine_(engine),
+      profiler_(profiler),
+      pilots_(pilots),
+      staging_(staging),
+      options_(options),
+      rng_(rng) {
+  pilots_.on_pilot_active = [this](ComputePilot& p) { handle_pilot_active(p); };
+  pilots_.on_pilot_gone = [this](ComputePilot& p, const std::vector<UnitId>& lost) {
+    handle_pilot_gone(p, lost);
+  };
+  pilots_.on_unit_done = [this](PilotId, UnitId u) { compute_done(u); };
+  pilots_.on_unit_executing = [this](PilotId, UnitId u) {
+    set_state(unit(u), UnitState::kExecuting);
+  };
+  pilots_.on_capacity = [this](PilotId) { pump_late_queue(); };
+}
+
+void UnitManager::set_state(ComputeUnit& u, UnitState s, const std::string& detail) {
+  u.state = s;
+  profiler_.record(engine_.now(), Entity::kUnit, u.id.value(), std::string(to_string(s)),
+                   detail.empty() ? u.description.name : detail);
+}
+
+const ComputeUnit* UnitManager::find(UnitId id) const {
+  auto it = units_.find(id);
+  return it == units_.end() ? nullptr : &it->second;
+}
+
+std::vector<UnitId> UnitManager::submit_units(const std::vector<ComputeUnitDescription>& batch) {
+  std::vector<UnitId> ids;
+  ids.reserve(batch.size());
+
+  // Create all records first so dependency indices can be resolved.
+  for (const auto& desc : batch) {
+    const UnitId id = ids_.next();
+    ComputeUnit u;
+    u.id = id;
+    u.description = desc;
+    units_.emplace(id, std::move(u));
+    order_.push_back(id);
+    ids.push_back(id);
+    set_state(units_.at(id), UnitState::kNew);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ComputeUnit& u = units_.at(ids[i]);
+    for (std::size_t dep : batch[i].depends_on) {
+      assert(dep < i && "dependencies must reference earlier units in the batch");
+      units_.at(ids[dep]).dependents.push_back(ids[i]);
+      ++u.unmet_dependencies;
+    }
+  }
+
+  // Manager dispatch is serialized: unit i enters SCHEDULING after
+  // (i+1) * dispatch_overhead — the Trp component of the paper's TTC.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const UnitId id = ids[i];
+    const auto delay = options_.dispatch_overhead * static_cast<double>(i + 1);
+    engine_.schedule(delay, [this, id, i] {
+      ComputeUnit& u = unit(id);
+      set_state(u, UnitState::kScheduling);
+      if (is_early_binding(options_.scheduler)) {
+        bind_early(u, i);
+        if (eligible(u)) try_start_bound_unit(id);
+      } else if (eligible(u)) {
+        enqueue_late(id);
+      }
+    });
+  }
+  return ids;
+}
+
+void UnitManager::bind_early(ComputeUnit& u, std::size_t index) {
+  auto pilots = pilots_.pilots();
+  assert(!pilots.empty() && "early binding requires submitted pilots");
+  const std::size_t target = options_.scheduler == UnitSchedulerKind::kRoundRobin
+                                 ? index % pilots.size()
+                                 : 0;
+  u.pilot = pilots[target]->id;
+}
+
+void UnitManager::try_start_bound_unit(UnitId id) {
+  ComputeUnit& u = unit(id);
+  if (u.state != UnitState::kScheduling || !eligible(u)) return;
+  ComputePilot* pilot = pilots_.find(u.pilot);
+  assert(pilot);
+  if (pilot->state != PilotState::kActive) return;  // staged when it activates
+  begin_staging(u);
+}
+
+void UnitManager::enqueue_late(UnitId id) {
+  late_queue_.push_back(id);
+  pump_late_queue();
+}
+
+int UnitManager::dispatch_budget_cores(const ComputePilot& pilot) const {
+  const double budget =
+      options_.prefetch_factor * static_cast<double>(pilot.description.cores);
+  auto it = dispatched_cores_.find(pilot.id);
+  const int used = it == dispatched_cores_.end() ? 0 : it->second;
+  return static_cast<int>(budget) - used;
+}
+
+void UnitManager::pump_late_queue() {
+  if (late_queue_.empty()) return;
+  // Round-robin over active pilots with spare budget; a pilot pulls the
+  // first queued unit that fits it.
+  bool progress = true;
+  while (progress && !late_queue_.empty()) {
+    progress = false;
+    for (ComputePilot* pilot : pilots_.active_pilots()) {
+      if (late_queue_.empty()) break;
+      int budget = dispatch_budget_cores(*pilot);
+      if (budget <= 0) continue;
+      // First fitting unit in queue order.
+      auto it = std::find_if(late_queue_.begin(), late_queue_.end(), [&](UnitId id) {
+        const ComputeUnit& u = unit(id);
+        return u.description.cores <= pilot->description.cores &&
+               u.description.cores <= budget;
+      });
+      if (it == late_queue_.end()) continue;
+      const UnitId id = *it;
+      late_queue_.erase(it);
+      ComputeUnit& u = unit(id);
+      u.pilot = pilot->id;
+      begin_staging(u);
+      progress = true;
+    }
+  }
+}
+
+void UnitManager::begin_staging(ComputeUnit& u) {
+  assert(u.state == UnitState::kScheduling);
+  ComputePilot* pilot = pilots_.find(u.pilot);
+  assert(pilot && pilot->state == PilotState::kActive);
+
+  ++u.attempts;
+  u.holds_dispatch_slot = true;
+  dispatched_cores_[u.pilot] += u.description.cores;
+
+  set_state(u, UnitState::kPendingInputStaging);
+  if (u.description.inputs.empty()) {
+    input_staged(u.id);  // no inputs: fall through
+    return;
+  }
+  set_state(u, UnitState::kStagingInput);
+  u.inflight_inputs = u.description.inputs.size();
+  const int attempt = u.attempts;
+  const UnitId id = u.id;
+  const common::SiteId site = pilot->description.site;
+  for (const auto& file : u.description.inputs) {
+    const std::uint64_t fid = file.file.value();
+    profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_IN_START", file.name);
+    auto status = staging_.stage(file.name, site, net::Direction::kIn, file.size,
+                                 [this, id, attempt, fid](const net::StagingDone& done) {
+      profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_IN_DONE", done.file);
+      auto uit = units_.find(id);
+      assert(uit != units_.end());
+      ComputeUnit& cu = uit->second;
+      if (cu.attempts != attempt || cu.state != UnitState::kStagingInput) return;  // stale
+      assert(cu.inflight_inputs > 0);
+      if (--cu.inflight_inputs == 0) input_staged(id);
+    });
+    assert(status.ok());
+    (void)status;
+  }
+}
+
+void UnitManager::input_staged(UnitId id) {
+  ComputeUnit& u = unit(id);
+  ComputePilot* pilot = pilots_.find(u.pilot);
+  if (!pilot || pilot->state != PilotState::kActive) {
+    restart_unit(id, "pilot lost during input staging");
+    return;
+  }
+  set_state(u, UnitState::kPendingExecution);
+  pilot->agent->enqueue(id, u.description.cores, u.description.duration);
+}
+
+void UnitManager::compute_done(UnitId id) {
+  ComputeUnit& u = unit(id);
+  if (is_final(u.state)) return;  // cancelled while executing
+  assert(u.state == UnitState::kExecuting);
+
+  if (u.holds_dispatch_slot) {
+    dispatched_cores_[u.pilot] -= u.description.cores;
+    u.holds_dispatch_slot = false;
+  }
+
+  if (options_.unit_failure_probability > 0.0 &&
+      rng_.bernoulli(options_.unit_failure_probability)) {
+    restart_unit(id, "injected task failure");
+    pump_late_queue();
+    return;
+  }
+
+  set_state(u, UnitState::kPendingOutputStaging);
+  if (u.description.outputs.empty()) {
+    finish_unit(u, UnitState::kDone);
+    return;
+  }
+  set_state(u, UnitState::kStagingOutput);
+  u.inflight_outputs = u.description.outputs.size();
+  const int attempt = u.attempts;
+  const common::SiteId site = pilots_.find(u.pilot)->description.site;
+  for (const auto& file : u.description.outputs) {
+    const std::uint64_t fid = file.file.value();
+    profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_OUT_START", file.name);
+    auto status = staging_.stage(file.name, site, net::Direction::kOut, file.size,
+                                 [this, id, attempt, fid](const net::StagingDone& done) {
+      profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_OUT_DONE", done.file);
+      auto uit = units_.find(id);
+      assert(uit != units_.end());
+      ComputeUnit& cu = uit->second;
+      if (cu.attempts != attempt || cu.state != UnitState::kStagingOutput) return;  // stale
+      assert(cu.inflight_outputs > 0);
+      if (--cu.inflight_outputs == 0) output_staged(id);
+    });
+    assert(status.ok());
+    (void)status;
+  }
+}
+
+void UnitManager::output_staged(UnitId id) {
+  finish_unit(unit(id), UnitState::kDone);
+}
+
+void UnitManager::finish_unit(ComputeUnit& u, UnitState final_state) {
+  assert(final_state == UnitState::kDone || final_state == UnitState::kFailed);
+  if (u.holds_dispatch_slot) {
+    dispatched_cores_[u.pilot] -= u.description.cores;
+    u.holds_dispatch_slot = false;
+  }
+  set_state(u, final_state);
+  if (final_state == UnitState::kDone) {
+    ++done_;
+    resolve_dependents(u);
+  } else {
+    ++failed_;
+  }
+  maybe_complete();
+}
+
+void UnitManager::resolve_dependents(ComputeUnit& u) {
+  for (UnitId dep_id : u.dependents) {
+    ComputeUnit& dep = unit(dep_id);
+    assert(dep.unmet_dependencies > 0);
+    if (--dep.unmet_dependencies > 0) continue;
+    if (dep.state != UnitState::kScheduling) continue;  // not dispatched yet
+    if (is_early_binding(options_.scheduler)) {
+      try_start_bound_unit(dep_id);
+    } else {
+      enqueue_late(dep_id);
+    }
+  }
+}
+
+void UnitManager::handle_pilot_active(ComputePilot& pilot) {
+  if (is_early_binding(options_.scheduler)) {
+    // Stage every eligible unit bound to this pilot. Iterate by id order for
+    // determinism.
+    for (UnitId id : order_) {
+      ComputeUnit& u = unit(id);
+      if (u.pilot == pilot.id && u.state == UnitState::kScheduling && eligible(u)) {
+        begin_staging(u);
+      }
+    }
+  } else {
+    pump_late_queue();
+  }
+}
+
+void UnitManager::handle_pilot_gone(ComputePilot& pilot, const std::vector<UnitId>& lost) {
+  // Units the agent was holding (queued or executing).
+  for (UnitId id : lost) restart_unit(id, "pilot " + pilot.id.str() + " gone");
+  // Units bound to this pilot still scheduling or staging inputs.
+  for (UnitId id : order_) {
+    ComputeUnit& u = unit(id);
+    if (u.pilot != pilot.id) continue;
+    if (u.state == UnitState::kPendingInputStaging || u.state == UnitState::kStagingInput ||
+        u.state == UnitState::kPendingExecution) {
+      restart_unit(id, "pilot " + pilot.id.str() + " gone before execution");
+    }
+  }
+  pump_late_queue();
+}
+
+void UnitManager::restart_unit(UnitId id, const std::string& reason) {
+  ComputeUnit& u = unit(id);
+  if (is_final(u.state)) return;
+  if (u.holds_dispatch_slot) {
+    dispatched_cores_[u.pilot] -= u.description.cores;
+    u.holds_dispatch_slot = false;
+  }
+  u.inflight_inputs = 0;
+  u.inflight_outputs = 0;
+  set_state(u, UnitState::kFailed, reason);
+
+  if (u.attempts >= options_.max_attempts) {
+    common::Log::warn("unit-mgr", u.id.str() + " exhausted attempts: " + reason);
+    finish_unit(u, UnitState::kFailed);
+    return;
+  }
+
+  // Restart: back to SCHEDULING, then rebind.
+  set_state(u, UnitState::kScheduling, "restart after: " + reason);
+  if (is_early_binding(options_.scheduler)) {
+    // Rebind to the first pilot that is not final (prefer a different one).
+    ComputePilot* fallback = nullptr;
+    for (ComputePilot* p : pilots_.pilots()) {
+      if (is_final(p->state)) continue;
+      if (p->id != u.pilot) {
+        fallback = p;
+        break;
+      }
+      if (!fallback) fallback = p;
+    }
+    if (!fallback) {
+      finish_unit(u, UnitState::kFailed);
+      return;
+    }
+    u.pilot = fallback->id;
+    try_start_bound_unit(id);
+  } else {
+    u.pilot = common::PilotId::invalid();
+    if (eligible(u)) enqueue_late(id);
+  }
+}
+
+void UnitManager::cancel_all(const std::string& reason) {
+  for (UnitId id : order_) {
+    ComputeUnit& u = unit(id);
+    if (is_final(u.state)) continue;
+    if (u.holds_dispatch_slot) {
+      dispatched_cores_[u.pilot] -= u.description.cores;
+      u.holds_dispatch_slot = false;
+    }
+    u.inflight_inputs = 0;
+    u.inflight_outputs = 0;
+    set_state(u, UnitState::kCanceled, reason);
+    ++cancelled_;
+  }
+  late_queue_.clear();
+  maybe_complete();
+}
+
+void UnitManager::maybe_complete() {
+  if (completed_fired_) return;
+  if (done_ + failed_ + cancelled_ < order_.size()) return;
+  completed_fired_ = true;
+  if (on_complete) {
+    UnitBatchResult result{done_, failed_, cancelled_};
+    profiler_.record(engine_.now(), Entity::kManager, 0, "BATCH_COMPLETE",
+                     "done=" + std::to_string(done_) + " failed=" + std::to_string(failed_) +
+                         " cancelled=" + std::to_string(cancelled_));
+    on_complete(result);
+  }
+}
+
+}  // namespace aimes::pilot

@@ -1,0 +1,179 @@
+// Unit manager (the RADICAL-Pilot UnitManager analogue).
+//
+// Owns compute units and drives them through their state model: binding to
+// pilots (early or late), input staging to the pilot's site, execution on
+// the pilot agent, output staging back to the origin, dependency resolution
+// across units, and automatic restart of units lost to pilot failures
+// ("tasks are automatically restarted in case of failure", §III.E).
+//
+// Three unit schedulers realize the paper's binding/scheduling decisions
+// (Table I):
+//  * kDirect     — early binding: every unit is bound at submission to the
+//                  first pilot (the paper's 1-pilot strategies).
+//  * kRoundRobin — early binding across several pilots, unit i to pilot
+//                  i mod N (kept for the decision-space ablations).
+//  * kBackfill   — late binding: units wait in a queue; any pilot that is
+//                  ACTIVE with spare capacity pulls the next eligible unit
+//                  ("backfilling" the pilots, §IV).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/staging.hpp"
+#include "pilot/description.hpp"
+#include "pilot/pilot_manager.hpp"
+#include "pilot/profiler.hpp"
+#include "pilot/states.hpp"
+
+namespace aimes::pilot {
+
+using common::UnitId;
+
+/// Unit-to-pilot scheduling policies.
+enum class UnitSchedulerKind { kDirect, kRoundRobin, kBackfill };
+
+[[nodiscard]] constexpr std::string_view to_string(UnitSchedulerKind k) {
+  switch (k) {
+    case UnitSchedulerKind::kDirect: return "direct";
+    case UnitSchedulerKind::kRoundRobin: return "round-robin";
+    case UnitSchedulerKind::kBackfill: return "backfill";
+  }
+  return "?";
+}
+
+/// True for policies that bind units before pilots become active.
+[[nodiscard]] constexpr bool is_early_binding(UnitSchedulerKind k) {
+  return k != UnitSchedulerKind::kBackfill;
+}
+
+/// Unit-manager tuning.
+struct UnitManagerOptions {
+  UnitSchedulerKind scheduler = UnitSchedulerKind::kDirect;
+  /// Late binding dispatches (stages ahead) at most prefetch_factor * cores
+  /// worth of units per pilot, keeping cores busy without funnelling the
+  /// whole bag to the first active pilot (which would starve later pilots
+  /// and inflate Tx).
+  double prefetch_factor = 1.15;
+  /// Maximum execution attempts per unit (restarts after pilot loss or
+  /// injected failure).
+  int max_attempts = 3;
+  /// Probability that a unit's compute phase fails (failure injection for
+  /// tests and reliability experiments). 0 disables.
+  double unit_failure_probability = 0.0;
+  /// Per-unit manager dispatch overhead (scheduling bookkeeping of the
+  /// middleware); contributes to the >256-task Tx gradient.
+  common::SimDuration dispatch_overhead = common::SimDuration::millis(15);
+};
+
+/// A managed unit.
+struct ComputeUnit {
+  UnitId id;
+  ComputeUnitDescription description;
+  UnitState state = UnitState::kNew;
+  /// Current binding; invalid while unbound (late binding, SCHEDULING).
+  PilotId pilot;
+  int attempts = 0;
+  // Dependency bookkeeping.
+  std::size_t unmet_dependencies = 0;
+  std::vector<UnitId> dependents;
+  // Staging progress of the current attempt.
+  std::size_t inflight_inputs = 0;
+  std::size_t inflight_outputs = 0;
+  /// True while the unit counts against its pilot's dispatch budget.
+  bool holds_dispatch_slot = false;
+};
+
+/// Summary returned when a batch completes.
+struct UnitBatchResult {
+  std::size_t done = 0;
+  std::size_t failed = 0;     // permanently failed (attempts exhausted)
+  std::size_t cancelled = 0;  // aborted by the user
+  [[nodiscard]] bool all_done() const { return failed == 0 && cancelled == 0; }
+};
+
+/// Orchestrates units over the pilots of one PilotManager.
+class UnitManager {
+ public:
+  /// All referenced objects must outlive the manager. The manager wires
+  /// itself into `pilots`' callbacks; one UnitManager per PilotManager.
+  UnitManager(sim::Engine& engine, Profiler& profiler, PilotManager& pilots,
+              net::StagingService& staging, UnitManagerOptions options, common::Rng rng);
+
+  UnitManager(const UnitManager&) = delete;
+  UnitManager& operator=(const UnitManager&) = delete;
+
+  /// Fired once when every submitted unit reached DONE or exhausted its
+  /// attempts.
+  std::function<void(const UnitBatchResult&)> on_complete;
+
+  /// Submits a batch; `depends_on` indices inside each description refer to
+  /// positions in `batch`. Early-binding schedulers bind immediately (pilots
+  /// must already be submitted). Returns ids in batch order.
+  std::vector<UnitId> submit_units(const std::vector<ComputeUnitDescription>& batch);
+
+  /// Cancels every non-final unit (aborting the batch). Executing units are
+  /// torn down when their pilots are cancelled; the batch then completes
+  /// with the cancelled count set.
+  void cancel_all(const std::string& reason);
+
+  [[nodiscard]] const ComputeUnit* find(UnitId id) const;
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  [[nodiscard]] std::size_t done_count() const { return done_; }
+  [[nodiscard]] std::size_t failed_count() const { return failed_; }
+  [[nodiscard]] std::size_t cancelled_count() const { return cancelled_; }
+  [[nodiscard]] UnitSchedulerKind scheduler() const { return options_.scheduler; }
+
+ private:
+  ComputeUnit& unit(UnitId id) { return units_.at(id); }
+  void set_state(ComputeUnit& u, UnitState s, const std::string& detail = "");
+  [[nodiscard]] bool eligible(const ComputeUnit& u) const {
+    return u.unmet_dependencies == 0;
+  }
+
+  // Early binding path.
+  void bind_early(ComputeUnit& u, std::size_t index);
+  void try_start_bound_unit(UnitId id);
+
+  // Late binding path.
+  void enqueue_late(UnitId id);
+  void pump_late_queue();
+  [[nodiscard]] int dispatch_budget_cores(const ComputePilot& pilot) const;
+
+  // Common path.
+  void begin_staging(ComputeUnit& u);
+  void input_staged(UnitId id);
+  void compute_done(UnitId id);
+  void output_staged(UnitId id);
+  void finish_unit(ComputeUnit& u, UnitState final_state);
+  void handle_pilot_active(ComputePilot& pilot);
+  void handle_pilot_gone(ComputePilot& pilot, const std::vector<UnitId>& lost);
+  void restart_unit(UnitId id, const std::string& reason);
+  void resolve_dependents(ComputeUnit& u);
+  void maybe_complete();
+
+  sim::Engine& engine_;
+  Profiler& profiler_;
+  PilotManager& pilots_;
+  net::StagingService& staging_;
+  UnitManagerOptions options_;
+  common::Rng rng_;
+
+  common::IdGen<common::UnitTag> ids_;
+  std::unordered_map<UnitId, ComputeUnit> units_;
+  std::vector<UnitId> order_;
+  std::deque<UnitId> late_queue_;  // eligible, unbound (late binding)
+  /// Cores' worth of units dispatched to a pilot and not yet finished
+  /// (staging + queued + executing) — the late-binding backpressure signal.
+  std::unordered_map<PilotId, int> dispatched_cores_;
+  std::size_t done_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t cancelled_ = 0;
+  bool completed_fired_ = false;
+};
+
+}  // namespace aimes::pilot

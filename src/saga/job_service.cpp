@@ -1,0 +1,94 @@
+#include "saga/job_service.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aimes::saga {
+
+namespace {
+JobState map_state(cluster::JobState s) {
+  switch (s) {
+    case cluster::JobState::kPending: return JobState::kPending;
+    case cluster::JobState::kRunning: return JobState::kRunning;
+    case cluster::JobState::kCompleted: return JobState::kDone;
+    // A walltime kill is how pilots normally end; the access layer reports
+    // it as Done-with-timeout, which we fold into Done (the pilot layer
+    // tracks its own walltime anyway). Real SAGA adaptors behave likewise.
+    case cluster::JobState::kTimeout: return JobState::kDone;
+    case cluster::JobState::kCancelled: return JobState::kCanceled;
+    // Eviction on an opportunistic resource is a failure from the user's
+    // perspective: the pilot layer restarts the lost work elsewhere.
+    case cluster::JobState::kPreempted: return JobState::kFailed;
+  }
+  return JobState::kFailed;
+}
+}  // namespace
+
+JobService::JobService(sim::Engine& engine, cluster::ClusterSite& site, common::Rng rng,
+                       Options options)
+    : engine_(engine), site_(site), rng_(rng), options_(options) {}
+
+int JobService::cores_to_nodes(int cores) const {
+  const int cpn = site_.config().cores_per_node;
+  return (cores + cpn - 1) / cpn;
+}
+
+void JobService::dispatch(const JobEvent& event, const StateCallback& cb) {
+  if (!cb) return;
+  // Callbacks are dispatched as engine events so middleware reactions never
+  // run re-entrantly inside the cluster's scheduling pass.
+  engine_.schedule(common::SimDuration::zero(), [event, cb] { cb(event); });
+}
+
+JobId JobService::submit(const JobDescription& description, StateCallback on_state) {
+  const JobId saga_id = ids_.next();
+  tracked_.emplace(saga_id, Tracked{});
+  dispatch(JobEvent{saga_id, site_.id(), JobState::kNew, engine_.now()}, on_state);
+
+  const auto latency = common::SimDuration::seconds(rng_.uniform(
+      options_.min_submit_latency.to_seconds(), options_.max_submit_latency.to_seconds()));
+
+  engine_.schedule(latency, [this, saga_id, description, on_state] {
+    auto it = tracked_.find(saga_id);
+    assert(it != tracked_.end());
+    if (it->second.cancelled_before_admit) {
+      dispatch(JobEvent{saga_id, site_.id(), JobState::kCanceled, engine_.now()}, on_state);
+      return;
+    }
+    cluster::JobRequest req;
+    req.name = description.name;
+    req.nodes = cores_to_nodes(description.cores);
+    req.walltime = description.walltime;
+    req.runtime = description.runtime;
+    req.owner = "aimes";
+    req.on_state_change = [this, saga_id, on_state](const cluster::Job& job) {
+      dispatch(JobEvent{saga_id, site_.id(), map_state(job.state), engine_.now()}, on_state);
+    };
+    auto admitted = site_.submit(req);
+    if (!admitted) {
+      common::Log::warn("saga", "submit failed on " + site_.name() + ": " + admitted.error());
+      dispatch(JobEvent{saga_id, site_.id(), JobState::kFailed, engine_.now()}, on_state);
+      return;
+    }
+    it->second.cluster_id = *admitted;
+    // The cluster only notifies on transitions out of Pending; report the
+    // admission itself here.
+    dispatch(JobEvent{saga_id, site_.id(), JobState::kPending, engine_.now()}, on_state);
+  });
+  return saga_id;
+}
+
+void JobService::cancel(JobId id) {
+  auto it = tracked_.find(id);
+  if (it == tracked_.end()) return;
+  if (!it->second.cluster_id.valid()) {
+    it->second.cancelled_before_admit = true;
+    return;
+  }
+  // Ignore failures: cancelling an already-final job is a benign race, as on
+  // a real resource.
+  (void)site_.cancel(it->second.cluster_id);
+}
+
+}  // namespace aimes::saga

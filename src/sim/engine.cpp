@@ -1,0 +1,82 @@
+#include "sim/engine.hpp"
+
+namespace aimes::sim {
+
+EventId Engine::schedule(SimDuration delay, Callback fn) {
+  assert(delay >= SimDuration::zero());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Engine::schedule_at(SimTime when, Callback fn) {
+  assert(when >= now_);
+  assert(fn);
+  const EventId id = ids_.next();
+  queue_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Engine::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already fired or never existed
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool Engine::pending(EventId id) const { return callbacks_.count(id) > 0; }
+
+bool Engine::fire_next() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    queue_.pop();
+    auto cit = cancelled_.find(e.id);
+    if (cit != cancelled_.end()) {
+      cancelled_.erase(cit);
+      continue;  // lazily dropped
+    }
+    auto it = callbacks_.find(e.id);
+    assert(it != callbacks_.end());
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = e.when;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run() {
+  std::size_t n = 0;
+  while (fire_next()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime until) {
+  assert(until >= now_);
+  std::size_t n = 0;
+  for (;;) {
+    // Peek at the next live event.
+    bool fired = false;
+    while (!queue_.empty()) {
+      const Entry& top = queue_.top();
+      if (cancelled_.count(top.id)) {
+        cancelled_.erase(top.id);
+        queue_.pop();
+        continue;
+      }
+      if (top.when > until) break;
+      fire_next();
+      fired = true;
+      ++n;
+      break;
+    }
+    if (!fired) break;
+  }
+  now_ = until;
+  return n;
+}
+
+bool Engine::step() { return fire_next(); }
+
+}  // namespace aimes::sim

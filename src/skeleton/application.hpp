@@ -1,0 +1,119 @@
+// Materialized skeleton applications.
+//
+// materialize() samples every distribution in a SkeletonSpec and produces the
+// concrete object the Execution Manager consumes through the skeleton API
+// (paper Figure 1, step 1): tasks with fixed durations, files with fixed
+// sizes, and a producer/consumer graph connecting them across stages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/data_size.hpp"
+#include "common/id.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "skeleton/spec.hpp"
+
+namespace aimes::skeleton {
+
+using common::DataSize;
+using common::FileId;
+using common::SimDuration;
+using common::TaskId;
+
+/// A concrete file of the application.
+struct SkelFile {
+  FileId id;
+  std::string name;
+  DataSize size;
+  /// Producing task, or invalid when the file is external input (created by
+  /// the skeleton's preparation scripts at the origin).
+  TaskId producer;
+  [[nodiscard]] bool external() const { return !producer.valid(); }
+};
+
+/// A concrete task of the application.
+struct SkelTask {
+  TaskId id;
+  std::string name;
+  int stage = 0;
+  int cores = 1;
+  /// Sampled wall duration of the compute phase.
+  SimDuration duration;
+  std::vector<FileId> inputs;
+  std::vector<FileId> outputs;
+};
+
+/// Summary of one stage in the materialized application.
+struct StageInfo {
+  std::string name;
+  /// Index range [first_task, first_task + task_count) into tasks().
+  std::size_t first_task = 0;
+  std::size_t task_count = 0;
+};
+
+/// The concrete application.
+class SkeletonApplication {
+ public:
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<SkelTask>& tasks() const { return tasks_; }
+  [[nodiscard]] const std::vector<SkelFile>& files() const { return files_; }
+  [[nodiscard]] const std::vector<StageInfo>& stages() const { return stages_; }
+
+  [[nodiscard]] const SkelTask& task(TaskId id) const;
+  [[nodiscard]] const SkelFile& file(FileId id) const;
+
+  /// Tasks with no unsatisfied intra-application dependencies come first in
+  /// tasks(); stage order is a valid topological order by construction.
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+  // --- Aggregates used by strategy derivation (paper §III.D step 2) ---
+  /// Sum of all task durations (serial compute time).
+  [[nodiscard]] SimDuration total_compute() const;
+  /// Longest single task duration.
+  [[nodiscard]] SimDuration max_task_duration() const;
+  /// Bytes entering from the origin (external inputs).
+  [[nodiscard]] DataSize total_external_input() const;
+  /// Bytes of final outputs (files no later task consumes).
+  [[nodiscard]] DataSize total_final_output() const;
+  /// Maximum cores any single task needs.
+  [[nodiscard]] int max_task_cores() const;
+  /// Peak concurrency: the largest stage's total core demand.
+  [[nodiscard]] int peak_concurrent_cores() const;
+  /// Whether any file is produced by one task and consumed by another.
+  [[nodiscard]] bool has_inter_task_data() const;
+  /// Files consumed by at least one task, keyed by file id index.
+  [[nodiscard]] std::vector<bool> consumed_flags() const;
+
+  /// Extracts stage `index` as a standalone single-stage application: its
+  /// tasks are renumbered densely and inputs produced by earlier stages
+  /// become *external* files (by the time a stage runs under staged
+  /// execution, its predecessors' outputs have been staged back to the
+  /// origin). Powers per-stage dynamic planning (paper §V: decomposing
+  /// workflows "to adapt to resource availability and capabilities").
+  [[nodiscard]] SkeletonApplication stage_slice(std::size_t index) const;
+
+ private:
+  friend SkeletonApplication materialize(const SkeletonSpec& spec, std::uint64_t seed);
+
+  std::string name_;
+  std::vector<SkelTask> tasks_;
+  std::vector<SkelFile> files_;
+  std::vector<StageInfo> stages_;
+};
+
+/// Samples all distributions and builds the task/file graph. Deterministic in
+/// (spec, seed). The spec must validate; materialize asserts on invalid specs.
+[[nodiscard]] SkeletonApplication materialize(const SkeletonSpec& spec, std::uint64_t seed);
+
+/// Renders the application as a sequential shell script (output form (a) of
+/// the skeleton tool: "shell commands that can be executed in sequential
+/// order on a single machine").
+[[nodiscard]] std::string to_shell_script(const SkeletonApplication& app);
+
+/// Renders the application as the JSON structure consumed by middleware
+/// (output form (d) of the skeleton tool).
+[[nodiscard]] std::string to_json(const SkeletonApplication& app);
+
+}  // namespace aimes::skeleton

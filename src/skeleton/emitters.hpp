@@ -1,0 +1,26 @@
+// Additional skeleton output forms (paper §III.A).
+//
+// The Application Skeleton tool emits a skeleton application as "(a) shell
+// commands..., (b) a Pegasus DAG, (c) a Swift script..., or (d) a JSON
+// structure". Forms (a) and (d) live in application.hpp; this header adds
+// (b) and (c) so a materialized skeleton can be handed to workflow systems
+// outside AIMES, exactly as the original tool allowed.
+#pragma once
+
+#include <string>
+
+#include "skeleton/application.hpp"
+
+namespace aimes::skeleton {
+
+/// Output form (b): a Pegasus abstract workflow (DAX 3 XML): one <job> per
+/// task with <uses> file declarations, plus explicit <child>/<parent>
+/// control edges derived from the file producer/consumer graph.
+[[nodiscard]] std::string to_pegasus_dax(const SkeletonApplication& app);
+
+/// Output form (c): a Swift script: one app() declaration per stage shape
+/// and a foreach block per stage, with file mappings mirroring the skeleton
+/// data dependencies.
+[[nodiscard]] std::string to_swift_script(const SkeletonApplication& app);
+
+}  // namespace aimes::skeleton

@@ -1,0 +1,140 @@
+#include "skeleton/profiles.hpp"
+
+namespace aimes::skeleton::profiles {
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+
+StageSpec stage(std::string name, int tasks, DistributionSpec duration_s) {
+  StageSpec s;
+  s.name = std::move(name);
+  s.tasks = tasks;
+  s.duration = std::move(duration_s);
+  return s;
+}
+}  // namespace
+
+SkeletonSpec bag_of_tasks(int tasks, DistributionSpec duration_s) {
+  SkeletonSpec spec;
+  spec.name = "bag_of_tasks_" + std::to_string(tasks);
+  StageSpec s = stage("main", tasks, std::move(duration_s));
+  // The paper's experimental design: every task reads a single 1 MB input
+  // and produces a single 2 KB output (§IV.B).
+  s.input_mapping = InputMapping::kExternal;
+  s.inputs_per_task = 1;
+  s.input_size = DistributionSpec::constant(kMiB);
+  s.outputs_per_task = 1;
+  s.output_size = DistributionSpec::constant(2048);
+  spec.stages.push_back(std::move(s));
+  return spec;
+}
+
+SkeletonSpec bag_uniform(int tasks) {
+  return bag_of_tasks(tasks, DistributionSpec::constant(15.0 * 60.0));
+}
+
+SkeletonSpec bag_gaussian(int tasks) {
+  return bag_of_tasks(tasks, DistributionSpec::truncated_normal(15.0 * 60.0, 5.0 * 60.0,
+                                                                1.0 * 60.0, 30.0 * 60.0));
+}
+
+SkeletonSpec map_reduce(int maps, int reduces, DistributionSpec map_duration_s,
+                        DistributionSpec reduce_duration_s) {
+  SkeletonSpec spec;
+  spec.name = "map_reduce_" + std::to_string(maps) + "x" + std::to_string(reduces);
+
+  StageSpec map = stage("map", maps, std::move(map_duration_s));
+  map.input_mapping = InputMapping::kExternal;
+  map.input_size = DistributionSpec::constant(4 * kMiB);
+  map.output_size = DistributionSpec::constant(kMiB);
+  spec.stages.push_back(std::move(map));
+
+  StageSpec reduce = stage("reduce", reduces, std::move(reduce_duration_s));
+  reduce.input_mapping = InputMapping::kRoundRobin;
+  reduce.output_size = DistributionSpec::constant(0.25 * kMiB);
+  spec.stages.push_back(std::move(reduce));
+  return spec;
+}
+
+SkeletonSpec montage_like(int tiles) {
+  SkeletonSpec spec;
+  spec.name = "montage_like_" + std::to_string(tiles);
+
+  StageSpec project = stage("mProjectPP", tiles,
+                            DistributionSpec::truncated_normal(110, 30, 20, 300));
+  project.input_mapping = InputMapping::kExternal;
+  project.input_size = DistributionSpec::constant(3.2 * kMiB);
+  project.output_size = DistributionSpec::constant(6.5 * kMiB);
+  spec.stages.push_back(std::move(project));
+
+  StageSpec background = stage("mBackground", tiles,
+                               DistributionSpec::truncated_normal(40, 10, 5, 120));
+  background.input_mapping = InputMapping::kOneToOne;
+  background.output_size = DistributionSpec::constant(6.5 * kMiB);
+  spec.stages.push_back(std::move(background));
+
+  StageSpec add = stage("mAdd", 1, DistributionSpec::truncated_normal(700, 120, 300, 1500));
+  add.input_mapping = InputMapping::kAllToOne;
+  add.output_size = DistributionSpec::constant(150 * kMiB);
+  spec.stages.push_back(std::move(add));
+  return spec;
+}
+
+SkeletonSpec blast_like(int queries) {
+  SkeletonSpec spec;
+  spec.name = "blast_like_" + std::to_string(queries);
+
+  StageSpec search = stage("blastall", queries,
+                           DistributionSpec::lognormal(6.8, 0.5));  // median ~15 min
+  search.input_mapping = InputMapping::kExternal;
+  search.input_size = DistributionSpec::constant(24 * kMiB);  // database shard
+  search.output_size = DistributionSpec::lognormal(11.0, 0.8);
+  spec.stages.push_back(std::move(search));
+
+  StageSpec merge = stage("merge", 1, DistributionSpec::constant(180));
+  merge.input_mapping = InputMapping::kAllToOne;
+  merge.output_size = DistributionSpec::constant(8 * kMiB);
+  spec.stages.push_back(std::move(merge));
+  return spec;
+}
+
+SkeletonSpec cybershake_like(int sites) {
+  SkeletonSpec spec;
+  spec.name = "cybershake_like_" + std::to_string(sites);
+
+  StageSpec peak = stage("peak_calc", sites,
+                         DistributionSpec::truncated_normal(50, 15, 10, 120));
+  peak.input_mapping = InputMapping::kExternal;
+  peak.inputs_per_task = 2;
+  peak.input_size = DistributionSpec::constant(12 * kMiB);
+  peak.output_size = DistributionSpec::constant(0.1 * kMiB);
+  spec.stages.push_back(std::move(peak));
+
+  StageSpec curves = stage("hazard_curves", std::max(1, sites / 16),
+                           DistributionSpec::truncated_normal(240, 60, 60, 600));
+  curves.input_mapping = InputMapping::kRoundRobin;
+  curves.output_size = DistributionSpec::constant(0.5 * kMiB);
+  spec.stages.push_back(std::move(curves));
+  return spec;
+}
+
+SkeletonSpec iterative_pipeline(int tasks, int stages_per_iter, int iterations,
+                                DistributionSpec duration_s) {
+  SkeletonSpec spec;
+  spec.name = "iterative_pipeline";
+  spec.iterations = iterations;
+  for (int i = 0; i < stages_per_iter; ++i) {
+    StageSpec s = stage("s" + std::to_string(i), tasks, duration_s);
+    if (i == 0) {
+      s.input_mapping = InputMapping::kExternal;
+      s.input_size = DistributionSpec::constant(kMiB);
+    } else {
+      s.input_mapping = InputMapping::kOneToOne;
+    }
+    s.output_size = DistributionSpec::constant(kMiB);
+    spec.stages.push_back(std::move(s));
+  }
+  return spec;
+}
+
+}  // namespace aimes::skeleton::profiles

@@ -1,0 +1,47 @@
+// Ready-made skeleton profiles.
+//
+// The paper's experiments use bag-of-task skeletons (Table I); its skeleton
+// validation work profiled Montage, BLAST and CyberShake-postprocessing
+// (§III.A). These factories capture those shapes so examples, tests and
+// benches share one vocabulary.
+#pragma once
+
+#include "skeleton/spec.hpp"
+
+namespace aimes::skeleton::profiles {
+
+/// Single-stage bag of `tasks` single-core tasks with the given duration
+/// distribution (seconds) and the paper's staging profile: 1 MB in, 2 KB out
+/// per task.
+[[nodiscard]] SkeletonSpec bag_of_tasks(int tasks, DistributionSpec duration_s);
+
+/// The paper's Experiment 1/3 workload: fixed 15-minute tasks.
+[[nodiscard]] SkeletonSpec bag_uniform(int tasks);
+
+/// The paper's Experiment 2/4 workload: truncated Gaussian task durations
+/// (mean 15 min, stdev 5 min, bounds [1, 30] min).
+[[nodiscard]] SkeletonSpec bag_gaussian(int tasks);
+
+/// Two-stage map-reduce: `maps` mappers feeding `reduces` reducers
+/// round-robin ("map-reduce applications are basically two-stage").
+[[nodiscard]] SkeletonSpec map_reduce(int maps, int reduces,
+                                      DistributionSpec map_duration_s,
+                                      DistributionSpec reduce_duration_s);
+
+/// Montage-like three-stage mosaicking shape: wide projection stage, a
+/// background-model stage, and a single-task co-addition (all-to-one).
+[[nodiscard]] SkeletonSpec montage_like(int tiles);
+
+/// BLAST-like shape: a bag of medium, input-heavy search tasks plus a merge.
+[[nodiscard]] SkeletonSpec blast_like(int queries);
+
+/// CyberShake-postprocessing-like shape: two stages, many short tasks with
+/// sizeable inputs, then a small aggregation stage.
+[[nodiscard]] SkeletonSpec cybershake_like(int sites);
+
+/// Iterative multistage workflow: `stages_per_iter` stages iterated
+/// `iterations` times, one-to-one chained.
+[[nodiscard]] SkeletonSpec iterative_pipeline(int tasks, int stages_per_iter, int iterations,
+                                              DistributionSpec duration_s);
+
+}  // namespace aimes::skeleton::profiles

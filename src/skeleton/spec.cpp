@@ -1,0 +1,97 @@
+#include "skeleton/spec.hpp"
+
+#include "common/string_util.hpp"
+
+namespace aimes::skeleton {
+
+std::string_view to_string(InputMapping m) {
+  switch (m) {
+    case InputMapping::kExternal: return "external";
+    case InputMapping::kOneToOne: return "one_to_one";
+    case InputMapping::kAllToOne: return "all_to_one";
+    case InputMapping::kRoundRobin: return "round_robin";
+  }
+  return "?";
+}
+
+Expected<InputMapping> parse_input_mapping(const std::string& text) {
+  const std::string t = common::to_lower(common::trim(text));
+  if (t == "external") return InputMapping::kExternal;
+  if (t == "one_to_one") return InputMapping::kOneToOne;
+  if (t == "all_to_one") return InputMapping::kAllToOne;
+  if (t == "round_robin") return InputMapping::kRoundRobin;
+  return Expected<InputMapping>::error("unknown input mapping '" + text + "'");
+}
+
+common::Status SkeletonSpec::validate() const {
+  if (stages.empty()) return common::Status::error("skeleton has no stages");
+  if (iterations < 1) return common::Status::error("iterations must be >= 1");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageSpec& s = stages[i];
+    const std::string where = "stage '" + s.name + "'";
+    if (s.tasks < 1) return common::Status::error(where + ": tasks must be >= 1");
+    if (s.cores_per_task < 1) return common::Status::error(where + ": cores_per_task must be >= 1");
+    if (s.inputs_per_task < 0) return common::Status::error(where + ": inputs_per_task < 0");
+    if (s.outputs_per_task < 0) return common::Status::error(where + ": outputs_per_task < 0");
+    if (i == 0 && iterations == 1 && s.input_mapping != InputMapping::kExternal) {
+      return common::Status::error(where + ": first stage must use external inputs");
+    }
+  }
+  return {};
+}
+
+Expected<SkeletonSpec> parse_spec(const common::Config& config) {
+  SkeletonSpec spec;
+  if (auto app = config.section("application"); app.ok()) {
+    spec.name = (*app)->get_or("name", "skeleton");
+    spec.iterations = static_cast<int>((*app)->get_int_or("iterations", 1));
+  }
+
+  for (const auto* section : config.sections_with_prefix("stage.")) {
+    StageSpec stage;
+    stage.name = section->name().substr(6);
+
+    auto tasks = section->get_int("tasks");
+    if (!tasks) return Expected<SkeletonSpec>::error(tasks.error());
+    stage.tasks = static_cast<int>(*tasks);
+
+    if (section->has("duration")) {
+      auto d = DistributionSpec::parse(*section->get("duration"));
+      if (!d) return Expected<SkeletonSpec>::error("stage '" + stage.name + "': " + d.error());
+      stage.duration = *d;
+    }
+    stage.cores_per_task = static_cast<int>(section->get_int_or("cores_per_task", 1));
+
+    if (section->has("input_mapping")) {
+      auto m = parse_input_mapping(*section->get("input_mapping"));
+      if (!m) return Expected<SkeletonSpec>::error("stage '" + stage.name + "': " + m.error());
+      stage.input_mapping = *m;
+    }
+    stage.inputs_per_task = static_cast<int>(section->get_int_or("inputs_per_task", 1));
+    if (section->has("input_size")) {
+      auto d = DistributionSpec::parse(*section->get("input_size"));
+      if (!d) return Expected<SkeletonSpec>::error("stage '" + stage.name + "': " + d.error());
+      stage.input_size = *d;
+    }
+    stage.outputs_per_task = static_cast<int>(section->get_int_or("outputs_per_task", 1));
+    if (section->has("output_size")) {
+      auto d = DistributionSpec::parse(*section->get("output_size"));
+      if (!d) return Expected<SkeletonSpec>::error("stage '" + stage.name + "': " + d.error());
+      stage.output_size = *d;
+    }
+    spec.stages.push_back(std::move(stage));
+  }
+
+  if (auto status = spec.validate(); !status.ok()) {
+    return Expected<SkeletonSpec>::error(status.error());
+  }
+  return spec;
+}
+
+Expected<SkeletonSpec> parse_spec_text(const std::string& text) {
+  auto config = common::Config::parse(text);
+  if (!config) return Expected<SkeletonSpec>::error(config.error());
+  return parse_spec(*config);
+}
+
+}  // namespace aimes::skeleton

@@ -1,0 +1,93 @@
+// Skeleton application specifications (paper §III.A).
+//
+// "An application is composed of a number of stages (which can be iterated
+// in groups), and each stage has a number of tasks. An application is
+// described by specifying the number of stages and the number of tasks,
+// input and output file and task mapping, task length, and file size inside
+// each stage. Task lengths and file sizes can be statistical distributions."
+//
+// SkeletonSpec is that description; skeleton::materialize() turns it into a
+// concrete SkeletonApplication with sampled task durations and file sizes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/distribution.hpp"
+#include "common/expected.hpp"
+
+namespace aimes::skeleton {
+
+using common::DistributionSpec;
+using common::Expected;
+
+/// How a stage's tasks obtain their inputs.
+enum class InputMapping {
+  /// Fresh input files from the origin (the preparation scripts create them).
+  kExternal,
+  /// Task i consumes the outputs of task i of the previous stage.
+  kOneToOne,
+  /// Every task consumes *all* outputs of the previous stage (a reduce).
+  kAllToOne,
+  /// Outputs of the previous stage are dealt round-robin to this stage's
+  /// tasks (a scatter with fan-in when the previous stage is larger).
+  kRoundRobin,
+};
+
+[[nodiscard]] std::string_view to_string(InputMapping m);
+[[nodiscard]] Expected<InputMapping> parse_input_mapping(const std::string& text);
+
+/// One stage of a skeleton application.
+struct StageSpec {
+  std::string name;
+  int tasks = 1;
+  /// Per-task wall duration in *seconds*.
+  DistributionSpec duration = DistributionSpec::constant(900);
+  /// Cores per task; the paper's workloads are single-core.
+  int cores_per_task = 1;
+
+  InputMapping input_mapping = InputMapping::kExternal;
+  /// For kExternal: files per task and size of each, in bytes.
+  int inputs_per_task = 1;
+  DistributionSpec input_size = DistributionSpec::constant(1024.0 * 1024.0);
+
+  /// Output files per task and size of each, in bytes.
+  int outputs_per_task = 1;
+  DistributionSpec output_size = DistributionSpec::constant(2048.0);
+};
+
+/// A whole skeleton application.
+struct SkeletonSpec {
+  std::string name = "skeleton";
+  /// The stage group is repeated this many times ("iterative" applications);
+  /// iteration k>0 rewires stage 0's kExternal inputs to consume the last
+  /// stage's outputs one-to-one, closing the loop.
+  int iterations = 1;
+  std::vector<StageSpec> stages;
+
+  /// Structural validation: nonempty stages, positive counts, mappings that
+  /// reference a previous stage only when one exists.
+  [[nodiscard]] common::Status validate() const;
+};
+
+/// Parses the INI form:
+///
+///   [application]
+///   name = my_app
+///   iterations = 1
+///
+///   [stage.map]                       ; stages in file order
+///   tasks = 128
+///   duration = truncated_normal 900 300 60 1800
+///   input_mapping = external
+///   inputs_per_task = 1
+///   input_size = constant 1048576
+///   outputs_per_task = 1
+///   output_size = constant 2048
+[[nodiscard]] Expected<SkeletonSpec> parse_spec(const common::Config& config);
+
+/// Convenience: parse from config text.
+[[nodiscard]] Expected<SkeletonSpec> parse_spec_text(const std::string& text);
+
+}  // namespace aimes::skeleton

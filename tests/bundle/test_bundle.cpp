@@ -1,0 +1,294 @@
+// Bundle: representation queries, predictors, monitoring, discovery.
+#include <gtest/gtest.h>
+
+#include "bundle/agent.hpp"
+#include "bundle/manager.hpp"
+#include "bundle/predictor.hpp"
+#include "test_helpers.hpp"
+
+namespace aimes::bundle {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+// --- Predictors (pure functions of history) ---
+
+std::deque<WaitRecord> make_history(std::initializer_list<std::pair<int, double>> recs,
+                                    double started_s = 1000) {
+  std::deque<WaitRecord> history;
+  double t = started_s;
+  for (const auto& [nodes, wait_s] : recs) {
+    WaitRecord r;
+    r.started_at = SimTime::epoch() + SimDuration::seconds(t);
+    r.submitted_at = r.started_at - SimDuration::seconds(wait_s);
+    r.nodes = nodes;
+    history.push_back(r);
+    t += 1;
+  }
+  return history;
+}
+
+TEST(QuantilePredictor, FallbackOnEmptyHistory) {
+  QuantilePredictor p;
+  const auto wait = p.predict({}, SimTime::epoch(), 4);
+  EXPECT_EQ(wait, SimDuration::minutes(30));
+}
+
+TEST(QuantilePredictor, UsesSimilarSizedJobs) {
+  QuantilePredictor::Params params;
+  params.quantile = 0.5;
+  params.size_similarity_factor = 2.0;
+  QuantilePredictor p(params);
+  // 1-node jobs waited 10 s; 64-node jobs waited 10000 s.
+  const auto history = make_history({{1, 10}, {1, 10}, {1, 10}, {64, 10000}, {64, 10000}});
+  const auto now = SimTime::epoch() + SimDuration::seconds(2000);
+  EXPECT_LE(p.predict(history, now, 1), SimDuration::seconds(11));
+  EXPECT_GE(p.predict(history, now, 64), SimDuration::seconds(9999));
+}
+
+TEST(QuantilePredictor, UpperQuantileIsConservative) {
+  QuantilePredictor::Params lo;
+  lo.quantile = 0.25;
+  QuantilePredictor::Params hi;
+  hi.quantile = 0.95;
+  const auto history = make_history({{4, 10}, {4, 100}, {4, 1000}, {4, 5000}});
+  const auto now = SimTime::epoch() + SimDuration::seconds(2000);
+  EXPECT_LT(QuantilePredictor(lo).predict(history, now, 4),
+            QuantilePredictor(hi).predict(history, now, 4));
+}
+
+TEST(QuantilePredictor, RecencyWeightingPrefersFreshRecords) {
+  QuantilePredictor::Params params;
+  params.quantile = 0.5;
+  params.half_life = SimDuration::hours(1);
+  QuantilePredictor p(params);
+  // Old records say 5000 s, recent ones say 50 s.
+  std::deque<WaitRecord> history;
+  for (int i = 0; i < 4; ++i) {
+    WaitRecord r;
+    r.started_at = SimTime::epoch() + SimDuration::hours(1);
+    r.submitted_at = r.started_at - SimDuration::seconds(5000);
+    r.nodes = 4;
+    history.push_back(r);
+  }
+  for (int i = 0; i < 4; ++i) {
+    WaitRecord r;
+    r.started_at = SimTime::epoch() + SimDuration::hours(20);
+    r.submitted_at = r.started_at - SimDuration::seconds(50);
+    r.nodes = 4;
+    history.push_back(r);
+  }
+  const auto now = SimTime::epoch() + SimDuration::hours(20);
+  EXPECT_LE(p.predict(history, now, 4), SimDuration::seconds(50));
+}
+
+TEST(UtilizationPredictor, ScalesWithBacklogPressure) {
+  UtilizationPredictor p;
+  const auto history = make_history({{4, 600}, {4, 600}, {4, 600}});
+  const auto now = SimTime::epoch() + SimDuration::seconds(2000);
+  p.set_pressure(0.0);
+  const auto idle = p.predict(history, now, 4);
+  p.set_pressure(1.0);
+  const auto busy = p.predict(history, now, 4);
+  EXPECT_LT(idle, SimDuration::seconds(600));
+  EXPECT_GT(busy, SimDuration::seconds(600));
+  EXPECT_GT(busy, idle);
+}
+
+TEST(UtilizationPredictor, WindowExcludesAncientRecords) {
+  UtilizationPredictor::Params params;
+  params.window = SimDuration::hours(1);
+  UtilizationPredictor p(params);
+  const auto history = make_history({{4, 9000}}, /*started_s=*/10);
+  const auto now = SimTime::epoch() + SimDuration::hours(30);
+  // The only record is outside the window: fall back.
+  EXPECT_EQ(p.predict(history, now, 4), params.fallback);
+}
+
+// --- Agent (query + monitoring over a live site) ---
+
+class BundleAgentTest : public test::SingleSiteWorld {
+ protected:
+  BundleAgentTest() : agent(engine, *site, topology, *transfers) {}
+  BundleAgent agent;
+};
+
+TEST_F(BundleAgentTest, ComputeSnapshotMatchesSite) {
+  test::occupy(*site, 32, 600);
+  run_until_s(30);
+  const auto rep = agent.query();
+  EXPECT_EQ(rep.name, "test-site");
+  EXPECT_EQ(rep.compute.total_nodes, 64);
+  EXPECT_EQ(rep.compute.cores_per_node, 8);
+  EXPECT_EQ(rep.compute.free_nodes, 32);
+  EXPECT_DOUBLE_EQ(rep.compute.utilization, 0.5);
+  EXPECT_EQ(rep.compute.total_cores(), 512);
+  EXPECT_EQ(rep.compute.scheduler, "easy-backfill");
+  EXPECT_EQ(rep.observed_at, engine.now());
+}
+
+TEST_F(BundleAgentTest, NetworkSnapshotFromTopology) {
+  const auto net = agent.query_network();
+  EXPECT_GT(net.bandwidth_in.bytes_per_sec(), 0.0);
+  EXPECT_EQ(net.active_flows_in, 0u);
+}
+
+TEST_F(BundleAgentTest, TransferEstimateWorks) {
+  const auto est = agent.estimate_transfer(net::Direction::kIn, common::DataSize::mib(100));
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(*est, SimDuration::zero());
+}
+
+TEST_F(BundleAgentTest, PredictiveModeLearnsFromHistory) {
+  // Generate queue contention so the history holds non-trivial waits.
+  test::occupy(*site, 64, 300);
+  for (int i = 0; i < 6; ++i) test::occupy(*site, 16, 60);
+  engine.run();
+  ASSERT_GT(site->wait_history().size(), 3u);
+  const auto wait = agent.predict_wait(16 * 8);
+  EXPECT_GT(wait, SimDuration::zero());
+}
+
+TEST_F(BundleAgentTest, MonitoringFiresOnThresholdCrossing) {
+  std::vector<Notification> notes;
+  agent.subscribe(Metric::kUtilization, Comparison::kAbove, 0.4, SimDuration::seconds(10),
+                  [&](const Notification& n) { notes.push_back(n); });
+  test::occupy(*site, 32, 200);
+  // Subscriptions poll forever; advance bounded virtual time instead of
+  // draining the queue.
+  run_until_s(600);
+  ASSERT_EQ(notes.size(), 1u) << "edge-triggered: one crossing, one notification";
+  EXPECT_EQ(notes[0].metric, Metric::kUtilization);
+  EXPECT_GT(notes[0].value, 0.4);
+  EXPECT_EQ(notes[0].site, site->id());
+}
+
+TEST_F(BundleAgentTest, MonitoringRefiresAfterReset) {
+  std::vector<Notification> notes;
+  agent.subscribe(Metric::kUtilization, Comparison::kAbove, 0.4, SimDuration::seconds(10),
+                  [&](const Notification& n) { notes.push_back(n); });
+  test::occupy(*site, 32, 100);
+  run_until_s(300);  // busy -> idle again
+  test::occupy(*site, 32, 100);
+  run_until_s(900);
+  EXPECT_EQ(notes.size(), 2u);
+}
+
+TEST_F(BundleAgentTest, UnsubscribeStopsNotifications) {
+  int fired = 0;
+  const auto id = agent.subscribe(Metric::kQueueLength, Comparison::kAbove, 0.5,
+                                  SimDuration::seconds(10),
+                                  [&](const Notification&) { ++fired; });
+  agent.unsubscribe(id);
+  test::occupy(*site, 64, 100);
+  test::occupy(*site, 64, 100);  // queued behind the first
+  run_until_s(600);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(BundleAgentTest, SampleCoversAllMetrics) {
+  for (auto m : {Metric::kUtilization, Metric::kQueueLength, Metric::kQueuedNodes,
+                 Metric::kFreeCores, Metric::kPredictedWait}) {
+    EXPECT_GE(agent.sample(m), 0.0) << to_string(m);
+  }
+  EXPECT_DOUBLE_EQ(agent.sample(Metric::kFreeCores), 64.0 * 8.0);
+}
+
+// --- Manager (aggregation + discovery) ---
+
+class BundleManagerTest : public ::testing::Test {
+ protected:
+  BundleManagerTest() {
+    for (int i = 0; i < 3; ++i) {
+      cluster::SiteConfig cfg;
+      cfg.name = "site-" + std::to_string(i);
+      cfg.nodes = 32 * (i + 1);  // 32, 64, 96 nodes
+      cfg.cores_per_node = 8;
+      cfg.scheduler_cycle = common::SimDuration::seconds(5);
+      cfg.min_queue_age = common::SimDuration::zero();
+      sites.push_back(std::make_unique<cluster::ClusterSite>(
+          engine, common::SiteId(static_cast<std::uint64_t>(i) + 1), cfg));
+      net::LinkSpec link;
+      link.capacity = common::Bandwidth::mib_per_sec(100.0 * (i + 1));
+      topology.add_site(sites.back()->id(), link);
+    }
+    transfers = std::make_unique<net::TransferManager>(engine, topology);
+    for (auto& site : sites) {
+      agents.push_back(std::make_unique<BundleAgent>(engine, *site, topology, *transfers));
+      manager.add_agent(*agents.back());
+    }
+  }
+
+  sim::Engine engine;
+  std::vector<std::unique_ptr<cluster::ClusterSite>> sites;
+  net::Topology topology;
+  std::unique_ptr<net::TransferManager> transfers;
+  std::vector<std::unique_ptr<BundleAgent>> agents;
+  BundleManager manager;
+};
+
+TEST_F(BundleManagerTest, QueryAllCoversEverySite) {
+  const auto reps = manager.query_all();
+  ASSERT_EQ(reps.size(), 3u);
+  EXPECT_EQ(reps[0].compute.total_nodes, 32);
+  EXPECT_EQ(reps[2].compute.total_nodes, 96);
+}
+
+TEST_F(BundleManagerTest, AgentLookupBySite) {
+  EXPECT_EQ(manager.agent(common::SiteId(2)), agents[1].get());
+  EXPECT_EQ(manager.agent(common::SiteId(9)), nullptr);
+}
+
+TEST_F(BundleManagerTest, DiscoveryFiltersByCapacity) {
+  Requirements req;
+  req.min_total_cores = 64 * 8 + 1;  // only the 96-node site qualifies
+  const auto found = manager.discover(req);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].name, "site-2");
+}
+
+TEST_F(BundleManagerTest, DiscoveryRanksIdleAboveBusy) {
+  // Make site-2 (the biggest) busy with a deep queue.
+  for (int i = 0; i < 8; ++i) {
+    cluster::JobRequest r;
+    r.name = "busy";
+    r.nodes = 96;
+    r.runtime = common::SimDuration::hours(4);
+    r.walltime = common::SimDuration::hours(8);
+    ASSERT_TRUE(sites[2]->submit(r).ok());
+  }
+  engine.run_until(common::SimTime::epoch() + common::SimDuration::minutes(30));
+  Requirements req;
+  req.min_total_cores = 8;
+  req.weight_free_cores = 1.0;
+  const auto found = manager.discover(req);
+  ASSERT_EQ(found.size(), 3u);
+  EXPECT_NE(found[0].name, "site-2") << "the saturated site should not rank first";
+}
+
+TEST_F(BundleManagerTest, DiscoveryRespectsBandwidthFloor) {
+  Requirements req;
+  req.min_bandwidth_in = common::Bandwidth::mib_per_sec(250.0);
+  const auto found = manager.discover(req);
+  ASSERT_EQ(found.size(), 1u);  // only site-2 has 300 MiB/s
+  EXPECT_EQ(found[0].name, "site-2");
+}
+
+TEST_F(BundleManagerTest, DiscoveryRespectsSchedulerConstraint) {
+  Requirements req;
+  req.scheduler = "fcfs";
+  EXPECT_TRUE(manager.discover(req).empty());
+  req.scheduler = "easy-backfill";
+  EXPECT_EQ(manager.discover(req).size(), 3u);
+}
+
+TEST_F(BundleManagerTest, DiscoveryRespectsWaitCeiling) {
+  Requirements req;
+  req.max_predicted_wait = common::SimDuration::minutes(1);
+  // Fresh sites fall back to the 30-minute default prediction -> rejected.
+  EXPECT_TRUE(manager.discover(req).empty());
+}
+
+}  // namespace
+}  // namespace aimes::bundle

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cluster/batch_scheduler.hpp"
+#include "common/rng.hpp"
+
+namespace aimes::cluster {
+namespace {
+
+using common::JobId;
+using common::SimDuration;
+using common::SimTime;
+
+SchedulerView::Pending pending(std::uint64_t id, int nodes, double walltime_h = 2.0) {
+  return {JobId(id), nodes, SimDuration::hours(walltime_h), SimTime(0)};
+}
+
+SchedulerView::Running running(std::uint64_t id, int nodes, double ends_in_h) {
+  return {JobId(id), nodes, SimTime(0) + SimDuration::hours(ends_in_h)};
+}
+
+SchedulerView make_view(int total, int free) {
+  SchedulerView v;
+  v.now = SimTime(0);
+  v.total_nodes = total;
+  v.free_nodes = free;
+  return v;
+}
+
+bool starts(const std::vector<JobId>& picks, std::uint64_t id) {
+  return std::find(picks.begin(), picks.end(), JobId(id)) != picks.end();
+}
+
+TEST(Fcfs, StartsInOrderWhileFitting) {
+  FcfsScheduler s;
+  auto v = make_view(64, 10);
+  v.pending = {pending(1, 4), pending(2, 4), pending(3, 4)};
+  const auto picks = s.select(v);
+  EXPECT_TRUE(starts(picks, 1));
+  EXPECT_TRUE(starts(picks, 2));
+  EXPECT_FALSE(starts(picks, 3));  // only 2 nodes left
+}
+
+TEST(Fcfs, HeadBlocksEverythingBehind) {
+  FcfsScheduler s;
+  auto v = make_view(64, 10);
+  v.pending = {pending(1, 32), pending(2, 1)};
+  const auto picks = s.select(v);
+  EXPECT_TRUE(picks.empty());  // strict FCFS: the 1-node job cannot jump
+}
+
+TEST(Fcfs, EmptyQueueEmptyResult) {
+  FcfsScheduler s;
+  auto v = make_view(64, 64);
+  EXPECT_TRUE(s.select(v).empty());
+}
+
+TEST(EasyBackfill, BehavesLikeFcfsWhenEverythingFits) {
+  EasyBackfillScheduler s;
+  auto v = make_view(64, 64);
+  v.pending = {pending(1, 8), pending(2, 8)};
+  const auto picks = s.select(v);
+  EXPECT_EQ(picks.size(), 2u);
+}
+
+TEST(EasyBackfill, BackfillsShortJobBehindBlockedHead) {
+  EasyBackfillScheduler s;
+  auto v = make_view(64, 10);
+  // Head needs 32; 54 busy nodes release in 4h.
+  v.running = {running(100, 54, 4.0)};
+  v.pending = {pending(1, 32), pending(2, 4, /*walltime_h=*/1.0)};
+  const auto picks = s.select(v);
+  EXPECT_FALSE(starts(picks, 1));
+  EXPECT_TRUE(starts(picks, 2));  // ends at 1h < shadow time 4h
+}
+
+// The EASY invariant: no backfilled job may delay the head job's earliest
+// possible start (based on walltime bounds).
+TEST(EasyBackfill, NeverDelaysHeadJob) {
+  EasyBackfillScheduler s;
+  auto v = make_view(64, 10);
+  v.running = {running(100, 54, 4.0)};
+  // Candidate runs 8h > shadow 4h and would eat nodes the head needs.
+  v.pending = {pending(1, 60), pending(2, 8, /*walltime_h=*/8.0)};
+  const auto picks = s.select(v);
+  EXPECT_TRUE(picks.empty());
+}
+
+TEST(EasyBackfill, LongJobOnSpareNodesAllowed) {
+  EasyBackfillScheduler s;
+  auto v = make_view(64, 10);
+  v.running = {running(100, 54, 4.0)};
+  // Head needs 32 of the 64 that will be free at shadow time; 10 free now,
+  // at shadow 64 are available, spare = 64 - 32 = 32. An 8-node 8-hour job
+  // fits in the spare set even though it outlives the shadow time.
+  v.pending = {pending(1, 32), pending(2, 8, /*walltime_h=*/8.0)};
+  const auto picks = s.select(v);
+  EXPECT_TRUE(starts(picks, 2));
+}
+
+TEST(EasyBackfill, SpareNodesAreConsumed) {
+  EasyBackfillScheduler s;
+  auto v = make_view(64, 20);
+  v.running = {running(100, 44, 4.0)};
+  // Head needs 44 at shadow time; spare = (20+44) - 44 = 20.
+  // Two 12-node long jobs: only one fits the spare capacity.
+  v.pending = {pending(1, 44), pending(2, 12, 9.0), pending(3, 12, 9.0)};
+  const auto picks = s.select(v);
+  EXPECT_TRUE(starts(picks, 2));
+  EXPECT_FALSE(starts(picks, 3));
+}
+
+TEST(EasyBackfill, BackfillLimitedByFreeNodes) {
+  EasyBackfillScheduler s;
+  auto v = make_view(64, 2);
+  v.running = {running(100, 62, 4.0)};
+  v.pending = {pending(1, 32), pending(2, 4, 0.5)};  // short but doesn't fit now
+  const auto picks = s.select(v);
+  EXPECT_TRUE(picks.empty());
+}
+
+TEST(EasyBackfill, SelectionNeverOvercommits) {
+  // Randomized property: total nodes of selected jobs never exceed free.
+  common::Rng rng(2024);
+  EasyBackfillScheduler s;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto v = make_view(128, static_cast<int>(rng.uniform_int(0, 128)));
+    const int n_running = static_cast<int>(rng.uniform_int(0, 10));
+    for (int i = 0; i < n_running; ++i) {
+      v.running.push_back(running(1000 + static_cast<std::uint64_t>(i),
+                                  static_cast<int>(rng.uniform_int(1, 32)),
+                                  rng.uniform(0.5, 8.0)));
+    }
+    const int n_pending = static_cast<int>(rng.uniform_int(1, 20));
+    for (int i = 0; i < n_pending; ++i) {
+      v.pending.push_back(pending(static_cast<std::uint64_t>(i) + 1,
+                                  static_cast<int>(rng.uniform_int(1, 64)),
+                                  rng.uniform(0.1, 12.0)));
+    }
+    const auto picks = s.select(v);
+    int used = 0;
+    for (JobId id : picks) {
+      for (const auto& p : v.pending) {
+        if (p.id == id) used += p.nodes;
+      }
+    }
+    ASSERT_LE(used, v.free_nodes) << "overcommit in trial " << trial;
+    // No duplicates.
+    auto sorted = picks;
+    std::sort(sorted.begin(), sorted.end());
+    ASSERT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  }
+}
+
+TEST(MakeBatchScheduler, FactoryByName) {
+  EXPECT_NE(make_batch_scheduler("fcfs"), nullptr);
+  EXPECT_NE(make_batch_scheduler("easy-backfill"), nullptr);
+  EXPECT_EQ(make_batch_scheduler("slurm-magic"), nullptr);
+  EXPECT_EQ(make_batch_scheduler("fcfs")->name(), "fcfs");
+  EXPECT_EQ(make_batch_scheduler("easy-backfill")->name(), "easy-backfill");
+}
+
+}  // namespace
+}  // namespace aimes::cluster

@@ -1,0 +1,151 @@
+// Opportunistic (preemptable) resources: the OSG-like HTC pool.
+#include <gtest/gtest.h>
+
+#include "cluster/testbed.hpp"
+#include "core/adaptive.hpp"
+#include "core/aimes.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace aimes::cluster {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+TEST(Preemption, DisabledByDefault) {
+  sim::Engine engine;
+  SiteConfig cfg;
+  cfg.nodes = 4;
+  cfg.cores_per_node = 1;
+  cfg.scheduler_cycle = SimDuration::seconds(5);
+  cfg.min_queue_age = SimDuration::zero();
+  ClusterSite site(engine, common::SiteId(1), cfg);
+  JobRequest req;
+  req.name = "j";
+  req.nodes = 1;
+  req.runtime = SimDuration::hours(10);
+  req.walltime = SimDuration::hours(20);
+  auto id = site.submit(req);
+  ASSERT_TRUE(id.ok());
+  engine.run();
+  EXPECT_EQ(site.find(*id)->state, JobState::kCompleted);
+}
+
+TEST(Preemption, EvictsLongJobsShortOnesUsuallySurvive) {
+  sim::Engine engine;
+  SiteConfig cfg;
+  cfg.nodes = 64;
+  cfg.cores_per_node = 1;
+  cfg.scheduler_cycle = SimDuration::seconds(5);
+  cfg.min_queue_age = SimDuration::zero();
+  cfg.preemption_mean_time = SimDuration::hours(2);
+  ClusterSite site(engine, common::SiteId(1), cfg, common::Rng(9));
+
+  // 32 ten-hour jobs: essentially all get evicted (P(survive) = e^-5).
+  // 32 one-minute jobs: essentially all survive (P(evict) ~ 1/120).
+  for (int i = 0; i < 32; ++i) {
+    JobRequest req;
+    req.name = "long";
+    req.nodes = 1;
+    req.runtime = SimDuration::hours(10);
+    req.walltime = SimDuration::hours(20);
+    ASSERT_TRUE(site.submit(req).ok());
+  }
+  for (int i = 0; i < 32; ++i) {
+    JobRequest req;
+    req.name = "short";
+    req.nodes = 1;
+    req.runtime = SimDuration::minutes(1);
+    req.walltime = SimDuration::minutes(10);
+    ASSERT_TRUE(site.submit(req).ok());
+  }
+  engine.run();
+  EXPECT_GE(site.finished_count(JobState::kPreempted), 28u);
+  EXPECT_GE(site.finished_count(JobState::kCompleted), 28u);
+}
+
+TEST(Preemption, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Engine engine;
+    SiteConfig cfg;
+    cfg.nodes = 16;
+    cfg.cores_per_node = 1;
+    cfg.scheduler_cycle = SimDuration::seconds(5);
+    cfg.min_queue_age = SimDuration::zero();
+    cfg.preemption_mean_time = SimDuration::hours(1);
+    ClusterSite site(engine, common::SiteId(1), cfg, common::Rng(seed));
+    for (int i = 0; i < 16; ++i) {
+      JobRequest req;
+      req.name = "j";
+      req.nodes = 1;
+      req.runtime = SimDuration::hours(3);
+      req.walltime = SimDuration::hours(6);
+      EXPECT_TRUE(site.submit(req).ok());
+    }
+    engine.run();
+    return site.finished_count(JobState::kPreempted);
+  };
+  EXPECT_EQ(run(5), run(5));
+}
+
+TEST(OsgPool, SpecShapedLikeAnHtcPool) {
+  const auto spec = osg_pool_spec();
+  EXPECT_EQ(spec.site.name, "osg-sim");
+  EXPECT_EQ(spec.site.cores_per_node, 1);
+  EXPECT_GE(spec.site.nodes, 1024);
+  EXPECT_GT(spec.site.preemption_mean_time, common::SimDuration::zero());
+  EXPECT_DOUBLE_EQ(spec.site.charge_per_core_hour, 0.0);
+  EXPECT_DOUBLE_EQ(spec.load.p_small, 1.0);
+}
+
+TEST(OsgPool, HybridTestbedAppendsOsg) {
+  const auto pool = hybrid_testbed();
+  ASSERT_EQ(pool.size(), 6u);
+  EXPECT_EQ(pool.back().site.name, "osg-sim");
+}
+
+// End to end: an application on the OSG-like pool completes despite pilot
+// evictions — lost units restart ("tasks are automatically restarted in
+// case of failure", §III.E) and the adaptive manager replaces dead fleets
+// with fresh pilots.
+TEST(OsgPool, ApplicationSurvivesPreemptionWithAdaptation) {
+  core::AimesConfig config;
+  config.seed = 31;
+  config.warmup = SimDuration::hours(1);
+  // Aggressive eviction so the effect shows within one run.
+  config.testbed = {osg_pool_spec(512, SimDuration::minutes(40))};
+  config.execution.units.max_attempts = 20;
+  core::Aimes aimes(config);
+  aimes.start();
+
+  const auto app = skeleton::materialize(skeleton::profiles::bag_gaussian(48), 31);
+  core::PlannerConfig planner;
+  planner.binding = core::Binding::kLate;
+  planner.n_pilots = 4;  // several pilots on the same pool: eviction insurance
+  planner.allow_site_reuse = true;
+  auto strategy = aimes.plan(app, planner);
+  ASSERT_TRUE(strategy.ok()) << strategy.error();
+
+  core::AdaptivePolicy policy;
+  policy.check_interval = SimDuration::minutes(2);
+  policy.max_extra_pilots = 12;
+  pilot::Profiler trace;
+  core::AdaptiveExecutionManager manager(aimes.engine(), trace, aimes.services(),
+                                         aimes.staging(), aimes.bundles(),
+                                         aimes.config().execution, policy, common::Rng(31));
+  bool done = false;
+  ASSERT_TRUE(manager.enact(app, *strategy, [&](const core::ExecutionReport&) {
+    done = true;
+  }).ok());
+  aimes.engine().run_until(aimes.engine().now() + SimDuration::hours(12));
+
+  ASSERT_TRUE(done) << "restarts + replacements should carry the run through";
+  EXPECT_TRUE(manager.report().success);
+  // At 40-minute mean eviction and ~15-minute tasks pilot losses are all but
+  // certain; the trace must show them.
+  const auto failed_pilots = trace.count_entered(pilot::Entity::kPilot, "FAILED");
+  EXPECT_GT(failed_pilots, 0u);
+}
+
+}  // namespace
+}  // namespace aimes::cluster

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "cluster/site.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::cluster {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+class SiteTest : public ::testing::Test {
+ protected:
+  SiteTest() {
+    SiteConfig cfg;
+    cfg.name = "unit-site";
+    cfg.nodes = 16;
+    cfg.cores_per_node = 8;
+    cfg.scheduler = "easy-backfill";
+    cfg.scheduler_cycle = SimDuration::seconds(10);
+    cfg.min_queue_age = SimDuration::zero();
+    site = std::make_unique<ClusterSite>(engine, common::SiteId(1), cfg);
+  }
+
+  common::JobId submit(int nodes, double runtime_s, double walltime_s = 0,
+                       std::function<void(const Job&)> cb = nullptr) {
+    JobRequest req;
+    req.name = "j";
+    req.nodes = nodes;
+    req.runtime = SimDuration::seconds(runtime_s);
+    req.walltime = SimDuration::seconds(walltime_s > 0 ? walltime_s : runtime_s + 60);
+    req.on_state_change = std::move(cb);
+    auto id = site->submit(req);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<ClusterSite> site;
+};
+
+TEST_F(SiteTest, JobRunsToCompletion) {
+  std::vector<JobState> states;
+  const auto id = submit(4, 100, 0, [&](const Job& j) { states.push_back(j.state); });
+  engine.run();
+  const Job* job = site->find(id);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->state, JobState::kCompleted);
+  EXPECT_EQ(states, (std::vector<JobState>{JobState::kRunning, JobState::kCompleted}));
+  // Started on the first 10 s scheduler cycle; ran for its runtime.
+  EXPECT_EQ(job->started_at, SimTime::epoch() + SimDuration::seconds(10));
+  EXPECT_EQ(job->ended_at - job->started_at, SimDuration::seconds(100));
+  EXPECT_EQ(site->free_nodes(), 16);
+}
+
+TEST_F(SiteTest, WalltimeKillMarksTimeout) {
+  const auto id = submit(1, /*runtime=*/500, /*walltime=*/100);
+  engine.run();
+  EXPECT_EQ(site->find(id)->state, JobState::kTimeout);
+  EXPECT_EQ(site->find(id)->ended_at - site->find(id)->started_at, SimDuration::seconds(100));
+  EXPECT_EQ(site->finished_count(JobState::kTimeout), 1u);
+}
+
+TEST_F(SiteTest, RejectsOversizedAndInvalidRequests) {
+  JobRequest req;
+  req.name = "too-big";
+  req.nodes = 17;  // machine has 16
+  req.walltime = SimDuration::hours(1);
+  req.runtime = SimDuration::hours(1);
+  EXPECT_FALSE(site->submit(req).ok());
+  req.nodes = 0;
+  EXPECT_FALSE(site->submit(req).ok());
+  req.nodes = 1;
+  req.walltime = SimDuration::hours(100);  // exceeds max_walltime 48h
+  EXPECT_FALSE(site->submit(req).ok());
+  req.walltime = SimDuration::zero();
+  EXPECT_FALSE(site->submit(req).ok());
+}
+
+TEST_F(SiteTest, QueueingWhenFull) {
+  submit(16, 100);               // fills the machine
+  const auto queued = submit(8, 50);
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(50));
+  EXPECT_EQ(site->find(queued)->state, JobState::kPending);
+  EXPECT_EQ(site->queue_length(), 1u);
+  EXPECT_EQ(site->queued_nodes(), 8);
+  engine.run();
+  EXPECT_EQ(site->find(queued)->state, JobState::kCompleted);
+  // Wait = first job's completion (110 s) rounded up to the next cycle.
+  EXPECT_GE(site->find(queued)->wait(), SimDuration::seconds(110));
+}
+
+TEST_F(SiteTest, CancelPendingJob) {
+  submit(16, 1000);
+  const auto queued = submit(8, 50);
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(20));
+  ASSERT_EQ(site->find(queued)->state, JobState::kPending);
+  EXPECT_TRUE(site->cancel(queued).ok());
+  EXPECT_EQ(site->find(queued)->state, JobState::kCancelled);
+  EXPECT_EQ(site->queue_length(), 0u);
+}
+
+TEST_F(SiteTest, CancelRunningJobFreesNodes) {
+  const auto id = submit(16, 1000);
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(20));
+  ASSERT_EQ(site->find(id)->state, JobState::kRunning);
+  EXPECT_TRUE(site->cancel(id).ok());
+  EXPECT_EQ(site->find(id)->state, JobState::kCancelled);
+  EXPECT_EQ(site->free_nodes(), 16);
+  // No completion event should fire later.
+  engine.run();
+  EXPECT_EQ(site->find(id)->state, JobState::kCancelled);
+}
+
+TEST_F(SiteTest, CancelFinalJobFails) {
+  const auto id = submit(1, 10);
+  engine.run();
+  EXPECT_FALSE(site->cancel(id).ok());
+  EXPECT_FALSE(site->cancel(common::JobId(999)).ok());
+}
+
+TEST_F(SiteTest, WaitHistoryRecordsStarts) {
+  submit(4, 100);
+  submit(4, 100);
+  engine.run();
+  ASSERT_EQ(site->wait_history().size(), 2u);
+  for (const auto& rec : site->wait_history()) {
+    EXPECT_EQ(rec.nodes, 4);
+    EXPECT_GE(rec.wait(), SimDuration::zero());
+  }
+}
+
+TEST_F(SiteTest, HistoryLimitEnforced) {
+  site->set_history_limit(3);
+  for (int i = 0; i < 6; ++i) submit(1, 10);
+  engine.run();
+  EXPECT_LE(site->wait_history().size(), 3u);
+}
+
+TEST_F(SiteTest, UtilizationTracksBusyNodes) {
+  submit(8, 100);
+  EXPECT_DOUBLE_EQ(site->utilization(), 0.0);
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(20));
+  EXPECT_DOUBLE_EQ(site->utilization(), 0.5);
+  engine.run();
+  EXPECT_DOUBLE_EQ(site->utilization(), 0.0);
+}
+
+TEST_F(SiteTest, MinQueueAgeDelaysEligibility) {
+  SiteConfig cfg;
+  cfg.name = "aged";
+  cfg.nodes = 4;
+  cfg.cores_per_node = 8;
+  cfg.scheduler_cycle = SimDuration::seconds(10);
+  cfg.min_queue_age = SimDuration::seconds(95);
+  ClusterSite aged(engine, common::SiteId(2), cfg);
+  JobRequest req;
+  req.name = "aged-job";
+  req.nodes = 1;
+  req.runtime = SimDuration::seconds(10);
+  req.walltime = SimDuration::seconds(60);
+  auto id = aged.submit(req);
+  ASSERT_TRUE(id.ok());
+  engine.run();
+  // Eligible at 95 s, started on the next 10 s cycle boundary: 100 s.
+  EXPECT_EQ(aged.find(*id)->started_at, SimTime::epoch() + SimDuration::seconds(100));
+}
+
+TEST_F(SiteTest, FcfsSiteRespectsStrictOrder) {
+  SiteConfig cfg;
+  cfg.name = "fcfs-site";
+  cfg.nodes = 8;
+  cfg.cores_per_node = 8;
+  cfg.scheduler = "fcfs";
+  cfg.scheduler_cycle = SimDuration::seconds(10);
+  cfg.min_queue_age = SimDuration::zero();
+  ClusterSite fcfs(engine, common::SiteId(3), cfg);
+  auto mk = [&](int nodes, double runtime_s) {
+    JobRequest req;
+    req.name = "f";
+    req.nodes = nodes;
+    req.runtime = SimDuration::seconds(runtime_s);
+    req.walltime = SimDuration::seconds(runtime_s * 2);
+    return *fcfs.submit(req);
+  };
+  mk(8, 100);                // occupies everything
+  const auto big = mk(8, 10);   // head of queue
+  const auto tiny = mk(1, 10);  // would fit any hole, but FCFS forbids
+  engine.run();
+  const Job* b = fcfs.find(big);
+  const Job* t = fcfs.find(tiny);
+  EXPECT_LE(b->started_at, t->started_at);
+}
+
+}  // namespace
+}  // namespace aimes::cluster

@@ -1,0 +1,105 @@
+// Config-file driven resource pools.
+#include <gtest/gtest.h>
+
+#include "cluster/testbed_config.hpp"
+
+namespace aimes::cluster {
+namespace {
+
+constexpr const char* kPool = R"(
+[site.alpha]
+nodes = 128
+cores_per_node = 32
+scheduler = fcfs
+scheduler_cycle_s = 30
+min_queue_age_s = 60
+target_utilization = 0.9
+runtime = lognormal 7.5 1.0
+backlog_machine_hours = 0.5 2.0
+p_small = 0.5
+p_medium = 0.4
+diurnal_amplitude = 0.1
+burst_probability = 0.01
+burst_max = 8
+horizon_h = 24
+
+[site.beta]
+nodes = 64
+cores_per_node = 16
+)";
+
+TEST(TestbedConfig, ParsesAllSections) {
+  auto pool = parse_testbed_text(kPool);
+  ASSERT_TRUE(pool.ok()) << pool.error();
+  ASSERT_EQ(pool->size(), 2u);
+  const auto& alpha = (*pool)[0];
+  EXPECT_EQ(alpha.site.name, "alpha");
+  EXPECT_EQ(alpha.site.nodes, 128);
+  EXPECT_EQ(alpha.site.cores_per_node, 32);
+  EXPECT_EQ(alpha.site.scheduler, "fcfs");
+  EXPECT_EQ(alpha.site.scheduler_cycle, common::SimDuration::seconds(30));
+  EXPECT_EQ(alpha.site.min_queue_age, common::SimDuration::seconds(60));
+  EXPECT_DOUBLE_EQ(alpha.load.target_utilization, 0.9);
+  EXPECT_EQ(alpha.load.runtime, common::DistributionSpec::lognormal(7.5, 1.0));
+  EXPECT_DOUBLE_EQ(alpha.load.backlog_machine_hours_lo, 0.5);
+  EXPECT_DOUBLE_EQ(alpha.load.backlog_machine_hours_hi, 2.0);
+  EXPECT_EQ(alpha.load.horizon, common::SimDuration::hours(24));
+}
+
+TEST(TestbedConfig, DefaultsApplyForOmittedKeys) {
+  auto pool = parse_testbed_text(kPool);
+  ASSERT_TRUE(pool.ok());
+  const auto& beta = (*pool)[1];
+  EXPECT_EQ(beta.site.scheduler, "easy-backfill");
+  EXPECT_DOUBLE_EQ(beta.load.target_utilization, 0.95);
+  EXPECT_EQ(beta.site.max_walltime, common::SimDuration::hours(48));
+}
+
+TEST(TestbedConfig, RejectsEmptyPool) {
+  auto pool = parse_testbed_text("[application]\nname = x\n");
+  ASSERT_FALSE(pool.ok());
+  EXPECT_NE(pool.error().find("no [site"), std::string::npos);
+}
+
+TEST(TestbedConfig, RejectsBadValuesWithSiteName) {
+  auto bad_sched = parse_testbed_text("[site.x]\nscheduler = lottery\n");
+  ASSERT_FALSE(bad_sched.ok());
+  EXPECT_NE(bad_sched.error().find("site.x"), std::string::npos);
+
+  EXPECT_FALSE(parse_testbed_text("[site.x]\nnodes = 0\n").ok());
+  EXPECT_FALSE(parse_testbed_text("[site.x]\ntarget_utilization = -1\n").ok());
+  EXPECT_FALSE(parse_testbed_text("[site.x]\nruntime = zipf 2\n").ok());
+  EXPECT_FALSE(parse_testbed_text("[site.x]\nbacklog_machine_hours = 5 1\n").ok());
+  EXPECT_FALSE(parse_testbed_text("[site.x]\np_small = 0.9\np_medium = 0.5\n").ok());
+  EXPECT_FALSE(parse_testbed_text("[site.x]\ndiurnal_amplitude = 1.5\n").ok());
+}
+
+TEST(TestbedConfig, RoundTripsThroughRender) {
+  const auto original = standard_testbed();
+  const auto text = testbed_to_config(original);
+  auto parsed = parse_testbed_text(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].site.name, original[i].site.name);
+    EXPECT_EQ((*parsed)[i].site.nodes, original[i].site.nodes);
+    EXPECT_EQ((*parsed)[i].site.scheduler, original[i].site.scheduler);
+    EXPECT_NEAR((*parsed)[i].load.target_utilization, original[i].load.target_utilization,
+                1e-9);
+    EXPECT_EQ((*parsed)[i].load.runtime.kind(), original[i].load.runtime.kind());
+  }
+}
+
+TEST(TestbedConfig, ParsedPoolRunsInAWorld) {
+  auto pool = parse_testbed_text(kPool);
+  ASSERT_TRUE(pool.ok());
+  sim::Engine engine;
+  Testbed testbed(engine, *pool, 3);
+  testbed.prime_and_start();
+  engine.run_until(common::SimTime::epoch() + common::SimDuration::hours(2));
+  EXPECT_NE(testbed.site("alpha"), nullptr);
+  EXPECT_GT(testbed.site("alpha")->utilization(), 0.2);
+}
+
+}  // namespace
+}  // namespace aimes::cluster

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "cluster/testbed.hpp"
+#include "cluster/workload.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::cluster {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    SiteConfig cfg;
+    cfg.name = "load-site";
+    cfg.nodes = 128;
+    cfg.cores_per_node = 16;
+    site = std::make_unique<ClusterSite>(engine, common::SiteId(1), cfg);
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<ClusterSite> site;
+};
+
+TEST_F(WorkloadTest, PrimeFillsMachineAndQueue) {
+  WorkloadConfig cfg;
+  cfg.target_utilization = 0.9;
+  WorkloadGenerator gen(engine, *site, cfg, common::Rng(1));
+  gen.prime();
+  // Run just past the first scheduler cycle so primed jobs start.
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(2));
+  EXPECT_GE(site->utilization(), 0.7);
+  EXPECT_GT(site->queue_length(), 0u);  // the primed backlog
+  EXPECT_GT(gen.submitted(), 0u);
+}
+
+TEST_F(WorkloadTest, ArrivalsKeepComing) {
+  WorkloadConfig cfg;
+  cfg.horizon = SimDuration::hours(6);
+  WorkloadGenerator gen(engine, *site, cfg, common::Rng(2));
+  gen.start();
+  engine.run_until(SimTime::epoch() + SimDuration::hours(6));
+  EXPECT_GT(gen.submitted(), 20u);
+}
+
+TEST_F(WorkloadTest, HorizonStopsArrivals) {
+  WorkloadConfig cfg;
+  cfg.horizon = SimDuration::hours(2);
+  WorkloadGenerator gen(engine, *site, cfg, common::Rng(3));
+  gen.start();
+  engine.run_until(SimTime::epoch() + SimDuration::hours(2));
+  const auto at_horizon = gen.submitted();
+  engine.run();  // drain remaining job completions
+  EXPECT_EQ(gen.submitted(), at_horizon);
+}
+
+TEST_F(WorkloadTest, MeanInterarrivalMatchesLoadBalance) {
+  WorkloadConfig cfg;
+  cfg.target_utilization = 1.0;
+  WorkloadGenerator gen(engine, *site, cfg, common::Rng(4));
+  // Doubling the target utilization halves the interarrival gap.
+  WorkloadConfig half = cfg;
+  half.target_utilization = 0.5;
+  WorkloadGenerator gen_half(engine, *site, half, common::Rng(4));
+  EXPECT_NEAR(gen_half.mean_interarrival().to_seconds(),
+              2.0 * gen.mean_interarrival().to_seconds(),
+              0.01 * gen_half.mean_interarrival().to_seconds());
+}
+
+TEST_F(WorkloadTest, SameSeedSameArrivals) {
+  WorkloadConfig cfg;
+  cfg.horizon = SimDuration::hours(3);
+  sim::Engine e1;
+  sim::Engine e2;
+  SiteConfig scfg;
+  scfg.nodes = 64;
+  scfg.cores_per_node = 8;
+  ClusterSite s1(e1, common::SiteId(1), scfg);
+  ClusterSite s2(e2, common::SiteId(1), scfg);
+  WorkloadGenerator g1(e1, s1, cfg, common::Rng(42));
+  WorkloadGenerator g2(e2, s2, cfg, common::Rng(42));
+  g1.prime();
+  g2.prime();
+  g1.start();
+  g2.start();
+  e1.run_until(SimTime::epoch() + SimDuration::hours(3));
+  e2.run_until(SimTime::epoch() + SimDuration::hours(3));
+  EXPECT_EQ(g1.submitted(), g2.submitted());
+  EXPECT_EQ(s1.wait_history().size(), s2.wait_history().size());
+  EXPECT_EQ(s1.utilization(), s2.utilization());
+}
+
+TEST_F(WorkloadTest, NodeRequestsFollowMixture) {
+  WorkloadConfig cfg;
+  cfg.horizon = SimDuration::hours(48);
+  cfg.target_utilization = 0.5;  // light load so nearly every job starts
+  WorkloadGenerator gen(engine, *site, cfg, common::Rng(5));
+  gen.start();
+  engine.run_until(SimTime::epoch() + SimDuration::hours(40));
+  // Count small (<8 nodes) requests among everything admitted.
+  std::size_t small = 0;
+  std::size_t total = 0;
+  for (const auto& rec : site->wait_history()) {
+    ++total;
+    if (rec.nodes < 8) ++small;
+  }
+  ASSERT_GT(total, 50u);
+  // p_small = 0.60 by default; allow generous sampling noise.
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(total), 0.35);
+}
+
+TEST(Testbed, StandardPoolHasFivePaperShapedSites) {
+  const auto specs = standard_testbed();
+  ASSERT_EQ(specs.size(), 5u);
+  EXPECT_EQ(specs[0].site.name, "stampede-sim");
+  EXPECT_EQ(specs[4].site.name, "hopper-sim");
+  for (const auto& spec : specs) {
+    EXPECT_GT(spec.site.nodes, 0);
+    EXPECT_GT(spec.load.target_utilization, 0.8);
+  }
+  // The pool supports the largest paper pilot: 2048 cores.
+  int max_cores = 0;
+  for (const auto& spec : specs) max_cores = std::max(max_cores, spec.site.total_cores());
+  EXPECT_GE(max_cores, 2048);
+}
+
+TEST(Testbed, BuildsAndWarmsUp) {
+  sim::Engine engine;
+  Testbed testbed(engine, mini_testbed(), 7);
+  ASSERT_EQ(testbed.size(), 2u);
+  testbed.prime_and_start();
+  engine.run_until(SimTime::epoch() + SimDuration::hours(2));
+  EXPECT_NE(testbed.site("alpha-sim"), nullptr);
+  EXPECT_NE(testbed.site("beta-sim"), nullptr);
+  EXPECT_EQ(testbed.site("gamma-sim"), nullptr);
+  EXPECT_GT(testbed.site("alpha-sim")->utilization(), 0.2);
+  // Lookup by id matches lookup by name.
+  auto* alpha = testbed.site("alpha-sim");
+  EXPECT_EQ(testbed.site(alpha->id()), alpha);
+}
+
+}  // namespace
+}  // namespace aimes::cluster

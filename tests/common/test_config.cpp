@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace aimes::common {
+namespace {
+
+constexpr const char* kSample = R"(
+# a skeleton config
+top_level = 1
+
+[application]
+name = my_app
+iterations = 2
+
+[stage.map]
+tasks = 128
+duration = truncated_normal 900 300 60 1800
+enabled = true
+ratio = 0.75
+
+[stage.reduce]
+tasks = 4
+)";
+
+TEST(Config, ParsesSectionsInOrder) {
+  auto cfg = Config::parse(kSample);
+  ASSERT_TRUE(cfg.ok()) << cfg.error();
+  ASSERT_TRUE(cfg->has_section("application"));
+  ASSERT_TRUE(cfg->has_section("stage.map"));
+  ASSERT_TRUE(cfg->has_section("stage.reduce"));
+  const auto stages = cfg->sections_with_prefix("stage.");
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0]->name(), "stage.map");
+  EXPECT_EQ(stages[1]->name(), "stage.reduce");
+}
+
+TEST(Config, UnnamedLeadingSection) {
+  auto cfg = Config::parse(kSample);
+  ASSERT_TRUE(cfg.ok());
+  auto top = cfg->section("");
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ((*top)->get_int_or("top_level", 0), 1);
+}
+
+TEST(Config, TypedAccessors) {
+  auto cfg = Config::parse(kSample);
+  ASSERT_TRUE(cfg.ok());
+  auto map = cfg->section("stage.map");
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(*(*map)->get_int("tasks"), 128);
+  EXPECT_DOUBLE_EQ(*(*map)->get_double("ratio"), 0.75);
+  EXPECT_TRUE(*(*map)->get_bool("enabled"));
+  EXPECT_EQ(*(*map)->get("duration"), "truncated_normal 900 300 60 1800");
+}
+
+TEST(Config, MissingKeyReportsSection) {
+  auto cfg = Config::parse(kSample);
+  ASSERT_TRUE(cfg.ok());
+  auto app = cfg->section("application");
+  auto missing = (*app)->get("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.error().find("application"), std::string::npos);
+}
+
+TEST(Config, FallbackAccessors) {
+  auto cfg = Config::parse(kSample);
+  auto app = cfg->section("application");
+  EXPECT_EQ((*app)->get_or("nope", "fallback"), "fallback");
+  EXPECT_EQ((*app)->get_int_or("nope", 7), 7);
+  EXPECT_DOUBLE_EQ((*app)->get_double_or("nope", 2.5), 2.5);
+}
+
+TEST(Config, TypeErrorsAreReported) {
+  auto cfg = Config::parse("[s]\nx = hello\n");
+  auto s = cfg->section("s");
+  EXPECT_FALSE((*s)->get_int("x").ok());
+  EXPECT_FALSE((*s)->get_double("x").ok());
+  EXPECT_FALSE((*s)->get_bool("x").ok());
+}
+
+TEST(Config, BooleanSpellings) {
+  auto cfg = Config::parse("[s]\na = yes\nb = OFF\nc = 1\nd = False\n");
+  auto s = cfg->section("s");
+  EXPECT_TRUE(*(*s)->get_bool("a"));
+  EXPECT_FALSE(*(*s)->get_bool("b"));
+  EXPECT_TRUE(*(*s)->get_bool("c"));
+  EXPECT_FALSE(*(*s)->get_bool("d"));
+}
+
+TEST(Config, CommentsAndWhitespaceIgnored) {
+  auto cfg = Config::parse("  [s]  ; trailing\n  k = v # comment\n\n; full line\n");
+  ASSERT_TRUE(cfg.ok()) << cfg.error();
+  EXPECT_EQ((*cfg->section("s"))->get_or("k", ""), "v");
+}
+
+TEST(Config, MalformedSectionHeaderRejectedWithLine) {
+  auto cfg = Config::parse("[unterminated\nk = v\n");
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_NE(cfg.error().find("line 1"), std::string::npos);
+}
+
+TEST(Config, MissingEqualsRejectedWithLine) {
+  auto cfg = Config::parse("[s]\njust a string\n");
+  ASSERT_FALSE(cfg.ok());
+  EXPECT_NE(cfg.error().find("line 2"), std::string::npos);
+}
+
+TEST(Config, LastDuplicateKeyWins) {
+  auto cfg = Config::parse("[s]\nk = 1\nk = 2\n");
+  EXPECT_EQ((*cfg->section("s"))->get_int_or("k", 0), 2);
+  // Order preserved without duplicates.
+  EXPECT_EQ((*cfg->section("s"))->keys().size(), 1u);
+}
+
+TEST(Config, LoadMissingFileFails) {
+  auto cfg = Config::load("/nonexistent/path/to.cfg");
+  EXPECT_FALSE(cfg.ok());
+}
+
+}  // namespace
+}  // namespace aimes::common

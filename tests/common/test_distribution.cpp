@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/distribution.hpp"
+
+namespace aimes::common {
+namespace {
+
+TEST(DistributionSpec, ConstantAlwaysSameValue) {
+  Rng rng(1);
+  const auto d = DistributionSpec::constant(900.0);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(rng), 900.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 900.0);
+  EXPECT_DOUBLE_EQ(d.upper_bound(), 900.0);
+}
+
+TEST(DistributionSpec, UniformBoundsRespected) {
+  Rng rng(2);
+  const auto d = DistributionSpec::uniform(10.0, 20.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = d.sample(rng);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+  }
+  EXPECT_DOUBLE_EQ(d.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(d.upper_bound(), 20.0);
+}
+
+TEST(DistributionSpec, NormalClampedAtZero) {
+  Rng rng(3);
+  const auto d = DistributionSpec::normal(1.0, 10.0);  // frequently negative
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(d.sample(rng), 0.0);
+}
+
+// The paper's task-duration model: mean 15 min, stdev 5 min, bounds [1, 30]
+// minutes (Table I).
+TEST(DistributionSpec, PaperTruncatedGaussianRespectsBounds) {
+  Rng rng(4);
+  const auto d = DistributionSpec::truncated_normal(900, 300, 60, 1800);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = d.sample(rng);
+    ASSERT_GE(v, 60.0);
+    ASSERT_LE(v, 1800.0);
+    sum += v;
+  }
+  // Bounds are near-symmetric around the mean => sample mean ~ 900.
+  EXPECT_NEAR(sum / n, 900.0, 10.0);
+  EXPECT_DOUBLE_EQ(d.upper_bound(), 1800.0);
+}
+
+TEST(DistributionSpec, TruncatedNormalDegenerateSigma) {
+  Rng rng(5);
+  const auto d = DistributionSpec::truncated_normal(900, 0, 60, 1800);
+  EXPECT_DOUBLE_EQ(d.sample(rng), 900.0);
+  const auto clamped = DistributionSpec::truncated_normal(5000, 0, 60, 1800);
+  EXPECT_DOUBLE_EQ(clamped.sample(rng), 1800.0);
+}
+
+TEST(DistributionSpec, LognormalMeanFormula) {
+  const auto d = DistributionSpec::lognormal(8.0, 1.25);
+  EXPECT_NEAR(d.mean(), std::exp(8.0 + 0.5 * 1.25 * 1.25), 1e-9);
+}
+
+TEST(DistributionSpec, ExponentialSamplesNonNegative) {
+  Rng rng(6);
+  const auto d = DistributionSpec::exponential(100.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(d.sample(rng), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 100.0);
+}
+
+TEST(DistributionSpec, ParseRoundTrip) {
+  for (const char* text :
+       {"constant 900", "uniform 60 1800", "normal 900 300",
+        "truncated_normal 900 300 60 1800", "lognormal 8 1.25", "exponential 120"}) {
+    auto d = DistributionSpec::parse(text);
+    ASSERT_TRUE(d.ok()) << text << ": " << d.error();
+    auto round = DistributionSpec::parse(d->str());
+    ASSERT_TRUE(round.ok());
+    EXPECT_EQ(*d, *round) << text;
+  }
+}
+
+TEST(DistributionSpec, ParseRejectsUnknownKind) {
+  auto d = DistributionSpec::parse("zipf 1.1");
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.error().find("unknown"), std::string::npos);
+}
+
+TEST(DistributionSpec, ParseRejectsWrongArity) {
+  EXPECT_FALSE(DistributionSpec::parse("constant").ok());
+  EXPECT_FALSE(DistributionSpec::parse("uniform 1").ok());
+  EXPECT_FALSE(DistributionSpec::parse("truncated_normal 900 300").ok());
+  EXPECT_FALSE(DistributionSpec::parse("normal 1 2 3").ok());
+}
+
+TEST(DistributionSpec, ParseRejectsInvalidParameters) {
+  EXPECT_FALSE(DistributionSpec::parse("uniform 20 10").ok());       // lo > hi
+  EXPECT_FALSE(DistributionSpec::parse("normal 0 -1").ok());         // sigma < 0
+  EXPECT_FALSE(DistributionSpec::parse("exponential 0").ok());       // mean <= 0
+  EXPECT_FALSE(DistributionSpec::parse("constant -5").ok());         // negative
+  EXPECT_FALSE(DistributionSpec::parse("truncated_normal 900 300 1800 60").ok());
+}
+
+TEST(DistributionSpec, SamplingIsDeterministicPerSeed) {
+  const auto d = DistributionSpec::truncated_normal(900, 300, 60, 1800);
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(d.sample(a), d.sample(b));
+}
+
+}  // namespace
+}  // namespace aimes::common

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "common/histogram.hpp"
+
+namespace aimes::common {
+namespace {
+
+TEST(Histogram, LinearBucketsCountCorrectly) {
+  Histogram h(0.0, 10.0, 5, Histogram::Scale::kLinear);
+  for (double v : {0.5, 1.5, 2.5, 9.9}) h.add(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);  // [0,2): 0.5, 1.5
+  EXPECT_EQ(h.bucket(1), 1u);  // [2,4): 2.5
+  EXPECT_EQ(h.bucket(4), 1u);  // [8,10): 9.9
+}
+
+TEST(Histogram, UnderAndOverflowTracked) {
+  Histogram h(1.0, 100.0, 2);
+  h.add(0.5);
+  h.add(100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, LogBucketsSpanDecades) {
+  Histogram h(1.0, 1000.0, 3);  // decades: [1,10), [10,100), [100,1000)
+  h.add(5);
+  h.add(50);
+  h.add(500);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  const auto [lo, hi] = h.bucket_bounds(1);
+  EXPECT_NEAR(lo, 10.0, 1e-9);
+  EXPECT_NEAR(hi, 100.0, 1e-9);
+}
+
+TEST(Histogram, BoundaryValuesLandInUpperBucket) {
+  Histogram h(0.0, 10.0, 2, Histogram::Scale::kLinear);
+  h.add(5.0);  // exactly the boundary -> bucket 1
+  EXPECT_EQ(h.bucket(1), 1u);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h(1.0, 1000.0, 4);
+  for (double v : {2.0, 20.0, 200.0, 2000.0}) h.add(v);
+  EXPECT_DOUBLE_EQ(h.cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(2.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cdf(250.0), 0.75);
+  EXPECT_DOUBLE_EQ(h.cdf(1e9), 1.0);
+}
+
+TEST(Histogram, StrRendersCountsAndOverflow) {
+  Histogram h(1.0, 100.0, 2);
+  h.add(5);
+  h.add(50);
+  h.add(500);
+  EXPECT_EQ(h.str(), "[1|1] >1");
+}
+
+}  // namespace
+}  // namespace aimes::common

@@ -1,0 +1,145 @@
+// Tests for the small common value types: ids, data sizes, Expected,
+// string helpers, and the table writer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/data_size.hpp"
+#include "common/expected.hpp"
+#include "common/id.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace aimes::common {
+namespace {
+
+TEST(Id, InvalidIsFalsy) {
+  PilotId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, PilotId::invalid());
+}
+
+TEST(Id, GeneratorIsMonotonicFromOne) {
+  IdGen<PilotTag> gen;
+  EXPECT_EQ(gen.next().value(), 1u);
+  EXPECT_EQ(gen.next().value(), 2u);
+  EXPECT_TRUE(gen.next().valid());
+}
+
+TEST(Id, StrCarriesPrefix) {
+  EXPECT_EQ(PilotId(3).str(), "pilot.3");
+  EXPECT_EQ(UnitId(12).str(), "unit.12");
+  EXPECT_EQ(SiteId(1).str(), "site.1");
+}
+
+TEST(Id, HashableAndComparable) {
+  std::unordered_set<UnitId> set;
+  set.insert(UnitId(1));
+  set.insert(UnitId(2));
+  set.insert(UnitId(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_LT(UnitId(1), UnitId(2));
+}
+
+TEST(DataSize, UnitFactories) {
+  EXPECT_EQ(DataSize::kib(1).count_bytes(), 1024);
+  EXPECT_EQ(DataSize::mib(1).count_bytes(), 1024 * 1024);
+  EXPECT_EQ(DataSize::gib(1).count_bytes(), 1024LL * 1024 * 1024);
+}
+
+TEST(DataSize, ArithmeticAndRendering) {
+  const auto a = DataSize::mib(1) + DataSize::kib(512);
+  EXPECT_DOUBLE_EQ(a.to_mib(), 1.5);
+  EXPECT_EQ(DataSize::bytes(17).str(), "17B");
+  EXPECT_EQ(DataSize::kib(2).str(), "2.0KiB");
+  EXPECT_EQ(DataSize::mib(1).str(), "1.00MiB");
+}
+
+TEST(Bandwidth, ShareDivides) {
+  const auto bw = Bandwidth::mib_per_sec(100.0);
+  EXPECT_DOUBLE_EQ((bw / 4.0).bytes_per_sec(), bw.bytes_per_sec() / 4.0);
+}
+
+TEST(Expected, ValueAccess) {
+  Expected<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(Expected, ErrorAccess) {
+  auto e = Expected<int>::error("boom");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.error(), "boom");
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  auto bad = Status::error("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, SplitWs) {
+  const auto parts = split_ws("  one   two\tthree ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "two");
+}
+
+TEST(StringUtil, StartsWithAndLower) {
+  EXPECT_TRUE(starts_with("stage.map", "stage."));
+  EXPECT_FALSE(starts_with("st", "stage."));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format("%.2f", 1.5), "1.50");
+}
+
+TEST(TableWriter, AlignedRendering) {
+  TableWriter t("Title");
+  t.header({"a", "long_column"});
+  t.row({"1", "x"});
+  t.row({"222", "yy"});
+  std::ostringstream out;
+  t.render(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("long_column"), std::string::npos);
+  EXPECT_NE(s.find("222"), std::string::npos);
+}
+
+TEST(TableWriter, CsvEscaping) {
+  TableWriter t;
+  t.header({"a", "b"});
+  t.row({"with,comma", "with\"quote"});
+  std::ostringstream out;
+  t.render_csv(out);
+  EXPECT_NE(out.str().find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableWriter, NumPrecision) {
+  EXPECT_EQ(TableWriter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::num(1000.0, 0), "1000");
+}
+
+}  // namespace
+}  // namespace aimes::common

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace aimes::common {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, StreamsAreIndependentByLabel) {
+  Rng a = Rng::stream(42, "workload/site-a");
+  Rng b = Rng::stream(42, "workload/site-b");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  // Same label, same master -> identical stream.
+  Rng c = Rng::stream(42, "workload/site-a");
+  Rng d = Rng::stream(42, "workload/site-a");
+  EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  bool seen[6] = {false, false, false, false, false, false};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(120.0);
+  EXPECT_NEAR(sum / n, 120.0, 2.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, IndexStaysInBounds) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(15);
+  const int n = 50001;
+  std::vector<double> vs(n);
+  for (auto& v : vs) v = rng.lognormal(5.0, 1.0);
+  std::nth_element(vs.begin(), vs.begin() + n / 2, vs.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(vs[n / 2], std::exp(5.0), std::exp(5.0) * 0.05);
+}
+
+TEST(SplitMix64, KnownFirstOutput) {
+  // Reference value from the SplitMix64 reference implementation.
+  std::uint64_t state = 0;
+  const std::uint64_t v = splitmix64(state);
+  EXPECT_EQ(state, 0x9e3779b97f4a7c15ULL);
+  EXPECT_NE(v, 0u);
+}
+
+TEST(HashLabel, DistinctLabelsDistinctHashes) {
+  EXPECT_NE(hash_label("a"), hash_label("b"));
+  EXPECT_EQ(hash_label("same"), hash_label("same"));
+  EXPECT_NE(hash_label(""), hash_label("x"));
+}
+
+}  // namespace
+}  // namespace aimes::common

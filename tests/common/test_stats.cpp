@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace aimes::common {
+namespace {
+
+TEST(Summary, EmptyIsSafe) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Summary, MeanAndStddev) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev of this classic set is sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, SingleSampleHasZeroStddev) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);  // halfway between samples
+}
+
+TEST(IntervalSet, EmptyAndDegenerate) {
+  IntervalSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.union_length(), SimDuration::zero());
+  set.add(SimTime(100), SimTime(100));  // empty interval ignored
+  set.add(SimTime(100), SimTime(50));   // inverted ignored
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSet, DisjointIntervalsSum) {
+  IntervalSet set;
+  set.add(SimTime(0), SimTime(10));
+  set.add(SimTime(20), SimTime(30));
+  EXPECT_EQ(set.union_length(), SimDuration::millis(20));
+  EXPECT_EQ(set.merged().size(), 2u);
+}
+
+// The core property the TTC methodology depends on: overlap counted once.
+TEST(IntervalSet, OverlapCountedOnce) {
+  IntervalSet set;
+  set.add(SimTime(0), SimTime(100));
+  set.add(SimTime(50), SimTime(150));
+  set.add(SimTime(140), SimTime(160));
+  EXPECT_EQ(set.union_length(), SimDuration::millis(160));
+  EXPECT_EQ(set.merged().size(), 1u);
+}
+
+TEST(IntervalSet, TouchingIntervalsMerge) {
+  IntervalSet set;
+  set.add(SimTime(0), SimTime(10));
+  set.add(SimTime(10), SimTime(20));
+  EXPECT_EQ(set.merged().size(), 1u);
+  EXPECT_EQ(set.union_length(), SimDuration::millis(20));
+}
+
+TEST(IntervalSet, ContainedIntervalAddsNothing) {
+  IntervalSet set;
+  set.add(SimTime(0), SimTime(100));
+  set.add(SimTime(20), SimTime(30));
+  EXPECT_EQ(set.union_length(), SimDuration::millis(100));
+}
+
+TEST(IntervalSet, UnsortedInsertOrderHandled) {
+  IntervalSet set;
+  set.add(SimTime(50), SimTime(60));
+  set.add(SimTime(0), SimTime(10));
+  set.add(SimTime(5), SimTime(55));
+  EXPECT_EQ(set.union_length(), SimDuration::millis(60));
+}
+
+TEST(IntervalSet, FirstBeginLastEnd) {
+  IntervalSet set;
+  set.add(SimTime(30), SimTime(40));
+  set.add(SimTime(10), SimTime(20));
+  EXPECT_EQ(set.first_begin(), SimTime(10));
+  EXPECT_EQ(set.last_end(), SimTime(40));
+}
+
+// Union length is always <= span and <= sum of lengths.
+TEST(IntervalSet, UnionBoundedBySpanAndSum) {
+  IntervalSet set;
+  SimDuration sum = SimDuration::zero();
+  for (int i = 0; i < 50; ++i) {
+    const auto b = SimTime(i * 7 % 40);
+    const auto e = b + SimDuration::millis(i % 13 + 1);
+    set.add(b, e);
+    sum += e - b;
+  }
+  const auto span = set.last_end() - set.first_begin();
+  EXPECT_LE(set.union_length(), span);
+  EXPECT_LE(set.union_length(), sum);
+}
+
+}  // namespace
+}  // namespace aimes::common

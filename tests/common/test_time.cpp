@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "common/time.hpp"
+
+namespace aimes::common {
+namespace {
+
+TEST(SimDuration, FactoryUnitsAgree) {
+  EXPECT_EQ(SimDuration::seconds(1).count_ms(), 1000);
+  EXPECT_EQ(SimDuration::minutes(1), SimDuration::seconds(60));
+  EXPECT_EQ(SimDuration::hours(1), SimDuration::minutes(60));
+  EXPECT_EQ(SimDuration::millis(1500), SimDuration::seconds(1.5));
+}
+
+TEST(SimDuration, ArithmeticAndComparison) {
+  const auto a = SimDuration::seconds(90);
+  const auto b = SimDuration::seconds(30);
+  EXPECT_EQ(a + b, SimDuration::minutes(2));
+  EXPECT_EQ(a - b, SimDuration::minutes(1));
+  EXPECT_EQ(a * 2.0, SimDuration::minutes(3));
+  EXPECT_EQ(a / 3.0, b);
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+}
+
+TEST(SimDuration, CompoundAssignment) {
+  auto d = SimDuration::seconds(10);
+  d += SimDuration::seconds(5);
+  EXPECT_EQ(d, SimDuration::seconds(15));
+  d -= SimDuration::seconds(20);
+  EXPECT_EQ(d, SimDuration::seconds(-5));
+}
+
+TEST(SimDuration, ConversionRoundTrips) {
+  const auto d = SimDuration::minutes(15);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 900.0);
+  EXPECT_DOUBLE_EQ(d.to_minutes(), 15.0);
+  EXPECT_DOUBLE_EQ(d.to_hours(), 0.25);
+}
+
+TEST(SimDuration, HumanReadableStrings) {
+  EXPECT_EQ(SimDuration::millis(42).str(), "42ms");
+  EXPECT_EQ(SimDuration::seconds(2.5).str(), "2.500s");
+  EXPECT_EQ(SimDuration::minutes(2).str(), "2m00s");
+  EXPECT_EQ(SimDuration::hours(1) + SimDuration::minutes(2) + SimDuration::seconds(3),
+            SimDuration::seconds(3723));
+  EXPECT_EQ(SimDuration::seconds(3723).str(), "1h02m03s");
+  EXPECT_EQ(SimDuration::seconds(-3).str(), "-3.000s");
+}
+
+TEST(SimTime, PointArithmetic) {
+  const SimTime t0 = SimTime::epoch();
+  const SimTime t1 = t0 + SimDuration::seconds(10);
+  EXPECT_EQ(t1 - t0, SimDuration::seconds(10));
+  EXPECT_EQ(t1 - SimDuration::seconds(10), t0);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(SimTime, MaxActsAsInfinity) {
+  EXPECT_GT(SimTime::max(), SimTime::epoch() + SimDuration::hours(1e6));
+}
+
+}  // namespace
+}  // namespace aimes::common

@@ -1,0 +1,97 @@
+// Aborting a running enactment.
+#include <gtest/gtest.h>
+
+#include "core/execution_manager.hpp"
+#include "skeleton/profiles.hpp"
+#include "test_helpers.hpp"
+
+namespace aimes::core {
+namespace {
+
+using common::SimDuration;
+
+class AbortTest : public test::SingleSiteWorld {
+ protected:
+  ExecutionStrategy strategy(int cores) {
+    ExecutionStrategy s;
+    s.binding = Binding::kEarly;
+    s.unit_scheduler = pilot::UnitSchedulerKind::kDirect;
+    s.n_pilots = 1;
+    s.pilot_cores = cores;
+    s.pilot_walltime = SimDuration::hours(4);
+    s.sites = {site->id()};
+    return s;
+  }
+
+  pilot::Profiler profiler;
+};
+
+TEST_F(AbortTest, AbortMidExecutionCancelsEverything) {
+  ExecutionManager manager(engine, profiler, {service.get()}, *staging, ExecutionOptions{},
+                           common::Rng(1));
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(8), 1);
+  bool fired = false;
+  ExecutionReport final_report;
+  ASSERT_TRUE(manager.enact(app, strategy(8), [&](const ExecutionReport& r) {
+    fired = true;
+    final_report = r;
+  }).ok());
+
+  // Let execution begin, then pull the plug mid-compute.
+  run_until_s(5 * 60);
+  ASSERT_FALSE(manager.finished());
+  manager.abort("test abort");
+  run_until_s(10 * 60);
+
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(final_report.success);
+  EXPECT_EQ(final_report.units_cancelled, 8u);
+  EXPECT_EQ(final_report.units_done, 0u);
+  // Pilots are gone and the machine is clean.
+  for (auto* p : manager.pilot_manager().pilots()) {
+    EXPECT_TRUE(pilot::is_final(p->state));
+  }
+  engine.run_until(engine.now() + SimDuration::minutes(5));
+  EXPECT_EQ(site->free_nodes(), 64);
+  // The abort itself is traced.
+  EXPECT_NE(profiler.first_any(pilot::Entity::kManager, "ABORT"), common::SimTime::max());
+}
+
+TEST_F(AbortTest, AbortAfterCompletionIsNoop) {
+  ExecutionManager manager(engine, profiler, {service.get()}, *staging, ExecutionOptions{},
+                           common::Rng(1));
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(4), 1);
+  ASSERT_TRUE(manager.enact(app, strategy(4), nullptr).ok());
+  engine.run_until(engine.now() + SimDuration::hours(2));
+  ASSERT_TRUE(manager.finished());
+  const auto done_before = manager.report().units_done;
+  manager.abort("too late");
+  EXPECT_EQ(manager.report().units_done, done_before);
+  EXPECT_TRUE(manager.report().success);
+}
+
+TEST_F(AbortTest, PartialCompletionCountsSurvive) {
+  ExecutionManager manager(engine, profiler, {service.get()}, *staging, ExecutionOptions{},
+                           common::Rng(1));
+  // A pilot sized for 2 of 4 tasks: the first generation (2 tasks, 5 min)
+  // finishes before the abort; the second generation is cancelled mid-run.
+  const auto app = skeleton::materialize(
+      skeleton::profiles::bag_of_tasks(4, common::DistributionSpec::constant(300)), 2);
+  bool fired = false;
+  ExecutionReport report;
+  ASSERT_TRUE(manager.enact(app, strategy(2), [&](const ExecutionReport& r) {
+    fired = true;
+    report = r;
+  }).ok());
+  // Abort a little into the second generation (~1 pilot wait + 5 min + eps).
+  run_until_s(8 * 60);
+  manager.abort("deadline");
+  run_until_s(12 * 60);
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(report.units_done, 2u);
+  EXPECT_EQ(report.units_cancelled, 2u);
+  EXPECT_FALSE(report.success);
+}
+
+}  // namespace
+}  // namespace aimes::core

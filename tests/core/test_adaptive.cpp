@@ -1,0 +1,136 @@
+// Adaptive (dynamic) execution — the §V extension.
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+#include "core/aimes.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace aimes::core {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+/// A two-site world where "jam" is hopeless (tiny, jammed by an eternal
+/// head job via FCFS) and "open" is empty — adaptation should escape to
+/// "open".
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  AdaptiveTest() {
+    std::vector<cluster::TestbedSiteSpec> pool(2);
+    pool[0].site.name = "jam";
+    pool[0].site.nodes = 8;
+    pool[0].site.cores_per_node = 8;
+    pool[0].site.scheduler = "fcfs";
+    pool[0].site.scheduler_cycle = SimDuration::seconds(10);
+    pool[0].site.min_queue_age = SimDuration::zero();
+    pool[0].load.target_utilization = 0.01;  // background effectively off
+    pool[0].load.backlog_machine_hours_lo = 0.0;  // no primed backlog either
+    pool[0].load.backlog_machine_hours_hi = 0.0;
+    pool[0].load.horizon = SimDuration::hours(1);
+    pool[1] = pool[0];
+    pool[1].site.name = "open";
+    pool[1].site.scheduler = "easy-backfill";
+
+    AimesConfig config;
+    config.seed = 77;
+    config.warmup = SimDuration::minutes(5);
+    config.testbed = pool;
+    aimes = std::make_unique<Aimes>(config);
+    aimes->start();
+
+    // Jam the first site: an 8-node job that outlives everything, plus FCFS.
+    cluster::JobRequest jam;
+    jam.name = "eternal";
+    jam.nodes = 8;
+    jam.runtime = SimDuration::hours(40);
+    jam.walltime = SimDuration::hours(40);
+    EXPECT_TRUE(aimes->testbed().site("jam")->submit(jam).ok());
+    aimes->engine().run_until(aimes->engine().now() + SimDuration::minutes(2));
+  }
+
+  ExecutionStrategy strategy_on_jam() {
+    ExecutionStrategy s;
+    s.binding = Binding::kLate;
+    s.unit_scheduler = pilot::UnitSchedulerKind::kBackfill;
+    s.n_pilots = 1;
+    s.pilot_cores = 8;
+    s.pilot_walltime = SimDuration::hours(2);
+    s.sites = {aimes->testbed().site("jam")->id()};
+    return s;
+  }
+
+  std::unique_ptr<Aimes> aimes;
+  pilot::Profiler profiler;
+};
+
+TEST_F(AdaptiveTest, ReinforcesWhenNothingActivates) {
+  AdaptivePolicy policy;
+  policy.activation_deadline = SimDuration::minutes(10);
+  policy.check_interval = SimDuration::minutes(2);
+  AdaptiveExecutionManager manager(aimes->engine(), profiler, aimes->services(),
+                                   aimes->staging(), aimes->bundles(),
+                                   aimes->config().execution, policy, common::Rng(1));
+
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(8), 1);
+  bool done = false;
+  ASSERT_TRUE(manager.enact(app, strategy_on_jam(), [&](const ExecutionReport&) {
+    done = true;
+  }).ok());
+  aimes->engine().run_until(aimes->engine().now() + SimDuration::hours(3));
+
+  ASSERT_TRUE(done) << "adaptation should have rescued the run";
+  EXPECT_TRUE(manager.report().success);
+  ASSERT_GE(manager.adaptations().size(), 1u);
+  EXPECT_EQ(manager.adaptations()[0].kind, Adaptation::Kind::kReinforcement);
+  // The reinforcement went to the open site (not already used).
+  EXPECT_EQ(manager.adaptations()[0].site, aimes->testbed().site("open")->id());
+  // Trace carries the adaptation record.
+  EXPECT_NE(profiler.first_any(pilot::Entity::kManager, "ADAPTATION"), SimTime::max());
+}
+
+TEST_F(AdaptiveTest, NoAdaptationWhenStrategyHealthy) {
+  AdaptivePolicy policy;
+  policy.activation_deadline = SimDuration::minutes(30);
+  policy.check_interval = SimDuration::minutes(2);
+  AdaptiveExecutionManager manager(aimes->engine(), profiler, aimes->services(),
+                                   aimes->staging(), aimes->bundles(),
+                                   aimes->config().execution, policy, common::Rng(1));
+  auto healthy = strategy_on_jam();
+  healthy.sites = {aimes->testbed().site("open")->id()};
+
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(8), 1);
+  bool done = false;
+  ASSERT_TRUE(manager.enact(app, healthy, [&](const ExecutionReport&) { done = true; }).ok());
+  aimes->engine().run_until(aimes->engine().now() + SimDuration::hours(2));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(manager.report().success);
+  EXPECT_TRUE(manager.adaptations().empty());
+}
+
+TEST_F(AdaptiveTest, AdaptationBudgetRespected) {
+  AdaptivePolicy policy;
+  policy.activation_deadline = SimDuration::minutes(5);
+  policy.check_interval = SimDuration::minutes(1);
+  policy.max_extra_pilots = 1;
+  AdaptiveExecutionManager manager(aimes->engine(), profiler, aimes->services(),
+                                   aimes->staging(), aimes->bundles(),
+                                   aimes->config().execution, policy, common::Rng(1));
+  // Jam the open site too: no adaptation can help; the budget must still cap
+  // the extra submissions.
+  cluster::JobRequest jam;
+  jam.name = "eternal2";
+  jam.nodes = 8;
+  jam.runtime = SimDuration::hours(40);
+  jam.walltime = SimDuration::hours(40);
+  ASSERT_TRUE(aimes->testbed().site("open")->submit(jam).ok());
+
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(8), 1);
+  ASSERT_TRUE(manager.enact(app, strategy_on_jam(), nullptr).ok());
+  aimes->engine().run_until(aimes->engine().now() + SimDuration::hours(4));
+  EXPECT_EQ(manager.adaptations().size(), 1u);
+  EXPECT_FALSE(manager.finished());
+}
+
+}  // namespace
+}  // namespace aimes::core

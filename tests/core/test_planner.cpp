@@ -1,0 +1,151 @@
+// Strategy derivation (planner) against a live bundle.
+#include <gtest/gtest.h>
+
+#include "core/aimes.hpp"
+#include "core/planner.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace aimes::core {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() {
+    AimesConfig config;
+    config.seed = 11;
+    config.warmup = common::SimDuration::hours(1);
+    aimes = std::make_unique<Aimes>(config);
+    aimes->start();
+    rng = std::make_unique<common::Rng>(3);
+  }
+
+  skeleton::SkeletonApplication app(int tasks, std::uint64_t seed = 1) {
+    return skeleton::materialize(skeleton::profiles::bag_uniform(tasks), seed);
+  }
+
+  std::unique_ptr<Aimes> aimes;
+  std::unique_ptr<common::Rng> rng;
+};
+
+TEST_F(PlannerTest, PilotSizingFollowsTableOne) {
+  const auto a = app(2048);
+  EXPECT_EQ(derive_pilot_cores(a, 1), 2048);
+  EXPECT_EQ(derive_pilot_cores(a, 3), 683);  // ceil(2048/3)
+  EXPECT_EQ(derive_pilot_cores(a, 5), 410);
+  const auto small = app(8);
+  EXPECT_EQ(derive_pilot_cores(small, 3), 3);
+}
+
+TEST_F(PlannerTest, PilotAtLeastFitsLargestTask) {
+  auto spec = skeleton::profiles::bag_uniform(4);
+  spec.stages[0].cores_per_task = 16;
+  const auto a = skeleton::materialize(spec, 1);
+  EXPECT_GE(derive_pilot_cores(a, 3), 16);
+}
+
+TEST_F(PlannerTest, WalltimeLateMultipliesByPilots) {
+  const auto a = app(512);
+  PlannerConfig early;
+  early.binding = Binding::kEarly;
+  early.n_pilots = 1;
+  PlannerConfig late;
+  late.binding = Binding::kLate;
+  late.n_pilots = 3;
+  const auto we = derive_walltime(a, aimes->bundles(), early, 512);
+  const auto wl = derive_walltime(a, aimes->bundles(), late, 171);
+  // Late: worst case one pilot executes everything (Table I).
+  EXPECT_GT(wl.walltime, we.walltime * 1.9);
+  EXPECT_GT(we.tx, common::SimDuration::minutes(14));
+  EXPECT_GT(we.trp, common::SimDuration::zero());
+  EXPECT_GT(we.ts, common::SimDuration::zero());
+}
+
+TEST_F(PlannerTest, DerivedStrategyValidates) {
+  PlannerConfig cfg;
+  cfg.binding = Binding::kLate;
+  cfg.n_pilots = 3;
+  const auto s = derive_strategy(app(256), aimes->bundles(), cfg, *rng);
+  ASSERT_TRUE(s.ok()) << s.error();
+  EXPECT_TRUE(s->validate().ok());
+  EXPECT_EQ(s->n_pilots, 3);
+  EXPECT_EQ(s->pilot_cores, 86);
+  EXPECT_EQ(s->unit_scheduler, pilot::UnitSchedulerKind::kBackfill);
+  EXPECT_EQ(s->sites.size(), 3u);
+  // Sites are distinct.
+  EXPECT_NE(s->sites[0], s->sites[1]);
+  EXPECT_NE(s->sites[1], s->sites[2]);
+}
+
+TEST_F(PlannerTest, DefaultSchedulersFollowBinding) {
+  PlannerConfig cfg;
+  cfg.binding = Binding::kEarly;
+  cfg.n_pilots = 1;
+  const auto s = derive_strategy(app(64), aimes->bundles(), cfg, *rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->unit_scheduler, pilot::UnitSchedulerKind::kDirect);
+}
+
+TEST_F(PlannerTest, FixedSelectionUsedVerbatim) {
+  PlannerConfig cfg;
+  cfg.binding = Binding::kLate;
+  cfg.n_pilots = 2;
+  cfg.selection = SiteSelection::kFixed;
+  cfg.fixed_sites = {common::SiteId(2), common::SiteId(4)};
+  const auto s = derive_strategy(app(64), aimes->bundles(), cfg, *rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->sites, cfg.fixed_sites);
+}
+
+TEST_F(PlannerTest, FixedSelectionSizeMismatchFails) {
+  PlannerConfig cfg;
+  cfg.n_pilots = 3;
+  cfg.selection = SiteSelection::kFixed;
+  cfg.fixed_sites = {common::SiteId(1)};
+  EXPECT_FALSE(derive_strategy(app(64), aimes->bundles(), cfg, *rng).ok());
+}
+
+TEST_F(PlannerTest, InfeasiblePilotSizeFails) {
+  // 40960 single-core tasks -> a 40960-core pilot fits no testbed machine.
+  PlannerConfig cfg;
+  cfg.binding = Binding::kEarly;
+  cfg.n_pilots = 1;
+  const auto s = derive_strategy(app(40960), aimes->bundles(), cfg, *rng);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().find("feasible"), std::string::npos);
+}
+
+TEST_F(PlannerTest, TooManyPilotsForPoolFails) {
+  PlannerConfig cfg;
+  cfg.binding = Binding::kLate;
+  cfg.n_pilots = 6;  // pool has 5 sites
+  EXPECT_FALSE(derive_strategy(app(64), aimes->bundles(), cfg, *rng).ok());
+}
+
+TEST_F(PlannerTest, RandomSelectionVariesAcrossDraws) {
+  PlannerConfig cfg;
+  cfg.binding = Binding::kEarly;
+  cfg.n_pilots = 1;
+  cfg.selection = SiteSelection::kRandom;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 32; ++i) {
+    const auto s = derive_strategy(app(8), aimes->bundles(), cfg, *rng);
+    ASSERT_TRUE(s.ok());
+    seen.insert(s->sites[0].value());
+  }
+  EXPECT_GT(seen.size(), 2u);
+}
+
+TEST_F(PlannerTest, EstimatesRecordedInStrategy) {
+  PlannerConfig cfg;
+  cfg.binding = Binding::kLate;
+  cfg.n_pilots = 3;
+  const auto s = derive_strategy(app(1024), aimes->bundles(), cfg, *rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->estimated_tx, common::SimDuration::zero());
+  EXPECT_GT(s->estimated_ts, common::SimDuration::zero());
+  EXPECT_GT(s->estimated_trp, common::SimDuration::zero());
+  EXPECT_GT(s->pilot_walltime, s->estimated_tx);
+}
+
+}  // namespace
+}  // namespace aimes::core

@@ -1,0 +1,80 @@
+// JSON report serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/report_io.hpp"
+
+namespace aimes::core {
+namespace {
+
+ExecutionReport sample_report() {
+  ExecutionReport r;
+  r.success = true;
+  r.units_done = 64;
+  r.units_failed = 1;
+  r.units_cancelled = 2;
+  r.strategy.binding = Binding::kLate;
+  r.strategy.unit_scheduler = pilot::UnitSchedulerKind::kBackfill;
+  r.strategy.n_pilots = 3;
+  r.strategy.pilot_cores = 22;
+  r.strategy.pilot_walltime = common::SimDuration::hours(2);
+  r.strategy.sites = {common::SiteId(1), common::SiteId(2), common::SiteId(3)};
+  r.ttc.ttc = common::SimDuration::seconds(3600);
+  r.ttc.tw = common::SimDuration::seconds(600);
+  r.ttc.tx = common::SimDuration::seconds(2800);
+  r.ttc.ts = common::SimDuration::seconds(120);
+  r.ttc.pilot_waits = {common::SimDuration::seconds(600), common::SimDuration::seconds(900)};
+  r.ttc.restarted_units = 3;
+  r.metrics.throughput_tasks_per_hour = 64.0;
+  r.metrics.pilot_core_hours = 40.0;
+  r.metrics.useful_core_hours = 16.0;
+  r.metrics.pilot_efficiency = 0.4;
+  r.metrics.charge = 44.0;
+  r.metrics.energy_kwh = 0.5;
+  return r;
+}
+
+TEST(ReportIo, JsonContainsEveryField) {
+  const auto json = report_to_json(sample_report());
+  for (const char* needle :
+       {"\"success\": true", "\"units_done\": 64", "\"units_failed\": 1",
+        "\"units_cancelled\": 2", "\"binding\": \"late\"",
+        "\"unit_scheduler\": \"backfill\"", "\"n_pilots\": 3", "\"pilot_cores\": 22",
+        "\"pilot_walltime_s\": 7200", "\"site.1\"", "\"ttc_s\": 3600", "\"tw_s\": 600",
+        "\"tx_s\": 2800", "\"ts_s\": 120", "\"pilot_waits_s\": [600, 900]",
+        "\"restarted_units\": 3", "\"throughput_tasks_per_hour\": 64",
+        "\"pilot_efficiency\": 0.4", "\"charge\": 44", "\"energy_kwh\": 0.5"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << "missing: " << needle << "\n" << json;
+  }
+}
+
+TEST(ReportIo, JsonIsBalanced) {
+  const auto json = report_to_json(sample_report());
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ReportIo, SaveWritesFile) {
+  const std::string path = "/tmp/aimes_report_test.json";
+  ASSERT_TRUE(save_report_json(sample_report(), path));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "{");
+  std::remove(path.c_str());
+  EXPECT_FALSE(save_report_json(sample_report(), "/nonexistent/dir/report.json"));
+}
+
+}  // namespace
+}  // namespace aimes::core

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/strategy.hpp"
+
+namespace aimes::core {
+namespace {
+
+ExecutionStrategy valid_strategy() {
+  ExecutionStrategy s;
+  s.binding = Binding::kLate;
+  s.unit_scheduler = pilot::UnitSchedulerKind::kBackfill;
+  s.n_pilots = 3;
+  s.pilot_cores = 64;
+  s.pilot_walltime = common::SimDuration::hours(2);
+  s.sites = {common::SiteId(1), common::SiteId(2), common::SiteId(3)};
+  return s;
+}
+
+TEST(ExecutionStrategy, ValidStrategyPasses) {
+  EXPECT_TRUE(valid_strategy().validate().ok());
+}
+
+TEST(ExecutionStrategy, RejectsSiteCountMismatch) {
+  auto s = valid_strategy();
+  s.sites.pop_back();
+  EXPECT_FALSE(s.validate().ok());
+}
+
+TEST(ExecutionStrategy, RejectsNonPositiveParameters) {
+  auto s = valid_strategy();
+  s.n_pilots = 0;
+  EXPECT_FALSE(s.validate().ok());
+  s = valid_strategy();
+  s.pilot_cores = 0;
+  EXPECT_FALSE(s.validate().ok());
+  s = valid_strategy();
+  s.pilot_walltime = common::SimDuration::zero();
+  EXPECT_FALSE(s.validate().ok());
+}
+
+// Table I pairs bindings with schedulers; mixed pairings are rejected.
+TEST(ExecutionStrategy, RejectsMismatchedBindingSchedulerPairs) {
+  auto s = valid_strategy();
+  s.binding = Binding::kEarly;  // early + backfill
+  EXPECT_FALSE(s.validate().ok());
+
+  s = valid_strategy();
+  s.unit_scheduler = pilot::UnitSchedulerKind::kDirect;  // late + direct
+  EXPECT_FALSE(s.validate().ok());
+
+  s = valid_strategy();
+  s.binding = Binding::kEarly;
+  s.unit_scheduler = pilot::UnitSchedulerKind::kRoundRobin;
+  EXPECT_TRUE(s.validate().ok());
+}
+
+TEST(ExecutionStrategy, DescribeListsEveryDecision) {
+  const auto text = valid_strategy().describe();
+  EXPECT_NE(text.find("binding"), std::string::npos);
+  EXPECT_NE(text.find("late"), std::string::npos);
+  EXPECT_NE(text.find("backfill"), std::string::npos);
+  EXPECT_NE(text.find("#pilots"), std::string::npos);
+  EXPECT_NE(text.find("64 cores"), std::string::npos);
+  EXPECT_NE(text.find("site.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aimes::core

@@ -1,0 +1,84 @@
+// The ASCII timeline renderer.
+#include <gtest/gtest.h>
+
+#include "core/aimes.hpp"
+#include "core/timeline.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace aimes::core {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+using pilot::Entity;
+
+SimTime at(double s) { return SimTime::epoch() + SimDuration::seconds(s); }
+
+TEST(Timeline, EmptyTraceYieldsNoRows) {
+  pilot::Profiler trace;
+  EXPECT_TRUE(build_timeline(trace).empty());
+  EXPECT_EQ(render_timeline(trace), "(no run in trace)\n");
+}
+
+TEST(Timeline, PilotRowShowsQueuedThenActive) {
+  pilot::Profiler trace;
+  trace.record(at(0), Entity::kManager, 0, "RUN_START");
+  trace.record(at(0), Entity::kPilot, 1, "PENDING_LAUNCH");
+  trace.record(at(50), Entity::kPilot, 1, "ACTIVE");
+  trace.record(at(100), Entity::kPilot, 1, "CANCELED");
+  TimelineOptions options;
+  options.width = 10;
+  const auto rows = build_timeline(trace, options);
+  ASSERT_GE(rows.size(), 1u);
+  EXPECT_EQ(rows[0].label, "pilot.1");
+  // First half queued ('.'), second half active ('#').
+  EXPECT_EQ(rows[0].cells[0], '.');
+  EXPECT_EQ(rows[0].cells[9], '#');
+  EXPECT_EQ(rows[0].cells.size(), 10u);
+}
+
+TEST(Timeline, ExecRowReflectsConcurrency) {
+  pilot::Profiler trace;
+  trace.record(at(0), Entity::kManager, 0, "RUN_START");
+  trace.record(at(0), Entity::kUnit, 1, "EXECUTING");
+  trace.record(at(0), Entity::kUnit, 2, "EXECUTING");
+  trace.record(at(50), Entity::kUnit, 1, "DONE");
+  trace.record(at(100), Entity::kUnit, 2, "DONE");
+  TimelineOptions options;
+  options.width = 10;
+  const auto rows = build_timeline(trace, options);
+  const auto* exec = &rows[rows.size() - 2];
+  ASSERT_EQ(exec->label, "exec");
+  // Two concurrent units in the first half, one in the second: the glyph
+  // drops (9 -> lower digit).
+  EXPECT_EQ(exec->cells[1], '9');
+  EXPECT_LT(exec->cells[7], '9');
+  EXPECT_NE(exec->cells[7], '.');
+}
+
+TEST(Timeline, RealRunRendersAllSections) {
+  AimesConfig config;
+  config.seed = 3;
+  config.warmup = SimDuration::hours(1);
+  Aimes aimes(config);
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(16), 3);
+  PlannerConfig planner;
+  planner.binding = Binding::kLate;
+  planner.n_pilots = 2;
+  auto result = aimes.run(app, planner);
+  ASSERT_TRUE(result.ok());
+  const auto text = render_timeline(result->trace);
+  EXPECT_NE(text.find("pilot.1"), std::string::npos);
+  EXPECT_NE(text.find("pilot.2"), std::string::npos);
+  EXPECT_NE(text.find("exec"), std::string::npos);
+  EXPECT_NE(text.find("staging"), std::string::npos);
+  EXPECT_NE(text.find("legend:"), std::string::npos);
+  // Execution happened: at least one loaded column.
+  const auto exec_line_start = text.find("exec");
+  const auto exec_line = text.substr(exec_line_start, 80);
+  EXPECT_NE(exec_line.find_first_of("123456789"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aimes::core

@@ -1,0 +1,104 @@
+// TTC decomposition from synthetic traces (the paper's §IV.A methodology).
+#include <gtest/gtest.h>
+
+#include "core/ttc.hpp"
+
+namespace aimes::core {
+namespace {
+
+using pilot::Entity;
+using pilot::Profiler;
+
+SimTime at(double s) { return SimTime::epoch() + common::SimDuration::seconds(s); }
+
+TEST(AnalyzeTtc, EmptyTraceYieldsZeroes) {
+  Profiler trace;
+  const auto b = analyze_ttc(trace);
+  EXPECT_EQ(b.ttc, common::SimDuration::zero());
+  EXPECT_EQ(b.tw, common::SimDuration::zero());
+}
+
+TEST(AnalyzeTtc, SimpleRunDecomposes) {
+  Profiler trace;
+  trace.record(at(0), Entity::kManager, 0, "RUN_START");
+  trace.record(at(0), Entity::kPilot, 1, "PENDING_LAUNCH");
+  trace.record(at(100), Entity::kPilot, 1, "ACTIVE");
+  trace.record(at(110), Entity::kTransfer, 1, "STAGE_IN_START");
+  trace.record(at(120), Entity::kTransfer, 1, "STAGE_IN_DONE");
+  trace.record(at(120), Entity::kUnit, 1, "EXECUTING");
+  trace.record(at(420), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");
+  trace.record(at(420), Entity::kTransfer, 2, "STAGE_OUT_START");
+  trace.record(at(430), Entity::kTransfer, 2, "STAGE_OUT_DONE");
+  trace.record(at(430), Entity::kManager, 0, "BATCH_COMPLETE");
+
+  const auto b = analyze_ttc(trace);
+  EXPECT_EQ(b.ttc, common::SimDuration::seconds(430));
+  EXPECT_EQ(b.tw, common::SimDuration::seconds(100));
+  EXPECT_EQ(b.tx, common::SimDuration::seconds(300));
+  EXPECT_EQ(b.ts, common::SimDuration::seconds(20));
+  ASSERT_EQ(b.pilot_waits.size(), 1u);
+  EXPECT_EQ(b.pilot_waits[0], common::SimDuration::seconds(100));
+  EXPECT_EQ(b.restarted_units, 0u);
+}
+
+// Components overlap: Tw counts to the FIRST active pilot; execution counted
+// once across concurrent units.
+TEST(AnalyzeTtc, OverlapCountedOnce) {
+  Profiler trace;
+  trace.record(at(0), Entity::kManager, 0, "RUN_START");
+  trace.record(at(0), Entity::kPilot, 1, "PENDING_LAUNCH");
+  trace.record(at(0), Entity::kPilot, 2, "PENDING_LAUNCH");
+  trace.record(at(50), Entity::kPilot, 1, "ACTIVE");
+  trace.record(at(500), Entity::kPilot, 2, "ACTIVE");
+  trace.record(at(60), Entity::kUnit, 1, "EXECUTING");
+  trace.record(at(70), Entity::kUnit, 2, "EXECUTING");
+  trace.record(at(160), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");
+  trace.record(at(170), Entity::kUnit, 2, "PENDING_OUTPUT_STAGING");
+  trace.record(at(600), Entity::kManager, 0, "BATCH_COMPLETE");
+
+  const auto b = analyze_ttc(trace);
+  EXPECT_EQ(b.tw, common::SimDuration::seconds(50));  // first pilot, not second
+  EXPECT_EQ(b.tx, common::SimDuration::seconds(110));  // [60,160) U [70,170)
+  ASSERT_EQ(b.pilot_waits.size(), 2u);
+  EXPECT_EQ(b.pilot_waits[1], common::SimDuration::seconds(500));
+  // The headline inequality of the paper's Figure 3 caption.
+  EXPECT_LT(b.ttc, b.tw + b.tx + b.ts + common::SimDuration::seconds(600));
+}
+
+TEST(AnalyzeTtc, FailedExecutionClosesInterval) {
+  Profiler trace;
+  trace.record(at(0), Entity::kManager, 0, "RUN_START");
+  trace.record(at(10), Entity::kUnit, 1, "EXECUTING");
+  trace.record(at(40), Entity::kUnit, 1, "FAILED");
+  trace.record(at(50), Entity::kUnit, 1, "EXECUTING");  // restart
+  trace.record(at(80), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");
+  trace.record(at(90), Entity::kManager, 0, "BATCH_COMPLETE");
+  const auto b = analyze_ttc(trace);
+  EXPECT_EQ(b.tx, common::SimDuration::seconds(60));  // 30 (failed) + 30 (retry)
+  EXPECT_EQ(b.restarted_units, 1u);
+}
+
+TEST(AnalyzeTtc, NeverActivatedPilotExcludedFromWaits) {
+  Profiler trace;
+  trace.record(at(0), Entity::kManager, 0, "RUN_START");
+  trace.record(at(0), Entity::kPilot, 1, "PENDING_LAUNCH");
+  trace.record(at(0), Entity::kPilot, 2, "PENDING_LAUNCH");
+  trace.record(at(30), Entity::kPilot, 1, "ACTIVE");
+  trace.record(at(100), Entity::kPilot, 2, "CANCELED");
+  trace.record(at(200), Entity::kManager, 0, "BATCH_COMPLETE");
+  const auto b = analyze_ttc(trace);
+  ASSERT_EQ(b.pilot_waits.size(), 1u);
+  EXPECT_EQ(b.pilot_waits[0], common::SimDuration::seconds(30));
+}
+
+TEST(AnalyzeTtc, MissingBatchCompleteGivesZeroTtc) {
+  Profiler trace;
+  trace.record(at(5), Entity::kManager, 0, "RUN_START");
+  trace.record(at(50), Entity::kPilot, 1, "PENDING_LAUNCH");
+  const auto b = analyze_ttc(trace);
+  EXPECT_EQ(b.ttc, common::SimDuration::zero());
+  EXPECT_EQ(b.run_started, at(5));
+}
+
+}  // namespace
+}  // namespace aimes::core

@@ -1,0 +1,70 @@
+// The Table I experiment matrix helpers.
+#include <gtest/gtest.h>
+
+#include "exp/matrix.hpp"
+
+namespace aimes::exp {
+namespace {
+
+TEST(Table1, FourExperimentsMatchPaper) {
+  const auto exps = table1_experiments();
+  ASSERT_EQ(exps.size(), 4u);
+
+  EXPECT_EQ(exps[0].binding, core::Binding::kEarly);
+  EXPECT_EQ(exps[0].scheduler, pilot::UnitSchedulerKind::kDirect);
+  EXPECT_EQ(exps[0].n_pilots, 1);
+  EXPECT_FALSE(exps[0].gaussian_durations);
+
+  EXPECT_EQ(exps[1].binding, core::Binding::kEarly);
+  EXPECT_TRUE(exps[1].gaussian_durations);
+
+  EXPECT_EQ(exps[2].binding, core::Binding::kLate);
+  EXPECT_EQ(exps[2].scheduler, pilot::UnitSchedulerKind::kBackfill);
+  EXPECT_EQ(exps[2].n_pilots, 3);
+  EXPECT_FALSE(exps[2].gaussian_durations);
+
+  EXPECT_EQ(exps[3].binding, core::Binding::kLate);
+  EXPECT_TRUE(exps[3].gaussian_durations);
+}
+
+TEST(Table1, NineSizesArePowersOfTwo) {
+  const auto sizes = table1_task_counts();
+  ASSERT_EQ(sizes.size(), 9u);
+  EXPECT_EQ(sizes.front(), 8);
+  EXPECT_EQ(sizes.back(), 2048);
+  for (std::size_t i = 1; i < sizes.size(); ++i) EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+}
+
+TEST(Table1, SkeletonMatchesDurationModel) {
+  const auto uniform = table1_experiment(1).make_skeleton(64);
+  ASSERT_EQ(uniform.stages.size(), 1u);
+  EXPECT_EQ(uniform.stages[0].tasks, 64);
+  EXPECT_EQ(uniform.stages[0].duration, common::DistributionSpec::constant(900));
+
+  const auto gaussian = table1_experiment(2).make_skeleton(64);
+  EXPECT_EQ(gaussian.stages[0].duration,
+            common::DistributionSpec::truncated_normal(900, 300, 60, 1800));
+}
+
+TEST(Table1, PlannerConfigPairsBindingAndScheduler) {
+  for (const auto& e : table1_experiments()) {
+    const auto cfg = e.make_planner_config();
+    EXPECT_EQ(cfg.binding, e.binding);
+    EXPECT_EQ(cfg.n_pilots, e.n_pilots);
+    ASSERT_TRUE(cfg.scheduler.has_value());
+    EXPECT_EQ(*cfg.scheduler, e.scheduler);
+    EXPECT_EQ(cfg.selection, core::SiteSelection::kRandom);
+  }
+}
+
+TEST(Table1, ExperimentLabelsAreDistinct) {
+  const auto exps = table1_experiments();
+  for (std::size_t i = 0; i < exps.size(); ++i) {
+    for (std::size_t j = i + 1; j < exps.size(); ++j) {
+      EXPECT_NE(exps[i].label, exps[j].label);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aimes::exp

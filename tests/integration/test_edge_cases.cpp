@@ -1,0 +1,158 @@
+// Assorted edge cases across module boundaries.
+#include <gtest/gtest.h>
+
+#include "core/aimes.hpp"
+#include "exp/runner.hpp"
+#include "skeleton/profiles.hpp"
+#include "test_helpers.hpp"
+
+namespace aimes {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+TEST(EngineEdge, RunUntilNowIsNoop) {
+  sim::Engine engine;
+  int fired = 0;
+  engine.schedule(SimDuration::seconds(1), [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(engine.now()), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EngineEdge, CallbackCancellingLaterEvent) {
+  sim::Engine engine;
+  int fired = 0;
+  common::EventId victim = engine.schedule(SimDuration::seconds(2), [&] { ++fired; });
+  engine.schedule(SimDuration::seconds(1), [&] { engine.cancel(victim); });
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EngineEdge, CallbackCancellingSameTimestampEvent) {
+  sim::Engine engine;
+  int fired = 0;
+  // Both at t=1 s; the first callback cancels the second before it runs.
+  common::EventId first = engine.schedule(SimDuration::seconds(1), [&] {});
+  (void)first;
+  common::EventId second;
+  engine.schedule(SimDuration::seconds(1), [&] { engine.cancel(second); });
+  second = engine.schedule(SimDuration::seconds(1), [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(StagingEdge, ZeroByteFileStillStages) {
+  sim::Engine engine;
+  net::Topology topology;
+  topology.add_site(common::SiteId(1), net::LinkSpec{});
+  net::TransferManager transfers(engine, topology);
+  net::StagingService staging(engine, transfers);
+  bool done = false;
+  auto status = staging.stage("empty.out", common::SiteId(1), net::Direction::kOut,
+                              common::DataSize::zero(),
+                              [&](const net::StagingDone& d) {
+                                done = true;
+                                EXPECT_EQ(d.size, common::DataSize::zero());
+                              });
+  ASSERT_TRUE(status.ok());
+  engine.run();
+  EXPECT_TRUE(done);
+}
+
+// Re-expose the fixture's protected members for standalone use.
+struct StandaloneWorld : test::SingleSiteWorld {
+  using test::SingleSiteWorld::engine;
+  using test::SingleSiteWorld::site;
+  using test::SingleSiteWorld::service;
+  void TestBody() override {}
+};
+
+TEST(SagaEdge, DoubleCancelIsHarmless) {
+  StandaloneWorld world;
+  auto id = world.service->submit(
+      saga::JobDescription{"double-cancel", 8, SimDuration::hours(1), SimDuration::hours(1)},
+      [](const saga::JobEvent&) {});
+  world.engine.run_until(SimTime::epoch() + SimDuration::minutes(2));
+  world.service->cancel(id);
+  world.service->cancel(id);  // second cancel: no crash, no state corruption
+  world.engine.run();
+  EXPECT_EQ(world.site->free_nodes(), 64);
+}
+
+TEST(SkeletonEdge, SingleTaskApplication) {
+  auto spec = skeleton::profiles::bag_uniform(1);
+  const auto app = skeleton::materialize(spec, 1);
+  EXPECT_EQ(app.task_count(), 1u);
+  EXPECT_EQ(app.peak_concurrent_cores(), 1);
+
+  core::AimesConfig config;
+  config.seed = 2;
+  config.warmup = SimDuration::hours(1);
+  core::Aimes aimes(config);
+  aimes.start();
+  core::PlannerConfig planner;
+  planner.binding = core::Binding::kEarly;
+  planner.n_pilots = 1;
+  auto result = aimes.run(app, planner);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->report.success);
+  EXPECT_EQ(result->report.strategy.pilot_cores, 1);
+}
+
+TEST(ExpEdge, CellAggregationCountsFailures) {
+  // An experiment whose pilots are too big for the mini pool fails to plan;
+  // run_cell must count that as a failure, not crash.
+  exp::ExperimentSpec e = exp::table1_experiment(1);
+  exp::WorldTweaks tweaks;
+  tweaks.testbed = cluster::mini_testbed();
+  tweaks.warmup = SimDuration::hours(1);
+  // 2048 single-core tasks -> a 2048-core pilot; alpha-sim has 512 cores.
+  const auto cell = exp::run_cell(e, 2048, 2, 777, tweaks);
+  EXPECT_EQ(cell.failures, 2u);
+  EXPECT_TRUE(cell.ttc_s.empty());
+}
+
+TEST(ExpEdge, TrialOnMiniPoolSucceeds) {
+  exp::ExperimentSpec e = exp::table1_experiment(3);
+  e.n_pilots = 2;  // the mini pool has two sites
+  exp::WorldTweaks tweaks;
+  tweaks.testbed = cluster::mini_testbed();
+  tweaks.warmup = SimDuration::hours(1);
+  const auto r = exp::run_trial(e, 16, 778, tweaks);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.units_done, 16u);
+}
+
+TEST(BundleEdge, DiscoverOnEmptyManager) {
+  bundle::BundleManager manager;
+  EXPECT_TRUE(manager.discover(bundle::Requirements{}).empty());
+  EXPECT_TRUE(manager.query_all().empty());
+}
+
+TEST(MetricsEdge, FailedRunStillYieldsMetrics) {
+  // A run whose units exhaust attempts produces a coherent (non-crashing)
+  // metrics block with zero throughput contribution from failed units.
+  core::AimesConfig config;
+  config.seed = 5;
+  config.warmup = SimDuration::hours(1);
+  config.testbed = cluster::mini_testbed();
+  config.execution.units.unit_failure_probability = 1.0;
+  config.execution.units.max_attempts = 1;
+  core::Aimes aimes(config);
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(4), 5);
+  core::PlannerConfig planner;
+  planner.binding = core::Binding::kLate;
+  planner.n_pilots = 1;
+  auto result = aimes.run(app, planner);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->report.success);
+  EXPECT_EQ(result->report.units_failed, 4u);
+  EXPECT_DOUBLE_EQ(result->report.metrics.useful_core_hours, 0.0);
+  EXPECT_GT(result->report.metrics.pilot_core_hours, 0.0);
+  EXPECT_DOUBLE_EQ(result->report.metrics.pilot_efficiency, 0.0);
+}
+
+}  // namespace
+}  // namespace aimes

@@ -1,0 +1,129 @@
+// End-to-end runs through the Aimes facade (Figure 1, steps 1-6).
+#include <gtest/gtest.h>
+
+#include "core/aimes.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace aimes::core {
+namespace {
+
+using common::SimDuration;
+
+AimesConfig fast_world(std::uint64_t seed) {
+  AimesConfig config;
+  config.seed = seed;
+  config.warmup = SimDuration::hours(2);
+  return config;
+}
+
+TEST(EndToEnd, LateBindingBagCompletes) {
+  Aimes aimes(fast_world(1));
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::bag_gaussian(64), 1);
+  PlannerConfig planner;
+  planner.binding = Binding::kLate;
+  planner.n_pilots = 3;
+  auto result = aimes.run(app, planner);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result->report.success);
+  EXPECT_EQ(result->report.units_done, 64u);
+  EXPECT_EQ(result->report.units_failed, 0u);
+  EXPECT_GT(result->report.ttc.ttc, SimDuration::minutes(15));
+  EXPECT_GT(result->trace.size(), 64u * 8);
+}
+
+TEST(EndToEnd, EarlyBindingBagCompletes) {
+  Aimes aimes(fast_world(2));
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(32), 2);
+  PlannerConfig planner;
+  planner.binding = Binding::kEarly;
+  planner.n_pilots = 1;
+  auto result = aimes.run(app, planner);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result->report.success);
+  // One pilot, bound early: exactly one pilot activated.
+  EXPECT_EQ(result->report.ttc.pilot_waits.size(), 1u);
+}
+
+TEST(EndToEnd, MultiStageWorkflowCompletes) {
+  Aimes aimes(fast_world(3));
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::montage_like(24), 3);
+  PlannerConfig planner;
+  planner.binding = Binding::kLate;
+  planner.n_pilots = 2;
+  auto result = aimes.run(app, planner);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_TRUE(result->report.success);
+  EXPECT_EQ(result->report.units_done, app.task_count());
+}
+
+TEST(EndToEnd, SequentialRunsOnOneWorld) {
+  Aimes aimes(fast_world(4));
+  aimes.start();
+  PlannerConfig planner;
+  planner.binding = Binding::kLate;
+  planner.n_pilots = 2;
+  for (int run = 0; run < 3; ++run) {
+    const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(16),
+                                           static_cast<std::uint64_t>(run) + 10);
+    auto result = aimes.run(app, planner);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->report.success) << "run " << run;
+  }
+  // Pilots were cancelled after each run: the pool accumulated cancelled
+  // jobs (ours) but keeps serving — a fourth plan is still feasible.
+  std::size_t cancelled = 0;
+  for (auto* site : aimes.testbed().sites()) {
+    cancelled += site->finished_count(cluster::JobState::kCancelled);
+  }
+  EXPECT_GE(cancelled, 3u) << "each run cancels at least its active pilot(s)";
+}
+
+TEST(EndToEnd, ReportAndTraceAgree) {
+  Aimes aimes(fast_world(5));
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(16), 5);
+  PlannerConfig planner;
+  planner.binding = Binding::kLate;
+  planner.n_pilots = 2;
+  auto result = aimes.run(app, planner);
+  ASSERT_TRUE(result.ok());
+  const auto recomputed = analyze_ttc(result->trace);
+  EXPECT_EQ(recomputed.ttc, result->report.ttc.ttc);
+  EXPECT_EQ(recomputed.tw, result->report.ttc.tw);
+  EXPECT_EQ(recomputed.tx, result->report.ttc.tx);
+  EXPECT_EQ(recomputed.ts, result->report.ttc.ts);
+  // Trace completeness: every unit reached DONE exactly once.
+  EXPECT_EQ(result->trace.count_entered(pilot::Entity::kUnit, "DONE"), 16u);
+}
+
+TEST(EndToEnd, FailureInjectionStillCompletes) {
+  AimesConfig config = fast_world(6);
+  config.execution.units.unit_failure_probability = 0.2;
+  config.execution.units.max_attempts = 8;
+  Aimes aimes(config);
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::bag_uniform(24), 6);
+  PlannerConfig planner;
+  planner.binding = Binding::kLate;
+  planner.n_pilots = 3;
+  auto result = aimes.run(app, planner);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->report.success);
+  EXPECT_GT(result->report.ttc.restarted_units, 0u);
+}
+
+TEST(EndToEnd, BundleSnapshotsReflectWarmWorld) {
+  Aimes aimes(fast_world(7));
+  aimes.start();
+  const auto reps = aimes.bundles().query_all();
+  ASSERT_EQ(reps.size(), 5u);
+  double total_util = 0;
+  for (const auto& rep : reps) total_util += rep.compute.utilization;
+  EXPECT_GT(total_util / 5.0, 0.5) << "warm testbed should be busy";
+}
+
+}  // namespace
+}  // namespace aimes::core

@@ -1,0 +1,124 @@
+// Parameterized property sweeps over the experiment grid.
+//
+// Invariants that must hold for EVERY (strategy, size, seed) cell, not just
+// the ones the figures show — the virtual laboratory's safety net.
+#include <gtest/gtest.h>
+
+#include "exp/runner.hpp"
+
+namespace aimes::exp {
+namespace {
+
+using common::SimDuration;
+
+struct Cell {
+  int exp_id;
+  int tasks;
+  std::uint64_t seed;
+};
+
+std::ostream& operator<<(std::ostream& out, const Cell& c) {
+  return out << "exp" << c.exp_id << "_n" << c.tasks << "_s" << c.seed;
+}
+
+class ExperimentProperties : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(ExperimentProperties, RunInvariantsHold) {
+  const Cell cell = GetParam();
+  const auto e = table1_experiment(cell.exp_id);
+  const auto r = run_trial(e, cell.tasks, cell.seed);
+
+  // 1. The run completes and every unit finishes exactly once.
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.units_done, static_cast<std::size_t>(cell.tasks));
+  EXPECT_EQ(r.units_failed, 0u);
+
+  // 2. Component sanity: each component fits inside the run.
+  EXPECT_GT(r.ttc.ttc, SimDuration::zero());
+  EXPECT_LE(r.ttc.tw, r.ttc.ttc);
+  EXPECT_LE(r.ttc.tx, r.ttc.ttc);
+  EXPECT_LE(r.ttc.ts, r.ttc.ttc);
+
+  // 3. Execution cannot beat physics: Tx is at least one full task duration
+  //    (all tasks are >= 1 minute) and TTC covers Tw plus some execution.
+  EXPECT_GE(r.ttc.tx, SimDuration::minutes(1));
+  EXPECT_GE(r.ttc.ttc, r.ttc.tw + SimDuration::minutes(1));
+
+  // 4. Strategy shape matches Table I.
+  EXPECT_EQ(r.strategy.n_pilots, e.n_pilots);
+  EXPECT_EQ(r.strategy.pilot_cores, (cell.tasks + e.n_pilots - 1) / e.n_pilots);
+  EXPECT_EQ(r.strategy.sites.size(), static_cast<std::size_t>(e.n_pilots));
+
+  // 5. Pilot waits: at least one pilot activated; every wait respects the
+  //    batch system's floor (ingestion age).
+  ASSERT_GE(r.ttc.pilot_waits.size(), 1u);
+  for (const auto& wait : r.ttc.pilot_waits) {
+    EXPECT_GE(wait, SimDuration::seconds(45));
+  }
+
+  // 6. Tw equals the smallest *observed* activation wait only when the
+  //    first-submitted pilot is the first to activate; in general Tw is
+  //    bounded by the smallest wait (late binding exploits exactly this).
+  SimDuration min_wait = SimDuration::max();
+  for (const auto& w : r.ttc.pilot_waits) min_wait = std::min(min_wait, w);
+  EXPECT_GE(r.ttc.tw + SimDuration::seconds(30), min_wait);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOneGrid, ExperimentProperties,
+    ::testing::Values(Cell{1, 8, 11}, Cell{1, 64, 11}, Cell{1, 256, 11}, Cell{2, 64, 11},
+                      Cell{3, 8, 11}, Cell{3, 64, 11}, Cell{3, 256, 11}, Cell{4, 64, 11},
+                      Cell{1, 64, 22}, Cell{3, 64, 22}, Cell{2, 256, 22}, Cell{4, 256, 22}),
+    [](const ::testing::TestParamInfo<Cell>& info) {
+      return "exp" + std::to_string(info.param.exp_id) + "_n" +
+             std::to_string(info.param.tasks) + "_s" + std::to_string(info.param.seed);
+    });
+
+// Headline paper claim, in distribution: late binding with three pilots
+// beats early binding with one pilot on mean TTC over a seed sample.
+TEST(PaperClaims, LateBindingBeatsEarlyOnAverage) {
+  // At large task counts the early strategy's single big pilot queues like a
+  // capability job while late binding's three smaller pilots backfill; the
+  // paper's Figure 2 gap is widest there.
+  const int tasks = 1024;
+  const int trials = 8;
+  const auto early = run_cell(table1_experiment(1), tasks, trials, 5000);
+  const auto late = run_cell(table1_experiment(3), tasks, trials, 5000);
+  ASSERT_EQ(early.failures, 0u);
+  ASSERT_EQ(late.failures, 0u);
+  EXPECT_LT(late.ttc_s.mean(), early.ttc_s.mean());
+}
+
+// Tw variance claim: the early single-pilot strategy fluctuates far more
+// than the late three-pilot strategy.
+TEST(PaperClaims, ThreePilotsNormalizeQueueWait) {
+  const int tasks = 128;
+  const int trials = 8;
+  const auto early = run_cell(table1_experiment(1), tasks, trials, 9000);
+  const auto late = run_cell(table1_experiment(3), tasks, trials, 9000);
+  EXPECT_GT(early.tw_s.stddev() + 1.0, late.tw_s.stddev());
+  EXPECT_GT(early.tw_s.max() + 1.0, late.tw_s.max());
+}
+
+// Tx claim: splitting the cores over three pilots slows execution (the
+// price of late binding the paper quantifies as ~1/3 extra).
+TEST(PaperClaims, LateBindingExecutesSlower) {
+  const int tasks = 256;
+  const int trials = 6;
+  const auto early = run_cell(table1_experiment(1), tasks, trials, 13000);
+  const auto late = run_cell(table1_experiment(3), tasks, trials, 13000);
+  EXPECT_GT(late.tx_s.mean(), early.tx_s.mean());
+  // But not absurdly slower: bounded by the single-pilot worst case (3x).
+  EXPECT_LT(late.tx_s.mean(), early.tx_s.mean() * 3.5);
+}
+
+// Ts claim: staging time grows with the number of tasks (1 MB + 2 KB each).
+TEST(PaperClaims, StagingGrowsWithTasks) {
+  const int trials = 4;
+  const auto small = run_cell(table1_experiment(3), 32, trials, 17000);
+  const auto big = run_cell(table1_experiment(3), 512, trials, 17000);
+  EXPECT_GT(big.ts_s.mean(), small.ts_s.mean());
+}
+
+}  // namespace
+}  // namespace aimes::exp

@@ -1,0 +1,189 @@
+// Topology, fair-share transfers, and staging.
+#include <gtest/gtest.h>
+
+#include "net/staging.hpp"
+#include "net/topology.hpp"
+#include "net/transfer.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::net {
+namespace {
+
+using common::DataSize;
+using common::SimDuration;
+using common::SimTime;
+using common::SiteId;
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() {
+    LinkSpec link;
+    link.capacity = common::Bandwidth::mib_per_sec(100.0);
+    link.latency = SimDuration::millis(100);
+    topology.add_site(SiteId(1), link);
+    transfers = std::make_unique<TransferManager>(engine, topology);
+  }
+
+  sim::Engine engine;
+  Topology topology;
+  std::unique_ptr<TransferManager> transfers;
+};
+
+TEST_F(NetTest, TopologyLookup) {
+  EXPECT_TRUE(topology.has_site(SiteId(1)));
+  EXPECT_FALSE(topology.has_site(SiteId(2)));
+  EXPECT_TRUE(topology.link(SiteId(1), Direction::kIn).ok());
+  EXPECT_FALSE(topology.link(SiteId(2), Direction::kOut).ok());
+  EXPECT_EQ(topology.sites(), std::vector<SiteId>{SiteId(1)});
+}
+
+TEST_F(NetTest, AsymmetricLinks) {
+  LinkSpec in;
+  in.capacity = common::Bandwidth::mib_per_sec(400.0);
+  LinkSpec out;
+  out.capacity = common::Bandwidth::mib_per_sec(50.0);
+  topology.add_site(SiteId(3), in, out);
+  EXPECT_GT(topology.link(SiteId(3), Direction::kIn)->capacity,
+            topology.link(SiteId(3), Direction::kOut)->capacity);
+}
+
+TEST_F(NetTest, IdealDurationIsLatencyPlusWireTime) {
+  const auto d = topology.ideal_duration(SiteId(1), Direction::kIn, DataSize::mib(100));
+  ASSERT_TRUE(d.ok());
+  // 100 MiB at 100 MiB/s = 1 s, plus 100 ms latency.
+  EXPECT_EQ(*d, SimDuration::millis(1100));
+}
+
+TEST_F(NetTest, SingleTransferCompletesOnSchedule) {
+  SimTime done_at;
+  auto id = transfers->start(SiteId(1), Direction::kIn, DataSize::mib(100),
+                             [&](const TransferDone& t) { done_at = t.finished_at; });
+  ASSERT_TRUE(id.ok());
+  engine.run();
+  // latency (100 ms) + 1 s wire time, +- the 1 ms scheduling guard.
+  EXPECT_GE(done_at, SimTime::epoch() + SimDuration::millis(1100));
+  EXPECT_LE(done_at, SimTime::epoch() + SimDuration::millis(1105));
+  EXPECT_EQ(transfers->completed(), 1u);
+}
+
+TEST_F(NetTest, UnknownSiteRejected) {
+  auto id = transfers->start(SiteId(9), Direction::kIn, DataSize::mib(1),
+                             [](const TransferDone&) {});
+  EXPECT_FALSE(id.ok());
+}
+
+// Fair sharing: two equal flows take twice as long as one.
+TEST_F(NetTest, TwoFlowsShareBandwidth) {
+  SimTime done[2];
+  for (int i = 0; i < 2; ++i) {
+    auto r = transfers->start(SiteId(1), Direction::kIn, DataSize::mib(100),
+                              [&done, i](const TransferDone& t) { done[i] = t.finished_at; });
+    ASSERT_TRUE(r.ok());
+  }
+  engine.run();
+  for (const auto d : done) {
+    EXPECT_GE(d, SimTime::epoch() + SimDuration::millis(2100));
+    EXPECT_LE(d, SimTime::epoch() + SimDuration::millis(2110));
+  }
+}
+
+// A flow that joins mid-transfer slows the first one down progressively.
+TEST_F(NetTest, LateJoinerSharesProgressively) {
+  SimTime first_done;
+  auto r1 = transfers->start(SiteId(1), Direction::kIn, DataSize::mib(100),
+                             [&](const TransferDone& t) { first_done = t.finished_at; });
+  ASSERT_TRUE(r1.ok());
+  engine.schedule(SimDuration::millis(600), [&] {
+    auto r2 = transfers->start(SiteId(1), Direction::kIn, DataSize::mib(100),
+                               [](const TransferDone&) {});
+    ASSERT_TRUE(r2.ok());
+  });
+  engine.run();
+  // The joiner occupies the channel from 0.7 s (its own latency). By then
+  // the first flow moved 60 MiB; the remaining 40 MiB at half rate takes
+  // 0.8 s: finish ~1.5 s instead of 1.1 s.
+  EXPECT_GT(first_done, SimTime::epoch() + SimDuration::millis(1450));
+  EXPECT_LT(first_done, SimTime::epoch() + SimDuration::millis(1550));
+}
+
+TEST_F(NetTest, DirectionsAreIndependentChannels) {
+  SimTime done_in;
+  SimTime done_out;
+  auto a = transfers->start(SiteId(1), Direction::kIn, DataSize::mib(100),
+                            [&](const TransferDone& t) { done_in = t.finished_at; });
+  auto b = transfers->start(SiteId(1), Direction::kOut, DataSize::mib(100),
+                            [&](const TransferDone& t) { done_out = t.finished_at; });
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  engine.run();
+  // No contention: both behave like lone flows.
+  EXPECT_LE(done_in, SimTime::epoch() + SimDuration::millis(1105));
+  EXPECT_LE(done_out, SimTime::epoch() + SimDuration::millis(1105));
+}
+
+TEST_F(NetTest, ZeroByteTransferStillHasLatency) {
+  SimTime done_at;
+  auto r = transfers->start(SiteId(1), Direction::kIn, DataSize::zero(),
+                            [&](const TransferDone& t) { done_at = t.finished_at; });
+  ASSERT_TRUE(r.ok());
+  engine.run();
+  EXPECT_GE(done_at, SimTime::epoch() + SimDuration::millis(100));
+  EXPECT_LE(done_at, SimTime::epoch() + SimDuration::millis(110));
+}
+
+TEST_F(NetTest, EstimateReflectsContention) {
+  const auto idle = transfers->estimate(SiteId(1), Direction::kIn, DataSize::mib(100));
+  ASSERT_TRUE(idle.ok());
+  auto r = transfers->start(SiteId(1), Direction::kIn, DataSize::mib(1000),
+                            [](const TransferDone&) {});
+  ASSERT_TRUE(r.ok());
+  engine.run_until(SimTime::epoch() + SimDuration::millis(500));
+  const auto busy = transfers->estimate(SiteId(1), Direction::kIn, DataSize::mib(100));
+  ASSERT_TRUE(busy.ok());
+  EXPECT_GT(*busy, *idle);
+  EXPECT_EQ(transfers->active_flows(SiteId(1), Direction::kIn), 1u);
+}
+
+TEST_F(NetTest, ManyFlowsAllComplete) {
+  int done = 0;
+  for (int i = 0; i < 64; ++i) {
+    auto r = transfers->start(SiteId(1), Direction::kIn, DataSize::mib(1),
+                              [&](const TransferDone&) { ++done; });
+    ASSERT_TRUE(r.ok());
+  }
+  engine.run();
+  EXPECT_EQ(done, 64);
+  EXPECT_EQ(transfers->active_flows(SiteId(1), Direction::kIn), 0u);
+}
+
+TEST_F(NetTest, StagingAddsPerFileOverhead) {
+  StagingPolicy policy;
+  policy.per_file_overhead = SimDuration::seconds(2);
+  StagingService staging(engine, *transfers, policy);
+  SimTime done_at;
+  auto status = staging.stage("input.dat", SiteId(1), Direction::kIn, DataSize::mib(100),
+                              [&](const StagingDone& d) {
+                                done_at = d.finished_at;
+                                EXPECT_EQ(d.file, "input.dat");
+                                EXPECT_EQ(d.size, DataSize::mib(100));
+                              });
+  ASSERT_TRUE(status.ok());
+  engine.run();
+  // 2 s overhead + 0.1 s latency + 1 s wire.
+  EXPECT_GE(done_at, SimTime::epoch() + SimDuration::millis(3100));
+  EXPECT_LE(done_at, SimTime::epoch() + SimDuration::millis(3110));
+  EXPECT_EQ(staging.staged_count(), 1u);
+  EXPECT_EQ(staging.staged_bytes(), DataSize::mib(100));
+}
+
+TEST_F(NetTest, StagingEstimateIncludesOverhead) {
+  StagingPolicy policy;
+  policy.per_file_overhead = SimDuration::seconds(2);
+  StagingService staging(engine, *transfers, policy);
+  const auto est = staging.estimate(SiteId(1), Direction::kIn, DataSize::mib(100));
+  ASSERT_TRUE(est.ok());
+  EXPECT_GE(*est, SimDuration::millis(3100));
+}
+
+}  // namespace
+}  // namespace aimes::net

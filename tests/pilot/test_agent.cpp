@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pilot/agent.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::pilot {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+using common::UnitId;
+
+class AgentTest : public ::testing::Test {
+ protected:
+  Agent make_agent(int cores, SimDuration launch_latency = SimDuration::millis(100)) {
+    AgentOptions options;
+    options.launch_latency = launch_latency;
+    return Agent(
+        engine, common::PilotId(1), cores, options,
+        [this](UnitId u) { done.push_back(u); }, [this] { ++capacity_signals; });
+  }
+
+  sim::Engine engine;
+  std::vector<UnitId> done;
+  int capacity_signals = 0;
+};
+
+TEST_F(AgentTest, ExecutesSingleUnit) {
+  auto agent = make_agent(4);
+  agent.enqueue(UnitId(1), 1, SimDuration::seconds(60));
+  engine.run();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], UnitId(1));
+  // Launch latency + duration.
+  EXPECT_EQ(engine.now(), SimTime::epoch() + SimDuration::seconds(60.1));
+  EXPECT_EQ(agent.executed_count(), 1u);
+  EXPECT_EQ(agent.free_cores(), 4);
+  EXPECT_GE(capacity_signals, 1);
+}
+
+TEST_F(AgentTest, ConcurrencyBoundedByCores) {
+  auto agent = make_agent(2);
+  for (int i = 1; i <= 4; ++i) {
+    agent.enqueue(UnitId(static_cast<std::uint64_t>(i)), 1, SimDuration::seconds(100));
+  }
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(50));
+  EXPECT_EQ(agent.free_cores(), 0);
+  EXPECT_EQ(agent.load(), 4u);  // 2 executing + 2 queued
+  engine.run();
+  EXPECT_EQ(done.size(), 4u);
+  // Two generations: ~200 s total.
+  EXPECT_GE(engine.now(), SimTime::epoch() + SimDuration::seconds(200));
+}
+
+// The middleware-overhead model: launches serialize at launch_latency.
+TEST_F(AgentTest, LaunchesAreSerialized) {
+  auto agent = make_agent(64, SimDuration::seconds(1));
+  std::vector<SimTime> starts;
+  agent.on_executing = [&](UnitId) { starts.push_back(engine.now()); };
+  for (int i = 1; i <= 8; ++i) {
+    agent.enqueue(UnitId(static_cast<std::uint64_t>(i)), 1, SimDuration::seconds(30));
+  }
+  engine.run();
+  ASSERT_EQ(starts.size(), 8u);
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    EXPECT_GE(starts[i] - starts[i - 1], SimDuration::seconds(1));
+  }
+  // Total span = 8 launches + 30 s compute.
+  EXPECT_EQ(engine.now(), SimTime::epoch() + SimDuration::seconds(38));
+}
+
+TEST_F(AgentTest, MultiCoreUnitsAccountedCorrectly) {
+  auto agent = make_agent(8);
+  agent.enqueue(UnitId(1), 6, SimDuration::seconds(100));
+  agent.enqueue(UnitId(2), 4, SimDuration::seconds(100));  // must wait: only 2 free
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(50));
+  EXPECT_EQ(agent.free_cores(), 2);
+  EXPECT_EQ(done.size(), 0u);
+  engine.run();
+  EXPECT_EQ(done.size(), 2u);
+}
+
+TEST_F(AgentTest, FifoOrderPreserved) {
+  auto agent = make_agent(1);
+  for (int i = 1; i <= 5; ++i) {
+    agent.enqueue(UnitId(static_cast<std::uint64_t>(i)), 1, SimDuration::seconds(10));
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(done[i], UnitId(i + 1));
+}
+
+TEST_F(AgentTest, ShutdownReturnsQueuedAndRunning) {
+  auto agent = make_agent(2);
+  for (int i = 1; i <= 4; ++i) {
+    agent.enqueue(UnitId(static_cast<std::uint64_t>(i)), 1, SimDuration::seconds(1000));
+  }
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(10));
+  const auto lost = agent.shutdown();
+  ASSERT_EQ(lost.size(), 4u);
+  EXPECT_TRUE(agent.stopped());
+  // Queued first (3, 4), then running in launch order (1, 2).
+  EXPECT_EQ(lost[0], UnitId(3));
+  EXPECT_EQ(lost[1], UnitId(4));
+  EXPECT_EQ(lost[2], UnitId(1));
+  EXPECT_EQ(lost[3], UnitId(2));
+  // Nothing completes afterwards.
+  engine.run();
+  EXPECT_TRUE(done.empty());
+}
+
+TEST_F(AgentTest, ShutdownDuringLaunchWindowLosesNothingSilently) {
+  auto agent = make_agent(2, SimDuration::seconds(5));
+  agent.enqueue(UnitId(1), 1, SimDuration::seconds(100));
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(1));  // mid-launch
+  const auto lost = agent.shutdown();
+  engine.run();
+  // The unit was popped for launching; the launch aborts and the unit is
+  // neither lost-listed nor completed — the pilot manager treats everything
+  // the agent held as lost via its own bookkeeping. Here we only require no
+  // spurious completion.
+  EXPECT_TRUE(done.empty());
+  (void)lost;
+}
+
+}  // namespace
+}  // namespace aimes::pilot

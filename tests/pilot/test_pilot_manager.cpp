@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "pilot/pilot_manager.hpp"
+#include "test_helpers.hpp"
+
+namespace aimes::pilot {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+class PilotManagerTest : public test::SingleSiteWorld {
+ protected:
+  PilotManagerTest() : manager(engine, profiler, {service.get()}, AgentOptions{}) {}
+
+  PilotDescription describe(int cores, double walltime_s = 3600) {
+    PilotDescription d;
+    d.name = "p";
+    d.site = site->id();
+    d.cores = cores;
+    d.walltime = SimDuration::seconds(walltime_s);
+    return d;
+  }
+
+  Profiler profiler;
+  PilotManager manager;
+};
+
+TEST_F(PilotManagerTest, PilotActivatesOnEmptyMachine) {
+  std::vector<PilotState> seen;
+  manager.on_pilot_active = [&](ComputePilot& p) { seen.push_back(p.state); };
+  const auto id = manager.submit(describe(16));
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(2));
+  const ComputePilot* pilot = manager.find(id);
+  ASSERT_NE(pilot, nullptr);
+  EXPECT_EQ(pilot->state, PilotState::kActive);
+  ASSERT_NE(pilot->agent, nullptr);
+  EXPECT_EQ(pilot->agent->total_cores(), 16);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], PilotState::kActive);
+}
+
+TEST_F(PilotManagerTest, StateTransitionsAreProfiled) {
+  manager.submit(describe(8));
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(2));
+  for (const char* state : {"NEW", "PENDING_LAUNCH", "LAUNCHING", "PENDING_ACTIVE", "ACTIVE"}) {
+    EXPECT_NE(profiler.first(Entity::kPilot, 1, state), SimTime::max()) << state;
+  }
+  // Transitions are time-ordered.
+  EXPECT_LE(profiler.first(Entity::kPilot, 1, "PENDING_LAUNCH"),
+            profiler.first(Entity::kPilot, 1, "PENDING_ACTIVE"));
+  EXPECT_LT(profiler.first(Entity::kPilot, 1, "PENDING_ACTIVE"),
+            profiler.first(Entity::kPilot, 1, "ACTIVE"));
+}
+
+TEST_F(PilotManagerTest, WalltimeEndsPilotAndReportsLostUnits) {
+  std::vector<UnitId> lost_units;
+  manager.on_pilot_gone = [&](ComputePilot&, const std::vector<UnitId>& lost) {
+    lost_units = lost;
+  };
+  const auto id = manager.submit(describe(8, /*walltime_s=*/120));
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(1));
+  ASSERT_EQ(manager.find(id)->state, PilotState::kActive);
+  manager.find(id)->agent->enqueue(UnitId(42), 1, SimDuration::hours(2));
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(10));
+  EXPECT_EQ(manager.find(id)->state, PilotState::kDone);  // walltime kill
+  ASSERT_EQ(lost_units.size(), 1u);
+  EXPECT_EQ(lost_units[0], UnitId(42));
+  EXPECT_EQ(manager.find(id)->agent, nullptr);
+}
+
+TEST_F(PilotManagerTest, CancelQueuedPilot) {
+  test::occupy(*site, 64, 3600);  // machine full
+  const auto id = manager.submit(describe(64 * 8));
+  run_until_s(120);
+  ASSERT_EQ(manager.find(id)->state, PilotState::kPendingActive);
+  manager.cancel(id);
+  run_until_s(240);
+  EXPECT_EQ(manager.find(id)->state, PilotState::kCanceled);
+}
+
+TEST_F(PilotManagerTest, CancelActivePilot) {
+  const auto id = manager.submit(describe(8));
+  run_until_s(120);
+  ASSERT_EQ(manager.find(id)->state, PilotState::kActive);
+  manager.cancel(id);
+  run_until_s(240);
+  EXPECT_EQ(manager.find(id)->state, PilotState::kCanceled);
+  EXPECT_EQ(site->free_nodes(), 64);
+}
+
+TEST_F(PilotManagerTest, CancelAllSweepsFleet) {
+  std::vector<common::PilotId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(manager.submit(describe(8)));
+  run_until_s(120);
+  manager.cancel_all();
+  run_until_s(240);
+  for (auto id : ids) EXPECT_TRUE(is_final(manager.find(id)->state));
+  EXPECT_EQ(manager.active_pilots().size(), 0u);
+}
+
+TEST_F(PilotManagerTest, OversizedPilotFails) {
+  const auto id = manager.submit(describe(64 * 8 * 2));
+  run_until_s(60);
+  EXPECT_EQ(manager.find(id)->state, PilotState::kFailed);
+}
+
+TEST_F(PilotManagerTest, PilotsListedInSubmissionOrder) {
+  const auto a = manager.submit(describe(4));
+  const auto b = manager.submit(describe(4));
+  auto pilots = manager.pilots();
+  ASSERT_EQ(pilots.size(), 2u);
+  EXPECT_EQ(pilots[0]->id, a);
+  EXPECT_EQ(pilots[1]->id, b);
+  EXPECT_EQ(manager.find(common::PilotId(99)), nullptr);
+}
+
+TEST_F(PilotManagerTest, TimestampsRecorded) {
+  const auto id = manager.submit(describe(8));
+  run_until_s(300);
+  const auto* p = manager.find(id);
+  EXPECT_EQ(p->submitted_at, SimTime::epoch());
+  EXPECT_GT(p->active_at, p->submitted_at);
+}
+
+}  // namespace
+}  // namespace aimes::pilot

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pilot/profiler.hpp"
+
+namespace aimes::pilot {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+SimTime at(double s) { return SimTime::epoch() + SimDuration::seconds(s); }
+
+TEST(Profiler, RecordsAndQueriesFirst) {
+  Profiler p;
+  p.record(at(1), Entity::kPilot, 1, "NEW");
+  p.record(at(2), Entity::kPilot, 1, "ACTIVE");
+  p.record(at(3), Entity::kPilot, 2, "ACTIVE");
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.first(Entity::kPilot, 1, "ACTIVE"), at(2));
+  EXPECT_EQ(p.first_any(Entity::kPilot, "ACTIVE"), at(2));
+  EXPECT_EQ(p.first(Entity::kPilot, 3, "ACTIVE"), SimTime::max());
+  EXPECT_EQ(p.first_any(Entity::kUnit, "ACTIVE"), SimTime::max());
+}
+
+TEST(Profiler, IntervalsPairPerEntity) {
+  Profiler p;
+  p.record(at(0), Entity::kUnit, 1, "EXECUTING");
+  p.record(at(1), Entity::kUnit, 2, "EXECUTING");
+  p.record(at(5), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");
+  p.record(at(7), Entity::kUnit, 2, "PENDING_OUTPUT_STAGING");
+  const auto set = p.intervals(Entity::kUnit, "EXECUTING", "PENDING_OUTPUT_STAGING");
+  EXPECT_EQ(set.union_length(), SimDuration::seconds(7));  // [0,5) U [1,7)
+}
+
+TEST(Profiler, IntervalsIgnoreUnmatchedClose) {
+  Profiler p;
+  p.record(at(1), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");  // close w/o open
+  EXPECT_TRUE(p.intervals(Entity::kUnit, "EXECUTING", "PENDING_OUTPUT_STAGING").empty());
+}
+
+TEST(Profiler, ReentryRestartsInterval) {
+  Profiler p;
+  p.record(at(0), Entity::kUnit, 1, "EXECUTING");
+  p.record(at(10), Entity::kUnit, 1, "EXECUTING");  // restart
+  p.record(at(12), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");
+  const auto set = p.intervals(Entity::kUnit, "EXECUTING", "PENDING_OUTPUT_STAGING");
+  EXPECT_EQ(set.union_length(), SimDuration::seconds(2));
+}
+
+TEST(Profiler, CountEnteredDistinctUids) {
+  Profiler p;
+  p.record(at(0), Entity::kUnit, 1, "DONE");
+  p.record(at(1), Entity::kUnit, 2, "DONE");
+  p.record(at(2), Entity::kUnit, 1, "DONE");
+  EXPECT_EQ(p.count_entered(Entity::kUnit, "DONE"), 2u);
+  EXPECT_EQ(p.count_entered(Entity::kPilot, "DONE"), 0u);
+}
+
+TEST(Profiler, CsvRendering) {
+  Profiler p;
+  p.record(at(1.5), Entity::kPilot, 7, "ACTIVE", "stampede-sim");
+  std::ostringstream out;
+  p.render_csv(out);
+  EXPECT_NE(out.str().find("when_ms,entity,uid,state,detail"), std::string::npos);
+  EXPECT_NE(out.str().find("1500,pilot,7,ACTIVE,stampede-sim"), std::string::npos);
+}
+
+TEST(Profiler, ClearEmpties) {
+  Profiler p;
+  p.record(at(1), Entity::kUnit, 1, "NEW");
+  p.clear();
+  EXPECT_EQ(p.size(), 0u);
+}
+
+}  // namespace
+}  // namespace aimes::pilot

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "pilot/unit_manager.hpp"
+#include "test_helpers.hpp"
+
+namespace aimes::pilot {
+namespace {
+
+using common::DataSize;
+using common::SimDuration;
+using common::SimTime;
+
+class UnitManagerTest : public test::SingleSiteWorld {
+ protected:
+  void make_managers(UnitSchedulerKind scheduler, double failure_prob = 0.0,
+                     int max_attempts = 3) {
+    pilots = std::make_unique<PilotManager>(engine, profiler,
+                                            std::vector<saga::JobService*>{service.get()},
+                                            AgentOptions{});
+    UnitManagerOptions options;
+    options.scheduler = scheduler;
+    options.unit_failure_probability = failure_prob;
+    options.max_attempts = max_attempts;
+    options.dispatch_overhead = SimDuration::millis(1);
+    units = std::make_unique<UnitManager>(engine, profiler, *pilots, *staging, options,
+                                          common::Rng(5));
+    units->on_complete = [this](const UnitBatchResult& r) { result = r; };
+  }
+
+  common::PilotId submit_pilot(int cores, double walltime_s = 7200) {
+    PilotDescription d;
+    d.name = "p";
+    d.site = site->id();
+    d.cores = cores;
+    d.walltime = SimDuration::seconds(walltime_s);
+    return pilots->submit(d);
+  }
+
+  static ComputeUnitDescription cud(const std::string& name, double duration_s,
+                                    bool with_files = true) {
+    ComputeUnitDescription d;
+    d.name = name;
+    d.cores = 1;
+    d.duration = SimDuration::seconds(duration_s);
+    if (with_files) {
+      static std::uint64_t file_counter = 1000;
+      d.inputs.push_back({name + ".in", DataSize::mib(1), common::FileId(++file_counter)});
+      d.outputs.push_back({name + ".out", DataSize::bytes(2048), common::FileId(++file_counter)});
+    }
+    return d;
+  }
+
+  Profiler profiler;
+  std::unique_ptr<PilotManager> pilots;
+  std::unique_ptr<UnitManager> units;
+  std::optional<UnitBatchResult> result;
+};
+
+TEST_F(UnitManagerTest, DirectSchedulerRunsBatchToCompletion) {
+  make_managers(UnitSchedulerKind::kDirect);
+  submit_pilot(8);
+  const auto ids = units->submit_units({cud("u0", 60), cud("u1", 60), cud("u2", 60)});
+  ASSERT_EQ(ids.size(), 3u);
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(20));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->done, 3u);
+  EXPECT_EQ(result->failed, 0u);
+  for (auto id : ids) EXPECT_EQ(units->find(id)->state, UnitState::kDone);
+}
+
+TEST_F(UnitManagerTest, UnitWalksFullStateModel) {
+  make_managers(UnitSchedulerKind::kDirect);
+  submit_pilot(8);
+  const auto ids = units->submit_units({cud("u0", 60)});
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(10));
+  const std::uint64_t uid = ids[0].value();
+  SimTime last = SimTime::epoch();
+  for (const char* state :
+       {"NEW", "SCHEDULING", "PENDING_INPUT_STAGING", "STAGING_INPUT", "PENDING_EXECUTION",
+        "EXECUTING", "PENDING_OUTPUT_STAGING", "STAGING_OUTPUT", "DONE"}) {
+    const auto t = profiler.first(Entity::kUnit, uid, state);
+    ASSERT_NE(t, SimTime::max()) << "missing state " << state;
+    EXPECT_GE(t, last) << state;
+    last = t;
+  }
+}
+
+TEST_F(UnitManagerTest, NoFilesSkipsStagingStates) {
+  make_managers(UnitSchedulerKind::kDirect);
+  submit_pilot(8);
+  const auto ids = units->submit_units({cud("bare", 30, /*with_files=*/false)});
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(10));
+  EXPECT_EQ(units->find(ids[0])->state, UnitState::kDone);
+  EXPECT_EQ(profiler.first(Entity::kUnit, ids[0].value(), "STAGING_INPUT"), SimTime::max());
+  EXPECT_EQ(profiler.first(Entity::kUnit, ids[0].value(), "STAGING_OUTPUT"), SimTime::max());
+}
+
+TEST_F(UnitManagerTest, RoundRobinSpreadsAcrossPilots) {
+  make_managers(UnitSchedulerKind::kRoundRobin);
+  const auto p0 = submit_pilot(4);
+  const auto p1 = submit_pilot(4);
+  std::vector<ComputeUnitDescription> batch;
+  for (int i = 0; i < 6; ++i) batch.push_back(cud("u" + std::to_string(i), 30));
+  const auto ids = units->submit_units(batch);
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(20));
+  ASSERT_TRUE(result.has_value());
+  int on_p0 = 0;
+  int on_p1 = 0;
+  for (auto id : ids) {
+    if (units->find(id)->pilot == p0) ++on_p0;
+    if (units->find(id)->pilot == p1) ++on_p1;
+  }
+  EXPECT_EQ(on_p0, 3);
+  EXPECT_EQ(on_p1, 3);
+}
+
+TEST_F(UnitManagerTest, BackfillPullsToActivePilotsOnly) {
+  make_managers(UnitSchedulerKind::kBackfill);
+  // Fill the machine so the second pilot stays queued.
+  test::occupy(*site, 56, 4000);
+  const auto fast = submit_pilot(8 * 8);   // 8 nodes: fits now
+  const auto slow = submit_pilot(8 * 8);   // queued behind the occupier
+  std::vector<ComputeUnitDescription> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(cud("u" + std::to_string(i), 30));
+  const auto ids = units->submit_units(batch);
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(30));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->done, 4u);
+  for (auto id : ids) EXPECT_EQ(units->find(id)->pilot, fast) << "late binding must use the "
+                                                                 "first active pilot";
+  (void)slow;
+}
+
+TEST_F(UnitManagerTest, DependenciesGateExecution) {
+  make_managers(UnitSchedulerKind::kDirect);
+  submit_pilot(8);
+  auto producer = cud("producer", 120);
+  auto consumer = cud("consumer", 30);
+  consumer.depends_on = {0};
+  const auto ids = units->submit_units({producer, consumer});
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(30));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->done, 2u);
+  // The consumer began staging only after the producer was DONE.
+  const auto producer_done = profiler.first(Entity::kUnit, ids[0].value(), "DONE");
+  const auto consumer_staging =
+      profiler.first(Entity::kUnit, ids[1].value(), "PENDING_INPUT_STAGING");
+  EXPECT_GE(consumer_staging, producer_done);
+}
+
+TEST_F(UnitManagerTest, InjectedFailuresAreRetriedToSuccess) {
+  make_managers(UnitSchedulerKind::kDirect, /*failure_prob=*/0.4, /*max_attempts=*/10);
+  submit_pilot(8);
+  std::vector<ComputeUnitDescription> batch;
+  for (int i = 0; i < 8; ++i) batch.push_back(cud("u" + std::to_string(i), 30));
+  units->submit_units(batch);
+  engine.run_until(SimTime::epoch() + SimDuration::hours(2));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->done, 8u);
+  EXPECT_EQ(result->failed, 0u);
+  // At 40% failure probability some retries must have happened.
+  std::size_t executions = 0;
+  for (const auto& r : profiler.records()) {
+    if (r.entity == Entity::kUnit && r.state == "EXECUTING") ++executions;
+  }
+  EXPECT_GT(executions, 8u);
+}
+
+TEST_F(UnitManagerTest, AttemptsExhaustedMarksFailed) {
+  make_managers(UnitSchedulerKind::kDirect, /*failure_prob=*/1.0, /*max_attempts=*/2);
+  submit_pilot(8);
+  units->submit_units({cud("doomed", 10)});
+  engine.run_until(SimTime::epoch() + SimDuration::hours(1));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->done, 0u);
+  EXPECT_EQ(result->failed, 1u);
+}
+
+TEST_F(UnitManagerTest, PilotWalltimeDeathRestartsUnitsOnSurvivor) {
+  make_managers(UnitSchedulerKind::kBackfill);
+  const auto doomed = submit_pilot(8, /*walltime_s=*/180);
+  // Second pilot activates later (machine has room for both here) but has a
+  // long walltime; after the first dies its units must migrate.
+  const auto survivor = submit_pilot(8, /*walltime_s=*/7200);
+  std::vector<ComputeUnitDescription> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(cud("u" + std::to_string(i), 600));
+  const auto ids = units->submit_units(batch);
+  engine.run_until(SimTime::epoch() + SimDuration::hours(2));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->done, 4u);
+  // Everything finished on the survivor.
+  for (auto id : ids) EXPECT_EQ(units->find(id)->pilot, survivor);
+  (void)doomed;
+}
+
+TEST_F(UnitManagerTest, AllPilotsDeadFailsBatch) {
+  make_managers(UnitSchedulerKind::kDirect, 0.0, /*max_attempts=*/2);
+  submit_pilot(8, /*walltime_s=*/120);
+  units->submit_units({cud("long", 6000)});
+  engine.run_until(SimTime::epoch() + SimDuration::hours(3));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->failed, 1u);
+}
+
+TEST_F(UnitManagerTest, BackfillRespectsPrefetchBudget) {
+  make_managers(UnitSchedulerKind::kBackfill);
+  submit_pilot(4);  // prefetch budget = 4 * 1.15 = 4 units
+  std::vector<ComputeUnitDescription> batch;
+  for (int i = 0; i < 12; ++i) batch.push_back(cud("u" + std::to_string(i), 300));
+  units->submit_units(batch);
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(4));
+  // At most floor(4 * 1.15) = 4 units may be dispatched (staging/executing);
+  // the rest are still SCHEDULING.
+  std::size_t scheduling = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (units->find(common::UnitId(static_cast<std::uint64_t>(i) + 1))->state ==
+        UnitState::kScheduling) {
+      ++scheduling;
+    }
+  }
+  EXPECT_GE(scheduling, 8u);
+  engine.run_until(SimTime::epoch() + SimDuration::hours(2));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->done, 12u);
+}
+
+TEST_F(UnitManagerTest, DispatchOverheadSerializesSubmission) {
+  make_managers(UnitSchedulerKind::kDirect);
+  submit_pilot(8);
+  std::vector<ComputeUnitDescription> batch;
+  for (int i = 0; i < 5; ++i) batch.push_back(cud("u" + std::to_string(i), 10, false));
+  const auto ids = units->submit_units(batch);
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(5));
+  SimTime last = SimTime::epoch();
+  for (auto id : ids) {
+    const auto t = profiler.first(Entity::kUnit, id.value(), "SCHEDULING");
+    EXPECT_GT(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace aimes::pilot

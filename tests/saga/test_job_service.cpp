@@ -1,0 +1,126 @@
+// The SAGA-like uniform submission layer.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace aimes::saga {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+class JobServiceTest : public test::SingleSiteWorld {
+ protected:
+  JobDescription describe(int cores, double walltime_s, double runtime_s) {
+    JobDescription d;
+    d.name = "test-job";
+    d.cores = cores;
+    d.walltime = SimDuration::seconds(walltime_s);
+    d.runtime = SimDuration::seconds(runtime_s);
+    return d;
+  }
+};
+
+TEST_F(JobServiceTest, CoresToNodesRoundsUp) {
+  // The test site has 8 cores per node.
+  EXPECT_EQ(service->cores_to_nodes(1), 1);
+  EXPECT_EQ(service->cores_to_nodes(8), 1);
+  EXPECT_EQ(service->cores_to_nodes(9), 2);
+  EXPECT_EQ(service->cores_to_nodes(64), 8);
+}
+
+TEST_F(JobServiceTest, LifecycleEventsInOrder) {
+  std::vector<JobState> states;
+  service->submit(describe(8, 600, 100),
+                  [&](const JobEvent& e) { states.push_back(e.state); });
+  engine.run();
+  ASSERT_EQ(states.size(), 4u);
+  EXPECT_EQ(states[0], JobState::kNew);
+  EXPECT_EQ(states[1], JobState::kPending);
+  EXPECT_EQ(states[2], JobState::kRunning);
+  EXPECT_EQ(states[3], JobState::kDone);
+}
+
+TEST_F(JobServiceTest, SubmissionLatencyDelaysAdmission) {
+  SimTime pending_at;
+  service->submit(describe(8, 600, 100), [&](const JobEvent& e) {
+    if (e.state == JobState::kPending) pending_at = e.when;
+  });
+  engine.run();
+  // Configured latency is 1-2 s.
+  EXPECT_GE(pending_at, SimTime::epoch() + SimDuration::seconds(1));
+  EXPECT_LE(pending_at, SimTime::epoch() + SimDuration::seconds(2));
+}
+
+TEST_F(JobServiceTest, WalltimeKillReportsDone) {
+  // Pilots run until the walltime limit: runtime >= walltime -> Done.
+  std::vector<JobState> states;
+  service->submit(describe(8, 100, 100),
+                  [&](const JobEvent& e) { states.push_back(e.state); });
+  engine.run();
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.back(), JobState::kDone);
+}
+
+TEST_F(JobServiceTest, OversizedRequestFailsThroughEvents) {
+  std::vector<JobState> states;
+  service->submit(describe(64 * 8 + 1, 600, 100),
+                  [&](const JobEvent& e) { states.push_back(e.state); });
+  engine.run();
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.back(), JobState::kFailed);
+}
+
+TEST_F(JobServiceTest, CancelBeforeAdmission) {
+  std::vector<JobState> states;
+  const auto id = service->submit(describe(8, 600, 100),
+                                  [&](const JobEvent& e) { states.push_back(e.state); });
+  service->cancel(id);  // before the submission latency elapses
+  engine.run();
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.back(), JobState::kCanceled);
+  // The job never reached the site.
+  EXPECT_EQ(site->queue_length() + site->running_count(), 0u);
+}
+
+TEST_F(JobServiceTest, CancelRunningJob) {
+  std::vector<JobState> states;
+  const auto id = service->submit(describe(8, 3600, 3600),
+                                  [&](const JobEvent& e) { states.push_back(e.state); });
+  run_until_s(60);
+  ASSERT_EQ(states.back(), JobState::kRunning);
+  service->cancel(id);
+  engine.run();
+  EXPECT_EQ(states.back(), JobState::kCanceled);
+  EXPECT_EQ(site->free_nodes(), 64);
+}
+
+TEST_F(JobServiceTest, CancelUnknownIsNoop) {
+  service->cancel(common::JobId(424242));  // must not crash or throw
+  engine.run();
+}
+
+TEST_F(JobServiceTest, EventsDispatchedNotReentrant) {
+  // Callbacks run as engine events: when submit() returns, no event has
+  // fired yet even though dispatch was requested.
+  bool fired = false;
+  service->submit(describe(1, 60, 10), [&](const JobEvent&) { fired = true; });
+  EXPECT_FALSE(fired);
+  engine.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(JobServiceTest, EventsCarrySiteAndTimestamps) {
+  std::vector<JobEvent> events;
+  service->submit(describe(8, 600, 50), [&](const JobEvent& e) { events.push_back(e); });
+  engine.run();
+  SimTime last = SimTime::epoch();
+  for (const auto& e : events) {
+    EXPECT_EQ(e.site, site->id());
+    EXPECT_GE(e.when, last);
+    last = e.when;
+  }
+}
+
+}  // namespace
+}  // namespace aimes::saga

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace aimes::sim {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+TEST(Engine, StartsAtEpoch) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), SimTime::epoch());
+  EXPECT_EQ(engine.queued(), 0u);
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(SimDuration::seconds(3), [&] { order.push_back(3); });
+  engine.schedule(SimDuration::seconds(1), [&] { order.push_back(1); });
+  engine.schedule(SimDuration::seconds(2), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), SimTime::epoch() + SimDuration::seconds(3));
+}
+
+// Determinism contract: equal timestamps fire in scheduling order.
+TEST(Engine, EqualTimestampsFifoOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule(SimDuration::seconds(1), [&, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ClockAdvancesOnlyThroughEvents) {
+  Engine engine;
+  SimTime seen;
+  engine.schedule(SimDuration::minutes(5), [&] { seen = engine.now(); });
+  engine.run();
+  EXPECT_EQ(seen, SimTime::epoch() + SimDuration::minutes(5));
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(SimDuration::seconds(1), [&] {
+    ++fired;
+    engine.schedule(SimDuration::seconds(1), [&] { ++fired; });
+  });
+  EXPECT_EQ(engine.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), SimTime::epoch() + SimDuration::seconds(2));
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine engine;
+  int fired = 0;
+  const auto id = engine.schedule(SimDuration::seconds(1), [&] { ++fired; });
+  EXPECT_TRUE(engine.pending(id));
+  engine.cancel(id);
+  EXPECT_FALSE(engine.pending(id));
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, CancelUnknownOrFiredIsNoop) {
+  Engine engine;
+  int fired = 0;
+  const auto id = engine.schedule(SimDuration::seconds(1), [&] { ++fired; });
+  engine.run();
+  engine.cancel(id);            // already fired
+  engine.cancel(common::EventId(9999));  // never existed
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, CancelOneOfManyAtSameTime) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(SimDuration::seconds(1), [&] { order.push_back(0); });
+  const auto id = engine.schedule(SimDuration::seconds(1), [&] { order.push_back(1); });
+  engine.schedule(SimDuration::seconds(1), [&] { order.push_back(2); });
+  engine.cancel(id);
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(SimDuration::seconds(10), [&] { ++fired; });
+  engine.schedule(SimDuration::seconds(20), [&] { ++fired; });
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(15));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.now(), SimTime::epoch() + SimDuration::seconds(15));
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilInclusiveOfBoundary) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(SimDuration::seconds(10), [&] { ++fired; });
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, StepRunsExactlyOne) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(SimDuration::seconds(1), [&] { ++fired; });
+  engine.schedule(SimDuration::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, ExecutedCounterCounts) {
+  Engine engine;
+  for (int i = 0; i < 5; ++i) engine.schedule(SimDuration::millis(i), [] {});
+  engine.run();
+  EXPECT_EQ(engine.executed(), 5u);
+}
+
+TEST(Engine, ManyEventsStressOrder) {
+  Engine engine;
+  SimTime last = SimTime::epoch();
+  bool monotonic = true;
+  for (int i = 0; i < 10000; ++i) {
+    engine.schedule(SimDuration::millis((i * 7919) % 5000), [&] {
+      if (engine.now() < last) monotonic = false;
+      last = engine.now();
+    });
+  }
+  engine.run();
+  EXPECT_TRUE(monotonic);
+}
+
+}  // namespace
+}  // namespace aimes::sim

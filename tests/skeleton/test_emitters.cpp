@@ -1,0 +1,108 @@
+// The Pegasus DAX and Swift emitters (skeleton output forms (b) and (c)).
+#include <gtest/gtest.h>
+
+#include "skeleton/emitters.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace aimes::skeleton {
+namespace {
+
+TEST(PegasusDax, BagHasJobsAndNoEdges) {
+  const auto app = materialize(profiles::bag_uniform(8), 1);
+  const auto dax = to_pegasus_dax(app);
+  EXPECT_NE(dax.find("<adag"), std::string::npos);
+  EXPECT_NE(dax.find("version=\"3.6\""), std::string::npos);
+  // One <job> per task, no control edges in a bag.
+  std::size_t jobs = 0;
+  for (std::size_t pos = 0; (pos = dax.find("<job ", pos)) != std::string::npos; ++pos) ++jobs;
+  EXPECT_EQ(jobs, 8u);
+  EXPECT_EQ(dax.find("<child"), std::string::npos);
+}
+
+TEST(PegasusDax, PipelineHasParentChildEdges) {
+  const auto app = materialize(
+      profiles::iterative_pipeline(3, 2, 1, common::DistributionSpec::constant(60)), 1);
+  const auto dax = to_pegasus_dax(app);
+  std::size_t children = 0;
+  for (std::size_t pos = 0; (pos = dax.find("<child ", pos)) != std::string::npos; ++pos) {
+    ++children;
+  }
+  EXPECT_EQ(children, 3u);  // each second-stage task depends on its producer
+  EXPECT_NE(dax.find("<parent ref=\"ID1\"/>"), std::string::npos);
+}
+
+TEST(PegasusDax, FilesDeclaredWithLinksAndSizes) {
+  const auto app = materialize(profiles::bag_uniform(2), 1);
+  const auto dax = to_pegasus_dax(app);
+  EXPECT_NE(dax.find("link=\"input\""), std::string::npos);
+  EXPECT_NE(dax.find("link=\"output\" size=\"2048\""), std::string::npos);
+}
+
+TEST(PegasusDax, ReduceFanInListsAllParents) {
+  const auto app = materialize(profiles::blast_like(5), 1);
+  const auto dax = to_pegasus_dax(app);
+  // The merge job depends on all five searches.
+  const auto child_pos = dax.find("<child");
+  ASSERT_NE(child_pos, std::string::npos);
+  std::size_t parents = 0;
+  for (std::size_t pos = child_pos; (pos = dax.find("<parent ", pos)) != std::string::npos;
+       ++pos) {
+    ++parents;
+  }
+  EXPECT_EQ(parents, 5u);
+}
+
+TEST(PegasusDax, XmlEscapingApplied) {
+  SkeletonSpec spec;
+  spec.name = "a<b&c";
+  StageSpec stage;
+  stage.name = "s";
+  stage.tasks = 1;
+  spec.stages.push_back(stage);
+  const auto app = materialize(spec, 1);
+  const auto dax = to_pegasus_dax(app);
+  EXPECT_NE(dax.find("a&lt;b&amp;c"), std::string::npos);
+  EXPECT_EQ(dax.find("name=\"a<b"), std::string::npos);
+}
+
+TEST(SwiftScript, DeclaresAppAndPerTaskCalls) {
+  const auto app = materialize(profiles::bag_uniform(4), 1);
+  const auto script = to_swift_script(app);
+  EXPECT_NE(script.find("type file;"), std::string::npos);
+  EXPECT_NE(script.find("app (file outputs[]) skeleton_task"), std::string::npos);
+  std::size_t calls = 0;
+  for (std::size_t pos = 0; (pos = script.find("= skeleton_task(", pos)) != std::string::npos;
+       ++pos) {
+    ++calls;
+  }
+  EXPECT_EQ(calls, 4u);
+}
+
+TEST(SwiftScript, ExternalInputsAreMapped) {
+  const auto app = materialize(profiles::bag_uniform(2), 1);
+  const auto script = to_swift_script(app);
+  // Every external input declared with an input/ mapping.
+  EXPECT_NE(script.find("<\"input/"), std::string::npos);
+  EXPECT_NE(script.find("<\"output/"), std::string::npos);
+}
+
+TEST(SwiftScript, IdentifiersAreSanitized) {
+  const auto app = materialize(profiles::bag_uniform(1), 1);
+  const auto script = to_swift_script(app);
+  // Task names contain '/' and '.'; identifiers must not.
+  const auto pos = script.find("file bag_of_tasks_1_main_t0_in0");
+  EXPECT_NE(pos, std::string::npos) << script.substr(0, 400);
+}
+
+TEST(SwiftScript, StagesAnnotated) {
+  const auto app = materialize(
+      profiles::map_reduce(2, 1, common::DistributionSpec::constant(10),
+                           common::DistributionSpec::constant(5)),
+      1);
+  const auto script = to_swift_script(app);
+  EXPECT_NE(script.find("// stage map"), std::string::npos);
+  EXPECT_NE(script.find("// stage reduce"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aimes::skeleton

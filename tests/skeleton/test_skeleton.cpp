@@ -1,0 +1,214 @@
+// Skeleton specs, parsing, materialization, emitters and profiles.
+#include <gtest/gtest.h>
+
+#include "skeleton/application.hpp"
+#include "skeleton/profiles.hpp"
+#include "skeleton/spec.hpp"
+
+namespace aimes::skeleton {
+namespace {
+
+using common::DistributionSpec;
+
+TEST(SkeletonSpec, ValidateCatchesStructuralErrors) {
+  SkeletonSpec empty;
+  EXPECT_FALSE(empty.validate().ok());
+
+  SkeletonSpec bad = profiles::bag_uniform(8);
+  bad.stages[0].tasks = 0;
+  EXPECT_FALSE(bad.validate().ok());
+
+  SkeletonSpec iter = profiles::bag_uniform(8);
+  iter.iterations = 0;
+  EXPECT_FALSE(iter.validate().ok());
+
+  SkeletonSpec dep = profiles::bag_uniform(8);
+  dep.stages[0].input_mapping = InputMapping::kOneToOne;  // no previous stage
+  EXPECT_FALSE(dep.validate().ok());
+
+  EXPECT_TRUE(profiles::bag_uniform(8).validate().ok());
+}
+
+TEST(SkeletonSpec, InputMappingRoundTrip) {
+  for (auto m : {InputMapping::kExternal, InputMapping::kOneToOne, InputMapping::kAllToOne,
+                 InputMapping::kRoundRobin}) {
+    auto parsed = parse_input_mapping(std::string(to_string(m)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(parse_input_mapping("diagonal").ok());
+}
+
+TEST(SkeletonParser, ParsesFullConfig) {
+  const char* text = R"(
+[application]
+name = demo
+iterations = 1
+
+[stage.map]
+tasks = 16
+duration = truncated_normal 900 300 60 1800
+inputs_per_task = 2
+input_size = constant 1048576
+outputs_per_task = 1
+output_size = constant 2048
+
+[stage.reduce]
+tasks = 2
+duration = constant 300
+input_mapping = round_robin
+)";
+  auto spec = parse_spec_text(text);
+  ASSERT_TRUE(spec.ok()) << spec.error();
+  EXPECT_EQ(spec->name, "demo");
+  ASSERT_EQ(spec->stages.size(), 2u);
+  EXPECT_EQ(spec->stages[0].tasks, 16);
+  EXPECT_EQ(spec->stages[0].inputs_per_task, 2);
+  EXPECT_EQ(spec->stages[1].input_mapping, InputMapping::kRoundRobin);
+}
+
+TEST(SkeletonParser, RejectsMissingTasks) {
+  auto spec = parse_spec_text("[stage.s]\nduration = constant 10\n");
+  EXPECT_FALSE(spec.ok());
+}
+
+TEST(SkeletonParser, RejectsBadDistribution) {
+  auto spec = parse_spec_text("[stage.s]\ntasks = 4\nduration = zipf 2\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.error().find("unknown"), std::string::npos);
+}
+
+TEST(Materialize, BagShapeMatchesPaperWorkload) {
+  const auto app = materialize(profiles::bag_uniform(64), 42);
+  EXPECT_EQ(app.task_count(), 64u);
+  ASSERT_EQ(app.stages().size(), 1u);
+  // 1 input + 1 output per task.
+  EXPECT_EQ(app.files().size(), 128u);
+  for (const auto& task : app.tasks()) {
+    EXPECT_EQ(task.duration, common::SimDuration::minutes(15));
+    EXPECT_EQ(task.cores, 1);
+    ASSERT_EQ(task.inputs.size(), 1u);
+    ASSERT_EQ(task.outputs.size(), 1u);
+    EXPECT_EQ(app.file(task.inputs[0]).size, common::DataSize::mib(1));
+    EXPECT_EQ(app.file(task.outputs[0]).size, common::DataSize::bytes(2048));
+    EXPECT_TRUE(app.file(task.inputs[0]).external());
+    EXPECT_EQ(app.file(task.outputs[0]).producer, task.id);
+  }
+}
+
+TEST(Materialize, GaussianDurationsWithinPaperBounds) {
+  const auto app = materialize(profiles::bag_gaussian(256), 7);
+  for (const auto& task : app.tasks()) {
+    EXPECT_GE(task.duration, common::SimDuration::minutes(1));
+    EXPECT_LE(task.duration, common::SimDuration::minutes(30));
+  }
+}
+
+TEST(Materialize, DeterministicPerSeed) {
+  const auto a = materialize(profiles::bag_gaussian(32), 9);
+  const auto b = materialize(profiles::bag_gaussian(32), 9);
+  const auto c = materialize(profiles::bag_gaussian(32), 10);
+  ASSERT_EQ(a.task_count(), b.task_count());
+  bool all_equal_c = true;
+  for (std::size_t i = 0; i < a.task_count(); ++i) {
+    EXPECT_EQ(a.tasks()[i].duration, b.tasks()[i].duration);
+    if (a.tasks()[i].duration != c.tasks()[i].duration) all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c) << "different seeds should differ";
+}
+
+TEST(Materialize, OneToOneDependencyChain) {
+  auto spec = profiles::iterative_pipeline(4, 2, 1, DistributionSpec::constant(60));
+  const auto app = materialize(spec, 1);
+  ASSERT_EQ(app.stages().size(), 2u);
+  ASSERT_EQ(app.task_count(), 8u);
+  // Second-stage task i consumes the output of first-stage task i.
+  for (int i = 0; i < 4; ++i) {
+    const auto& consumer = app.tasks()[4 + static_cast<std::size_t>(i)];
+    ASSERT_EQ(consumer.inputs.size(), 1u);
+    const auto& file = app.file(consumer.inputs[0]);
+    EXPECT_EQ(file.producer, app.tasks()[static_cast<std::size_t>(i)].id);
+  }
+  EXPECT_TRUE(app.has_inter_task_data());
+}
+
+TEST(Materialize, AllToOneReduceConsumesEverything) {
+  const auto app = materialize(profiles::blast_like(16), 3);
+  const auto& merge = app.tasks().back();
+  EXPECT_EQ(merge.inputs.size(), 16u);
+}
+
+TEST(Materialize, RoundRobinDistributesOutputs) {
+  auto spec = profiles::map_reduce(8, 2, DistributionSpec::constant(60),
+                                   DistributionSpec::constant(30));
+  const auto app = materialize(spec, 5);
+  const auto& r0 = app.tasks()[8];
+  const auto& r1 = app.tasks()[9];
+  EXPECT_EQ(r0.inputs.size(), 4u);
+  EXPECT_EQ(r1.inputs.size(), 4u);
+}
+
+TEST(Materialize, IterationsChainAcrossGroupBoundary) {
+  auto spec = profiles::iterative_pipeline(2, 1, 3, DistributionSpec::constant(60));
+  const auto app = materialize(spec, 1);
+  EXPECT_EQ(app.stages().size(), 3u);
+  EXPECT_EQ(app.task_count(), 6u);
+  // Iteration 1's stage consumes iteration 0's outputs, not external files.
+  const auto& task = app.tasks()[2];
+  ASSERT_FALSE(task.inputs.empty());
+  EXPECT_FALSE(app.file(task.inputs[0]).external());
+}
+
+TEST(Materialize, AggregatesConsistent) {
+  const auto app = materialize(profiles::bag_uniform(32), 11);
+  EXPECT_EQ(app.total_compute(), common::SimDuration::minutes(15 * 32));
+  EXPECT_EQ(app.max_task_duration(), common::SimDuration::minutes(15));
+  EXPECT_EQ(app.total_external_input(), common::DataSize::mib(32));
+  EXPECT_EQ(app.total_final_output(), common::DataSize::bytes(2048 * 32));
+  EXPECT_EQ(app.max_task_cores(), 1);
+  EXPECT_EQ(app.peak_concurrent_cores(), 32);
+  EXPECT_FALSE(app.has_inter_task_data());
+}
+
+TEST(Emitters, ShellScriptListsEveryTask) {
+  const auto app = materialize(profiles::bag_uniform(8), 2);
+  const auto script = to_shell_script(app);
+  EXPECT_NE(script.find("#!/bin/sh"), std::string::npos);
+  for (const auto& task : app.tasks()) {
+    EXPECT_NE(script.find(task.name), std::string::npos);
+  }
+  // Preparation part creates the external inputs.
+  EXPECT_NE(script.find("truncate -s 1048576"), std::string::npos);
+}
+
+TEST(Emitters, JsonContainsTasksAndFiles) {
+  const auto app = materialize(profiles::bag_uniform(4), 2);
+  const auto json = to_json(app);
+  EXPECT_NE(json.find("\"tasks\""), std::string::npos);
+  EXPECT_NE(json.find("\"files\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_s\": 900"), std::string::npos);
+}
+
+TEST(Profiles, AllProfilesValidate) {
+  EXPECT_TRUE(profiles::bag_uniform(8).validate().ok());
+  EXPECT_TRUE(profiles::bag_gaussian(8).validate().ok());
+  EXPECT_TRUE(profiles::map_reduce(8, 2, DistributionSpec::constant(60),
+                                   DistributionSpec::constant(30))
+                  .validate()
+                  .ok());
+  EXPECT_TRUE(profiles::montage_like(16).validate().ok());
+  EXPECT_TRUE(profiles::blast_like(16).validate().ok());
+  EXPECT_TRUE(profiles::cybershake_like(32).validate().ok());
+  EXPECT_TRUE(
+      profiles::iterative_pipeline(4, 2, 3, DistributionSpec::constant(60)).validate().ok());
+}
+
+TEST(Profiles, MontageHasThreeStagesEndingInSingleTask) {
+  const auto spec = profiles::montage_like(32);
+  ASSERT_EQ(spec.stages.size(), 3u);
+  EXPECT_EQ(spec.stages[2].tasks, 1);
+  EXPECT_EQ(spec.stages[2].input_mapping, InputMapping::kAllToOne);
+}
+
+}  // namespace
+}  // namespace aimes::skeleton

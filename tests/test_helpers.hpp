@@ -1,0 +1,68 @@
+// Shared fixtures and builders for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "cluster/site.hpp"
+#include "net/staging.hpp"
+#include "net/topology.hpp"
+#include "net/transfer.hpp"
+#include "saga/job_service.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::test {
+
+/// An idle single-site world: engine + one empty 64-node site + topology,
+/// transfers, staging and a SAGA endpoint. No background load — tests add
+/// contention explicitly when they want it.
+class SingleSiteWorld : public ::testing::Test {
+ protected:
+  SingleSiteWorld() {
+    cluster::SiteConfig cfg;
+    cfg.name = "test-site";
+    cfg.nodes = 64;
+    cfg.cores_per_node = 8;
+    cfg.scheduler = "easy-backfill";
+    // Keep test waits tiny but non-zero.
+    cfg.scheduler_cycle = common::SimDuration::seconds(5);
+    cfg.min_queue_age = common::SimDuration::seconds(5);
+    site = std::make_unique<cluster::ClusterSite>(engine, common::SiteId(1), cfg);
+
+    topology.add_site(site->id(), net::LinkSpec{});
+    transfers = std::make_unique<net::TransferManager>(engine, topology);
+    staging = std::make_unique<net::StagingService>(engine, *transfers);
+    service = std::make_unique<saga::JobService>(engine, *site, common::Rng(7),
+                                                 saga::JobServiceOptions{
+                                                     common::SimDuration::seconds(1),
+                                                     common::SimDuration::seconds(2),
+                                                 });
+  }
+
+  /// Runs the engine until `t` (absolute virtual time).
+  void run_until_s(double seconds) {
+    engine.run_until(common::SimTime::epoch() + common::SimDuration::seconds(seconds));
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<cluster::ClusterSite> site;
+  net::Topology topology;
+  std::unique_ptr<net::TransferManager> transfers;
+  std::unique_ptr<net::StagingService> staging;
+  std::unique_ptr<saga::JobService> service;
+};
+
+/// Fills a site with an `nodes`-node job of the given runtime (seconds),
+/// returning its id. Starts only after the site's scheduler cycle.
+inline common::JobId occupy(cluster::ClusterSite& site, int nodes, double runtime_s,
+                            double walltime_s = 0) {
+  cluster::JobRequest req;
+  req.name = "occupier";
+  req.nodes = nodes;
+  req.runtime = common::SimDuration::seconds(runtime_s);
+  req.walltime = common::SimDuration::seconds(walltime_s > 0 ? walltime_s : runtime_s * 2);
+  auto id = site.submit(req);
+  EXPECT_TRUE(id.ok()) << (id.ok() ? std::string() : id.error());
+  return *id;
+}
+
+}  // namespace aimes::test

@@ -1,0 +1,276 @@
+// aimes-run: command-line front end to the virtual laboratory.
+//
+// Runs one skeleton application (from a config file or a built-in profile)
+// on a resource pool (built-in five-site testbed or a pool config file)
+// under an explicit execution strategy, and reports the TTC decomposition
+// and run metrics. Optionally dumps the full state-transition trace as CSV
+// and the skeleton in any of the four emitter formats.
+//
+// Examples:
+//   aimes-run --profile bag-gaussian --tasks 256 --binding late --pilots 3
+//   aimes-run --skeleton app.cfg --testbed pool.cfg --seed 7 --trace run.csv
+//   aimes-run --profile montage --tasks 64 --emit dax --emit-out app.dax
+//   aimes-run --profile bag-uniform --tasks 512 --adaptive
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cluster/testbed_config.hpp"
+#include "common/log.hpp"
+#include "core/adaptive.hpp"
+#include "core/aimes.hpp"
+#include "core/report_io.hpp"
+#include "core/timeline.hpp"
+#include "skeleton/emitters.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace {
+
+using namespace aimes;
+
+struct Args {
+  std::string skeleton_file;
+  std::string profile = "bag-gaussian";
+  int tasks = 128;
+  std::string testbed_file;
+  std::string binding = "late";
+  int pilots = 3;
+  std::string selection = "predicted";
+  std::uint64_t seed = 42;
+  double warmup_hours = 6.0;
+  bool adaptive = false;
+  std::string trace_file;
+  std::string report_file;
+  bool timeline = false;
+  std::string emit;       // dax | swift | shell | json
+  std::string emit_out;   // "-" or path
+  bool verbose = false;
+};
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --skeleton FILE     skeleton application config file\n"
+      "  --profile NAME      built-in profile when no --skeleton is given:\n"
+      "                      bag-uniform | bag-gaussian | montage | blast |\n"
+      "                      cybershake | mapreduce (default bag-gaussian)\n"
+      "  --tasks N           application size for built-in profiles (128)\n"
+      "  --testbed FILE      resource pool config (default: paper's 5 sites)\n"
+      "  --binding B         early | late (late)\n"
+      "  --pilots N          number of pilots (3)\n"
+      "  --selection S       random | predicted (predicted)\n"
+      "  --seed S            world/application seed (42)\n"
+      "  --warmup H          background warmup hours (6)\n"
+      "  --adaptive          enable mid-run strategy adaptation\n"
+      "  --trace FILE        write the full state-transition trace as CSV\n"
+      "  --timeline          print an ASCII Gantt timeline of the run\n"
+      "  --report FILE       write the run report as JSON\n"
+      "  --emit FMT          emit the skeleton: shell | json | dax | swift\n"
+      "  --emit-out FILE     emission target ('-' = stdout)\n"
+      "  --verbose           info-level logging\n",
+      argv0);
+}
+
+common::Expected<Args> parse_args(int argc, char** argv) {
+  using E = common::Expected<Args>;
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> common::Expected<std::string> {
+      if (i + 1 >= argc) return common::Expected<std::string>::error("missing value for " + a);
+      return std::string(argv[++i]);
+    };
+    auto take = [&](std::string& slot) -> common::Status {
+      auto v = next();
+      if (!v) return common::Status::error(v.error());
+      slot = *v;
+      return {};
+    };
+    common::Status st;
+    if (a == "--skeleton") st = take(args.skeleton_file);
+    else if (a == "--profile") st = take(args.profile);
+    else if (a == "--tasks") { auto v = next(); if (!v) return E::error(v.error()); args.tasks = std::atoi(v->c_str()); }
+    else if (a == "--testbed") st = take(args.testbed_file);
+    else if (a == "--binding") st = take(args.binding);
+    else if (a == "--pilots") { auto v = next(); if (!v) return E::error(v.error()); args.pilots = std::atoi(v->c_str()); }
+    else if (a == "--selection") st = take(args.selection);
+    else if (a == "--seed") { auto v = next(); if (!v) return E::error(v.error()); args.seed = std::strtoull(v->c_str(), nullptr, 10); }
+    else if (a == "--warmup") { auto v = next(); if (!v) return E::error(v.error()); args.warmup_hours = std::atof(v->c_str()); }
+    else if (a == "--adaptive") args.adaptive = true;
+    else if (a == "--trace") st = take(args.trace_file);
+    else if (a == "--timeline") args.timeline = true;
+    else if (a == "--report") st = take(args.report_file);
+    else if (a == "--emit") st = take(args.emit);
+    else if (a == "--emit-out") st = take(args.emit_out);
+    else if (a == "--verbose") args.verbose = true;
+    else if (a == "--help" || a == "-h") { usage(argv[0]); std::exit(0); }
+    else return E::error("unknown argument '" + a + "' (try --help)");
+    if (!st.ok()) return E::error(st.error());
+  }
+  if (args.tasks < 1) return E::error("--tasks must be positive");
+  if (args.pilots < 1) return E::error("--pilots must be positive");
+  return args;
+}
+
+common::Expected<skeleton::SkeletonSpec> load_spec(const Args& args) {
+  using E = common::Expected<skeleton::SkeletonSpec>;
+  if (!args.skeleton_file.empty()) {
+    auto config = common::Config::load(args.skeleton_file);
+    if (!config) return E::error(config.error());
+    return skeleton::parse_spec(*config);
+  }
+  if (args.profile == "bag-uniform") return skeleton::profiles::bag_uniform(args.tasks);
+  if (args.profile == "bag-gaussian") return skeleton::profiles::bag_gaussian(args.tasks);
+  if (args.profile == "montage") return skeleton::profiles::montage_like(args.tasks);
+  if (args.profile == "blast") return skeleton::profiles::blast_like(args.tasks);
+  if (args.profile == "cybershake") return skeleton::profiles::cybershake_like(args.tasks);
+  if (args.profile == "mapreduce") {
+    return skeleton::profiles::map_reduce(args.tasks, std::max(1, args.tasks / 8),
+                                          common::DistributionSpec::constant(300),
+                                          common::DistributionSpec::constant(120));
+  }
+  return E::error("unknown profile '" + args.profile + "'");
+}
+
+int emit_skeleton(const Args& args, const skeleton::SkeletonApplication& app) {
+  std::string text;
+  if (args.emit == "shell") text = skeleton::to_shell_script(app);
+  else if (args.emit == "json") text = skeleton::to_json(app);
+  else if (args.emit == "dax") text = skeleton::to_pegasus_dax(app);
+  else if (args.emit == "swift") text = skeleton::to_swift_script(app);
+  else {
+    std::fprintf(stderr, "unknown emit format '%s'\n", args.emit.c_str());
+    return 2;
+  }
+  if (args.emit_out.empty() || args.emit_out == "-") {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(args.emit_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.emit_out.c_str());
+      return 1;
+    }
+    out << text;
+    std::printf("wrote %s (%zu bytes, %s form)\n", args.emit_out.c_str(), text.size(),
+                args.emit.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = parse_args(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.error().c_str());
+    return 2;
+  }
+  const Args& args = *parsed;
+  if (args.verbose) common::Log::set_level(common::LogLevel::kInfo);
+
+  auto spec = load_spec(args);
+  if (!spec) {
+    std::fprintf(stderr, "skeleton: %s\n", spec.error().c_str());
+    return 1;
+  }
+  const auto app = skeleton::materialize(*spec, args.seed);
+  std::printf("application '%s': %zu tasks in %zu stage(s), %s compute, %s external input\n",
+              app.name().c_str(), app.task_count(), app.stages().size(),
+              app.total_compute().str().c_str(), app.total_external_input().str().c_str());
+
+  if (!args.emit.empty()) return emit_skeleton(args, app);
+
+  core::AimesConfig config;
+  config.seed = args.seed;
+  config.warmup = common::SimDuration::hours(args.warmup_hours);
+  if (!args.testbed_file.empty()) {
+    auto file = common::Config::load(args.testbed_file);
+    if (!file) {
+      std::fprintf(stderr, "testbed: %s\n", file.error().c_str());
+      return 1;
+    }
+    auto pool = cluster::parse_testbed(*file);
+    if (!pool) {
+      std::fprintf(stderr, "testbed: %s\n", pool.error().c_str());
+      return 1;
+    }
+    config.testbed = std::move(*pool);
+  }
+  core::Aimes aimes(config);
+  aimes.start();
+
+  core::PlannerConfig planner;
+  planner.binding = args.binding == "early" ? core::Binding::kEarly : core::Binding::kLate;
+  planner.n_pilots = args.pilots;
+  planner.selection = args.selection == "random" ? core::SiteSelection::kRandom
+                                                 : core::SiteSelection::kPredictedWait;
+  auto strategy = aimes.plan(app, planner);
+  if (!strategy) {
+    std::fprintf(stderr, "planner: %s\n", strategy.error().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", strategy->describe().c_str());
+
+  pilot::Profiler adaptive_trace;
+  core::ExecutionReport report;
+  std::size_t adaptation_count = 0;
+  if (args.adaptive) {
+    core::AdaptiveExecutionManager manager(
+        aimes.engine(), adaptive_trace, aimes.services(), aimes.staging(), aimes.bundles(),
+        aimes.config().execution, core::AdaptivePolicy{}, common::Rng(args.seed));
+    bool done = false;
+    auto status = manager.enact(app, *strategy, [&](const core::ExecutionReport&) {
+      done = true;
+    });
+    if (!status.ok()) {
+      std::fprintf(stderr, "enact: %s\n", status.error().c_str());
+      return 1;
+    }
+    while (!done && aimes.engine().step()) {
+    }
+    report = manager.report();
+    adaptation_count = manager.adaptations().size();
+  } else {
+    auto result = aimes.execute(app, *strategy);
+    report = result.report;
+    adaptive_trace = std::move(result.trace);
+  }
+
+  std::printf("run %s: %zu done, %zu failed\n", report.success ? "succeeded" : "INCOMPLETE",
+              report.units_done, report.units_failed);
+  std::printf("  TTC %s | Tw %s | Tx %s | Ts %s\n", report.ttc.ttc.str().c_str(),
+              report.ttc.tw.str().c_str(), report.ttc.tx.str().c_str(),
+              report.ttc.ts.str().c_str());
+  std::printf("  throughput %.1f tasks/h | pilot usage %.1f core-h (%.0f%% useful) | "
+              "charge %.1f SU | energy %.2f kWh\n",
+              report.metrics.throughput_tasks_per_hour, report.metrics.pilot_core_hours,
+              100.0 * report.metrics.pilot_efficiency, report.metrics.charge,
+              report.metrics.energy_kwh);
+  if (args.adaptive) std::printf("  adaptations: %zu\n", adaptation_count);
+
+  if (args.timeline) {
+    std::printf("\n%s", core::render_timeline(adaptive_trace).c_str());
+  }
+  if (!args.report_file.empty()) {
+    if (!core::save_report_json(report, args.report_file)) {
+      std::fprintf(stderr, "cannot write %s\n", args.report_file.c_str());
+      return 1;
+    }
+    std::printf("  report: %s\n", args.report_file.c_str());
+  }
+  if (!args.trace_file.empty()) {
+    std::ofstream out(args.trace_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_file.c_str());
+      return 1;
+    }
+    adaptive_trace.render_csv(out);
+    std::printf("  trace: %zu records -> %s\n", adaptive_trace.size(),
+                args.trace_file.c_str());
+  }
+  return report.success ? 0 : 1;
+}
