@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_dataaware.cpp" "bench/CMakeFiles/ablation_dataaware.dir/ablation_dataaware.cpp.o" "gcc" "bench/CMakeFiles/ablation_dataaware.dir/ablation_dataaware.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/aimes_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aimes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/aimes_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/bundle/CMakeFiles/aimes_bundle.dir/DependInfo.cmake"
+  "/root/repo/build/src/pilot/CMakeFiles/aimes_pilot.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aimes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/saga/CMakeFiles/aimes_saga.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/aimes_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aimes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aimes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

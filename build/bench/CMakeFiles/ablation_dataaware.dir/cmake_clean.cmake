@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dataaware.dir/ablation_dataaware.cpp.o"
+  "CMakeFiles/ablation_dataaware.dir/ablation_dataaware.cpp.o.d"
+  "ablation_dataaware"
+  "ablation_dataaware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dataaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_npilots.dir/ablation_npilots.cpp.o"
+  "CMakeFiles/ablation_npilots.dir/ablation_npilots.cpp.o.d"
+  "ablation_npilots"
+  "ablation_npilots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_npilots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_osg.dir/ablation_osg.cpp.o"
+  "CMakeFiles/ablation_osg.dir/ablation_osg.cpp.o.d"
+  "ablation_osg"
+  "ablation_osg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_osg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

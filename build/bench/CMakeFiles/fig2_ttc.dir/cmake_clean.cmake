@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ttc.dir/fig2_ttc.cpp.o"
+  "CMakeFiles/fig2_ttc.dir/fig2_ttc.cpp.o.d"
+  "fig2_ttc"
+  "fig2_ttc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ttc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

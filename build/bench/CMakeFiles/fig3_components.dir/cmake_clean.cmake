@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_components.dir/fig3_components.cpp.o"
+  "CMakeFiles/fig3_components.dir/fig3_components.cpp.o.d"
+  "fig3_components"
+  "fig3_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_backtest.dir/predictor_backtest.cpp.o"
+  "CMakeFiles/predictor_backtest.dir/predictor_backtest.cpp.o.d"
+  "predictor_backtest"
+  "predictor_backtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_backtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_design.dir/table1_design.cpp.o"
+  "CMakeFiles/table1_design.dir/table1_design.cpp.o.d"
+  "table1_design"
+  "table1_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_workflow.dir/mapreduce_workflow.cpp.o"
+  "CMakeFiles/mapreduce_workflow.dir/mapreduce_workflow.cpp.o.d"
+  "mapreduce_workflow"
+  "mapreduce_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

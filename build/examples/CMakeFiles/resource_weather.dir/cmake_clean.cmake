@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_weather.dir/resource_weather.cpp.o"
+  "CMakeFiles/resource_weather.dir/resource_weather.cpp.o.d"
+  "resource_weather"
+  "resource_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

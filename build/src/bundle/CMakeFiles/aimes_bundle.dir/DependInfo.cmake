@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bundle/agent.cpp" "src/bundle/CMakeFiles/aimes_bundle.dir/agent.cpp.o" "gcc" "src/bundle/CMakeFiles/aimes_bundle.dir/agent.cpp.o.d"
+  "/root/repo/src/bundle/manager.cpp" "src/bundle/CMakeFiles/aimes_bundle.dir/manager.cpp.o" "gcc" "src/bundle/CMakeFiles/aimes_bundle.dir/manager.cpp.o.d"
+  "/root/repo/src/bundle/predictor.cpp" "src/bundle/CMakeFiles/aimes_bundle.dir/predictor.cpp.o" "gcc" "src/bundle/CMakeFiles/aimes_bundle.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aimes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aimes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/aimes_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aimes_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_bundle.dir/agent.cpp.o"
+  "CMakeFiles/aimes_bundle.dir/agent.cpp.o.d"
+  "CMakeFiles/aimes_bundle.dir/manager.cpp.o"
+  "CMakeFiles/aimes_bundle.dir/manager.cpp.o.d"
+  "CMakeFiles/aimes_bundle.dir/predictor.cpp.o"
+  "CMakeFiles/aimes_bundle.dir/predictor.cpp.o.d"
+  "libaimes_bundle.a"
+  "libaimes_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/batch_scheduler.cpp" "src/cluster/CMakeFiles/aimes_cluster.dir/batch_scheduler.cpp.o" "gcc" "src/cluster/CMakeFiles/aimes_cluster.dir/batch_scheduler.cpp.o.d"
+  "/root/repo/src/cluster/site.cpp" "src/cluster/CMakeFiles/aimes_cluster.dir/site.cpp.o" "gcc" "src/cluster/CMakeFiles/aimes_cluster.dir/site.cpp.o.d"
+  "/root/repo/src/cluster/testbed.cpp" "src/cluster/CMakeFiles/aimes_cluster.dir/testbed.cpp.o" "gcc" "src/cluster/CMakeFiles/aimes_cluster.dir/testbed.cpp.o.d"
+  "/root/repo/src/cluster/testbed_config.cpp" "src/cluster/CMakeFiles/aimes_cluster.dir/testbed_config.cpp.o" "gcc" "src/cluster/CMakeFiles/aimes_cluster.dir/testbed_config.cpp.o.d"
+  "/root/repo/src/cluster/workload.cpp" "src/cluster/CMakeFiles/aimes_cluster.dir/workload.cpp.o" "gcc" "src/cluster/CMakeFiles/aimes_cluster.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aimes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aimes_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_cluster.dir/batch_scheduler.cpp.o"
+  "CMakeFiles/aimes_cluster.dir/batch_scheduler.cpp.o.d"
+  "CMakeFiles/aimes_cluster.dir/site.cpp.o"
+  "CMakeFiles/aimes_cluster.dir/site.cpp.o.d"
+  "CMakeFiles/aimes_cluster.dir/testbed.cpp.o"
+  "CMakeFiles/aimes_cluster.dir/testbed.cpp.o.d"
+  "CMakeFiles/aimes_cluster.dir/testbed_config.cpp.o"
+  "CMakeFiles/aimes_cluster.dir/testbed_config.cpp.o.d"
+  "CMakeFiles/aimes_cluster.dir/workload.cpp.o"
+  "CMakeFiles/aimes_cluster.dir/workload.cpp.o.d"
+  "libaimes_cluster.a"
+  "libaimes_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

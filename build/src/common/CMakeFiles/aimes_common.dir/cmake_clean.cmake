@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_common.dir/config.cpp.o"
+  "CMakeFiles/aimes_common.dir/config.cpp.o.d"
+  "CMakeFiles/aimes_common.dir/data_size.cpp.o"
+  "CMakeFiles/aimes_common.dir/data_size.cpp.o.d"
+  "CMakeFiles/aimes_common.dir/distribution.cpp.o"
+  "CMakeFiles/aimes_common.dir/distribution.cpp.o.d"
+  "CMakeFiles/aimes_common.dir/histogram.cpp.o"
+  "CMakeFiles/aimes_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/aimes_common.dir/log.cpp.o"
+  "CMakeFiles/aimes_common.dir/log.cpp.o.d"
+  "CMakeFiles/aimes_common.dir/rng.cpp.o"
+  "CMakeFiles/aimes_common.dir/rng.cpp.o.d"
+  "CMakeFiles/aimes_common.dir/stats.cpp.o"
+  "CMakeFiles/aimes_common.dir/stats.cpp.o.d"
+  "CMakeFiles/aimes_common.dir/string_util.cpp.o"
+  "CMakeFiles/aimes_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/aimes_common.dir/table.cpp.o"
+  "CMakeFiles/aimes_common.dir/table.cpp.o.d"
+  "CMakeFiles/aimes_common.dir/time.cpp.o"
+  "CMakeFiles/aimes_common.dir/time.cpp.o.d"
+  "libaimes_common.a"
+  "libaimes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/aimes_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/aimes_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/aimes.cpp" "src/core/CMakeFiles/aimes_core.dir/aimes.cpp.o" "gcc" "src/core/CMakeFiles/aimes_core.dir/aimes.cpp.o.d"
+  "/root/repo/src/core/execution_manager.cpp" "src/core/CMakeFiles/aimes_core.dir/execution_manager.cpp.o" "gcc" "src/core/CMakeFiles/aimes_core.dir/execution_manager.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/aimes_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/aimes_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/aimes_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/aimes_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/report_io.cpp" "src/core/CMakeFiles/aimes_core.dir/report_io.cpp.o" "gcc" "src/core/CMakeFiles/aimes_core.dir/report_io.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/core/CMakeFiles/aimes_core.dir/strategy.cpp.o" "gcc" "src/core/CMakeFiles/aimes_core.dir/strategy.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/core/CMakeFiles/aimes_core.dir/timeline.cpp.o" "gcc" "src/core/CMakeFiles/aimes_core.dir/timeline.cpp.o.d"
+  "/root/repo/src/core/ttc.cpp" "src/core/CMakeFiles/aimes_core.dir/ttc.cpp.o" "gcc" "src/core/CMakeFiles/aimes_core.dir/ttc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aimes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aimes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/aimes_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aimes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/saga/CMakeFiles/aimes_saga.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/aimes_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/bundle/CMakeFiles/aimes_bundle.dir/DependInfo.cmake"
+  "/root/repo/build/src/pilot/CMakeFiles/aimes_pilot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_core.dir/adaptive.cpp.o"
+  "CMakeFiles/aimes_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/aimes_core.dir/aimes.cpp.o"
+  "CMakeFiles/aimes_core.dir/aimes.cpp.o.d"
+  "CMakeFiles/aimes_core.dir/execution_manager.cpp.o"
+  "CMakeFiles/aimes_core.dir/execution_manager.cpp.o.d"
+  "CMakeFiles/aimes_core.dir/metrics.cpp.o"
+  "CMakeFiles/aimes_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/aimes_core.dir/planner.cpp.o"
+  "CMakeFiles/aimes_core.dir/planner.cpp.o.d"
+  "CMakeFiles/aimes_core.dir/report_io.cpp.o"
+  "CMakeFiles/aimes_core.dir/report_io.cpp.o.d"
+  "CMakeFiles/aimes_core.dir/strategy.cpp.o"
+  "CMakeFiles/aimes_core.dir/strategy.cpp.o.d"
+  "CMakeFiles/aimes_core.dir/timeline.cpp.o"
+  "CMakeFiles/aimes_core.dir/timeline.cpp.o.d"
+  "CMakeFiles/aimes_core.dir/ttc.cpp.o"
+  "CMakeFiles/aimes_core.dir/ttc.cpp.o.d"
+  "libaimes_core.a"
+  "libaimes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

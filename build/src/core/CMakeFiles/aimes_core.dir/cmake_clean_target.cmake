@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaimes_core.a"
+)

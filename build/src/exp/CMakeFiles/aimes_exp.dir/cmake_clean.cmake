@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_exp.dir/matrix.cpp.o"
+  "CMakeFiles/aimes_exp.dir/matrix.cpp.o.d"
+  "CMakeFiles/aimes_exp.dir/runner.cpp.o"
+  "CMakeFiles/aimes_exp.dir/runner.cpp.o.d"
+  "libaimes_exp.a"
+  "libaimes_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

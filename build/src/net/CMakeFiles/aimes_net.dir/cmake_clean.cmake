@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_net.dir/staging.cpp.o"
+  "CMakeFiles/aimes_net.dir/staging.cpp.o.d"
+  "CMakeFiles/aimes_net.dir/topology.cpp.o"
+  "CMakeFiles/aimes_net.dir/topology.cpp.o.d"
+  "CMakeFiles/aimes_net.dir/transfer.cpp.o"
+  "CMakeFiles/aimes_net.dir/transfer.cpp.o.d"
+  "libaimes_net.a"
+  "libaimes_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pilot/agent.cpp" "src/pilot/CMakeFiles/aimes_pilot.dir/agent.cpp.o" "gcc" "src/pilot/CMakeFiles/aimes_pilot.dir/agent.cpp.o.d"
+  "/root/repo/src/pilot/pilot_manager.cpp" "src/pilot/CMakeFiles/aimes_pilot.dir/pilot_manager.cpp.o" "gcc" "src/pilot/CMakeFiles/aimes_pilot.dir/pilot_manager.cpp.o.d"
+  "/root/repo/src/pilot/profiler.cpp" "src/pilot/CMakeFiles/aimes_pilot.dir/profiler.cpp.o" "gcc" "src/pilot/CMakeFiles/aimes_pilot.dir/profiler.cpp.o.d"
+  "/root/repo/src/pilot/unit_manager.cpp" "src/pilot/CMakeFiles/aimes_pilot.dir/unit_manager.cpp.o" "gcc" "src/pilot/CMakeFiles/aimes_pilot.dir/unit_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aimes_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aimes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/saga/CMakeFiles/aimes_saga.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aimes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/aimes_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_pilot.dir/agent.cpp.o"
+  "CMakeFiles/aimes_pilot.dir/agent.cpp.o.d"
+  "CMakeFiles/aimes_pilot.dir/pilot_manager.cpp.o"
+  "CMakeFiles/aimes_pilot.dir/pilot_manager.cpp.o.d"
+  "CMakeFiles/aimes_pilot.dir/profiler.cpp.o"
+  "CMakeFiles/aimes_pilot.dir/profiler.cpp.o.d"
+  "CMakeFiles/aimes_pilot.dir/unit_manager.cpp.o"
+  "CMakeFiles/aimes_pilot.dir/unit_manager.cpp.o.d"
+  "libaimes_pilot.a"
+  "libaimes_pilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_pilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

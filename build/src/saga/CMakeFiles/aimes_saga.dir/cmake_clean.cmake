@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_saga.dir/job_service.cpp.o"
+  "CMakeFiles/aimes_saga.dir/job_service.cpp.o.d"
+  "libaimes_saga.a"
+  "libaimes_saga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_saga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

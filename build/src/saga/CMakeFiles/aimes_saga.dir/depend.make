@@ -1,0 +1,2 @@
+# Empty dependencies file for aimes_saga.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_sim.dir/engine.cpp.o"
+  "CMakeFiles/aimes_sim.dir/engine.cpp.o.d"
+  "libaimes_sim.a"
+  "libaimes_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/skeleton/application.cpp" "src/skeleton/CMakeFiles/aimes_skeleton.dir/application.cpp.o" "gcc" "src/skeleton/CMakeFiles/aimes_skeleton.dir/application.cpp.o.d"
+  "/root/repo/src/skeleton/emitters.cpp" "src/skeleton/CMakeFiles/aimes_skeleton.dir/emitters.cpp.o" "gcc" "src/skeleton/CMakeFiles/aimes_skeleton.dir/emitters.cpp.o.d"
+  "/root/repo/src/skeleton/profiles.cpp" "src/skeleton/CMakeFiles/aimes_skeleton.dir/profiles.cpp.o" "gcc" "src/skeleton/CMakeFiles/aimes_skeleton.dir/profiles.cpp.o.d"
+  "/root/repo/src/skeleton/spec.cpp" "src/skeleton/CMakeFiles/aimes_skeleton.dir/spec.cpp.o" "gcc" "src/skeleton/CMakeFiles/aimes_skeleton.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aimes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

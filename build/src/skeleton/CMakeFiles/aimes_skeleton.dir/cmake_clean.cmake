@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes_skeleton.dir/application.cpp.o"
+  "CMakeFiles/aimes_skeleton.dir/application.cpp.o.d"
+  "CMakeFiles/aimes_skeleton.dir/emitters.cpp.o"
+  "CMakeFiles/aimes_skeleton.dir/emitters.cpp.o.d"
+  "CMakeFiles/aimes_skeleton.dir/profiles.cpp.o"
+  "CMakeFiles/aimes_skeleton.dir/profiles.cpp.o.d"
+  "CMakeFiles/aimes_skeleton.dir/spec.cpp.o"
+  "CMakeFiles/aimes_skeleton.dir/spec.cpp.o.d"
+  "libaimes_skeleton.a"
+  "libaimes_skeleton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes_skeleton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

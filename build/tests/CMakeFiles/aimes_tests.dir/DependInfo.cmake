@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bundle/test_bundle.cpp" "tests/CMakeFiles/aimes_tests.dir/bundle/test_bundle.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/bundle/test_bundle.cpp.o.d"
+  "/root/repo/tests/cluster/test_batch_scheduler.cpp" "tests/CMakeFiles/aimes_tests.dir/cluster/test_batch_scheduler.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/cluster/test_batch_scheduler.cpp.o.d"
+  "/root/repo/tests/cluster/test_preemption.cpp" "tests/CMakeFiles/aimes_tests.dir/cluster/test_preemption.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/cluster/test_preemption.cpp.o.d"
+  "/root/repo/tests/cluster/test_site.cpp" "tests/CMakeFiles/aimes_tests.dir/cluster/test_site.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/cluster/test_site.cpp.o.d"
+  "/root/repo/tests/cluster/test_site_invariants.cpp" "tests/CMakeFiles/aimes_tests.dir/cluster/test_site_invariants.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/cluster/test_site_invariants.cpp.o.d"
+  "/root/repo/tests/cluster/test_testbed_config.cpp" "tests/CMakeFiles/aimes_tests.dir/cluster/test_testbed_config.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/cluster/test_testbed_config.cpp.o.d"
+  "/root/repo/tests/cluster/test_workload.cpp" "tests/CMakeFiles/aimes_tests.dir/cluster/test_workload.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/cluster/test_workload.cpp.o.d"
+  "/root/repo/tests/common/test_config.cpp" "tests/CMakeFiles/aimes_tests.dir/common/test_config.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/common/test_config.cpp.o.d"
+  "/root/repo/tests/common/test_distribution.cpp" "tests/CMakeFiles/aimes_tests.dir/common/test_distribution.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/common/test_distribution.cpp.o.d"
+  "/root/repo/tests/common/test_histogram.cpp" "tests/CMakeFiles/aimes_tests.dir/common/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/common/test_histogram.cpp.o.d"
+  "/root/repo/tests/common/test_misc.cpp" "tests/CMakeFiles/aimes_tests.dir/common/test_misc.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/common/test_misc.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/aimes_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/aimes_tests.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_time.cpp" "tests/CMakeFiles/aimes_tests.dir/common/test_time.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/common/test_time.cpp.o.d"
+  "/root/repo/tests/core/test_abort.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_abort.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_abort.cpp.o.d"
+  "/root/repo/tests/core/test_adaptive.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_adaptive.cpp.o.d"
+  "/root/repo/tests/core/test_execution_manager.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_execution_manager.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_execution_manager.cpp.o.d"
+  "/root/repo/tests/core/test_metrics.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_metrics.cpp.o.d"
+  "/root/repo/tests/core/test_planner.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_planner.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_planner.cpp.o.d"
+  "/root/repo/tests/core/test_report_io.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_report_io.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_report_io.cpp.o.d"
+  "/root/repo/tests/core/test_staged.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_staged.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_staged.cpp.o.d"
+  "/root/repo/tests/core/test_strategy.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_strategy.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_strategy.cpp.o.d"
+  "/root/repo/tests/core/test_timeline.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_timeline.cpp.o.d"
+  "/root/repo/tests/core/test_ttc.cpp" "tests/CMakeFiles/aimes_tests.dir/core/test_ttc.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/core/test_ttc.cpp.o.d"
+  "/root/repo/tests/exp/test_matrix.cpp" "tests/CMakeFiles/aimes_tests.dir/exp/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/exp/test_matrix.cpp.o.d"
+  "/root/repo/tests/integration/test_determinism.cpp" "tests/CMakeFiles/aimes_tests.dir/integration/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/integration/test_determinism.cpp.o.d"
+  "/root/repo/tests/integration/test_edge_cases.cpp" "tests/CMakeFiles/aimes_tests.dir/integration/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/integration/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/aimes_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_profile_sweep.cpp" "tests/CMakeFiles/aimes_tests.dir/integration/test_profile_sweep.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/integration/test_profile_sweep.cpp.o.d"
+  "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/aimes_tests.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/integration/test_properties.cpp.o.d"
+  "/root/repo/tests/net/test_net.cpp" "tests/CMakeFiles/aimes_tests.dir/net/test_net.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/net/test_net.cpp.o.d"
+  "/root/repo/tests/pilot/test_agent.cpp" "tests/CMakeFiles/aimes_tests.dir/pilot/test_agent.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/pilot/test_agent.cpp.o.d"
+  "/root/repo/tests/pilot/test_pilot_manager.cpp" "tests/CMakeFiles/aimes_tests.dir/pilot/test_pilot_manager.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/pilot/test_pilot_manager.cpp.o.d"
+  "/root/repo/tests/pilot/test_profiler.cpp" "tests/CMakeFiles/aimes_tests.dir/pilot/test_profiler.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/pilot/test_profiler.cpp.o.d"
+  "/root/repo/tests/pilot/test_scheduler_sweep.cpp" "tests/CMakeFiles/aimes_tests.dir/pilot/test_scheduler_sweep.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/pilot/test_scheduler_sweep.cpp.o.d"
+  "/root/repo/tests/pilot/test_unit_manager.cpp" "tests/CMakeFiles/aimes_tests.dir/pilot/test_unit_manager.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/pilot/test_unit_manager.cpp.o.d"
+  "/root/repo/tests/saga/test_job_service.cpp" "tests/CMakeFiles/aimes_tests.dir/saga/test_job_service.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/saga/test_job_service.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/aimes_tests.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/skeleton/test_emitters.cpp" "tests/CMakeFiles/aimes_tests.dir/skeleton/test_emitters.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/skeleton/test_emitters.cpp.o.d"
+  "/root/repo/tests/skeleton/test_skeleton.cpp" "tests/CMakeFiles/aimes_tests.dir/skeleton/test_skeleton.cpp.o" "gcc" "tests/CMakeFiles/aimes_tests.dir/skeleton/test_skeleton.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/aimes_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aimes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/skeleton/CMakeFiles/aimes_skeleton.dir/DependInfo.cmake"
+  "/root/repo/build/src/bundle/CMakeFiles/aimes_bundle.dir/DependInfo.cmake"
+  "/root/repo/build/src/pilot/CMakeFiles/aimes_pilot.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aimes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/saga/CMakeFiles/aimes_saga.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/aimes_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aimes_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aimes_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

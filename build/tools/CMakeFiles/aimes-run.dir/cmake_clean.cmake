@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aimes-run.dir/aimes_run.cpp.o"
+  "CMakeFiles/aimes-run.dir/aimes_run.cpp.o.d"
+  "aimes-run"
+  "aimes-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aimes-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

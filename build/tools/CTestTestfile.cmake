@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_profile_run "/root/repo/build/tools/aimes-run" "--profile" "bag-uniform" "--tasks" "16" "--pilots" "2" "--seed" "3" "--warmup" "1")
+set_tests_properties(cli_profile_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_config_run "/root/repo/build/tools/aimes-run" "--skeleton" "/root/repo/examples/configs/skeleton_mapreduce.cfg" "--testbed" "/root/repo/examples/configs/pool_hybrid.cfg" "--pilots" "2" "--seed" "3" "--warmup" "1" "--timeline")
+set_tests_properties(cli_config_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_emit_dax "/root/repo/build/tools/aimes-run" "--profile" "montage" "--tasks" "8" "--emit" "dax")
+set_tests_properties(cli_emit_dax PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_adaptive_run "/root/repo/build/tools/aimes-run" "--profile" "bag-gaussian" "--tasks" "16" "--pilots" "2" "--seed" "3" "--warmup" "1" "--adaptive" "--report" "/tmp/aimes_cli_report.json")
+set_tests_properties(cli_adaptive_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_args "/root/repo/build/tools/aimes-run" "--bogus")
+set_tests_properties(cli_rejects_unknown_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
