@@ -1,0 +1,105 @@
+// Ablation: TTC degradation under injected pilot failures, per strategy
+// (paper §III.E: the Execution Manager "restarts the pilots" on failure).
+//
+// Sweeps the pilot-kill rate over {0, 0.1, 0.25, 0.5} for two strategies:
+//   early-1  — early binding onto a single pilot (no spare capacity; every
+//              loss forces a resubmission before the batch can finish);
+//   late-3   — late binding across 3 pilots (survivors absorb orphaned
+//              units while the replacement climbs the queue).
+//
+// Reported: TTC mean/stddev, pilots resubmitted, recovery latency, lost
+// core-hours, and goodput. Expected shape: TTC degrades with the fault
+// rate for both strategies. Note the exposure asymmetry: the kill rate is
+// per *activation*, so a 3-pilot fleet absorbs ~3x the faults per run —
+// compare TTC degradation per resubmission, where late-3 is gentler
+// (survivors keep computing while the replacement queues) and early-1
+// stalls completely on every loss.
+
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "core/aimes.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace {
+
+using namespace aimes;
+
+struct Strategy {
+  std::string name;
+  core::Binding binding;
+  int pilots;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, 8);
+  const int tasks = 128;
+  const double kill_rates[] = {0.0, 0.1, 0.25, 0.5};
+
+  std::vector<Strategy> strategies;
+  strategies.push_back({"early-1", core::Binding::kEarly, 1});
+  strategies.push_back({"late-3", core::Binding::kLate, 3});
+
+  common::TableWriter table("Ablation — fault rate vs strategy (" + std::to_string(tasks) +
+                            " tasks, " + std::to_string(args.trials) + " trials)");
+  table.header({"Strategy", "kill rate", "TTC mean", "TTC stddev", "resubmits mean",
+                "recovery mean", "lost core-h", "goodput", "failures"});
+
+  for (const auto& strategy : strategies) {
+    for (const double rate : kill_rates) {
+      common::Summary ttc;
+      common::Summary resubmits;
+      common::Summary recovery;
+      common::Summary lost;
+      common::Summary goodput;
+      int failures = 0;
+      for (int t = 0; t < args.trials; ++t) {
+        core::AimesConfig config;
+        config.seed = args.seed + static_cast<std::uint64_t>(t) + 1;
+        config.execution.units.max_attempts = 12;
+        if (rate > 0.0) {
+          sim::FaultRates rates;
+          rates.pilot_kill = rate;
+          config.faults.with_rates(rates);
+          config.execution.recovery.enabled = true;
+        }
+        core::Aimes aimes(config);
+        aimes.start();
+        const auto app =
+            skeleton::materialize(skeleton::profiles::bag_gaussian(tasks), config.seed);
+        core::PlannerConfig planner;
+        planner.binding = strategy.binding;
+        planner.n_pilots = strategy.pilots;
+        planner.selection = core::SiteSelection::kPredictedWait;
+        auto result = aimes.run(app, planner);
+        if (!result.ok() || !result->report.success) {
+          ++failures;
+          continue;
+        }
+        ttc.add(result->report.ttc.ttc.to_seconds());
+        resubmits.add(static_cast<double>(result->report.recovery.pilots_resubmitted));
+        recovery.add(result->report.recovery.mean_recovery_latency().to_seconds());
+        lost.add(result->report.metrics.lost_core_hours);
+        goodput.add(result->report.metrics.goodput);
+      }
+      table.row({strategy.name, common::TableWriter::num(rate, 2),
+                 common::TableWriter::num(ttc.mean(), 0),
+                 common::TableWriter::num(ttc.stddev(), 0),
+                 common::TableWriter::num(resubmits.mean(), 1),
+                 common::TableWriter::num(recovery.mean(), 0),
+                 common::TableWriter::num(lost.mean(), 2),
+                 common::TableWriter::num(goodput.mean(), 2), std::to_string(failures)});
+      std::fprintf(stderr, "  %s @ kill rate %.2f done\n", strategy.name.c_str(), rate);
+    }
+  }
+  table.render(std::cout);
+  std::cout << "\nshape check: TTC grows with the kill rate for both strategies. The rate\n"
+               "is per activation, so late-3 absorbs ~3x the faults per run; per\n"
+               "resubmission its degradation is gentler (survivors keep computing while\n"
+               "the replacement queues) where early-1 stalls completely on every loss.\n";
+  if (!args.csv.empty() && !table.save_csv(args.csv)) return 1;
+  return 0;
+}

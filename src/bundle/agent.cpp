@@ -11,6 +11,7 @@ std::string_view to_string(Metric m) {
     case Metric::kQueuedNodes: return "queued_nodes";
     case Metric::kFreeCores: return "free_cores";
     case Metric::kPredictedWait: return "predicted_wait";
+    case Metric::kAvailability: return "availability";
   }
   return "?";
 }
@@ -28,6 +29,7 @@ ComputeInfo BundleAgent::query_compute() const {
   info.total_nodes = site_.config().nodes;
   info.cores_per_node = site_.config().cores_per_node;
   info.free_nodes = site_.free_nodes();
+  info.available = !site_.down();
   info.queue_length = site_.queue_length();
   info.queued_nodes = site_.queued_nodes();
   info.utilization = site_.utilization();
@@ -88,6 +90,7 @@ double BundleAgent::sample(Metric metric) const {
       return static_cast<double>(site_.free_nodes() * site_.config().cores_per_node);
     case Metric::kPredictedWait:
       return predict_wait(site_.config().cores_per_node).to_seconds();
+    case Metric::kAvailability: return site_.down() ? 0.0 : 1.0;
   }
   return 0.0;
 }

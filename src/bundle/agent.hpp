@@ -33,6 +33,7 @@ enum class Metric {
   kQueuedNodes,     // queued node demand
   kFreeCores,       // idle cores
   kPredictedWait,   // seconds, for a nominal 1-node job
+  kAvailability,    // 1 when accepting submissions, 0 during an outage
 };
 
 [[nodiscard]] std::string_view to_string(Metric m);

@@ -28,6 +28,8 @@ std::vector<Candidate> BundleManager::discover(const Requirements& req) const {
   std::vector<Candidate> candidates;
   for (const auto* a : agents_) {
     ResourceRepresentation rep = a->query();
+    // A site in a downtime window cannot accept a pilot at all.
+    if (!rep.compute.available) continue;
     if (rep.compute.total_cores() < req.min_total_cores) continue;
     if (!req.scheduler.empty() && rep.compute.scheduler != req.scheduler) continue;
     if (rep.network.bandwidth_in < req.min_bandwidth_in) continue;

@@ -26,6 +26,8 @@ struct ComputeInfo {
   int total_nodes = 0;
   int cores_per_node = 0;
   int free_nodes = 0;
+  /// False while the site is in a downtime window (submissions rejected).
+  bool available = true;
   std::size_t queue_length = 0;
   /// Total nodes requested by queued jobs.
   int queued_nodes = 0;

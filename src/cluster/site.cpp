@@ -17,6 +17,10 @@ ClusterSite::ClusterSite(sim::Engine& engine, SiteId id, SiteConfig config, comm
 }
 
 Expected<JobId> ClusterSite::submit(const JobRequest& request) {
+  if (down_) {
+    return Expected<JobId>::error("job '" + request.name + "': site " + config_.name +
+                                  " is down (outage)");
+  }
   if (request.nodes <= 0) {
     return Expected<JobId>::error("job '" + request.name + "': nodes must be positive");
   }
@@ -71,6 +75,53 @@ Status ClusterSite::cancel(JobId id) {
   completion_events_.erase(ev);
   finish_job(job, JobState::kCancelled);
   return {};
+}
+
+Status ClusterSite::preempt(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return Status::error("preempt: unknown job " + id.str());
+  Job& job = it->second;
+  if (job.state != JobState::kRunning) {
+    return Status::error("preempt: job " + id.str() + " is not running");
+  }
+  auto ev = completion_events_.find(id);
+  assert(ev != completion_events_.end());
+  engine_.cancel(ev->second);
+  completion_events_.erase(ev);
+  finish_job(job, JobState::kPreempted);
+  return {};
+}
+
+void ClusterSite::begin_outage(common::SimDuration duration) {
+  common::Log::warn(config_.name, "outage begins, duration " + duration.str());
+  down_ = true;
+  // Kill everything running (nodes crash), then drain the batch queue.
+  const std::vector<JobId> running = running_;
+  for (JobId id : running) {
+    auto it = jobs_.find(id);
+    assert(it != jobs_.end());
+    auto ev = completion_events_.find(id);
+    assert(ev != completion_events_.end());
+    engine_.cancel(ev->second);
+    completion_events_.erase(ev);
+    finish_job(it->second, JobState::kPreempted);
+  }
+  const std::vector<JobId> pending = pending_;
+  for (JobId id : pending) {
+    auto it = jobs_.find(id);
+    assert(it != jobs_.end());
+    Job& job = it->second;
+    if (job.state != JobState::kPending) continue;
+    pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
+    job.ended_at = engine_.now();
+    set_state(job, JobState::kCancelled);
+    finished_counts_[JobState::kCancelled]++;
+  }
+  engine_.schedule(duration, [this] {
+    down_ = false;
+    common::Log::info(config_.name, "outage ends, accepting submissions again");
+    schedule_pass();
+  });
 }
 
 const Job* ClusterSite::find(JobId id) const {

@@ -96,6 +96,18 @@ class ClusterSite {
   /// Cancels a pending or running job. Cancelling a finished job is an error.
   Status cancel(JobId id);
 
+  /// Evicts a *running* job as if the resource owner reclaimed its nodes
+  /// (fault injection / opportunistic preemption). The job ends kPreempted.
+  Status preempt(JobId id);
+
+  /// Starts a downtime window: every running job is preempted, the batch
+  /// queue is drained (pending jobs end kCancelled), and submissions are
+  /// rejected until the window elapses. Mirrors an unplanned site outage.
+  void begin_outage(common::SimDuration duration);
+
+  /// True while a downtime window is in effect.
+  [[nodiscard]] bool down() const { return down_; }
+
   /// Read access to any job ever admitted (sites keep full history).
   [[nodiscard]] const Job* find(JobId id) const;
 
@@ -141,6 +153,7 @@ class ClusterSite {
 
   int free_nodes_ = 0;
   bool pass_pending_ = false;
+  bool down_ = false;
 
   std::deque<WaitRecord> wait_history_;
   std::size_t history_limit_ = 4096;

@@ -26,17 +26,28 @@ Aimes::Aimes(AimesConfig config)
       exec_rng_(common::Rng::stream(config_.seed, "aimes/exec")) {
   testbed_ = std::make_unique<cluster::Testbed>(engine_, config_.testbed, config_.seed);
 
+  // A non-empty fault plan gets one injector shared by every layer; its RNG
+  // stream derives from the world seed, so an empty plan leaves every other
+  // stream untouched.
+  if (!config_.faults.empty()) {
+    fault_injector_ = std::make_unique<sim::FaultInjector>(config_.faults, config_.seed);
+    config_.execution.faults = fault_injector_.get();
+  }
+  if (config_.execution.bundles == nullptr) config_.execution.bundles = &bundle_manager_;
+
   const auto sites = testbed_->sites();
   for (std::size_t i = 0; i < sites.size(); ++i) {
     topology_.add_site(sites[i]->id(),
                        i < config_.links.size() ? config_.links[i] : default_link(i));
   }
   transfers_ = std::make_unique<net::TransferManager>(engine_, topology_);
-  staging_ = std::make_unique<net::StagingService>(engine_, *transfers_, config_.staging);
+  staging_ = std::make_unique<net::StagingService>(engine_, *transfers_, config_.staging,
+                                                   fault_injector_.get());
 
   for (auto* site : sites) {
     services_.push_back(std::make_unique<saga::JobService>(
-        engine_, *site, common::Rng::stream(config_.seed, "saga/" + site->name())));
+        engine_, *site, common::Rng::stream(config_.seed, "saga/" + site->name()),
+        saga::JobServiceOptions(), fault_injector_.get()));
     agents_.push_back(
         std::make_unique<bundle::BundleAgent>(engine_, *site, topology_, *transfers_));
     bundle_manager_.add_agent(*agents_.back());
@@ -48,6 +59,25 @@ void Aimes::start() {
   started_ = true;
   testbed_->prime_and_start();
   engine_.run_until(engine_.now() + config_.warmup);
+
+  // Outage windows are anchored to "world ready" (post-warmup), so a plan's
+  // offsets line up with experiment time regardless of the warmup length.
+  if (fault_injector_) {
+    for (const auto& spec : fault_injector_->outages()) {
+      cluster::ClusterSite* site = testbed_->site(spec.site);
+      if (site == nullptr) {
+        common::Log::warn("aimes", "fault plan names unknown site '" + spec.site +
+                                       "'; outage skipped");
+        continue;
+      }
+      const auto duration = spec.duration;
+      auto* injector = fault_injector_.get();
+      engine_.schedule(spec.start, [site, duration, injector] {
+        injector->count_outage();
+        site->begin_outage(duration);
+      });
+    }
+  }
 }
 
 std::vector<saga::JobService*> Aimes::services() {

@@ -29,6 +29,7 @@
 #include "pilot/profiler.hpp"
 #include "saga/job_service.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 
 namespace aimes::core {
 
@@ -46,6 +47,11 @@ struct AimesConfig {
   /// Origin->site links; when empty, a deterministic heterogeneous set is
   /// generated (different bandwidth/latency per site).
   std::vector<net::LinkSpec> links;
+  /// Faults to inject into this world (empty = none; runs are then
+  /// bit-identical to a world built without fault support). Outage windows
+  /// are scheduled relative to the end of warmup; launch/kill/transfer
+  /// faults are consulted at the SAGA, pilot, and staging layers.
+  sim::FaultPlan faults;
 };
 
 /// Result of a full run, including the trace.
@@ -84,6 +90,8 @@ class Aimes {
   [[nodiscard]] net::StagingService& staging() { return *staging_; }
   [[nodiscard]] const AimesConfig& config() const { return config_; }
   [[nodiscard]] std::vector<saga::JobService*> services();
+  /// Non-null only when the config carries a non-empty fault plan.
+  [[nodiscard]] sim::FaultInjector* fault_injector() { return fault_injector_.get(); }
 
   /// Figure 1 steps 2-3: derive a strategy from bundle information.
   [[nodiscard]] common::Expected<ExecutionStrategy> plan(
@@ -112,6 +120,7 @@ class Aimes {
  private:
   AimesConfig config_;
   sim::Engine engine_;
+  std::unique_ptr<sim::FaultInjector> fault_injector_;
   std::unique_ptr<cluster::Testbed> testbed_;
   net::Topology topology_;
   std::unique_ptr<net::TransferManager> transfers_;

@@ -74,10 +74,33 @@ common::Status ExecutionManager::enact(const skeleton::SkeletonApplication& app,
   // Step 4: describe and instantiate the pilots.
   pilots_ = std::make_unique<pilot::PilotManager>(engine_, profiler_, services_,
                                                   options_.agent);
+  pilots_->set_fault_injector(options_.faults);
+  if (options_.faults != nullptr) fault_baseline_ = options_.faults->stats();
   pilot::UnitManagerOptions unit_options = options_.units;
   unit_options.scheduler = strategy.unit_scheduler;
   units_ = std::make_unique<pilot::UnitManager>(engine_, profiler_, *pilots_, staging_,
                                                 unit_options, rng_);
+
+  if (options_.recovery.enabled) {
+    recovery_ = std::make_unique<RecoveryManager>(engine_, profiler_, *pilots_, services_,
+                                                  options_.bundles, strategy, options_.recovery);
+    // The UnitManager installed its handlers at construction; wrap them.
+    // Recovery must see a loss *first* so the replacement pilot exists when
+    // the UnitManager rebinds the orphaned units, and a replacement's
+    // activation must reach the UnitManager *before* recovery accounts the
+    // latency (ordering within one callback, both see the same clock).
+    auto unit_gone = pilots_->on_pilot_gone;
+    pilots_->on_pilot_gone = [this, unit_gone](pilot::ComputePilot& p,
+                                               const std::vector<common::UnitId>& lost) {
+      recovery_->handle_pilot_gone(p, lost, !units_->batch_complete());
+      unit_gone(p, lost);
+    };
+    auto unit_active = pilots_->on_pilot_active;
+    pilots_->on_pilot_active = [this, unit_active](pilot::ComputePilot& p) {
+      unit_active(p);
+      recovery_->handle_pilot_active(p);
+    };
+  }
 
   units_->on_complete = [this, done = std::move(done)](const pilot::UnitBatchResult& result) {
     // Step 5 epilogue: "all pilots are canceled when all tasks have executed
@@ -94,6 +117,8 @@ common::Status ExecutionManager::enact(const skeleton::SkeletonApplication& app,
                        service->site().config().watts_per_core});
     }
     report_.metrics = compute_run_metrics(profiler_, *pilots_, *units_, rates, engine_.now());
+    if (recovery_) report_.recovery = recovery_->stats();
+    if (options_.faults != nullptr) report_.faults = options_.faults->stats().since(fault_baseline_);
     finished_ = true;
     profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "RUN_END",
                      report_.success ? "success" : "incomplete");

@@ -19,13 +19,16 @@
 #include <functional>
 #include <memory>
 
+#include "bundle/manager.hpp"
 #include "core/metrics.hpp"
+#include "core/recovery.hpp"
 #include "core/strategy.hpp"
 #include "core/ttc.hpp"
 #include "net/staging.hpp"
 #include "pilot/pilot_manager.hpp"
 #include "pilot/unit_manager.hpp"
 #include "saga/job_service.hpp"
+#include "sim/faults.hpp"
 #include "skeleton/application.hpp"
 
 namespace aimes::core {
@@ -40,6 +43,10 @@ struct ExecutionReport {
   std::size_t units_cancelled = 0;
   TtcBreakdown ttc;
   RunMetrics metrics;
+  /// Recovery accounting (all zero when recovery is disabled).
+  RecoveryStats recovery;
+  /// Faults injected during this enactment (all zero without an injector).
+  sim::FaultStats faults;
 };
 
 /// Tuning of an enactment.
@@ -47,6 +54,14 @@ struct ExecutionOptions {
   pilot::AgentOptions agent;
   /// Base unit-manager options; scheduler is overridden by the strategy.
   pilot::UnitManagerOptions units;
+  /// Pilot-loss recovery policy (disabled by default).
+  RecoveryPolicy recovery;
+  /// Fault injector consulted at pilot activations (non-owning, may be
+  /// null). Launch/transfer faults are wired at the SAGA/staging layers.
+  sim::FaultInjector* faults = nullptr;
+  /// Bundle manager for replacement-site discovery (non-owning, may be
+  /// null; recovery then falls back to the strategy's site list).
+  const bundle::BundleManager* bundles = nullptr;
 };
 
 /// Enacts one strategy for one application. Single-use: construct, call
@@ -80,6 +95,8 @@ class ExecutionManager {
 
   [[nodiscard]] pilot::PilotManager& pilot_manager() { return *pilots_; }
   [[nodiscard]] pilot::UnitManager& unit_manager() { return *units_; }
+  /// Non-null only while enacting with recovery enabled.
+  [[nodiscard]] RecoveryManager* recovery() { return recovery_.get(); }
 
   /// Translates skeleton tasks into compute-unit descriptions (exposed for
   /// tests): inputs/outputs become staged files; producer tasks become
@@ -97,6 +114,9 @@ class ExecutionManager {
 
   std::unique_ptr<pilot::PilotManager> pilots_;
   std::unique_ptr<pilot::UnitManager> units_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  /// Injector counters at enact(), for per-run fault deltas.
+  sim::FaultStats fault_baseline_;
   ExecutionReport report_;
   bool finished_ = false;
 };

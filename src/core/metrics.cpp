@@ -27,6 +27,7 @@ RunMetrics compute_run_metrics(const pilot::Profiler& trace, const pilot::PilotM
     const double core_hours =
         static_cast<double>(pilot->description.cores) * (end - active).to_hours();
     m.pilot_core_hours += core_hours;
+    if (pilot->state == pilot::PilotState::kFailed) m.lost_core_hours += core_hours;
     if (const SiteRates* rate = rate_for(pilot->description.site)) {
       m.charge += rate->charge_per_core_hour * core_hours;
       m.energy_kwh += rate->watts_per_core * static_cast<double>(pilot->description.cores) *
@@ -48,6 +49,10 @@ RunMetrics compute_run_metrics(const pilot::Profiler& trace, const pilot::PilotM
   }
   if (m.pilot_core_hours > 0) {
     m.pilot_efficiency = std::min(1.0, m.useful_core_hours / m.pilot_core_hours);
+  }
+  const double surviving_core_hours = m.pilot_core_hours - m.lost_core_hours;
+  if (surviving_core_hours > 0) {
+    m.goodput = std::min(1.0, m.useful_core_hours / surviving_core_hours);
   }
 
   // Throughput over the run's TTC window.

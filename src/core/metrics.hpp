@@ -35,6 +35,13 @@ struct RunMetrics {
   /// Service units charged (per-site rate x core-hours).
   double charge = 0.0;
   double energy_kwh = 0.0;
+  /// Core-hours consumed by pilots that ended FAILED — allocation burned by
+  /// faults (the work they held is re-run elsewhere).
+  double lost_core_hours = 0.0;
+  /// useful / (consumed - lost): efficiency of the core-hours that were not
+  /// wasted on failed pilots. The gap between `pilot_efficiency` and
+  /// `goodput` is the price of the faults.
+  double goodput = 0.0;
 };
 
 /// Per-site accounting rates, keyed by site id.

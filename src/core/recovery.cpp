@@ -1,0 +1,115 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+#include "common/log.hpp"
+#include "pilot/states.hpp"
+
+namespace aimes::core {
+
+SimDuration backoff_delay(const RecoveryPolicy& policy, int attempt) {
+  assert(attempt >= 0);
+  double factor = 1.0;
+  for (int i = 0; i < attempt; ++i) factor *= policy.backoff_factor;
+  const SimDuration delay = policy.backoff_base * factor;
+  return std::min(delay, policy.backoff_max);
+}
+
+RecoveryManager::RecoveryManager(sim::Engine& engine, pilot::Profiler& profiler,
+                                 pilot::PilotManager& pilots,
+                                 std::vector<saga::JobService*> services,
+                                 const bundle::BundleManager* bundles, ExecutionStrategy strategy,
+                                 RecoveryPolicy policy)
+    : engine_(engine),
+      profiler_(profiler),
+      pilots_(pilots),
+      services_(std::move(services)),
+      bundles_(bundles),
+      strategy_(std::move(strategy)),
+      policy_(policy) {}
+
+bool RecoveryManager::serviceable(common::SiteId site) const {
+  return std::any_of(services_.begin(), services_.end(),
+                     [&](const saga::JobService* s) { return s->site_id() == site; });
+}
+
+common::SiteId RecoveryManager::pick_replacement_site(common::SiteId lost_site) const {
+  if (bundles_ != nullptr && policy_.prefer_alternative_site) {
+    bundle::Requirements req;
+    req.min_total_cores = strategy_.pilot_cores;
+    const auto candidates = bundles_->discover(req);
+    // Best-ranked serviceable candidate on a *different* site; if the lost
+    // site is the only serviceable one, take it (it may have recovered).
+    common::SiteId same_site_fallback;
+    for (const auto& c : candidates) {
+      if (!serviceable(c.site)) continue;
+      if (c.site != lost_site) return c.site;
+      same_site_fallback = c.site;
+    }
+    if (same_site_fallback.valid()) return same_site_fallback;
+  }
+  // No bundle information: round-robin over the strategy's sites, preferring
+  // one different from the lost site.
+  for (common::SiteId site : strategy_.sites) {
+    if (site != lost_site && serviceable(site)) return site;
+  }
+  return lost_site;
+}
+
+void RecoveryManager::handle_pilot_gone(const pilot::ComputePilot& pilot,
+                                        const std::vector<common::UnitId>& lost,
+                                        bool work_remaining) {
+  if (!policy_.enabled) return;
+  // Cancellation is intentional (batch done or user abort), not a fault.
+  if (pilot.state == pilot::PilotState::kCanceled) return;
+  if (!work_remaining) return;
+  // A pilot that ran to its natural end (walltime) with nothing in hand is
+  // not a loss; reinforcement of a still-running batch is the adaptive
+  // manager's job, not recovery's.
+  const bool is_loss = pilot.state == pilot::PilotState::kFailed || !lost.empty();
+  if (!is_loss) return;
+
+  ++stats_.pilots_lost;
+  const auto chain_it = chain_attempts_.find(pilot.id);
+  const int attempt = chain_it == chain_attempts_.end() ? 0 : chain_it->second;
+  if (attempt >= policy_.max_pilot_resubmits) {
+    ++stats_.recoveries_abandoned;
+    profiler_.record(engine_.now(), pilot::Entity::kPilot, pilot.id.value(),
+                     std::string(pilot::trace_event::kPilotRecoveryAbandoned),
+                     "attempts=" + std::to_string(attempt));
+    common::Log::warn("recovery", "abandoning pilot chain of " + pilot.id.str() + " after " +
+                                      std::to_string(attempt) + " resubmissions");
+    return;
+  }
+
+  const common::SiteId site = pick_replacement_site(pilot.description.site);
+  const SimDuration delay = backoff_delay(policy_, attempt);
+
+  pilot::PilotDescription pd = pilot.description;
+  pd.site = site;
+  pd.name = pilot.description.name + "/r" + std::to_string(attempt + 1);
+  const PilotId replacement = pilots_.submit(pd, delay);
+  chain_attempts_[replacement] = attempt + 1;
+  pending_[replacement] = engine_.now();
+  ++stats_.pilots_resubmitted;
+  profiler_.record(engine_.now(), pilot::Entity::kPilot, replacement.value(),
+                   std::string(pilot::trace_event::kPilotResubmitted),
+                   "replaces " + pilot.id.str() + " backoff=" + delay.str());
+  common::Log::info("recovery", "resubmitting " + pilot.id.str() + " as " + replacement.str() +
+                                    " on " + site.str() + " after " + delay.str() +
+                                    " (attempt " + std::to_string(attempt + 1) + ")");
+}
+
+void RecoveryManager::handle_pilot_active(const pilot::ComputePilot& pilot) {
+  auto it = pending_.find(pilot.id);
+  if (it == pending_.end()) return;
+  const SimDuration latency = engine_.now() - it->second;
+  pending_.erase(it);
+  ++stats_.recoveries_completed;
+  stats_.total_recovery_latency += latency;
+}
+
+}  // namespace aimes::core

@@ -1,0 +1,125 @@
+// Execution-Manager-driven pilot recovery (paper §III.E).
+//
+// The Execution Manager's restart claim — "tasks are automatically restarted
+// in case of failure" — needs more than the UnitManager's unit-level restart
+// path when the *pilot* itself is lost: a launch rejection, a mid-flight
+// kill, a walltime expiry with units in hand, or a site outage all leave the
+// strategy short one pilot. The RecoveryManager re-derives the affected
+// slice of the ExecutionStrategy mid-run: it resubmits a replacement pilot
+// with exponential backoff, caps the attempts per pilot chain, and places
+// the replacement on an *alternative* site chosen through the Bundle
+// query/predictor interface (skipping sites that are down). Orphaned units
+// then rebind through the UnitManager's existing early-/late-binding restart
+// machinery.
+//
+// Recovery is off by default: a fault-free run with recovery disabled is
+// bit-identical to a build without this module.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "bundle/manager.hpp"
+#include "core/strategy.hpp"
+#include "pilot/pilot_manager.hpp"
+#include "pilot/profiler.hpp"
+
+namespace aimes::core {
+
+using common::PilotId;
+using common::SimDuration;
+using common::SimTime;
+
+/// Knobs of the recovery behavior.
+struct RecoveryPolicy {
+  /// Master switch; disabled by default so fault-free runs are unchanged.
+  bool enabled = false;
+  /// Resubmissions allowed per pilot *chain* (original + replacements).
+  int max_pilot_resubmits = 3;
+  /// Backoff before the k-th resubmission: min(base * factor^k, max).
+  SimDuration backoff_base = SimDuration::minutes(2);
+  double backoff_factor = 2.0;
+  SimDuration backoff_max = SimDuration::minutes(30);
+  /// Place replacements on a different site than the lost pilot's when the
+  /// Bundle discovery interface offers one.
+  bool prefer_alternative_site = true;
+};
+
+/// Backoff before resubmission number `attempt` (0-based): the first
+/// replacement waits `base`, each further one `factor` times longer, capped
+/// at `backoff_max`. Exposed for tests.
+[[nodiscard]] SimDuration backoff_delay(const RecoveryPolicy& policy, int attempt);
+
+/// What recovery did during one enactment.
+struct RecoveryStats {
+  /// Pilots lost to faults while the batch still had work.
+  std::size_t pilots_lost = 0;
+  /// Replacement pilots submitted.
+  std::size_t pilots_resubmitted = 0;
+  /// Chains abandoned at the attempt cap.
+  std::size_t recoveries_abandoned = 0;
+  /// Replacements that reached ACTIVE.
+  std::size_t recoveries_completed = 0;
+  /// Summed loss-to-ACTIVE latency over completed recoveries.
+  SimDuration total_recovery_latency = SimDuration::zero();
+
+  [[nodiscard]] SimDuration mean_recovery_latency() const {
+    return recoveries_completed == 0
+               ? SimDuration::zero()
+               : total_recovery_latency / static_cast<double>(recoveries_completed);
+  }
+};
+
+/// Watches the pilot fleet of one enactment and replaces lost pilots.
+/// Wired into the PilotManager's callbacks by the ExecutionManager (recovery
+/// sees a loss *before* the UnitManager rebinds orphans, so the replacement
+/// already exists when early-bound units look for a live pilot).
+class RecoveryManager {
+ public:
+  /// `bundles` is optional (non-owning): without it, replacement sites come
+  /// from round-robin over the strategy's site list.
+  RecoveryManager(sim::Engine& engine, pilot::Profiler& profiler, pilot::PilotManager& pilots,
+                  std::vector<saga::JobService*> services, const bundle::BundleManager* bundles,
+                  ExecutionStrategy strategy, RecoveryPolicy policy);
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// A pilot reached a final state. `work_remaining` is false once every
+  /// unit of the batch is final (no point replacing pilots then).
+  void handle_pilot_gone(const pilot::ComputePilot& pilot,
+                         const std::vector<common::UnitId>& lost, bool work_remaining);
+
+  /// A pilot became ACTIVE (recovery-latency accounting for replacements).
+  void handle_pilot_active(const pilot::ComputePilot& pilot);
+
+  [[nodiscard]] const RecoveryStats& stats() const { return stats_; }
+  [[nodiscard]] const RecoveryPolicy& policy() const { return policy_; }
+
+  /// Site for a replacement of a pilot lost on `lost_site`: best Bundle
+  /// discovery candidate on a serviceable site, preferring one different
+  /// from `lost_site`; falls back to the strategy's site list. Exposed for
+  /// tests.
+  [[nodiscard]] common::SiteId pick_replacement_site(common::SiteId lost_site) const;
+
+ private:
+  [[nodiscard]] bool serviceable(common::SiteId site) const;
+
+  sim::Engine& engine_;
+  pilot::Profiler& profiler_;
+  pilot::PilotManager& pilots_;
+  std::vector<saga::JobService*> services_;
+  const bundle::BundleManager* bundles_;
+  ExecutionStrategy strategy_;
+  RecoveryPolicy policy_;
+
+  /// Resubmissions already spent per pilot (replacements inherit the
+  /// chain's count from the pilot they replace).
+  std::unordered_map<PilotId, int> chain_attempts_;
+  /// Loss time of the chain a pending replacement belongs to.
+  std::unordered_map<PilotId, SimTime> pending_;
+  RecoveryStats stats_;
+};
+
+}  // namespace aimes::core

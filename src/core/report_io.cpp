@@ -54,12 +54,33 @@ std::string report_to_json(const ExecutionReport& report) {
   }
   out << "],\n";
   out << "  \"restarted_units\": " << t.restarted_units << ",\n";
+  out << "  \"pilots_failed\": " << t.pilots_failed << ",\n";
+  out << "  \"pilots_resubmitted\": " << t.pilots_resubmitted << ",\n";
+  out << "  \"t_recovery_s\": " << t.recovery_time.to_seconds() << ",\n";
   out << "  \"throughput_tasks_per_hour\": " << m.throughput_tasks_per_hour << ",\n";
   out << "  \"pilot_core_hours\": " << m.pilot_core_hours << ",\n";
   out << "  \"useful_core_hours\": " << m.useful_core_hours << ",\n";
   out << "  \"pilot_efficiency\": " << m.pilot_efficiency << ",\n";
+  out << "  \"lost_core_hours\": " << m.lost_core_hours << ",\n";
+  out << "  \"goodput\": " << m.goodput << ",\n";
   out << "  \"charge\": " << m.charge << ",\n";
-  out << "  \"energy_kwh\": " << m.energy_kwh << "\n";
+  out << "  \"energy_kwh\": " << m.energy_kwh << ",\n";
+  const auto& f = report.faults;
+  out << "  \"faults\": {\n";
+  out << "    \"total\": " << f.total() << ",\n";
+  out << "    \"pilot_launch_failures\": " << f.pilot_launch_failures << ",\n";
+  out << "    \"pilot_kills\": " << f.pilot_kills << ",\n";
+  out << "    \"site_outages\": " << f.site_outages << ",\n";
+  out << "    \"transfer_failures\": " << f.transfer_failures << "\n";
+  out << "  },\n";
+  const auto& r = report.recovery;
+  out << "  \"recovery\": {\n";
+  out << "    \"pilots_lost\": " << r.pilots_lost << ",\n";
+  out << "    \"pilots_resubmitted\": " << r.pilots_resubmitted << ",\n";
+  out << "    \"recoveries_abandoned\": " << r.recoveries_abandoned << ",\n";
+  out << "    \"recoveries_completed\": " << r.recoveries_completed << ",\n";
+  out << "    \"mean_recovery_latency_s\": " << r.mean_recovery_latency().to_seconds() << "\n";
+  out << "  }\n";
   out << "}\n";
   return out.str();
 }

@@ -4,6 +4,8 @@
 #include <map>
 #include <unordered_map>
 
+#include "pilot/states.hpp"
+
 namespace aimes::core {
 
 TtcBreakdown analyze_ttc(const pilot::Profiler& trace) {
@@ -74,6 +76,24 @@ TtcBreakdown analyze_ttc(const pilot::Profiler& trace) {
     }
     for (const auto& [uid, n] : exec_counts) {
       if (n > 1) ++out.restarted_units;
+    }
+  }
+
+  // Fault/recovery components: failed pilots, replacements, and the summed
+  // resubmission-to-ACTIVE latency of replacements that made it.
+  {
+    std::map<std::uint64_t, SimTime> resubmitted;  // ordered for determinism
+    std::unordered_map<std::uint64_t, SimTime> active;
+    for (const auto& r : trace.records()) {
+      if (r.entity != Entity::kPilot) continue;
+      if (r.state == "FAILED") ++out.pilots_failed;
+      if (r.state == pilot::trace_event::kPilotResubmitted) resubmitted.emplace(r.uid, r.when);
+      if (r.state == "ACTIVE") active.emplace(r.uid, r.when);
+    }
+    out.pilots_resubmitted = resubmitted.size();
+    for (const auto& [uid, t_resubmit] : resubmitted) {
+      auto it = active.find(uid);
+      if (it != active.end()) out.recovery_time += it->second - t_resubmit;
     }
   }
   return out;

@@ -43,6 +43,13 @@ struct TtcBreakdown {
   std::vector<SimDuration> pilot_waits;
   /// Units that entered EXECUTING more than once (restarts).
   std::size_t restarted_units = 0;
+  /// Pilots that ended FAILED (fault injection or preemption).
+  std::size_t pilots_failed = 0;
+  /// Replacement pilots submitted by the recovery manager.
+  std::size_t pilots_resubmitted = 0;
+  /// Summed resubmission-to-ACTIVE time over replacements that activated —
+  /// the trace-side view of recovery latency (includes backoff + queue).
+  SimDuration recovery_time = SimDuration::zero();
 };
 
 /// Computes the decomposition from a run's trace. The trace must contain a

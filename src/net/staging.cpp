@@ -5,13 +5,34 @@
 namespace aimes::net {
 
 StagingService::StagingService(sim::Engine& engine, TransferManager& transfers,
-                               StagingPolicy policy)
-    : engine_(engine), transfers_(transfers), policy_(policy) {}
+                               StagingPolicy policy, sim::FaultInjector* faults)
+    : engine_(engine), transfers_(transfers), policy_(policy), faults_(faults) {}
 
 common::Status StagingService::stage(const std::string& file, SiteId site, Direction dir,
                                      DataSize size, Callback done) {
   assert(done);
   const common::SimTime started = engine_.now();
+  // Injected transfer failure, decided once per staged file in staging
+  // order. The failure manifests partway through the wire time: overhead
+  // plus half the estimated transfer (a stream dying mid-flight costs real
+  // time before the error surfaces).
+  if (faults_ != nullptr && faults_->transfer_should_fail()) {
+    auto wire = transfers_.estimate(site, dir, size);
+    const SimDuration lost =
+        policy_.per_file_overhead + (wire.ok() ? *wire * 0.5 : SimDuration::zero());
+    engine_.schedule(lost, [this, file, site, dir, size, started, done = std::move(done)] {
+      StagingDone notice;
+      notice.file = file;
+      notice.site = site;
+      notice.direction = dir;
+      notice.size = size;
+      notice.started_at = started;
+      notice.finished_at = engine_.now();
+      notice.ok = false;
+      done(notice);
+    });
+    return {};
+  }
   // Per-file overhead elapses first, then the wire transfer starts.
   engine_.schedule(policy_.per_file_overhead,
                    [this, file, site, dir, size, started, done = std::move(done)] {

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "net/transfer.hpp"
+#include "sim/faults.hpp"
 
 namespace aimes::net {
 
@@ -19,7 +20,8 @@ struct StagingPolicy {
   SimDuration per_file_overhead = SimDuration::millis(500);
 };
 
-/// Completion notice for one staged file.
+/// Completion notice for one staged file. `ok == false` means the transfer
+/// failed partway (injected fault); `finished_at` is then the failure time.
 struct StagingDone {
   std::string file;
   SiteId site;
@@ -27,6 +29,7 @@ struct StagingDone {
   DataSize size;
   common::SimTime started_at;
   common::SimTime finished_at;
+  bool ok = true;
   [[nodiscard]] SimDuration duration() const { return finished_at - started_at; }
 };
 
@@ -35,7 +38,10 @@ class StagingService {
  public:
   using Callback = std::function<void(const StagingDone&)>;
 
-  StagingService(sim::Engine& engine, TransferManager& transfers, StagingPolicy policy = {});
+  /// `faults` (optional, non-owning) makes individual staged files fail:
+  /// the callback then fires with `ok == false` after a partial transfer.
+  StagingService(sim::Engine& engine, TransferManager& transfers, StagingPolicy policy = {},
+                 sim::FaultInjector* faults = nullptr);
 
   StagingService(const StagingService&) = delete;
   StagingService& operator=(const StagingService&) = delete;
@@ -55,6 +61,7 @@ class StagingService {
   sim::Engine& engine_;
   TransferManager& transfers_;
   StagingPolicy policy_;
+  sim::FaultInjector* faults_ = nullptr;
   std::uint64_t staged_ = 0;
   DataSize staged_bytes_;
 };

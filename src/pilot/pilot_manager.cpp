@@ -26,9 +26,8 @@ void PilotManager::set_state(ComputePilot& pilot, PilotState s) {
                    pilot.description.name);
 }
 
-PilotId PilotManager::submit(const PilotDescription& description) {
-  auto* service = service_for(description.site);
-  assert(service && "no JobService registered for the pilot's site");
+PilotId PilotManager::submit(const PilotDescription& description, common::SimDuration delay) {
+  assert(service_for(description.site) && "no JobService registered for the pilot's site");
 
   const PilotId id = ids_.next();
   ComputePilot pilot;
@@ -43,16 +42,31 @@ PilotId PilotManager::submit(const PilotDescription& description) {
   set_state(p, PilotState::kNew);
   set_state(p, PilotState::kPendingLaunch);
 
+  if (delay > common::SimDuration::zero()) {
+    engine_.schedule(delay, [this, id] { launch(id); });
+  } else {
+    launch(id);
+  }
+  return id;
+}
+
+void PilotManager::launch(PilotId id) {
+  auto it = pilots_.find(id);
+  assert(it != pilots_.end());
+  ComputePilot& p = it->second;
+  if (is_final(p.state)) return;  // cancelled during the backoff delay
+
+  auto* service = service_for(p.description.site);
+  assert(service);
   saga::JobDescription job;
-  job.name = description.name.empty() ? id.str() : description.name;
-  job.cores = description.cores;
-  job.walltime = description.walltime;
-  job.runtime = description.walltime;  // a pilot runs until cancelled or killed
+  job.name = p.description.name.empty() ? id.str() : p.description.name;
+  job.cores = p.description.cores;
+  job.walltime = p.description.walltime;
+  job.runtime = p.description.walltime;  // a pilot runs until cancelled or killed
   p.saga_job = service->submit(job, [this, id](const saga::JobEvent& event) {
     handle_job_event(id, event);
   });
   set_state(p, PilotState::kLaunching);
-  return id;
 }
 
 void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
@@ -81,6 +95,20 @@ void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
         if (on_unit_executing) on_unit_executing(id, unit);
       };
       set_state(pilot, PilotState::kActive);
+      // Injected pilot kill: decided once per activation, in activation
+      // order. The kill lands through the SAGA layer as a preemption, so
+      // the pilot dies exactly as it would under a real node failure.
+      if (faults_ != nullptr) {
+        if (auto delay = faults_->pilot_kill_delay()) {
+          profiler_.record(engine_.now(), Entity::kPilot, id.value(),
+                           std::string(trace_event::kPilotFaultKill), pilot.description.name);
+          common::Log::warn("pilot", pilot.id.str() + " will be killed " + delay->str() +
+                                         " after activation (injected fault)");
+          const JobId victim = pilot.saga_job;
+          auto* service = service_for(pilot.description.site);
+          engine_.schedule(*delay, [service, victim] { service->kill(victim); });
+        }
+      }
       if (on_pilot_active) on_pilot_active(pilot);
       break;
     }
@@ -106,9 +134,18 @@ void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
 void PilotManager::cancel(PilotId id) {
   auto it = pilots_.find(id);
   if (it == pilots_.end() || is_final(it->second.state)) return;
-  auto* service = service_for(it->second.description.site);
+  ComputePilot& pilot = it->second;
+  if (!pilot.saga_job.valid()) {
+    // Delayed submission still pending: there is nothing at the SAGA layer
+    // to cancel, so finalize directly (launch() will see the final state).
+    pilot.finished_at = engine_.now();
+    set_state(pilot, PilotState::kCanceled);
+    if (on_pilot_gone) on_pilot_gone(pilot, {});
+    return;
+  }
+  auto* service = service_for(pilot.description.site);
   assert(service);
-  service->cancel(it->second.saga_job);
+  service->cancel(pilot.saga_job);
 }
 
 void PilotManager::cancel_all() {

@@ -17,6 +17,7 @@
 #include "pilot/states.hpp"
 #include "saga/job_service.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 
 namespace aimes::pilot {
 
@@ -60,11 +61,19 @@ class PilotManager {
   std::function<void(PilotId)> on_capacity;
 
   /// Describes and submits one pilot. Returns its id immediately; state
-  /// progresses via engine events.
-  PilotId submit(const PilotDescription& description);
+  /// progresses via engine events. A positive `delay` holds the pilot in
+  /// PENDING_LAUNCH and performs the SAGA submission that much later — the
+  /// recovery manager's backoff lever.
+  PilotId submit(const PilotDescription& description,
+                 common::SimDuration delay = common::SimDuration::zero());
 
-  /// Cancels a pilot (releases its resource allocation).
+  /// Cancels a pilot (releases its resource allocation). A pilot whose
+  /// delayed submission has not happened yet is finalized immediately.
   void cancel(PilotId id);
+
+  /// Installs the fault injector (non-owning, may be null): consulted at
+  /// each activation for an injected mid-flight kill.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
 
   /// Cancels every non-final pilot ("all pilots are canceled when all tasks
   /// have executed so as not to waste resources", §III.E).
@@ -79,6 +88,7 @@ class PilotManager {
 
  private:
   void set_state(ComputePilot& pilot, PilotState s);
+  void launch(PilotId id);
   void handle_job_event(PilotId id, const saga::JobEvent& event);
   saga::JobService* service_for(common::SiteId site);
 
@@ -86,6 +96,7 @@ class PilotManager {
   Profiler& profiler_;
   std::vector<saga::JobService*> services_;
   AgentOptions agent_options_;
+  sim::FaultInjector* faults_ = nullptr;
   common::IdGen<common::PilotTag> ids_;
   std::unordered_map<PilotId, ComputePilot> pilots_;
   std::vector<PilotId> order_;

@@ -97,4 +97,20 @@ enum class UnitState {
   return s == UnitState::kDone || s == UnitState::kFailed || s == UnitState::kCanceled;
 }
 
+/// Auxiliary trace-event names recorded alongside the state transitions
+/// above (fault injection and recovery; see sim/faults.* and core/recovery.*).
+/// Kept here so trace producers and the TTC/metrics analyses agree on the
+/// exact strings.
+namespace trace_event {
+/// A fault will terminate this ACTIVE pilot (recorded at kill scheduling).
+inline constexpr std::string_view kPilotFaultKill = "FAULT_KILL";
+/// The recovery manager submitted this pilot to replace a lost one.
+inline constexpr std::string_view kPilotResubmitted = "RESUBMITTED";
+/// The recovery manager gave up on a pilot chain (attempt cap reached).
+inline constexpr std::string_view kPilotRecoveryAbandoned = "RECOVERY_ABANDONED";
+/// A unit's input/output staging operation failed (injected transfer fault).
+inline constexpr std::string_view kUnitStageInFailed = "STAGE_IN_FAIL";
+inline constexpr std::string_view kUnitStageOutFailed = "STAGE_OUT_FAIL";
+}  // namespace trace_event
+
 }  // namespace aimes::pilot

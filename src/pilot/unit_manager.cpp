@@ -84,10 +84,20 @@ std::vector<UnitId> UnitManager::submit_units(const std::vector<ComputeUnitDescr
 void UnitManager::bind_early(ComputeUnit& u, std::size_t index) {
   auto pilots = pilots_.pilots();
   assert(!pilots.empty() && "early binding requires submitted pilots");
+  // Bind over the live fleet: a pilot already final (launch failure) cannot
+  // take units, and a replacement submitted by the recovery layer should.
+  // In a fault-free run no pilot is final during dispatch, so this reduces
+  // to binding over all pilots in submission order.
+  std::vector<ComputePilot*> live;
+  live.reserve(pilots.size());
+  for (ComputePilot* p : pilots) {
+    if (!is_final(p->state)) live.push_back(p);
+  }
+  if (live.empty()) live = pilots;  // no survivor; the restart path decides
   const std::size_t target = options_.scheduler == UnitSchedulerKind::kRoundRobin
-                                 ? index % pilots.size()
+                                 ? index % live.size()
                                  : 0;
-  u.pilot = pilots[target]->id;
+  u.pilot = live[target]->id;
 }
 
 void UnitManager::try_start_bound_unit(UnitId id) {
@@ -164,10 +174,18 @@ void UnitManager::begin_staging(ComputeUnit& u) {
     profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_IN_START", file.name);
     auto status = staging_.stage(file.name, site, net::Direction::kIn, file.size,
                                  [this, id, attempt, fid](const net::StagingDone& done) {
-      profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_IN_DONE", done.file);
       auto uit = units_.find(id);
       assert(uit != units_.end());
       ComputeUnit& cu = uit->second;
+      if (!done.ok) {
+        profiler_.record(engine_.now(), Entity::kTransfer, fid,
+                         std::string(trace_event::kUnitStageInFailed), done.file);
+        if (cu.attempts != attempt || cu.state != UnitState::kStagingInput) return;  // stale
+        restart_unit(id, "input transfer failed: " + done.file);
+        pump_late_queue();
+        return;
+      }
+      profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_IN_DONE", done.file);
       if (cu.attempts != attempt || cu.state != UnitState::kStagingInput) return;  // stale
       assert(cu.inflight_inputs > 0);
       if (--cu.inflight_inputs == 0) input_staged(id);
@@ -219,10 +237,19 @@ void UnitManager::compute_done(UnitId id) {
     profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_OUT_START", file.name);
     auto status = staging_.stage(file.name, site, net::Direction::kOut, file.size,
                                  [this, id, attempt, fid](const net::StagingDone& done) {
-      profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_OUT_DONE", done.file);
       auto uit = units_.find(id);
       assert(uit != units_.end());
       ComputeUnit& cu = uit->second;
+      if (!done.ok) {
+        profiler_.record(engine_.now(), Entity::kTransfer, fid,
+                         std::string(trace_event::kUnitStageOutFailed), done.file);
+        if (cu.attempts != attempt || cu.state != UnitState::kStagingOutput) return;  // stale
+        // The whole attempt is retried: inputs re-staged, compute re-run.
+        restart_unit(id, "output transfer failed: " + done.file);
+        pump_late_queue();
+        return;
+      }
+      profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_OUT_DONE", done.file);
       if (cu.attempts != attempt || cu.state != UnitState::kStagingOutput) return;  // stale
       assert(cu.inflight_outputs > 0);
       if (--cu.inflight_outputs == 0) output_staged(id);
@@ -293,6 +320,29 @@ void UnitManager::handle_pilot_gone(ComputePilot& pilot, const std::vector<UnitI
       restart_unit(id, "pilot " + pilot.id.str() + " gone before execution");
     }
   }
+  // Early-bound units still in SCHEDULING (e.g. the pilot's launch was
+  // rejected before they could stage): rebind to a surviving pilot without
+  // burning an attempt — the unit never started. With no survivor the unit
+  // can never run; fail it so the batch terminates.
+  if (is_early_binding(options_.scheduler)) {
+    for (UnitId id : order_) {
+      ComputeUnit& u = unit(id);
+      if (u.pilot != pilot.id || u.state != UnitState::kScheduling) continue;
+      ComputePilot* fallback = nullptr;
+      for (ComputePilot* p : pilots_.pilots()) {
+        if (!is_final(p->state)) {
+          fallback = p;
+          break;
+        }
+      }
+      if (!fallback) {
+        finish_unit(u, UnitState::kFailed);
+        continue;
+      }
+      u.pilot = fallback->id;
+      try_start_bound_unit(id);
+    }
+  }
   pump_late_queue();
 }
 
@@ -360,7 +410,7 @@ void UnitManager::maybe_complete() {
   if (done_ + failed_ + cancelled_ < order_.size()) return;
   completed_fired_ = true;
   if (on_complete) {
-    UnitBatchResult result{done_, failed_, cancelled_};
+    UnitBatchResult result{done_, failed_, cancelled_, order_.size()};
     profiler_.record(engine_.now(), Entity::kManager, 0, "BATCH_COMPLETE",
                      "done=" + std::to_string(done_) + " failed=" + std::to_string(failed_) +
                          " cancelled=" + std::to_string(cancelled_));

@@ -93,7 +93,10 @@ struct UnitBatchResult {
   std::size_t done = 0;
   std::size_t failed = 0;     // permanently failed (attempts exhausted)
   std::size_t cancelled = 0;  // aborted by the user
-  [[nodiscard]] bool all_done() const { return failed == 0 && cancelled == 0; }
+  std::size_t total = 0;      // units submitted in the batch
+  [[nodiscard]] bool all_done() const {
+    return done == total && failed == 0 && cancelled == 0;
+  }
 };
 
 /// Orchestrates units over the pilots of one PilotManager.
@@ -127,6 +130,8 @@ class UnitManager {
   [[nodiscard]] std::size_t failed_count() const { return failed_; }
   [[nodiscard]] std::size_t cancelled_count() const { return cancelled_; }
   [[nodiscard]] UnitSchedulerKind scheduler() const { return options_.scheduler; }
+  /// True once every unit reached a final state and `on_complete` fired.
+  [[nodiscard]] bool batch_complete() const { return completed_fired_; }
 
  private:
   ComputeUnit& unit(UnitId id) { return units_.at(id); }

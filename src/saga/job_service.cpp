@@ -26,8 +26,8 @@ JobState map_state(cluster::JobState s) {
 }  // namespace
 
 JobService::JobService(sim::Engine& engine, cluster::ClusterSite& site, common::Rng rng,
-                       Options options)
-    : engine_(engine), site_(site), rng_(rng), options_(options) {}
+                       Options options, sim::FaultInjector* faults)
+    : engine_(engine), site_(site), rng_(rng), options_(options), faults_(faults) {}
 
 int JobService::cores_to_nodes(int cores) const {
   const int cpn = site_.config().cores_per_node;
@@ -49,11 +49,21 @@ JobId JobService::submit(const JobDescription& description, StateCallback on_sta
   const auto latency = common::SimDuration::seconds(rng_.uniform(
       options_.min_submit_latency.to_seconds(), options_.max_submit_latency.to_seconds()));
 
-  engine_.schedule(latency, [this, saga_id, description, on_state] {
+  // Injected launch failure: the adaptor's submit round-trip is rejected.
+  // Decided here (once per submission, in submission order) so the outcome
+  // never depends on event interleaving.
+  const bool reject = faults_ != nullptr && faults_->pilot_launch_should_fail();
+
+  engine_.schedule(latency, [this, saga_id, description, on_state, reject] {
     auto it = tracked_.find(saga_id);
     assert(it != tracked_.end());
     if (it->second.cancelled_before_admit) {
       dispatch(JobEvent{saga_id, site_.id(), JobState::kCanceled, engine_.now()}, on_state);
+      return;
+    }
+    if (reject) {
+      common::Log::warn("saga", "submit rejected on " + site_.name() + " (injected fault)");
+      dispatch(JobEvent{saga_id, site_.id(), JobState::kFailed, engine_.now()}, on_state);
       return;
     }
     cluster::JobRequest req;
@@ -89,6 +99,14 @@ void JobService::cancel(JobId id) {
   // Ignore failures: cancelling an already-final job is a benign race, as on
   // a real resource.
   (void)site_.cancel(it->second.cluster_id);
+}
+
+void JobService::kill(JobId id) {
+  auto it = tracked_.find(id);
+  if (it == tracked_.end() || !it->second.cluster_id.valid()) return;
+  // Preemption surfaces through the normal state-change path as kPreempted,
+  // which map_state reports as Failed. Already-final jobs are a benign race.
+  (void)site_.preempt(it->second.cluster_id);
 }
 
 }  // namespace aimes::saga

@@ -22,6 +22,7 @@
 #include "cluster/site.hpp"
 #include "common/rng.hpp"
 #include "sim/engine.hpp"
+#include "sim/faults.hpp"
 
 namespace aimes::saga {
 
@@ -82,8 +83,11 @@ class JobService {
   using StateCallback = std::function<void(const JobEvent&)>;
   using Options = JobServiceOptions;
 
+  /// `faults` (optional, non-owning) injects middleware-level failures: a
+  /// planned launch failure turns the submit round-trip into a Failed event,
+  /// exactly as a rejecting adaptor would.
   JobService(sim::Engine& engine, cluster::ClusterSite& site, common::Rng rng,
-             Options options = Options());
+             Options options = Options(), sim::FaultInjector* faults = nullptr);
 
   JobService(const JobService&) = delete;
   JobService& operator=(const JobService&) = delete;
@@ -101,6 +105,12 @@ class JobService {
   /// Requests cancellation (no-op for unknown/final jobs).
   void cancel(JobId id);
 
+  /// Kills a *running* job out from under its owner (fault injection: node
+  /// crash, admin kill, allocation revoked). Surfaces to the callback as a
+  /// Failed event, unlike the Canceled produced by `cancel`. No-op for
+  /// unknown or not-yet-admitted jobs.
+  void kill(JobId id);
+
   /// Translates cores to this site's node granularity.
   [[nodiscard]] int cores_to_nodes(int cores) const;
 
@@ -111,6 +121,7 @@ class JobService {
   cluster::ClusterSite& site_;
   common::Rng rng_;
   Options options_;
+  sim::FaultInjector* faults_ = nullptr;
   // SAGA-level ids map 1:1 onto cluster job ids once admitted.
   struct Tracked {
     bool cancelled_before_admit = false;

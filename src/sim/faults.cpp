@@ -1,0 +1,171 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace aimes::sim {
+
+FaultPlan& FaultPlan::fail_pilot_launch(int submission_index) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kPilotLaunchFailure;
+  spec.index = submission_index;
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::kill_pilot(int activation_index, common::SimDuration after_active) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kPilotKill;
+  spec.index = activation_index;
+  spec.after = after_active;
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::site_outage(std::string site, common::SimDuration start,
+                                  common::SimDuration duration) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kSiteOutage;
+  spec.site = std::move(site);
+  spec.start = start;
+  spec.duration = duration;
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_transfer(int transfer_index) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTransferFailure;
+  spec.index = transfer_index;
+  events_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultPlan& FaultPlan::with_rates(FaultRates rates) {
+  rates_ = rates;
+  return *this;
+}
+
+namespace {
+
+// Section names may carry a disambiguating suffix ("fault.kill.2") since INI
+// sections with identical names would otherwise collide in hand-written files.
+[[nodiscard]] bool section_is(const std::string& name, std::string_view base) {
+  if (name == base) return true;
+  return name.size() > base.size() && name.compare(0, base.size(), base) == 0 &&
+         name[base.size()] == '.';
+}
+
+}  // namespace
+
+common::Expected<FaultPlan> FaultPlan::parse(const common::Config& config) {
+  FaultPlan plan;
+  for (const auto* section : config.sections_with_prefix("fault.")) {
+    const std::string& name = section->name();
+    if (section_is(name, "fault.launch")) {
+      auto pilot = section->get_int("pilot");
+      if (!pilot.ok()) return common::Expected<FaultPlan>::error("[" + name + "]: " + pilot.error());
+      plan.fail_pilot_launch(static_cast<int>(*pilot));
+    } else if (section_is(name, "fault.kill")) {
+      auto pilot = section->get_int("pilot");
+      if (!pilot.ok()) return common::Expected<FaultPlan>::error("[" + name + "]: " + pilot.error());
+      plan.kill_pilot(static_cast<int>(*pilot),
+                      common::SimDuration::seconds(section->get_double_or("after_s", 0.0)));
+    } else if (section_is(name, "fault.outage")) {
+      auto site = section->get("site");
+      if (!site.ok()) return common::Expected<FaultPlan>::error("[" + name + "]: " + site.error());
+      auto duration = section->get_double("duration_s");
+      if (!duration.ok()) {
+        return common::Expected<FaultPlan>::error("[" + name + "]: " + duration.error());
+      }
+      plan.site_outage(*site, common::SimDuration::seconds(section->get_double_or("start_s", 0.0)),
+                       common::SimDuration::seconds(*duration));
+    } else if (section_is(name, "fault.transfer")) {
+      auto index = section->get_int("index");
+      if (!index.ok()) return common::Expected<FaultPlan>::error("[" + name + "]: " + index.error());
+      plan.fail_transfer(static_cast<int>(*index));
+    } else if (section_is(name, "fault.rates")) {
+      FaultRates rates = plan.rates_;
+      rates.pilot_launch_failure =
+          section->get_double_or("pilot_launch_failure", rates.pilot_launch_failure);
+      rates.pilot_kill = section->get_double_or("pilot_kill", rates.pilot_kill);
+      rates.pilot_kill_mean_delay = common::SimDuration::seconds(section->get_double_or(
+          "pilot_kill_mean_delay_s", rates.pilot_kill_mean_delay.to_seconds()));
+      rates.transfer_failure = section->get_double_or("transfer_failure", rates.transfer_failure);
+      for (double p : {rates.pilot_launch_failure, rates.pilot_kill, rates.transfer_failure}) {
+        if (p < 0.0 || p > 1.0) {
+          return common::Expected<FaultPlan>::error("[" + name +
+                                                    "]: probabilities must be in [0, 1]");
+        }
+      }
+      plan.with_rates(rates);
+    } else {
+      return common::Expected<FaultPlan>::error("unknown fault section [" + name + "]");
+    }
+  }
+  return plan;
+}
+
+FaultStats FaultStats::since(const FaultStats& baseline) const {
+  FaultStats delta;
+  delta.pilot_launch_failures = pilot_launch_failures - baseline.pilot_launch_failures;
+  delta.pilot_kills = pilot_kills - baseline.pilot_kills;
+  delta.site_outages = site_outages - baseline.site_outages;
+  delta.transfer_failures = transfer_failures - baseline.transfer_failures;
+  return delta;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(common::Rng::stream(seed, "faults")) {}
+
+bool FaultInjector::pilot_launch_should_fail() {
+  const int index = submissions_seen_++;
+  bool fail = std::any_of(plan_.events().begin(), plan_.events().end(), [&](const FaultSpec& e) {
+    return e.kind == FaultKind::kPilotLaunchFailure && e.index == index;
+  });
+  if (!fail && plan_.rates().pilot_launch_failure > 0.0) {
+    fail = rng_.bernoulli(plan_.rates().pilot_launch_failure);
+  }
+  if (fail) ++stats_.pilot_launch_failures;
+  return fail;
+}
+
+std::optional<common::SimDuration> FaultInjector::pilot_kill_delay() {
+  const int index = activations_seen_++;
+  const auto& events = plan_.events();
+  auto it = std::find_if(events.begin(), events.end(), [&](const FaultSpec& e) {
+    return e.kind == FaultKind::kPilotKill && e.index == index;
+  });
+  if (it != events.end()) {
+    ++stats_.pilot_kills;
+    return it->after;
+  }
+  if (plan_.rates().pilot_kill > 0.0 && rng_.bernoulli(plan_.rates().pilot_kill)) {
+    ++stats_.pilot_kills;
+    return common::SimDuration::seconds(
+        rng_.exponential(plan_.rates().pilot_kill_mean_delay.to_seconds()));
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::transfer_should_fail() {
+  const int index = transfers_seen_++;
+  bool fail = std::any_of(plan_.events().begin(), plan_.events().end(), [&](const FaultSpec& e) {
+    return e.kind == FaultKind::kTransferFailure && e.index == index;
+  });
+  if (!fail && plan_.rates().transfer_failure > 0.0) {
+    fail = rng_.bernoulli(plan_.rates().transfer_failure);
+  }
+  if (fail) ++stats_.transfer_failures;
+  return fail;
+}
+
+std::vector<FaultSpec> FaultInjector::outages() const {
+  std::vector<FaultSpec> result;
+  for (const FaultSpec& e : plan_.events()) {
+    if (e.kind == FaultKind::kSiteOutage) result.push_back(e);
+  }
+  return result;
+}
+
+}  // namespace aimes::sim

@@ -1,0 +1,179 @@
+// Whole-stack fault injection (the resource-dynamism side of §III.E).
+//
+// The paper motivates late binding with resource *dynamism* and claims that
+// "tasks are automatically restarted in case of failure". The virtual
+// laboratory therefore needs faults as first-class, reproducible events —
+// not just per-unit compute failures, but the pilot- and infrastructure-
+// level failures a production pilot system sees (RADICAL-Pilot's
+// characterization treats pilot death and resubmission as ordinary
+// lifecycle events):
+//
+//   * pilot launch failures  — the SAGA submit round-trip is rejected;
+//   * pilot kills            — a pilot is terminated while ACTIVE
+//                              (node crash, admin kill, allocation revoked);
+//   * site outages           — a downtime window: running jobs are killed,
+//                              the batch queue drains, submissions are
+//                              rejected until the window ends;
+//   * transfer failures      — an input/output staging operation fails.
+//
+// A FaultPlan is a pure value: an explicit list of fault events plus
+// optional stochastic rates. A FaultInjector consumes a plan
+// deterministically — explicit events match by occurrence index (the k-th
+// pilot submission, the k-th activation, the k-th staged file), stochastic
+// rates draw from a private RNG stream derived from the plan seed. The same
+// (plan, seed) therefore yields the same faults, which is what makes chaos
+// experiments comparable across strategies. An empty plan draws nothing and
+// injects nothing: runs are bit-identical to a build without this module.
+//
+// Layering: this lives in sim/ (above common/, below everything else) so
+// the cluster, net, saga and pilot layers can all consult one injector.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace aimes::sim {
+
+/// Classes of injectable faults.
+enum class FaultKind {
+  kPilotLaunchFailure,
+  kPilotKill,
+  kSiteOutage,
+  kTransferFailure,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kPilotLaunchFailure: return "pilot-launch-failure";
+    case FaultKind::kPilotKill: return "pilot-kill";
+    case FaultKind::kSiteOutage: return "site-outage";
+    case FaultKind::kTransferFailure: return "transfer-failure";
+  }
+  return "?";
+}
+
+/// One scheduled fault. Which fields are meaningful depends on `kind`:
+///  * kPilotLaunchFailure — `index`: the k-th (0-based) middleware job
+///    submission is rejected;
+///  * kPilotKill — `index`: the k-th pilot activation; `after`: kill delay
+///    measured from the moment the pilot became ACTIVE;
+///  * kSiteOutage — `site` (site name), `start` (offset from world-ready,
+///    i.e. after warmup), `duration` (downtime window length);
+///  * kTransferFailure — `index`: the k-th staged file fails.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kPilotKill;
+  int index = -1;
+  std::string site;
+  common::SimDuration start = common::SimDuration::zero();
+  common::SimDuration after = common::SimDuration::zero();
+  common::SimDuration duration = common::SimDuration::zero();
+};
+
+/// Stochastic fault rates, applied on top of the explicit events. All
+/// default to zero (disabled); sampling is deterministic per plan seed.
+struct FaultRates {
+  /// Probability that a middleware job submission is rejected.
+  double pilot_launch_failure = 0.0;
+  /// Probability that a pilot is killed after becoming ACTIVE.
+  double pilot_kill = 0.0;
+  /// Mean of the (exponential) delay between activation and injected kill.
+  common::SimDuration pilot_kill_mean_delay = common::SimDuration::minutes(10);
+  /// Probability that a staged file fails.
+  double transfer_failure = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return pilot_launch_failure > 0.0 || pilot_kill > 0.0 || transfer_failure > 0.0;
+  }
+};
+
+/// A deterministic schedule of faults: explicit events plus optional rates.
+class FaultPlan {
+ public:
+  /// Fluent builders for explicit events.
+  FaultPlan& fail_pilot_launch(int submission_index);
+  FaultPlan& kill_pilot(int activation_index, common::SimDuration after_active);
+  FaultPlan& site_outage(std::string site, common::SimDuration start,
+                         common::SimDuration duration);
+  FaultPlan& fail_transfer(int transfer_index);
+  FaultPlan& with_rates(FaultRates rates);
+
+  [[nodiscard]] const std::vector<FaultSpec>& events() const { return events_; }
+  [[nodiscard]] const FaultRates& rates() const { return rates_; }
+  /// True when the plan injects nothing (no events, all rates zero).
+  [[nodiscard]] bool empty() const { return events_.empty() && !rates_.any(); }
+
+  /// Parses a plan from an INI config. Recognized sections (repeatable):
+  ///
+  ///   [fault.launch]   pilot = K
+  ///   [fault.kill]     pilot = K        after_s = SECONDS
+  ///   [fault.outage]   site = NAME      start_s = SECONDS   duration_s = SECONDS
+  ///   [fault.transfer] index = K
+  ///   [fault.rates]    pilot_launch_failure = P   pilot_kill = P
+  ///                    pilot_kill_mean_delay_s = SECONDS    transfer_failure = P
+  [[nodiscard]] static common::Expected<FaultPlan> parse(const common::Config& config);
+
+ private:
+  std::vector<FaultSpec> events_;
+  FaultRates rates_;
+};
+
+/// Counts of faults actually injected (not merely planned).
+struct FaultStats {
+  std::size_t pilot_launch_failures = 0;
+  std::size_t pilot_kills = 0;
+  std::size_t site_outages = 0;
+  std::size_t transfer_failures = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return pilot_launch_failures + pilot_kills + site_outages + transfer_failures;
+  }
+  /// Per-field difference (for per-run deltas on a shared injector).
+  [[nodiscard]] FaultStats since(const FaultStats& baseline) const;
+};
+
+/// Consumes a FaultPlan at the stack's decision points. Each query advances
+/// the corresponding occurrence counter, so call sites must query exactly
+/// once per occurrence. With an empty plan every query is a cheap constant
+/// and the private RNG is never drawn from.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 0);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Consulted by the SAGA layer for each middleware job submission.
+  [[nodiscard]] bool pilot_launch_should_fail();
+
+  /// Consulted by the pilot layer at each pilot activation; a value means
+  /// "kill this pilot that long after it became ACTIVE".
+  [[nodiscard]] std::optional<common::SimDuration> pilot_kill_delay();
+
+  /// Consulted by the staging layer for each staged file.
+  [[nodiscard]] bool transfer_should_fail();
+
+  /// The plan's outage windows (the world owner schedules them).
+  [[nodiscard]] std::vector<FaultSpec> outages() const;
+  /// Accounting hook: an outage window just began.
+  void count_outage() { ++stats_.site_outages; }
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  common::Rng rng_;
+  int submissions_seen_ = 0;
+  int activations_seen_ = 0;
+  int transfers_seen_ = 0;
+  FaultStats stats_;
+};
+
+}  // namespace aimes::sim

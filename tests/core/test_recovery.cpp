@@ -1,0 +1,210 @@
+// Execution-Manager-driven pilot recovery: backoff schedule, attempt caps,
+// and replacement-site selection.
+#include <gtest/gtest.h>
+
+#include "bundle/agent.hpp"
+#include "bundle/manager.hpp"
+#include "core/recovery.hpp"
+#include "test_helpers.hpp"
+
+namespace aimes::core {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+TEST(BackoffDelay, ExponentialScheduleWithCap) {
+  RecoveryPolicy policy;
+  policy.backoff_base = SimDuration::minutes(2);
+  policy.backoff_factor = 2.0;
+  policy.backoff_max = SimDuration::minutes(30);
+  EXPECT_EQ(backoff_delay(policy, 0), SimDuration::minutes(2));
+  EXPECT_EQ(backoff_delay(policy, 1), SimDuration::minutes(4));
+  EXPECT_EQ(backoff_delay(policy, 2), SimDuration::minutes(8));
+  EXPECT_EQ(backoff_delay(policy, 3), SimDuration::minutes(16));
+  EXPECT_EQ(backoff_delay(policy, 4), SimDuration::minutes(30));  // capped
+  EXPECT_EQ(backoff_delay(policy, 10), SimDuration::minutes(30));
+}
+
+/// Two idle sites, a pilot fleet, and a recovery manager with no bundle
+/// information (site selection falls back to the strategy's site list).
+class RecoveryTest : public test::SingleSiteWorld {
+ protected:
+  RecoveryTest() {
+    cluster::SiteConfig cfg;
+    cfg.name = "other-site";
+    cfg.nodes = 64;
+    cfg.cores_per_node = 8;
+    cfg.scheduler = "easy-backfill";
+    cfg.scheduler_cycle = common::SimDuration::seconds(5);
+    cfg.min_queue_age = common::SimDuration::seconds(5);
+    other_site = std::make_unique<cluster::ClusterSite>(engine, common::SiteId(2), cfg);
+    other_service = std::make_unique<saga::JobService>(
+        engine, *other_site, common::Rng(8),
+        saga::JobServiceOptions{common::SimDuration::seconds(1),
+                                common::SimDuration::seconds(2)});
+    pilots = std::make_unique<pilot::PilotManager>(
+        engine, profiler,
+        std::vector<saga::JobService*>{service.get(), other_service.get()});
+  }
+
+  ExecutionStrategy strategy_on(std::vector<common::SiteId> sites) {
+    ExecutionStrategy s;
+    s.n_pilots = static_cast<int>(sites.size());
+    s.pilot_cores = 8;
+    s.pilot_walltime = SimDuration::hours(2);
+    s.sites = std::move(sites);
+    return s;
+  }
+
+  pilot::ComputePilot lost_pilot(common::SiteId site) {
+    pilot::ComputePilot p;
+    p.id = common::PilotId(1);
+    p.description.name = "p0";
+    p.description.site = site;
+    p.description.cores = 8;
+    p.description.walltime = SimDuration::hours(2);
+    p.state = pilot::PilotState::kFailed;
+    return p;
+  }
+
+  std::unique_ptr<cluster::ClusterSite> other_site;
+  std::unique_ptr<saga::JobService> other_service;
+  pilot::Profiler profiler;
+  std::unique_ptr<pilot::PilotManager> pilots;
+};
+
+TEST_F(RecoveryTest, DisabledPolicyDoesNothing) {
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get(), other_service.get()},
+                           nullptr, strategy_on({site->id()}), RecoveryPolicy{});
+  const auto p = lost_pilot(site->id());
+  recovery.handle_pilot_gone(p, {}, /*work_remaining=*/true);
+  EXPECT_EQ(recovery.stats().pilots_lost, 0u);
+  EXPECT_EQ(pilots->size(), 0u);
+}
+
+TEST_F(RecoveryTest, ReplacementPrefersAlternativeSite) {
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get(), other_service.get()},
+                           nullptr, strategy_on({site->id(), other_site->id()}), policy);
+  EXPECT_EQ(recovery.pick_replacement_site(site->id()), other_site->id());
+  EXPECT_EQ(recovery.pick_replacement_site(other_site->id()), site->id());
+}
+
+TEST_F(RecoveryTest, ReplacementFallsBackToLostSiteWhenAlone) {
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get()}, nullptr,
+                           strategy_on({site->id()}), policy);
+  EXPECT_EQ(recovery.pick_replacement_site(site->id()), site->id());
+}
+
+TEST_F(RecoveryTest, BundleDiscoverySkipsDownSites) {
+  // With bundle information, the replacement site is the best serviceable
+  // candidate that is not down and not the lost site.
+  bundle::BundleAgent agent_a(engine, *site, topology, *transfers);
+  bundle::BundleAgent agent_b(engine, *other_site, topology, *transfers);
+  bundle::BundleManager bundles;
+  bundles.add_agent(agent_a);
+  bundles.add_agent(agent_b);
+
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get(), other_service.get()},
+                           &bundles, strategy_on({site->id(), other_site->id()}), policy);
+  EXPECT_EQ(recovery.pick_replacement_site(site->id()), other_site->id());
+
+  // Take the alternative down: discovery filters it, so recovery has to
+  // fall back to the lost pilot's own site.
+  other_site->begin_outage(SimDuration::hours(4));
+  EXPECT_EQ(recovery.pick_replacement_site(site->id()), site->id());
+}
+
+TEST_F(RecoveryTest, ResubmitsWithBackoffUntilCap) {
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  policy.max_pilot_resubmits = 2;
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get(), other_service.get()},
+                           nullptr, strategy_on({site->id(), other_site->id()}), policy);
+
+  const auto p0 = lost_pilot(site->id());
+  recovery.handle_pilot_gone(p0, {}, /*work_remaining=*/true);
+  EXPECT_EQ(recovery.stats().pilots_lost, 1u);
+  EXPECT_EQ(recovery.stats().pilots_resubmitted, 1u);
+  ASSERT_EQ(pilots->size(), 1u);
+  const pilot::ComputePilot* r1 = pilots->find(common::PilotId(1));
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r1->description.name, "p0/r1");
+  EXPECT_EQ(r1->description.site, other_site->id());  // alternative site
+
+  // Losing the replacement spends the chain's second (and last) attempt.
+  pilot::ComputePilot lost_r1 = lost_pilot(r1->description.site);
+  lost_r1.id = r1->id;
+  lost_r1.description = r1->description;
+  lost_r1.state = pilot::PilotState::kFailed;
+  recovery.handle_pilot_gone(lost_r1, {}, true);
+  EXPECT_EQ(recovery.stats().pilots_resubmitted, 2u);
+  ASSERT_EQ(pilots->size(), 2u);
+  const pilot::ComputePilot* r2 = pilots->find(common::PilotId(2));
+  ASSERT_NE(r2, nullptr);
+  EXPECT_EQ(r2->description.name, "p0/r1/r2");
+
+  // The chain is now at the cap: a third loss is abandoned, not resubmitted.
+  pilot::ComputePilot lost_r2 = lost_pilot(r2->description.site);
+  lost_r2.id = r2->id;
+  lost_r2.description = r2->description;
+  lost_r2.state = pilot::PilotState::kFailed;
+  recovery.handle_pilot_gone(lost_r2, {}, true);
+  EXPECT_EQ(recovery.stats().pilots_resubmitted, 2u);
+  EXPECT_EQ(recovery.stats().recoveries_abandoned, 1u);
+  EXPECT_EQ(pilots->size(), 2u);
+  EXPECT_NE(profiler.first(pilot::Entity::kPilot, lost_r2.id.value(),
+                           std::string(pilot::trace_event::kPilotRecoveryAbandoned)),
+            SimTime::max());
+}
+
+TEST_F(RecoveryTest, NoReplacementWhenBatchIsDone) {
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get()}, nullptr,
+                           strategy_on({site->id()}), policy);
+  const auto p = lost_pilot(site->id());
+  recovery.handle_pilot_gone(p, {}, /*work_remaining=*/false);
+  EXPECT_EQ(recovery.stats().pilots_lost, 0u);
+  EXPECT_EQ(pilots->size(), 0u);
+}
+
+TEST_F(RecoveryTest, IntentionalCancellationIsNotALoss) {
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get()}, nullptr,
+                           strategy_on({site->id()}), policy);
+  auto p = lost_pilot(site->id());
+  p.state = pilot::PilotState::kCanceled;
+  recovery.handle_pilot_gone(p, {}, /*work_remaining=*/true);
+  EXPECT_EQ(recovery.stats().pilots_lost, 0u);
+  EXPECT_EQ(pilots->size(), 0u);
+}
+
+TEST_F(RecoveryTest, RecoveryLatencyAccountsReplacementActivation) {
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  policy.backoff_base = SimDuration::seconds(30);
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get(), other_service.get()},
+                           nullptr, strategy_on({site->id(), other_site->id()}), policy);
+  pilots->on_pilot_active = [&](pilot::ComputePilot& p) { recovery.handle_pilot_active(p); };
+
+  const auto p0 = lost_pilot(site->id());
+  recovery.handle_pilot_gone(p0, {}, true);
+  ASSERT_EQ(recovery.stats().pilots_resubmitted, 1u);
+  EXPECT_EQ(recovery.stats().recoveries_completed, 0u);
+
+  // Idle machine: the replacement climbs the queue and activates.
+  run_until_s(600);
+  EXPECT_EQ(recovery.stats().recoveries_completed, 1u);
+  EXPECT_GE(recovery.stats().mean_recovery_latency(), policy.backoff_base);
+}
+
+}  // namespace
+}  // namespace aimes::core

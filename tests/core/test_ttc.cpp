@@ -49,11 +49,11 @@ TEST(AnalyzeTtc, OverlapCountedOnce) {
   trace.record(at(0), Entity::kPilot, 1, "PENDING_LAUNCH");
   trace.record(at(0), Entity::kPilot, 2, "PENDING_LAUNCH");
   trace.record(at(50), Entity::kPilot, 1, "ACTIVE");
-  trace.record(at(500), Entity::kPilot, 2, "ACTIVE");
   trace.record(at(60), Entity::kUnit, 1, "EXECUTING");
   trace.record(at(70), Entity::kUnit, 2, "EXECUTING");
   trace.record(at(160), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");
   trace.record(at(170), Entity::kUnit, 2, "PENDING_OUTPUT_STAGING");
+  trace.record(at(500), Entity::kPilot, 2, "ACTIVE");
   trace.record(at(600), Entity::kManager, 0, "BATCH_COMPLETE");
 
   const auto b = analyze_ttc(trace);

@@ -1,0 +1,151 @@
+// Chaos suite (ctest label: chaos): whole-stack runs under injected faults.
+//
+// The claims under test, end to end:
+//   * a run that loses pilots mid-flight still completes with zero failed
+//     units — the Execution Manager resubmits replacements and the unit
+//     layer rebinds the orphans (§III.E's restart claim);
+//   * fault injection is part of the experiment's identity: the same
+//     (seed, plan) reproduces the same trace record-for-record;
+//   * an empty plan is free: traces are bit-identical to a run with no
+//     fault support wired in at all, even with recovery armed.
+#include <gtest/gtest.h>
+
+#include "core/aimes.hpp"
+#include "core/report_io.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace aimes::core {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+RunResult run_chaos(std::uint64_t seed, const sim::FaultPlan& plan, bool recovery = true,
+                    Binding binding = Binding::kLate, int pilots = 3) {
+  AimesConfig config;
+  config.seed = seed;
+  config.warmup = SimDuration::hours(2);
+  config.faults = plan;
+  config.execution.recovery.enabled = recovery;
+  // Pilot churn restarts units; give them headroom like the benches do.
+  config.execution.units.max_attempts = 12;
+  Aimes aimes(config);
+  aimes.start();
+  const auto app = skeleton::materialize(skeleton::profiles::bag_gaussian(32), seed);
+  PlannerConfig planner;
+  planner.binding = binding;
+  planner.n_pilots = pilots;
+  planner.selection = SiteSelection::kPredictedWait;
+  auto result = aimes.run(app, planner);
+  EXPECT_TRUE(result.ok()) << (result.ok() ? std::string() : result.error());
+  return std::move(*result);
+}
+
+void expect_identical_traces(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    const auto& ra = a.trace.records()[i];
+    const auto& rb = b.trace.records()[i];
+    ASSERT_EQ(ra.when, rb.when) << "record " << i;
+    ASSERT_EQ(ra.entity, rb.entity) << "record " << i;
+    ASSERT_EQ(ra.uid, rb.uid) << "record " << i;
+    ASSERT_EQ(ra.state, rb.state) << "record " << i;
+    ASSERT_EQ(ra.detail, rb.detail) << "record " << i;
+  }
+  EXPECT_EQ(a.report.ttc.ttc, b.report.ttc.ttc);
+}
+
+TEST(Chaos, PilotKillMidRunStillCompletes) {
+  sim::FaultPlan plan;
+  plan.kill_pilot(0, SimDuration::minutes(3));
+  const auto result = run_chaos(7, plan);
+
+  EXPECT_TRUE(result.report.success);
+  EXPECT_EQ(result.report.units_failed, 0u);
+  EXPECT_EQ(result.report.units_cancelled, 0u);
+  EXPECT_EQ(result.report.faults.pilot_kills, 1u);
+  // The kill and the replacement are both visible in the trace...
+  EXPECT_NE(result.trace.first_any(pilot::Entity::kPilot,
+                                   std::string(pilot::trace_event::kPilotFaultKill)),
+            SimTime::max());
+  EXPECT_NE(result.trace.first_any(pilot::Entity::kPilot,
+                                   std::string(pilot::trace_event::kPilotResubmitted)),
+            SimTime::max());
+  // ...and in the recovery accounting, the TTC analysis, and the report.
+  EXPECT_GE(result.report.recovery.pilots_lost, 1u);
+  EXPECT_GE(result.report.recovery.pilots_resubmitted, 1u);
+  EXPECT_GE(result.report.ttc.pilots_failed, 1u);
+  EXPECT_GE(result.report.ttc.pilots_resubmitted, 1u);
+  const std::string json = report_to_json(result.report);
+  EXPECT_NE(json.find("\"recovery\""), std::string::npos);
+  EXPECT_NE(json.find("\"faults\""), std::string::npos);
+  EXPECT_NE(json.find("\"goodput\""), std::string::npos);
+}
+
+TEST(Chaos, LaunchFailureIsResubmitted) {
+  sim::FaultPlan plan;
+  plan.fail_pilot_launch(0);
+  const auto result = run_chaos(11, plan);
+  EXPECT_TRUE(result.report.success);
+  EXPECT_EQ(result.report.units_failed, 0u);
+  EXPECT_EQ(result.report.faults.pilot_launch_failures, 1u);
+  EXPECT_GE(result.report.recovery.pilots_resubmitted, 1u);
+}
+
+TEST(Chaos, TransferFailureIsRetried) {
+  sim::FaultPlan plan;
+  plan.fail_transfer(0);
+  const auto result = run_chaos(13, plan);
+  EXPECT_TRUE(result.report.success);
+  EXPECT_EQ(result.report.units_failed, 0u);
+  EXPECT_EQ(result.report.faults.transfer_failures, 1u);
+  EXPECT_NE(result.trace.first_any(pilot::Entity::kTransfer,
+                                   std::string(pilot::trace_event::kUnitStageInFailed)),
+            SimTime::max());
+}
+
+TEST(Chaos, SiteOutageTriggersRecovery) {
+  // Take down a large site early; any pilot caught there is killed and
+  // replaced, and the batch still finishes.
+  sim::FaultPlan plan;
+  plan.site_outage("stampede-sim", SimDuration::minutes(5), SimDuration::hours(2));
+  plan.site_outage("hopper-sim", SimDuration::minutes(5), SimDuration::hours(2));
+  const auto result = run_chaos(7, plan);
+  EXPECT_TRUE(result.report.success);
+  EXPECT_EQ(result.report.units_failed, 0u);
+  EXPECT_EQ(result.report.faults.site_outages, 2u);
+}
+
+TEST(Chaos, SameSeedSamePlanIdenticalTraces) {
+  sim::FaultPlan plan;
+  plan.kill_pilot(0, SimDuration::minutes(3)).fail_pilot_launch(1);
+  sim::FaultRates rates;
+  rates.transfer_failure = 0.05;
+  plan.with_rates(rates);
+  const auto a = run_chaos(21, plan);
+  const auto b = run_chaos(21, plan);
+  expect_identical_traces(a, b);
+  EXPECT_EQ(a.report.faults.total(), b.report.faults.total());
+}
+
+TEST(Chaos, EmptyPlanIsBitIdenticalToNoFaultSupport) {
+  // Armed recovery + an empty plan must not perturb the run in any way:
+  // same trace, same TTC, to the last record, as a plain world.
+  const auto plain = run_chaos(7, sim::FaultPlan{}, /*recovery=*/false);
+  const auto armed = run_chaos(7, sim::FaultPlan{}, /*recovery=*/true);
+  expect_identical_traces(plain, armed);
+  EXPECT_EQ(armed.report.faults.total(), 0u);
+  EXPECT_EQ(armed.report.recovery.pilots_lost, 0u);
+}
+
+TEST(Chaos, EarlyBindingSurvivesPilotLoss) {
+  sim::FaultPlan plan;
+  plan.kill_pilot(0, SimDuration::minutes(3));
+  const auto result = run_chaos(7, plan, /*recovery=*/true, Binding::kEarly, 2);
+  EXPECT_TRUE(result.report.success);
+  EXPECT_EQ(result.report.units_failed, 0u);
+  EXPECT_GE(result.report.recovery.pilots_resubmitted, 1u);
+}
+
+}  // namespace
+}  // namespace aimes::core

@@ -1,0 +1,143 @@
+// The fault model: plans are pure values, injectors consume them
+// deterministically, and an empty plan injects nothing at all.
+#include <gtest/gtest.h>
+
+#include "sim/faults.hpp"
+
+namespace aimes::sim {
+namespace {
+
+using common::SimDuration;
+
+TEST(FaultPlan, EmptyPlanInjectsNothing) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  FaultInjector injector(plan, 42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.pilot_launch_should_fail());
+    EXPECT_FALSE(injector.pilot_kill_delay().has_value());
+    EXPECT_FALSE(injector.transfer_should_fail());
+  }
+  EXPECT_TRUE(injector.outages().empty());
+  EXPECT_EQ(injector.stats().total(), 0u);
+}
+
+TEST(FaultPlan, ExplicitEventsMatchByOccurrenceIndex) {
+  FaultPlan plan;
+  plan.fail_pilot_launch(1)
+      .kill_pilot(0, SimDuration::minutes(5))
+      .fail_transfer(2);
+  EXPECT_FALSE(plan.empty());
+
+  FaultInjector injector(plan, 7);
+  // Submissions: only the second (index 1) is rejected.
+  EXPECT_FALSE(injector.pilot_launch_should_fail());
+  EXPECT_TRUE(injector.pilot_launch_should_fail());
+  EXPECT_FALSE(injector.pilot_launch_should_fail());
+  // Activations: only the first is killed, 5 minutes in.
+  auto delay = injector.pilot_kill_delay();
+  ASSERT_TRUE(delay.has_value());
+  EXPECT_EQ(*delay, SimDuration::minutes(5));
+  EXPECT_FALSE(injector.pilot_kill_delay().has_value());
+  // Transfers: only the third fails.
+  EXPECT_FALSE(injector.transfer_should_fail());
+  EXPECT_FALSE(injector.transfer_should_fail());
+  EXPECT_TRUE(injector.transfer_should_fail());
+
+  EXPECT_EQ(injector.stats().pilot_launch_failures, 1u);
+  EXPECT_EQ(injector.stats().pilot_kills, 1u);
+  EXPECT_EQ(injector.stats().transfer_failures, 1u);
+  EXPECT_EQ(injector.stats().total(), 3u);
+}
+
+TEST(FaultPlan, OutagesAreReportedNotSampled) {
+  FaultPlan plan;
+  plan.site_outage("stampede-sim", SimDuration::minutes(10), SimDuration::hours(1));
+  FaultInjector injector(plan, 1);
+  const auto outages = injector.outages();
+  ASSERT_EQ(outages.size(), 1u);
+  EXPECT_EQ(outages[0].site, "stampede-sim");
+  EXPECT_EQ(outages[0].start, SimDuration::minutes(10));
+  EXPECT_EQ(outages[0].duration, SimDuration::hours(1));
+  EXPECT_EQ(injector.stats().site_outages, 0u);
+  injector.count_outage();
+  EXPECT_EQ(injector.stats().site_outages, 1u);
+}
+
+TEST(FaultPlan, StochasticSamplingIsDeterministicPerSeed) {
+  FaultRates rates;
+  rates.pilot_launch_failure = 0.3;
+  rates.pilot_kill = 0.3;
+  rates.transfer_failure = 0.3;
+  FaultPlan plan;
+  plan.with_rates(rates);
+
+  auto sample = [&](std::uint64_t seed) {
+    FaultInjector injector(plan, seed);
+    std::vector<int> draws;
+    for (int i = 0; i < 64; ++i) {
+      draws.push_back(injector.pilot_launch_should_fail() ? 1 : 0);
+      draws.push_back(injector.pilot_kill_delay().has_value() ? 1 : 0);
+      draws.push_back(injector.transfer_should_fail() ? 1 : 0);
+    }
+    return draws;
+  };
+  EXPECT_EQ(sample(99), sample(99));
+  EXPECT_NE(sample(99), sample(100));
+}
+
+TEST(FaultPlan, ParsesAllSectionKinds) {
+  const auto config = common::Config::parse(
+      "[fault.launch]\n"
+      "pilot = 1\n"
+      "[fault.kill]\n"
+      "pilot = 0\n"
+      "after_s = 300\n"
+      "[fault.kill.2]\n"
+      "pilot = 2\n"
+      "[fault.outage]\n"
+      "site = gordon-sim\n"
+      "start_s = 600\n"
+      "duration_s = 3600\n"
+      "[fault.transfer]\n"
+      "index = 4\n"
+      "[fault.rates]\n"
+      "pilot_kill = 0.25\n"
+      "pilot_kill_mean_delay_s = 120\n");
+  ASSERT_TRUE(config.ok()) << config.error();
+  const auto plan = FaultPlan::parse(*config);
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_EQ(plan->events().size(), 5u);  // launch + 2 kills + outage + transfer
+  EXPECT_DOUBLE_EQ(plan->rates().pilot_kill, 0.25);
+  EXPECT_EQ(plan->rates().pilot_kill_mean_delay, SimDuration::seconds(120));
+  EXPECT_FALSE(plan->empty());
+}
+
+TEST(FaultPlan, ParseRejectsBadInput) {
+  auto parse = [](const std::string& text) {
+    auto config = common::Config::parse(text);
+    EXPECT_TRUE(config.ok());
+    return FaultPlan::parse(*config);
+  };
+  EXPECT_FALSE(parse("[fault.rates]\npilot_kill = 1.5\n").ok());
+  EXPECT_FALSE(parse("[fault.kill]\nafter_s = 60\n").ok());          // missing pilot
+  EXPECT_FALSE(parse("[fault.outage]\nsite = x\n").ok());            // missing duration
+  EXPECT_FALSE(parse("[fault.meteor]\nsize = large\n").ok());        // unknown kind
+}
+
+TEST(FaultStats, SinceComputesPerFieldDelta) {
+  FaultStats before;
+  before.pilot_kills = 2;
+  before.transfer_failures = 1;
+  FaultStats after = before;
+  after.pilot_kills = 5;
+  after.site_outages = 1;
+  const FaultStats delta = after.since(before);
+  EXPECT_EQ(delta.pilot_kills, 3u);
+  EXPECT_EQ(delta.site_outages, 1u);
+  EXPECT_EQ(delta.transfer_failures, 0u);
+  EXPECT_EQ(delta.total(), 4u);
+}
+
+}  // namespace
+}  // namespace aimes::sim

@@ -43,6 +43,8 @@ struct Args {
   std::uint64_t seed = 42;
   double warmup_hours = 6.0;
   bool adaptive = false;
+  std::string fault_plan_file;
+  double pilot_failure_rate = 0.0;
   std::string trace_file;
   std::string report_file;
   bool timeline = false;
@@ -66,6 +68,10 @@ void usage(const char* argv0) {
       "  --seed S            world/application seed (42)\n"
       "  --warmup H          background warmup hours (6)\n"
       "  --adaptive          enable mid-run strategy adaptation\n"
+      "  --fault-plan FILE   fault-injection plan config ([fault.*] sections);\n"
+      "                      enables Execution-Manager recovery\n"
+      "  --pilot-failure-rate P\n"
+      "                      probability each pilot submission is rejected (0)\n"
       "  --trace FILE        write the full state-transition trace as CSV\n"
       "  --timeline          print an ASCII Gantt timeline of the run\n"
       "  --report FILE       write the run report as JSON\n"
@@ -101,6 +107,8 @@ common::Expected<Args> parse_args(int argc, char** argv) {
     else if (a == "--seed") { auto v = next(); if (!v) return E::error(v.error()); args.seed = std::strtoull(v->c_str(), nullptr, 10); }
     else if (a == "--warmup") { auto v = next(); if (!v) return E::error(v.error()); args.warmup_hours = std::atof(v->c_str()); }
     else if (a == "--adaptive") args.adaptive = true;
+    else if (a == "--fault-plan") st = take(args.fault_plan_file);
+    else if (a == "--pilot-failure-rate") { auto v = next(); if (!v) return E::error(v.error()); args.pilot_failure_rate = std::atof(v->c_str()); }
     else if (a == "--trace") st = take(args.trace_file);
     else if (a == "--timeline") args.timeline = true;
     else if (a == "--report") st = take(args.report_file);
@@ -113,6 +121,9 @@ common::Expected<Args> parse_args(int argc, char** argv) {
   }
   if (args.tasks < 1) return E::error("--tasks must be positive");
   if (args.pilots < 1) return E::error("--pilots must be positive");
+  if (args.pilot_failure_rate < 0.0 || args.pilot_failure_rate > 1.0) {
+    return E::error("--pilot-failure-rate must be in [0, 1]");
+  }
   return args;
 }
 
@@ -200,6 +211,26 @@ int main(int argc, char** argv) {
     }
     config.testbed = std::move(*pool);
   }
+  if (!args.fault_plan_file.empty()) {
+    auto file = common::Config::load(args.fault_plan_file);
+    if (!file) {
+      std::fprintf(stderr, "fault plan: %s\n", file.error().c_str());
+      return 1;
+    }
+    auto plan = sim::FaultPlan::parse(*file);
+    if (!plan) {
+      std::fprintf(stderr, "fault plan: %s\n", plan.error().c_str());
+      return 1;
+    }
+    config.faults = std::move(*plan);
+  }
+  if (args.pilot_failure_rate > 0.0) {
+    auto rates = config.faults.rates();
+    rates.pilot_launch_failure = args.pilot_failure_rate;
+    config.faults.with_rates(rates);
+  }
+  // Any requested fault makes recovery part of the experiment.
+  if (!config.faults.empty()) config.execution.recovery.enabled = true;
   core::Aimes aimes(config);
   aimes.start();
 
@@ -251,6 +282,15 @@ int main(int argc, char** argv) {
               100.0 * report.metrics.pilot_efficiency, report.metrics.charge,
               report.metrics.energy_kwh);
   if (args.adaptive) std::printf("  adaptations: %zu\n", adaptation_count);
+  if (report.faults.total() > 0 || report.recovery.pilots_lost > 0) {
+    std::printf("  faults: %zu injected (%zu launch, %zu kill, %zu outage, %zu transfer) | "
+                "recovery: %zu lost, %zu resubmitted, %zu abandoned, mean latency %s\n",
+                report.faults.total(), report.faults.pilot_launch_failures,
+                report.faults.pilot_kills, report.faults.site_outages,
+                report.faults.transfer_failures, report.recovery.pilots_lost,
+                report.recovery.pilots_resubmitted, report.recovery.recoveries_abandoned,
+                report.recovery.mean_recovery_latency().str().c_str());
+  }
 
   if (args.timeline) {
     std::printf("\n%s", core::render_timeline(adaptive_trace).c_str());
