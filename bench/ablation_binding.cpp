@@ -18,6 +18,7 @@
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
 #include "exp/runner.hpp"
+#include "sim/replica_pool.hpp"
 #include "skeleton/profiles.hpp"
 
 namespace {
@@ -51,25 +52,42 @@ int main(int argc, char** argv) {
       exp::ExperimentSpec e = make(late == 1, minutes);
       // run_cell materializes the skeleton from the experiment spec; inject
       // the duration by overriding the skeleton maker through a custom cell
-      // loop here instead.
+      // loop here instead. Trials are independent replicas, so they fan out
+      // over the pool; aggregation stays in seed order (bit-identical to
+      // --jobs 1).
+      struct Trial {
+        bool ok = false;
+        double ttc = 0;
+        double tw = 0;
+      };
+      sim::ReplicaPool pool(args.jobs < 0 ? 1u : static_cast<unsigned>(args.jobs));
+      const auto results = pool.map<Trial>(
+          static_cast<std::size_t>(args.trials), [&](std::size_t t) {
+            const std::uint64_t seed =
+                args.seed + static_cast<std::uint64_t>(minutes * 10) * 100 +
+                static_cast<std::uint64_t>(late) * 7919 + static_cast<std::uint64_t>(t) + 1;
+            core::AimesConfig config;
+            config.seed = seed;
+            core::Aimes aimes(config);
+            aimes.start();
+            const auto spec = skeleton::profiles::bag_of_tasks(
+                tasks, common::DistributionSpec::constant(minutes * 60.0));
+            const auto app = skeleton::materialize(spec, seed);
+            auto run = aimes.run(app, e.make_planner_config());
+            Trial trial;
+            if (run.ok() && run->report.success) {
+              trial.ok = true;
+              trial.ttc = run->report.ttc.ttc.to_seconds();
+              trial.tw = run->report.ttc.tw.to_seconds();
+            }
+            return trial;
+          });
       common::Summary ttc;
       common::Summary tw;
-      for (int t = 0; t < args.trials; ++t) {
-        const std::uint64_t seed =
-            args.seed + static_cast<std::uint64_t>(minutes * 10) * 100 +
-            static_cast<std::uint64_t>(late) * 7919 + static_cast<std::uint64_t>(t) + 1;
-        core::AimesConfig config;
-        config.seed = seed;
-        core::Aimes aimes(config);
-        aimes.start();
-        const auto spec = skeleton::profiles::bag_of_tasks(
-            tasks, common::DistributionSpec::constant(minutes * 60.0));
-        const auto app = skeleton::materialize(spec, seed);
-        auto run = aimes.run(app, e.make_planner_config());
-        if (run.ok() && run->report.success) {
-          ttc.add(run->report.ttc.ttc.to_seconds());
-          tw.add(run->report.ttc.tw.to_seconds());
-        }
+      for (const Trial& trial : results) {
+        if (!trial.ok) continue;
+        ttc.add(trial.ttc);
+        tw.add(trial.tw);
       }
       means[late] = ttc.mean();
       tw_means[late] = tw.mean();

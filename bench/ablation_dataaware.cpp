@@ -17,6 +17,7 @@
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
 #include "core/aimes.hpp"
+#include "sim/replica_pool.hpp"
 #include "skeleton/profiles.hpp"
 
 int main(int argc, char** argv) {
@@ -31,36 +32,53 @@ int main(int argc, char** argv) {
   table.header({"Selection ranking", "TTC mean", "Ts mean", "Tw mean", "failures"});
 
   for (const double weight : {0.0, 2.0}) {
+    struct Trial {
+      bool ok = false;
+      double ttc = 0;
+      double ts = 0;
+      double tw = 0;
+    };
+    sim::ReplicaPool pool(args.jobs < 0 ? 1u : static_cast<unsigned>(args.jobs));
+    const auto results = pool.map<Trial>(
+        static_cast<std::size_t>(args.trials), [&](std::size_t t) {
+          const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(t) + 1;
+          core::AimesConfig config;
+          config.seed = seed;
+          core::Aimes aimes(config);
+          aimes.start();
+
+          auto spec = skeleton::profiles::bag_of_tasks(
+              tasks, common::DistributionSpec::truncated_normal(900, 300, 60, 1800));
+          spec.stages[0].input_size =
+              common::DistributionSpec::constant(mib_per_task * 1024 * 1024);
+          const auto app = skeleton::materialize(spec, seed);
+
+          core::PlannerConfig planner;
+          planner.binding = core::Binding::kLate;
+          planner.n_pilots = 2;
+          planner.selection = core::SiteSelection::kPredictedWait;
+          planner.bandwidth_weight = weight;
+          auto result = aimes.run(app, planner);
+          Trial trial;
+          if (!result.ok() || !result->report.success) return trial;
+          trial.ok = true;
+          trial.ttc = result->report.ttc.ttc.to_seconds();
+          trial.ts = result->report.ttc.ts.to_seconds();
+          trial.tw = result->report.ttc.tw.to_seconds();
+          return trial;
+        });
     common::Summary ttc;
     common::Summary ts;
     common::Summary tw;
     int failures = 0;
-    for (int t = 0; t < args.trials; ++t) {
-      const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(t) + 1;
-      core::AimesConfig config;
-      config.seed = seed;
-      core::Aimes aimes(config);
-      aimes.start();
-
-      auto spec = skeleton::profiles::bag_of_tasks(
-          tasks, common::DistributionSpec::truncated_normal(900, 300, 60, 1800));
-      spec.stages[0].input_size =
-          common::DistributionSpec::constant(mib_per_task * 1024 * 1024);
-      const auto app = skeleton::materialize(spec, seed);
-
-      core::PlannerConfig planner;
-      planner.binding = core::Binding::kLate;
-      planner.n_pilots = 2;
-      planner.selection = core::SiteSelection::kPredictedWait;
-      planner.bandwidth_weight = weight;
-      auto result = aimes.run(app, planner);
-      if (!result.ok() || !result->report.success) {
+    for (const auto& trial : results) {
+      if (!trial.ok) {
         ++failures;
         continue;
       }
-      ttc.add(result->report.ttc.ttc.to_seconds());
-      ts.add(result->report.ttc.ts.to_seconds());
-      tw.add(result->report.ttc.tw.to_seconds());
+      ttc.add(trial.ttc);
+      ts.add(trial.ts);
+      tw.add(trial.tw);
     }
     table.row({weight == 0.0 ? "wait only (paper)" : "wait + bandwidth",
                common::TableWriter::num(ttc.mean(), 0), common::TableWriter::num(ts.mean(), 0),

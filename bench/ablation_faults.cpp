@@ -20,6 +20,7 @@
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
 #include "core/aimes.hpp"
+#include "sim/replica_pool.hpp"
 #include "skeleton/profiles.hpp"
 
 namespace {
@@ -50,40 +51,61 @@ int main(int argc, char** argv) {
 
   for (const auto& strategy : strategies) {
     for (const double rate : kill_rates) {
+      struct Trial {
+        bool ok = false;
+        double ttc = 0;
+        double resubmits = 0;
+        double recovery = 0;
+        double lost = 0;
+        double goodput = 0;
+      };
+      sim::ReplicaPool pool(args.jobs < 0 ? 1u : static_cast<unsigned>(args.jobs));
+      const auto results = pool.map<Trial>(
+          static_cast<std::size_t>(args.trials), [&](std::size_t t) {
+            core::AimesConfig config;
+            config.seed = args.seed + static_cast<std::uint64_t>(t) + 1;
+            config.execution.units.max_attempts = 12;
+            if (rate > 0.0) {
+              sim::FaultRates rates;
+              rates.pilot_kill = rate;
+              config.faults.with_rates(rates);
+              config.execution.recovery.enabled = true;
+            }
+            core::Aimes aimes(config);
+            aimes.start();
+            const auto app =
+                skeleton::materialize(skeleton::profiles::bag_gaussian(tasks), config.seed);
+            core::PlannerConfig planner;
+            planner.binding = strategy.binding;
+            planner.n_pilots = strategy.pilots;
+            planner.selection = core::SiteSelection::kPredictedWait;
+            auto result = aimes.run(app, planner);
+            Trial trial;
+            if (!result.ok() || !result->report.success) return trial;
+            trial.ok = true;
+            trial.ttc = result->report.ttc.ttc.to_seconds();
+            trial.resubmits = static_cast<double>(result->report.recovery.pilots_resubmitted);
+            trial.recovery = result->report.recovery.mean_recovery_latency().to_seconds();
+            trial.lost = result->report.metrics.lost_core_hours;
+            trial.goodput = result->report.metrics.goodput;
+            return trial;
+          });
       common::Summary ttc;
       common::Summary resubmits;
       common::Summary recovery;
       common::Summary lost;
       common::Summary goodput;
       int failures = 0;
-      for (int t = 0; t < args.trials; ++t) {
-        core::AimesConfig config;
-        config.seed = args.seed + static_cast<std::uint64_t>(t) + 1;
-        config.execution.units.max_attempts = 12;
-        if (rate > 0.0) {
-          sim::FaultRates rates;
-          rates.pilot_kill = rate;
-          config.faults.with_rates(rates);
-          config.execution.recovery.enabled = true;
-        }
-        core::Aimes aimes(config);
-        aimes.start();
-        const auto app =
-            skeleton::materialize(skeleton::profiles::bag_gaussian(tasks), config.seed);
-        core::PlannerConfig planner;
-        planner.binding = strategy.binding;
-        planner.n_pilots = strategy.pilots;
-        planner.selection = core::SiteSelection::kPredictedWait;
-        auto result = aimes.run(app, planner);
-        if (!result.ok() || !result->report.success) {
+      for (const auto& trial : results) {
+        if (!trial.ok) {
           ++failures;
           continue;
         }
-        ttc.add(result->report.ttc.ttc.to_seconds());
-        resubmits.add(static_cast<double>(result->report.recovery.pilots_resubmitted));
-        recovery.add(result->report.recovery.mean_recovery_latency().to_seconds());
-        lost.add(result->report.metrics.lost_core_hours);
-        goodput.add(result->report.metrics.goodput);
+        ttc.add(trial.ttc);
+        resubmits.add(trial.resubmits);
+        recovery.add(trial.recovery);
+        lost.add(trial.lost);
+        goodput.add(trial.goodput);
       }
       table.row({strategy.name, common::TableWriter::num(rate, 2),
                  common::TableWriter::num(ttc.mean(), 0),

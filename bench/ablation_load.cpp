@@ -18,6 +18,7 @@
 #include "common/histogram.hpp"
 #include "common/table.hpp"
 #include "core/aimes.hpp"
+#include "sim/replica_pool.hpp"
 
 namespace {
 
@@ -72,9 +73,12 @@ int main(int argc, char** argv) {
     for (int nodes : {2, 128}) {
       common::Summary waits;
       common::Histogram hist(60.0, 36000.0, 6);
-      for (int t = 0; t < args.trials; ++t) {
-        const double w = probe_wait(
-            load, nodes, args.seed + static_cast<std::uint64_t>(t) + 1);
+      sim::ReplicaPool pool(args.jobs < 0 ? 1u : static_cast<unsigned>(args.jobs));
+      const auto results = pool.map<double>(
+          static_cast<std::size_t>(args.trials), [&](std::size_t t) {
+            return probe_wait(load, nodes, args.seed + static_cast<std::uint64_t>(t) + 1);
+          });
+      for (const double w : results) {
         if (w >= 0) {
           waits.add(w);
           hist.add(w);

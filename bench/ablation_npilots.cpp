@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     e.label = "late backfill " + std::to_string(n) + " pilots";
 
     const auto cell = exp::run_cell(e, tasks, args.trials,
-                                    args.seed + static_cast<std::uint64_t>(n) * 1000);
+                                    args.seed + static_cast<std::uint64_t>(n) * 1000, {},
+                                    nullptr, args.jobs);
     table.row({std::to_string(n), common::TableWriter::num(cell.ttc_s.mean(), 0),
                common::TableWriter::num(cell.ttc_s.stddev(), 0),
                common::TableWriter::num(cell.tw_s.mean(), 0),

@@ -16,6 +16,7 @@
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
 #include "core/aimes.hpp"
+#include "sim/replica_pool.hpp"
 #include "skeleton/profiles.hpp"
 
 namespace {
@@ -50,34 +51,53 @@ int main(int argc, char** argv) {
                 "pilot efficiency", "failures"});
 
   for (const auto& deployment : deployments) {
+    struct Trial {
+      bool ok = false;
+      double ttc = 0;
+      double tw = 0;
+      double restarts = 0;
+      double efficiency = 0;
+    };
+    sim::ReplicaPool pool(args.jobs < 0 ? 1u : static_cast<unsigned>(args.jobs));
+    const auto results = pool.map<Trial>(
+        static_cast<std::size_t>(args.trials), [&](std::size_t t) {
+          core::AimesConfig config;
+          config.seed = args.seed + static_cast<std::uint64_t>(t) + 1;
+          config.testbed = deployment.pool;
+          config.execution.units.max_attempts = 12;
+          core::Aimes aimes(config);
+          aimes.start();
+          const auto app =
+              skeleton::materialize(skeleton::profiles::bag_gaussian(tasks), config.seed);
+          core::PlannerConfig planner;
+          planner.binding = core::Binding::kLate;
+          planner.n_pilots = deployment.pilots;
+          planner.selection = core::SiteSelection::kRandom;
+          planner.allow_site_reuse = deployment.reuse;
+          auto result = aimes.run(app, planner);
+          Trial trial;
+          if (!result.ok() || !result->report.success) return trial;
+          trial.ok = true;
+          trial.ttc = result->report.ttc.ttc.to_seconds();
+          trial.tw = result->report.ttc.tw.to_seconds();
+          trial.restarts = static_cast<double>(result->report.ttc.restarted_units);
+          trial.efficiency = result->report.metrics.pilot_efficiency;
+          return trial;
+        });
     common::Summary ttc;
     common::Summary tw;
     common::Summary restarts;
     common::Summary efficiency;
     int failures = 0;
-    for (int t = 0; t < args.trials; ++t) {
-      core::AimesConfig config;
-      config.seed = args.seed + static_cast<std::uint64_t>(t) + 1;
-      config.testbed = deployment.pool;
-      config.execution.units.max_attempts = 12;
-      core::Aimes aimes(config);
-      aimes.start();
-      const auto app = skeleton::materialize(skeleton::profiles::bag_gaussian(tasks),
-                                             config.seed);
-      core::PlannerConfig planner;
-      planner.binding = core::Binding::kLate;
-      planner.n_pilots = deployment.pilots;
-      planner.selection = core::SiteSelection::kRandom;
-      planner.allow_site_reuse = deployment.reuse;
-      auto result = aimes.run(app, planner);
-      if (!result.ok() || !result->report.success) {
+    for (const auto& trial : results) {
+      if (!trial.ok) {
         ++failures;
         continue;
       }
-      ttc.add(result->report.ttc.ttc.to_seconds());
-      tw.add(result->report.ttc.tw.to_seconds());
-      restarts.add(static_cast<double>(result->report.ttc.restarted_units));
-      efficiency.add(result->report.metrics.pilot_efficiency);
+      ttc.add(trial.ttc);
+      tw.add(trial.tw);
+      restarts.add(trial.restarts);
+      efficiency.add(trial.efficiency);
     }
     table.row({deployment.name, common::TableWriter::num(ttc.mean(), 0),
                common::TableWriter::num(ttc.stddev(), 0),

@@ -21,6 +21,7 @@
 #include "common/table.hpp"
 #include "core/aimes.hpp"
 #include "exp/matrix.hpp"
+#include "sim/replica_pool.hpp"
 #include "skeleton/application.hpp"
 
 int main(int argc, char** argv) {
@@ -35,28 +36,43 @@ int main(int argc, char** argv) {
 
   const auto e = exp::table1_experiment(1);
   for (const std::string mode : {"random", "predicted", "utilization"}) {
+    struct Trial {
+      bool ok = false;
+      double ttc = 0;
+      double tw = 0;
+    };
+    sim::ReplicaPool pool(args.jobs < 0 ? 1u : static_cast<unsigned>(args.jobs));
+    const auto results = pool.map<Trial>(
+        static_cast<std::size_t>(args.trials), [&](std::size_t t) {
+          const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(t) + 1;
+          core::AimesConfig config;
+          config.seed = seed;
+          core::Aimes aimes(config);
+          aimes.start();
+          if (mode == "utilization") {
+            for (auto* agent : aimes.bundles().agents()) {
+              agent->set_predictor(std::make_unique<bundle::UtilizationPredictor>());
+            }
+          }
+          const auto app = skeleton::materialize(e.make_skeleton(tasks), seed);
+          auto planner = e.make_planner_config();
+          planner.selection = mode == "random" ? core::SiteSelection::kRandom
+                                               : core::SiteSelection::kPredictedWait;
+          auto run = aimes.run(app, planner);
+          Trial trial;
+          if (run.ok() && run->report.success) {
+            trial.ok = true;
+            trial.ttc = run->report.ttc.ttc.to_seconds();
+            trial.tw = run->report.ttc.tw.to_seconds();
+          }
+          return trial;
+        });
     common::Summary ttc;
     common::Summary tw;
-    for (int t = 0; t < args.trials; ++t) {
-      const std::uint64_t seed = args.seed + static_cast<std::uint64_t>(t) + 1;
-      core::AimesConfig config;
-      config.seed = seed;
-      core::Aimes aimes(config);
-      aimes.start();
-      if (mode == "utilization") {
-        for (auto* agent : aimes.bundles().agents()) {
-          agent->set_predictor(std::make_unique<bundle::UtilizationPredictor>());
-        }
-      }
-      const auto app = skeleton::materialize(e.make_skeleton(tasks), seed);
-      auto planner = e.make_planner_config();
-      planner.selection =
-          mode == "random" ? core::SiteSelection::kRandom : core::SiteSelection::kPredictedWait;
-      auto run = aimes.run(app, planner);
-      if (run.ok() && run->report.success) {
-        ttc.add(run->report.ttc.ttc.to_seconds());
-        tw.add(run->report.ttc.tw.to_seconds());
-      }
+    for (const auto& trial : results) {
+      if (!trial.ok) continue;
+      ttc.add(trial.ttc);
+      tw.add(trial.tw);
     }
     table.row({mode, common::TableWriter::num(ttc.mean(), 0),
                common::TableWriter::num(ttc.stddev(), 0),

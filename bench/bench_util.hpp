@@ -1,6 +1,7 @@
 // Shared helpers for the figure/table reproduction harnesses.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -8,15 +9,36 @@
 namespace aimes::bench {
 
 /// Command-line knobs common to every reproduction harness:
-///   --trials N   trials per cell (default varies per bench)
+///   --trials N   trials per cell (default varies per bench; N >= 1)
 ///   --seed S     base seed (default 20160418, the paper's IPDPS date)
+///   --jobs N     worker threads for trial replicas (default: hardware
+///                concurrency; 1 = legacy serial loop). Output is
+///                bit-identical for every value of N.
 ///   --csv PATH   also write the series as CSV
 ///   --quick      1/4 of the default trials (CI-friendly)
 struct BenchArgs {
   int trials;
   std::uint64_t seed = 20160418;
+  int jobs = 0;  // 0 = hardware concurrency (sim::ReplicaPool resolves it)
   std::string csv;
   bool quick = false;
+
+  /// Strict integer parse: the whole token must be a base-10 integer in
+  /// range. `std::atoi`'s silent 0 on garbage once turned `--trials x` into
+  /// an empty bench that "passed"; now it dies loudly.
+  static long long parse_int(const char* text, const char* flag, long long min_value,
+                             long long max_value) {
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || value < min_value ||
+        value > max_value) {
+      std::fprintf(stderr, "invalid value '%s' for %s (expected integer in [%lld, %lld])\n",
+                   text, flag, min_value, max_value);
+      std::exit(2);
+    }
+    return value;
+  }
 
   static BenchArgs parse(int argc, char** argv, int default_trials) {
     BenchArgs args;
@@ -32,16 +54,23 @@ struct BenchArgs {
         return argv[++i];
       };
       if (a == "--trials") {
-        args.trials = std::atoi(next());
+        args.trials = static_cast<int>(parse_int(next(), "--trials", 1, 1000000));
         trials_given = true;
       } else if (a == "--seed") {
-        args.seed = std::strtoull(next(), nullptr, 10);
+        // Seeds are unsigned; parse through the signed checker so "-1" and
+        // other garbage are rejected instead of wrapping.
+        args.seed = static_cast<std::uint64_t>(
+            parse_int(next(), "--seed", 0, 9223372036854775807LL));
+      } else if (a == "--jobs") {
+        args.jobs = static_cast<int>(parse_int(next(), "--jobs", 1, 4096));
       } else if (a == "--csv") {
         args.csv = next();
       } else if (a == "--quick") {
         args.quick = true;
       } else if (a == "--help" || a == "-h") {
-        std::printf("usage: %s [--trials N] [--seed S] [--csv PATH] [--quick]\n", argv[0]);
+        std::printf(
+            "usage: %s [--trials N] [--seed S] [--jobs N] [--csv PATH] [--quick]\n",
+            argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown argument '%s' (try --help)\n", a.c_str());

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
     table.header({"#Tasks", "TTC", "Tw", "Tx", "Ts", "Tw/TTC"});
     for (int tasks : exp::table1_task_counts()) {
       const auto cell = exp::run_cell(e, tasks, args.trials,
-                                      args.seed + static_cast<std::uint64_t>(e.id) * 100000);
+                                      args.seed + static_cast<std::uint64_t>(e.id) * 100000, {},
+                                      nullptr, args.jobs);
       const double ttc = cell.ttc_s.mean();
       table.row({std::to_string(tasks), common::TableWriter::num(ttc, 0),
                  common::TableWriter::num(cell.tw_s.mean(), 0),

@@ -39,7 +39,8 @@ int main(int argc, char** argv) {
     cells = 0;
     for (int tasks : exp::table1_task_counts()) {
       const auto cell = exp::run_cell(e, tasks, args.trials,
-                                      args.seed + static_cast<std::uint64_t>(e.id) * 100000);
+                                      args.seed + static_cast<std::uint64_t>(e.id) * 100000, {},
+                                      nullptr, args.jobs);
       const double rel = cell.ttc_s.mean() > 0 ? cell.ttc_s.stddev() / cell.ttc_s.mean() : 0;
       mean_rel_err[panel.tag - 'a'] += rel;
       ++cells;

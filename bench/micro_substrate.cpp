@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "cluster/batch_scheduler.hpp"
 #include "cluster/site.hpp"
 #include "cluster/testbed.hpp"
@@ -32,6 +35,58 @@ void BM_EngineEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EngineEventThroughput);
+
+/// Cancellation-heavy pattern: schedule two events, cancel one, fire one —
+/// the timeout-guard idiom the middleware uses everywhere (every transfer,
+/// job and pilot arms a timeout it almost always cancels). The slab engine
+/// removes in place in O(log n); the tombstone design this replaced paid a
+/// hash-map erase per cancel and dragged dead entries through the heap.
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    // Keep a rolling window of pending timeouts, cancelling the oldest as
+    // each new pair arrives, so the heap constantly churns mid-structure.
+    std::vector<common::EventId> guards;
+    guards.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      guards.push_back(engine.schedule(common::SimDuration::seconds(60 + i),
+                                       [&fired] { fired += 100; }));
+      engine.schedule(common::SimDuration::millis(i), [&fired] { ++fired; });
+      if (i >= 64) {
+        engine.cancel(guards[static_cast<std::size_t>(i - 64)]);
+        guards[static_cast<std::size_t>(i - 64)] = common::EventId(0);
+      }
+    }
+    for (const auto id : guards) engine.cancel(id);
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  // 10k fires + 10k cancels per iteration.
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_EngineCancelHeavy);
+
+/// Same-timestamp burst: thousands of events land on one tick, as happens
+/// when a pilot activates and releases a whole bag of compute units at once.
+/// Exercises the (when, seq) tie-break path, where ordering falls entirely
+/// to the side-array sequence numbers.
+void BM_EngineSameTimestampBurst(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    std::uint64_t fired = 0;
+    for (int burst = 0; burst < 10; ++burst) {
+      const auto at = common::SimDuration::seconds(burst + 1);
+      for (int i = 0; i < 1000; ++i) {
+        engine.schedule(at, [&fired] { ++fired; });
+      }
+    }
+    engine.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineSameTimestampBurst);
 
 /// One EASY-backfill pass over a queue of the given depth.
 void BM_EasyBackfillPass(benchmark::State& state) {

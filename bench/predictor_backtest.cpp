@@ -18,6 +18,7 @@
 #include "bench/bench_util.hpp"
 #include "common/table.hpp"
 #include "core/aimes.hpp"
+#include "sim/replica_pool.hpp"
 
 namespace {
 
@@ -81,29 +82,47 @@ int main(int argc, char** argv) {
   table.header({"Predictor", "probe cores", "MAE (s)", "median |log10 ratio|",
                 "within 10x", "samples"});
 
+  // A backtest cell shares one warm world across its probes, so the probes
+  // themselves are inherently serial; the four (predictor, cores) cells are
+  // the independent replicas that fan out over the pool. Results come back
+  // in cell order, so the table is identical for every --jobs value.
+  struct Cell {
+    std::string predictor;
+    int cores;
+  };
+  std::vector<Cell> cells;
   for (const std::string predictor : {"quantile", "utilization"}) {
-    for (int cores : {16, 512}) {
-      const auto samples = backtest(predictor, cores, args.trials, args.seed);
-      common::Summary abs_err;
-      common::Summary log_ratio;
-      int within = 0;
-      for (const auto& s : samples) {
-        abs_err.add(std::fabs(s.predicted_s - s.actual_s));
-        const double ratio = std::fabs(std::log10(s.predicted_s / std::max(1.0, s.actual_s)));
-        log_ratio.add(ratio);
-        if (ratio <= 1.0) ++within;
-      }
-      table.row({predictor, std::to_string(cores),
-                 common::TableWriter::num(abs_err.mean(), 0),
-                 common::TableWriter::num(log_ratio.percentile(50), 2),
-                 common::TableWriter::num(
-                     samples.empty() ? 0.0
-                                     : 100.0 * static_cast<double>(within) /
-                                           static_cast<double>(samples.size()),
-                     0) + "%",
-                 std::to_string(samples.size())});
-      std::fprintf(stderr, "  backtest %s/%d done\n", predictor.c_str(), cores);
+    for (int cores : {16, 512}) cells.push_back({predictor, cores});
+  }
+  sim::ReplicaPool pool(args.jobs < 0 ? 1u : static_cast<unsigned>(args.jobs));
+  const auto cell_samples = pool.map<std::vector<Sample>>(
+      cells.size(), [&](std::size_t i) {
+        return backtest(cells[i].predictor, cells[i].cores, args.trials, args.seed);
+      });
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string& predictor = cells[i].predictor;
+    const int cores = cells[i].cores;
+    const auto& samples = cell_samples[i];
+    common::Summary abs_err;
+    common::Summary log_ratio;
+    int within = 0;
+    for (const auto& s : samples) {
+      abs_err.add(std::fabs(s.predicted_s - s.actual_s));
+      const double ratio = std::fabs(std::log10(s.predicted_s / std::max(1.0, s.actual_s)));
+      log_ratio.add(ratio);
+      if (ratio <= 1.0) ++within;
     }
+    table.row({predictor, std::to_string(cores),
+               common::TableWriter::num(abs_err.mean(), 0),
+               common::TableWriter::num(log_ratio.percentile(50), 2),
+               common::TableWriter::num(
+                   samples.empty() ? 0.0
+                                   : 100.0 * static_cast<double>(within) /
+                                         static_cast<double>(samples.size()),
+                   0) + "%",
+               std::to_string(samples.size())});
+    std::fprintf(stderr, "  backtest %s/%d done\n", predictor.c_str(), cores);
   }
   table.render(std::cout);
   std::cout << "\nshape check (paper): point accuracy is poor (large MAE — queue time is\n"

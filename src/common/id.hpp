@@ -35,7 +35,10 @@ class Id {
 };
 
 /// Monotonic generator for one id type. Not thread-safe by design: all id
-/// allocation happens on the single-threaded simulation path.
+/// allocation happens on the single-threaded simulation path *of one
+/// replica*. Every replica owns its own generators (they live in the
+/// per-trial world, never in globals), so parallel replicas in a
+/// sim::ReplicaPool allocate ids independently and deterministically.
 template <typename Tag>
 class IdGen {
  public:

@@ -1,12 +1,18 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace aimes::common {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
-std::function<std::string()> g_clock;
+// The level is process-wide but may be read from replica worker threads
+// while a bench driver's main thread sets it; atomic keeps that race benign.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+// The virtual-time prefix is inherently per-replica (each replica has its
+// own engine and its own clock), so the hook is thread-local: a replica
+// running on a worker thread installs — and sees — only its own clock.
+thread_local std::function<std::string()> g_clock;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -20,12 +26,12 @@ const char* level_name(LogLevel l) {
 }
 }  // namespace
 
-void Log::set_level(LogLevel level) { g_level = level; }
-LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 void Log::set_clock(std::function<std::string()> clock) { g_clock = std::move(clock); }
 
 void Log::emit(LogLevel level, const std::string& component, const std::string& message) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   const std::string ts = g_clock ? g_clock() : std::string();
   std::fprintf(stderr, "%s %s %-12s %s\n", level_name(level), ts.c_str(), component.c_str(),
                message.c_str());

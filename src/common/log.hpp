@@ -13,16 +13,21 @@ namespace aimes::common {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Process-wide logger configuration. Single-threaded by design (the
-/// simulation itself is single-threaded; bench drivers log only from the
-/// main thread).
+/// Process-wide logger configuration. Each simulation replica is
+/// single-threaded, but a sim::ReplicaPool may run replicas on several
+/// worker threads at once: the level is an atomic process-wide setting,
+/// the clock hook is thread-local (each replica's virtual clock belongs to
+/// that replica alone), and emission goes through a single fprintf call so
+/// individual lines never interleave mid-line.
 class Log {
  public:
   /// Minimum level that is emitted. Defaults to kWarn so tests stay quiet.
   static void set_level(LogLevel level);
   static LogLevel level();
 
-  /// Installs a callback that supplies the current virtual-time prefix.
+  /// Installs a callback that supplies the current virtual-time prefix for
+  /// log lines emitted *by the calling thread* (thread-local: a replica on
+  /// a pool worker tags only its own lines).
   static void set_clock(std::function<std::string()> clock);
 
   static void debug(const std::string& component, const std::string& message);

@@ -19,6 +19,8 @@ namespace aimes::common {
 
 /// xoshiro256++ PRNG seeded through SplitMix64 (the authors' recommended
 /// seeding procedure). Cheap to copy; all state is four 64-bit words.
+/// A value type with no global state: each replica seeds its own instances,
+/// so parallel replicas (sim::ReplicaPool) stay independent by construction.
 class Rng {
  public:
   /// Seeds the generator from a 64-bit seed.

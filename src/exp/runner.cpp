@@ -1,6 +1,7 @@
 #include "exp/runner.hpp"
 
 #include "common/log.hpp"
+#include "sim/replica_pool.hpp"
 #include "skeleton/application.hpp"
 
 namespace aimes::exp {
@@ -35,13 +36,22 @@ TrialResult run_trial(const ExperimentSpec& experiment, int tasks, std::uint64_t
 
 CellResult run_cell(const ExperimentSpec& experiment, int tasks, int n_trials,
                     std::uint64_t base_seed, const WorldTweaks& tweaks,
-                    const std::function<void(int, const TrialResult&)>& progress) {
+                    const std::function<void(int, const TrialResult&)>& progress, int jobs) {
   CellResult cell;
   cell.experiment = experiment;
   cell.tasks = tasks;
+  if (n_trials <= 0) return cell;
+  // Each trial is a pure function of its seed; the pool returns results in
+  // seed order no matter which worker finishes first, so the serial
+  // aggregation below sees exactly the sequence the legacy loop saw.
+  sim::ReplicaPool pool(jobs < 0 ? 1u : static_cast<unsigned>(jobs));
+  const std::vector<TrialResult> results = pool.map<TrialResult>(
+      static_cast<std::size_t>(n_trials), [&](std::size_t t) {
+        return run_trial(experiment, tasks, base_seed + static_cast<std::uint64_t>(t) + 1,
+                         tweaks);
+      });
   for (int t = 0; t < n_trials; ++t) {
-    const TrialResult r =
-        run_trial(experiment, tasks, base_seed + static_cast<std::uint64_t>(t) + 1, tweaks);
+    const TrialResult& r = results[static_cast<std::size_t>(t)];
     if (r.success) {
       cell.ttc_s.add(r.ttc.ttc.to_seconds());
       cell.tw_s.add(r.ttc.tw.to_seconds());

@@ -51,10 +51,17 @@ struct WorldTweaks {
                                     std::uint64_t seed, const WorldTweaks& tweaks = {});
 
 /// Runs `n_trials` trials (seeds base_seed+1 ... base_seed+n) and aggregates.
-/// `progress` (optional) is invoked after each trial.
+/// `progress` (optional) is invoked for every trial, in trial order.
+///
+/// `jobs` controls parallelism: 1 (default) is the legacy serial loop, 0
+/// means hardware concurrency, N > 1 runs trials on a sim::ReplicaPool of N
+/// workers. Each trial builds its own world from its own seed, and results
+/// are aggregated in seed order, so the aggregate is bit-identical for every
+/// `jobs` value — asserted by the reproducibility tests.
 [[nodiscard]] CellResult run_cell(const ExperimentSpec& experiment, int tasks, int n_trials,
                                   std::uint64_t base_seed, const WorldTweaks& tweaks = {},
                                   const std::function<void(int, const TrialResult&)>&
-                                      progress = nullptr);
+                                      progress = nullptr,
+                                  int jobs = 1);
 
 }  // namespace aimes::exp

@@ -2,48 +2,160 @@
 
 namespace aimes::sim {
 
-EventId Engine::schedule(SimDuration delay, Callback fn) {
-  assert(delay >= SimDuration::zero());
-  return schedule_at(now_ + delay, std::move(fn));
+std::uint32_t Engine::prepare_event(SimTime when) {
+  assert(when >= now_);
+  const std::uint32_t slot = allocate_slot();
+  seq_[slot] = next_seq_++;
+  heap_push(HeapEntry{when.count_ms(), slot});
+  return slot;
 }
 
-EventId Engine::schedule_at(SimTime when, Callback fn) {
-  assert(when >= now_);
-  assert(fn);
-  const EventId id = ids_.next();
-  queue_.push(Entry{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+std::uint32_t Engine::slot_of(EventId id) const {
+  const std::uint64_t v = id.value();
+  const std::uint64_t index = (v & 0xffffffffull);
+  if (index == 0 || index > slot_count_) return kNil;
+  const auto slot = static_cast<std::uint32_t>(index - 1);
+  // The generation bumps the moment a slot fires or is cancelled, so a
+  // matching generation means the event is still pending.
+  if (generation_[slot] != static_cast<std::uint32_t>(v >> 32)) return kNil;
+  return slot;
 }
 
 void Engine::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;  // already fired or never existed
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const std::uint32_t slot = slot_of(id);
+  if (slot == kNil) return;  // already fired, already cancelled, or never existed
+  heap_remove(pos_[slot]);
+  free_slot(slot);
 }
 
-bool Engine::pending(EventId id) const { return callbacks_.count(id) > 0; }
+std::uint32_t Engine::allocate_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = pos_[slot];
+    return slot;
+  }
+  if (slot_count_ == pages_.size() * kPageSize) {
+    pages_.push_back(std::make_unique<Callback[]>(kPageSize));
+    generation_.resize(generation_.size() + kPageSize, 0);
+    pos_.resize(pos_.size() + kPageSize, kNil);
+    seq_.resize(seq_.size() + kPageSize, 0);
+  }
+  return slot_count_++;
+}
+
+void Engine::free_slot(std::uint32_t slot) {
+  cb(slot).reset();
+  ++generation_[slot];  // invalidate every outstanding id for this slot
+  pos_[slot] = free_head_;
+  free_head_ = slot;
+}
+
+void Engine::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);  // placeholder; sift_up writes the final position
+  sift_up(static_cast<std::uint32_t>(heap_.size() - 1), entry);
+}
+
+void Engine::heap_remove(std::uint32_t pos) {
+  assert(pos < heap_.size());
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail
+  // `last` must re-settle from `pos`: it may need to move either direction.
+  sift_up(pos, last);
+  sift_down(pos_[last.slot], last);
+}
+
+void Engine::sift_up(std::uint32_t pos, HeapEntry entry) {
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!before(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos_[heap_[pos].slot] = pos;
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  pos_[entry.slot] = pos;
+}
+
+void Engine::sift_down(std::uint32_t pos, HeapEntry entry) {
+  const auto size = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first_child = pos * 4 + 1;
+    if (first_child >= size) break;
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child = std::min(first_child + 3, size - 1);
+    for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    pos_[heap_[pos].slot] = pos;
+    pos = best;
+  }
+  heap_[pos] = entry;
+  pos_[entry.slot] = pos;
+}
+
+void Engine::pop_root() {
+  // Bottom-up extraction: sink the root hole along minimum children all the
+  // way to a leaf (no comparisons against the relocated entry), then bubble
+  // the former tail up from there. The tail is near-maximal in a heap, so
+  // the bubble-up almost always stops immediately — one comparison per
+  // level saved versus a classic sift-down.
+  const HeapEntry tail = heap_.back();
+  heap_.pop_back();
+  const auto size = static_cast<std::uint32_t>(heap_.size());
+  if (size == 0) return;
+  std::uint32_t pos = 0;
+  for (;;) {
+    const std::uint32_t first_child = pos * 4 + 1;
+    if (first_child >= size) break;
+    std::uint32_t best;
+    if (first_child + 3 < size) {
+      // Full child group: tournament min keeps the two half-comparisons
+      // independent (shorter dependency chain than a linear scan).
+      const std::uint32_t a =
+          first_child + static_cast<std::uint32_t>(before(heap_[first_child + 1], heap_[first_child]));
+      const std::uint32_t b =
+          first_child + 2 +
+          static_cast<std::uint32_t>(before(heap_[first_child + 3], heap_[first_child + 2]));
+      best = before(heap_[b], heap_[a]) ? b : a;
+    } else {
+      best = first_child;
+      for (std::uint32_t c = first_child + 1; c < size; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+    }
+    heap_[pos] = heap_[best];
+    pos_[heap_[pos].slot] = pos;
+    pos = best;
+  }
+  sift_up(pos, tail);
+}
 
 bool Engine::fire_next() {
-  while (!queue_.empty()) {
-    const Entry e = queue_.top();
-    queue_.pop();
-    auto cit = cancelled_.find(e.id);
-    if (cit != cancelled_.end()) {
-      cancelled_.erase(cit);
-      continue;  // lazily dropped
-    }
-    auto it = callbacks_.find(e.id);
-    assert(it != callbacks_.end());
-    Callback fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = e.when;
-    ++executed_;
-    fn();
-    return true;
-  }
-  return false;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0].slot;
+  now_ = SimTime(heap_[0].when_ms);
+  // Pull the callback record toward the core while the heap pop below does
+  // its comparisons; the record was last touched at schedule time and is
+  // usually out of L1 by now. (Pages never move, so the reference stays
+  // valid across the pop.)
+  Callback& callback = cb(slot);
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(&callback, 1, 3);
+#endif
+  // Retire the event *before* invoking: the callback may schedule or
+  // cancel, and a stale id must already read as not-pending. The slot joins
+  // the freelist only after the callback returns, so the closure runs in
+  // place (pages never move) without being reusable mid-flight.
+  pop_root();
+  ++generation_[slot];
+  ++executed_;
+  callback.invoke_and_destroy();
+  pos_[slot] = free_head_;
+  free_head_ = slot;
+  return true;
 }
 
 std::size_t Engine::run() {
@@ -55,28 +167,12 @@ std::size_t Engine::run() {
 std::size_t Engine::run_until(SimTime until) {
   assert(until >= now_);
   std::size_t n = 0;
-  for (;;) {
-    // Peek at the next live event.
-    bool fired = false;
-    while (!queue_.empty()) {
-      const Entry& top = queue_.top();
-      if (cancelled_.count(top.id)) {
-        cancelled_.erase(top.id);
-        queue_.pop();
-        continue;
-      }
-      if (top.when > until) break;
-      fire_next();
-      fired = true;
-      ++n;
-      break;
-    }
-    if (!fired) break;
+  while (!heap_.empty() && heap_[0].when_ms <= until.count_ms()) {
+    fire_next();
+    ++n;
   }
   now_ = until;
   return n;
 }
-
-bool Engine::step() { return fire_next(); }
 
 }  // namespace aimes::sim

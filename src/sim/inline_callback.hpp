@@ -1,0 +1,167 @@
+// Small-buffer callable wrapper for the event slab.
+//
+// The engine's hot loop schedules and fires millions of closures; storing
+// them as std::function costs a heap allocation per event for any capture
+// larger than the (tiny, implementation-defined) SSO buffer. InlineCallback
+// embeds captures of up to kInlineSize bytes directly in the event record —
+// which covers every closure the middleware schedules today — and falls
+// back to the heap only for larger or throwing-move captures.
+//
+// Move-only by design: an event callback has exactly one owner (its slab
+// slot) until it fires, at which point it is moved out and invoked once.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aimes::sim {
+
+class InlineCallback {
+ public:
+  /// Captures up to this size (and max_align_t alignment) stay inline.
+  /// 40 keeps sizeof(InlineCallback) at 48 — below a cache line, so the
+  /// event slab's per-record traffic stays small — while still covering
+  /// every closure the middleware schedules on its hot paths today
+  /// (`[this]`, `[this, id]`, `[this, next]`-style captures).
+  static constexpr std::size_t kInlineSize = 40;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& fn) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True if the stored callable lives in the inline buffer (no heap).
+  [[nodiscard]] bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Constructs a callable directly in this wrapper's storage, destroying any
+  /// previous occupant. Cheaper than assignment on the engine's hot path: the
+  /// closure is built in place instead of built, moved and destroyed.
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    reset();
+    if constexpr (std::is_same_v<Fn, InlineCallback>) {
+      *this = std::forward<F>(fn);
+    } else if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  /// Invokes the callable and destroys it, in one indirect call. The storage
+  /// must stay valid (and unreused) until this returns; the callable may
+  /// freely emplace into *other* wrappers while running.
+  void invoke_and_destroy() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(buf_);
+  }
+
+  void reset() {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-constructs *src into dst storage and destroys *src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self);
+    void (*invoke_destroy)(void* self);
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    // Relocation must be noexcept so the slab's vector can grow by moving.
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
+      [](void* self) {
+        Fn* fn = std::launder(reinterpret_cast<Fn*>(self));
+        (*fn)();
+        fn->~Fn();
+      },
+      true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      [](void* dst, void* src) noexcept {
+        // Pointers are trivially destructible; just copy the owner over.
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+      [](void* self) {
+        Fn* fn = *std::launder(reinterpret_cast<Fn**>(self));
+        (*fn)();
+        delete fn;
+      },
+      false,
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace aimes::sim

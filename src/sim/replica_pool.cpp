@@ -1,0 +1,77 @@
+#include "sim/replica_pool.hpp"
+
+namespace aimes::sim {
+
+unsigned ReplicaPool::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+ReplicaPool::ReplicaPool(unsigned jobs) {
+  if (jobs == 0) jobs = default_jobs();
+  if (jobs <= 1) return;  // serial mode: map() runs inline
+  workers_.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i) {
+    workers_.emplace_back([this](const std::stop_token& stop) { worker(stop); });
+  }
+}
+
+ReplicaPool::~ReplicaPool() {
+  for (auto& w : workers_) w.request_stop();
+  work_cv_.notify_all();
+  // jthread joins on destruction.
+}
+
+void ReplicaPool::run_batch(Batch& batch) {
+  {
+    const std::lock_guard lock(mu_);
+    current_ = &batch;
+    ++batch_seq_;
+  }
+  work_cv_.notify_all();
+  // `batch` lives on this stack frame: wait until it is both unpublished
+  // (last item done, so no worker can register anymore) and deregistered by
+  // every worker that did (their final cursor probe is behind them).
+  std::unique_lock lock(mu_);
+  batch_done_cv_.wait(lock, [&] { return current_ == nullptr && batch.active == 0; });
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void ReplicaPool::worker(const std::stop_token& stop) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, stop,
+                    [&] { return current_ != nullptr && batch_seq_ != seen; });
+      if (stop.stop_requested()) return;
+      batch = current_;
+      seen = batch_seq_;
+      ++batch->active;
+    }
+    for (;;) {
+      const std::size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= batch->count) break;
+      try {
+        batch->run_item(i);
+      } catch (...) {
+        const std::lock_guard lock(mu_);
+        if (!batch->error) batch->error = std::current_exception();
+      }
+      if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch->count) {
+        // Unpublish so no further worker registers; peers already inside the
+        // claim loop drain via the cursor and deregister below.
+        const std::lock_guard lock(mu_);
+        current_ = nullptr;
+      }
+    }
+    {
+      const std::lock_guard lock(mu_);
+      --batch->active;
+    }
+    batch_done_cv_.notify_all();
+  }
+}
+
+}  // namespace aimes::sim

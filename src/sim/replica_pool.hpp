@@ -1,0 +1,99 @@
+// Parallel runner for independent simulation replicas.
+//
+// The engine's determinism contract makes every replica a pure function of
+// (configuration, seed): no replica reads another's state, wall clock, or
+// shared RNG. That purity is what the experiment harnesses exploit here —
+// trials fan out across a pool of worker threads, each running its own
+// Engine-backed world, and the results come back *in submission order*
+// regardless of completion order. Aggregating those results serially is
+// therefore bit-identical to the legacy one-trial-at-a-time loop, which the
+// determinism tests assert across worker counts.
+//
+// One engine is never shared between threads; parallelism lives strictly
+// above the per-replica simulation ("single-threaded per replica").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace aimes::sim {
+
+/// A fixed pool of worker threads that maps an index range through a
+/// replica-producing function, returning results in index order.
+class ReplicaPool {
+ public:
+  /// `jobs` = number of worker threads; 0 picks the hardware concurrency.
+  /// With `jobs <= 1` no threads are spawned and `map()` runs inline on the
+  /// caller's thread — the legacy serial path, byte-for-byte.
+  explicit ReplicaPool(unsigned jobs = 0);
+  ~ReplicaPool();
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  /// Worker threads actually running (0 = serial mode).
+  [[nodiscard]] unsigned jobs() const {
+    return workers_.empty() ? 1u : static_cast<unsigned>(workers_.size());
+  }
+
+  /// `max(1, hardware_concurrency)` — the `--jobs` default.
+  [[nodiscard]] static unsigned default_jobs();
+
+  /// Runs `fn(0) ... fn(count-1)` across the pool and returns the results
+  /// ordered by index. `fn` must be safe to call concurrently from several
+  /// threads with distinct indices (true for anything that builds its own
+  /// world per call). Exceptions from `fn` are rethrown here, first one
+  /// wins. Blocks until the whole batch is done; one batch runs at a time.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> map(std::size_t count, Fn fn) {
+    std::vector<T> out;
+    out.reserve(count);
+    if (workers_.empty() || count <= 1) {
+      for (std::size_t i = 0; i < count; ++i) out.push_back(fn(i));
+      return out;
+    }
+    std::vector<std::optional<T>> slots(count);
+    Batch batch;
+    batch.count = count;
+    batch.run_item = [&](std::size_t i) { slots[i].emplace(fn(i)); };
+    run_batch(batch);
+    for (auto& slot : slots) out.push_back(std::move(*slot));
+    return out;
+  }
+
+ private:
+  // One map() call in flight: workers claim indices with an atomic cursor.
+  // Lifetime: a Batch lives on the submitter's stack, so run_batch() may only
+  // return once no worker can touch it again — workers register under the
+  // pool mutex (`active`), the one finishing the last item unpublishes
+  // `current_` (no new registrations), and each registered worker deregisters
+  // after its final cursor probe. The submitter waits for active == 0.
+  struct Batch {
+    std::function<void(std::size_t)> run_item;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    unsigned active = 0;       // workers inside the claim loop; guarded by mu_
+    std::exception_ptr error;  // first failure; guarded by the pool mutex
+  };
+
+  void run_batch(Batch& batch);
+  void worker(const std::stop_token& stop);
+
+  std::mutex mu_;
+  std::condition_variable_any work_cv_;   // workers: a new batch is up
+  std::condition_variable batch_done_cv_;  // submitter: batch finished
+  Batch* current_ = nullptr;   // guarded by mu_
+  std::uint64_t batch_seq_ = 0;  // guarded by mu_; lets workers skip stale batches
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace aimes::sim

@@ -1,0 +1,145 @@
+// Concurrency suite for the parallel trial runner.
+//
+// Kept out of the default test_*.cpp glob and labeled `sanitize`, so
+// `ctest -L sanitize` runs exactly this binary — the intended target for the
+// Thread (TSan) and Sanitize (ASan/UBSan) build types, where data races and
+// lifetime bugs in the pool surface deterministically.
+//
+// The load-bearing claim under test is the determinism contract: because one
+// engine is never shared between threads and results come back in submission
+// (seed) order, every aggregate must be *bit-identical* across worker counts,
+// fault injection included.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/aimes.hpp"
+#include "exp/matrix.hpp"
+#include "exp/runner.hpp"
+#include "sim/replica_pool.hpp"
+#include "skeleton/profiles.hpp"
+
+namespace aimes::sim {
+namespace {
+
+TEST(ReplicaPool, ResultsComeBackInSubmissionOrder) {
+  ReplicaPool pool(4);
+  // Make late indices finish first so completion order inverts submission
+  // order; map() must still return index order.
+  const auto out = pool.map<std::size_t>(16, [](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds((16 - i) * 200));
+    return i * i;
+  });
+  ASSERT_EQ(out.size(), 16u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ReplicaPool, SerialModeRunsInline) {
+  ReplicaPool pool(1);
+  EXPECT_EQ(pool.jobs(), 1u);
+  const std::uint64_t caller = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  const auto out = pool.map<std::uint64_t>(4, [&](std::size_t) {
+    return std::hash<std::thread::id>{}(std::this_thread::get_id());
+  });
+  for (const auto tid : out) EXPECT_EQ(tid, caller);
+}
+
+TEST(ReplicaPool, ExceptionFromReplicaPropagatesToSubmitter) {
+  ReplicaPool pool(4);
+  EXPECT_THROW(
+      (void)pool.map<int>(8,
+                          [](std::size_t i) {
+                            if (i == 5) throw std::runtime_error("replica 5 failed");
+                            return static_cast<int>(i);
+                          }),
+      std::runtime_error);
+  // The pool must stay usable after a failed batch.
+  const auto ok = pool.map<int>(4, [](std::size_t i) { return static_cast<int>(i); });
+  EXPECT_EQ(ok, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Regression for a use-after-free: the Batch lives on the submitter's stack,
+// and workers used to probe its atomic cursor once more *after* the last item
+// completed — by which time a previous map()'s frame could be gone. Churning
+// many short batches through short-lived pools makes the stale probe land on
+// reused stack memory; under ASan/TSan it faults outright.
+TEST(ReplicaPool, RepeatedShortBatchesOnShortLivedPools) {
+  for (int round = 0; round < 50; ++round) {
+    ReplicaPool pool(4);
+    for (int batch = 0; batch < 4; ++batch) {
+      std::atomic<int> sum{0};
+      const auto out = pool.map<int>(8, [&](std::size_t i) {
+        sum.fetch_add(1, std::memory_order_relaxed);
+        return static_cast<int>(i);
+      });
+      EXPECT_EQ(out.size(), 8u);
+      EXPECT_EQ(sum.load(), 8);
+    }
+  }
+}
+
+// The tentpole determinism claim, at the experiment-harness level: run_cell
+// aggregates must be bit-identical for every --jobs value. samples() exposes
+// the raw per-trial doubles, so EXPECT_EQ compares them bitwise.
+TEST(ReplicaPool, RunCellBitIdenticalAcrossWorkerCounts) {
+  const auto experiment = exp::table1_experiments().front();
+  const int tasks = 16;
+  const int trials = 6;
+  const std::uint64_t seed = 20160418;
+  const auto serial = exp::run_cell(experiment, tasks, trials, seed, {}, nullptr, 1);
+  ASSERT_EQ(serial.ttc_s.count(), static_cast<std::size_t>(trials) - serial.failures);
+  for (const int jobs : {2, 4, 8}) {
+    const auto parallel = exp::run_cell(experiment, tasks, trials, seed, {}, nullptr, jobs);
+    EXPECT_EQ(parallel.failures, serial.failures) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.ttc_s.samples(), serial.ttc_s.samples()) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.tw_s.samples(), serial.tw_s.samples()) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.tx_s.samples(), serial.tx_s.samples()) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.ts_s.samples(), serial.ts_s.samples()) << "jobs=" << jobs;
+  }
+}
+
+// Same, with the fault injector live: fault draws come from the replica's own
+// seeded RNG, so injected failures and recovery must replay identically no
+// matter which thread runs the replica.
+TEST(ReplicaPool, FaultInjectedReplicasBitIdenticalAcrossWorkerCounts) {
+  const int trials = 6;
+  const std::uint64_t seed = 7;
+  auto run_all = [&](unsigned jobs) {
+    ReplicaPool pool(jobs);
+    return pool.map<std::vector<double>>(trials, [&](std::size_t t) {
+      core::AimesConfig config;
+      config.seed = seed + t;
+      sim::FaultRates rates;
+      rates.pilot_kill = 0.3;
+      config.faults.with_rates(rates);
+      config.execution.recovery.enabled = true;
+      config.execution.units.max_attempts = 12;
+      core::Aimes world(config);
+      world.start();
+      const auto app = skeleton::materialize(skeleton::profiles::bag_gaussian(24), config.seed);
+      core::PlannerConfig planner;
+      planner.binding = core::Binding::kLate;
+      planner.n_pilots = 3;
+      auto result = world.run(app, planner);
+      if (!result.ok()) return std::vector<double>{-1.0};
+      return std::vector<double>{
+          result->report.ttc.ttc.to_seconds(),
+          static_cast<double>(result->report.faults.total()),
+          static_cast<double>(result->report.recovery.pilots_resubmitted),
+          static_cast<double>(result->report.units_done)};
+    });
+  };
+  const auto serial = run_all(1);
+  for (const unsigned jobs : {2u, 4u, 8u}) {
+    EXPECT_EQ(run_all(jobs), serial) << "jobs=" << jobs;
+  }
+}
+
+}  // namespace
+}  // namespace aimes::sim

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -127,6 +130,123 @@ TEST(Engine, ExecutedCounterCounts) {
   for (int i = 0; i < 5; ++i) engine.schedule(SimDuration::millis(i), [] {});
   engine.run();
   EXPECT_EQ(engine.executed(), 5u);
+}
+
+// queued() is exact under pathological cancel patterns — the tombstone-based
+// queue this slab replaced would double-count a double-cancel.
+TEST(Engine, QueuedExactUnderDoubleCancel) {
+  Engine engine;
+  const auto a = engine.schedule(SimDuration::seconds(1), [] {});
+  const auto b = engine.schedule(SimDuration::seconds(2), [] {});
+  engine.schedule(SimDuration::seconds(3), [] {});
+  EXPECT_EQ(engine.queued(), 3u);
+  engine.cancel(b);
+  EXPECT_EQ(engine.queued(), 2u);
+  engine.cancel(b);  // second cancel of the same id must not decrement again
+  engine.cancel(b);
+  EXPECT_EQ(engine.queued(), 2u);
+  engine.step();  // fires a
+  EXPECT_EQ(engine.queued(), 1u);
+  engine.cancel(a);  // cancel of an already-fired id must not decrement
+  EXPECT_EQ(engine.queued(), 1u);
+  EXPECT_EQ(engine.run(), 1u);  // only the 3 s event is left
+  EXPECT_EQ(engine.queued(), 0u);
+}
+
+// A slot freed by cancel() is recycled for the next schedule; the old id
+// must not reach the new tenant (the generation tag rejects it).
+TEST(Engine, StaleIdAfterSlotReuseIsRejected) {
+  Engine engine;
+  int fired = 0;
+  const auto old_id = engine.schedule(SimDuration::seconds(1), [&] { fired += 100; });
+  engine.cancel(old_id);
+  const auto new_id = engine.schedule(SimDuration::seconds(1), [&] { fired += 1; });
+  EXPECT_FALSE(engine.pending(old_id));
+  EXPECT_TRUE(engine.pending(new_id));
+  engine.cancel(old_id);  // stale id aimed at a recycled slot: must be a no-op
+  EXPECT_TRUE(engine.pending(new_id));
+  engine.run();
+  EXPECT_EQ(fired, 1);
+}
+
+// Same after the slot's event *fired* (rather than was cancelled): the fired
+// event's id goes stale the moment the slot is recycled.
+TEST(Engine, StaleIdOfFiredEventCannotCancelReusedSlot) {
+  Engine engine;
+  int fired = 0;
+  const auto old_id = engine.schedule(SimDuration::seconds(1), [&] { ++fired; });
+  engine.run();
+  const auto new_id = engine.schedule(SimDuration::seconds(1), [&] { ++fired; });
+  engine.cancel(old_id);
+  EXPECT_TRUE(engine.pending(new_id));
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+// Randomized differential test: drive the slab/heap engine and a naive
+// reference model (linear scan for the (when, seq) minimum) through the same
+// schedule/cancel/step script and demand identical fire sequences and
+// identical queued() at every step. Heavy timestamp collisions exercise the
+// tie-break; heavy cancellation exercises slot reuse and in-place removal.
+TEST(Engine, RandomizedStressMatchesNaiveReference) {
+  struct RefEvent {
+    std::int64_t when_ms;
+    std::uint64_t seq;
+    int value;
+    bool alive;
+  };
+  std::mt19937 rng(20160418);
+  Engine engine;
+  std::vector<RefEvent> ref;
+  std::vector<std::pair<EventId, std::size_t>> live;  // engine id -> ref index
+  std::vector<int> engine_fired;
+  std::vector<int> ref_fired;
+  std::uint64_t next_seq = 0;
+  int next_value = 0;
+
+  auto ref_step = [&]() -> bool {
+    std::size_t best = ref.size();
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      if (!ref[i].alive) continue;
+      if (best == ref.size() || ref[i].when_ms < ref[best].when_ms ||
+          (ref[i].when_ms == ref[best].when_ms && ref[i].seq < ref[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == ref.size()) return false;
+    ref[best].alive = false;
+    ref_fired.push_back(ref[best].value);
+    return true;
+  };
+
+  for (int op = 0; op < 4000; ++op) {
+    const int kind = std::uniform_int_distribution<int>(0, 9)(rng);
+    if (kind < 5) {  // schedule; tiny delay range forces same-timestamp bursts
+      const auto delay =
+          SimDuration::millis(std::uniform_int_distribution<int>(0, 40)(rng));
+      const std::int64_t when = (engine.now() + delay).count_ms();
+      const int value = next_value++;
+      const auto id = engine.schedule(delay, [&, value] { engine_fired.push_back(value); });
+      ref.push_back({when, next_seq++, value, true});
+      live.push_back({id, ref.size() - 1});
+    } else if (kind < 8 && !live.empty()) {  // cancel a random (possibly stale) id
+      const auto pick =
+          std::uniform_int_distribution<std::size_t>(0, live.size() - 1)(rng);
+      engine.cancel(live[pick].first);
+      ref[live[pick].second].alive = false;  // no-op if already fired/cancelled
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {  // fire one event on both models
+      EXPECT_EQ(engine.step(), ref_step());
+    }
+    std::size_t ref_alive = 0;
+    for (const auto& e : ref) ref_alive += e.alive ? 1u : 0u;
+    ASSERT_EQ(engine.queued(), ref_alive) << "after op " << op;
+  }
+  while (ref_step()) {
+  }
+  engine.run();
+  EXPECT_EQ(engine_fired, ref_fired);
+  EXPECT_EQ(engine.queued(), 0u);
 }
 
 TEST(Engine, ManyEventsStressOrder) {

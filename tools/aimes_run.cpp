@@ -11,6 +11,7 @@
 //   aimes-run --skeleton app.cfg --testbed pool.cfg --seed 7 --trace run.csv
 //   aimes-run --profile montage --tasks 64 --emit dax --emit-out app.dax
 //   aimes-run --profile bag-uniform --tasks 512 --adaptive
+//   aimes-run --profile bag-gaussian --tasks 256 --trials 32 --jobs 8
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,10 +22,12 @@
 
 #include "cluster/testbed_config.hpp"
 #include "common/log.hpp"
+#include "common/table.hpp"
 #include "core/adaptive.hpp"
 #include "core/aimes.hpp"
 #include "core/report_io.hpp"
 #include "core/timeline.hpp"
+#include "sim/replica_pool.hpp"
 #include "skeleton/emitters.hpp"
 #include "skeleton/profiles.hpp"
 
@@ -41,6 +44,8 @@ struct Args {
   int pilots = 3;
   std::string selection = "predicted";
   std::uint64_t seed = 42;
+  int trials = 1;  // > 1 switches to sweep mode (seeds seed .. seed+trials-1)
+  int jobs = 0;    // sweep parallelism; 0 = hardware concurrency, 1 = serial
   double warmup_hours = 6.0;
   bool adaptive = false;
   std::string fault_plan_file;
@@ -66,6 +71,11 @@ void usage(const char* argv0) {
       "  --pilots N          number of pilots (3)\n"
       "  --selection S       random | predicted (predicted)\n"
       "  --seed S            world/application seed (42)\n"
+      "  --trials N          sweep mode: run N replicas seeded S..S+N-1 and\n"
+      "                      aggregate TTC (default 1 = single run)\n"
+      "  --jobs M            sweep worker threads (default: hardware\n"
+      "                      concurrency; 1 = serial). Aggregates are\n"
+      "                      bit-identical for every M\n"
       "  --warmup H          background warmup hours (6)\n"
       "  --adaptive          enable mid-run strategy adaptation\n"
       "  --fault-plan FILE   fault-injection plan config ([fault.*] sections);\n"
@@ -105,6 +115,8 @@ common::Expected<Args> parse_args(int argc, char** argv) {
     else if (a == "--pilots") { auto v = next(); if (!v) return E::error(v.error()); args.pilots = std::atoi(v->c_str()); }
     else if (a == "--selection") st = take(args.selection);
     else if (a == "--seed") { auto v = next(); if (!v) return E::error(v.error()); args.seed = std::strtoull(v->c_str(), nullptr, 10); }
+    else if (a == "--trials") { auto v = next(); if (!v) return E::error(v.error()); args.trials = std::atoi(v->c_str()); }
+    else if (a == "--jobs") { auto v = next(); if (!v) return E::error(v.error()); args.jobs = std::atoi(v->c_str()); }
     else if (a == "--warmup") { auto v = next(); if (!v) return E::error(v.error()); args.warmup_hours = std::atof(v->c_str()); }
     else if (a == "--adaptive") args.adaptive = true;
     else if (a == "--fault-plan") st = take(args.fault_plan_file);
@@ -121,6 +133,15 @@ common::Expected<Args> parse_args(int argc, char** argv) {
   }
   if (args.tasks < 1) return E::error("--tasks must be positive");
   if (args.pilots < 1) return E::error("--pilots must be positive");
+  if (args.trials < 1) return E::error("--trials must be positive");
+  if (args.jobs < 0) return E::error("--jobs must be >= 0 (0 = hardware concurrency)");
+  if (args.trials > 1 &&
+      (!args.trace_file.empty() || !args.report_file.empty() || args.timeline ||
+       !args.emit.empty() || args.adaptive)) {
+    return E::error(
+        "--trials > 1 aggregates replicas; it cannot combine with the single-run "
+        "artifacts --trace/--report/--timeline/--emit or with --adaptive");
+  }
   if (args.pilot_failure_rate < 0.0 || args.pilot_failure_rate > 1.0) {
     return E::error("--pilot-failure-rate must be in [0, 1]");
   }
@@ -231,14 +252,84 @@ int main(int argc, char** argv) {
   }
   // Any requested fault makes recovery part of the experiment.
   if (!config.faults.empty()) config.execution.recovery.enabled = true;
-  core::Aimes aimes(config);
-  aimes.start();
 
   core::PlannerConfig planner;
   planner.binding = args.binding == "early" ? core::Binding::kEarly : core::Binding::kLate;
   planner.n_pilots = args.pilots;
   planner.selection = args.selection == "random" ? core::SiteSelection::kRandom
                                                  : core::SiteSelection::kPredictedWait;
+
+  if (args.trials > 1) {
+    // Sweep mode: N independent replicas of the configured experiment, seeded
+    // seed..seed+N-1, fanned out over the pool. Each replica owns its engine
+    // and world; results come back in seed order, so the aggregate is
+    // bit-identical for every --jobs value (trial 0 == the single-run seed).
+    struct Trial {
+      bool ok = false;
+      double ttc = 0;
+      double tw = 0;
+      double tx = 0;
+      double ts = 0;
+      double faults = 0;
+      double resubmitted = 0;
+    };
+    sim::ReplicaPool pool(args.jobs == 0 ? 0u : static_cast<unsigned>(args.jobs));
+    std::printf("\nsweep: %d trials (seeds %llu..%llu), %u worker(s)\n", args.trials,
+                static_cast<unsigned long long>(args.seed),
+                static_cast<unsigned long long>(args.seed + args.trials - 1), pool.jobs());
+    const auto results = pool.map<Trial>(
+        static_cast<std::size_t>(args.trials), [&](std::size_t t) {
+          core::AimesConfig replica = config;
+          replica.seed = args.seed + t;
+          core::Aimes world(replica);
+          world.start();
+          const auto replica_app = skeleton::materialize(*spec, replica.seed);
+          auto result = world.run(replica_app, planner);
+          Trial trial;
+          if (!result.ok() || !result->report.success) return trial;
+          trial.ok = true;
+          trial.ttc = result->report.ttc.ttc.to_seconds();
+          trial.tw = result->report.ttc.tw.to_seconds();
+          trial.tx = result->report.ttc.tx.to_seconds();
+          trial.ts = result->report.ttc.ts.to_seconds();
+          trial.faults = static_cast<double>(result->report.faults.total());
+          trial.resubmitted =
+              static_cast<double>(result->report.recovery.pilots_resubmitted);
+          return trial;
+        });
+    common::Summary ttc;
+    common::Summary tw;
+    common::Summary tx;
+    common::Summary ts;
+    common::Summary faults;
+    common::Summary resubmitted;
+    int failures = 0;
+    for (const auto& trial : results) {
+      if (!trial.ok) {
+        ++failures;
+        continue;
+      }
+      ttc.add(trial.ttc);
+      tw.add(trial.tw);
+      tx.add(trial.tx);
+      ts.add(trial.ts);
+      faults.add(trial.faults);
+      resubmitted.add(trial.resubmitted);
+    }
+    std::printf("  TTC mean %.0f s (stddev %.0f, p50 %.0f) | Tw %.0f | Tx %.0f | Ts %.0f\n",
+                ttc.mean(), ttc.stddev(), ttc.percentile(50), tw.mean(), tx.mean(),
+                ts.mean());
+    if (faults.mean() > 0.0 || resubmitted.mean() > 0.0) {
+      std::printf("  faults/trial mean %.1f | pilots resubmitted/trial mean %.1f\n",
+                  faults.mean(), resubmitted.mean());
+    }
+    std::printf("  failed trials: %d of %d\n", failures, args.trials);
+    return failures == args.trials ? 1 : 0;
+  }
+
+  core::Aimes aimes(config);
+  aimes.start();
+
   auto strategy = aimes.plan(app, planner);
   if (!strategy) {
     std::fprintf(stderr, "planner: %s\n", strategy.error().c_str());
