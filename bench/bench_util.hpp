@@ -1,10 +1,12 @@
 // Shared helpers for the figure/table reproduction harnesses.
 #pragma once
 
-#include <cerrno>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "common/cli.hpp"
 
 namespace aimes::bench {
 
@@ -16,6 +18,9 @@ namespace aimes::bench {
 ///                bit-identical for every value of N.
 ///   --csv PATH   also write the series as CSV
 ///   --quick      1/4 of the default trials (CI-friendly)
+///
+/// Parsing runs through common::cli, so malformed values (`--trials x`)
+/// die loudly instead of silently running an empty bench.
 struct BenchArgs {
   int trials;
   std::uint64_t seed = 20160418;
@@ -23,61 +28,38 @@ struct BenchArgs {
   std::string csv;
   bool quick = false;
 
-  /// Strict integer parse: the whole token must be a base-10 integer in
-  /// range. `std::atoi`'s silent 0 on garbage once turned `--trials x` into
-  /// an empty bench that "passed"; now it dies loudly.
-  static long long parse_int(const char* text, const char* flag, long long min_value,
-                             long long max_value) {
-    errno = 0;
-    char* end = nullptr;
-    const long long value = std::strtoll(text, &end, 10);
-    if (end == text || *end != '\0' || errno == ERANGE || value < min_value ||
-        value > max_value) {
-      std::fprintf(stderr, "invalid value '%s' for %s (expected integer in [%lld, %lld])\n",
-                   text, flag, min_value, max_value);
+  /// Registers the common options on `cli`. Harnesses with extra flags add
+  /// theirs to the same parser before calling finish().
+  void declare(common::cli::Parser& cli) {
+    cli.int_option("--trials", trials, 1, 1000000, "trials per cell");
+    cli.uint64_option("--seed", seed, "base seed", "S");
+    cli.int_option("--jobs", jobs, 1, 4096, "worker threads (default: hardware concurrency)");
+    cli.string_option("--csv", csv, "also write the series as CSV", "PATH");
+    cli.flag("--quick", quick, "1/4 of the default trials (CI-friendly)");
+  }
+
+  /// Runs the parse; exits 0 on --help and 2 on bad arguments (the historic
+  /// harness contract). Applies --quick's trial scaling unless --trials was
+  /// given explicitly.
+  void finish(common::cli::Parser& cli, int argc, char** argv) {
+    auto parsed = cli.parse(argc, argv);
+    if (!parsed) {
+      std::fprintf(stderr, "%s\n", parsed.error().c_str());
       std::exit(2);
     }
-    return value;
+    if (parsed->help) {
+      std::fputs(cli.usage().c_str(), stdout);
+      std::exit(0);
+    }
+    if (quick && !cli.seen("--trials")) trials = std::max(2, trials / 4);
   }
 
   static BenchArgs parse(int argc, char** argv, int default_trials) {
     BenchArgs args;
     args.trials = default_trials;
-    bool trials_given = false;
-    for (int i = 1; i < argc; ++i) {
-      const std::string a = argv[i];
-      auto next = [&]() -> const char* {
-        if (i + 1 >= argc) {
-          std::fprintf(stderr, "missing value for %s\n", a.c_str());
-          std::exit(2);
-        }
-        return argv[++i];
-      };
-      if (a == "--trials") {
-        args.trials = static_cast<int>(parse_int(next(), "--trials", 1, 1000000));
-        trials_given = true;
-      } else if (a == "--seed") {
-        // Seeds are unsigned; parse through the signed checker so "-1" and
-        // other garbage are rejected instead of wrapping.
-        args.seed = static_cast<std::uint64_t>(
-            parse_int(next(), "--seed", 0, 9223372036854775807LL));
-      } else if (a == "--jobs") {
-        args.jobs = static_cast<int>(parse_int(next(), "--jobs", 1, 4096));
-      } else if (a == "--csv") {
-        args.csv = next();
-      } else if (a == "--quick") {
-        args.quick = true;
-      } else if (a == "--help" || a == "-h") {
-        std::printf(
-            "usage: %s [--trials N] [--seed S] [--jobs N] [--csv PATH] [--quick]\n",
-            argv[0]);
-        std::exit(0);
-      } else {
-        std::fprintf(stderr, "unknown argument '%s' (try --help)\n", a.c_str());
-        std::exit(2);
-      }
-    }
-    if (args.quick && !trials_given) args.trials = std::max(2, args.trials / 4);
+    common::cli::Parser cli(argc > 0 ? argv[0] : "bench");
+    args.declare(cli);
+    args.finish(cli, argc, argv);
     return args;
   }
 };

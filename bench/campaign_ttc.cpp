@@ -1,0 +1,151 @@
+// Campaign TTC: shared pilot pool vs private fleets vs sequential baseline.
+//
+// Runs the same 4-tenant mixed-size campaign (Poisson arrivals, one seeded
+// arrival stream shared by all modes) under the three sharing regimes and
+// compares aggregate makespan and per-tenant TTC. Expected shape: the
+// shared pool beats the sequential baseline outright (tenants overlap) and
+// edges the private-fleet mode on queue wait (reused pilots skip the batch
+// queue); the bench exits non-zero if shared >= sequential, so CI notices
+// if the pool ever stops paying for itself.
+//
+// The shared-mode cell is additionally re-run at --jobs 1/2/4/8 and the
+// FNV-1a trial checksums compared: the campaign runner's determinism
+// contract says every worker count produces bit-identical trials. --json
+// records the whole comparison (BENCH_campaign.json is the PR's evidence).
+
+#include <cinttypes>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "exp/campaign.hpp"
+
+namespace {
+
+using namespace aimes;
+
+std::string hex_checksum(std::uint64_t checksum) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, checksum);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args;
+  args.trials = 12;
+  std::string json_path;
+  int tenants = 4;
+  int base_tasks = 8;
+  double arrival_rate = 4.0;
+  common::cli::Parser cli(argc > 0 ? argv[0] : "campaign_ttc");
+  args.declare(cli);
+  cli.string_option("--json", json_path, "also record the comparison as JSON", "PATH");
+  cli.int_option("--tenants", tenants, 2, 256, "tenants per campaign");
+  cli.int_option("--base-tasks", base_tasks, 1, 100000, "smallest tenant's task count");
+  cli.double_option("--rate", arrival_rate, 0.001, 1000000.0, "Poisson arrivals per hour");
+  args.finish(cli, argc, argv);
+
+  exp::CampaignSpec spec;
+  spec.n_tenants = tenants;
+  spec.base_tasks = base_tasks;
+  spec.n_pilots = 2;
+  spec.arrival.poisson_per_hour = arrival_rate;
+
+  const exp::CampaignMode modes[] = {exp::CampaignMode::kSharedPool,
+                                     exp::CampaignMode::kPrivatePilots,
+                                     exp::CampaignMode::kSequential};
+  std::vector<exp::CampaignCellResult> cells;
+  for (const auto mode : modes) {
+    auto cell_spec = spec;
+    cell_spec.mode = mode;
+    cells.push_back(exp::run_campaign_cell(cell_spec, args.trials, args.seed, {}, args.jobs));
+    std::fprintf(stderr, "  campaign: %s done\n", std::string(to_string(mode)).c_str());
+  }
+
+  common::TableWriter table("Campaign TTC — " + std::to_string(tenants) + " tenants, " +
+                            std::to_string(args.trials) +
+                            " trials (makespan/TTC mean seconds, stddev in parens)");
+  table.header({"Mode", "Makespan", "Tenant TTC", "Failures", "Checksum"});
+  for (const auto& cell : cells) {
+    std::vector<std::string> row{std::string(to_string(cell.spec.mode))};
+    row.push_back(common::TableWriter::num(cell.makespan_s.mean(), 0) + " (" +
+                  common::TableWriter::num(cell.makespan_s.stddev(), 0) + ")");
+    row.push_back(common::TableWriter::num(cell.tenant_ttc_s.mean(), 0) + " (" +
+                  common::TableWriter::num(cell.tenant_ttc_s.stddev(), 0) + ")");
+    row.push_back(std::to_string(cell.failures));
+    row.push_back(hex_checksum(cell.checksum));
+    table.row(std::move(row));
+  }
+  table.render(std::cout);
+
+  // Determinism witness: the shared-mode cell, re-run at fixed worker
+  // counts, must reproduce the serial checksum bit for bit.
+  const int sweep_jobs[] = {1, 2, 4, 8};
+  std::vector<std::uint64_t> sweep_checksums;
+  bool deterministic = true;
+  for (const int jobs : sweep_jobs) {
+    const auto cell = exp::run_campaign_cell(spec, args.trials, args.seed, {}, jobs);
+    sweep_checksums.push_back(cell.checksum);
+    deterministic = deterministic && cell.checksum == sweep_checksums.front();
+  }
+
+  const double shared_s = cells[0].makespan_s.mean();
+  const double sequential_s = cells[2].makespan_s.mean();
+  const bool shared_wins = cells[0].failures == 0 && shared_s < sequential_s;
+  const double speedup = shared_s > 0 ? sequential_s / shared_s : 0.0;
+  std::cout << "\nshape check: shared beats sequential "
+            << (shared_wins ? "OK" : "VIOLATED") << " (speedup "
+            << common::TableWriter::num(speedup, 2) << "x); --jobs 1/2/4/8 checksums "
+            << (deterministic ? "identical" : "DIVERGED") << "\n";
+
+  if (!args.csv.empty() && !table.save_csv(args.csv)) {
+    std::fprintf(stderr, "cannot write %s\n", args.csv.c_str());
+    return 1;
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"campaign_ttc\",\n"
+        << "  \"trials\": " << args.trials << ",\n"
+        << "  \"seed\": " << args.seed << ",\n"
+        << "  \"spec\": {\n"
+        << "    \"n_tenants\": " << spec.n_tenants << ",\n"
+        << "    \"base_tasks\": " << spec.base_tasks << ",\n"
+        << "    \"n_pilots\": " << spec.n_pilots << ",\n"
+        << "    \"poisson_per_hour\": " << arrival_rate << ",\n"
+        << "    \"pool_idle_grace_s\": " << spec.pool_idle_grace.to_seconds() << ",\n"
+        << "    \"walltime_headroom\": " << spec.walltime_headroom << "\n"
+        << "  },\n"
+        << "  \"modes\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto& cell = cells[i];
+      out << "    {\"mode\": \"" << to_string(cell.spec.mode) << "\", "
+          << "\"makespan_mean_s\": " << cell.makespan_s.mean() << ", "
+          << "\"makespan_stddev_s\": " << cell.makespan_s.stddev() << ", "
+          << "\"tenant_ttc_mean_s\": " << cell.tenant_ttc_s.mean() << ", "
+          << "\"failures\": " << cell.failures << ", "
+          << "\"checksum\": \"" << hex_checksum(cell.checksum) << "\"}"
+          << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"jobs_sweep\": [\n";
+    for (std::size_t i = 0; i < sweep_checksums.size(); ++i) {
+      out << "    {\"jobs\": " << sweep_jobs[i] << ", \"checksum\": \""
+          << hex_checksum(sweep_checksums[i]) << "\"}"
+          << (i + 1 < sweep_checksums.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"deterministic_across_jobs\": " << (deterministic ? "true" : "false") << ",\n"
+        << "  \"shared_vs_sequential_speedup\": " << speedup << ",\n"
+        << "  \"shared_beats_sequential\": " << (shared_wins ? "true" : "false") << "\n"
+        << "}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return shared_wins && deterministic ? 0 : 1;
+}

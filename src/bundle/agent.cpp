@@ -34,6 +34,7 @@ ComputeInfo BundleAgent::query_compute() const {
   info.queued_nodes = site_.queued_nodes();
   info.utilization = site_.utilization();
   info.scheduler = site_.config().scheduler;
+  info.max_walltime = site_.config().max_walltime;
   return info;
 }
 

@@ -31,6 +31,7 @@ std::vector<Candidate> BundleManager::discover(const Requirements& req) const {
     // A site in a downtime window cannot accept a pilot at all.
     if (!rep.compute.available) continue;
     if (rep.compute.total_cores() < req.min_total_cores) continue;
+    if (rep.compute.max_walltime < req.min_walltime) continue;
     if (!req.scheduler.empty() && rep.compute.scheduler != req.scheduler) continue;
     if (rep.network.bandwidth_in < req.min_bandwidth_in) continue;
     const SimDuration wait = a->predict_wait(req.min_total_cores);

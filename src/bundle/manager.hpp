@@ -21,6 +21,9 @@ namespace aimes::bundle {
 struct Requirements {
   /// Pilot size the caller intends to run.
   int min_total_cores = 1;
+  /// Walltime the caller's pilot needs; sites whose batch limit is shorter
+  /// are rejected (they would kill the pilot mid-run). Zero = don't care.
+  SimDuration min_walltime = SimDuration::zero();
   /// Reject sites whose predicted wait for that pilot exceeds this.
   SimDuration max_predicted_wait = SimDuration::max();
   /// Reject sites with less inbound bandwidth than this.

@@ -35,6 +35,9 @@ struct ComputeInfo {
   double utilization = 0.0;
   /// Batch policy name ("fcfs", "easy-backfill", ...).
   std::string scheduler;
+  /// Longest walltime the batch system accepts (submissions above it are
+  /// rejected). max() = no known limit.
+  SimDuration max_walltime = SimDuration::max();
 
   [[nodiscard]] int total_cores() const { return total_nodes * cores_per_node; }
   [[nodiscard]] int free_cores() const { return free_nodes * cores_per_node; }

@@ -141,6 +141,35 @@ common::Expected<RunResult> Aimes::run(const skeleton::SkeletonApplication& app,
   return execute(app, *strategy);
 }
 
+common::Expected<CampaignRunResult> Aimes::run_campaign(
+    std::vector<CampaignTenantSpec> tenants, const CampaignOptions& options) {
+  using E = common::Expected<CampaignRunResult>;
+  assert(started_ && "call start() before running a campaign");
+  CampaignRunResult result;
+  ++run_counter_;
+
+  CampaignExecutor executor(
+      engine_, result.trace, services(), *staging_, bundle_manager_, options,
+      common::Rng::stream(config_.seed, "run/" + std::to_string(run_counter_)));
+
+  bool callback_fired = false;
+  auto status = executor.enact(std::move(tenants),
+                               [&](const CampaignReport&) { callback_fired = true; });
+  if (!status.ok()) return E::error(status.error());
+
+  while (!callback_fired && engine_.step()) {
+  }
+  if (!callback_fired) {
+    return E::error("campaign: world ran out of events before completion "
+                    "(workload horizon too short?)");
+  }
+  // Let pilot cancellations settle so the resources are released before the
+  // next run on this world.
+  engine_.run_until(engine_.now() + common::SimDuration::minutes(1));
+  result.report = executor.report();
+  return result;
+}
+
 common::Expected<StagedRunResult> Aimes::execute_staged(
     const skeleton::SkeletonApplication& app, const PlannerConfig& planner) {
   using E = common::Expected<StagedRunResult>;

@@ -21,6 +21,7 @@
 #include "bundle/agent.hpp"
 #include "bundle/manager.hpp"
 #include "cluster/testbed.hpp"
+#include "core/campaign.hpp"
 #include "core/execution_manager.hpp"
 #include "core/planner.hpp"
 #include "net/staging.hpp"
@@ -58,6 +59,12 @@ struct AimesConfig {
 struct RunResult {
   ExecutionReport report;
   /// The complete state-transition trace of this run (self-introspection).
+  pilot::Profiler trace;
+};
+
+/// Result of a multi-tenant campaign run, including the shared trace.
+struct CampaignRunResult {
+  CampaignReport report;
   pilot::Profiler trace;
 };
 
@@ -106,6 +113,13 @@ class Aimes {
   /// plan() + execute().
   common::Expected<RunResult> run(const skeleton::SkeletonApplication& app,
                                   const PlannerConfig& planner);
+
+  /// Multi-tenant campaign: every tenant is planned on arrival against the
+  /// shared pilot pool (or a private fleet, per `options.sharing`) and all
+  /// tenants execute concurrently on one PilotManager/UnitManager pair.
+  /// Drives virtual time until the campaign completes.
+  common::Expected<CampaignRunResult> run_campaign(std::vector<CampaignTenantSpec> tenants,
+                                                   const CampaignOptions& options);
 
   /// Staged dynamic execution (paper §V): the application runs stage by
   /// stage; before *each* stage the planner re-derives a strategy sized to

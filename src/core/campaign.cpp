@@ -1,0 +1,224 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/log.hpp"
+
+namespace aimes::core {
+
+CampaignExecutor::CampaignExecutor(sim::Engine& engine, pilot::Profiler& profiler,
+                                   std::vector<saga::JobService*> services,
+                                   net::StagingService& staging,
+                                   const bundle::BundleManager& bundles,
+                                   CampaignOptions options, common::Rng rng)
+    : engine_(engine),
+      profiler_(profiler),
+      services_(std::move(services)),
+      staging_(staging),
+      bundles_(bundles),
+      options_(options),
+      rng_(rng) {}
+
+common::Status CampaignExecutor::enact(std::vector<CampaignTenantSpec> tenants,
+                                       Callback done) {
+  assert(!pilots_ && "CampaignExecutor is single-use");
+  if (tenants.empty()) return common::Status::error("campaign: no tenants");
+
+  done_ = std::move(done);
+  report_.started_at = engine_.now();
+  profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "RUN_START",
+                   "campaign n_tenants=" + std::to_string(tenants.size()));
+
+  pilots_ = std::make_unique<pilot::PilotManager>(engine_, profiler_, services_,
+                                                  options_.agent);
+  pilot::UnitManagerOptions unit_options = options_.units;
+  unit_options.scheduler = pilot::UnitSchedulerKind::kBackfill;
+  units_ = std::make_unique<pilot::UnitManager>(engine_, profiler_, *pilots_, staging_,
+                                                unit_options, rng_);
+  // The pool wraps on_pilot_gone *after* the UnitManager installed its
+  // handlers: eviction runs first, unit restarts second.
+  pilot::PilotPoolOptions pool_options;
+  pool_options.idle_grace = options_.sharing == CampaignSharing::kSharedPool
+                                ? options_.pool_idle_grace
+                                : common::SimDuration::zero();
+  pool_ = std::make_unique<pilot::PilotPool>(engine_, profiler_, *pilots_, pool_options);
+  // "Cancelled only when no tenant needs them": leases alone undercount
+  // need, because the UnitManager multiplexes any tenant's units onto any
+  // active pilot. Hold the cancel while dispatched units remain.
+  pool_->busy_check = [this](common::PilotId id) { return units_->has_dispatched_work(id); };
+
+  tenants_.reserve(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    Tenant t;
+    t.spec = std::move(tenants[i]);
+    t.id = static_cast<int>(i) + 1;
+    t.report.name = t.spec.name.empty() ? t.spec.app.name() : t.spec.name;
+    t.report.tenant = t.id;
+    t.report.weight = std::max(1, t.spec.weight);
+    tenants_.push_back(std::move(t));
+  }
+  // Arrivals are scheduled in spec order; same-offset tenants admit in spec
+  // order (engine events are FIFO within a timestamp).
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    engine_.schedule(tenants_[i].spec.arrival, [this, i] { admit(i); });
+  }
+  return {};
+}
+
+void CampaignExecutor::admit(std::size_t index) {
+  Tenant& t = tenants_[index];
+  t.report.arrived_at = engine_.now();
+  profiler_.record(engine_.now(), pilot::Entity::kManager, static_cast<std::uint64_t>(t.id),
+                   "TENANT_ARRIVED", t.report.name);
+
+  // Incremental planning against the pool's current slots (none offered in
+  // private-pilots mode: every tenant launches a fresh fleet).
+  std::vector<PoolSlot> offered;
+  if (options_.sharing == CampaignSharing::kSharedPool) {
+    for (const pilot::PoolSlotInfo& s : pool_->slots()) {
+      offered.push_back(PoolSlot{s.pilot, s.site, s.cores, s.remaining_walltime});
+    }
+  }
+  auto plan = derive_campaign_plan(t.spec.app, bundles_, options_.planner, rng_, offered);
+  if (!plan) {
+    fail_tenant(index, plan.error());
+    return;
+  }
+  t.report.planned = true;
+
+  // Take the leases: reused slots first, fresh launches for the rest. Fresh
+  // pilots get the walltime headroom so the *next* tenant can reuse them.
+  const ExecutionStrategy& strategy = plan->strategy;
+  for (common::PilotId pid : plan->reuse) {
+    if (pool_->lease(pid, t.id)) {
+      t.leased.push_back(pid);
+      ++t.report.pilots_reused;
+    }
+  }
+  const auto fresh_walltime =
+      strategy.pilot_walltime * std::max(1.0, options_.walltime_headroom);
+  for (std::size_t i = t.leased.size(); i < strategy.sites.size(); ++i) {
+    pilot::PilotDescription pd;
+    pd.name = t.report.name + "/pilot" + std::to_string(i);
+    pd.site = strategy.sites[i];
+    pd.cores = strategy.pilot_cores;
+    pd.walltime = fresh_walltime;
+    t.leased.push_back(pool_->launch(pd, t.id));
+  }
+  t.report.pilots_leased = static_cast<int>(t.leased.size());
+  for (common::PilotId pid : t.leased) t.pilot_uids.push_back(pid.value());
+  profiler_.record(engine_.now(), pilot::Entity::kManager, static_cast<std::uint64_t>(t.id),
+                   "TENANT_PLANNED",
+                   "pilots=" + std::to_string(t.report.pilots_leased) +
+                       " reused=" + std::to_string(t.report.pilots_reused));
+
+  // Submit the tenant's batch. File trace-uids are offset per tenant so the
+  // shared trace attributes staging intervals unambiguously (each tenant's
+  // skeleton numbers its files from 1).
+  auto descriptions = ExecutionManager::units_from_skeleton(t.spec.app);
+  const std::uint64_t file_base = static_cast<std::uint64_t>(t.id) << 32;
+  std::unordered_set<std::uint64_t> file_uids;
+  for (auto& d : descriptions) {
+    for (auto& f : d.inputs) {
+      f.file = common::FileId(file_base + f.file.value());
+      file_uids.insert(f.file.value());
+    }
+    for (auto& f : d.outputs) {
+      f.file = common::FileId(file_base + f.file.value());
+      file_uids.insert(f.file.value());
+    }
+  }
+  t.file_uids.assign(file_uids.begin(), file_uids.end());
+
+  pilot::BatchSpec batch_spec;
+  batch_spec.tenant = t.id;
+  batch_spec.weight = t.report.weight;
+  batch_spec.label = t.report.name;
+  auto handle = units_->submit_batch(descriptions, batch_spec,
+                                     [this, index](const pilot::UnitBatchResult& result) {
+                                       tenant_finished(index, result);
+                                     });
+  t.unit_uids.reserve(handle.units.size());
+  for (common::UnitId uid : handle.units) t.unit_uids.push_back(uid.value());
+}
+
+void CampaignExecutor::fail_tenant(std::size_t index, const std::string& error) {
+  Tenant& t = tenants_[index];
+  common::Log::error("campaign", "tenant '" + t.report.name + "' not planned: " + error);
+  t.report.error = error;
+  t.report.finished_at = engine_.now();
+  t.done = true;
+  profiler_.record(engine_.now(), pilot::Entity::kManager, static_cast<std::uint64_t>(t.id),
+                   "TENANT_FAILED", error);
+  maybe_finalize();
+}
+
+void CampaignExecutor::tenant_finished(std::size_t index, const pilot::UnitBatchResult& result) {
+  Tenant& t = tenants_[index];
+  t.report.units_done = result.done;
+  t.report.units_failed = result.failed;
+  t.report.units_cancelled = result.cancelled;
+  t.report.success = result.all_done();
+  t.report.finished_at = engine_.now();
+  t.done = true;
+
+  t.report.ttc = analyze_tenant_ttc(profiler_, t.unit_uids, t.file_uids, t.pilot_uids,
+                                    t.report.arrived_at, t.report.finished_at);
+  for (std::uint64_t uid : t.unit_uids) {
+    const pilot::ComputeUnit* u = units_->find(common::UnitId(uid));
+    if (u != nullptr && u->state == pilot::UnitState::kDone) {
+      t.report.useful_core_hours +=
+          static_cast<double>(u->description.cores) * u->description.duration.to_hours();
+    }
+  }
+
+  // Hand the pilots back; unneeded ones idle out of the pool on their own.
+  for (common::PilotId pid : t.leased) pool_->release(pid, t.id);
+  maybe_finalize();
+}
+
+void CampaignExecutor::maybe_finalize() {
+  if (finished_) return;
+  for (const Tenant& t : tenants_) {
+    if (!t.done) return;
+  }
+  finished_ = true;
+
+  // Makespan ends with the last tenant; the drain below is teardown, not
+  // campaign time.
+  common::SimTime last_finish = report_.started_at;
+  report_.success = true;
+  for (Tenant& t : tenants_) {
+    report_.success = report_.success && t.report.success;
+    last_finish = std::max(last_finish, t.report.finished_at);
+    report_.tenants.push_back(t.report);
+  }
+  report_.makespan = last_finish - report_.started_at;
+  pool_->drain();
+  report_.pool = pool_->stats();
+  report_.fair_share = units_->tenant_stats();
+
+  std::vector<SiteRates> rates;
+  for (const auto* service : services_) {
+    rates.push_back({service->site_id(), service->site().config().charge_per_core_hour,
+                     service->site().config().watts_per_core});
+  }
+  report_.metrics = compute_run_metrics(profiler_, *pilots_, *units_, rates, engine_.now());
+  // The single-run throughput window (RUN_START to first BATCH_COMPLETE) is
+  // one tenant's, not the campaign's; measure over the makespan instead.
+  report_.metrics.throughput_tasks_per_hour =
+      report_.makespan > common::SimDuration::zero()
+          ? static_cast<double>(report_.units_done()) / report_.makespan.to_hours()
+          : 0.0;
+
+  profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "RUN_END",
+                   report_.success ? "campaign success" : "campaign incomplete");
+  if (done_) {
+    // Defer so pilot cancellations settle within the same timestamp.
+    engine_.schedule(common::SimDuration::zero(), [this] { done_(report_); });
+  }
+}
+
+}  // namespace aimes::core

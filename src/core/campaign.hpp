@@ -1,0 +1,168 @@
+// Multi-tenant campaign execution over a shared pilot pool.
+//
+// The paper's execution strategies couple *one* application to a set of
+// resources (§III.D-E). A campaign is the concurrent-workload regime studied
+// in the follow-on literature (P*'s multiplexable pilots; Turilli et al.'s
+// concurrent-workload analysis): N skeleton applications with heterogeneous
+// sizes and arrival times compete for one testbed. The CampaignExecutor
+// plans each arriving tenant *incrementally* against a shared PilotPool —
+// pilots are leased, reused across tenants when their remaining walltime
+// allows, and cancelled only when nobody needs them — while the
+// UnitManager's weighted round-robin arbiter keeps dispatch fair across
+// tenants. Per-tenant TTC/metrics are attributed from the single shared
+// trace.
+//
+// Determinism contract: a campaign is a pure function of (world seed,
+// tenant specs, options). All scheduling, planning, pool matching, and
+// fair-share decisions iterate in deterministic orders, so campaign trials
+// can run under sim::ReplicaPool with bit-identical aggregates across
+// worker counts.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/execution_manager.hpp"
+#include "core/planner.hpp"
+#include "pilot/pilot_pool.hpp"
+
+namespace aimes::core {
+
+/// One application of the campaign.
+struct CampaignTenantSpec {
+  /// Tenant label (used in traces and reports). Applications should carry
+  /// distinct names so their staged files don't alias.
+  std::string name;
+  skeleton::SkeletonApplication app;
+  /// Arrival offset relative to campaign start.
+  common::SimDuration arrival = common::SimDuration::zero();
+  /// Fair-share weight in the unit-dispatch arbiter.
+  int weight = 1;
+};
+
+/// Whether tenants share the pilot pool or get private fleets.
+enum class CampaignSharing { kSharedPool, kPrivatePilots };
+
+[[nodiscard]] constexpr std::string_view to_string(CampaignSharing s) {
+  return s == CampaignSharing::kSharedPool ? "shared-pool" : "private-pilots";
+}
+
+/// Campaign-level tuning.
+struct CampaignOptions {
+  /// Planner configuration per tenant; binding/scheduler are forced to
+  /// late/backfill (shared pilots cannot serve early-bound units).
+  PlannerConfig planner;
+  CampaignSharing sharing = CampaignSharing::kSharedPool;
+  pilot::AgentOptions agent;
+  pilot::UnitManagerOptions units;
+  /// How long a fully released pilot survives waiting for the next tenant.
+  common::SimDuration pool_idle_grace = common::SimDuration::minutes(10);
+  /// Fresh campaign pilots request `walltime_headroom` x the single-tenant
+  /// walltime estimate, so later tenants find enough remaining walltime to
+  /// reuse them. 1.0 disables the headroom (and in practice most reuse).
+  double walltime_headroom = 2.0;
+};
+
+/// One tenant's outcome.
+struct TenantReport {
+  std::string name;
+  int tenant = 0;
+  int weight = 1;
+  /// False when planning failed; `error` then explains and nothing ran.
+  bool planned = false;
+  bool success = false;
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;
+  std::size_t units_cancelled = 0;
+  common::SimTime arrived_at;
+  common::SimTime finished_at;
+  TenantTtc ttc;
+  /// Compute delivered to this tenant's DONE units.
+  double useful_core_hours = 0.0;
+  /// Pilots leased in total / of which reused from the pool.
+  int pilots_leased = 0;
+  int pilots_reused = 0;
+  std::string error;
+};
+
+/// The whole campaign's outcome.
+struct CampaignReport {
+  bool success = false;
+  common::SimTime started_at;
+  /// Campaign start to the last tenant's completion (pool drain excluded).
+  common::SimDuration makespan = common::SimDuration::zero();
+  std::vector<TenantReport> tenants;
+  /// Campaign-level resource metrics; throughput is measured over the
+  /// makespan (not any single tenant's window).
+  RunMetrics metrics;
+  pilot::PilotPoolStats pool;
+  /// Fair-share accounting per tenant id (dispatches, max starvation gap).
+  std::vector<pilot::TenantStats> fair_share;
+
+  [[nodiscard]] std::size_t units_done() const {
+    std::size_t n = 0;
+    for (const auto& t : tenants) n += t.units_done;
+    return n;
+  }
+};
+
+/// Enacts one campaign. Single-use, like ExecutionManager: construct, call
+/// enact(), drive the engine until the callback, read the report.
+class CampaignExecutor {
+ public:
+  using Callback = std::function<void(const CampaignReport&)>;
+
+  CampaignExecutor(sim::Engine& engine, pilot::Profiler& profiler,
+                   std::vector<saga::JobService*> services, net::StagingService& staging,
+                   const bundle::BundleManager& bundles, CampaignOptions options,
+                   common::Rng rng);
+
+  CampaignExecutor(const CampaignExecutor&) = delete;
+  CampaignExecutor& operator=(const CampaignExecutor&) = delete;
+
+  /// Schedules every tenant's arrival. `done` fires (as an engine event)
+  /// once every tenant finished and the pool is drained.
+  common::Status enact(std::vector<CampaignTenantSpec> tenants, Callback done);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const CampaignReport& report() const { return report_; }
+  [[nodiscard]] pilot::PilotPool& pool() { return *pool_; }
+  [[nodiscard]] pilot::UnitManager& unit_manager() { return *units_; }
+
+ private:
+  struct Tenant {
+    CampaignTenantSpec spec;
+    int id = 0;  // 1-based
+    TenantReport report;
+    std::vector<common::PilotId> leased;
+    std::vector<std::uint64_t> unit_uids;
+    std::vector<std::uint64_t> file_uids;
+    std::vector<std::uint64_t> pilot_uids;
+    bool done = false;
+  };
+
+  void admit(std::size_t index);
+  void tenant_finished(std::size_t index, const pilot::UnitBatchResult& result);
+  void fail_tenant(std::size_t index, const std::string& error);
+  void maybe_finalize();
+
+  sim::Engine& engine_;
+  pilot::Profiler& profiler_;
+  std::vector<saga::JobService*> services_;
+  net::StagingService& staging_;
+  const bundle::BundleManager& bundles_;
+  CampaignOptions options_;
+  common::Rng rng_;
+
+  std::unique_ptr<pilot::PilotManager> pilots_;
+  std::unique_ptr<pilot::UnitManager> units_;
+  std::unique_ptr<pilot::PilotPool> pool_;
+  std::vector<Tenant> tenants_;
+  Callback done_;
+  CampaignReport report_;
+  bool finished_ = false;
+};
+
+}  // namespace aimes::core

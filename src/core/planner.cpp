@@ -60,6 +60,57 @@ WalltimeEstimate derive_walltime(const skeleton::SkeletonApplication& app,
   return est;
 }
 
+namespace {
+
+/// Discovery + ranking + pick for `n_needed` pilot sites (the non-kFixed
+/// path shared by one-shot and campaign planning). Enforces the walltime
+/// feasibility of every chosen site and distinguishes "machines too small"
+/// from "walltime over every site's batch limit" in the error.
+common::Expected<std::vector<SiteId>> select_sites(const bundle::BundleManager& bundles,
+                                                   const PlannerConfig& config,
+                                                   common::Rng& rng, int pilot_cores,
+                                                   SimDuration walltime, int n_needed) {
+  using E = common::Expected<std::vector<SiteId>>;
+  bundle::Requirements req;
+  req.min_total_cores = pilot_cores;
+  req.min_walltime = walltime;
+  req.weight_bandwidth = config.bandwidth_weight;
+  auto candidates = bundles.discover(req);
+  if (candidates.empty() ||
+      (!config.allow_site_reuse && candidates.size() < static_cast<std::size_t>(n_needed))) {
+    bundle::Requirements relaxed = req;
+    relaxed.min_walltime = SimDuration::zero();
+    const auto ignoring_walltime = bundles.discover(relaxed);
+    if (ignoring_walltime.size() > candidates.size()) {
+      return E::error(
+          "planner: derived walltime " + walltime.str() + " exceeds the batch limit of " +
+          std::to_string(ignoring_walltime.size() - candidates.size()) +
+          " otherwise-feasible site(s); " + std::to_string(candidates.size()) +
+          " site(s) can hold the pilot for that long, need " + std::to_string(n_needed));
+    }
+    return E::error("planner: only " + std::to_string(candidates.size()) +
+                    " feasible site(s) for " + std::to_string(pilot_cores) +
+                    "-core pilots, need " + std::to_string(n_needed));
+  }
+  if (config.selection == SiteSelection::kRandom) {
+    // Deterministic Fisher-Yates on the candidate list.
+    for (std::size_t i = candidates.size(); i > 1; --i) {
+      std::swap(candidates[i - 1], candidates[rng.index(i)]);
+    }
+  }
+  // kPredictedWait: discover() already ranks by predicted wait (default
+  // weights), so the top of the list is what we want. With reuse allowed,
+  // pilots wrap around the candidate list.
+  std::vector<SiteId> sites;
+  sites.reserve(static_cast<std::size_t>(n_needed));
+  for (int i = 0; i < n_needed; ++i) {
+    sites.push_back(candidates[static_cast<std::size_t>(i) % candidates.size()].site);
+  }
+  return sites;
+}
+
+}  // namespace
+
 common::Expected<ExecutionStrategy> derive_strategy(const skeleton::SkeletonApplication& app,
                                                     const bundle::BundleManager& bundles,
                                                     const PlannerConfig& config,
@@ -90,35 +141,75 @@ common::Expected<ExecutionStrategy> derive_strategy(const skeleton::SkeletonAppl
     }
     strategy.sites = config.fixed_sites;
   } else {
-    // Feasible sites: machine can hold the pilot.
-    bundle::Requirements req;
-    req.min_total_cores = strategy.pilot_cores;
-    req.weight_bandwidth = config.bandwidth_weight;
-    auto candidates = bundles.discover(req);
-    if (candidates.empty() ||
-        (!config.allow_site_reuse &&
-         candidates.size() < static_cast<std::size_t>(config.n_pilots))) {
-      return E::error("planner: only " + std::to_string(candidates.size()) +
-                      " feasible site(s) for " + std::to_string(strategy.pilot_cores) +
-                      "-core pilots, need " + std::to_string(config.n_pilots));
-    }
-    if (config.selection == SiteSelection::kRandom) {
-      // Deterministic Fisher-Yates on the candidate list.
-      for (std::size_t i = candidates.size(); i > 1; --i) {
-        std::swap(candidates[i - 1], candidates[rng.index(i)]);
-      }
-    }
-    // kPredictedWait: discover() already ranks by predicted wait (default
-    // weights), so the top of the list is what we want. With reuse allowed,
-    // pilots wrap around the candidate list.
-    for (int i = 0; i < config.n_pilots; ++i) {
-      strategy.sites.push_back(
-          candidates[static_cast<std::size_t>(i) % candidates.size()].site);
-    }
+    auto sites = select_sites(bundles, config, rng, strategy.pilot_cores,
+                              strategy.pilot_walltime, config.n_pilots);
+    if (!sites) return E::error(sites.error());
+    strategy.sites = std::move(*sites);
   }
 
   if (auto v = strategy.validate(); !v.ok()) return E::error(v.error());
   return strategy;
+}
+
+common::Expected<CampaignPlan> derive_campaign_plan(const skeleton::SkeletonApplication& app,
+                                                    const bundle::BundleManager& bundles,
+                                                    const PlannerConfig& config,
+                                                    common::Rng& rng,
+                                                    const std::vector<PoolSlot>& pool) {
+  using E = common::Expected<CampaignPlan>;
+  if (config.n_pilots < 1) return E::error("planner: n_pilots must be >= 1");
+  if (bundles.size() == 0) return E::error("planner: no resources registered");
+
+  // Shared pilots imply late binding: a reused pilot cannot be the target of
+  // an early bound unit submitted before the tenant arrived.
+  PlannerConfig cfg = config;
+  cfg.binding = Binding::kLate;
+  cfg.scheduler = pilot::UnitSchedulerKind::kBackfill;
+
+  CampaignPlan plan;
+  ExecutionStrategy& strategy = plan.strategy;
+  strategy.binding = cfg.binding;
+  strategy.unit_scheduler = pilot::UnitSchedulerKind::kBackfill;
+  strategy.n_pilots = cfg.n_pilots;
+  strategy.pilot_cores = derive_pilot_cores(app, cfg.n_pilots);
+
+  const WalltimeEstimate est = derive_walltime(app, bundles, cfg, strategy.pilot_cores);
+  strategy.estimated_tx = est.tx;
+  strategy.estimated_ts = est.ts;
+  strategy.estimated_trp = est.trp;
+  strategy.pilot_walltime = est.walltime;
+
+  // Reuse pass: a pooled pilot serves this tenant when it has the cores and
+  // enough remaining walltime for the estimate. Smallest sufficient pilot
+  // first (keep the big slots free for bigger tenants), ties to the lowest
+  // pilot id — both deterministic.
+  std::vector<PoolSlot> usable;
+  for (const PoolSlot& slot : pool) {
+    if (slot.cores >= strategy.pilot_cores && slot.remaining_walltime >= est.walltime) {
+      usable.push_back(slot);
+    }
+  }
+  std::sort(usable.begin(), usable.end(), [](const PoolSlot& a, const PoolSlot& b) {
+    if (a.cores != b.cores) return a.cores < b.cores;
+    return a.pilot < b.pilot;
+  });
+  for (const PoolSlot& slot : usable) {
+    if (plan.reuse.size() >= static_cast<std::size_t>(cfg.n_pilots)) break;
+    plan.reuse.push_back(slot.pilot);
+    strategy.sites.push_back(slot.site);
+  }
+
+  // Fresh pass for the remaining slots.
+  const int fresh = cfg.n_pilots - static_cast<int>(plan.reuse.size());
+  if (fresh > 0) {
+    auto sites = select_sites(bundles, cfg, rng, strategy.pilot_cores,
+                              strategy.pilot_walltime, fresh);
+    if (!sites) return E::error(sites.error());
+    strategy.sites.insert(strategy.sites.end(), sites->begin(), sites->end());
+  }
+
+  if (auto v = strategy.validate(); !v.ok()) return E::error(v.error());
+  return plan;
 }
 
 }  // namespace aimes::core

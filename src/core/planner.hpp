@@ -55,10 +55,39 @@ struct PlannerConfig {
 
 /// Derives a strategy for `app` over the resources in `bundles`.
 /// Fails when no feasible resource set exists (too few sites, pilots larger
-/// than every machine). `rng` drives kRandom selection only.
+/// than every machine, or the derived walltime exceeding every site's batch
+/// limit). `rng` drives kRandom selection only.
 [[nodiscard]] common::Expected<ExecutionStrategy> derive_strategy(
     const skeleton::SkeletonApplication& app, const bundle::BundleManager& bundles,
     const PlannerConfig& config, common::Rng& rng);
+
+/// A pooled pilot offered to the campaign planner for reuse.
+struct PoolSlot {
+  common::PilotId pilot;
+  SiteId site;
+  int cores = 0;
+  /// Walltime the pilot can still serve before its batch limit kills it.
+  SimDuration remaining_walltime = SimDuration::zero();
+};
+
+/// An incrementally planned tenant: the strategy, plus which of its pilot
+/// slots are satisfied by *reusing* pooled pilots instead of launching.
+/// `reuse[i]` covers `strategy.sites[i]` for i < reuse.size(); the remaining
+/// sites get fresh pilots.
+struct CampaignPlan {
+  ExecutionStrategy strategy;
+  std::vector<common::PilotId> reuse;
+};
+
+/// Incremental planning against a shared pilot pool: like derive_strategy,
+/// but pilot slots are first matched against `pool` (a pooled pilot is
+/// reusable when it has the cores and enough remaining walltime for this
+/// application's estimate; smallest sufficient pilot first, ties to the
+/// lowest pilot id) and only the rest are planned as fresh launches. An
+/// empty pool reduces to derive_strategy with late binding semantics.
+[[nodiscard]] common::Expected<CampaignPlan> derive_campaign_plan(
+    const skeleton::SkeletonApplication& app, const bundle::BundleManager& bundles,
+    const PlannerConfig& config, common::Rng& rng, const std::vector<PoolSlot>& pool);
 
 /// The Table I sizing rule: with early binding one pilot holds all the
 /// concurrency the application can use; with late binding the cores are

@@ -1,7 +1,11 @@
 #include "core/report_io.hpp"
 
+#include <cctype>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
+#include <vector>
 
 namespace aimes::core {
 
@@ -85,11 +89,284 @@ std::string report_to_json(const ExecutionReport& report) {
   return out.str();
 }
 
-bool save_report_json(const ExecutionReport& report, const std::string& path) {
+common::Status save_report_json(const ExecutionReport& report, const std::string& path) {
   std::ofstream f(path);
-  if (!f) return false;
+  if (!f) return common::Status::error(path + ": cannot open for writing");
   f << report_to_json(report);
-  return static_cast<bool>(f);
+  if (!f) return common::Status::error(path + ": write failed");
+  return {};
+}
+
+namespace {
+
+/// Field-addressed scanner over one (sub)object of the flat report format.
+/// Lookups are by key, scoped to the scanner's text range, so same-named
+/// fields in nested blocks ("pilots_resubmitted" at top level and inside
+/// "recovery") never alias. Every error names the file and the field.
+class FieldScanner {
+ public:
+  FieldScanner(const std::string& path, std::string_view text)
+      : path_(path), text_(text) {}
+
+  [[nodiscard]] common::Expected<double> number(const std::string& key) const {
+    using E = common::Expected<double>;
+    auto at = locate(key);
+    if (!at) return E::error(at.error());
+    char* end = nullptr;
+    const std::string token(text_.substr(*at, 64));
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str()) return E::error(describe(key) + ": expected a number");
+    return value;
+  }
+
+  [[nodiscard]] common::Expected<bool> boolean(const std::string& key) const {
+    using E = common::Expected<bool>;
+    auto at = locate(key);
+    if (!at) return E::error(at.error());
+    if (text_.substr(*at).starts_with("true")) return true;
+    if (text_.substr(*at).starts_with("false")) return false;
+    return E::error(describe(key) + ": expected true or false");
+  }
+
+  [[nodiscard]] common::Expected<std::string> text(const std::string& key) const {
+    using E = common::Expected<std::string>;
+    auto at = locate(key);
+    if (!at) return E::error(at.error());
+    auto parsed = parse_string(*at);
+    if (!parsed) return E::error(describe(key) + ": " + parsed.error());
+    return parsed->first;
+  }
+
+  /// Sub-scanner over the object value of `key` (its "{...}" body).
+  [[nodiscard]] common::Expected<FieldScanner> object(const std::string& key) const {
+    using E = common::Expected<FieldScanner>;
+    auto at = locate(key);
+    if (!at) return E::error(at.error());
+    if (text_[*at] != '{') return E::error(describe(key) + ": expected an object");
+    int depth = 0;
+    for (std::size_t i = *at; i < text_.size(); ++i) {
+      if (text_[i] == '{') ++depth;
+      if (text_[i] == '}' && --depth == 0) {
+        return FieldScanner(path_, text_.substr(*at + 1, i - *at - 1));
+      }
+    }
+    return E::error(describe(key) + ": unterminated object");
+  }
+
+  [[nodiscard]] common::Expected<std::vector<double>> numbers(const std::string& key) const {
+    using E = common::Expected<std::vector<double>>;
+    auto body = array_body(key);
+    if (!body) return E::error(body.error());
+    std::vector<double> out;
+    std::size_t i = 0;
+    while ((i = skip_ws(*body, i)) < body->size()) {
+      char* end = nullptr;
+      const std::string token(body->substr(i, 64));
+      const double value = std::strtod(token.c_str(), &end);
+      if (end == token.c_str()) return E::error(describe(key) + ": expected a number");
+      out.push_back(value);
+      i += static_cast<std::size_t>(end - token.c_str());
+      i = skip_ws(*body, i);
+      if (i < body->size() && (*body)[i] == ',') ++i;
+    }
+    return out;
+  }
+
+  [[nodiscard]] common::Expected<std::vector<std::string>> strings(
+      const std::string& key) const {
+    using E = common::Expected<std::vector<std::string>>;
+    auto body = array_body(key);
+    if (!body) return E::error(body.error());
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while ((i = skip_ws(*body, i)) < body->size()) {
+      FieldScanner item(path_, *body);
+      auto parsed = item.parse_string(i);
+      if (!parsed) return E::error(describe(key) + ": " + parsed.error());
+      out.push_back(parsed->first);
+      i = skip_ws(*body, parsed->second);
+      if (i < body->size() && (*body)[i] == ',') ++i;
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string describe(const std::string& key) const {
+    return path_ + ": field '" + key + "'";
+  }
+
+ private:
+  /// Offset of the value of `"key":`, whitespace skipped.
+  [[nodiscard]] common::Expected<std::size_t> locate(const std::string& key) const {
+    using E = common::Expected<std::size_t>;
+    const std::string needle = "\"" + key + "\"";
+    const std::size_t at = text_.find(needle);
+    if (at == std::string_view::npos) return E::error(path_ + ": missing field '" + key + "'");
+    std::size_t i = skip_ws(text_, at + needle.size());
+    if (i >= text_.size() || text_[i] != ':') {
+      return E::error(describe(key) + ": expected ':'");
+    }
+    i = skip_ws(text_, i + 1);
+    if (i >= text_.size()) return E::error(describe(key) + ": missing value");
+    return i;
+  }
+
+  [[nodiscard]] common::Expected<std::string_view> array_body(const std::string& key) const {
+    using E = common::Expected<std::string_view>;
+    auto at = locate(key);
+    if (!at) return E::error(at.error());
+    if (text_[*at] != '[') return E::error(describe(key) + ": expected an array");
+    const std::size_t close = text_.find(']', *at);
+    if (close == std::string_view::npos) {
+      return E::error(describe(key) + ": unterminated array");
+    }
+    return text_.substr(*at + 1, close - *at - 1);
+  }
+
+  /// Parses a quoted string at `at`; returns (value, offset past the quote).
+  [[nodiscard]] common::Expected<std::pair<std::string, std::size_t>> parse_string(
+      std::size_t at) const {
+    using E = common::Expected<std::pair<std::string, std::size_t>>;
+    if (at >= text_.size() || text_[at] != '"') return E::error("expected a string");
+    std::string out;
+    for (std::size_t i = at + 1; i < text_.size(); ++i) {
+      if (text_[i] == '\\' && i + 1 < text_.size()) {
+        const char next = text_[++i];
+        out += next == 'n' ? '\n' : next == 't' ? '\t' : next;
+      } else if (text_[i] == '"') {
+        return std::pair{out, i + 1};
+      } else {
+        out += text_[i];
+      }
+    }
+    return E::error("unterminated string");
+  }
+
+  static std::size_t skip_ws(std::string_view text, std::size_t i) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+    return i;
+  }
+
+  std::string path_;
+  std::string_view text_;
+};
+
+}  // namespace
+
+common::Expected<ExecutionReport> load_report_json(const std::string& path) {
+  using E = common::Expected<ExecutionReport>;
+  std::ifstream f(path);
+  if (!f) return E::error(path + ": cannot open");
+  std::stringstream buffer;
+  buffer << f.rdbuf();
+  const std::string text = buffer.str();
+  const FieldScanner top(path, text);
+  ExecutionReport r;
+
+// Each field loads or the whole parse fails with that field's error.
+#define AIMES_LOAD(target, parsed)                      \
+  {                                                     \
+    auto v = (parsed);                                  \
+    if (!v) return E::error(v.error());                 \
+    target = static_cast<decltype(target)>(*v);         \
+  }
+
+  AIMES_LOAD(r.success, top.boolean("success"));
+  AIMES_LOAD(r.units_done, top.number("units_done"));
+  AIMES_LOAD(r.units_failed, top.number("units_failed"));
+  AIMES_LOAD(r.units_cancelled, top.number("units_cancelled"));
+
+  auto strategy = top.object("strategy");
+  if (!strategy) return E::error(strategy.error());
+  {
+    std::string binding;
+    AIMES_LOAD(binding, strategy->text("binding"));
+    if (binding == "early") {
+      r.strategy.binding = Binding::kEarly;
+    } else if (binding == "late") {
+      r.strategy.binding = Binding::kLate;
+    } else {
+      return E::error(strategy->describe("binding") + ": unknown value '" + binding + "'");
+    }
+    std::string scheduler;
+    AIMES_LOAD(scheduler, strategy->text("unit_scheduler"));
+    if (scheduler == "direct") {
+      r.strategy.unit_scheduler = pilot::UnitSchedulerKind::kDirect;
+    } else if (scheduler == "round-robin") {
+      r.strategy.unit_scheduler = pilot::UnitSchedulerKind::kRoundRobin;
+    } else if (scheduler == "backfill") {
+      r.strategy.unit_scheduler = pilot::UnitSchedulerKind::kBackfill;
+    } else {
+      return E::error(strategy->describe("unit_scheduler") + ": unknown value '" +
+                      scheduler + "'");
+    }
+    AIMES_LOAD(r.strategy.n_pilots, strategy->number("n_pilots"));
+    AIMES_LOAD(r.strategy.pilot_cores, strategy->number("pilot_cores"));
+    double walltime_s = 0.0;
+    AIMES_LOAD(walltime_s, strategy->number("pilot_walltime_s"));
+    r.strategy.pilot_walltime = common::SimDuration::seconds(walltime_s);
+    auto sites = strategy->strings("sites");
+    if (!sites) return E::error(sites.error());
+    for (const std::string& site : *sites) {
+      const std::string prefix = std::string(common::SiteTag::prefix()) + ".";
+      char* end = nullptr;
+      const unsigned long long id =
+          site.starts_with(prefix)
+              ? std::strtoull(site.c_str() + prefix.size(), &end, 10)
+              : 0;
+      if (end == nullptr || *end != '\0' || id == 0) {
+        return E::error(strategy->describe("sites") + ": malformed site id '" + site + "'");
+      }
+      r.strategy.sites.emplace_back(id);
+    }
+  }
+
+  double seconds = 0.0;
+  AIMES_LOAD(seconds, top.number("ttc_s"));
+  r.ttc.ttc = common::SimDuration::seconds(seconds);
+  AIMES_LOAD(seconds, top.number("tw_s"));
+  r.ttc.tw = common::SimDuration::seconds(seconds);
+  AIMES_LOAD(seconds, top.number("tx_s"));
+  r.ttc.tx = common::SimDuration::seconds(seconds);
+  AIMES_LOAD(seconds, top.number("ts_s"));
+  r.ttc.ts = common::SimDuration::seconds(seconds);
+  auto waits = top.numbers("pilot_waits_s");
+  if (!waits) return E::error(waits.error());
+  for (double w : *waits) r.ttc.pilot_waits.push_back(common::SimDuration::seconds(w));
+  AIMES_LOAD(r.ttc.restarted_units, top.number("restarted_units"));
+  AIMES_LOAD(r.ttc.pilots_failed, top.number("pilots_failed"));
+  AIMES_LOAD(r.ttc.pilots_resubmitted, top.number("pilots_resubmitted"));
+  AIMES_LOAD(seconds, top.number("t_recovery_s"));
+  r.ttc.recovery_time = common::SimDuration::seconds(seconds);
+
+  AIMES_LOAD(r.metrics.throughput_tasks_per_hour, top.number("throughput_tasks_per_hour"));
+  AIMES_LOAD(r.metrics.pilot_core_hours, top.number("pilot_core_hours"));
+  AIMES_LOAD(r.metrics.useful_core_hours, top.number("useful_core_hours"));
+  AIMES_LOAD(r.metrics.pilot_efficiency, top.number("pilot_efficiency"));
+  AIMES_LOAD(r.metrics.lost_core_hours, top.number("lost_core_hours"));
+  AIMES_LOAD(r.metrics.goodput, top.number("goodput"));
+  AIMES_LOAD(r.metrics.charge, top.number("charge"));
+  AIMES_LOAD(r.metrics.energy_kwh, top.number("energy_kwh"));
+
+  auto faults = top.object("faults");
+  if (!faults) return E::error(faults.error());
+  AIMES_LOAD(r.faults.pilot_launch_failures, faults->number("pilot_launch_failures"));
+  AIMES_LOAD(r.faults.pilot_kills, faults->number("pilot_kills"));
+  AIMES_LOAD(r.faults.site_outages, faults->number("site_outages"));
+  AIMES_LOAD(r.faults.transfer_failures, faults->number("transfer_failures"));
+
+  auto recovery = top.object("recovery");
+  if (!recovery) return E::error(recovery.error());
+  AIMES_LOAD(r.recovery.pilots_lost, recovery->number("pilots_lost"));
+  AIMES_LOAD(r.recovery.pilots_resubmitted, recovery->number("pilots_resubmitted"));
+  AIMES_LOAD(r.recovery.recoveries_abandoned, recovery->number("recoveries_abandoned"));
+  AIMES_LOAD(r.recovery.recoveries_completed, recovery->number("recoveries_completed"));
+  AIMES_LOAD(seconds, recovery->number("mean_recovery_latency_s"));
+  // The file carries the mean; reconstruct the sum the struct stores.
+  r.recovery.total_recovery_latency = common::SimDuration::seconds(
+      seconds * static_cast<double>(r.recovery.recoveries_completed));
+#undef AIMES_LOAD
+
+  return r;
 }
 
 }  // namespace aimes::core

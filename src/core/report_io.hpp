@@ -3,11 +3,13 @@
 // The virtual laboratory's outputs need to leave the process: benches emit
 // CSV tables, aimes-run emits this JSON form of an ExecutionReport so runs
 // can be archived and diffed. The format is stable and flat on purpose —
-// one object, scalar fields, no nesting beyond the strategy block.
+// one object, scalar fields, no nesting beyond the strategy block — and
+// loadable back for post-hoc analysis tooling.
 #pragma once
 
 #include <string>
 
+#include "common/expected.hpp"
 #include "core/execution_manager.hpp"
 
 namespace aimes::core {
@@ -15,7 +17,12 @@ namespace aimes::core {
 /// Renders a report as a JSON object (UTF-8, two-space indent).
 [[nodiscard]] std::string report_to_json(const ExecutionReport& report);
 
-/// Writes the JSON form to a file; false on I/O failure.
-bool save_report_json(const ExecutionReport& report, const std::string& path);
+/// Writes the JSON form to a file; the error names the path.
+common::Status save_report_json(const ExecutionReport& report, const std::string& path);
+
+/// Loads a report previously written by save_report_json. Malformed input
+/// comes back as a typed error naming the file and the offending field,
+/// e.g. "runs/a.json: field 'ttc_s': expected a number".
+[[nodiscard]] common::Expected<ExecutionReport> load_report_json(const std::string& path);
 
 }  // namespace aimes::core

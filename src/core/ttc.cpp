@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "pilot/states.hpp"
 
@@ -96,6 +97,73 @@ TtcBreakdown analyze_ttc(const pilot::Profiler& trace) {
       if (it != active.end()) out.recovery_time += it->second - t_resubmit;
     }
   }
+  return out;
+}
+
+TenantTtc analyze_tenant_ttc(const pilot::Profiler& trace,
+                             const std::vector<std::uint64_t>& unit_uids,
+                             const std::vector<std::uint64_t>& file_uids,
+                             const std::vector<std::uint64_t>& pilot_uids,
+                             SimTime arrival, SimTime finished) {
+  using pilot::Entity;
+  TenantTtc out;
+  if (finished < arrival) return out;
+  out.ttc = finished - arrival;
+
+  const std::unordered_set<std::uint64_t> units(unit_uids.begin(), unit_uids.end());
+  const std::unordered_set<std::uint64_t> files(file_uids.begin(), file_uids.end());
+
+  // Tw: arrival to the first leased pilot ACTIVE. A pilot active before the
+  // tenant arrived (reuse) contributes zero wait.
+  SimTime first_active = SimTime::max();
+  for (std::uint64_t pid : pilot_uids) {
+    first_active = std::min(first_active, trace.first(Entity::kPilot, pid, "ACTIVE"));
+  }
+  if (first_active == SimTime::max()) {
+    out.tw = out.ttc;  // no leased pilot ever activated
+  } else if (first_active > arrival) {
+    out.tw = first_active - arrival;
+  }
+
+  // Tx: union of this tenant's EXECUTING intervals.
+  common::IntervalSet exec;
+  {
+    std::unordered_map<std::uint64_t, SimTime> open;
+    for (const auto& r : trace.records()) {
+      if (r.entity != Entity::kUnit || units.count(r.uid) == 0) continue;
+      if (r.state == "EXECUTING") {
+        open[r.uid] = r.when;
+      } else {
+        auto it = open.find(r.uid);
+        if (it != open.end()) {
+          exec.add(it->second, r.when);
+          open.erase(it);
+        }
+      }
+    }
+  }
+  out.tx = exec.union_length();
+
+  // Ts: union of this tenant's staging intervals, both directions.
+  common::IntervalSet staging;
+  for (const auto* dir : {"IN", "OUT"}) {
+    const std::string from = std::string("STAGE_") + dir + "_START";
+    const std::string to = std::string("STAGE_") + dir + "_DONE";
+    std::unordered_map<std::uint64_t, SimTime> open;
+    for (const auto& r : trace.records()) {
+      if (r.entity != Entity::kTransfer || files.count(r.uid) == 0) continue;
+      if (r.state == from) {
+        open[r.uid] = r.when;
+      } else if (r.state == to) {
+        auto it = open.find(r.uid);
+        if (it != open.end()) {
+          staging.add(it->second, r.when);
+          open.erase(it);
+        }
+      }
+    }
+  }
+  out.ts = staging.union_length();
   return out;
 }
 

@@ -56,4 +56,26 @@ struct TtcBreakdown {
 /// manager RUN_START record; missing phases yield zero components.
 [[nodiscard]] TtcBreakdown analyze_ttc(const pilot::Profiler& trace);
 
+/// One tenant's slice of a multi-tenant campaign trace.
+struct TenantTtc {
+  /// Arrival to last unit final — the tenant-perceived TTC.
+  SimDuration ttc = SimDuration::zero();
+  /// Arrival to the first *leased* pilot being ACTIVE. Zero when the tenant
+  /// reused a pilot that was already active — the pool's amortization of Tw.
+  SimDuration tw = SimDuration::zero();
+  /// Union of this tenant's unit EXECUTING intervals.
+  SimDuration tx = SimDuration::zero();
+  /// Union of this tenant's file staging intervals (in and out).
+  SimDuration ts = SimDuration::zero();
+};
+
+/// Computes one tenant's TTC components from the shared campaign trace:
+/// `unit_uids` / `file_uids` are the tenant's unit and skeleton-file ids,
+/// `pilot_uids` the pilots it leased, and [`arrival`, `finished`] its span.
+[[nodiscard]] TenantTtc analyze_tenant_ttc(const pilot::Profiler& trace,
+                                           const std::vector<std::uint64_t>& unit_uids,
+                                           const std::vector<std::uint64_t>& file_uids,
+                                           const std::vector<std::uint64_t>& pilot_uids,
+                                           SimTime arrival, SimTime finished);
+
 }  // namespace aimes::core

@@ -1,0 +1,113 @@
+// Campaign trial runner: the multi-tenant counterpart of exp::run_trial.
+//
+// One campaign trial = one fresh world running N heterogeneous bag-of-tasks
+// tenants with seeded arrival times, under one of three sharing regimes:
+// a shared pilot pool (the tentpole), private per-tenant fleets (concurrent
+// but no reuse), or a strict sequential baseline (each tenant waits for its
+// predecessor — the "run your campaign one app at a time" strawman the
+// shared pool must beat). Like single-app trials, a campaign trial is a
+// pure function of its seed, so cells run through sim::ReplicaPool with
+// bit-identical aggregates for every worker count.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/aimes.hpp"
+#include "exp/runner.hpp"
+
+namespace aimes::exp {
+
+/// How the campaign's tenants share (or don't share) pilots.
+enum class CampaignMode {
+  kSharedPool,     ///< Concurrent tenants lease from one PilotPool.
+  kPrivatePilots,  ///< Concurrent tenants, fresh pilots each, no reuse.
+  kSequential,     ///< One tenant at a time, in arrival order.
+};
+
+[[nodiscard]] std::string_view to_string(CampaignMode mode);
+
+/// Parses "shared" / "private" / "sequential". Returns false on anything else.
+[[nodiscard]] bool parse_campaign_mode(std::string_view text, CampaignMode& out);
+
+/// Tenant arrival process.
+struct ArrivalSpec {
+  /// Poisson arrival rate per virtual hour; <= 0 switches to fixed spacing.
+  double poisson_per_hour = 0.0;
+  /// Deterministic inter-arrival gap used when the rate is unset.
+  common::SimDuration fixed_spacing = common::SimDuration::minutes(20);
+};
+
+/// One campaign cell's shape.
+struct CampaignSpec {
+  int n_tenants = 4;
+  /// Smallest tenant's task count. Tenant i runs base_tasks * {1,2,4}[i % 3]
+  /// tasks, so every campaign mixes sizes (the concurrent-workload regime's
+  /// heterogeneity, not N copies of one app).
+  int base_tasks = 8;
+  /// Gaussian vs uniform task durations (Table I's two workloads).
+  bool gaussian_durations = false;
+  /// Pilots per tenant plan.
+  int n_pilots = 2;
+  ArrivalSpec arrival;
+  CampaignMode mode = CampaignMode::kSharedPool;
+  /// Fair-share weights cycled across tenants (empty = all weight 1).
+  std::vector<int> weights;
+  /// Pool tuning, forwarded to core::CampaignOptions in the shared mode.
+  common::SimDuration pool_idle_grace = common::SimDuration::minutes(10);
+  double walltime_headroom = 2.0;
+};
+
+/// Tenant i's task count under `spec`'s size cycle.
+[[nodiscard]] int campaign_tenant_tasks(const CampaignSpec& spec, int tenant_index);
+
+/// Arrival offsets (relative to campaign start) for every tenant, in tenant
+/// order. Tenant 0 arrives at zero; Poisson gaps come from the dedicated
+/// "campaign/arrivals" RNG stream, so they are identical across modes for
+/// one seed — the modes race on scheduling, not on luck.
+[[nodiscard]] std::vector<common::SimDuration> campaign_arrivals(const CampaignSpec& spec,
+                                                                 std::uint64_t seed);
+
+/// Result of one campaign trial.
+struct CampaignTrialResult {
+  /// Every tenant planned and completed all its units.
+  bool success = false;
+  /// Campaign start to the last tenant's completion (all modes).
+  common::SimDuration makespan = common::SimDuration::zero();
+  /// Per-tenant TTC (arrival to completion), in tenant order. In sequential
+  /// mode a tenant's TTC includes the time spent waiting for predecessors.
+  std::vector<common::SimDuration> tenant_ttc;
+  /// The full campaign report (shared/private modes only; sequential trials
+  /// run through the single-app path and leave this default).
+  core::CampaignReport report;
+};
+
+/// Runs one campaign trial in a fresh world derived from `seed`.
+[[nodiscard]] CampaignTrialResult run_campaign_trial(const CampaignSpec& spec,
+                                                     std::uint64_t seed,
+                                                     const WorldTweaks& tweaks = {});
+
+/// Aggregated results of repeated campaign trials.
+struct CampaignCellResult {
+  CampaignSpec spec;
+  common::Summary makespan_s;    ///< seconds, successful trials
+  common::Summary tenant_ttc_s;  ///< seconds, every tenant of successful trials
+  std::size_t failures = 0;
+  /// FNV-1a over every trial's success flag, makespan and per-tenant TTCs
+  /// (raw milliseconds), in trial order — the bit-identity witness the
+  /// determinism tests and bench compare across `jobs` values.
+  std::uint64_t checksum = 0;
+};
+
+/// Runs `n_trials` campaign trials (seeds base_seed+1 ... base_seed+n) on a
+/// sim::ReplicaPool of `jobs` workers (1 = serial, 0 = hardware concurrency)
+/// and aggregates in seed order; aggregates and checksum are bit-identical
+/// for every `jobs` value.
+[[nodiscard]] CampaignCellResult run_campaign_cell(const CampaignSpec& spec, int n_trials,
+                                                   std::uint64_t base_seed,
+                                                   const WorldTweaks& tweaks = {},
+                                                   int jobs = 1);
+
+}  // namespace aimes::exp

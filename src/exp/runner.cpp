@@ -26,11 +26,7 @@ TrialResult run_trial(const ExperimentSpec& experiment, int tasks, std::uint64_t
     common::Log::warn("exp", "trial failed to plan: " + run.error());
     return result;
   }
-  result.success = run->report.success;
-  result.ttc = run->report.ttc;
-  result.strategy = run->report.strategy;
-  result.units_done = run->report.units_done;
-  result.units_failed = run->report.units_failed;
+  result.report = std::move(run->report);
   return result;
 }
 
@@ -52,11 +48,11 @@ CellResult run_cell(const ExperimentSpec& experiment, int tasks, int n_trials,
       });
   for (int t = 0; t < n_trials; ++t) {
     const TrialResult& r = results[static_cast<std::size_t>(t)];
-    if (r.success) {
-      cell.ttc_s.add(r.ttc.ttc.to_seconds());
-      cell.tw_s.add(r.ttc.tw.to_seconds());
-      cell.tx_s.add(r.ttc.tx.to_seconds());
-      cell.ts_s.add(r.ttc.ts.to_seconds());
+    if (r.report.success) {
+      cell.ttc_s.add(r.report.ttc.ttc.to_seconds());
+      cell.tw_s.add(r.report.ttc.tw.to_seconds());
+      cell.tx_s.add(r.report.ttc.tx.to_seconds());
+      cell.ts_s.add(r.report.ttc.ts.to_seconds());
     } else {
       ++cell.failures;
     }

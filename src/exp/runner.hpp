@@ -16,13 +16,13 @@
 
 namespace aimes::exp {
 
-/// Result of one trial.
+/// Result of one trial: the execution layer's full report, verbatim. A trial
+/// that fails to plan carries a default report (success == false). Embedding
+/// the report (instead of hand-copying fields) means new report fields —
+/// recovery stats, fault counts, metrics — reach the experiment layer
+/// without edits in two places.
 struct TrialResult {
-  bool success = false;
-  core::TtcBreakdown ttc;
-  core::ExecutionStrategy strategy;
-  std::size_t units_done = 0;
-  std::size_t units_failed = 0;
+  core::ExecutionReport report;
 };
 
 /// Aggregated results of repeated trials of one (experiment, size) cell.

@@ -48,6 +48,10 @@ struct ComputeUnitDescription {
   /// Indices (within the same submit_units() batch) of units whose outputs
   /// this unit consumes; it stays in SCHEDULING until they are DONE.
   std::vector<std::size_t> depends_on;
+  /// Owning tenant in a multi-tenant campaign (0 = the single-application
+  /// default). Stamped by submit_batch() from the batch's spec; the
+  /// fair-share arbiter schedules across tenants, not units.
+  int tenant = 0;
 };
 
 }  // namespace aimes::pilot

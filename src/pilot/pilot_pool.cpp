@@ -1,0 +1,121 @@
+#include "pilot/pilot_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.hpp"
+
+namespace aimes::pilot {
+
+PilotPool::PilotPool(sim::Engine& engine, Profiler& profiler, PilotManager& pilots,
+                     PilotPoolOptions options)
+    : engine_(engine), profiler_(profiler), pilots_(pilots), options_(options) {
+  // Chain behind whoever installed on_pilot_gone (the UnitManager): evict
+  // first so a dead pilot is out of the pool before units rebind.
+  auto previous = pilots_.on_pilot_gone;
+  pilots_.on_pilot_gone = [this, previous](ComputePilot& p,
+                                           const std::vector<common::UnitId>& lost) {
+    handle_gone(p);
+    if (previous) previous(p, lost);
+  };
+}
+
+common::SimDuration PilotPool::remaining_walltime(const ComputePilot& p) const {
+  if (is_final(p.state)) return common::SimDuration::zero();
+  if (p.state != PilotState::kActive) return p.description.walltime;  // clock not started
+  const auto used = engine_.now() - p.active_at;
+  const auto total = p.description.walltime;
+  return used >= total ? common::SimDuration::zero() : total - used;
+}
+
+PilotId PilotPool::launch(const PilotDescription& description, int tenant) {
+  const PilotId id = pilots_.submit(description);
+  entries_[id] = Entry{1, 1};
+  ++stats_.launched;
+  profiler_.record(engine_.now(), Entity::kPilot, id.value(), "POOL_LEASE",
+                   "tenant=" + std::to_string(tenant) + " fresh");
+  return id;
+}
+
+bool PilotPool::lease(PilotId id, int tenant) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  const ComputePilot* p = pilots_.find(id);
+  if (p == nullptr || is_final(p->state)) return false;
+  ++it->second.leases;
+  ++it->second.generation;  // invalidate any pending idle-cancel
+  ++stats_.reused;
+  profiler_.record(engine_.now(), Entity::kPilot, id.value(), "POOL_LEASE",
+                   "tenant=" + std::to_string(tenant) + " reused");
+  return true;
+}
+
+void PilotPool::release(PilotId id, int tenant) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;  // already evicted (pilot died)
+  assert(it->second.leases > 0);
+  --it->second.leases;
+  profiler_.record(engine_.now(), Entity::kPilot, id.value(), "POOL_RELEASE",
+                   "tenant=" + std::to_string(tenant));
+  if (it->second.leases == 0) schedule_idle_cancel(id);
+}
+
+void PilotPool::schedule_idle_cancel(PilotId id) {
+  Entry& entry = entries_.at(id);
+  const std::uint64_t generation = ++entry.generation;
+  auto fire = [this, id, generation] {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return;                    // died in the meantime
+    if (it->second.leases > 0) return;                   // re-leased
+    if (it->second.generation != generation) return;     // superseded
+    if (busy_check && busy_check(id)) {
+      // Unleased but still executing someone's multiplexed units: give it
+      // another grace period and check again.
+      schedule_idle_cancel(id);
+      return;
+    }
+    ++stats_.cancelled_idle;
+    profiler_.record(engine_.now(), Entity::kPilot, id.value(), "POOL_IDLE_CANCEL", "");
+    pilots_.cancel(id);  // handle_gone (chained) removes the entry
+  };
+  // Zero grace cancels on release (private-pilot semantics) — but never
+  // under multiplexed units: a busy pilot always gets a delayed re-check,
+  // which also keeps the busy re-arm above from recursing in place.
+  if (options_.idle_grace <= common::SimDuration::zero() &&
+      !(busy_check && busy_check(id))) {
+    fire();
+  } else {
+    engine_.schedule(std::max(options_.idle_grace, common::SimDuration::minutes(1)), fire);
+  }
+}
+
+void PilotPool::drain() {
+  // Collect first: cancel() fires handle_gone which mutates entries_.
+  std::vector<PilotId> live;
+  live.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) live.push_back(id);
+  for (PilotId id : live) {
+    if (entries_.count(id) == 0) continue;
+    pilots_.cancel(id);
+  }
+}
+
+std::vector<PoolSlotInfo> PilotPool::slots() {
+  std::vector<PoolSlotInfo> out;
+  // Launch order (the PilotManager's order) keeps the planner's reuse
+  // matching deterministic.
+  for (const ComputePilot* p : pilots_.pilots()) {
+    auto it = entries_.find(p->id);
+    if (it == entries_.end()) continue;
+    if (is_final(p->state)) continue;
+    out.push_back(PoolSlotInfo{p->id, p->description.site, p->description.cores,
+                               it->second.leases, remaining_walltime(*p)});
+  }
+  return out;
+}
+
+void PilotPool::handle_gone(const ComputePilot& p) {
+  entries_.erase(p.id);
+}
+
+}  // namespace aimes::pilot

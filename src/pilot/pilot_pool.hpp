@@ -1,0 +1,113 @@
+// Shared pilot pool with a lease API (multi-tenant campaigns).
+//
+// P* frames pilots as multiplexable containers: a placeholder job, once
+// active, can serve units from *any* workload that fits it. The pool makes
+// that explicit for the campaign executor: pilots are keyed by (site, cores),
+// leased per tenant, reused across applications when their remaining
+// walltime allows, and cancelled only after an idle grace period during
+// which no tenant holds a lease — so a pilot's queue wait (Tw) is paid once
+// and amortized over every tenant that reuses it.
+//
+// The pool sits *beside* the PilotManager (which keeps owning the pilot
+// state machines) and wraps its on_pilot_gone callback to evict pilots that
+// die under it (walltime kill, preemption); the UnitManager's restart logic
+// is untouched and runs after eviction.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "pilot/pilot_manager.hpp"
+#include "pilot/profiler.hpp"
+
+namespace aimes::pilot {
+
+/// Pool tuning.
+struct PilotPoolOptions {
+  /// How long a fully released pilot stays alive waiting for a new tenant
+  /// before it is cancelled. Zero cancels on release (private-pilot
+  /// semantics).
+  common::SimDuration idle_grace = common::SimDuration::minutes(10);
+};
+
+/// Reuse accounting for the campaign report.
+struct PilotPoolStats {
+  /// Fresh pilots launched through the pool.
+  int launched = 0;
+  /// Leases served by an already-pooled pilot (the amortization count).
+  int reused = 0;
+  /// Pilots cancelled because their idle grace expired with no lease.
+  int cancelled_idle = 0;
+};
+
+/// A pooled pilot as the campaign planner sees it: where it is, how big it
+/// is, and how much walltime it still has to offer.
+struct PoolSlotInfo {
+  PilotId pilot;
+  common::SiteId site;
+  int cores = 0;
+  int leases = 0;
+  common::SimDuration remaining_walltime = common::SimDuration::zero();
+};
+
+/// Lease-managed pilot fleet shared by every tenant of a campaign.
+class PilotPool {
+ public:
+  /// Wraps `pilots`' on_pilot_gone callback; construct *after* the
+  /// UnitManager so unit restarts still run (eviction chains to them).
+  PilotPool(sim::Engine& engine, Profiler& profiler, PilotManager& pilots,
+            PilotPoolOptions options = {});
+
+  PilotPool(const PilotPool&) = delete;
+  PilotPool& operator=(const PilotPool&) = delete;
+
+  /// Optional veto on idle cancellation. Leases are the pool's own idea of
+  /// "needed", but the shared UnitManager multiplexes units onto any active
+  /// pilot, leased or not; cancelling a lease-idle pilot under dispatched
+  /// units would burn their restart attempts. When set, an idle-grace expiry
+  /// with `busy_check(id)` true re-arms the grace instead of cancelling.
+  std::function<bool(PilotId)> busy_check;
+
+  /// Launches a fresh pooled pilot, immediately leased by `tenant`.
+  PilotId launch(const PilotDescription& description, int tenant);
+
+  /// Takes a lease on an existing pooled pilot (picked by the campaign
+  /// planner from slots()). Fails if the pilot is unknown or already final.
+  bool lease(PilotId id, int tenant);
+
+  /// Releases one lease. When the last lease goes, the pilot idles for
+  /// `idle_grace` and is then cancelled unless re-leased.
+  void release(PilotId id, int tenant);
+
+  /// Cancels every pooled pilot (campaign teardown — "all pilots are
+  /// canceled ... so as not to waste resources", applied pool-wide).
+  void drain();
+
+  /// Live pooled pilots in launch order: the campaign planner's view of
+  /// what could be reused right now.
+  [[nodiscard]] std::vector<PoolSlotInfo> slots();
+
+  [[nodiscard]] const PilotPoolStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    int leases = 0;
+    /// Bumped on every lease; a scheduled idle-cancel only fires if the
+    /// generation it captured is still current.
+    std::uint64_t generation = 0;
+  };
+
+  [[nodiscard]] common::SimDuration remaining_walltime(const ComputePilot& p) const;
+  void schedule_idle_cancel(PilotId id);
+  void handle_gone(const ComputePilot& p);
+
+  sim::Engine& engine_;
+  Profiler& profiler_;
+  PilotManager& pilots_;
+  PilotPoolOptions options_;
+  std::map<PilotId, Entry> entries_;
+  PilotPoolStats stats_;
+};
+
+}  // namespace aimes::pilot

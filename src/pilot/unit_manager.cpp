@@ -38,24 +38,37 @@ const ComputeUnit* UnitManager::find(UnitId id) const {
   return it == units_.end() ? nullptr : &it->second;
 }
 
-std::vector<UnitId> UnitManager::submit_units(const std::vector<ComputeUnitDescription>& batch) {
-  std::vector<UnitId> ids;
-  ids.reserve(batch.size());
+UnitManager::BatchHandle UnitManager::submit_batch(
+    const std::vector<ComputeUnitDescription>& descriptions, const BatchSpec& spec,
+    BatchCallback done) {
+  BatchHandle handle;
+  batches_.push_back(Batch{spec, descriptions.size(), 0, 0, 0, false, std::move(done)});
+  handle.batch = batches_.size();
+  handle.units.reserve(descriptions.size());
+
+  // The tenant's fair-share queue exists from submission on, so its weight
+  // is in force before the first unit becomes eligible. A tenant seen again
+  // (second batch) keeps one queue; the latest weight wins.
+  TenantQueue& tq = tenants_[spec.tenant];
+  tq.weight = std::max(1, spec.weight);
 
   // Create all records first so dependency indices can be resolved.
-  for (const auto& desc : batch) {
+  for (const auto& desc : descriptions) {
     const UnitId id = ids_.next();
     ComputeUnit u;
     u.id = id;
     u.description = desc;
+    u.description.tenant = spec.tenant;
+    u.batch = handle.batch;
     units_.emplace(id, std::move(u));
     order_.push_back(id);
-    ids.push_back(id);
+    handle.units.push_back(id);
     set_state(units_.at(id), UnitState::kNew);
   }
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  const std::vector<UnitId>& ids = handle.units;
+  for (std::size_t i = 0; i < descriptions.size(); ++i) {
     ComputeUnit& u = units_.at(ids[i]);
-    for (std::size_t dep : batch[i].depends_on) {
+    for (std::size_t dep : descriptions[i].depends_on) {
       assert(dep < i && "dependencies must reference earlier units in the batch");
       units_.at(ids[dep]).dependents.push_back(ids[i]);
       ++u.unmet_dependencies;
@@ -78,7 +91,15 @@ std::vector<UnitId> UnitManager::submit_units(const std::vector<ComputeUnitDescr
       }
     });
   }
-  return ids;
+  return handle;
+}
+
+std::vector<UnitId> UnitManager::submit_units(const std::vector<ComputeUnitDescription>& batch) {
+  BatchHandle handle = submit_batch(batch, BatchSpec{}, [this](const UnitBatchResult& r) {
+    completed_fired_ = true;
+    if (on_complete) on_complete(r);
+  });
+  return handle.units;
 }
 
 void UnitManager::bind_early(ComputeUnit& u, std::size_t index) {
@@ -110,7 +131,8 @@ void UnitManager::try_start_bound_unit(UnitId id) {
 }
 
 void UnitManager::enqueue_late(UnitId id) {
-  late_queue_.push_back(id);
+  tenants_.at(tenant_of(unit(id))).queue.push_back(id);
+  ++total_queued_;
   pump_late_queue();
 }
 
@@ -122,26 +144,91 @@ int UnitManager::dispatch_budget_cores(const ComputePilot& pilot) const {
   return static_cast<int>(budget) - used;
 }
 
+UnitId UnitManager::select_next_unit(const ComputePilot& pilot, int budget) {
+  // A pilot near its walltime must not accept units it cannot finish: with
+  // pooled pilots another tenant's unit would otherwise queue on a dying
+  // pilot, burn a restart attempt when it expires, and possibly exhaust its
+  // attempts bouncing between expiring pilots. The minute of headroom
+  // covers staging before the compute phase starts.
+  auto remaining = pilot.description.walltime;
+  if (pilot.state == PilotState::kActive) {
+    const auto used = engine_.now() - pilot.active_at;
+    remaining = used >= remaining ? common::SimDuration::zero() : remaining - used;
+  }
+  auto fits = [&](UnitId id) {
+    const ComputeUnit& u = units_.at(id);
+    return u.description.cores <= pilot.description.cores && u.description.cores <= budget &&
+           u.description.duration + common::SimDuration::minutes(1) <= remaining;
+  };
+  // Weighted round-robin: each backlogged tenant spends up to `weight`
+  // credits per round; when the credited tenants cannot field a fitting
+  // unit but an uncredited one could, a new round starts. Within a tenant,
+  // first fitting unit in queue order (the pre-campaign behavior — with a
+  // single tenant this degenerates to exactly the old scan).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (auto& [tenant, q] : tenants_) {
+      if (q.queue.empty() || q.credit <= 0) continue;
+      auto it = std::find_if(q.queue.begin(), q.queue.end(), fits);
+      if (it == q.queue.end()) continue;
+      const UnitId id = *it;
+      q.queue.erase(it);
+      --total_queued_;
+      --q.credit;
+      note_dispatch(tenant);
+      return id;
+    }
+    bool any_fitting = false;
+    for (auto& [tenant, q] : tenants_) {
+      if (!q.queue.empty() && std::any_of(q.queue.begin(), q.queue.end(), fits)) {
+        any_fitting = true;
+        break;
+      }
+    }
+    if (!any_fitting) return UnitId::invalid();
+    for (auto& [tenant, q] : tenants_) q.credit = q.weight;
+  }
+  return UnitId::invalid();
+}
+
+void UnitManager::note_dispatch(int tenant) {
+  // Starvation accounting: every *other* backlogged tenant waited through
+  // one more foreign dispatch; the dispatching tenant's own gap resets.
+  for (auto& [t, q] : tenants_) {
+    if (t == tenant) continue;
+    if (q.queue.empty()) {
+      q.pending_gap = 0;
+      continue;
+    }
+    ++q.pending_gap;
+    q.max_gap = std::max(q.max_gap, q.pending_gap);
+  }
+  TenantQueue& own = tenants_.at(tenant);
+  own.pending_gap = 0;
+  ++own.dispatched;
+}
+
+std::vector<TenantStats> UnitManager::tenant_stats() const {
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, q] : tenants_) {
+    out.push_back(TenantStats{tenant, q.weight, q.dispatched, q.max_gap});
+  }
+  return out;
+}
+
 void UnitManager::pump_late_queue() {
-  if (late_queue_.empty()) return;
+  if (total_queued_ == 0) return;
   // Round-robin over active pilots with spare budget; a pilot pulls the
-  // first queued unit that fits it.
+  // arbiter's next fitting unit.
   bool progress = true;
-  while (progress && !late_queue_.empty()) {
+  while (progress && total_queued_ > 0) {
     progress = false;
     for (ComputePilot* pilot : pilots_.active_pilots()) {
-      if (late_queue_.empty()) break;
+      if (total_queued_ == 0) break;
       int budget = dispatch_budget_cores(*pilot);
       if (budget <= 0) continue;
-      // First fitting unit in queue order.
-      auto it = std::find_if(late_queue_.begin(), late_queue_.end(), [&](UnitId id) {
-        const ComputeUnit& u = unit(id);
-        return u.description.cores <= pilot->description.cores &&
-               u.description.cores <= budget;
-      });
-      if (it == late_queue_.end()) continue;
-      const UnitId id = *it;
-      late_queue_.erase(it);
+      const UnitId id = select_next_unit(*pilot, budget);
+      if (!id.valid()) continue;
       ComputeUnit& u = unit(id);
       u.pilot = pilot->id;
       begin_staging(u);
@@ -270,13 +357,40 @@ void UnitManager::finish_unit(ComputeUnit& u, UnitState final_state) {
     u.holds_dispatch_slot = false;
   }
   set_state(u, final_state);
-  if (final_state == UnitState::kDone) {
-    ++done_;
-    resolve_dependents(u);
-  } else {
-    ++failed_;
+  account_final(u, final_state);
+  if (final_state == UnitState::kDone) resolve_dependents(u);
+  maybe_complete_batch(u.batch);
+}
+
+void UnitManager::account_final(ComputeUnit& u, UnitState final_state) {
+  Batch& b = batch_of(u);
+  switch (final_state) {
+    case UnitState::kDone:
+      ++done_;
+      ++b.done;
+      break;
+    case UnitState::kFailed:
+      ++failed_;
+      ++b.failed;
+      break;
+    case UnitState::kCanceled:
+      ++cancelled_;
+      ++b.cancelled;
+      break;
+    default: assert(false && "not a final state");
   }
-  maybe_complete();
+}
+
+void UnitManager::maybe_complete_batch(BatchId id) {
+  Batch& b = batches_.at(id - 1);
+  if (b.fired || b.done + b.failed + b.cancelled < b.total) return;
+  b.fired = true;
+  const UnitBatchResult result{b.done, b.failed, b.cancelled, b.total};
+  profiler_.record(engine_.now(), Entity::kManager, id, "BATCH_COMPLETE",
+                   (b.spec.label.empty() ? std::string() : b.spec.label + " ") +
+                       "done=" + std::to_string(b.done) + " failed=" + std::to_string(b.failed) +
+                       " cancelled=" + std::to_string(b.cancelled));
+  if (b.callback) b.callback(result);
 }
 
 void UnitManager::resolve_dependents(ComputeUnit& u) {
@@ -389,6 +503,11 @@ void UnitManager::restart_unit(UnitId id, const std::string& reason) {
 }
 
 void UnitManager::cancel_all(const std::string& reason) {
+  for (auto& [tenant, q] : tenants_) {
+    q.queue.clear();
+    q.pending_gap = 0;
+  }
+  total_queued_ = 0;
   for (UnitId id : order_) {
     ComputeUnit& u = unit(id);
     if (is_final(u.state)) continue;
@@ -399,23 +518,9 @@ void UnitManager::cancel_all(const std::string& reason) {
     u.inflight_inputs = 0;
     u.inflight_outputs = 0;
     set_state(u, UnitState::kCanceled, reason);
-    ++cancelled_;
+    account_final(u, UnitState::kCanceled);
   }
-  late_queue_.clear();
-  maybe_complete();
-}
-
-void UnitManager::maybe_complete() {
-  if (completed_fired_) return;
-  if (done_ + failed_ + cancelled_ < order_.size()) return;
-  completed_fired_ = true;
-  if (on_complete) {
-    UnitBatchResult result{done_, failed_, cancelled_, order_.size()};
-    profiler_.record(engine_.now(), Entity::kManager, 0, "BATCH_COMPLETE",
-                     "done=" + std::to_string(done_) + " failed=" + std::to_string(failed_) +
-                         " cancelled=" + std::to_string(cancelled_));
-    on_complete(result);
-  }
+  for (BatchId b = 1; b <= batches_.size(); ++b) maybe_complete_batch(b);
 }
 
 }  // namespace aimes::pilot

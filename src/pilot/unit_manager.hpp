@@ -12,13 +12,17 @@
 //                  first pilot (the paper's 1-pilot strategies).
 //  * kRoundRobin — early binding across several pilots, unit i to pilot
 //                  i mod N (kept for the decision-space ablations).
-//  * kBackfill   — late binding: units wait in a queue; any pilot that is
-//                  ACTIVE with spare capacity pulls the next eligible unit
-//                  ("backfilling" the pilots, §IV).
+//  * kBackfill   — late binding: units wait in per-tenant queues; any pilot
+//                  that is ACTIVE with spare capacity pulls the next eligible
+//                  unit ("backfilling" the pilots, §IV). With several tenants
+//                  (multi-tenant campaigns) a weighted round-robin arbiter
+//                  picks which tenant's queue feeds the pilot, bounding how
+//                  long any backlogged tenant can starve.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -70,6 +74,34 @@ struct UnitManagerOptions {
   common::SimDuration dispatch_overhead = common::SimDuration::millis(15);
 };
 
+/// Identifies one submitted batch (1-based; 0 invalid).
+using BatchId = std::size_t;
+
+/// Per-batch submission metadata: which tenant owns the units and how much
+/// of the shared dispatch bandwidth it is entitled to.
+struct BatchSpec {
+  /// Owning tenant (0 = the single-application default).
+  int tenant = 0;
+  /// Fair-share weight: a backlogged tenant receives `weight` dispatch
+  /// opportunities per arbiter round (weighted round-robin).
+  int weight = 1;
+  /// Trace label (application name).
+  std::string label;
+};
+
+/// Fair-share accounting for one tenant (late-binding dispatch path).
+struct TenantStats {
+  int tenant = 0;
+  int weight = 1;
+  /// Units dispatched (staging started) for this tenant.
+  std::uint64_t dispatched = 0;
+  /// Maximum number of other-tenant dispatches observed between two
+  /// consecutive dispatches of this tenant while it was backlogged — the
+  /// measured starvation gap. WRR bounds it by sum of the other tenants'
+  /// weights (per fitting pilot scan).
+  std::uint64_t max_dispatch_gap = 0;
+};
+
 /// A managed unit.
 struct ComputeUnit {
   UnitId id;
@@ -77,6 +109,8 @@ struct ComputeUnit {
   UnitState state = UnitState::kNew;
   /// Current binding; invalid while unbound (late binding, SCHEDULING).
   PilotId pilot;
+  /// Owning batch (set by submit_batch; 0 until then).
+  BatchId batch = 0;
   int attempts = 0;
   // Dependency bookkeeping.
   std::size_t unmet_dependencies = 0;
@@ -111,12 +145,28 @@ class UnitManager {
   UnitManager& operator=(const UnitManager&) = delete;
 
   /// Fired once when every submitted unit reached DONE or exhausted its
-  /// attempts.
+  /// attempts (legacy single-batch path; campaigns use per-batch callbacks).
   std::function<void(const UnitBatchResult&)> on_complete;
 
-  /// Submits a batch; `depends_on` indices inside each description refer to
-  /// positions in `batch`. Early-binding schedulers bind immediately (pilots
-  /// must already be submitted). Returns ids in batch order.
+  /// A submitted batch: its id and the unit ids in submission order.
+  struct BatchHandle {
+    BatchId batch = 0;
+    std::vector<UnitId> units;
+  };
+  using BatchCallback = std::function<void(const UnitBatchResult&)>;
+
+  /// Submits one batch of units under `spec`; `depends_on` indices inside
+  /// each description refer to positions in `descriptions`. `done` fires
+  /// once, when every unit of *this batch* is final. Batches may be
+  /// submitted at any time (multi-tenant campaigns submit one per tenant as
+  /// it arrives); late-binding dispatch is arbitrated across tenants by
+  /// weighted round-robin.
+  BatchHandle submit_batch(const std::vector<ComputeUnitDescription>& descriptions,
+                           const BatchSpec& spec, BatchCallback done);
+
+  /// Single-batch convenience (the pre-campaign API): submits under a
+  /// default BatchSpec and routes completion to `on_complete`. Returns ids
+  /// in batch order.
   std::vector<UnitId> submit_units(const std::vector<ComputeUnitDescription>& batch);
 
   /// Cancels every non-final unit (aborting the batch). Executing units are
@@ -130,11 +180,50 @@ class UnitManager {
   [[nodiscard]] std::size_t failed_count() const { return failed_; }
   [[nodiscard]] std::size_t cancelled_count() const { return cancelled_; }
   [[nodiscard]] UnitSchedulerKind scheduler() const { return options_.scheduler; }
-  /// True once every unit reached a final state and `on_complete` fired.
+  /// True once every unit reached a final state and `on_complete` fired
+  /// (meaningful for the single-batch submit_units path).
   [[nodiscard]] bool batch_complete() const { return completed_fired_; }
+  /// Fair-share accounting per tenant, ascending tenant id (tenants that
+  /// ever had a late-binding queue).
+  [[nodiscard]] std::vector<TenantStats> tenant_stats() const;
+  /// True while any unit is dispatched to `pilot` and not yet done
+  /// (staging, queued at the agent, or executing). The pilot pool consults
+  /// this before cancelling a lease-idle pilot: multiplexed units from a
+  /// non-leasing tenant still need it.
+  [[nodiscard]] bool has_dispatched_work(PilotId pilot) const {
+    auto it = dispatched_cores_.find(pilot);
+    return it != dispatched_cores_.end() && it->second > 0;
+  }
 
  private:
+  /// One submitted batch and its completion bookkeeping.
+  struct Batch {
+    BatchSpec spec;
+    std::size_t total = 0;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t cancelled = 0;
+    bool fired = false;
+    BatchCallback callback;
+  };
+  /// Per-tenant late-binding queue with its WRR credit and starvation gap
+  /// accounting.
+  struct TenantQueue {
+    int weight = 1;
+    int credit = 0;
+    std::deque<UnitId> queue;
+    /// Other-tenant dispatches since this tenant's own last dispatch, while
+    /// its queue was non-empty.
+    std::uint64_t pending_gap = 0;
+    std::uint64_t max_gap = 0;
+    std::uint64_t dispatched = 0;
+  };
+
   ComputeUnit& unit(UnitId id) { return units_.at(id); }
+  Batch& batch_of(const ComputeUnit& u) { return batches_.at(u.batch - 1); }
+  [[nodiscard]] int tenant_of(const ComputeUnit& u) const {
+    return batches_.at(u.batch - 1).spec.tenant;
+  }
   void set_state(ComputeUnit& u, UnitState s, const std::string& detail = "");
   [[nodiscard]] bool eligible(const ComputeUnit& u) const {
     return u.unmet_dependencies == 0;
@@ -148,6 +237,11 @@ class UnitManager {
   void enqueue_late(UnitId id);
   void pump_late_queue();
   [[nodiscard]] int dispatch_budget_cores(const ComputePilot& pilot) const;
+  /// The fair-share arbiter: picks (and removes from its queue) the next
+  /// unit to dispatch onto `pilot`, honoring WRR credits across tenants.
+  /// Returns an invalid id when no queued unit fits.
+  UnitId select_next_unit(const ComputePilot& pilot, int budget);
+  void note_dispatch(int tenant);
 
   // Common path.
   void begin_staging(ComputeUnit& u);
@@ -159,7 +253,8 @@ class UnitManager {
   void handle_pilot_gone(ComputePilot& pilot, const std::vector<UnitId>& lost);
   void restart_unit(UnitId id, const std::string& reason);
   void resolve_dependents(ComputeUnit& u);
-  void maybe_complete();
+  void account_final(ComputeUnit& u, UnitState final_state);
+  void maybe_complete_batch(BatchId id);
 
   sim::Engine& engine_;
   Profiler& profiler_;
@@ -171,7 +266,11 @@ class UnitManager {
   common::IdGen<common::UnitTag> ids_;
   std::unordered_map<UnitId, ComputeUnit> units_;
   std::vector<UnitId> order_;
-  std::deque<UnitId> late_queue_;  // eligible, unbound (late binding)
+  std::vector<Batch> batches_;  // index = BatchId - 1
+  /// Eligible, unbound late-binding units, one queue per tenant; ordered map
+  /// so the arbiter's round order is deterministic.
+  std::map<int, TenantQueue> tenants_;
+  std::size_t total_queued_ = 0;
   /// Cores' worth of units dispatched to a pilot and not yet finished
   /// (staging + queued + executing) — the late-binding backpressure signal.
   std::unordered_map<PilotId, int> dispatched_cores_;

@@ -135,6 +135,74 @@ TEST_F(PlannerTest, RandomSelectionVariesAcrossDraws) {
   EXPECT_GT(seen.size(), 2u);
 }
 
+TEST_F(PlannerTest, ZeroSuitableSitesFails) {
+  // A bundle with no agents offers zero sites; planning must fail with a
+  // feasibility error, not crash or return an empty strategy.
+  bundle::BundleManager empty;
+  PlannerConfig cfg;
+  cfg.binding = Binding::kLate;
+  cfg.n_pilots = 1;
+  const auto s = derive_strategy(app(8), empty, cfg, *rng);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().find("no resources registered"), std::string::npos) << s.error();
+}
+
+TEST_F(PlannerTest, WalltimeExceedingEverySiteFailsDistinctly) {
+  // 100-hour tasks need a pilot walltime beyond every site's 48-hour batch
+  // limit. The sites are otherwise feasible (cores fit), so the error must
+  // name the walltime limit, not generic infeasibility.
+  auto spec = skeleton::profiles::bag_of_tasks(4, common::DistributionSpec::constant(360000));
+  const auto a = skeleton::materialize(spec, 1);
+  PlannerConfig cfg;
+  cfg.binding = Binding::kEarly;
+  cfg.n_pilots = 1;
+  const auto s = derive_strategy(a, aimes->bundles(), cfg, *rng);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().find("batch limit"), std::string::npos) << s.error();
+}
+
+TEST_F(PlannerTest, TieBreakingOnIdenticalSitesIsDeterministic) {
+  // Three byte-identical, unloaded sites rank exactly equal under predicted
+  // wait; the planner must break the tie deterministically (ascending site
+  // id), so repeated derivations and twin worlds agree bit for bit.
+  AimesConfig config;
+  config.seed = 21;
+  config.warmup = common::SimDuration::minutes(5);
+  auto base = cluster::standard_testbed()[0];
+  base.load.target_utilization = 0.0;  // empty queues => exact rank ties
+  base.load.backlog_machine_hours_lo = 0.0;
+  base.load.backlog_machine_hours_hi = 0.0;
+  config.testbed.clear();
+  for (const char* name : {"twin-a", "twin-b", "twin-c"}) {
+    auto site = base;
+    site.site.name = name;
+    config.testbed.push_back(site);
+  }
+  PlannerConfig cfg;
+  cfg.binding = Binding::kLate;
+  cfg.n_pilots = 2;
+  cfg.selection = SiteSelection::kPredictedWait;
+
+  std::vector<common::SiteId> first;
+  for (int world = 0; world < 2; ++world) {
+    Aimes twin(config);
+    twin.start();
+    common::Rng twin_rng(7);
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      const auto s = derive_strategy(app(8), twin.bundles(), cfg, twin_rng);
+      ASSERT_TRUE(s.ok()) << s.error();
+      ASSERT_EQ(s->sites.size(), 2u);
+      // The tie breaks low-id first.
+      EXPECT_LT(s->sites[0].value(), s->sites[1].value());
+      if (first.empty()) {
+        first = s->sites;
+      } else {
+        EXPECT_EQ(s->sites, first) << "world " << world << " repeat " << repeat;
+      }
+    }
+  }
+}
+
 TEST_F(PlannerTest, EstimatesRecordedInStrategy) {
   PlannerConfig cfg;
   cfg.binding = Binding::kLate;

@@ -66,14 +66,92 @@ TEST(ReportIo, JsonIsBalanced) {
 
 TEST(ReportIo, SaveWritesFile) {
   const std::string path = "/tmp/aimes_report_test.json";
-  ASSERT_TRUE(save_report_json(sample_report(), path));
+  ASSERT_TRUE(save_report_json(sample_report(), path).ok());
   std::ifstream f(path);
   ASSERT_TRUE(f.good());
   std::string line;
   std::getline(f, line);
   EXPECT_EQ(line, "{");
   std::remove(path.c_str());
-  EXPECT_FALSE(save_report_json(sample_report(), "/nonexistent/dir/report.json"));
+  const auto bad = save_report_json(sample_report(), "/nonexistent/dir/report.json");
+  ASSERT_FALSE(bad.ok());
+  // The error names the path so the caller's message is actionable.
+  EXPECT_NE(bad.error().find("/nonexistent/dir/report.json"), std::string::npos);
+}
+
+TEST(ReportIo, LoadRoundTripsSave) {
+  const std::string path = "/tmp/aimes_report_roundtrip.json";
+  const auto original = sample_report();
+  ASSERT_TRUE(save_report_json(original, path).ok());
+  const auto loaded = load_report_json(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded->success, original.success);
+  EXPECT_EQ(loaded->units_done, original.units_done);
+  EXPECT_EQ(loaded->units_failed, original.units_failed);
+  EXPECT_EQ(loaded->units_cancelled, original.units_cancelled);
+  EXPECT_EQ(loaded->strategy.binding, original.strategy.binding);
+  EXPECT_EQ(loaded->strategy.unit_scheduler, original.strategy.unit_scheduler);
+  EXPECT_EQ(loaded->strategy.n_pilots, original.strategy.n_pilots);
+  EXPECT_EQ(loaded->strategy.pilot_cores, original.strategy.pilot_cores);
+  EXPECT_EQ(loaded->strategy.pilot_walltime, original.strategy.pilot_walltime);
+  ASSERT_EQ(loaded->strategy.sites.size(), original.strategy.sites.size());
+  for (std::size_t i = 0; i < original.strategy.sites.size(); ++i) {
+    EXPECT_EQ(loaded->strategy.sites[i], original.strategy.sites[i]);
+  }
+  EXPECT_EQ(loaded->ttc.ttc, original.ttc.ttc);
+  EXPECT_EQ(loaded->ttc.tw, original.ttc.tw);
+  EXPECT_EQ(loaded->ttc.tx, original.ttc.tx);
+  EXPECT_EQ(loaded->ttc.ts, original.ttc.ts);
+  ASSERT_EQ(loaded->ttc.pilot_waits.size(), original.ttc.pilot_waits.size());
+  EXPECT_EQ(loaded->ttc.pilot_waits[0], original.ttc.pilot_waits[0]);
+  EXPECT_EQ(loaded->ttc.restarted_units, original.ttc.restarted_units);
+  EXPECT_DOUBLE_EQ(loaded->metrics.throughput_tasks_per_hour,
+                   original.metrics.throughput_tasks_per_hour);
+  EXPECT_DOUBLE_EQ(loaded->metrics.pilot_efficiency, original.metrics.pilot_efficiency);
+  EXPECT_DOUBLE_EQ(loaded->metrics.charge, original.metrics.charge);
+}
+
+TEST(ReportIo, LoadMissingFileNamesPath) {
+  const auto loaded = load_report_json("/nonexistent/dir/report.json");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("/nonexistent/dir/report.json"), std::string::npos);
+}
+
+TEST(ReportIo, MalformedFieldErrorNamesFileAndField) {
+  const std::string path = "/tmp/aimes_report_malformed.json";
+  auto json = report_to_json(sample_report());
+  // Corrupt one numeric field into a string.
+  const auto at = json.find("\"ttc_s\": 3600");
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, std::string("\"ttc_s\": 3600").size(), "\"ttc_s\": \"soon\"");
+  {
+    std::ofstream f(path);
+    f << json;
+  }
+  const auto loaded = load_report_json(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find(path), std::string::npos) << loaded.error();
+  EXPECT_NE(loaded.error().find("ttc_s"), std::string::npos) << loaded.error();
+  EXPECT_NE(loaded.error().find("expected a number"), std::string::npos) << loaded.error();
+}
+
+TEST(ReportIo, MissingFieldErrorNamesField) {
+  const std::string path = "/tmp/aimes_report_missing.json";
+  auto json = report_to_json(sample_report());
+  const auto at = json.find("  \"units_done\": 64,\n");
+  ASSERT_NE(at, std::string::npos);
+  json.erase(at, std::string("  \"units_done\": 64,\n").size());
+  {
+    std::ofstream f(path);
+    f << json;
+  }
+  const auto loaded = load_report_json(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("missing field 'units_done'"), std::string::npos)
+      << loaded.error();
 }
 
 }  // namespace

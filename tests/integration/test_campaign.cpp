@@ -1,0 +1,160 @@
+// Multi-tenant campaign executor: fairness, attribution, determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "exp/campaign.hpp"
+
+namespace aimes::exp {
+namespace {
+
+WorldTweaks quick_world() {
+  WorldTweaks tweaks;
+  tweaks.warmup = common::SimDuration::minutes(30);
+  return tweaks;
+}
+
+CampaignSpec four_tenant_spec() {
+  // Four tenants cycle sizes {1,2,4,1}x base, so t4's plan matches t1's
+  // pilots and the pool's reuse path is exercised.
+  CampaignSpec spec;
+  spec.n_tenants = 4;
+  spec.base_tasks = 4;
+  spec.n_pilots = 2;
+  spec.arrival.fixed_spacing = common::SimDuration::minutes(10);
+  return spec;
+}
+
+TEST(CampaignTest, SharedCampaignCompletesEveryTenant) {
+  const auto spec = four_tenant_spec();
+  const auto r = run_campaign_trial(spec, 5, quick_world());
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.report.tenants.size(), 4u);
+  ASSERT_EQ(r.tenant_ttc.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto& t = r.report.tenants[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(t.planned) << t.error;
+    EXPECT_TRUE(t.success) << t.error;
+    EXPECT_EQ(t.units_done, static_cast<std::size_t>(campaign_tenant_tasks(spec, i)));
+    EXPECT_GT(r.tenant_ttc[static_cast<std::size_t>(i)], common::SimDuration::zero());
+  }
+  EXPECT_GT(r.makespan, common::SimDuration::zero());
+}
+
+TEST(CampaignTest, FairShareKeepsEveryTenantWithinStarvationBound) {
+  // The WRR arbiter's documented bound: while a tenant is backlogged, at
+  // most sum of the *other* tenants' weights dispatches pass it by between
+  // two of its own. The smallest tenant (weight 1, 4 tasks) is the one the
+  // bound protects in a mixed-size campaign.
+  auto spec = four_tenant_spec();
+  spec.weights = {1, 2};  // cycled: tenants get 1, 2, 1, 2
+  const auto r = run_campaign_trial(spec, 9, quick_world());
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.report.fair_share.size(), 4u);
+  int total_weight = 0;
+  for (const auto& s : r.report.fair_share) total_weight += s.weight;
+  for (const auto& s : r.report.fair_share) {
+    const auto bound = static_cast<std::uint64_t>(total_weight - s.weight);
+    EXPECT_LE(s.max_dispatch_gap, bound) << "tenant " << s.tenant;
+    EXPECT_GT(s.dispatched, 0u) << "tenant " << s.tenant;
+  }
+}
+
+TEST(CampaignTest, TenantBreakdownsSumToCampaignMetrics) {
+  const auto spec = four_tenant_spec();
+  const auto r = run_campaign_trial(spec, 5, quick_world());
+  ASSERT_TRUE(r.success);
+  const auto& rep = r.report;
+
+  // Units: the campaign total is exactly the tenants' sum.
+  std::size_t tenant_units = 0;
+  double tenant_useful = 0.0;
+  common::SimTime last_finish = rep.started_at;
+  for (const auto& t : rep.tenants) {
+    tenant_units += t.units_done;
+    tenant_useful += t.useful_core_hours;
+    last_finish = std::max(last_finish, t.finished_at);
+
+    // Per-tenant TTC decomposition: the components live inside the TTC
+    // window, and the TTC window is exactly arrival..finish.
+    EXPECT_EQ(t.ttc.ttc, t.finished_at - t.arrived_at) << t.name;
+    EXPECT_LE(t.ttc.tw, t.ttc.ttc) << t.name;
+    EXPECT_LE(t.ttc.tx, t.ttc.ttc) << t.name;
+    EXPECT_LE(t.ttc.ts, t.ttc.ttc) << t.name;
+    EXPECT_GT(t.ttc.tx, common::SimDuration::zero()) << t.name;
+  }
+  EXPECT_EQ(rep.units_done(), tenant_units);
+
+  // Makespan spans campaign start to the last tenant's finish.
+  EXPECT_EQ(rep.makespan, last_finish - rep.started_at);
+
+  // Useful core-hours attribute completely: every DONE unit belongs to
+  // exactly one tenant, so the per-tenant sums rebuild the campaign metric.
+  EXPECT_NEAR(tenant_useful, rep.metrics.useful_core_hours, 1e-9);
+  EXPECT_LE(rep.metrics.useful_core_hours, rep.metrics.pilot_core_hours);
+
+  // Campaign throughput is measured over the makespan.
+  EXPECT_NEAR(rep.metrics.throughput_tasks_per_hour,
+              static_cast<double>(tenant_units) / rep.makespan.to_hours(), 1e-9);
+}
+
+TEST(CampaignTest, SharedPoolReusesPilotsAcrossTenants) {
+  const auto spec = four_tenant_spec();
+  const auto shared = run_campaign_trial(spec, 5, quick_world());
+  ASSERT_TRUE(shared.success);
+  // t4 (same size as t1) arrives while t1's pilots still have walltime.
+  EXPECT_GT(shared.report.pool.reused, 0);
+  int tenant_reused = 0;
+  for (const auto& t : shared.report.tenants) tenant_reused += t.pilots_reused;
+  EXPECT_EQ(tenant_reused, shared.report.pool.reused);
+
+  auto private_spec = spec;
+  private_spec.mode = CampaignMode::kPrivatePilots;
+  const auto priv = run_campaign_trial(private_spec, 5, quick_world());
+  ASSERT_TRUE(priv.success);
+  EXPECT_EQ(priv.report.pool.reused, 0);
+  EXPECT_GE(priv.report.pool.launched, shared.report.pool.launched);
+}
+
+TEST(CampaignTest, SharedPoolBeatsSequentialBaseline) {
+  const auto spec = four_tenant_spec();
+  auto sequential_spec = spec;
+  sequential_spec.mode = CampaignMode::kSequential;
+  const auto shared = run_campaign_trial(spec, 5, quick_world());
+  const auto sequential = run_campaign_trial(sequential_spec, 5, quick_world());
+  ASSERT_TRUE(shared.success);
+  ASSERT_TRUE(sequential.success);
+  EXPECT_LT(shared.makespan, sequential.makespan);
+}
+
+TEST(CampaignTest, CellChecksumIsBitIdenticalAcrossWorkerCounts) {
+  const auto spec = four_tenant_spec();
+  const auto serial = run_campaign_cell(spec, 3, 40, quick_world(), 1);
+  EXPECT_EQ(serial.failures, 0u);
+  EXPECT_NE(serial.checksum, 0u);
+  for (int jobs : {2, 4}) {
+    const auto parallel = run_campaign_cell(spec, 3, 40, quick_world(), jobs);
+    EXPECT_EQ(parallel.checksum, serial.checksum) << "jobs " << jobs;
+    EXPECT_EQ(parallel.makespan_s.mean(), serial.makespan_s.mean()) << "jobs " << jobs;
+    EXPECT_EQ(parallel.tenant_ttc_s.mean(), serial.tenant_ttc_s.mean()) << "jobs " << jobs;
+    EXPECT_EQ(parallel.failures, serial.failures) << "jobs " << jobs;
+  }
+}
+
+TEST(CampaignTest, PoissonArrivalsAreSeededAndOrdered) {
+  CampaignSpec spec;
+  spec.n_tenants = 6;
+  spec.arrival.poisson_per_hour = 4.0;
+  const auto a = campaign_arrivals(spec, 11);
+  const auto b = campaign_arrivals(spec, 11);
+  const auto c = campaign_arrivals(spec, 12);
+  ASSERT_EQ(a.size(), 6u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a[0], common::SimDuration::zero());
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+}  // namespace
+}  // namespace aimes::exp

@@ -58,11 +58,11 @@ TEST(Determinism, TrialRunnerIsReproducible) {
   const auto e = exp::table1_experiment(3);
   const auto r1 = exp::run_trial(e, 64, 99);
   const auto r2 = exp::run_trial(e, 64, 99);
-  EXPECT_EQ(r1.ttc.ttc, r2.ttc.ttc);
-  EXPECT_EQ(r1.ttc.tw, r2.ttc.tw);
-  EXPECT_EQ(r1.ttc.tx, r2.ttc.tx);
-  EXPECT_EQ(r1.ttc.ts, r2.ttc.ts);
-  EXPECT_EQ(r1.success, r2.success);
+  EXPECT_EQ(r1.report.ttc.ttc, r2.report.ttc.ttc);
+  EXPECT_EQ(r1.report.ttc.tw, r2.report.ttc.tw);
+  EXPECT_EQ(r1.report.ttc.tx, r2.report.ttc.tx);
+  EXPECT_EQ(r1.report.ttc.ts, r2.report.ttc.ts);
+  EXPECT_EQ(r1.report.success, r2.report.success);
 }
 
 }  // namespace

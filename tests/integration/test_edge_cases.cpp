@@ -120,8 +120,8 @@ TEST(ExpEdge, TrialOnMiniPoolSucceeds) {
   tweaks.testbed = cluster::mini_testbed();
   tweaks.warmup = SimDuration::hours(1);
   const auto r = exp::run_trial(e, 16, 778, tweaks);
-  EXPECT_TRUE(r.success);
-  EXPECT_EQ(r.units_done, 16u);
+  EXPECT_TRUE(r.report.success);
+  EXPECT_EQ(r.report.units_done, 16u);
 }
 
 TEST(BundleEdge, DiscoverOnEmptyManager) {

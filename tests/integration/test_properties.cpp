@@ -26,7 +26,7 @@ class ExperimentProperties : public ::testing::TestWithParam<Cell> {};
 TEST_P(ExperimentProperties, RunInvariantsHold) {
   const Cell cell = GetParam();
   const auto e = table1_experiment(cell.exp_id);
-  const auto r = run_trial(e, cell.tasks, cell.seed);
+  const auto r = run_trial(e, cell.tasks, cell.seed).report;
 
   // 1. The run completes and every unit finishes exactly once.
   ASSERT_TRUE(r.success);

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "pilot/pilot_pool.hpp"
+#include "test_helpers.hpp"
+
+namespace aimes::pilot {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+class PilotPoolTest : public test::SingleSiteWorld {
+ protected:
+  PilotPoolTest()
+      : manager(engine, profiler, {service.get()}, AgentOptions{}),
+        pool(engine, profiler, manager, PilotPoolOptions{SimDuration::minutes(10)}) {}
+
+  PilotDescription describe(int cores, double walltime_s = 7200) {
+    PilotDescription d;
+    d.name = "p";
+    d.site = site->id();
+    d.cores = cores;
+    d.walltime = SimDuration::seconds(walltime_s);
+    return d;
+  }
+
+  void run_for(SimDuration d) { engine.run_until(engine.now() + d); }
+
+  Profiler profiler;
+  PilotManager manager;
+  PilotPool pool;
+};
+
+TEST_F(PilotPoolTest, ReleasedPilotIdlesOutAfterGrace) {
+  const auto id = pool.launch(describe(8), 1);
+  run_for(SimDuration::minutes(2));  // activate
+  ASSERT_EQ(manager.find(id)->state, PilotState::kActive);
+  pool.release(id, 1);
+  run_for(SimDuration::minutes(9));
+  EXPECT_EQ(manager.find(id)->state, PilotState::kActive);  // grace not over
+  run_for(SimDuration::minutes(2));
+  EXPECT_TRUE(is_final(manager.find(id)->state));
+  EXPECT_EQ(pool.stats().cancelled_idle, 1);
+}
+
+TEST_F(PilotPoolTest, ReleaseIsVetoedWhileBusyCheckHolds) {
+  // A lease-idle pilot with multiplexed units (busy_check true) must not be
+  // cancelled; the grace re-arms until the work drains.
+  bool busy = true;
+  pool.busy_check = [&busy](PilotId) { return busy; };
+  const auto id = pool.launch(describe(8), 1);
+  run_for(SimDuration::minutes(2));
+  pool.release(id, 1);
+  run_for(SimDuration::minutes(45));  // several grace periods
+  EXPECT_EQ(manager.find(id)->state, PilotState::kActive);
+  EXPECT_EQ(pool.stats().cancelled_idle, 0);
+  busy = false;
+  run_for(SimDuration::minutes(11));  // next re-check fires the cancel
+  EXPECT_TRUE(is_final(manager.find(id)->state));
+  EXPECT_EQ(pool.stats().cancelled_idle, 1);
+}
+
+TEST_F(PilotPoolTest, ReLeaseDuringGraceCancelsTheIdleTimer) {
+  const auto id = pool.launch(describe(8), 1);
+  run_for(SimDuration::minutes(2));
+  pool.release(id, 1);
+  run_for(SimDuration::minutes(5));
+  ASSERT_TRUE(pool.lease(id, 2));  // reuse mid-grace
+  run_for(SimDuration::minutes(30));
+  EXPECT_EQ(manager.find(id)->state, PilotState::kActive);
+  EXPECT_EQ(pool.stats().reused, 1);
+  EXPECT_EQ(pool.stats().cancelled_idle, 0);
+}
+
+TEST_F(PilotPoolTest, ZeroGraceCancelsOnReleaseUnlessBusy) {
+  PilotPool instant(engine, profiler, manager, PilotPoolOptions{SimDuration::zero()});
+  bool busy = true;
+  instant.busy_check = [&busy](PilotId) { return busy; };
+  const auto id = instant.launch(describe(4), 1);
+  run_for(SimDuration::minutes(2));
+  instant.release(id, 1);
+  EXPECT_EQ(manager.find(id)->state, PilotState::kActive);  // vetoed, deferred
+  busy = false;
+  run_for(SimDuration::minutes(2));  // the one-minute re-check cancels
+  EXPECT_TRUE(is_final(manager.find(id)->state));
+}
+
+}  // namespace
+}  // namespace aimes::pilot

@@ -12,6 +12,7 @@
 //   aimes-run --profile montage --tasks 64 --emit dax --emit-out app.dax
 //   aimes-run --profile bag-uniform --tasks 512 --adaptive
 //   aimes-run --profile bag-gaussian --tasks 256 --trials 32 --jobs 8
+//   aimes-run --campaign 4 --tasks 16 --arrival poisson:4 --campaign-mode shared
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,12 +22,14 @@
 #include <string>
 
 #include "cluster/testbed_config.hpp"
+#include "common/cli.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "core/adaptive.hpp"
 #include "core/aimes.hpp"
 #include "core/report_io.hpp"
 #include "core/timeline.hpp"
+#include "exp/campaign.hpp"
 #include "sim/replica_pool.hpp"
 #include "skeleton/emitters.hpp"
 #include "skeleton/profiles.hpp"
@@ -56,85 +59,99 @@ struct Args {
   std::string emit;       // dax | swift | shell | json
   std::string emit_out;   // "-" or path
   bool verbose = false;
+  // Campaign mode (exercised when campaign > 0): N tenants, size-cycled from
+  // --tasks, arriving per --arrival, sharing pilots per --campaign-mode.
+  int campaign = 0;
+  exp::ArrivalSpec arrival;
+  exp::CampaignMode campaign_mode = exp::CampaignMode::kSharedPool;
 };
-
-void usage(const char* argv0) {
-  std::printf(
-      "usage: %s [options]\n"
-      "  --skeleton FILE     skeleton application config file\n"
-      "  --profile NAME      built-in profile when no --skeleton is given:\n"
-      "                      bag-uniform | bag-gaussian | montage | blast |\n"
-      "                      cybershake | mapreduce (default bag-gaussian)\n"
-      "  --tasks N           application size for built-in profiles (128)\n"
-      "  --testbed FILE      resource pool config (default: paper's 5 sites)\n"
-      "  --binding B         early | late (late)\n"
-      "  --pilots N          number of pilots (3)\n"
-      "  --selection S       random | predicted (predicted)\n"
-      "  --seed S            world/application seed (42)\n"
-      "  --trials N          sweep mode: run N replicas seeded S..S+N-1 and\n"
-      "                      aggregate TTC (default 1 = single run)\n"
-      "  --jobs M            sweep worker threads (default: hardware\n"
-      "                      concurrency; 1 = serial). Aggregates are\n"
-      "                      bit-identical for every M\n"
-      "  --warmup H          background warmup hours (6)\n"
-      "  --adaptive          enable mid-run strategy adaptation\n"
-      "  --fault-plan FILE   fault-injection plan config ([fault.*] sections);\n"
-      "                      enables Execution-Manager recovery\n"
-      "  --pilot-failure-rate P\n"
-      "                      probability each pilot submission is rejected (0)\n"
-      "  --trace FILE        write the full state-transition trace as CSV\n"
-      "  --timeline          print an ASCII Gantt timeline of the run\n"
-      "  --report FILE       write the run report as JSON\n"
-      "  --emit FMT          emit the skeleton: shell | json | dax | swift\n"
-      "  --emit-out FILE     emission target ('-' = stdout)\n"
-      "  --verbose           info-level logging\n",
-      argv0);
-}
 
 common::Expected<Args> parse_args(int argc, char** argv) {
   using E = common::Expected<Args>;
   Args args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> common::Expected<std::string> {
-      if (i + 1 >= argc) return common::Expected<std::string>::error("missing value for " + a);
-      return std::string(argv[++i]);
-    };
-    auto take = [&](std::string& slot) -> common::Status {
-      auto v = next();
-      if (!v) return common::Status::error(v.error());
-      slot = *v;
-      return {};
-    };
-    common::Status st;
-    if (a == "--skeleton") st = take(args.skeleton_file);
-    else if (a == "--profile") st = take(args.profile);
-    else if (a == "--tasks") { auto v = next(); if (!v) return E::error(v.error()); args.tasks = std::atoi(v->c_str()); }
-    else if (a == "--testbed") st = take(args.testbed_file);
-    else if (a == "--binding") st = take(args.binding);
-    else if (a == "--pilots") { auto v = next(); if (!v) return E::error(v.error()); args.pilots = std::atoi(v->c_str()); }
-    else if (a == "--selection") st = take(args.selection);
-    else if (a == "--seed") { auto v = next(); if (!v) return E::error(v.error()); args.seed = std::strtoull(v->c_str(), nullptr, 10); }
-    else if (a == "--trials") { auto v = next(); if (!v) return E::error(v.error()); args.trials = std::atoi(v->c_str()); }
-    else if (a == "--jobs") { auto v = next(); if (!v) return E::error(v.error()); args.jobs = std::atoi(v->c_str()); }
-    else if (a == "--warmup") { auto v = next(); if (!v) return E::error(v.error()); args.warmup_hours = std::atof(v->c_str()); }
-    else if (a == "--adaptive") args.adaptive = true;
-    else if (a == "--fault-plan") st = take(args.fault_plan_file);
-    else if (a == "--pilot-failure-rate") { auto v = next(); if (!v) return E::error(v.error()); args.pilot_failure_rate = std::atof(v->c_str()); }
-    else if (a == "--trace") st = take(args.trace_file);
-    else if (a == "--timeline") args.timeline = true;
-    else if (a == "--report") st = take(args.report_file);
-    else if (a == "--emit") st = take(args.emit);
-    else if (a == "--emit-out") st = take(args.emit_out);
-    else if (a == "--verbose") args.verbose = true;
-    else if (a == "--help" || a == "-h") { usage(argv[0]); std::exit(0); }
-    else return E::error("unknown argument '" + a + "' (try --help)");
-    if (!st.ok()) return E::error(st.error());
+  common::cli::Parser cli("aimes-run");
+  cli.string_option("--skeleton", args.skeleton_file, "skeleton application config file",
+                    "FILE");
+  cli.string_option("--profile", args.profile,
+                    "built-in profile when no --skeleton is given:\n"
+                    "bag-uniform | bag-gaussian | montage | blast |\n"
+                    "cybershake | mapreduce (default bag-gaussian)",
+                    "NAME");
+  cli.int_option("--tasks", args.tasks, 1, 10000000,
+                 "application size for built-in profiles (128)");
+  cli.string_option("--testbed", args.testbed_file,
+                    "resource pool config (default: paper's 5 sites)", "FILE");
+  cli.string_option("--binding", args.binding, "early | late (late)", "B");
+  cli.int_option("--pilots", args.pilots, 1, 4096, "number of pilots (3)");
+  cli.string_option("--selection", args.selection, "random | predicted (predicted)", "S");
+  cli.uint64_option("--seed", args.seed, "world/application seed (42)", "S");
+  cli.int_option("--trials", args.trials, 1, 1000000,
+                 "sweep mode: run N replicas seeded S..S+N-1 and\n"
+                 "aggregate TTC (default 1 = single run)");
+  cli.int_option("--jobs", args.jobs, 0, 4096,
+                 "sweep worker threads (default: hardware\n"
+                 "concurrency; 1 = serial). Aggregates are\n"
+                 "bit-identical for every M",
+                 "M");
+  cli.double_option("--warmup", args.warmup_hours, 0.0, 24.0 * 365.0,
+                    "background warmup hours (6)", "H");
+  cli.int_option("--campaign", args.campaign, 2, 256,
+                 "campaign mode: N tenants with sizes cycled from\n"
+                 "--tasks x {1,2,4}; plans each arrival against a\n"
+                 "shared pilot pool (see --campaign-mode)");
+  cli.custom_option("--arrival", "SPEC",
+                    "campaign arrival process: poisson:RATE (tenants\n"
+                    "per hour) or fixed:SECONDS (default fixed:1200)",
+                    [&args](const std::string& value) -> common::Status {
+                      const auto colon = value.find(':');
+                      const std::string kind = value.substr(0, colon);
+                      const std::string rest =
+                          colon == std::string::npos ? "" : value.substr(colon + 1);
+                      if (kind == "poisson") {
+                        auto rate = common::cli::parse_double(rest, 1e-6, 1e6);
+                        if (!rate) return common::Status::error(rate.error());
+                        args.arrival.poisson_per_hour = *rate;
+                        return {};
+                      }
+                      if (kind == "fixed") {
+                        auto seconds = common::cli::parse_double(rest, 0.0, 1e9);
+                        if (!seconds) return common::Status::error(seconds.error());
+                        args.arrival.poisson_per_hour = 0.0;
+                        args.arrival.fixed_spacing = common::SimDuration::seconds(*seconds);
+                        return {};
+                      }
+                      return common::Status::error("expected poisson:RATE or fixed:SECONDS");
+                    });
+  cli.custom_option("--campaign-mode", "M", "shared | private | sequential (shared)",
+                    [&args](const std::string& value) -> common::Status {
+                      if (!exp::parse_campaign_mode(value, args.campaign_mode)) {
+                        return common::Status::error(
+                            "expected shared, private, or sequential");
+                      }
+                      return {};
+                    });
+  cli.flag("--adaptive", args.adaptive, "enable mid-run strategy adaptation");
+  cli.string_option("--fault-plan", args.fault_plan_file,
+                    "fault-injection plan config ([fault.*] sections);\n"
+                    "enables Execution-Manager recovery",
+                    "FILE");
+  cli.double_option("--pilot-failure-rate", args.pilot_failure_rate, 0.0, 1.0,
+                    "probability each pilot submission is rejected (0)", "P");
+  cli.string_option("--trace", args.trace_file,
+                    "write the full state-transition trace as CSV", "FILE");
+  cli.flag("--timeline", args.timeline, "print an ASCII Gantt timeline of the run");
+  cli.string_option("--report", args.report_file, "write the run report as JSON", "FILE");
+  cli.string_option("--emit", args.emit, "emit the skeleton: shell | json | dax | swift",
+                    "FMT");
+  cli.string_option("--emit-out", args.emit_out, "emission target ('-' = stdout)", "FILE");
+  cli.flag("--verbose", args.verbose, "info-level logging");
+
+  auto parsed = cli.parse(argc, argv);
+  if (!parsed) return E::error(parsed.error());
+  if (parsed->help) {
+    std::fputs(cli.usage().c_str(), stdout);
+    std::exit(0);
   }
-  if (args.tasks < 1) return E::error("--tasks must be positive");
-  if (args.pilots < 1) return E::error("--pilots must be positive");
-  if (args.trials < 1) return E::error("--trials must be positive");
-  if (args.jobs < 0) return E::error("--jobs must be >= 0 (0 = hardware concurrency)");
   if (args.trials > 1 &&
       (!args.trace_file.empty() || !args.report_file.empty() || args.timeline ||
        !args.emit.empty() || args.adaptive)) {
@@ -142,10 +159,96 @@ common::Expected<Args> parse_args(int argc, char** argv) {
         "--trials > 1 aggregates replicas; it cannot combine with the single-run "
         "artifacts --trace/--report/--timeline/--emit or with --adaptive");
   }
-  if (args.pilot_failure_rate < 0.0 || args.pilot_failure_rate > 1.0) {
-    return E::error("--pilot-failure-rate must be in [0, 1]");
+  if (args.campaign == 0 && (cli.seen("--arrival") || cli.seen("--campaign-mode"))) {
+    return E::error("--arrival/--campaign-mode require --campaign N");
+  }
+  if (args.campaign > 0) {
+    if (!args.skeleton_file.empty() || args.adaptive || !args.emit.empty() ||
+        !args.trace_file.empty() || !args.report_file.empty() || args.timeline) {
+      return E::error(
+          "--campaign runs built-in bag profiles; it cannot combine with --skeleton, "
+          "--adaptive, or the single-run artifacts --trace/--report/--timeline/--emit");
+    }
+    if (args.profile != "bag-uniform" && args.profile != "bag-gaussian") {
+      return E::error("--campaign supports the bag-uniform and bag-gaussian profiles");
+    }
+    if (!args.fault_plan_file.empty() || args.pilot_failure_rate > 0.0) {
+      return E::error("--campaign does not take fault injection flags yet");
+    }
   }
   return args;
+}
+
+/// Campaign front end: one trial prints the per-tenant breakdown; --trials N
+/// sweeps seeded replicas through the campaign cell runner.
+int run_campaign(const Args& args) {
+  exp::CampaignSpec spec;
+  spec.n_tenants = args.campaign;
+  spec.base_tasks = args.tasks;
+  spec.gaussian_durations = args.profile == "bag-gaussian";
+  spec.n_pilots = args.pilots;
+  spec.arrival = args.arrival;
+  spec.mode = args.campaign_mode;
+
+  exp::WorldTweaks tweaks;
+  tweaks.warmup = common::SimDuration::hours(args.warmup_hours);
+  if (!args.testbed_file.empty()) {
+    auto file = common::Config::load(args.testbed_file);
+    if (!file) {
+      std::fprintf(stderr, "testbed: %s\n", file.error().c_str());
+      return 1;
+    }
+    auto pool = cluster::parse_testbed(*file);
+    if (!pool) {
+      std::fprintf(stderr, "testbed: %s\n", pool.error().c_str());
+      return 1;
+    }
+    tweaks.testbed = std::move(*pool);
+  }
+
+  std::printf("campaign: %d tenants (base %d tasks, sizes x{1,2,4}), mode %s\n",
+              spec.n_tenants, spec.base_tasks, std::string(to_string(spec.mode)).c_str());
+
+  if (args.trials > 1) {
+    const auto cell =
+        exp::run_campaign_cell(spec, args.trials, args.seed, tweaks, args.jobs);
+    std::printf("  %d trials: makespan mean %.0f s (stddev %.0f) | tenant TTC mean %.0f s\n",
+                args.trials, cell.makespan_s.mean(), cell.makespan_s.stddev(),
+                cell.tenant_ttc_s.mean());
+    std::printf("  failed trials: %zu of %d | checksum %016llx\n", cell.failures,
+                args.trials, static_cast<unsigned long long>(cell.checksum));
+    return cell.failures == static_cast<std::size_t>(args.trials) ? 1 : 0;
+  }
+
+  const auto trial = exp::run_campaign_trial(spec, args.seed, tweaks);
+  std::printf("campaign %s: makespan %s\n", trial.success ? "succeeded" : "INCOMPLETE",
+              trial.makespan.str().c_str());
+  if (spec.mode == exp::CampaignMode::kSequential) {
+    for (std::size_t i = 0; i < trial.tenant_ttc.size(); ++i) {
+      std::printf("  t%zu: %d tasks, TTC %s\n", i + 1,
+                  exp::campaign_tenant_tasks(spec, static_cast<int>(i)),
+                  trial.tenant_ttc[i].str().c_str());
+    }
+    return trial.success ? 0 : 1;
+  }
+  for (const auto& t : trial.report.tenants) {
+    std::printf("  %s (w%d): %zu done, TTC %s (Tw %s Tx %s Ts %s), pilots %d (%d reused)%s%s\n",
+                t.name.c_str(), t.weight, t.units_done, t.ttc.ttc.str().c_str(),
+                t.ttc.tw.str().c_str(), t.ttc.tx.str().c_str(), t.ttc.ts.str().c_str(),
+                t.pilots_leased, t.pilots_reused, t.error.empty() ? "" : " | ERROR: ",
+                t.error.c_str());
+  }
+  std::printf("  pool: %d launched, %d leases served from running pilots, %d idled out\n",
+              trial.report.pool.launched, trial.report.pool.reused,
+              trial.report.pool.cancelled_idle);
+  for (const auto& f : trial.report.fair_share) {
+    std::printf("  fair-share t%d (w%d): %llu dispatches, max gap %llu\n", f.tenant,
+                f.weight, static_cast<unsigned long long>(f.dispatched),
+                static_cast<unsigned long long>(f.max_dispatch_gap));
+  }
+  std::printf("  throughput %.1f tasks/h over the campaign makespan\n",
+              trial.report.metrics.throughput_tasks_per_hour);
+  return trial.success ? 0 : 1;
 }
 
 common::Expected<skeleton::SkeletonSpec> load_spec(const Args& args) {
@@ -203,6 +306,8 @@ int main(int argc, char** argv) {
   }
   const Args& args = *parsed;
   if (args.verbose) common::Log::set_level(common::LogLevel::kInfo);
+
+  if (args.campaign > 0) return run_campaign(args);
 
   auto spec = load_spec(args);
   if (!spec) {
@@ -387,8 +492,9 @@ int main(int argc, char** argv) {
     std::printf("\n%s", core::render_timeline(adaptive_trace).c_str());
   }
   if (!args.report_file.empty()) {
-    if (!core::save_report_json(report, args.report_file)) {
-      std::fprintf(stderr, "cannot write %s\n", args.report_file.c_str());
+    auto saved = core::save_report_json(report, args.report_file);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "report: %s\n", saved.error().c_str());
       return 1;
     }
     std::printf("  report: %s\n", args.report_file.c_str());

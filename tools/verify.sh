@@ -1,0 +1,42 @@
+#!/bin/sh
+# Full verification sweep: the tier-1 suite plus both sanitizer builds.
+#
+#   tools/verify.sh [build-dir-prefix]
+#
+# Runs, in order:
+#   1. Release build + the whole ctest suite (tier-1, what CI gates on);
+#   2. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
+#      fault-injection paths are where lifetime bugs hide;
+#   3. Thread (TSan) build + the sanitize label — races in the parallel
+#      trial runner (sim::ReplicaPool) and the campaign cell sweep.
+#
+# Exits non-zero on the first failing step. Build trees default to
+# build-verify-{release,asan,tsan} so an existing ./build is untouched.
+set -eu
+
+prefix="${1:-build-verify}"
+src_dir="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
+# nproc undercounts in cgroup-limited containers; VERIFY_JOBS overrides.
+jobs="${VERIFY_JOBS:-$(nproc 2>/dev/null || echo 4)}"
+
+step() {
+  printf '\n== %s\n' "$*"
+}
+
+step "Release build + full suite"
+cmake -S "$src_dir" -B "$prefix-release" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$prefix-release" -j "$jobs"
+ctest --test-dir "$prefix-release" -j "$jobs" --output-on-failure
+
+step "Sanitize (ASan/UBSan) build + chaos/sanitize labels"
+cmake -S "$src_dir" -B "$prefix-asan" -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
+cmake --build "$prefix-asan" -j "$jobs"
+ctest --test-dir "$prefix-asan" -j "$jobs" -L chaos --output-on-failure
+ctest --test-dir "$prefix-asan" -j "$jobs" -L sanitize --output-on-failure
+
+step "Thread (TSan) build + sanitize label"
+cmake -S "$src_dir" -B "$prefix-tsan" -DCMAKE_BUILD_TYPE=Thread >/dev/null
+cmake --build "$prefix-tsan" -j "$jobs"
+ctest --test-dir "$prefix-tsan" -j "$jobs" -L sanitize --output-on-failure
+
+step "All verification steps passed"
