@@ -1,0 +1,152 @@
+// Observability overhead: the span tracer + metrics sampler must be cheap.
+//
+// Runs one Figure-2 cell (experiment 3, late binding) twice per repetition —
+// observability off, then on — and compares the summed per-trial wall time.
+// The acceptance bar is < 10% overhead: the recorder sits on the hot unit
+// dispatch / transfer / job-service paths, so a regression here means a
+// guard was dropped or the sampler started thrashing the event queue.
+// Repetitions are alternated and the minimum per mode kept, which filters
+// most scheduler noise out of the ratio.
+//
+// Two correctness witnesses ride along: the traced and untraced cells must
+// agree on every TTC aggregate (observability must not perturb the
+// simulation), and the traced cell's span checksum must be bit-identical
+// across --jobs 1/2/4/8 (the determinism contract for traces under
+// sim::ReplicaPool). --json records everything (BENCH_obs.json is the PR's
+// evidence).
+
+#include <algorithm>
+#include <cinttypes>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "exp/runner.hpp"
+
+namespace {
+
+using namespace aimes;
+
+std::string hex_checksum(std::uint64_t checksum) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, checksum);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Defaults chosen so even --quick (trials / 4) keeps the measured wall
+  // time well above scheduler-noise territory: a 3-trial cell runs in ~25 ms
+  // and the traced/untraced ratio becomes a coin flip.
+  bench::BenchArgs args;
+  args.trials = 48;
+  std::string json_path;
+  int tasks = 64;
+  int reps = 5;
+  common::cli::Parser cli(argc > 0 ? argv[0] : "obs_overhead");
+  args.declare(cli);
+  cli.string_option("--json", json_path, "also record the comparison as JSON", "PATH");
+  cli.int_option("--tasks", tasks, 1, 100000, "tasks per trial");
+  cli.int_option("--reps", reps, 1, 100, "repetitions per mode (minimum kept)");
+  args.finish(cli, argc, argv);
+
+  const exp::ExperimentSpec experiment = exp::table1_experiment(3);
+  exp::WorldTweaks traced;
+  traced.observability.enabled = true;
+  const exp::WorldTweaks untraced;
+
+  // Alternate modes within each repetition so thermal / load drift hits both.
+  double wall_off = 0.0;
+  double wall_on = 0.0;
+  exp::CellResult cell_off;
+  exp::CellResult cell_on;
+  for (int rep = 0; rep < reps; ++rep) {
+    cell_off = exp::run_cell(experiment, tasks, args.trials, args.seed, untraced, nullptr,
+                             args.jobs);
+    cell_on = exp::run_cell(experiment, tasks, args.trials, args.seed, traced, nullptr,
+                            args.jobs);
+    wall_off = rep == 0 ? cell_off.wall_seconds : std::min(wall_off, cell_off.wall_seconds);
+    wall_on = rep == 0 ? cell_on.wall_seconds : std::min(wall_on, cell_on.wall_seconds);
+    std::fprintf(stderr, "  obs_overhead: rep %d/%d done\n", rep + 1, reps);
+  }
+  const double overhead = wall_off > 0.0 ? (wall_on - wall_off) / wall_off : 0.0;
+
+  // Witness 1: tracing must not perturb the simulated physics. (Raw event
+  // counts differ by design — the sampler schedules its own ticks — so the
+  // comparison is on the simulation's outputs, not its event count.)
+  const bool unperturbed = cell_on.ttc_s.mean() == cell_off.ttc_s.mean() &&
+                           cell_on.tw_s.mean() == cell_off.tw_s.mean() &&
+                           cell_on.tx_s.mean() == cell_off.tx_s.mean() &&
+                           cell_on.ts_s.mean() == cell_off.ts_s.mean() &&
+                           cell_on.failures == cell_off.failures;
+
+  // Witness 2: traced cells are deterministic for every worker count.
+  const int sweep_jobs[] = {1, 2, 4, 8};
+  std::vector<std::uint64_t> sweep_checksums;
+  bool deterministic = true;
+  for (const int jobs : sweep_jobs) {
+    const auto cell = exp::run_cell(experiment, tasks, args.trials, args.seed, traced, nullptr,
+                                    jobs);
+    sweep_checksums.push_back(cell.span_checksum);
+    deterministic = deterministic && cell.span_checksum == sweep_checksums.front();
+  }
+
+  common::TableWriter table("Observability overhead — Exp 3, " + std::to_string(tasks) +
+                            " tasks, " + std::to_string(args.trials) + " trials, best of " +
+                            std::to_string(reps));
+  table.header({"Mode", "Wall (s)", "Events", "TTC mean (s)", "Span checksum"});
+  table.row({"untraced", common::TableWriter::num(wall_off, 3),
+             std::to_string(cell_off.events_executed),
+             common::TableWriter::num(cell_off.ttc_s.mean(), 0), "-"});
+  table.row({"traced", common::TableWriter::num(wall_on, 3),
+             std::to_string(cell_on.events_executed),
+             common::TableWriter::num(cell_on.ttc_s.mean(), 0),
+             hex_checksum(cell_on.span_checksum)});
+  table.render(std::cout);
+
+  const bool overhead_ok = overhead < 0.10;
+  std::cout << "\nshape check: tracer overhead " << common::TableWriter::num(overhead * 100, 1)
+            << "% (< 10% " << (overhead_ok ? "OK" : "VIOLATED")
+            << "); simulation unperturbed " << (unperturbed ? "OK" : "VIOLATED")
+            << "; --jobs 1/2/4/8 span checksums "
+            << (deterministic ? "identical" : "DIVERGED") << "\n";
+
+  if (!args.csv.empty() && !table.save_csv(args.csv)) {
+    std::fprintf(stderr, "cannot write %s\n", args.csv.c_str());
+    return 1;
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n"
+        << "  \"bench\": \"obs_overhead\",\n"
+        << "  \"experiment\": " << experiment.id << ",\n"
+        << "  \"tasks\": " << tasks << ",\n"
+        << "  \"trials\": " << args.trials << ",\n"
+        << "  \"reps\": " << reps << ",\n"
+        << "  \"seed\": " << args.seed << ",\n"
+        << "  \"wall_seconds_untraced\": " << wall_off << ",\n"
+        << "  \"wall_seconds_traced\": " << wall_on << ",\n"
+        << "  \"overhead_fraction\": " << overhead << ",\n"
+        << "  \"overhead_under_10_percent\": " << (overhead_ok ? "true" : "false") << ",\n"
+        << "  \"events_executed\": " << cell_on.events_executed << ",\n"
+        << "  \"ttc_mean_s\": " << cell_on.ttc_s.mean() << ",\n"
+        << "  \"simulation_unperturbed\": " << (unperturbed ? "true" : "false") << ",\n"
+        << "  \"jobs_sweep\": [\n";
+    for (std::size_t i = 0; i < sweep_checksums.size(); ++i) {
+      out << "    {\"jobs\": " << sweep_jobs[i] << ", \"span_checksum\": \""
+          << hex_checksum(sweep_checksums[i]) << "\"}"
+          << (i + 1 < sweep_checksums.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n"
+        << "  \"deterministic_across_jobs\": " << (deterministic ? "true" : "false") << "\n"
+        << "}\n";
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return overhead_ok && unperturbed && deterministic ? 0 : 1;
+}

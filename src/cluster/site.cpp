@@ -145,6 +145,23 @@ std::size_t ClusterSite::finished_count(JobState s) const {
   return it == finished_counts_.end() ? 0 : it->second;
 }
 
+void ClusterSite::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  if (recorder_ == nullptr) return;
+  // Polled at each sample tick: utilization and queue depth are state the
+  // site already maintains, so a callback gauge avoids shadow bookkeeping.
+  recorder_->metrics().gauge_callback("aimes_cluster_core_utilization",
+                                      {{"site", config_.name}},
+                                      [this] { return utilization(); });
+  recorder_->metrics().gauge_callback("aimes_cluster_queued_nodes",
+                                      {{"site", config_.name}},
+                                      [this] { return static_cast<double>(queued_nodes()); });
+  obs_passes_ = &recorder_->metrics().counter("aimes_cluster_scheduler_passes_total",
+                                              {{"site", config_.name}});
+  obs_jobs_started_ = &recorder_->metrics().counter("aimes_cluster_jobs_started_total",
+                                                    {{"site", config_.name}});
+}
+
 void ClusterSite::schedule_pass() {
   if (pass_pending_) return;
   pass_pending_ = true;
@@ -185,6 +202,7 @@ SchedulerView ClusterSite::make_view() const {
 
 void ClusterSite::run_pass() {
   if (pending_.empty()) return;
+  if (recorder_ != nullptr) obs_passes_->add();
   const std::vector<JobId> to_start = scheduler_->select(make_view());
   for (JobId id : to_start) {
     auto it = jobs_.find(id);
@@ -201,6 +219,7 @@ void ClusterSite::start_job(Job& job) {
   free_nodes_ -= job.nodes;
   job.started_at = engine_.now();
   set_state(job, JobState::kRunning);
+  if (recorder_ != nullptr) obs_jobs_started_->add();
 
   wait_history_.push_back({job.submitted_at, job.started_at, job.nodes});
   if (wait_history_.size() > history_limit_) wait_history_.pop_front();

@@ -23,6 +23,7 @@
 #include "common/expected.hpp"
 #include "common/rng.hpp"
 #include "common/id.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 
 namespace aimes::cluster {
@@ -131,6 +132,11 @@ class ClusterSite {
   /// Count of jobs that reached a final state, by state.
   [[nodiscard]] std::size_t finished_count(JobState s) const;
 
+  /// Attaches the observability recorder (nullable; off by default). Counts
+  /// scheduler passes and job starts, and registers callback gauges for this
+  /// site's core utilization and queued nodes.
+  void set_recorder(obs::Recorder* recorder);
+
  private:
   void schedule_pass();
   void run_pass();
@@ -154,6 +160,11 @@ class ClusterSite {
   int free_nodes_ = 0;
   bool pass_pending_ = false;
   bool down_ = false;
+  obs::Recorder* recorder_ = nullptr;
+  /// Resolved once in set_recorder; scheduler passes and job starts repeat
+  /// every cycle for the whole simulated span.
+  obs::Counter* obs_passes_ = nullptr;
+  obs::Counter* obs_jobs_started_ = nullptr;
 
   std::deque<WaitRecord> wait_history_;
   std::size_t history_limit_ = 4096;

@@ -13,6 +13,9 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 // own engine and its own clock), so the hook is thread-local: a replica
 // running on a worker thread installs — and sees — only its own clock.
 thread_local std::function<std::string()> g_clock;
+// Like the clock, the sink is thread-local so a test capturing its own
+// lines never races with (or captures) another worker's output.
+thread_local Log::Sink g_sink;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -29,12 +32,19 @@ const char* level_name(LogLevel l) {
 void Log::set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 void Log::set_clock(std::function<std::string()> clock) { g_clock = std::move(clock); }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
 
 void Log::emit(LogLevel level, const std::string& component, const std::string& message) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
   const std::string ts = g_clock ? g_clock() : std::string();
-  std::fprintf(stderr, "%s %s %-12s %s\n", level_name(level), ts.c_str(), component.c_str(),
-               message.c_str());
+  char line[1024];
+  std::snprintf(line, sizeof(line), "%s %s %-12s %s", level_name(level), ts.c_str(),
+                component.c_str(), message.c_str());
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line);
+  }
 }
 
 void Log::debug(const std::string& c, const std::string& m) { emit(LogLevel::kDebug, c, m); }

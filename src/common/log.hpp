@@ -30,6 +30,14 @@ class Log {
   /// a pool worker tags only its own lines).
   static void set_clock(std::function<std::string()> clock);
 
+  /// One fully formatted log line, without the trailing newline.
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Redirects emission for the *calling thread* (thread-local, like the
+  /// clock: a test capturing its own lines does not see other replicas').
+  /// Pass nullptr to restore the default stderr fprintf sink.
+  static void set_sink(Sink sink);
+
   static void debug(const std::string& component, const std::string& message);
   static void info(const std::string& component, const std::string& message);
   static void warn(const std::string& component, const std::string& message);

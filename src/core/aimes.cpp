@@ -26,6 +26,14 @@ Aimes::Aimes(AimesConfig config)
       exec_rng_(common::Rng::stream(config_.seed, "aimes/exec")) {
   testbed_ = std::make_unique<cluster::Testbed>(engine_, config_.testbed, config_.seed);
 
+  // Observability hub first, so every layer below can register its gauges
+  // during construction (registration order = construction order, which
+  // keeps metric iteration deterministic).
+  if (config_.observability.enabled) {
+    recorder_ = std::make_unique<obs::Recorder>(engine_);
+    config_.execution.recorder = recorder_.get();
+  }
+
   // A non-empty fault plan gets one injector shared by every layer; its RNG
   // stream derives from the world seed, so an empty plan leaves every other
   // stream untouched.
@@ -41,13 +49,16 @@ Aimes::Aimes(AimesConfig config)
                        i < config_.links.size() ? config_.links[i] : default_link(i));
   }
   transfers_ = std::make_unique<net::TransferManager>(engine_, topology_);
+  transfers_->set_recorder(recorder_.get());
   staging_ = std::make_unique<net::StagingService>(engine_, *transfers_, config_.staging,
                                                    fault_injector_.get());
 
   for (auto* site : sites) {
+    site->set_recorder(recorder_.get());
     services_.push_back(std::make_unique<saga::JobService>(
         engine_, *site, common::Rng::stream(config_.seed, "saga/" + site->name()),
         saga::JobServiceOptions(), fault_injector_.get()));
+    services_.back()->set_recorder(recorder_.get());
     agents_.push_back(
         std::make_unique<bundle::BundleAgent>(engine_, *site, topology_, *transfers_));
     bundle_manager_.add_agent(*agents_.back());
@@ -59,6 +70,10 @@ void Aimes::start() {
   started_ = true;
   testbed_->prime_and_start();
   engine_.run_until(engine_.now() + config_.warmup);
+
+  // Sampling starts at "world ready": warmup noise stays out of the series
+  // and t=warmup is the first sampled point of every experiment.
+  if (recorder_) recorder_->start_sampling(config_.observability.sample_interval);
 
   // Outage windows are anchored to "world ready" (post-warmup), so a plan's
   // offsets line up with experiment time regardless of the warmup length.
@@ -148,8 +163,10 @@ common::Expected<CampaignRunResult> Aimes::run_campaign(
   CampaignRunResult result;
   ++run_counter_;
 
+  CampaignOptions campaign_options = options;
+  if (campaign_options.recorder == nullptr) campaign_options.recorder = recorder_.get();
   CampaignExecutor executor(
-      engine_, result.trace, services(), *staging_, bundle_manager_, options,
+      engine_, result.trace, services(), *staging_, bundle_manager_, campaign_options,
       common::Rng::stream(config_.seed, "run/" + std::to_string(run_counter_)));
 
   bool callback_fired = false;

@@ -27,6 +27,7 @@
 #include "net/staging.hpp"
 #include "net/topology.hpp"
 #include "net/transfer.hpp"
+#include "obs/recorder.hpp"
 #include "pilot/profiler.hpp"
 #include "saga/job_service.hpp"
 #include "sim/engine.hpp"
@@ -53,6 +54,10 @@ struct AimesConfig {
   /// are scheduled relative to the end of warmup; launch/kill/transfer
   /// faults are consulted at the SAGA, pilot, and staging layers.
   sim::FaultPlan faults;
+  /// Observability (span tracer + metrics registry + sampler). Off by
+  /// default; when enabled, a Recorder is created with the world and every
+  /// layer emits spans/metrics into it alongside the flat Profiler trace.
+  obs::ObservabilityOptions observability;
 };
 
 /// Result of a full run, including the trace.
@@ -99,6 +104,9 @@ class Aimes {
   [[nodiscard]] std::vector<saga::JobService*> services();
   /// Non-null only when the config carries a non-empty fault plan.
   [[nodiscard]] sim::FaultInjector* fault_injector() { return fault_injector_.get(); }
+  /// Non-null only when `config.observability.enabled` (self-introspection
+  /// beyond the flat trace: spans, metrics, exporters).
+  [[nodiscard]] obs::Recorder* recorder() { return recorder_.get(); }
 
   /// Figure 1 steps 2-3: derive a strategy from bundle information.
   [[nodiscard]] common::Expected<ExecutionStrategy> plan(
@@ -134,6 +142,7 @@ class Aimes {
  private:
   AimesConfig config_;
   sim::Engine engine_;
+  std::unique_ptr<obs::Recorder> recorder_;
   std::unique_ptr<sim::FaultInjector> fault_injector_;
   std::unique_ptr<cluster::Testbed> testbed_;
   net::Topology topology_;

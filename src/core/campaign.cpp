@@ -30,13 +30,24 @@ common::Status CampaignExecutor::enact(std::vector<CampaignTenantSpec> tenants,
   report_.started_at = engine_.now();
   profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "RUN_START",
                    "campaign n_tenants=" + std::to_string(tenants.size()));
+  if (options_.recorder != nullptr) {
+    campaign_span_ = options_.recorder->begin_span("campaign", "run");
+    options_.recorder->tracer().annotate(campaign_span_, "tenants",
+                                         std::to_string(tenants.size()));
+    options_.recorder->tracer().annotate(campaign_span_, "sharing",
+                                         std::string(to_string(options_.sharing)));
+  }
 
   pilots_ = std::make_unique<pilot::PilotManager>(engine_, profiler_, services_,
                                                   options_.agent);
+  pilots_->set_recorder(options_.recorder);
+  pilots_->set_span_parent(campaign_span_);
   pilot::UnitManagerOptions unit_options = options_.units;
   unit_options.scheduler = pilot::UnitSchedulerKind::kBackfill;
   units_ = std::make_unique<pilot::UnitManager>(engine_, profiler_, *pilots_, staging_,
                                                 unit_options, rng_);
+  units_->set_recorder(options_.recorder);
+  units_->set_default_span_parent(campaign_span_);
   // The pool wraps on_pilot_gone *after* the UnitManager installed its
   // handlers: eviction runs first, unit restarts second.
   pilot::PilotPoolOptions pool_options;
@@ -44,6 +55,7 @@ common::Status CampaignExecutor::enact(std::vector<CampaignTenantSpec> tenants,
                                 ? options_.pool_idle_grace
                                 : common::SimDuration::zero();
   pool_ = std::make_unique<pilot::PilotPool>(engine_, profiler_, *pilots_, pool_options);
+  pool_->set_recorder(options_.recorder);
   // "Cancelled only when no tenant needs them": leases alone undercount
   // need, because the UnitManager multiplexes any tenant's units onto any
   // active pilot. Hold the cancel while dispatched units remain.
@@ -72,6 +84,11 @@ void CampaignExecutor::admit(std::size_t index) {
   t.report.arrived_at = engine_.now();
   profiler_.record(engine_.now(), pilot::Entity::kManager, static_cast<std::uint64_t>(t.id),
                    "TENANT_ARRIVED", t.report.name);
+  if (options_.recorder != nullptr) {
+    t.span = options_.recorder->begin_span("tenant " + t.report.name, "run", campaign_span_);
+    options_.recorder->tracer().annotate(t.span, "weight",
+                                         std::to_string(t.report.weight));
+  }
 
   // Incremental planning against the pool's current slots (none offered in
   // private-pilots mode: every tenant launches a fresh fleet).
@@ -136,6 +153,7 @@ void CampaignExecutor::admit(std::size_t index) {
   batch_spec.tenant = t.id;
   batch_spec.weight = t.report.weight;
   batch_spec.label = t.report.name;
+  batch_spec.parent_span = t.span;
   auto handle = units_->submit_batch(descriptions, batch_spec,
                                      [this, index](const pilot::UnitBatchResult& result) {
                                        tenant_finished(index, result);
@@ -152,6 +170,10 @@ void CampaignExecutor::fail_tenant(std::size_t index, const std::string& error) 
   t.done = true;
   profiler_.record(engine_.now(), pilot::Entity::kManager, static_cast<std::uint64_t>(t.id),
                    "TENANT_FAILED", error);
+  if (options_.recorder != nullptr) {
+    options_.recorder->tracer().annotate(t.span, "error", error);
+    options_.recorder->end_span(t.span);
+  }
   maybe_finalize();
 }
 
@@ -176,6 +198,11 @@ void CampaignExecutor::tenant_finished(std::size_t index, const pilot::UnitBatch
 
   // Hand the pilots back; unneeded ones idle out of the pool on their own.
   for (common::PilotId pid : t.leased) pool_->release(pid, t.id);
+  if (options_.recorder != nullptr) {
+    options_.recorder->tracer().annotate(t.span, "success",
+                                         t.report.success ? "true" : "false");
+    options_.recorder->end_span(t.span);
+  }
   maybe_finalize();
 }
 
@@ -215,6 +242,13 @@ void CampaignExecutor::maybe_finalize() {
 
   profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "RUN_END",
                    report_.success ? "campaign success" : "campaign incomplete");
+  if (options_.recorder != nullptr) {
+    report_.metrics.peak_units_executing = static_cast<std::size_t>(
+        options_.recorder->metrics().gauge_peak("aimes_pilot_units_executing_total"));
+    options_.recorder->tracer().annotate(
+        campaign_span_, "success", report_.success ? "true" : "false");
+    options_.recorder->end_span(campaign_span_);
+  }
   if (done_) {
     // Defer so pilot cancellations settle within the same timestamp.
     engine_.schedule(common::SimDuration::zero(), [this] { done_(report_); });

@@ -63,6 +63,9 @@ struct CampaignOptions {
   /// walltime estimate, so later tenants find enough remaining walltime to
   /// reuse them. 1.0 disables the headroom (and in practice most reuse).
   double walltime_headroom = 2.0;
+  /// Observability recorder (non-owning, may be null): campaign/tenant
+  /// spans plus the pool/pilot/unit metrics of the layers below.
+  obs::Recorder* recorder = nullptr;
 };
 
 /// One tenant's outcome.
@@ -141,6 +144,7 @@ class CampaignExecutor {
     std::vector<std::uint64_t> file_uids;
     std::vector<std::uint64_t> pilot_uids;
     bool done = false;
+    obs::SpanId span = obs::kNoSpan;
   };
 
   void admit(std::size_t index);
@@ -163,6 +167,7 @@ class CampaignExecutor {
   Callback done_;
   CampaignReport report_;
   bool finished_ = false;
+  obs::SpanId campaign_span_ = obs::kNoSpan;
 };
 
 }  // namespace aimes::core

@@ -70,20 +70,35 @@ common::Status ExecutionManager::enact(const skeleton::SkeletonApplication& app,
 
   report_.strategy = strategy;
   profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "RUN_START", app.name());
+  if (options_.recorder != nullptr) {
+    run_span_ = options_.recorder->begin_span("run " + app.name(), "run",
+                                              options_.span_parent);
+    options_.recorder->tracer().annotate(run_span_, "tasks",
+                                         std::to_string(app.task_count()));
+    strategy_span_ = options_.recorder->begin_span(
+        "strategy " + std::string(to_string(strategy.binding)), "run", run_span_);
+    options_.recorder->tracer().annotate(strategy_span_, "pilots",
+                                         std::to_string(strategy.n_pilots));
+  }
 
   // Step 4: describe and instantiate the pilots.
   pilots_ = std::make_unique<pilot::PilotManager>(engine_, profiler_, services_,
                                                   options_.agent);
   pilots_->set_fault_injector(options_.faults);
+  pilots_->set_recorder(options_.recorder);
+  pilots_->set_span_parent(strategy_span_);
   if (options_.faults != nullptr) fault_baseline_ = options_.faults->stats();
   pilot::UnitManagerOptions unit_options = options_.units;
   unit_options.scheduler = strategy.unit_scheduler;
   units_ = std::make_unique<pilot::UnitManager>(engine_, profiler_, *pilots_, staging_,
                                                 unit_options, rng_);
+  units_->set_recorder(options_.recorder);
+  units_->set_default_span_parent(strategy_span_);
 
   if (options_.recovery.enabled) {
     recovery_ = std::make_unique<RecoveryManager>(engine_, profiler_, *pilots_, services_,
                                                   options_.bundles, strategy, options_.recovery);
+    recovery_->set_recorder(options_.recorder);
     // The UnitManager installed its handlers at construction; wrap them.
     // Recovery must see a loss *first* so the replacement pilot exists when
     // the UnitManager rebinds the orphaned units, and a replacement's
@@ -122,6 +137,16 @@ common::Status ExecutionManager::enact(const skeleton::SkeletonApplication& app,
     finished_ = true;
     profiler_.record(engine_.now(), pilot::Entity::kManager, 0, "RUN_END",
                      report_.success ? "success" : "incomplete");
+    if (options_.recorder != nullptr) {
+      // Derive the peak-concurrency report number from the sampled gauge:
+      // the instrumentation is load-bearing, not write-only.
+      report_.metrics.peak_units_executing = static_cast<std::size_t>(
+          options_.recorder->metrics().gauge_peak("aimes_pilot_units_executing_total"));
+      options_.recorder->tracer().annotate(
+          run_span_, "success", report_.success ? "true" : "false");
+      options_.recorder->end_span(strategy_span_);
+      options_.recorder->end_span(run_span_);
+    }
     if (done) {
       // Defer so pilot cancellations settle within the same timestamp.
       engine_.schedule(common::SimDuration::zero(), [this, done] { done(report_); });

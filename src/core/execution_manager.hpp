@@ -62,6 +62,11 @@ struct ExecutionOptions {
   /// Bundle manager for replacement-site discovery (non-owning, may be
   /// null; recovery then falls back to the strategy's site list).
   const bundle::BundleManager* bundles = nullptr;
+  /// Observability recorder (non-owning, may be null): run/strategy spans
+  /// plus the pilot-/unit-level spans and metrics of the managers below.
+  obs::Recorder* recorder = nullptr;
+  /// Parent span for the run span (campaign span in campaign mode).
+  obs::SpanId span_parent = obs::kNoSpan;
 };
 
 /// Enacts one strategy for one application. Single-use: construct, call
@@ -119,6 +124,8 @@ class ExecutionManager {
   sim::FaultStats fault_baseline_;
   ExecutionReport report_;
   bool finished_ = false;
+  obs::SpanId run_span_ = obs::kNoSpan;
+  obs::SpanId strategy_span_ = obs::kNoSpan;
 };
 
 }  // namespace aimes::core

@@ -42,6 +42,10 @@ struct RunMetrics {
   /// wasted on failed pilots. The gap between `pilot_efficiency` and
   /// `goodput` is the price of the faults.
   double goodput = 0.0;
+  /// Peak number of concurrently EXECUTING units, derived from the sampled
+  /// `aimes_pilot_units_executing_total` gauge when an observability
+  /// recorder is attached (0 otherwise).
+  std::size_t peak_units_executing = 0;
 };
 
 /// Per-site accounting rates, keyed by site id.

@@ -73,6 +73,12 @@ void RecoveryManager::handle_pilot_gone(const pilot::ComputePilot& pilot,
   if (!is_loss) return;
 
   ++stats_.pilots_lost;
+  if (recorder_ != nullptr) {
+    recorder_->metrics().counter("aimes_core_pilots_lost_total").add();
+    recorder_->instant("pilot_lost", "recovery",
+                       {{"pilot", pilot.description.name},
+                        {"site", pilot.description.site.str()}});
+  }
   const auto chain_it = chain_attempts_.find(pilot.id);
   const int attempt = chain_it == chain_attempts_.end() ? 0 : chain_it->second;
   if (attempt >= policy_.max_pilot_resubmits) {
@@ -80,6 +86,14 @@ void RecoveryManager::handle_pilot_gone(const pilot::ComputePilot& pilot,
     profiler_.record(engine_.now(), pilot::Entity::kPilot, pilot.id.value(),
                      std::string(pilot::trace_event::kPilotRecoveryAbandoned),
                      "attempts=" + std::to_string(attempt));
+    if (recorder_ != nullptr) {
+      recorder_->metrics()
+          .counter("aimes_core_recoveries_total", {{"outcome", "abandoned"}})
+          .add();
+      recorder_->instant("recovery_abandoned", "recovery",
+                         {{"pilot", pilot.description.name},
+                          {"attempts", std::to_string(attempt)}});
+    }
     common::Log::warn("recovery", "abandoning pilot chain of " + pilot.id.str() + " after " +
                                       std::to_string(attempt) + " resubmissions");
     return;
@@ -98,6 +112,15 @@ void RecoveryManager::handle_pilot_gone(const pilot::ComputePilot& pilot,
   profiler_.record(engine_.now(), pilot::Entity::kPilot, replacement.value(),
                    std::string(pilot::trace_event::kPilotResubmitted),
                    "replaces " + pilot.id.str() + " backoff=" + delay.str());
+  if (recorder_ != nullptr) {
+    recorder_->metrics()
+        .counter("aimes_core_recoveries_total", {{"outcome", "resubmitted"}})
+        .add();
+    recorder_->instant("pilot_resubmitted", "recovery",
+                       {{"replaces", pilot.description.name},
+                        {"site", site.str()},
+                        {"backoff", delay.str()}});
+  }
   common::Log::info("recovery", "resubmitting " + pilot.id.str() + " as " + replacement.str() +
                                     " on " + site.str() + " after " + delay.str() +
                                     " (attempt " + std::to_string(attempt + 1) + ")");

@@ -22,6 +22,7 @@
 
 #include "bundle/manager.hpp"
 #include "core/strategy.hpp"
+#include "obs/recorder.hpp"
 #include "pilot/pilot_manager.hpp"
 #include "pilot/profiler.hpp"
 
@@ -97,6 +98,11 @@ class RecoveryManager {
   [[nodiscard]] const RecoveryStats& stats() const { return stats_; }
   [[nodiscard]] const RecoveryPolicy& policy() const { return policy_; }
 
+  /// Attaches the observability recorder (nullable; off by default): lost/
+  /// resubmitted/abandoned counters and instant annotation events on the
+  /// "recovery" track.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   /// Site for a replacement of a pilot lost on `lost_site`: best Bundle
   /// discovery candidate on a serviceable site, preferring one different
   /// from `lost_site`; falls back to the strategy's site list. Exposed for
@@ -120,6 +126,7 @@ class RecoveryManager {
   /// Loss time of the chain a pending replacement belongs to.
   std::unordered_map<PilotId, SimTime> pending_;
   RecoveryStats stats_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace aimes::core

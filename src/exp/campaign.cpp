@@ -111,6 +111,7 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   config.warmup = tweaks.warmup;
   if (!tweaks.testbed.empty()) config.testbed = tweaks.testbed;
   config.execution.units.unit_failure_probability = tweaks.unit_failure_probability;
+  config.observability = tweaks.observability;
 
   core::Aimes aimes(config);
   aimes.start();
@@ -145,6 +146,9 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
       last_finish = std::max(last_finish, finish);
     }
     result.makespan = last_finish - start;
+    if (aimes.recorder() != nullptr) {
+      result.obs = aimes.recorder()->snapshot(tweaks.obs_artifacts);
+    }
     return result;
   }
 
@@ -169,6 +173,7 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   options.units.unit_failure_probability = tweaks.unit_failure_probability;
 
   auto run = aimes.run_campaign(std::move(tenants), options);
+  if (aimes.recorder() != nullptr) result.obs = aimes.recorder()->snapshot(tweaks.obs_artifacts);
   if (!run.ok()) {
     common::Log::warn("exp", "campaign trial failed: " + run.error());
     return result;

@@ -82,6 +82,8 @@ struct CampaignTrialResult {
   /// The full campaign report (shared/private modes only; sequential trials
   /// run through the single-app path and leave this default).
   core::CampaignReport report;
+  /// Observability summary (all-zero unless tweaks.observability.enabled).
+  obs::Snapshot obs;
 };
 
 /// Runs one campaign trial in a fresh world derived from `seed`.

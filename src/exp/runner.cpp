@@ -1,10 +1,26 @@
 #include "exp/runner.hpp"
 
+#include <chrono>
+
 #include "common/log.hpp"
 #include "sim/replica_pool.hpp"
 #include "skeleton/application.hpp"
 
 namespace aimes::exp {
+
+namespace {
+/// Fills the engine self-profiling block from a finished world. Wall time
+/// is the caller's measurement (simulation wall clock, not setup).
+EngineStats engine_stats(core::Aimes& aimes, double wall_seconds) {
+  EngineStats stats;
+  stats.events_executed = aimes.engine().executed();
+  stats.peak_queued = aimes.engine().peak_queued();
+  stats.wall_seconds = wall_seconds;
+  stats.events_per_second =
+      wall_seconds > 1e-9 ? static_cast<double>(stats.events_executed) / wall_seconds : 0.0;
+  return stats;
+}
+}  // namespace
 
 TrialResult run_trial(const ExperimentSpec& experiment, int tasks, std::uint64_t seed,
                       const WorldTweaks& tweaks) {
@@ -13,7 +29,9 @@ TrialResult run_trial(const ExperimentSpec& experiment, int tasks, std::uint64_t
   config.warmup = tweaks.warmup;
   if (!tweaks.testbed.empty()) config.testbed = tweaks.testbed;
   config.execution.units.unit_failure_probability = tweaks.unit_failure_probability;
+  config.observability = tweaks.observability;
 
+  const auto wall_start = std::chrono::steady_clock::now();
   core::Aimes aimes(config);
   aimes.start();
 
@@ -22,6 +40,10 @@ TrialResult run_trial(const ExperimentSpec& experiment, int tasks, std::uint64_t
 
   TrialResult result;
   auto run = aimes.run(app, experiment.make_planner_config());
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  result.engine = engine_stats(aimes, wall_seconds);
+  if (aimes.recorder() != nullptr) result.obs = aimes.recorder()->snapshot(tweaks.obs_artifacts);
   if (!run.ok()) {
     common::Log::warn("exp", "trial failed to plan: " + run.error());
     return result;
@@ -46,8 +68,13 @@ CellResult run_cell(const ExperimentSpec& experiment, int tasks, int n_trials,
         return run_trial(experiment, tasks, base_seed + static_cast<std::uint64_t>(t) + 1,
                          tweaks);
       });
+  cell.span_checksum = 1469598103934665603ULL;  // FNV offset basis
   for (int t = 0; t < n_trials; ++t) {
     const TrialResult& r = results[static_cast<std::size_t>(t)];
+    cell.span_checksum ^= r.obs.span_checksum;
+    cell.span_checksum *= 1099511628211ULL;
+    cell.events_executed += r.engine.events_executed;
+    cell.wall_seconds += r.engine.wall_seconds;
     if (r.report.success) {
       cell.ttc_s.add(r.report.ttc.ttc.to_seconds());
       cell.tw_s.add(r.report.ttc.tw.to_seconds());

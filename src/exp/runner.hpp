@@ -21,8 +21,24 @@ namespace aimes::exp {
 /// the report (instead of hand-copying fields) means new report fields —
 /// recovery stats, fault counts, metrics — reach the experiment layer
 /// without edits in two places.
+/// Engine self-profiling of one trial: how the *simulator* performed, as
+/// opposed to what the simulated middleware did. Wall-clock fields are
+/// measured on the worker that ran the trial and excluded from checksums
+/// (they vary run to run; the simulation itself does not).
+struct EngineStats {
+  std::size_t events_executed = 0;
+  std::size_t peak_queued = 0;
+  double wall_seconds = 0.0;
+  /// events_executed / wall_seconds (0 when wall time is unmeasurably small).
+  double events_per_second = 0.0;
+};
+
 struct TrialResult {
   core::ExecutionReport report;
+  EngineStats engine;
+  /// Observability summary (all-zero unless tweaks.observability.enabled);
+  /// rendered artifacts only when tweaks.obs_artifacts was set.
+  obs::Snapshot obs;
 };
 
 /// Aggregated results of repeated trials of one (experiment, size) cell.
@@ -34,6 +50,13 @@ struct CellResult {
   common::Summary tx_s;
   common::Summary ts_s;
   std::size_t failures = 0;  // trials that did not complete all units
+  /// FNV-1a fold of every trial's span checksum in seed order — the
+  /// bit-identity witness across `jobs` (folds zeros when observability is
+  /// off, so it is still stable, just uninformative).
+  std::uint64_t span_checksum = 0;
+  /// Engine self-profiling summed over the cell's trials.
+  std::size_t events_executed = 0;
+  double wall_seconds = 0.0;
 };
 
 /// Overrides applied to every trial's world.
@@ -44,6 +67,12 @@ struct WorldTweaks {
   std::vector<cluster::TestbedSiteSpec> testbed;
   /// Failure injection for reliability experiments.
   double unit_failure_probability = 0.0;
+  /// Span tracer + metrics registry + sampler (off by default; a trial with
+  /// observability on is event-for-event identical to one without).
+  obs::ObservabilityOptions observability;
+  /// Also render the Chrome-trace/Prometheus/CSV artifacts into the trial's
+  /// Snapshot (they can be large; summaries are always filled).
+  bool obs_artifacts = false;
 };
 
 /// Runs one trial in a fresh world derived from `seed`.

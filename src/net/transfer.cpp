@@ -15,6 +15,21 @@ constexpr double kDrainEpsilonBytes = 1.0;
 TransferManager::TransferManager(sim::Engine& engine, const Topology& topology)
     : engine_(engine), topology_(topology) {}
 
+void TransferManager::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  if (recorder_ == nullptr) return;
+  recorder_->metrics().gauge_callback("aimes_net_bytes_in_flight", {},
+                                      [this] { return bytes_in_flight_; });
+  const char* dirs[2] = {"in", "out"};
+  for (int d = 0; d < 2; ++d) {
+    auto& metrics = recorder_->metrics();
+    obs_started_[d] = &metrics.counter("aimes_net_transfers_started_total", {{"dir", dirs[d]}});
+    obs_completed_[d] =
+        &metrics.counter("aimes_net_transfers_completed_total", {{"dir", dirs[d]}});
+    obs_bytes_[d] = &metrics.counter("aimes_net_bytes_staged_total", {{"dir", dirs[d]}});
+  }
+}
+
 double TransferManager::share_bps(const ChannelKey& key, std::size_t nflows) const {
   auto link = topology_.link(key.site, key.dir);
   assert(link.ok());
@@ -36,6 +51,11 @@ Expected<TransferId> TransferManager::start(SiteId site, Direction dir, DataSize
   flow.started_at = engine_.now();
   flow.done = std::move(done);
   flows_.emplace(id, std::move(flow));
+  bytes_in_flight_ += static_cast<double>(size.count_bytes());
+  if (recorder_ != nullptr) {
+    obs_started_[dir == Direction::kIn ? 0 : 1]->add();
+    recorder_->note_activity();
+  }
 
   // Latency elapses before the flow occupies the channel; bytes then drain
   // at the fair-share rate.
@@ -104,6 +124,13 @@ void TransferManager::reschedule_channel(const ChannelKey& key) {
     Flow flow = std::move(flows_.at(fid));
     flows_.erase(fid);
     ++completed_;
+    bytes_in_flight_ -= static_cast<double>(flow.total.count_bytes());
+    if (bytes_in_flight_ < 0) bytes_in_flight_ = 0;
+    if (recorder_ != nullptr) {
+      const int d = key.dir == Direction::kIn ? 0 : 1;
+      obs_completed_[d]->add();
+      obs_bytes_[d]->add(static_cast<double>(flow.total.count_bytes()));
+    }
     TransferDone notice{flow.id,        key.site,        key.dir,
                         flow.total,     flow.started_at, engine_.now()};
     flow.done(notice);

@@ -14,6 +14,7 @@
 
 #include "common/id.hpp"
 #include "net/topology.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 
 namespace aimes::net {
@@ -58,6 +59,15 @@ class TransferManager {
   /// estimates are useful "within an order of magnitude").
   [[nodiscard]] Expected<SimDuration> estimate(SiteId site, Direction dir, DataSize size) const;
 
+  /// Total bytes of all in-flight flows (committed at start, released on
+  /// completion — the "transfer bytes in flight" series).
+  [[nodiscard]] double bytes_in_flight() const { return bytes_in_flight_; }
+
+  /// Attaches the observability recorder (nullable; off by default). Emits
+  /// transfer start/completion counters, staged-bytes totals, and registers
+  /// the `aimes_net_bytes_in_flight` callback gauge.
+  void set_recorder(obs::Recorder* recorder);
+
  private:
   struct ChannelKey {
     SiteId site;
@@ -94,6 +104,14 @@ class TransferManager {
   std::unordered_map<TransferId, Flow> flows_;
   std::unordered_map<ChannelKey, Channel, ChannelKeyHash> channels_;
   std::uint64_t completed_ = 0;
+  double bytes_in_flight_ = 0.0;
+  obs::Recorder* recorder_ = nullptr;
+  /// Per-direction counters resolved once in set_recorder (index 0 = in,
+  /// 1 = out): transfers are hot enough that per-call registry lookups show
+  /// up in the tracer-overhead bench.
+  obs::Counter* obs_started_[2] = {nullptr, nullptr};
+  obs::Counter* obs_completed_[2] = {nullptr, nullptr};
+  obs::Counter* obs_bytes_[2] = {nullptr, nullptr};
 };
 
 }  // namespace aimes::net

@@ -1,0 +1,107 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace aimes::obs {
+
+MetricHistogram::MetricHistogram(double lo, double hi, int buckets)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(std::max(1, buckets))),
+      counts_(static_cast<std::size_t>(std::max(1, buckets)) + 1, 0) {
+  assert(hi > lo);
+}
+
+void MetricHistogram::observe(double v) {
+  sum_ += v;
+  ++count_;
+  if (v < lo_) {
+    ++counts_.front();
+    return;
+  }
+  auto i = static_cast<std::size_t>((v - lo_) / width_);
+  if (i >= counts_.size() - 1) i = counts_.size() - 1;  // overflow bucket
+  ++counts_[i];
+}
+
+double MetricHistogram::upper_bound(std::size_t i) const {
+  if (i + 1 >= counts_.size()) return std::numeric_limits<double>::infinity();
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+std::string Metric::key() const {
+  std::string out = name;
+  if (!labels.empty()) {
+    out += '{';
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out += ',';
+      out += labels[i].first;
+      out += "=\"";
+      out += labels[i].second;
+      out += '"';
+    }
+    out += '}';
+  }
+  return out;
+}
+
+Metric& MetricsRegistry::intern(const std::string& name, Labels labels, MetricKind kind) {
+  Metric probe;
+  probe.name = name;
+  probe.labels = std::move(labels);
+  const std::string key = probe.key();
+  auto it = index_.find(key);
+  if (it != index_.end()) return *metrics_[it->second];
+  probe.kind = kind;
+  metrics_.push_back(std::make_unique<Metric>(std::move(probe)));
+  index_.emplace(key, metrics_.size() - 1);
+  return *metrics_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  return intern(name, std::move(labels), MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  return intern(name, std::move(labels), MetricKind::kGauge).gauge;
+}
+
+MetricHistogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                            double lo, double hi, int buckets) {
+  Metric& m = intern(name, std::move(labels), MetricKind::kHistogram);
+  if (!m.histogram) m.histogram = std::make_unique<MetricHistogram>(lo, hi, buckets);
+  return *m.histogram;
+}
+
+void MetricsRegistry::gauge_callback(const std::string& name, Labels labels,
+                                     std::function<double()> fn) {
+  Metric& m = intern(name, std::move(labels), MetricKind::kCallbackGauge);
+  m.callback = std::move(fn);
+}
+
+void MetricsRegistry::sample(common::SimTime when) {
+  ++samples_;
+  for (const auto& m : metrics_) {
+    switch (m->kind) {
+      case MetricKind::kCounter: m->series.push_back({when, m->counter.value()}); break;
+      case MetricKind::kGauge: m->series.push_back({when, m->gauge.value()}); break;
+      case MetricKind::kCallbackGauge:
+        if (m->callback) m->series.push_back({when, m->callback()});
+        break;
+      case MetricKind::kHistogram: break;  // exposition-only
+    }
+  }
+}
+
+const Metric* MetricsRegistry::find(const std::string& key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : metrics_[it->second].get();
+}
+
+double MetricsRegistry::gauge_peak(const std::string& key) const {
+  const Metric* m = find(key);
+  return m != nullptr && m->kind == MetricKind::kGauge ? m->gauge.peak() : 0.0;
+}
+
+}  // namespace aimes::obs

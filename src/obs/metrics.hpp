@@ -1,0 +1,140 @@
+// Labeled metrics registry with virtual-time sampling.
+//
+// Metric naming follows `aimes_<layer>_<name>{label="value",...}` — e.g.
+// `aimes_pilot_units_queued{tenant="2"}` or
+// `aimes_cluster_core_utilization{site="stampede"}`. Counters accumulate
+// monotonically, gauges are set-point values with an exact high-water mark
+// (tracked on every mutation, so the peak is independent of the sample
+// interval), histograms bucket observations, and callback gauges are polled
+// at each sample tick (used for state the owner already tracks, like a
+// site's core utilization).
+//
+// The Recorder samples the registry on a virtual-time interval; each
+// counter/gauge then carries a time series of (when, value) points in
+// creation order, which feeds the Chrome-trace counter tracks and the CSV
+// export. Registration order is deterministic (instrumented layers register
+// in construction order), so the exports are byte-stable across --jobs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace aimes::obs {
+
+/// Label set, e.g. {{"tenant","2"},{"site","stampede"}}. Order is preserved
+/// as given (callers pass labels in a fixed order, keeping keys stable).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// One sampled point of a metric's time series.
+struct SeriesPoint {
+  common::SimTime when;
+  double value;
+};
+
+enum class MetricKind { kCounter, kGauge, kCallbackGauge, kHistogram };
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void add(double v = 1.0) { value_ += v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A set-point gauge with an exact peak (high-water) tracked on every
+/// mutation, not just at sample ticks.
+class Gauge {
+ public:
+  void set(double v) {
+    value_ = v;
+    if (v > peak_) peak_ = v;
+  }
+  void add(double delta) { set(value_ + delta); }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double peak() const { return peak_; }
+
+ private:
+  double value_ = 0.0;
+  double peak_ = 0.0;
+};
+
+/// Fixed linear-bucket histogram; observations outside [lo, hi) land in the
+/// overflow/underflow buckets. Kept deliberately simple: the exposition
+/// format needs cumulative bucket counts, a sum and a total count.
+class MetricHistogram {
+ public:
+  MetricHistogram(double lo, double hi, int buckets);
+  void observe(double v);
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Upper bound of bucket i (the last bucket is +Inf).
+  [[nodiscard]] double upper_bound(std::size_t i) const;
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;  // buckets + overflow
+  double sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// A registered metric: identity, live instrument and sampled series.
+struct Metric {
+  std::string name;
+  Labels labels;
+  MetricKind kind;
+  Counter counter;
+  Gauge gauge;
+  std::function<double()> callback;  // kCallbackGauge only
+  std::unique_ptr<MetricHistogram> histogram;
+  std::vector<SeriesPoint> series;  // appended by MetricsRegistry::sample
+
+  /// `name{k="v",...}` — the exposition identity, also the dedup key.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Owns every metric; registration is idempotent on (name, labels).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  MetricHistogram& histogram(const std::string& name, Labels labels, double lo, double hi,
+                             int buckets);
+  /// Registers a polled gauge; `fn` is called at each sample tick. Re-using
+  /// a key replaces the callback (the series is kept).
+  void gauge_callback(const std::string& name, Labels labels, std::function<double()> fn);
+
+  /// Appends the current value of every counter/gauge/callback gauge to its
+  /// series, stamped `when`. Histograms are exposition-only (no series).
+  void sample(common::SimTime when);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Metric>>& metrics() const {
+    return metrics_;
+  }
+  [[nodiscard]] std::size_t sample_count() const { return samples_; }
+
+  /// Looks up a metric by exposition key; nullptr if absent.
+  [[nodiscard]] const Metric* find(const std::string& key) const;
+  /// Peak of a gauge by key, or 0 if absent — used to derive report numbers
+  /// (e.g. peak concurrent executing units) from the instrumentation.
+  [[nodiscard]] double gauge_peak(const std::string& key) const;
+
+ private:
+  Metric& intern(const std::string& name, Labels labels, MetricKind kind);
+
+  std::vector<std::unique_ptr<Metric>> metrics_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace aimes::obs

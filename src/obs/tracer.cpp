@@ -1,0 +1,109 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+namespace aimes::obs {
+
+namespace {
+
+/// FNV-1a folding helpers shared by checksum(). Strings are hashed byte by
+/// byte with a length prefix so "ab"+"c" never collides with "a"+"bc".
+class Fnv {
+ public:
+  void mix_u64(std::uint64_t u) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (u >> (8 * i)) & 0xffu;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  void mix_str(const std::string& s) {
+    mix_u64(s.size());
+    for (unsigned char c : s) {
+      hash_ ^= c;
+      hash_ *= 1099511628211ULL;
+    }
+  }
+  void mix_attrs(const std::vector<Attr>& attrs) {
+    mix_u64(attrs.size());
+    for (const Attr& a : attrs) {
+      mix_str(a.first);
+      mix_str(a.second);
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 1469598103934665603ULL;
+};
+
+}  // namespace
+
+SpanId SpanTracer::begin_span(common::SimTime when, std::string name, std::string track,
+                              SpanId parent) {
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.track = std::move(track);
+  span.begin = when;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void SpanTracer::end_span(SpanId id, common::SimTime when) {
+  if (id == kNoSpan || id > spans_.size()) return;
+  Span& span = spans_[id - 1];
+  if (span.closed()) return;
+  span.end = std::max(when, span.begin);
+}
+
+void SpanTracer::annotate(SpanId id, std::string key, std::string value) {
+  if (id == kNoSpan || id > spans_.size()) return;
+  spans_[id - 1].attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void SpanTracer::instant(common::SimTime when, std::string name, std::string track,
+                         std::vector<Attr> attrs) {
+  InstantEvent ev;
+  ev.name = std::move(name);
+  ev.track = std::move(track);
+  ev.when = when;
+  ev.attrs = std::move(attrs);
+  instants_.push_back(std::move(ev));
+}
+
+int SpanTracer::max_depth() const {
+  // Parents always precede children (a child's parent id is handed out
+  // before begin_span of the child), so one forward pass suffices.
+  std::vector<int> depth(spans_.size(), 1);
+  int deepest = spans_.empty() ? 0 : 1;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanId p = spans_[i].parent;
+    if (p != kNoSpan && p <= i) depth[i] = depth[p - 1] + 1;
+    deepest = std::max(deepest, depth[i]);
+  }
+  return deepest;
+}
+
+std::uint64_t SpanTracer::checksum() const {
+  Fnv fnv;
+  fnv.mix_u64(spans_.size());
+  for (const Span& s : spans_) {
+    fnv.mix_u64(s.parent);
+    fnv.mix_str(s.name);
+    fnv.mix_str(s.track);
+    fnv.mix_u64(static_cast<std::uint64_t>(s.begin.count_ms()));
+    fnv.mix_u64(s.closed() ? static_cast<std::uint64_t>(s.end.count_ms()) : ~0ULL);
+    fnv.mix_attrs(s.attrs);
+  }
+  fnv.mix_u64(instants_.size());
+  for (const InstantEvent& ev : instants_) {
+    fnv.mix_str(ev.name);
+    fnv.mix_str(ev.track);
+    fnv.mix_u64(static_cast<std::uint64_t>(ev.when.count_ms()));
+    fnv.mix_attrs(ev.attrs);
+  }
+  return fnv.value();
+}
+
+}  // namespace aimes::obs

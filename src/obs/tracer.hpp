@@ -1,0 +1,94 @@
+// Causal span tracer.
+//
+// The paper's methodology is middleware self-introspection: AIMES is
+// "instrumented to produce complete traces of an application execution"
+// (§III.E). The flat pilot::Profiler keeps the original (when, entity, uid,
+// state) rows that the TTC analysis consumes; this tracer records the
+// *causal* structure on top — who ran what under whom — as hierarchical
+// spans (campaign → tenant → strategy → pilot → unit → transfer) with
+// begin/end virtual timestamps, parent links and key/value attributes, plus
+// instant annotation events for faults and recovery actions.
+//
+// Determinism contract: spans are identified by creation order (a SpanId is
+// an index into the span vector), all timestamps are virtual, and nothing
+// here consults the wall clock or any RNG. A trace is therefore a pure
+// function of (configuration, seed), and `checksum()` is bit-identical for
+// the same trial regardless of how many ReplicaPool workers ran the sweep.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace aimes::obs {
+
+/// Index+1 into the tracer's span vector; 0 is "no span" (no parent).
+using SpanId = std::uint64_t;
+
+inline constexpr SpanId kNoSpan = 0;
+
+/// One key/value annotation on a span or instant event.
+using Attr = std::pair<std::string, std::string>;
+
+/// A closed or still-open span. `end == SimTime::max()` means open.
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  /// Display track ("run", "pilot p.1", "units t1", "staging", ...). Chrome
+  /// trace export maps each distinct track to a tid lane.
+  std::string track;
+  common::SimTime begin = common::SimTime::epoch();
+  common::SimTime end = common::SimTime::max();
+  std::vector<Attr> attrs;
+
+  [[nodiscard]] bool closed() const { return end != common::SimTime::max(); }
+};
+
+/// A zero-duration annotation event (fault injected, pilot resubmitted, ...).
+struct InstantEvent {
+  std::string name;
+  std::string track;
+  common::SimTime when = common::SimTime::epoch();
+  std::vector<Attr> attrs;
+};
+
+/// Records spans in creation order. Single-threaded per engine replica, like
+/// everything else under the simulation's determinism contract.
+class SpanTracer {
+ public:
+  /// Opens a span. `parent` may be kNoSpan for roots.
+  SpanId begin_span(common::SimTime when, std::string name, std::string track,
+                    SpanId parent = kNoSpan);
+
+  /// Closes a span. Closing kNoSpan, an unknown or an already-closed id is a
+  /// harmless no-op (instrumentation must never crash the simulation).
+  void end_span(SpanId id, common::SimTime when);
+
+  /// Attaches a key/value attribute; no-op for kNoSpan/unknown ids.
+  void annotate(SpanId id, std::string key, std::string value);
+
+  /// Records a zero-duration annotation event.
+  void instant(common::SimTime when, std::string name, std::string track,
+               std::vector<Attr> attrs = {});
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<InstantEvent>& instants() const { return instants_; }
+
+  /// Depth of the deepest span (roots are depth 1); 0 when empty.
+  [[nodiscard]] int max_depth() const;
+
+  /// FNV-1a over every span (name, track, parent, begin, end, attrs) and
+  /// instant event in creation order. The determinism witness: bit-identical
+  /// across --jobs for the same (config, seed).
+  [[nodiscard]] std::uint64_t checksum() const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<InstantEvent> instants_;
+};
+
+}  // namespace aimes::obs

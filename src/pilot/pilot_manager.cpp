@@ -41,6 +41,13 @@ PilotId PilotManager::submit(const PilotDescription& description, common::SimDur
   ComputePilot& p = it->second;
   set_state(p, PilotState::kNew);
   set_state(p, PilotState::kPendingLaunch);
+  if (recorder_ != nullptr) {
+    p.obs_span = recorder_->begin_span(
+        p.description.name.empty() ? id.str() : p.description.name, "pilots", span_parent_);
+    recorder_->tracer().annotate(p.obs_span, "site", p.description.site.str());
+    recorder_->tracer().annotate(p.obs_span, "cores", std::to_string(p.description.cores));
+    recorder_->metrics().counter("aimes_pilot_pilots_submitted_total").add();
+  }
 
   if (delay > common::SimDuration::zero()) {
     engine_.schedule(delay, [this, id] { launch(id); });
@@ -95,6 +102,9 @@ void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
         if (on_unit_executing) on_unit_executing(id, unit);
       };
       set_state(pilot, PilotState::kActive);
+      if (recorder_ != nullptr) {
+        recorder_->metrics().gauge("aimes_pilot_pilots_active").add(1);
+      }
       // Injected pilot kill: decided once per activation, in activation
       // order. The kill lands through the SAGA layer as a preemption, so
       // the pilot dies exactly as it would under a real node failure.
@@ -102,6 +112,11 @@ void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
         if (auto delay = faults_->pilot_kill_delay()) {
           profiler_.record(engine_.now(), Entity::kPilot, id.value(),
                            std::string(trace_event::kPilotFaultKill), pilot.description.name);
+          if (recorder_ != nullptr) {
+            recorder_->instant("pilot_fault_kill", "faults",
+                               {{"pilot", pilot.description.name},
+                                {"delay_s", std::to_string(delay->to_seconds())}});
+          }
           common::Log::warn("pilot", pilot.id.str() + " will be killed " + delay->str() +
                                          " after activation (injected fault)");
           const JobId victim = pilot.saga_job;
@@ -115,6 +130,7 @@ void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
     case saga::JobState::kDone:
     case saga::JobState::kFailed:
     case saga::JobState::kCanceled: {
+      const bool was_active = pilot.state == PilotState::kActive;
       pilot.finished_at = engine_.now();
       std::vector<UnitId> lost;
       if (pilot.agent) {
@@ -125,6 +141,12 @@ void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
       if (event.state == saga::JobState::kFailed) final_state = PilotState::kFailed;
       if (event.state == saga::JobState::kCanceled) final_state = PilotState::kCanceled;
       set_state(pilot, final_state);
+      if (recorder_ != nullptr) {
+        if (was_active) recorder_->metrics().gauge("aimes_pilot_pilots_active").add(-1);
+        recorder_->tracer().annotate(pilot.obs_span, "state",
+                                     std::string(to_string(final_state)));
+        recorder_->end_span(pilot.obs_span);
+      }
       if (on_pilot_gone) on_pilot_gone(pilot, lost);
       break;
     }
@@ -140,6 +162,10 @@ void PilotManager::cancel(PilotId id) {
     // to cancel, so finalize directly (launch() will see the final state).
     pilot.finished_at = engine_.now();
     set_state(pilot, PilotState::kCanceled);
+    if (recorder_ != nullptr) {
+      recorder_->tracer().annotate(pilot.obs_span, "state", "Canceled");
+      recorder_->end_span(pilot.obs_span);
+    }
     if (on_pilot_gone) on_pilot_gone(pilot, {});
     return;
   }

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "pilot/agent.hpp"
 #include "pilot/description.hpp"
 #include "pilot/profiler.hpp"
@@ -35,6 +36,8 @@ struct ComputePilot {
   common::SimTime finished_at;
   /// The executor; non-null only while ACTIVE.
   std::unique_ptr<Agent> agent;
+  /// Observability span covering submit → final state (kNoSpan when off).
+  obs::SpanId obs_span = obs::kNoSpan;
 };
 
 /// Manages the pilot fleet of one application run.
@@ -75,6 +78,12 @@ class PilotManager {
   /// each activation for an injected mid-flight kill.
   void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
 
+  /// Attaches the observability recorder (nullable; off by default): one
+  /// span per pilot (submit → final state) plus an active-pilots gauge.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  /// Parent span for subsequently submitted pilots (the run/campaign span).
+  void set_span_parent(obs::SpanId parent) { span_parent_ = parent; }
+
   /// Cancels every non-final pilot ("all pilots are canceled when all tasks
   /// have executed so as not to waste resources", §III.E).
   void cancel_all();
@@ -97,6 +106,8 @@ class PilotManager {
   std::vector<saga::JobService*> services_;
   AgentOptions agent_options_;
   sim::FaultInjector* faults_ = nullptr;
+  obs::Recorder* recorder_ = nullptr;
+  obs::SpanId span_parent_ = obs::kNoSpan;
   common::IdGen<common::PilotTag> ids_;
   std::unordered_map<PilotId, ComputePilot> pilots_;
   std::vector<PilotId> order_;

@@ -34,6 +34,12 @@ PilotId PilotPool::launch(const PilotDescription& description, int tenant) {
   ++stats_.launched;
   profiler_.record(engine_.now(), Entity::kPilot, id.value(), "POOL_LEASE",
                    "tenant=" + std::to_string(tenant) + " fresh");
+  if (recorder_ != nullptr) {
+    recorder_->metrics()
+        .counter("aimes_pilot_pool_leases_total", {{"kind", "fresh"}})
+        .add();
+    recorder_->metrics().gauge("aimes_pilot_pool_size").add(1);
+  }
   return id;
 }
 
@@ -47,6 +53,11 @@ bool PilotPool::lease(PilotId id, int tenant) {
   ++stats_.reused;
   profiler_.record(engine_.now(), Entity::kPilot, id.value(), "POOL_LEASE",
                    "tenant=" + std::to_string(tenant) + " reused");
+  if (recorder_ != nullptr) {
+    recorder_->metrics()
+        .counter("aimes_pilot_pool_leases_total", {{"kind", "reused"}})
+        .add();
+  }
   return true;
 }
 
@@ -57,6 +68,9 @@ void PilotPool::release(PilotId id, int tenant) {
   --it->second.leases;
   profiler_.record(engine_.now(), Entity::kPilot, id.value(), "POOL_RELEASE",
                    "tenant=" + std::to_string(tenant));
+  if (recorder_ != nullptr) {
+    recorder_->metrics().counter("aimes_pilot_pool_releases_total").add();
+  }
   if (it->second.leases == 0) schedule_idle_cancel(id);
 }
 
@@ -76,6 +90,10 @@ void PilotPool::schedule_idle_cancel(PilotId id) {
     }
     ++stats_.cancelled_idle;
     profiler_.record(engine_.now(), Entity::kPilot, id.value(), "POOL_IDLE_CANCEL", "");
+    if (recorder_ != nullptr) {
+      recorder_->metrics().counter("aimes_pilot_pool_idle_cancels_total").add();
+      recorder_->instant("pool_idle_cancel", "pilots", {{"pilot", id.str()}});
+    }
     pilots_.cancel(id);  // handle_gone (chained) removes the entry
   };
   // Zero grace cancels on release (private-pilot semantics) — but never
@@ -115,7 +133,9 @@ std::vector<PoolSlotInfo> PilotPool::slots() {
 }
 
 void PilotPool::handle_gone(const ComputePilot& p) {
-  entries_.erase(p.id);
+  if (entries_.erase(p.id) > 0 && recorder_ != nullptr) {
+    recorder_->metrics().gauge("aimes_pilot_pool_size").add(-1);
+  }
 }
 
 }  // namespace aimes::pilot

@@ -90,6 +90,10 @@ class PilotPool {
 
   [[nodiscard]] const PilotPoolStats& stats() const { return stats_; }
 
+  /// Attaches the observability recorder (nullable; off by default): lease/
+  /// release/idle-cancel counters and a pooled-pilots gauge.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   struct Entry {
     int leases = 0;
@@ -108,6 +112,7 @@ class PilotPool {
   PilotPoolOptions options_;
   std::map<PilotId, Entry> entries_;
   PilotPoolStats stats_;
+  obs::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace aimes::pilot

@@ -28,9 +28,44 @@ UnitManager::UnitManager(sim::Engine& engine, Profiler& profiler, PilotManager& 
 }
 
 void UnitManager::set_state(ComputeUnit& u, UnitState s, const std::string& detail) {
+  const UnitState prev = u.state;
   u.state = s;
   profiler_.record(engine_.now(), Entity::kUnit, u.id.value(), std::string(to_string(s)),
                    detail.empty() ? u.description.name : detail);
+  if (recorder_ == nullptr || s == prev) return;
+  // The executing gauges and the per-attempt exec span bracket exactly the
+  // kExecuting residency, whatever transition ends it (done, restart,
+  // cancel).
+  if (s == UnitState::kExecuting) {
+    TenantObs& to = tenant_obs(tenant_of(u));
+    to.executing->add(1);
+    obs_exec_total_->add(1);
+    u.obs_exec_span = recorder_->begin_span("exec " + u.description.name, to.track, u.obs_span);
+    recorder_->tracer().annotate(u.obs_exec_span, "pilot", u.pilot.str());
+  } else if (prev == UnitState::kExecuting) {
+    tenant_obs(tenant_of(u)).executing->add(-1);
+    obs_exec_total_->add(-1);
+    recorder_->end_span(u.obs_exec_span);
+    u.obs_exec_span = obs::kNoSpan;
+  }
+}
+
+void UnitManager::update_queue_gauge(int tenant) {
+  if (recorder_ == nullptr) return;
+  tenant_obs(tenant).queued->set(static_cast<double>(tenants_.at(tenant).queue.size()));
+}
+
+UnitManager::TenantObs& UnitManager::tenant_obs(int tenant) {
+  auto it = tenant_obs_.find(tenant);
+  if (it != tenant_obs_.end()) return it->second;
+  TenantObs to;
+  to.label = std::to_string(tenant);
+  to.track = "units t" + to.label;
+  auto& metrics = recorder_->metrics();
+  to.executing = &metrics.gauge("aimes_pilot_units_executing", {{"tenant", to.label}});
+  to.queued = &metrics.gauge("aimes_pilot_units_queued", {{"tenant", to.label}});
+  to.submitted = &metrics.counter("aimes_pilot_units_submitted_total", {{"tenant", to.label}});
+  return tenant_obs_.emplace(tenant, std::move(to)).first->second;
 }
 
 const ComputeUnit* UnitManager::find(UnitId id) const {
@@ -64,6 +99,16 @@ UnitManager::BatchHandle UnitManager::submit_batch(
     order_.push_back(id);
     handle.units.push_back(id);
     set_state(units_.at(id), UnitState::kNew);
+    if (recorder_ != nullptr) {
+      ComputeUnit& cu = units_.at(id);
+      const obs::SpanId parent =
+          spec.parent_span != obs::kNoSpan ? spec.parent_span : default_span_parent_;
+      TenantObs& to = tenant_obs(spec.tenant);
+      cu.obs_span = recorder_->begin_span(cu.description.name, to.track, parent);
+      recorder_->tracer().annotate(cu.obs_span, "cores",
+                                   std::to_string(cu.description.cores));
+      to.submitted->add();
+    }
   }
   const std::vector<UnitId>& ids = handle.units;
   for (std::size_t i = 0; i < descriptions.size(); ++i) {
@@ -131,8 +176,10 @@ void UnitManager::try_start_bound_unit(UnitId id) {
 }
 
 void UnitManager::enqueue_late(UnitId id) {
-  tenants_.at(tenant_of(unit(id))).queue.push_back(id);
+  const int tenant = tenant_of(unit(id));
+  tenants_.at(tenant).queue.push_back(id);
   ++total_queued_;
+  update_queue_gauge(tenant);
   pump_late_queue();
 }
 
@@ -175,6 +222,7 @@ UnitId UnitManager::select_next_unit(const ComputePilot& pilot, int budget) {
       --total_queued_;
       --q.credit;
       note_dispatch(tenant);
+      update_queue_gauge(tenant);
       return id;
     }
     bool any_fitting = false;
@@ -259,20 +307,30 @@ void UnitManager::begin_staging(ComputeUnit& u) {
   for (const auto& file : u.description.inputs) {
     const std::uint64_t fid = file.file.value();
     profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_IN_START", file.name);
+    obs::SpanId xfer_span = obs::kNoSpan;
+    if (recorder_ != nullptr) {
+      xfer_span = recorder_->begin_span("stage-in " + file.name, "staging", u.obs_span);
+    }
     auto status = staging_.stage(file.name, site, net::Direction::kIn, file.size,
-                                 [this, id, attempt, fid](const net::StagingDone& done) {
+                                 [this, id, attempt, fid,
+                                  xfer_span](const net::StagingDone& done) {
       auto uit = units_.find(id);
       assert(uit != units_.end());
       ComputeUnit& cu = uit->second;
       if (!done.ok) {
         profiler_.record(engine_.now(), Entity::kTransfer, fid,
                          std::string(trace_event::kUnitStageInFailed), done.file);
+        if (recorder_ != nullptr) {
+          recorder_->tracer().annotate(xfer_span, "ok", "false");
+          recorder_->end_span(xfer_span);
+        }
         if (cu.attempts != attempt || cu.state != UnitState::kStagingInput) return;  // stale
         restart_unit(id, "input transfer failed: " + done.file);
         pump_late_queue();
         return;
       }
       profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_IN_DONE", done.file);
+      if (recorder_ != nullptr) recorder_->end_span(xfer_span);
       if (cu.attempts != attempt || cu.state != UnitState::kStagingInput) return;  // stale
       assert(cu.inflight_inputs > 0);
       if (--cu.inflight_inputs == 0) input_staged(id);
@@ -322,14 +380,23 @@ void UnitManager::compute_done(UnitId id) {
   for (const auto& file : u.description.outputs) {
     const std::uint64_t fid = file.file.value();
     profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_OUT_START", file.name);
+    obs::SpanId xfer_span = obs::kNoSpan;
+    if (recorder_ != nullptr) {
+      xfer_span = recorder_->begin_span("stage-out " + file.name, "staging", u.obs_span);
+    }
     auto status = staging_.stage(file.name, site, net::Direction::kOut, file.size,
-                                 [this, id, attempt, fid](const net::StagingDone& done) {
+                                 [this, id, attempt, fid,
+                                  xfer_span](const net::StagingDone& done) {
       auto uit = units_.find(id);
       assert(uit != units_.end());
       ComputeUnit& cu = uit->second;
       if (!done.ok) {
         profiler_.record(engine_.now(), Entity::kTransfer, fid,
                          std::string(trace_event::kUnitStageOutFailed), done.file);
+        if (recorder_ != nullptr) {
+          recorder_->tracer().annotate(xfer_span, "ok", "false");
+          recorder_->end_span(xfer_span);
+        }
         if (cu.attempts != attempt || cu.state != UnitState::kStagingOutput) return;  // stale
         // The whole attempt is retried: inputs re-staged, compute re-run.
         restart_unit(id, "output transfer failed: " + done.file);
@@ -337,6 +404,7 @@ void UnitManager::compute_done(UnitId id) {
         return;
       }
       profiler_.record(engine_.now(), Entity::kTransfer, fid, "STAGE_OUT_DONE", done.file);
+      if (recorder_ != nullptr) recorder_->end_span(xfer_span);
       if (cu.attempts != attempt || cu.state != UnitState::kStagingOutput) return;  // stale
       assert(cu.inflight_outputs > 0);
       if (--cu.inflight_outputs == 0) output_staged(id);
@@ -363,6 +431,11 @@ void UnitManager::finish_unit(ComputeUnit& u, UnitState final_state) {
 }
 
 void UnitManager::account_final(ComputeUnit& u, UnitState final_state) {
+  if (recorder_ != nullptr) {
+    recorder_->tracer().annotate(u.obs_span, "state", std::string(to_string(final_state)));
+    recorder_->tracer().annotate(u.obs_span, "attempts", std::to_string(u.attempts));
+    recorder_->end_span(u.obs_span);
+  }
   Batch& b = batch_of(u);
   switch (final_state) {
     case UnitState::kDone:
@@ -470,6 +543,11 @@ void UnitManager::restart_unit(UnitId id, const std::string& reason) {
   u.inflight_inputs = 0;
   u.inflight_outputs = 0;
   set_state(u, UnitState::kFailed, reason);
+  if (recorder_ != nullptr) {
+    recorder_->metrics().counter("aimes_pilot_unit_restarts_total").add();
+    recorder_->instant("unit_restart", "recovery",
+                       {{"unit", u.id.str()}, {"reason", reason}});
+  }
 
   if (u.attempts >= options_.max_attempts) {
     common::Log::warn("unit-mgr", u.id.str() + " exhausted attempts: " + reason);
@@ -506,6 +584,7 @@ void UnitManager::cancel_all(const std::string& reason) {
   for (auto& [tenant, q] : tenants_) {
     q.queue.clear();
     q.pending_gap = 0;
+    update_queue_gauge(tenant);
   }
   total_queued_ = 0;
   for (UnitId id : order_) {

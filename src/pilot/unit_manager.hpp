@@ -87,6 +87,9 @@ struct BatchSpec {
   int weight = 1;
   /// Trace label (application name).
   std::string label;
+  /// Observability parent for this batch's unit spans (e.g. the tenant span
+  /// in a campaign). kNoSpan falls back to the manager's default parent.
+  obs::SpanId parent_span = obs::kNoSpan;
 };
 
 /// Fair-share accounting for one tenant (late-binding dispatch path).
@@ -120,6 +123,10 @@ struct ComputeUnit {
   std::size_t inflight_outputs = 0;
   /// True while the unit counts against its pilot's dispatch budget.
   bool holds_dispatch_slot = false;
+  /// Observability spans (kNoSpan when off): whole unit lifetime, and the
+  /// current attempt's compute phase.
+  obs::SpanId obs_span = obs::kNoSpan;
+  obs::SpanId obs_exec_span = obs::kNoSpan;
 };
 
 /// Summary returned when a batch completes.
@@ -195,6 +202,20 @@ class UnitManager {
     return it != dispatched_cores_.end() && it->second > 0;
   }
 
+  /// Attaches the observability recorder (nullable; off by default): unit
+  /// and transfer spans, per-tenant queued/executing gauges, restart
+  /// counters.
+  void set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    tenant_obs_.clear();
+    obs_exec_total_ = recorder == nullptr
+                          ? nullptr
+                          : &recorder->metrics().gauge("aimes_pilot_units_executing_total");
+  }
+  /// Parent for unit spans of batches whose spec left parent_span unset
+  /// (the single-run strategy span).
+  void set_default_span_parent(obs::SpanId parent) { default_span_parent_ = parent; }
+
  private:
   /// One submitted batch and its completion bookkeeping.
   struct Batch {
@@ -255,6 +276,20 @@ class UnitManager {
   void resolve_dependents(ComputeUnit& u);
   void account_final(ComputeUnit& u, UnitState final_state);
   void maybe_complete_batch(BatchId id);
+  /// Re-points the per-tenant queued-units gauge at the queue's actual size.
+  void update_queue_gauge(int tenant);
+
+  /// Per-tenant instruments and label strings, resolved once per tenant:
+  /// registry lookups format a key and hash it, which is too slow for the
+  /// per-transition hot path.
+  struct TenantObs {
+    std::string label;  // "2"
+    std::string track;  // "units t2"
+    obs::Gauge* executing = nullptr;
+    obs::Gauge* queued = nullptr;
+    obs::Counter* submitted = nullptr;
+  };
+  TenantObs& tenant_obs(int tenant);
 
   sim::Engine& engine_;
   Profiler& profiler_;
@@ -278,6 +313,10 @@ class UnitManager {
   std::size_t failed_ = 0;
   std::size_t cancelled_ = 0;
   bool completed_fired_ = false;
+  obs::Recorder* recorder_ = nullptr;
+  obs::SpanId default_span_parent_ = obs::kNoSpan;
+  obs::Gauge* obs_exec_total_ = nullptr;
+  std::map<int, TenantObs> tenant_obs_;
 };
 
 }  // namespace aimes::pilot

@@ -34,6 +34,15 @@ int JobService::cores_to_nodes(int cores) const {
   return (cores + cpn - 1) / cpn;
 }
 
+void JobService::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
+  if (recorder_ == nullptr) return;
+  obs_submitted_ = &recorder_->metrics().counter("aimes_saga_jobs_submitted_total",
+                                                 {{"site", site_.name()}});
+  obs_latency_ = &recorder_->metrics().histogram("aimes_saga_submit_latency_seconds",
+                                                 {{"site", site_.name()}}, 0.0, 10.0, 10);
+}
+
 void JobService::dispatch(const JobEvent& event, const StateCallback& cb) {
   if (!cb) return;
   // Callbacks are dispatched as engine events so middleware reactions never
@@ -48,6 +57,11 @@ JobId JobService::submit(const JobDescription& description, StateCallback on_sta
 
   const auto latency = common::SimDuration::seconds(rng_.uniform(
       options_.min_submit_latency.to_seconds(), options_.max_submit_latency.to_seconds()));
+  if (recorder_ != nullptr) {
+    obs_submitted_->add();
+    obs_latency_->observe(latency.to_seconds());
+    recorder_->note_activity();
+  }
 
   // Injected launch failure: the adaptor's submit round-trip is rejected.
   // Decided here (once per submission, in submission order) so the outcome

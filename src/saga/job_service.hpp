@@ -21,6 +21,7 @@
 
 #include "cluster/site.hpp"
 #include "common/rng.hpp"
+#include "obs/recorder.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
 
@@ -114,6 +115,11 @@ class JobService {
   /// Translates cores to this site's node granularity.
   [[nodiscard]] int cores_to_nodes(int cores) const;
 
+  /// Attaches the observability recorder (nullable; off by default). Emits
+  /// `aimes_saga_jobs_submitted_total{site=...}` and a submit-latency
+  /// histogram.
+  void set_recorder(obs::Recorder* recorder);
+
  private:
   void dispatch(const JobEvent& event, const StateCallback& cb);
 
@@ -122,6 +128,10 @@ class JobService {
   common::Rng rng_;
   Options options_;
   sim::FaultInjector* faults_ = nullptr;
+  obs::Recorder* recorder_ = nullptr;
+  /// Resolved once in set_recorder; submit() is on the hot path.
+  obs::Counter* obs_submitted_ = nullptr;
+  obs::MetricHistogram* obs_latency_ = nullptr;
   // SAGA-level ids map 1:1 onto cluster job ids once admitted.
   struct Tracked {
     bool cancelled_before_admit = false;

@@ -52,6 +52,7 @@ void Engine::free_slot(std::uint32_t slot) {
 
 void Engine::heap_push(HeapEntry entry) {
   heap_.push_back(entry);  // placeholder; sift_up writes the final position
+  if (heap_.size() > peak_queued_) peak_queued_ = heap_.size();
   sift_up(static_cast<std::uint32_t>(heap_.size() - 1), entry);
 }
 

@@ -94,6 +94,10 @@ class Engine {
   /// Total events executed since construction (for the substrate benches).
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// High-water mark of queued() over the engine's lifetime — the heap's
+  /// peak footprint, surfaced in the observability engine stats.
+  [[nodiscard]] std::size_t peak_queued() const { return peak_queued_; }
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 
@@ -147,6 +151,7 @@ class Engine {
   SimTime now_ = SimTime::epoch();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t peak_queued_ = 0;
   // The slab, as parallel arrays: the sift loops only touch pos_ (dense
   // 4-byte entries, cache-resident even for huge queues), never the fat
   // callback records.

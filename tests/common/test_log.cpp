@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+
+namespace aimes::common {
+namespace {
+
+/// Restores the process/thread logging state a test mutated.
+struct LogGuard {
+  LogLevel saved = Log::level();
+  ~LogGuard() {
+    Log::set_level(saved);
+    Log::set_sink(nullptr);
+    Log::set_clock(nullptr);
+  }
+};
+
+TEST(Log, SinkCapturesFormattedLines) {
+  LogGuard guard;
+  std::vector<std::string> lines;
+  Log::set_sink([&](LogLevel, const std::string& line) { lines.push_back(line); });
+  Log::set_level(LogLevel::kInfo);
+
+  Log::info("tester", "hello");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("INFO"), std::string::npos);
+  EXPECT_NE(lines[0].find("tester"), std::string::npos);
+  EXPECT_NE(lines[0].find("hello"), std::string::npos);
+}
+
+TEST(Log, LevelFiltersBelowThreshold) {
+  LogGuard guard;
+  std::vector<LogLevel> seen;
+  Log::set_sink([&](LogLevel level, const std::string&) { seen.push_back(level); });
+
+  Log::set_level(LogLevel::kWarn);
+  Log::debug("tester", "dropped");
+  Log::info("tester", "dropped");
+  Log::warn("tester", "kept");
+  Log::error("tester", "kept");
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], LogLevel::kWarn);
+  EXPECT_EQ(seen[1], LogLevel::kError);
+
+  Log::set_level(LogLevel::kOff);
+  Log::error("tester", "dropped");
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Log, ClockPrefixesLines) {
+  LogGuard guard;
+  std::vector<std::string> lines;
+  Log::set_sink([&](LogLevel, const std::string& line) { lines.push_back(line); });
+  Log::set_level(LogLevel::kInfo);
+  Log::set_clock([] { return std::string("[t=42s]"); });
+
+  Log::info("tester", "tick");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[t=42s]"), std::string::npos);
+  // The prefix sits between the level and the component.
+  EXPECT_LT(lines[0].find("INFO"), lines[0].find("[t=42s]"));
+  EXPECT_LT(lines[0].find("[t=42s]"), lines[0].find("tester"));
+}
+
+TEST(Log, ClockAndSinkAreThreadLocal) {
+  LogGuard guard;
+  std::vector<std::string> main_lines;
+  Log::set_sink([&](LogLevel, const std::string& line) { main_lines.push_back(line); });
+  Log::set_level(LogLevel::kInfo);
+  Log::set_clock([] { return std::string("[main-clock]"); });
+
+  std::vector<std::string> worker_lines;
+  std::thread worker([&] {
+    // A fresh thread starts with no sink and no clock; install its own so
+    // its lines go to its own buffer with its own prefix.
+    Log::set_sink([&](LogLevel, const std::string& line) { worker_lines.push_back(line); });
+    Log::set_clock([] { return std::string("[worker-clock]"); });
+    Log::info("tester", "from-worker");
+    Log::set_sink(nullptr);
+    Log::set_clock(nullptr);
+  });
+  worker.join();
+  Log::info("tester", "from-main");
+
+  ASSERT_EQ(worker_lines.size(), 1u);
+  EXPECT_NE(worker_lines[0].find("[worker-clock]"), std::string::npos);
+  EXPECT_NE(worker_lines[0].find("from-worker"), std::string::npos);
+  ASSERT_EQ(main_lines.size(), 1u);
+  EXPECT_NE(main_lines[0].find("[main-clock]"), std::string::npos);
+  EXPECT_EQ(main_lines[0].find("from-worker"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aimes::common

@@ -20,6 +20,25 @@ TEST(Timeline, EmptyTraceYieldsNoRows) {
   EXPECT_EQ(render_timeline(trace), "(no run in trace)\n");
 }
 
+TEST(Timeline, TraceWithoutRunStartYieldsNoRows) {
+  // A populated trace that never saw RUN_START (the run failed before
+  // enactment) must not render rows — the CLI keys its one-line diagnostic
+  // off build_timeline() being empty, never printing silently-empty output.
+  pilot::Profiler trace;
+  trace.record(at(0), Entity::kPilot, 1, "PENDING_LAUNCH");
+  trace.record(at(50), Entity::kPilot, 1, "ACTIVE");
+  trace.record(at(80), Entity::kUnit, 1, "EXECUTING");
+  EXPECT_TRUE(build_timeline(trace).empty());
+  EXPECT_EQ(render_timeline(trace), "(no run in trace)\n");
+}
+
+TEST(Timeline, RunStartWithNoLaterRecordsYieldsNoRows) {
+  pilot::Profiler trace;
+  trace.record(at(5), Entity::kManager, 0, "RUN_START");
+  EXPECT_TRUE(build_timeline(trace).empty());
+  EXPECT_EQ(render_timeline(trace), "(no run in trace)\n");
+}
+
 TEST(Timeline, PilotRowShowsQueuedThenActive) {
   pilot::Profiler trace;
   trace.record(at(0), Entity::kManager, 0, "RUN_START");

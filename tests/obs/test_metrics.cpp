@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace aimes::obs {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+SimTime at(double s) { return SimTime::epoch() + SimDuration::seconds(s); }
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry r;
+  r.counter("aimes_test_total").add();
+  r.counter("aimes_test_total").add(2.5);
+  EXPECT_DOUBLE_EQ(r.counter("aimes_test_total").value(), 3.5);
+  EXPECT_EQ(r.metrics().size(), 1u);  // idempotent registration
+}
+
+TEST(Metrics, LabelsSeparateInstruments) {
+  MetricsRegistry r;
+  r.counter("aimes_test_total", {{"site", "a"}}).add();
+  r.counter("aimes_test_total", {{"site", "b"}}).add(5);
+  EXPECT_DOUBLE_EQ(r.counter("aimes_test_total", {{"site", "a"}}).value(), 1.0);
+  EXPECT_DOUBLE_EQ(r.counter("aimes_test_total", {{"site", "b"}}).value(), 5.0);
+  EXPECT_EQ(r.metrics().size(), 2u);
+  EXPECT_EQ(r.metrics()[0]->key(), "aimes_test_total{site=\"a\"}");
+}
+
+TEST(Metrics, GaugeTracksExactPeak) {
+  MetricsRegistry r;
+  Gauge& g = r.gauge("aimes_test_inflight");
+  g.add(3);
+  g.add(4);   // 7 — the peak
+  g.add(-5);  // 2
+  g.set(6);
+  EXPECT_DOUBLE_EQ(g.value(), 6.0);
+  EXPECT_DOUBLE_EQ(g.peak(), 7.0);
+  // Peak is queryable by exposition key even with no samples taken.
+  EXPECT_DOUBLE_EQ(r.gauge_peak("aimes_test_inflight"), 7.0);
+  EXPECT_DOUBLE_EQ(r.gauge_peak("no_such_metric"), 0.0);
+}
+
+TEST(Metrics, SampleAppendsSeriesInRegistrationOrder) {
+  MetricsRegistry r;
+  r.counter("c_total").add();
+  r.gauge("g").set(2);
+  r.sample(at(10));
+  r.counter("c_total").add();
+  r.sample(at(20));
+  EXPECT_EQ(r.sample_count(), 2u);
+  const Metric* c = r.find("c_total");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->series.size(), 2u);
+  EXPECT_EQ(c->series[0].when, at(10));
+  EXPECT_DOUBLE_EQ(c->series[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(c->series[1].value, 2.0);
+  const Metric* g = r.find("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->series[1].value, 2.0);
+}
+
+TEST(Metrics, CallbackGaugePolledAtSample) {
+  MetricsRegistry r;
+  double live = 1.5;
+  r.gauge_callback("cb", {}, [&] { return live; });
+  r.sample(at(1));
+  live = 9.0;
+  r.sample(at(2));
+  const Metric* m = r.find("cb");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->series.size(), 2u);
+  EXPECT_DOUBLE_EQ(m->series[0].value, 1.5);
+  EXPECT_DOUBLE_EQ(m->series[1].value, 9.0);
+}
+
+TEST(Metrics, HistogramBucketsObservations) {
+  MetricsRegistry r;
+  MetricHistogram& h = r.histogram("lat_seconds", {}, 0.0, 10.0, 5);  // width 2
+  h.observe(1.0);   // bucket 0
+  h.observe(3.0);   // bucket 1
+  h.observe(9.9);   // bucket 4
+  h.observe(50.0);  // overflow
+  h.observe(-1.0);  // clamped into the first bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 3.0 + 9.9 + 50.0 - 1.0);
+  ASSERT_EQ(h.buckets().size(), 6u);  // 5 + overflow
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[4], 1u);
+  EXPECT_EQ(h.buckets()[5], 1u);
+  EXPECT_DOUBLE_EQ(h.upper_bound(0), 2.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(5)));
+  // Histograms are exposition-only: sampling adds no series.
+  r.sample(at(1));
+  EXPECT_TRUE(r.find("lat_seconds")->series.empty());
+}
+
+TEST(Metrics, KeyFormatsNameAndLabels) {
+  Metric m;
+  m.name = "aimes_pilot_units_queued";
+  m.labels = {{"tenant", "2"}, {"site", "x"}};
+  EXPECT_EQ(m.key(), "aimes_pilot_units_queued{tenant=\"2\",site=\"x\"}");
+}
+
+}  // namespace
+}  // namespace aimes::obs

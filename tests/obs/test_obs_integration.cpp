@@ -1,0 +1,102 @@
+// Whole-stack observability: spans/metrics emitted by a real run, the
+// no-perturbation contract (observability on/off gives the same simulation),
+// and the determinism contract (span checksums bit-identical across worker
+// counts).
+#include <gtest/gtest.h>
+
+#include "exp/campaign.hpp"
+#include "exp/runner.hpp"
+
+namespace aimes::exp {
+namespace {
+
+WorldTweaks quick_tweaks(bool obs) {
+  WorldTweaks tweaks;
+  tweaks.warmup = common::SimDuration::hours(1);
+  tweaks.observability.enabled = obs;
+  return tweaks;
+}
+
+TEST(ObsIntegration, TrialEmitsDeepSpansAndSampledMetrics) {
+  const ExperimentSpec exp = table1_experiment(3);  // late binding, 3 pilots
+  const TrialResult r = run_trial(exp, 16, 20160418, quick_tweaks(true));
+  ASSERT_TRUE(r.report.success);
+  // run -> strategy -> pilot/unit -> transfer/exec: at least four levels.
+  EXPECT_GE(r.obs.max_span_depth, 4);
+  EXPECT_GT(r.obs.span_count, 20u);
+  EXPECT_NE(r.obs.span_checksum, 0u);
+  // Counters/gauges from at least three layers, sampled into series.
+  EXPECT_GE(r.obs.metric_count, 10u);
+  EXPECT_GT(r.obs.sample_count, 0u);
+  // The load-bearing derived number: peak concurrency from the gauge.
+  EXPECT_GT(r.report.metrics.peak_units_executing, 0u);
+  EXPECT_LE(r.report.metrics.peak_units_executing, 16u);
+  // Engine self-profiling made it into the trial result.
+  EXPECT_GT(r.engine.events_executed, 0u);
+  EXPECT_GT(r.engine.peak_queued, 0u);
+  EXPECT_GE(r.engine.wall_seconds, 0.0);
+}
+
+TEST(ObsIntegration, ObservabilityDoesNotPerturbTheSimulation) {
+  const ExperimentSpec exp = table1_experiment(3);
+  const TrialResult off = run_trial(exp, 12, 7, quick_tweaks(false));
+  const TrialResult on = run_trial(exp, 12, 7, quick_tweaks(true));
+  EXPECT_EQ(off.report.success, on.report.success);
+  EXPECT_EQ(off.report.units_done, on.report.units_done);
+  EXPECT_EQ(off.report.ttc.ttc, on.report.ttc.ttc);
+  EXPECT_EQ(off.report.ttc.tw, on.report.ttc.tw);
+  EXPECT_EQ(off.report.ttc.tx, on.report.ttc.tx);
+  EXPECT_EQ(off.report.ttc.ts, on.report.ttc.ts);
+  // Off means off: no spans, no metrics, zero checksum.
+  EXPECT_EQ(off.obs.span_count, 0u);
+  EXPECT_EQ(off.obs.span_checksum, 0u);
+  EXPECT_GT(on.obs.span_count, 0u);
+}
+
+TEST(ObsIntegration, SpanChecksumsBitIdenticalAcrossWorkerCounts) {
+  const ExperimentSpec exp = table1_experiment(3);
+  const WorldTweaks tweaks = quick_tweaks(true);
+  const CellResult serial = run_cell(exp, 8, 4, 20160418, tweaks, nullptr, 1);
+  EXPECT_NE(serial.span_checksum, 0u);
+  for (int jobs : {2, 4, 8}) {
+    const CellResult parallel = run_cell(exp, 8, 4, 20160418, tweaks, nullptr, jobs);
+    EXPECT_EQ(parallel.span_checksum, serial.span_checksum) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.ttc_s.mean(), serial.ttc_s.mean()) << "jobs=" << jobs;
+    EXPECT_EQ(parallel.events_executed, serial.events_executed) << "jobs=" << jobs;
+  }
+}
+
+TEST(ObsIntegration, CampaignTrialEmitsTenantSpansDeterministically) {
+  CampaignSpec spec;
+  spec.n_tenants = 3;
+  spec.base_tasks = 4;
+  spec.n_pilots = 2;
+  const WorldTweaks tweaks = quick_tweaks(true);
+  const CampaignTrialResult a = run_campaign_trial(spec, 11, tweaks);
+  ASSERT_TRUE(a.success);
+  // campaign -> tenant -> unit -> transfer/exec.
+  EXPECT_GE(a.obs.max_span_depth, 4);
+  EXPECT_GT(a.obs.span_count, 10u);
+  EXPECT_GT(a.report.metrics.peak_units_executing, 0u);
+  const CampaignTrialResult b = run_campaign_trial(spec, 11, tweaks);
+  EXPECT_EQ(a.obs.span_checksum, b.obs.span_checksum);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(ObsIntegration, ArtifactsRenderOnlyOnRequest) {
+  const ExperimentSpec exp = table1_experiment(1);
+  WorldTweaks tweaks = quick_tweaks(true);
+  const TrialResult lean = run_trial(exp, 8, 3, tweaks);
+  EXPECT_TRUE(lean.obs.chrome_trace.empty());
+  EXPECT_TRUE(lean.obs.prometheus.empty());
+  tweaks.obs_artifacts = true;
+  const TrialResult full = run_trial(exp, 8, 3, tweaks);
+  EXPECT_NE(full.obs.chrome_trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(full.obs.prometheus.find("# TYPE"), std::string::npos);
+  EXPECT_NE(full.obs.csv.find("when_ms,metric,value"), std::string::npos);
+  // Rendering artifacts does not change what was recorded.
+  EXPECT_EQ(full.obs.span_checksum, lean.obs.span_checksum);
+}
+
+}  // namespace
+}  // namespace aimes::exp

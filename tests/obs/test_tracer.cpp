@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "obs/tracer.hpp"
+
+namespace aimes::obs {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+SimTime at(double s) { return SimTime::epoch() + SimDuration::seconds(s); }
+
+TEST(SpanTracer, BeginEndRecordsBounds) {
+  SpanTracer t;
+  const SpanId id = t.begin_span(at(1), "work", "units");
+  EXPECT_NE(id, kNoSpan);
+  t.end_span(id, at(5));
+  ASSERT_EQ(t.spans().size(), 1u);
+  const Span& s = t.spans()[0];
+  EXPECT_EQ(s.name, "work");
+  EXPECT_EQ(s.track, "units");
+  EXPECT_EQ(s.begin, at(1));
+  EXPECT_EQ(s.end, at(5));
+  EXPECT_TRUE(s.closed());
+  EXPECT_EQ(s.parent, kNoSpan);
+}
+
+TEST(SpanTracer, OpenSpanIsNotClosed) {
+  SpanTracer t;
+  t.begin_span(at(0), "forever", "run");
+  EXPECT_FALSE(t.spans()[0].closed());
+}
+
+TEST(SpanTracer, ParentChainGivesDepth) {
+  SpanTracer t;
+  const SpanId a = t.begin_span(at(0), "campaign", "run");
+  const SpanId b = t.begin_span(at(1), "tenant", "run", a);
+  const SpanId c = t.begin_span(at(2), "unit", "units t1", b);
+  const SpanId d = t.begin_span(at(3), "transfer", "staging", c);
+  EXPECT_EQ(t.max_depth(), 4);
+  t.end_span(d, at(4));
+  t.end_span(c, at(5));
+  t.end_span(b, at(6));
+  t.end_span(a, at(7));
+  EXPECT_EQ(t.max_depth(), 4);
+  EXPECT_EQ(t.spans()[1].parent, a);
+  EXPECT_EQ(t.spans()[2].parent, b);
+  EXPECT_EQ(t.spans()[3].parent, c);
+}
+
+TEST(SpanTracer, EndSpanEdgeCasesAreNoOps) {
+  SpanTracer t;
+  t.end_span(kNoSpan, at(1));                   // no span at all
+  t.end_span(static_cast<SpanId>(99), at(1));   // unknown id
+  const SpanId id = t.begin_span(at(2), "x", "run");
+  t.end_span(id, at(3));
+  t.end_span(id, at(9));  // double-end keeps the first end
+  EXPECT_EQ(t.spans()[0].end, at(3));
+}
+
+TEST(SpanTracer, EndBeforeBeginClampsToBegin) {
+  SpanTracer t;
+  const SpanId id = t.begin_span(at(5), "x", "run");
+  t.end_span(id, at(2));
+  EXPECT_EQ(t.spans()[0].end, at(5));
+}
+
+TEST(SpanTracer, AnnotateAppendsAttrs) {
+  SpanTracer t;
+  const SpanId id = t.begin_span(at(0), "x", "run");
+  t.annotate(id, "site", "stampede");
+  t.annotate(id, "cores", "16");
+  t.annotate(kNoSpan, "ignored", "y");
+  ASSERT_EQ(t.spans()[0].attrs.size(), 2u);
+  EXPECT_EQ(t.spans()[0].attrs[0].first, "site");
+  EXPECT_EQ(t.spans()[0].attrs[1].second, "16");
+}
+
+TEST(SpanTracer, InstantEventsAreRecorded) {
+  SpanTracer t;
+  t.instant(at(3), "pilot_lost", "recovery", {{"pilot", "p.1"}});
+  ASSERT_EQ(t.instants().size(), 1u);
+  EXPECT_EQ(t.instants()[0].name, "pilot_lost");
+  EXPECT_EQ(t.instants()[0].when, at(3));
+}
+
+TEST(SpanTracer, ChecksumIsDeterministic) {
+  auto build = [] {
+    SpanTracer t;
+    const SpanId a = t.begin_span(at(0), "run", "run");
+    const SpanId b = t.begin_span(at(1), "unit", "units t1", a);
+    t.annotate(b, "cores", "4");
+    t.instant(at(2), "restart", "recovery", {{"unit", "u.1"}});
+    t.end_span(b, at(3));
+    t.end_span(a, at(4));
+    return t.checksum();
+  };
+  EXPECT_EQ(build(), build());
+  EXPECT_NE(build(), 0u);
+}
+
+TEST(SpanTracer, ChecksumIsSensitive) {
+  SpanTracer a;
+  const SpanId s1 = a.begin_span(at(0), "run", "run");
+  a.end_span(s1, at(4));
+
+  SpanTracer b;  // different end time
+  const SpanId s2 = b.begin_span(at(0), "run", "run");
+  b.end_span(s2, at(5));
+
+  SpanTracer c;  // different name
+  const SpanId s3 = c.begin_span(at(0), "ruN", "run");
+  c.end_span(s3, at(4));
+
+  SpanTracer d;  // open span
+  d.begin_span(at(0), "run", "run");
+
+  EXPECT_NE(a.checksum(), b.checksum());
+  EXPECT_NE(a.checksum(), c.checksum());
+  EXPECT_NE(a.checksum(), d.checksum());
+}
+
+}  // namespace
+}  // namespace aimes::obs

@@ -74,5 +74,54 @@ TEST(Profiler, ClearEmpties) {
   EXPECT_EQ(p.size(), 0u);
 }
 
+TEST(Profiler, IntervalsDoubleFromWithoutToStaysOpen) {
+  // Two `from` entries with no closing `to`: the second restarts the open
+  // interval and nothing is emitted (open intervals are not counted).
+  Profiler p;
+  p.record(at(0), Entity::kUnit, 1, "EXECUTING");
+  p.record(at(5), Entity::kUnit, 1, "EXECUTING");
+  const auto set = p.intervals(Entity::kUnit, "EXECUTING", "PENDING_OUTPUT_STAGING");
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.union_length(), SimDuration::zero());
+}
+
+TEST(Profiler, IntervalsDoubleFromThenToUsesRestart) {
+  // The close pairs with the *latest* open, so a restart discards the first
+  // span instead of double-counting it.
+  Profiler p;
+  p.record(at(0), Entity::kUnit, 1, "EXECUTING");
+  p.record(at(8), Entity::kUnit, 1, "EXECUTING");
+  p.record(at(11), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");
+  const auto set = p.intervals(Entity::kUnit, "EXECUTING", "PENDING_OUTPUT_STAGING");
+  EXPECT_EQ(set.union_length(), SimDuration::seconds(3));
+}
+
+TEST(Profiler, IntervalsToBeforeAnyFromIsDropped) {
+  // A `to` with no preceding `from` for that uid must not fabricate an
+  // interval — also when a *different* uid has one open at that moment.
+  Profiler p;
+  p.record(at(0), Entity::kUnit, 2, "EXECUTING");
+  p.record(at(1), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");  // uid 1 never opened
+  p.record(at(4), Entity::kUnit, 2, "PENDING_OUTPUT_STAGING");
+  const auto set = p.intervals(Entity::kUnit, "EXECUTING", "PENDING_OUTPUT_STAGING");
+  EXPECT_EQ(set.union_length(), SimDuration::seconds(4));  // uid 2 only
+}
+
+TEST(Profiler, IntervalsInterleavedUidsPairPerUid) {
+  // uid 1: [0,6), uid 2: [2,4) — the close at t=4 belongs to uid 2 even
+  // though uid 1 opened first; union is [0,6).
+  Profiler p;
+  p.record(at(0), Entity::kUnit, 1, "EXECUTING");
+  p.record(at(2), Entity::kUnit, 2, "EXECUTING");
+  p.record(at(4), Entity::kUnit, 2, "PENDING_OUTPUT_STAGING");
+  p.record(at(6), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");
+  const auto set = p.intervals(Entity::kUnit, "EXECUTING", "PENDING_OUTPUT_STAGING");
+  EXPECT_EQ(set.union_length(), SimDuration::seconds(6));
+  // A second close for an already-closed uid is ignored.
+  p.record(at(9), Entity::kUnit, 1, "PENDING_OUTPUT_STAGING");
+  const auto again = p.intervals(Entity::kUnit, "EXECUTING", "PENDING_OUTPUT_STAGING");
+  EXPECT_EQ(again.union_length(), SimDuration::seconds(6));
+}
+
 }  // namespace
 }  // namespace aimes::pilot

@@ -30,6 +30,7 @@
 #include "core/report_io.hpp"
 #include "core/timeline.hpp"
 #include "exp/campaign.hpp"
+#include "obs/recorder.hpp"
 #include "sim/replica_pool.hpp"
 #include "skeleton/emitters.hpp"
 #include "skeleton/profiles.hpp"
@@ -56,6 +57,11 @@ struct Args {
   std::string trace_file;
   std::string report_file;
   bool timeline = false;
+  // Observability (src/obs): either output flag turns the recorder on.
+  std::string trace_out;    // Chrome trace-event JSON (Perfetto-loadable)
+  std::string metrics_out;  // Prometheus text; FILE.csv gets the series
+  double sample_interval_s = 30.0;
+  bool quick = false;
   std::string emit;       // dax | swift | shell | json
   std::string emit_out;   // "-" or path
   bool verbose = false;
@@ -139,6 +145,19 @@ common::Expected<Args> parse_args(int argc, char** argv) {
                     "probability each pilot submission is rejected (0)", "P");
   cli.string_option("--trace", args.trace_file,
                     "write the full state-transition trace as CSV", "FILE");
+  cli.string_option("--trace-out", args.trace_out,
+                    "write a Chrome trace-event JSON of the run's\n"
+                    "spans and counter tracks (open in Perfetto)",
+                    "FILE");
+  cli.string_option("--metrics-out", args.metrics_out,
+                    "write final metric values in Prometheus text\n"
+                    "format; FILE.csv gets the sampled time series",
+                    "FILE");
+  cli.double_option("--sample-interval", args.sample_interval_s, 0.001, 1e6,
+                    "metrics sampling interval in virtual seconds (30)", "S");
+  cli.flag("--quick", args.quick,
+           "small fast run: 16 tasks, 2 pilots, 1 h warmup\n"
+           "(each unless explicitly overridden)");
   cli.flag("--timeline", args.timeline, "print an ASCII Gantt timeline of the run");
   cli.string_option("--report", args.report_file, "write the run report as JSON", "FILE");
   cli.string_option("--emit", args.emit, "emit the skeleton: shell | json | dax | swift",
@@ -151,6 +170,24 @@ common::Expected<Args> parse_args(int argc, char** argv) {
   if (parsed->help) {
     std::fputs(cli.usage().c_str(), stdout);
     std::exit(0);
+  }
+  if (args.quick) {
+    if (!cli.seen("--tasks")) args.tasks = 16;
+    if (!cli.seen("--pilots")) args.pilots = 2;
+    if (!cli.seen("--warmup")) args.warmup_hours = 1.0;
+  }
+  if (!args.trace_out.empty() || !args.metrics_out.empty()) {
+    if (args.trials > 1) {
+      return E::error("--trace-out/--metrics-out need a single run (--trials 1); use the "
+                      "bench-obs target for sweeps");
+    }
+    if (args.adaptive) {
+      return E::error("--trace-out/--metrics-out are not wired into --adaptive yet");
+    }
+    if (!args.emit.empty()) {
+      return E::error("--emit only renders the skeleton; nothing runs, so there is no "
+                      "trace to export");
+    }
   }
   if (args.trials > 1 &&
       (!args.trace_file.empty() || !args.report_file.empty() || args.timeline ||
@@ -179,6 +216,39 @@ common::Expected<Args> parse_args(int argc, char** argv) {
   return args;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text;
+  return true;
+}
+
+/// Prints the observability summary and writes the requested artifacts.
+/// Returns false when a file could not be written.
+bool emit_observability(const Args& args, const obs::Snapshot& snap) {
+  std::printf("  observability: %zu spans (max depth %d), %zu instants, %zu metrics, "
+              "%zu samples | span checksum %016llx\n",
+              snap.span_count, snap.max_span_depth, snap.instant_count, snap.metric_count,
+              snap.sample_count, static_cast<unsigned long long>(snap.span_checksum));
+  bool ok = true;
+  if (!args.trace_out.empty()) {
+    ok = write_text_file(args.trace_out, snap.chrome_trace) && ok;
+    if (ok) std::printf("  trace-out: %s (open in ui.perfetto.dev)\n", args.trace_out.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    ok = write_text_file(args.metrics_out, snap.prometheus) && ok;
+    ok = write_text_file(args.metrics_out + ".csv", snap.csv) && ok;
+    if (ok) {
+      std::printf("  metrics-out: %s (+ %s.csv time series)\n", args.metrics_out.c_str(),
+                  args.metrics_out.c_str());
+    }
+  }
+  return ok;
+}
+
 /// Campaign front end: one trial prints the per-tenant breakdown; --trials N
 /// sweeps seeded replicas through the campaign cell runner.
 int run_campaign(const Args& args) {
@@ -192,6 +262,11 @@ int run_campaign(const Args& args) {
 
   exp::WorldTweaks tweaks;
   tweaks.warmup = common::SimDuration::hours(args.warmup_hours);
+  const bool obs_on = !args.trace_out.empty() || !args.metrics_out.empty();
+  tweaks.observability.enabled = obs_on;
+  tweaks.observability.sample_interval =
+      common::SimDuration::seconds(args.sample_interval_s);
+  tweaks.obs_artifacts = obs_on;
   if (!args.testbed_file.empty()) {
     auto file = common::Config::load(args.testbed_file);
     if (!file) {
@@ -229,6 +304,7 @@ int run_campaign(const Args& args) {
                   exp::campaign_tenant_tasks(spec, static_cast<int>(i)),
                   trial.tenant_ttc[i].str().c_str());
     }
+    if (obs_on && !emit_observability(args, trial.obs)) return 1;
     return trial.success ? 0 : 1;
   }
   for (const auto& t : trial.report.tenants) {
@@ -248,6 +324,11 @@ int run_campaign(const Args& args) {
   }
   std::printf("  throughput %.1f tasks/h over the campaign makespan\n",
               trial.report.metrics.throughput_tasks_per_hour);
+  if (obs_on) {
+    std::printf("  peak concurrent executing units (sampled gauge): %zu\n",
+                trial.report.metrics.peak_units_executing);
+    if (!emit_observability(args, trial.obs)) return 1;
+  }
   return trial.success ? 0 : 1;
 }
 
@@ -324,6 +405,10 @@ int main(int argc, char** argv) {
   core::AimesConfig config;
   config.seed = args.seed;
   config.warmup = common::SimDuration::hours(args.warmup_hours);
+  const bool obs_on = !args.trace_out.empty() || !args.metrics_out.empty();
+  config.observability.enabled = obs_on;
+  config.observability.sample_interval =
+      common::SimDuration::seconds(args.sample_interval_s);
   if (!args.testbed_file.empty()) {
     auto file = common::Config::load(args.testbed_file);
     if (!file) {
@@ -488,8 +573,23 @@ int main(int argc, char** argv) {
                 report.recovery.mean_recovery_latency().str().c_str());
   }
 
+  if (aimes.recorder() != nullptr) {
+    std::printf("  peak concurrent executing units (sampled gauge): %zu\n",
+                report.metrics.peak_units_executing);
+    std::printf("  engine: %zu events executed, peak queue %zu\n", aimes.engine().executed(),
+                aimes.engine().peak_queued());
+    if (!emit_observability(args, aimes.recorder()->snapshot(true))) return 1;
+  }
+
   if (args.timeline) {
-    std::printf("\n%s", core::render_timeline(adaptive_trace).c_str());
+    if (core::build_timeline(adaptive_trace).empty()) {
+      // No rows to draw: the trace has no RUN_START (run failed before
+      // enactment) or no time passed after it.
+      std::printf("\ntimeline: no RUN_START record in the trace, nothing to draw "
+                  "(did the run fail before enactment?)\n");
+    } else {
+      std::printf("\n%s", core::render_timeline(adaptive_trace).c_str());
+    }
   }
   if (!args.report_file.empty()) {
     auto saved = core::save_report_json(report, args.report_file);

@@ -5,9 +5,12 @@
 #
 # Runs, in order:
 #   1. Release build + the whole ctest suite (tier-1, what CI gates on);
-#   2. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
+#   2. Observability smoke: aimes-run --quick with --trace-out/--metrics-out,
+#      then validates the Chrome trace parses as JSON and the Prometheus
+#      file is non-empty — the exporters are only exercised end to end here;
+#   3. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
 #      fault-injection paths are where lifetime bugs hide;
-#   3. Thread (TSan) build + the sanitize label — races in the parallel
+#   4. Thread (TSan) build + the sanitize label — races in the parallel
 #      trial runner (sim::ReplicaPool) and the campaign cell sweep.
 #
 # Exits non-zero on the first failing step. Build trees default to
@@ -27,6 +30,22 @@ step "Release build + full suite"
 cmake -S "$src_dir" -B "$prefix-release" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$prefix-release" -j "$jobs"
 ctest --test-dir "$prefix-release" -j "$jobs" --output-on-failure
+
+step "Observability smoke (--trace-out / --metrics-out artifacts)"
+obs_trace="$prefix-release/smoke-trace.json"
+obs_metrics="$prefix-release/smoke-metrics.txt"
+"$prefix-release/tools/aimes-run" --quick \
+  --trace-out "$obs_trace" --metrics-out "$obs_metrics"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$obs_trace"
+else
+  # No python3: at least require a non-empty file with the trace envelope.
+  grep -q '"traceEvents"' "$obs_trace"
+fi
+test -s "$obs_metrics"
+grep -q '^# TYPE ' "$obs_metrics"
+test -s "$obs_metrics.csv"
+echo "observability artifacts OK ($obs_trace, $obs_metrics)"
 
 step "Sanitize (ASan/UBSan) build + chaos/sanitize labels"
 cmake -S "$src_dir" -B "$prefix-asan" -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
