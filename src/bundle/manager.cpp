@@ -30,6 +30,8 @@ std::vector<Candidate> BundleManager::discover(const Requirements& req) const {
     ResourceRepresentation rep = a->query();
     // A site in a downtime window cannot accept a pilot at all.
     if (!rep.compute.available) continue;
+    // Neither can one whose circuit breaker is open.
+    if (req.health != nullptr && req.health->open(a->site_id(), req.health_now)) continue;
     if (rep.compute.total_cores() < req.min_total_cores) continue;
     if (rep.compute.max_walltime < req.min_walltime) continue;
     if (!req.scheduler.empty() && rep.compute.scheduler != req.scheduler) continue;
@@ -60,6 +62,11 @@ std::vector<Candidate> BundleManager::discover(const Requirements& req) const {
     const double bw_score = c.snapshot.network.bandwidth_in.bytes_per_sec() / max_bw;
     c.score = req.weight_predicted_wait * wait_score + req.weight_free_cores * free_score +
               req.weight_bandwidth * bw_score;
+    if (req.health != nullptr) {
+      // Healthy sites score 1; a site at the trip threshold loses most of
+      // the health term. (Open breakers were filtered above.)
+      c.score += req.weight_health * (1.0 - req.health->score(c.site));
+    }
   }
   std::sort(candidates.begin(), candidates.end(), [](const Candidate& a, const Candidate& b) {
     if (a.score != b.score) return a.score > b.score;

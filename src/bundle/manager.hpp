@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bundle/agent.hpp"
+#include "cluster/health.hpp"
 
 namespace aimes::bundle {
 
@@ -36,6 +37,14 @@ struct Requirements {
   double weight_predicted_wait = 1.0;  // prefer shorter predicted wait
   double weight_free_cores = 0.25;     // prefer idle capacity
   double weight_bandwidth = 0.0;       // prefer fat pipes (data-heavy apps)
+
+  // Health-aware discovery (non-owning, may be null): sites whose circuit
+  // breaker is open at `health_now` are filtered out, and the failure score
+  // demotes flaky-but-usable sites in the ranking.
+  const cluster::SiteHealthTracker* health = nullptr;
+  common::SimTime health_now;
+  /// Ranking weight of the (1 - failure score) health signal.
+  double weight_health = 1.0;
 };
 
 /// One ranked discovery result.

@@ -1,0 +1,121 @@
+#include "cluster/health.hpp"
+
+#include <algorithm>
+
+namespace aimes::cluster {
+
+const char* to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+void SiteHealthTracker::record_success(common::SiteId site, common::SimTime now) {
+  auto& s = sites_[site];
+  s.score *= (1.0 - policy_.ewma_alpha);
+  s.events += 1;
+  stats_.events += 1;
+  if (!policy_.enabled) return;
+  if (s.state == BreakerState::kHalfOpen) {
+    // Probe succeeded: the site is healthy again. Reset the score and the
+    // escalated cooldown so the next incident starts from a clean slate.
+    s.score = 0.0;
+    s.events = 0;
+    s.cooldown = common::SimDuration::zero();
+    stats_.closes += 1;
+    transition(s, site, BreakerState::kClosed, now);
+  }
+}
+
+void SiteHealthTracker::record_failure(common::SiteId site, common::SimTime now) {
+  auto& s = sites_[site];
+  s.score = policy_.ewma_alpha + (1.0 - policy_.ewma_alpha) * s.score;
+  s.events += 1;
+  stats_.events += 1;
+  stats_.failures += 1;
+  if (!policy_.enabled) return;
+  if (s.state == BreakerState::kHalfOpen) {
+    // The probe failed: back to open, with a longer cooldown each round so a
+    // flapping site is probed progressively less often.
+    s.cooldown = next_cooldown(s);
+    s.open_until = now + s.cooldown;
+    stats_.reopens += 1;
+    transition(s, site, BreakerState::kOpen, now);
+  } else if (s.state == BreakerState::kClosed && s.events >= policy_.min_events &&
+             s.score >= policy_.trip_threshold) {
+    trip(s, site, now);
+  }
+}
+
+void SiteHealthTracker::trip(SiteState& s, common::SiteId site, common::SimTime now) {
+  s.cooldown = policy_.cooldown;
+  s.open_until = now + s.cooldown;
+  stats_.trips += 1;
+  transition(s, site, BreakerState::kOpen, now);
+}
+
+void SiteHealthTracker::transition(SiteState& s, common::SiteId site, BreakerState to,
+                                   common::SimTime now) {
+  s.state = to;
+  if (on_transition) on_transition(site, to, now);
+}
+
+bool SiteHealthTracker::in_outage(const SiteState& s, common::SimTime now) const {
+  return std::any_of(s.outages.begin(), s.outages.end(), [&](const Window& w) {
+    return now >= w.start && now < w.end;
+  });
+}
+
+common::SimDuration SiteHealthTracker::next_cooldown(const SiteState& s) const {
+  const common::SimDuration base =
+      s.cooldown > common::SimDuration::zero() ? s.cooldown : policy_.cooldown;
+  return std::min(base * policy_.reopen_backoff, policy_.cooldown_max);
+}
+
+void SiteHealthTracker::add_outage_window(common::SiteId site, common::SimTime start,
+                                          common::SimDuration duration) {
+  sites_[site].outages.push_back(Window{start, start + duration});
+}
+
+bool SiteHealthTracker::open(common::SiteId site, common::SimTime now) const {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  if (in_outage(it->second, now)) return true;
+  if (!policy_.enabled) return false;
+  return it->second.state == BreakerState::kOpen && now < it->second.open_until;
+}
+
+bool SiteHealthTracker::allows(common::SiteId site, common::SimTime now) {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return true;
+  auto& s = it->second;
+  if (in_outage(s, now)) return false;
+  if (!policy_.enabled) return true;
+  if (s.state != BreakerState::kOpen) return true;
+  if (now < s.open_until) return false;
+  // Cooldown elapsed: commit the half-open transition and allow one probe
+  // placement. The probe's outcome (next record_* call) decides the rest.
+  stats_.half_opens += 1;
+  transition(s, site, BreakerState::kHalfOpen, now);
+  return true;
+}
+
+double SiteHealthTracker::score(common::SiteId site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0.0 : it->second.score;
+}
+
+BreakerState SiteHealthTracker::state(common::SiteId site, common::SimTime now) const {
+  const auto it = sites_.find(site);
+  if (it == sites_.end()) return BreakerState::kClosed;
+  if (in_outage(it->second, now)) return BreakerState::kOpen;
+  if (!policy_.enabled) return BreakerState::kClosed;
+  const auto& s = it->second;
+  if (s.state == BreakerState::kOpen && now >= s.open_until) return BreakerState::kHalfOpen;
+  return s.state;
+}
+
+}  // namespace aimes::cluster

@@ -1,0 +1,146 @@
+// Per-site health scoring and circuit breakers.
+//
+// Every layer that places work on a site (pilot submission, unit staging,
+// replacement-site selection) reports outcomes here; every layer that
+// *chooses* a site consults the breaker before committing. The tracker is
+// deliberately passive: it owns no engine handle, schedules no events, and
+// draws no randomness. All methods take the caller's notion of `now`
+// explicitly, so the tracker is a pure function of the event sequence fed
+// into it — which is what keeps campaigns bit-identical across `--jobs`.
+//
+// Health is an EWMA of failure outcomes in [0, 1] (1 = every recent event
+// failed). The breaker is the classic three-state machine:
+//
+//   Closed ──score ≥ trip_threshold──▶ Open ──cooldown elapses──▶ HalfOpen
+//     ▲                                  ▲                            │
+//     └──────── probe succeeds ──────────┼──── probe fails ───────────┘
+//                                        (cooldown escalates, capped)
+//
+// Transitions out of Open are evaluated lazily on `allows()` — there is no
+// timer. Pre-recorded outage windows (from sim::FaultPlan) overlay the
+// machine: a site inside a declared outage window reads as open regardless
+// of its scored state, and the overlay never mutates the machine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/id.hpp"
+#include "common/time.hpp"
+
+namespace aimes::cluster {
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+[[nodiscard]] const char* to_string(BreakerState s);
+
+/// Tuning for the health EWMA and the breaker state machine. The defaults
+/// trip after a short burst of consecutive failures and re-probe within a
+/// simulated quarter hour.
+struct BreakerPolicy {
+  bool enabled = false;
+
+  /// Weight of the newest observation in the EWMA (0 < alpha <= 1).
+  double ewma_alpha = 0.3;
+  /// Failure score at or above which a closed breaker trips open.
+  double trip_threshold = 0.6;
+  /// Minimum recorded events before the breaker may trip; prevents a single
+  /// unlucky launch (score == alpha) from condemning a fresh site.
+  int min_events = 3;
+
+  /// How long an open breaker blocks placements before allowing a probe.
+  common::SimDuration cooldown = common::SimDuration::minutes(10);
+  /// Cooldown multiplier applied each time a half-open probe fails.
+  double reopen_backoff = 2.0;
+  /// Ceiling on the escalated cooldown.
+  common::SimDuration cooldown_max = common::SimDuration::hours(2);
+};
+
+/// Aggregate breaker activity, for reports and benchmarks.
+struct HealthStats {
+  std::uint64_t events = 0;       ///< all recorded outcomes
+  std::uint64_t failures = 0;     ///< failed outcomes (launch/lost/transfer)
+  std::uint64_t trips = 0;        ///< Closed -> Open transitions
+  std::uint64_t reopens = 0;      ///< HalfOpen -> Open (probe failed)
+  std::uint64_t half_opens = 0;   ///< Open -> HalfOpen (cooldown elapsed)
+  std::uint64_t closes = 0;       ///< HalfOpen -> Closed (probe succeeded)
+};
+
+class SiteHealthTracker {
+ public:
+  explicit SiteHealthTracker(BreakerPolicy policy = {}) : policy_(policy) {}
+
+  [[nodiscard]] const BreakerPolicy& policy() const { return policy_; }
+
+  // -- outcome recording (mutating; may trip or reopen the breaker) --------
+
+  void record_launch_failure(common::SiteId site, common::SimTime now) {
+    record_failure(site, now);
+  }
+  void record_pilot_lost(common::SiteId site, common::SimTime now) {
+    record_failure(site, now);
+  }
+  void record_transfer_failure(common::SiteId site, common::SimTime now) {
+    record_failure(site, now);
+  }
+  /// A successful outcome (pilot became active, transfer landed). Decays the
+  /// failure score and closes a half-open breaker.
+  void record_success(common::SiteId site, common::SimTime now);
+
+  /// Overlay a declared outage window: the site reads as open for the whole
+  /// window without touching the scored state machine.
+  void add_outage_window(common::SiteId site, common::SimTime start,
+                         common::SimDuration duration);
+
+  // -- placement queries ----------------------------------------------------
+
+  /// True if the breaker currently blocks placements on `site`. Pure: an
+  /// open breaker whose cooldown elapsed reads as not-open, but the
+  /// HalfOpen transition is not committed.
+  [[nodiscard]] bool open(common::SiteId site, common::SimTime now) const;
+
+  /// Placement-time check. Commits the lazy Open -> HalfOpen transition
+  /// (so obs sees it) and returns whether the caller may place on `site`.
+  [[nodiscard]] bool allows(common::SiteId site, common::SimTime now);
+
+  /// Current failure score in [0, 1]; 0 for unknown sites.
+  [[nodiscard]] double score(common::SiteId site) const;
+
+  /// Effective state at `now`, outage overlay included. Pure.
+  [[nodiscard]] BreakerState state(common::SiteId site, common::SimTime now) const;
+
+  [[nodiscard]] const HealthStats& stats() const { return stats_; }
+
+  /// Fired on every committed state transition (trip, half-open, reopen,
+  /// close). Outage-window overlays do not fire it.
+  std::function<void(common::SiteId, BreakerState, common::SimTime)> on_transition;
+
+ private:
+  struct Window {
+    common::SimTime start;
+    common::SimTime end;
+  };
+  struct SiteState {
+    double score = 0.0;
+    int events = 0;
+    BreakerState state = BreakerState::kClosed;
+    common::SimTime open_until = common::SimTime::epoch();
+    common::SimDuration cooldown{0};  // escalates on reopen; 0 = use policy
+    std::vector<Window> outages;
+  };
+
+  void record_failure(common::SiteId site, common::SimTime now);
+  void trip(SiteState& s, common::SiteId site, common::SimTime now);
+  void transition(SiteState& s, common::SiteId site, BreakerState to,
+                  common::SimTime now);
+  [[nodiscard]] bool in_outage(const SiteState& s, common::SimTime now) const;
+  [[nodiscard]] common::SimDuration next_cooldown(const SiteState& s) const;
+
+  BreakerPolicy policy_;
+  HealthStats stats_;
+  std::unordered_map<common::SiteId, SiteState> sites_;
+};
+
+}  // namespace aimes::cluster

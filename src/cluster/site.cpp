@@ -106,6 +106,9 @@ void ClusterSite::begin_outage(common::SimDuration duration) {
     completion_events_.erase(ev);
     finish_job(it->second, JobState::kPreempted);
   }
+  // Queued jobs are dropped by the *site*, not withdrawn by their owner, so
+  // they end Preempted (an involuntary failure upstream layers retry), not
+  // Cancelled (a deliberate teardown nothing should react to).
   const std::vector<JobId> pending = pending_;
   for (JobId id : pending) {
     auto it = jobs_.find(id);
@@ -114,8 +117,8 @@ void ClusterSite::begin_outage(common::SimDuration duration) {
     if (job.state != JobState::kPending) continue;
     pending_.erase(std::remove(pending_.begin(), pending_.end(), id), pending_.end());
     job.ended_at = engine_.now();
-    set_state(job, JobState::kCancelled);
-    finished_counts_[JobState::kCancelled]++;
+    set_state(job, JobState::kPreempted);
+    finished_counts_[JobState::kPreempted]++;
   }
   engine_.schedule(duration, [this] {
     down_ = false;

@@ -131,6 +131,16 @@ Parser& Parser::custom_option(std::string name, std::string metavar, std::string
   return add(std::move(o));
 }
 
+Parser& Parser::conflicts(std::string a, std::string b) {
+  conflicts_.emplace_back(std::move(a), std::move(b));
+  return *this;
+}
+
+Parser& Parser::requires_option(std::string dependent, std::string prerequisite) {
+  requires_.emplace_back(std::move(dependent), std::move(prerequisite));
+  return *this;
+}
+
 Expected<Parser::Result> Parser::parse(int argc, char** argv) {
   using E = Expected<Result>;
   for (Option& o : options_) o.seen = false;
@@ -149,6 +159,16 @@ Expected<Parser::Result> Parser::parse(int argc, char** argv) {
     const std::string value = argv[++i];
     auto status = o->apply(value);
     if (!status.ok()) return E::error(status.error() + " for " + a);
+  }
+  for (const auto& [a, b] : conflicts_) {
+    if (seen(a) && seen(b)) {
+      return E::error("conflicting options: " + a + " cannot combine with " + b);
+    }
+  }
+  for (const auto& [dependent, prerequisite] : requires_) {
+    if (seen(dependent) && !seen(prerequisite)) {
+      return E::error(dependent + " requires " + prerequisite);
+    }
   }
   return Result{};
 }

@@ -18,6 +18,7 @@
 #include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/expected.hpp"
@@ -58,6 +59,16 @@ class Parser {
   Parser& custom_option(std::string name, std::string metavar, std::string help,
                         std::function<Status(const std::string&)> parse);
 
+  /// Declares `a` and `b` mutually exclusive: a parse where both appear
+  /// fails with an error naming the pair. Front ends used to hand-roll
+  /// these checks after parsing (each with its own phrasing and its own
+  /// forgotten combinations); declaring the pair keeps the rejection next
+  /// to the option definitions and the wording uniform.
+  Parser& conflicts(std::string a, std::string b);
+  /// Declares that `dependent` is meaningful only with `prerequisite`: a
+  /// parse where the dependent appears alone fails.
+  Parser& requires_option(std::string dependent, std::string prerequisite);
+
   struct Result {
     /// --help / -h was given; the caller prints usage() and exits 0.
     bool help = false;
@@ -90,6 +101,8 @@ class Parser {
 
   std::string program_;
   std::vector<Option> options_;
+  std::vector<std::pair<std::string, std::string>> conflicts_;
+  std::vector<std::pair<std::string, std::string>> requires_;
 };
 
 }  // namespace aimes::common::cli

@@ -1,0 +1,224 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aimes::core {
+
+const char* to_string(SloClass c) {
+  switch (c) {
+    case SloClass::kInteractive: return "interactive";
+    case SloClass::kStandard: return "standard";
+    case SloClass::kBatch: return "batch";
+  }
+  return "?";
+}
+
+SloClass relax(SloClass c) {
+  switch (c) {
+    case SloClass::kInteractive: return SloClass::kStandard;
+    case SloClass::kStandard: return SloClass::kBatch;
+    case SloClass::kBatch: return SloClass::kBatch;
+  }
+  return SloClass::kBatch;
+}
+
+common::SimDuration slo_deadline(SloClass c) {
+  switch (c) {
+    case SloClass::kInteractive: return common::SimDuration::hours(2);
+    case SloClass::kStandard: return common::SimDuration::hours(4);
+    case SloClass::kBatch: return common::SimDuration::hours(8);
+  }
+  return common::SimDuration::hours(8);
+}
+
+const char* to_string(AdmissionOutcome o) {
+  switch (o) {
+    case AdmissionOutcome::kAdmitted: return "admitted";
+    case AdmissionOutcome::kAdmittedDegraded: return "degraded";
+    case AdmissionOutcome::kQueued: return "queued";
+    case AdmissionOutcome::kShed: return "shed";
+  }
+  return "?";
+}
+
+const char* to_string(ShedReason r) {
+  switch (r) {
+    case ShedReason::kNone: return "none";
+    case ShedReason::kQuotaCores: return "quota-cores";
+    case ShedReason::kQuotaUnits: return "quota-units";
+    case ShedReason::kQuotaCoreHours: return "quota-core-hours";
+    case ShedReason::kOverloaded: return "overloaded";
+  }
+  return "?";
+}
+
+namespace {
+
+AdmissionDecision shed(ShedReason reason, SloClass slo, common::SimDuration wait) {
+  AdmissionDecision d;
+  d.outcome = AdmissionOutcome::kShed;
+  d.reason = reason;
+  d.effective_slo = slo;
+  d.wait = wait;
+  return d;
+}
+
+}  // namespace
+
+void AdmissionController::note_wait(common::SimDuration wait) {
+  stats_.max_wait = std::max(stats_.max_wait, wait);
+}
+
+AdmissionDecision AdmissionController::admit(const AdmissionRequest& req, bool degraded,
+                                             common::SimDuration wait) {
+  const int cores = req.pilots * req.cores_per_pilot;
+  committed_ += cores;
+  committed_by_tenant_[req.tenant] += cores;
+  if (degraded) {
+    stats_.degraded += 1;
+  } else {
+    stats_.admitted += 1;
+  }
+  note_wait(wait);
+  AdmissionDecision d;
+  d.outcome = degraded ? AdmissionOutcome::kAdmittedDegraded : AdmissionOutcome::kAdmitted;
+  d.granted_pilots = req.pilots;
+  d.effective_slo = req.slo;
+  d.wait = wait;
+  return d;
+}
+
+AdmissionDecision AdmissionController::request(const AdmissionRequest& req,
+                                               common::SimTime now) {
+  stats_.requests += 1;
+  if (!policy_.enabled) {
+    stats_.admitted += 1;
+    AdmissionDecision d;
+    d.granted_pilots = req.pilots;
+    d.effective_slo = req.slo;
+    return d;
+  }
+
+  // Rung 0: quotas. Unit and core-hour quotas cannot be satisfied by
+  // shrinking concurrency (the batch is what it is), so exceeding them
+  // sheds; the core quota clamps the pilot count instead.
+  if (req.quota.max_concurrent_units > 0 &&
+      req.units > static_cast<std::size_t>(req.quota.max_concurrent_units)) {
+    stats_.shed += 1;
+    return shed(ShedReason::kQuotaUnits, req.slo, common::SimDuration::zero());
+  }
+  if (req.quota.max_core_hours > 0.0 && req.est_core_hours > req.quota.max_core_hours) {
+    stats_.shed += 1;
+    return shed(ShedReason::kQuotaCoreHours, req.slo, common::SimDuration::zero());
+  }
+  AdmissionRequest r = req;
+  r.cores_per_pilot = std::max(1, r.cores_per_pilot);
+  r.pilots = std::max(1, r.pilots);
+  bool clamped = false;
+  if (r.quota.max_cores > 0) {
+    const int allowed_pilots = r.quota.max_cores / r.cores_per_pilot;
+    if (allowed_pilots < 1) {
+      stats_.shed += 1;
+      return shed(ShedReason::kQuotaCores, r.slo, common::SimDuration::zero());
+    }
+    if (allowed_pilots < r.pilots) {
+      r.pilots = allowed_pilots;
+      clamped = true;
+    }
+  }
+
+  // Rung 1: admit while the commitment fits the declared capacity share —
+  // but never past tenants already waiting, or a stream of small arrivals
+  // would starve a large queued request forever.
+  const int cores = r.pilots * r.cores_per_pilot;
+  const double limit = static_cast<double>(capacity_) * policy_.capacity_factor;
+  if (queue_.empty() && static_cast<double>(committed_ + cores) <= limit) {
+    return admit(r, clamped, common::SimDuration::zero());
+  }
+
+  // Rung 2: queue with a bounded wait. The caller owes us a
+  // resolve_expired() call at decide_by.
+  stats_.queued += 1;
+  const QueueKey key{r.priority, r.slo, next_seq_++};
+  Waiting w;
+  w.req = r;
+  w.clamped = clamped;
+  w.enqueued_at = now;
+  w.decide_by = now + policy_.max_queue_wait;
+  queue_.emplace(key, w);
+  expiry_.emplace(std::make_pair(w.decide_by.count_ms(), key.seq), key);
+  queued_by_tenant_[r.tenant] = key;
+  AdmissionDecision d;
+  d.outcome = AdmissionOutcome::kQueued;
+  d.effective_slo = r.slo;
+  d.decide_by = w.decide_by;
+  return d;
+}
+
+std::vector<AdmissionResolution> AdmissionController::release(int tenant,
+                                                              common::SimTime now) {
+  const auto it = committed_by_tenant_.find(tenant);
+  if (it != committed_by_tenant_.end()) {
+    committed_ -= it->second;
+    committed_by_tenant_.erase(it);
+  }
+  std::vector<AdmissionResolution> resolved;
+  // Strict head-of-queue drain: highest (priority, SLO, FIFO) first, stop at
+  // the first tenant that still does not fit. Skipping it for a smaller
+  // later arrival would be a utilization win and a starvation hazard.
+  const double limit = static_cast<double>(capacity_) * policy_.capacity_factor;
+  while (!queue_.empty()) {
+    const auto head = queue_.begin();
+    const Waiting& w = head->second;
+    const int cores = w.req.pilots * w.req.cores_per_pilot;
+    if (static_cast<double>(committed_ + cores) > limit) break;
+    AdmissionResolution r;
+    r.tenant = w.req.tenant;
+    r.decision = admit(w.req, w.clamped, now - w.enqueued_at);
+    resolved.push_back(r);
+    expiry_.erase(std::make_pair(w.decide_by.count_ms(), head->first.seq));
+    queued_by_tenant_.erase(w.req.tenant);
+    queue_.erase(head);
+  }
+  return resolved;
+}
+
+std::vector<AdmissionResolution> AdmissionController::resolve_expired(common::SimTime now) {
+  std::vector<AdmissionResolution> resolved;
+  while (!expiry_.empty() && expiry_.begin()->first.first <= now.count_ms()) {
+    const QueueKey key = expiry_.begin()->second;
+    expiry_.erase(expiry_.begin());
+    const auto qit = queue_.find(key);
+    if (qit == queue_.end()) continue;
+    Waiting w = qit->second;
+    queue_.erase(qit);
+    queued_by_tenant_.erase(w.req.tenant);
+
+    // Rung 3: degrade — shrink the pilot count and relax the SLO class. A
+    // degraded admission may overcommit up to the shed ceiling; past that,
+    // rung 4: shed.
+    AdmissionRequest degraded = w.req;
+    degraded.pilots = std::clamp(
+        static_cast<int>(std::floor(static_cast<double>(w.req.pilots) *
+                                    policy_.degrade_factor)),
+        std::min(policy_.degrade_min_pilots, w.req.pilots), w.req.pilots);
+    degraded.slo = relax(w.req.slo);
+    const int cores = degraded.pilots * degraded.cores_per_pilot;
+    const double ceiling = static_cast<double>(capacity_) * policy_.shed_ceiling;
+    AdmissionResolution r;
+    r.tenant = w.req.tenant;
+    const common::SimDuration wait = now - w.enqueued_at;
+    if (static_cast<double>(committed_ + cores) <= ceiling) {
+      r.decision = admit(degraded, /*degraded=*/true, wait);
+    } else {
+      stats_.shed += 1;
+      note_wait(wait);
+      r.decision = shed(ShedReason::kOverloaded, degraded.slo, wait);
+    }
+    resolved.push_back(r);
+  }
+  return resolved;
+}
+
+}  // namespace aimes::core

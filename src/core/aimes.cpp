@@ -70,6 +70,7 @@ void Aimes::start() {
   started_ = true;
   testbed_->prime_and_start();
   engine_.run_until(engine_.now() + config_.warmup);
+  world_ready_ = engine_.now();
 
   // Sampling starts at "world ready": warmup noise stays out of the series
   // and t=warmup is the first sampled point of every experiment.
@@ -165,6 +166,19 @@ common::Expected<CampaignRunResult> Aimes::run_campaign(
 
   CampaignOptions campaign_options = options;
   if (campaign_options.recorder == nullptr) campaign_options.recorder = recorder_.get();
+  // Like the recorder, the world's fault plan flows into the campaign: the
+  // injector for pilot-kill consultation, and the outage schedule (site
+  // names resolved, offsets anchored to "world ready" exactly as start()
+  // schedules them) as breaker overlay windows.
+  if (campaign_options.faults == nullptr) campaign_options.faults = fault_injector_.get();
+  if (campaign_options.outages.empty() && fault_injector_ != nullptr) {
+    for (const auto& spec : fault_injector_->outages()) {
+      const cluster::ClusterSite* site = testbed_->site(spec.site);
+      if (site == nullptr) continue;
+      campaign_options.outages.push_back(
+          SiteOutageWindow{site->id(), world_ready_ + spec.start, spec.duration});
+    }
+  }
   CampaignExecutor executor(
       engine_, result.trace, services(), *staging_, bundle_manager_, campaign_options,
       common::Rng::stream(config_.seed, "run/" + std::to_string(run_counter_)));

@@ -155,6 +155,9 @@ class Aimes {
   common::Rng exec_rng_;
   bool started_ = false;
   int run_counter_ = 0;
+  /// Absolute sim time at the end of warmup; outage-window offsets in the
+  /// fault plan are anchored here.
+  common::SimTime world_ready_;
 };
 
 }  // namespace aimes::core

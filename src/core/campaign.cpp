@@ -48,6 +48,9 @@ common::Status CampaignExecutor::enact(std::vector<CampaignTenantSpec> tenants,
                                                 unit_options, rng_);
   units_->set_recorder(options_.recorder);
   units_->set_default_span_parent(campaign_span_);
+  // When the whole fleet dies with units still queued, re-provision before
+  // the UnitManager strands the queued tenants.
+  units_->on_stranded = [this] { return replenish_stranded(); };
   // The pool wraps on_pilot_gone *after* the UnitManager installed its
   // handlers: eviction runs first, unit restarts second.
   pilot::PilotPoolOptions pool_options;
@@ -60,6 +63,69 @@ common::Status CampaignExecutor::enact(std::vector<CampaignTenantSpec> tenants,
   // need, because the UnitManager multiplexes any tenant's units onto any
   // active pilot. Hold the cancel while dispatched units remain.
   pool_->busy_check = [this](common::PilotId id) { return units_->has_dispatched_work(id); };
+
+  // Per-site health: always tracked (cheap, and the outage overlay matters
+  // even with breakers disabled), fed by the pilot and unit layers.
+  health_ = std::make_unique<cluster::SiteHealthTracker>(options_.breaker);
+  for (const SiteOutageWindow& w : options_.outages) {
+    health_->add_outage_window(w.site, w.start, w.duration);
+  }
+  health_->on_transition = [this](common::SiteId site, cluster::BreakerState to,
+                                  common::SimTime) {
+    if (options_.recorder == nullptr) return;
+    options_.recorder->metrics()
+        .counter("aimes_cluster_breaker_transitions_total",
+                 {{"site", site.str()}, {"to", cluster::to_string(to)}})
+        .add();
+    options_.recorder->instant("breaker_" + std::string(cluster::to_string(to)), "breaker",
+                               {{"site", site.str()}});
+  };
+  pilots_->set_site_health(health_.get());
+  pilots_->set_fault_injector(options_.faults);
+  units_->set_site_health(health_.get());
+
+  if (options_.admission.enabled) {
+    int capacity = 0;
+    for (const auto* service : services_) capacity += service->site().config().total_cores();
+    admission_ = std::make_unique<AdmissionController>(options_.admission, capacity);
+  }
+
+  if (options_.recovery.enabled) {
+    // Synthesized strategy: recovery only needs the serviceable site list
+    // (replacement placement falls back to it when Bundle discovery comes
+    // up empty); per-pilot sizing comes from the lost pilot itself.
+    ExecutionStrategy recovery_strategy;
+    recovery_strategy.pilot_cores = 1;
+    for (const auto* service : services_) recovery_strategy.sites.push_back(service->site_id());
+    recovery_ = std::make_unique<RecoveryManager>(engine_, profiler_, *pilots_, services_,
+                                                  &bundles_, recovery_strategy,
+                                                  options_.recovery);
+    recovery_->set_recorder(options_.recorder);
+    recovery_->set_site_health(health_.get());
+    // Replacements join the shared pool: they serve multiplexed units, show
+    // up for reuse, and are cancelled by the drain.
+    recovery_->on_resubmitted = [this](common::PilotId id) { pool_->adopt(id); };
+    // Wrap *after* the pool so recovery sees the loss first (replacement
+    // exists before eviction and unit restarts run).
+    auto previous_gone = pilots_->on_pilot_gone;
+    pilots_->on_pilot_gone = [this, previous_gone](pilot::ComputePilot& p,
+                                                   const std::vector<common::UnitId>& lost) {
+      bool work_remaining = false;
+      for (const Tenant& t : tenants_) {
+        if (!t.done) {
+          work_remaining = true;
+          break;
+        }
+      }
+      recovery_->handle_pilot_gone(p, lost, work_remaining);
+      if (previous_gone) previous_gone(p, lost);
+    };
+    auto previous_active = pilots_->on_pilot_active;
+    pilots_->on_pilot_active = [this, previous_active](pilot::ComputePilot& p) {
+      recovery_->handle_pilot_active(p);
+      if (previous_active) previous_active(p);
+    };
+  }
 
   tenants_.reserve(tenants.size());
   for (std::size_t i = 0; i < tenants.size(); ++i) {
@@ -74,12 +140,12 @@ common::Status CampaignExecutor::enact(std::vector<CampaignTenantSpec> tenants,
   // Arrivals are scheduled in spec order; same-offset tenants admit in spec
   // order (engine events are FIFO within a timestamp).
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
-    engine_.schedule(tenants_[i].spec.arrival, [this, i] { admit(i); });
+    engine_.schedule(tenants_[i].spec.arrival, [this, i] { arrive(i); });
   }
   return {};
 }
 
-void CampaignExecutor::admit(std::size_t index) {
+void CampaignExecutor::arrive(std::size_t index) {
   Tenant& t = tenants_[index];
   t.report.arrived_at = engine_.now();
   profiler_.record(engine_.now(), pilot::Entity::kManager, static_cast<std::uint64_t>(t.id),
@@ -90,15 +156,155 @@ void CampaignExecutor::admit(std::size_t index) {
                                          std::to_string(t.report.weight));
   }
 
+  if (admission_ == nullptr) {
+    // No admission: every tenant launches at the planner's full strength,
+    // exactly the pre-admission path.
+    AdmissionDecision full;
+    full.outcome = AdmissionOutcome::kAdmitted;
+    full.effective_slo = t.spec.slo;
+    // Even without a controller the tenant keeps its declared class: SLO
+    // attainment must be judged against the same deadlines in both arms.
+    t.report.slo = t.spec.slo;
+    launch_tenant(index, full);
+    return;
+  }
+
+  // The resource ask in the planner's units, estimated *before* planning:
+  // derive_pilot_cores is pure, so admission never touches the pool or the
+  // planner RNG for tenants it ends up shedding.
+  AdmissionRequest req;
+  req.tenant = t.id;
+  req.priority = t.spec.priority;
+  req.slo = t.spec.slo;
+  req.pilots = std::max(1, options_.planner.n_pilots);
+  req.cores_per_pilot = derive_pilot_cores(t.spec.app, req.pilots);
+  req.units = t.spec.app.task_count();
+  for (const auto& task : t.spec.app.tasks()) {
+    req.est_core_hours += static_cast<double>(task.cores) * task.duration.to_hours();
+  }
+  req.quota = t.spec.quota;
+  t.ask = req;
+
+  const AdmissionDecision decision = admission_->request(req, engine_.now());
+  record_admission(t, decision);
+  switch (decision.outcome) {
+    case AdmissionOutcome::kAdmitted:
+    case AdmissionOutcome::kAdmittedDegraded:
+      launch_tenant(index, decision);
+      return;
+    case AdmissionOutcome::kShed:
+      shed_tenant(index, decision);
+      return;
+    case AdmissionOutcome::kQueued: {
+      // The wait bound binds through this timer: at decide_by the queued
+      // tenant resolves (admit, degrade, or shed), never silently starves.
+      const common::SimDuration wait = decision.decide_by - engine_.now();
+      engine_.schedule(wait, [this] {
+        if (finished_) return;
+        apply_resolutions(admission_->resolve_expired(engine_.now()));
+      });
+      return;
+    }
+  }
+}
+
+void CampaignExecutor::record_admission(Tenant& t, const AdmissionDecision& decision) {
+  t.report.admission = decision.outcome;
+  t.report.shed_reason = decision.reason;
+  t.report.admission_wait = decision.wait;
+  t.report.granted_pilots = decision.granted_pilots;
+  t.report.slo = decision.effective_slo;
+  profiler_.record(engine_.now(), pilot::Entity::kManager, static_cast<std::uint64_t>(t.id),
+                   "TENANT_ADMISSION",
+                   std::string(to_string(decision.outcome)) +
+                       " pilots=" + std::to_string(decision.granted_pilots) +
+                       " slo=" + to_string(decision.effective_slo));
+  if (options_.recorder != nullptr) {
+    options_.recorder->metrics()
+        .counter("aimes_core_admission_total", {{"outcome", to_string(decision.outcome)},
+                                                {"slo", to_string(decision.effective_slo)}})
+        .add();
+    options_.recorder->instant("admission", "admission",
+                               {{"tenant", t.report.name},
+                                {"outcome", to_string(decision.outcome)},
+                                {"reason", to_string(decision.reason)},
+                                {"wait", decision.wait.str()}});
+  }
+}
+
+void CampaignExecutor::apply_resolutions(const std::vector<AdmissionResolution>& resolutions) {
+  for (const AdmissionResolution& r : resolutions) {
+    const std::size_t index = static_cast<std::size_t>(r.tenant) - 1;
+    record_admission(tenants_[index], r.decision);
+    if (r.decision.outcome == AdmissionOutcome::kShed) {
+      shed_tenant(index, r.decision);
+    } else {
+      launch_tenant(index, r.decision);
+    }
+  }
+}
+
+void CampaignExecutor::release_admission(Tenant& t) {
+  if (admission_ == nullptr) return;
+  if (t.report.admission != AdmissionOutcome::kAdmitted &&
+      t.report.admission != AdmissionOutcome::kAdmittedDegraded) {
+    return;
+  }
+  apply_resolutions(admission_->release(t.id, engine_.now()));
+}
+
+common::SiteId CampaignExecutor::healthy_site(common::SiteId site, int cores) {
+  // allows() commits the half-open probe when a cooled-down breaker lets
+  // this placement through.
+  if (health_->allows(site, engine_.now())) return site;
+  bundle::Requirements req;
+  req.min_total_cores = cores;
+  req.health = health_.get();
+  req.health_now = engine_.now();
+  const auto candidates = bundles_.discover(req);
+  // discover() already filtered open breakers and downtime windows.
+  if (!candidates.empty()) return candidates.front().site;
+  return site;
+}
+
+void CampaignExecutor::shed_tenant(std::size_t index, const AdmissionDecision& decision) {
+  Tenant& t = tenants_[index];
+  t.report.error = "shed: " + std::string(to_string(decision.reason));
+  t.report.finished_at = engine_.now();
+  t.done = true;
+  common::Log::warn("campaign", "tenant '" + t.report.name +
+                                    "' shed: " + to_string(decision.reason));
+  profiler_.record(engine_.now(), pilot::Entity::kManager, static_cast<std::uint64_t>(t.id),
+                   "TENANT_SHED", to_string(decision.reason));
+  if (options_.recorder != nullptr) {
+    options_.recorder->tracer().annotate(t.span, "shed", to_string(decision.reason));
+    options_.recorder->end_span(t.span);
+  }
+  maybe_finalize();
+}
+
+void CampaignExecutor::launch_tenant(std::size_t index, const AdmissionDecision& decision) {
+  Tenant& t = tenants_[index];
+
   // Incremental planning against the pool's current slots (none offered in
-  // private-pilots mode: every tenant launches a fresh fleet).
+  // private-pilots mode: every tenant launches a fresh fleet; slots on
+  // breaker-open sites are never offered).
   std::vector<PoolSlot> offered;
   if (options_.sharing == CampaignSharing::kSharedPool) {
     for (const pilot::PoolSlotInfo& s : pool_->slots()) {
+      if (health_->open(s.site, engine_.now())) continue;
       offered.push_back(PoolSlot{s.pilot, s.site, s.cores, s.remaining_walltime});
     }
   }
-  auto plan = derive_campaign_plan(t.spec.app, bundles_, options_.planner, rng_, offered);
+  PlannerConfig planner_config = options_.planner;
+  if (admission_ != nullptr) {
+    // A degraded grant shrinks the pilot *count* at the originally derived
+    // per-pilot size — fewer pilots, smaller footprint, longer runtime —
+    // matching the cores the controller committed.
+    planner_config.n_pilots = std::max(1, decision.granted_pilots);
+    planner_config.pilot_cores = t.ask.cores_per_pilot;
+  }
+  auto plan = derive_campaign_plan(t.spec.app, bundles_, planner_config, rng_, offered);
   if (!plan) {
     fail_tenant(index, plan.error());
     return;
@@ -116,10 +322,13 @@ void CampaignExecutor::admit(std::size_t index) {
   }
   const auto fresh_walltime =
       strategy.pilot_walltime * std::max(1.0, options_.walltime_headroom);
+  t.pilot_cores = strategy.pilot_cores;
+  t.pilot_walltime = fresh_walltime;
+  if (!strategy.sites.empty()) t.primary_site = strategy.sites.front();
   for (std::size_t i = t.leased.size(); i < strategy.sites.size(); ++i) {
     pilot::PilotDescription pd;
     pd.name = t.report.name + "/pilot" + std::to_string(i);
-    pd.site = strategy.sites[i];
+    pd.site = healthy_site(strategy.sites[i], strategy.pilot_cores);
     pd.cores = strategy.pilot_cores;
     pd.walltime = fresh_walltime;
     t.leased.push_back(pool_->launch(pd, t.id));
@@ -174,7 +383,41 @@ void CampaignExecutor::fail_tenant(std::size_t index, const std::string& error) 
     options_.recorder->tracer().annotate(t.span, "error", error);
     options_.recorder->end_span(t.span);
   }
+  release_admission(t);
   maybe_finalize();
+}
+
+bool CampaignExecutor::replenish_stranded() {
+  if (finished_) return false;
+  bool launched = false;
+  for (Tenant& t : tenants_) {
+    // One replacement per tenant, ever: a second total die-off means the
+    // testbed cannot carry this tenant and it should strand for real.
+    if (t.done || !t.report.planned || t.report.pilots_replenished > 0) continue;
+    if (t.pilot_cores <= 0 || !t.primary_site.valid()) continue;
+    ++t.report.pilots_replenished;
+    pilot::PilotDescription pd;
+    pd.name = t.report.name + "/replenish";
+    pd.site = healthy_site(t.primary_site, t.pilot_cores);
+    pd.cores = t.pilot_cores;
+    pd.walltime = t.pilot_walltime;
+    const common::PilotId pid = pool_->launch(pd, t.id);
+    t.leased.push_back(pid);
+    t.pilot_uids.push_back(pid.value());
+    ++t.report.pilots_leased;
+    launched = true;
+    common::Log::warn("campaign", "fleet died with tenant '" + t.report.name +
+                                      "' still queued; replenishing one pilot on " +
+                                      pd.site.str());
+    profiler_.record(engine_.now(), pilot::Entity::kManager, static_cast<std::uint64_t>(t.id),
+                     "TENANT_REPLENISH", "site=" + pd.site.str());
+    if (options_.recorder != nullptr) {
+      options_.recorder->metrics().counter("aimes_core_pilots_replenished_total").add();
+      options_.recorder->instant("pilot_replenished", "recovery",
+                                 {{"tenant", t.report.name}, {"site", pd.site.str()}});
+    }
+  }
+  return launched;
 }
 
 void CampaignExecutor::tenant_finished(std::size_t index, const pilot::UnitBatchResult& result) {
@@ -203,6 +446,8 @@ void CampaignExecutor::tenant_finished(std::size_t index, const pilot::UnitBatch
                                          t.report.success ? "true" : "false");
     options_.recorder->end_span(t.span);
   }
+  // Returning the cores may drain queued tenants (in priority order).
+  release_admission(t);
   maybe_finalize();
 }
 
@@ -226,6 +471,9 @@ void CampaignExecutor::maybe_finalize() {
   pool_->drain();
   report_.pool = pool_->stats();
   report_.fair_share = units_->tenant_stats();
+  if (admission_ != nullptr) report_.admission = admission_->stats();
+  report_.health = health_->stats();
+  if (recovery_ != nullptr) report_.recovery = recovery_->stats();
 
   std::vector<SiteRates> rates;
   for (const auto* service : services_) {

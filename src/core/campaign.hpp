@@ -24,8 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "cluster/health.hpp"
+#include "core/admission.hpp"
 #include "core/execution_manager.hpp"
 #include "core/planner.hpp"
+#include "core/recovery.hpp"
 #include "pilot/pilot_pool.hpp"
 
 namespace aimes::core {
@@ -40,6 +43,22 @@ struct CampaignTenantSpec {
   common::SimDuration arrival = common::SimDuration::zero();
   /// Fair-share weight in the unit-dispatch arbiter.
   int weight = 1;
+  /// Admission priority: higher resolves first from the wait queue.
+  int priority = 0;
+  /// Declared SLO class; the degradation ladder may relax it.
+  SloClass slo = SloClass::kStandard;
+  /// Per-tenant resource quotas (zeros = unlimited).
+  TenantQuota quota;
+};
+
+/// A known site outage window in absolute sim time, overlaid on the
+/// campaign's circuit breakers as forced-open (scheduled downtime should
+/// not look like flapping, and nothing should be placed into it).
+/// Aimes::run_campaign derives these from the world's fault plan.
+struct SiteOutageWindow {
+  common::SiteId site;
+  common::SimTime start;
+  common::SimDuration duration = common::SimDuration::zero();
 };
 
 /// Whether tenants share the pilot pool or get private fleets.
@@ -66,6 +85,20 @@ struct CampaignOptions {
   /// Observability recorder (non-owning, may be null): campaign/tenant
   /// spans plus the pool/pilot/unit metrics of the layers below.
   obs::Recorder* recorder = nullptr;
+  /// SLO-aware admission in front of tenant planning (disabled by default:
+  /// every tenant admits at full strength, exactly the pre-admission path).
+  AdmissionPolicy admission;
+  /// Per-site circuit breakers fed by launch/loss/transfer failures
+  /// (disabled by default: health is tracked but never trips).
+  cluster::BreakerPolicy breaker;
+  /// Pilot-chain recovery for campaign pilots lost to faults (disabled by
+  /// default). Replacements are adopted into the shared pool.
+  RecoveryPolicy recovery;
+  /// Fault injector shared with the world (non-owning, may be null).
+  /// Aimes::run_campaign fills it from the world plan, like `recorder`.
+  sim::FaultInjector* faults = nullptr;
+  /// Scheduled site downtime, overlaid on the breakers as forced-open.
+  std::vector<SiteOutageWindow> outages;
 };
 
 /// One tenant's outcome.
@@ -87,7 +120,22 @@ struct TenantReport {
   /// Pilots leased in total / of which reused from the pool.
   int pilots_leased = 0;
   int pilots_reused = 0;
+  /// Fresh pilots launched after the whole fleet expired with this tenant's
+  /// units still queued (the stranded-tenant replenish path).
+  int pilots_replenished = 0;
   std::string error;
+  /// Where the tenant landed on the admission ladder (kAdmitted when
+  /// admission is disabled).
+  AdmissionOutcome admission = AdmissionOutcome::kAdmitted;
+  /// Typed shed reason; kNone unless `admission == kShed`.
+  ShedReason shed_reason = ShedReason::kNone;
+  /// Time spent in the admission queue before launching (or being shed).
+  common::SimDuration admission_wait = common::SimDuration::zero();
+  /// Pilots granted by admission; 0 when admission is disabled or the
+  /// tenant was shed.
+  int granted_pilots = 0;
+  /// Effective SLO class after any degradation.
+  SloClass slo = SloClass::kStandard;
 };
 
 /// The whole campaign's outcome.
@@ -103,6 +151,12 @@ struct CampaignReport {
   pilot::PilotPoolStats pool;
   /// Fair-share accounting per tenant id (dispatches, max starvation gap).
   std::vector<pilot::TenantStats> fair_share;
+  /// Admission ladder accounting (all zeros when admission is disabled).
+  AdmissionStats admission;
+  /// Circuit-breaker accounting across every site.
+  cluster::HealthStats health;
+  /// Pilot-chain recovery accounting (all zeros when recovery is disabled).
+  RecoveryStats recovery;
 
   [[nodiscard]] std::size_t units_done() const {
     std::size_t n = 0;
@@ -133,23 +187,44 @@ class CampaignExecutor {
   [[nodiscard]] const CampaignReport& report() const { return report_; }
   [[nodiscard]] pilot::PilotPool& pool() { return *pool_; }
   [[nodiscard]] pilot::UnitManager& unit_manager() { return *units_; }
+  [[nodiscard]] cluster::SiteHealthTracker& site_health() { return *health_; }
 
  private:
   struct Tenant {
     CampaignTenantSpec spec;
     int id = 0;  // 1-based
     TenantReport report;
+    /// The resource ask handed to admission (kept for degraded launches:
+    /// the per-pilot size stays pinned while the pilot count shrinks).
+    AdmissionRequest ask;
     std::vector<common::PilotId> leased;
     std::vector<std::uint64_t> unit_uids;
     std::vector<std::uint64_t> file_uids;
     std::vector<std::uint64_t> pilot_uids;
     bool done = false;
     obs::SpanId span = obs::kNoSpan;
+    /// Launch-time pilot shape, kept for the replenish path.
+    int pilot_cores = 0;
+    common::SimDuration pilot_walltime = common::SimDuration::zero();
+    common::SiteId primary_site;
   };
 
-  void admit(std::size_t index);
+  void arrive(std::size_t index);
+  void launch_tenant(std::size_t index, const AdmissionDecision& decision);
+  void shed_tenant(std::size_t index, const AdmissionDecision& decision);
+  void apply_resolutions(const std::vector<AdmissionResolution>& resolutions);
+  void record_admission(Tenant& t, const AdmissionDecision& decision);
+  void release_admission(Tenant& t);
+  /// Placement filter: keeps `site` when its breaker admits a pilot now
+  /// (committing a half-open probe), otherwise reroutes to the best healthy
+  /// Bundle-discovered alternative that fits `cores`.
+  [[nodiscard]] common::SiteId healthy_site(common::SiteId site, int cores);
   void tenant_finished(std::size_t index, const pilot::UnitBatchResult& result);
   void fail_tenant(std::size_t index, const std::string& error);
+  /// Stranded-fleet fallback (UnitManager::on_stranded): one fresh pilot per
+  /// unfinished tenant, once each, so queued work survives a total pilot
+  /// die-off. Returns true when anything launched.
+  bool replenish_stranded();
   void maybe_finalize();
 
   sim::Engine& engine_;
@@ -163,6 +238,9 @@ class CampaignExecutor {
   std::unique_ptr<pilot::PilotManager> pilots_;
   std::unique_ptr<pilot::UnitManager> units_;
   std::unique_ptr<pilot::PilotPool> pool_;
+  std::unique_ptr<cluster::SiteHealthTracker> health_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<RecoveryManager> recovery_;
   std::vector<Tenant> tenants_;
   Callback done_;
   CampaignReport report_;

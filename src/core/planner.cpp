@@ -126,7 +126,9 @@ common::Expected<ExecutionStrategy> derive_strategy(const skeleton::SkeletonAppl
                                     ? pilot::UnitSchedulerKind::kBackfill
                                     : pilot::UnitSchedulerKind::kDirect);
   strategy.n_pilots = config.n_pilots;
-  strategy.pilot_cores = derive_pilot_cores(app, config.n_pilots);
+  strategy.pilot_cores = config.pilot_cores > 0
+                             ? std::max(config.pilot_cores, app.max_task_cores())
+                             : derive_pilot_cores(app, config.n_pilots);
 
   const WalltimeEstimate est = derive_walltime(app, bundles, config, strategy.pilot_cores);
   strategy.estimated_tx = est.tx;
@@ -171,7 +173,9 @@ common::Expected<CampaignPlan> derive_campaign_plan(const skeleton::SkeletonAppl
   strategy.binding = cfg.binding;
   strategy.unit_scheduler = pilot::UnitSchedulerKind::kBackfill;
   strategy.n_pilots = cfg.n_pilots;
-  strategy.pilot_cores = derive_pilot_cores(app, cfg.n_pilots);
+  strategy.pilot_cores = cfg.pilot_cores > 0
+                             ? std::max(cfg.pilot_cores, app.max_task_cores())
+                             : derive_pilot_cores(app, cfg.n_pilots);
 
   const WalltimeEstimate est = derive_walltime(app, bundles, cfg, strategy.pilot_cores);
   strategy.estimated_tx = est.tx;

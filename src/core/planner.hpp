@@ -42,6 +42,13 @@ struct PlannerConfig {
   /// experiments spread pilots over distinct machines); on for HTC pools,
   /// where multiple pilots on one pool are eviction insurance.
   bool allow_site_reuse = false;
+  /// Per-pilot cores override; 0 derives from the application (Table I).
+  /// The campaign's degradation ladder pins the originally derived size
+  /// here, so a degraded grant (fewer pilots) genuinely shrinks the
+  /// footprint instead of re-splitting the same concurrency over fewer,
+  /// bigger pilots. Clamped up to the largest single task so the strategy
+  /// stays runnable.
+  int pilot_cores = 0;
   /// Weight of inbound bandwidth in resource ranking (data-aware selection
   /// for data-intensive applications — the §IV "compute/data affinity"
   /// outlook). 0 keeps the paper's wait-only ranking.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -10,12 +11,60 @@
 
 namespace aimes::core {
 
+namespace {
+
+/// splitmix64 finalizer: a well-mixed 64-bit hash, used to derive the jitter
+/// fraction without consuming any RNG stream.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 SimDuration backoff_delay(const RecoveryPolicy& policy, int attempt) {
-  assert(attempt >= 0);
-  double factor = 1.0;
-  for (int i = 0; i < attempt; ++i) factor *= policy.backoff_factor;
-  const SimDuration delay = policy.backoff_base * factor;
-  return std::min(delay, policy.backoff_max);
+  // Degenerate inputs saturate instead of overflowing: long campaigns can
+  // legitimately reach large attempt counts, and base * factor^attempt blows
+  // through both double and SimDuration range long before that.
+  const std::int64_t base_ms = std::max<std::int64_t>(0, policy.backoff_base.count_ms());
+  const std::int64_t max_ms =
+      std::min<std::int64_t>(std::max<std::int64_t>(0, policy.backoff_max.count_ms()),
+                             SimDuration::max().count_ms());
+  if (attempt <= 0 || base_ms == 0) return SimDuration::millis(std::min(base_ms, max_ms));
+  // Factors <= 1 never grow the delay: a constant (or shrinking) schedule
+  // needs no iteration, which also keeps huge attempt counts O(1).
+  if (policy.backoff_factor <= 1.0) {
+    if (policy.backoff_factor == 1.0 || policy.backoff_factor <= 0.0) {
+      return SimDuration::millis(std::min(base_ms, max_ms));
+    }
+    double delay_ms = static_cast<double>(base_ms);
+    for (int i = 0; i < attempt; ++i) {
+      delay_ms *= policy.backoff_factor;
+      if (delay_ms < 1.0) return SimDuration::zero();
+    }
+    return SimDuration::millis(
+        std::min<std::int64_t>(static_cast<std::int64_t>(delay_ms), max_ms));
+  }
+  double delay_ms = static_cast<double>(base_ms);
+  for (int i = 0; i < attempt; ++i) {
+    delay_ms *= policy.backoff_factor;
+    // Early saturation bounds the loop at O(log(max/base)) iterations and
+    // keeps the product finite.
+    if (delay_ms >= static_cast<double>(max_ms)) return SimDuration::millis(max_ms);
+  }
+  return SimDuration::millis(
+      std::min<std::int64_t>(static_cast<std::int64_t>(delay_ms), max_ms));
+}
+
+SimDuration backoff_delay(const RecoveryPolicy& policy, int attempt, std::uint64_t salt) {
+  const SimDuration base = backoff_delay(policy, attempt);
+  if (policy.backoff_jitter <= 0.0) return base;
+  // u(p, k) in [0, 1): hash of (chain, attempt), stable across runs.
+  const std::uint64_t a = attempt < 0 ? 0u : static_cast<std::uint64_t>(attempt);
+  const std::uint64_t h = mix64(salt + 0x9e3779b97f4a7c15ULL * (a + 1));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return base * (1.0 + policy.backoff_jitter * u);
 }
 
 RecoveryManager::RecoveryManager(sim::Engine& engine, pilot::Profiler& profiler,
@@ -32,6 +81,7 @@ RecoveryManager::RecoveryManager(sim::Engine& engine, pilot::Profiler& profiler,
       policy_(policy) {}
 
 bool RecoveryManager::serviceable(common::SiteId site) const {
+  if (health_ != nullptr && health_->open(site, engine_.now())) return false;
   return std::any_of(services_.begin(), services_.end(),
                      [&](const saga::JobService* s) { return s->site_id() == site; });
 }
@@ -40,6 +90,8 @@ common::SiteId RecoveryManager::pick_replacement_site(common::SiteId lost_site) 
   if (bundles_ != nullptr && policy_.prefer_alternative_site) {
     bundle::Requirements req;
     req.min_total_cores = strategy_.pilot_cores;
+    req.health = health_;
+    req.health_now = engine_.now();
     const auto candidates = bundles_->discover(req);
     // Best-ranked serviceable candidate on a *different* site; if the lost
     // site is the only serviceable one, take it (it may have recovered).
@@ -81,34 +133,52 @@ void RecoveryManager::handle_pilot_gone(const pilot::ComputePilot& pilot,
   }
   const auto chain_it = chain_attempts_.find(pilot.id);
   const int attempt = chain_it == chain_attempts_.end() ? 0 : chain_it->second;
-  if (attempt >= policy_.max_pilot_resubmits) {
+  // The enactment-wide retry budget trumps the per-chain cap: once spent, no
+  // chain resubmits, so a mass outage cannot snowball into a storm.
+  const bool budget_spent =
+      policy_.retry_budget >= 0 &&
+      stats_.pilots_resubmitted >= static_cast<std::size_t>(policy_.retry_budget);
+  if (budget_spent || attempt >= policy_.max_pilot_resubmits) {
     ++stats_.recoveries_abandoned;
+    if (budget_spent) ++stats_.budget_exhausted;
+    const char* why = budget_spent ? "budget" : "abandoned";
     profiler_.record(engine_.now(), pilot::Entity::kPilot, pilot.id.value(),
                      std::string(pilot::trace_event::kPilotRecoveryAbandoned),
-                     "attempts=" + std::to_string(attempt));
+                     std::string(why) + " attempts=" + std::to_string(attempt));
     if (recorder_ != nullptr) {
       recorder_->metrics()
-          .counter("aimes_core_recoveries_total", {{"outcome", "abandoned"}})
+          .counter("aimes_core_recoveries_total", {{"outcome", why}})
           .add();
       recorder_->instant("recovery_abandoned", "recovery",
                          {{"pilot", pilot.description.name},
+                          {"reason", why},
                           {"attempts", std::to_string(attempt)}});
     }
-    common::Log::warn("recovery", "abandoning pilot chain of " + pilot.id.str() + " after " +
-                                      std::to_string(attempt) + " resubmissions");
+    common::Log::warn("recovery", "abandoning pilot chain of " + pilot.id.str() +
+                                      (budget_spent ? ": retry budget exhausted"
+                                                    : " after " + std::to_string(attempt) +
+                                                          " resubmissions"));
     return;
   }
 
   const common::SiteId site = pick_replacement_site(pilot.description.site);
-  const SimDuration delay = backoff_delay(policy_, attempt);
+  // Placing on a cooled-down site is that breaker's half-open probe; commit
+  // the transition so the tracker (and obs) see it.
+  if (health_ != nullptr) (void)health_->allows(site, engine_.now());
+  const SimDuration delay = backoff_delay(policy_, attempt, pilot.id.value());
 
   pilot::PilotDescription pd = pilot.description;
   pd.site = site;
   pd.name = pilot.description.name + "/r" + std::to_string(attempt + 1);
   const PilotId replacement = pilots_.submit(pd, delay);
-  chain_attempts_[replacement] = attempt + 1;
+  // Saturate rather than overflow; the cap comparison above keeps a
+  // saturated chain abandoned forever, which is the intent.
+  chain_attempts_[replacement] =
+      attempt >= std::numeric_limits<int>::max() - 1 ? std::numeric_limits<int>::max()
+                                                     : attempt + 1;
   pending_[replacement] = engine_.now();
   ++stats_.pilots_resubmitted;
+  if (on_resubmitted) on_resubmitted(replacement);
   profiler_.record(engine_.now(), pilot::Entity::kPilot, replacement.value(),
                    std::string(pilot::trace_event::kPilotResubmitted),
                    "replaces " + pilot.id.str() + " backoff=" + delay.str());

@@ -20,7 +20,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include <functional>
+
 #include "bundle/manager.hpp"
+#include "cluster/health.hpp"
 #include "core/strategy.hpp"
 #include "obs/recorder.hpp"
 #include "pilot/pilot_manager.hpp"
@@ -45,12 +48,27 @@ struct RecoveryPolicy {
   /// Place replacements on a different site than the lost pilot's when the
   /// Bundle discovery interface offers one.
   bool prefer_alternative_site = true;
+  /// Total resubmissions across the whole enactment (all chains together);
+  /// -1 is unlimited. A budget keeps a mass outage from turning into a
+  /// resubmission storm even when each individual chain is under its cap.
+  int retry_budget = -1;
+  /// Fractional jitter on the backoff delay: the k-th resubmission of pilot
+  /// p waits `backoff * (1 + jitter * u(p, k))` with u a per-(pilot, attempt)
+  /// hash in [0, 1). Deterministic — no RNG stream is consumed — but
+  /// decorrelates chains so simultaneous losses don't resubmit in lockstep.
+  double backoff_jitter = 0.0;
 };
 
 /// Backoff before resubmission number `attempt` (0-based): the first
 /// replacement waits `base`, each further one `factor` times longer, capped
-/// at `backoff_max`. Exposed for tests.
+/// at `backoff_max`. Saturates instead of overflowing for large attempt
+/// counts and degenerate factors. Exposed for tests.
 [[nodiscard]] SimDuration backoff_delay(const RecoveryPolicy& policy, int attempt);
+
+/// As above, plus the policy's deterministic jitter; `salt` identifies the
+/// pilot chain (the lost pilot's id).
+[[nodiscard]] SimDuration backoff_delay(const RecoveryPolicy& policy, int attempt,
+                                        std::uint64_t salt);
 
 /// What recovery did during one enactment.
 struct RecoveryStats {
@@ -58,8 +76,10 @@ struct RecoveryStats {
   std::size_t pilots_lost = 0;
   /// Replacement pilots submitted.
   std::size_t pilots_resubmitted = 0;
-  /// Chains abandoned at the attempt cap.
+  /// Chains abandoned at the attempt cap or the enactment retry budget.
   std::size_t recoveries_abandoned = 0;
+  /// Of the abandoned: stopped because the enactment-wide budget ran out.
+  std::size_t budget_exhausted = 0;
   /// Replacements that reached ACTIVE.
   std::size_t recoveries_completed = 0;
   /// Summed loss-to-ACTIVE latency over completed recoveries.
@@ -103,6 +123,15 @@ class RecoveryManager {
   /// "recovery" track.
   void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
+  /// Attaches the per-site health tracker (nullable; off by default).
+  /// Replacement-site selection then skips sites whose breaker is open, and
+  /// placing on a cooled-down site commits its half-open probe transition.
+  void set_site_health(cluster::SiteHealthTracker* health) { health_ = health; }
+
+  /// Fired after a replacement pilot is submitted. The campaign layer uses
+  /// it to adopt the replacement into the shared PilotPool.
+  std::function<void(PilotId)> on_resubmitted;
+
   /// Site for a replacement of a pilot lost on `lost_site`: best Bundle
   /// discovery candidate on a serviceable site, preferring one different
   /// from `lost_site`; falls back to the strategy's site list. Exposed for
@@ -127,6 +156,7 @@ class RecoveryManager {
   std::unordered_map<PilotId, SimTime> pending_;
   RecoveryStats stats_;
   obs::Recorder* recorder_ = nullptr;
+  cluster::SiteHealthTracker* health_ = nullptr;
 };
 
 }  // namespace aimes::core

@@ -58,6 +58,13 @@ int tenant_weight(const CampaignSpec& spec, int tenant_index) {
   return spec.weights[static_cast<std::size_t>(tenant_index) % spec.weights.size()];
 }
 
+/// Cycles `values` across tenants like `weights`; `fallback` when empty.
+template <typename T>
+T cycled(const std::vector<T>& values, int tenant_index, T fallback) {
+  if (values.empty()) return fallback;
+  return values[static_cast<std::size_t>(tenant_index) % values.size()];
+}
+
 }  // namespace
 
 std::string_view to_string(CampaignMode mode) {
@@ -111,6 +118,7 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   config.warmup = tweaks.warmup;
   if (!tweaks.testbed.empty()) config.testbed = tweaks.testbed;
   config.execution.units.unit_failure_probability = tweaks.unit_failure_probability;
+  config.faults = tweaks.faults;
   config.observability = tweaks.observability;
 
   core::Aimes aimes(config);
@@ -160,6 +168,9 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
     t.name = "t" + std::to_string(i + 1);
     t.arrival = arrivals[static_cast<std::size_t>(i)];
     t.weight = tenant_weight(spec, i);
+    t.priority = cycled(spec.priorities, i, 0);
+    t.slo = cycled(spec.slos, i, core::SloClass::kStandard);
+    t.quota = cycled(spec.quotas, i, core::TenantQuota{});
     tenants.push_back(std::move(t));
   }
 
@@ -171,6 +182,9 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   options.pool_idle_grace = spec.pool_idle_grace;
   options.walltime_headroom = spec.walltime_headroom;
   options.units.unit_failure_probability = tweaks.unit_failure_probability;
+  options.admission = spec.admission;
+  options.breaker = spec.breaker;
+  options.recovery = spec.recovery;
 
   auto run = aimes.run_campaign(std::move(tenants), options);
   if (aimes.recorder() != nullptr) result.obs = aimes.recorder()->snapshot(tweaks.obs_artifacts);
@@ -180,6 +194,17 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   }
   result.report = std::move(run->report);
   result.success = result.report.success;
+  if (!result.success && spec.admission.enabled) {
+    // Shedding per policy is the policy working, not a failure; only an
+    // *admitted* tenant that did not complete fails the trial.
+    result.success = true;
+    for (const auto& t : result.report.tenants) {
+      if (t.admission != core::AdmissionOutcome::kShed && !t.success) {
+        result.success = false;
+        break;
+      }
+    }
+  }
   result.makespan = result.report.makespan;
   for (const auto& t : result.report.tenants) result.tenant_ttc.push_back(t.ttc.ttc);
   return result;
@@ -202,6 +227,36 @@ CampaignCellResult run_campaign_cell(const CampaignSpec& spec, int n_trials,
     fnv.mix(r.success ? 1 : 0);
     fnv.mix(r.makespan.count_ms());
     for (const auto& ttc : r.tenant_ttc) fnv.mix(ttc.count_ms());
+    for (const auto& t : r.report.tenants) {
+      fnv.mix(static_cast<std::int64_t>(t.admission));
+      fnv.mix(static_cast<std::int64_t>(t.shed_reason));
+      fnv.mix(t.admission_wait.count_ms());
+      fnv.mix(t.granted_pilots);
+      if (t.admission == core::AdmissionOutcome::kShed) {
+        ++cell.tenants_shed;
+      } else if (t.planned) {
+        ++cell.tenants_admitted;
+      }
+      if (t.admission_wait > common::SimDuration::zero()) {
+        cell.admission_wait_s.add(t.admission_wait.to_seconds());
+      }
+    }
+    if (r.makespan > common::SimDuration::zero()) {
+      cell.goodput_uph.add(static_cast<double>(r.report.units_done()) /
+                           r.makespan.to_hours());
+      // SLO-attaining goodput: only tenants that finished whole and inside
+      // their effective deadline contribute; late or partial work is badput.
+      std::size_t slo_units = 0;
+      for (const auto& t : r.report.tenants) {
+        if (t.admission == core::AdmissionOutcome::kShed || !t.planned) continue;
+        if (t.success && t.ttc.ttc <= core::slo_deadline(t.slo)) {
+          slo_units += t.units_done;
+        } else {
+          ++cell.slo_violations;
+        }
+      }
+      cell.slo_goodput_uph.add(static_cast<double>(slo_units) / r.makespan.to_hours());
+    }
     if (r.success) {
       cell.makespan_s.add(r.makespan.to_seconds());
       for (const auto& ttc : r.tenant_ttc) cell.tenant_ttc_s.add(ttc.to_seconds());

@@ -58,6 +58,19 @@ struct CampaignSpec {
   /// Pool tuning, forwarded to core::CampaignOptions in the shared mode.
   common::SimDuration pool_idle_grace = common::SimDuration::minutes(10);
   double walltime_headroom = 2.0;
+  /// SLO-aware admission in front of tenant planning (disabled = the legacy
+  /// always-admit path, bit-identical to pre-admission builds).
+  core::AdmissionPolicy admission;
+  /// Per-site circuit breakers (disabled by default).
+  cluster::BreakerPolicy breaker;
+  /// Pilot-chain recovery for lost campaign pilots (disabled by default).
+  core::RecoveryPolicy recovery;
+  /// Admission priorities cycled across tenants (empty = all 0).
+  std::vector<int> priorities;
+  /// SLO classes cycled across tenants (empty = all kStandard).
+  std::vector<core::SloClass> slos;
+  /// Per-tenant quotas cycled across tenants (empty = unlimited).
+  std::vector<core::TenantQuota> quotas;
 };
 
 /// Tenant i's task count under `spec`'s size cycle.
@@ -72,7 +85,9 @@ struct CampaignSpec {
 
 /// Result of one campaign trial.
 struct CampaignTrialResult {
-  /// Every tenant planned and completed all its units.
+  /// Every tenant planned and completed all its units. With admission
+  /// enabled, tenants shed *by policy* do not count against success (the
+  /// policy worked); a shed under a disabled policy still fails the trial.
   bool success = false;
   /// Campaign start to the last tenant's completion (all modes).
   common::SimDuration makespan = common::SimDuration::zero();
@@ -97,9 +112,28 @@ struct CampaignCellResult {
   common::Summary makespan_s;    ///< seconds, successful trials
   common::Summary tenant_ttc_s;  ///< seconds, every tenant of successful trials
   std::size_t failures = 0;
-  /// FNV-1a over every trial's success flag, makespan and per-tenant TTCs
-  /// (raw milliseconds), in trial order — the bit-identity witness the
-  /// determinism tests and bench compare across `jobs` values.
+  /// Tenants shed by admission policy, summed over every trial.
+  std::size_t tenants_shed = 0;
+  /// Tenants that ran (admitted, possibly degraded), summed over trials.
+  std::size_t tenants_admitted = 0;
+  /// Units completed per makespan hour — raw throughput, SLO-blind. One
+  /// sample per trial.
+  common::Summary goodput_uph;
+  /// Units completed *within their tenant's effective SLO deadline*
+  /// (core::slo_deadline of the possibly-relaxed class) per makespan hour —
+  /// the goodput the admission bench compares against the no-admission
+  /// baseline: an open door completes everything eventually, but work
+  /// delivered after the tenant's deadline is badput. One sample per trial.
+  common::Summary slo_goodput_uph;
+  /// Tenants that ran but blew their effective deadline (or failed), summed
+  /// over every trial — the baseline's silent-starvation witness.
+  std::size_t slo_violations = 0;
+  /// Admission-queue wait per tenant that waited at all (seconds).
+  common::Summary admission_wait_s;
+  /// FNV-1a over every trial's success flag, makespan, per-tenant TTCs,
+  /// admission outcomes/shed reasons and waits (raw milliseconds), in trial
+  /// order — the bit-identity witness the determinism tests and bench
+  /// compare across `jobs` values.
   std::uint64_t checksum = 0;
 };
 

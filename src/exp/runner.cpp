@@ -29,6 +29,7 @@ TrialResult run_trial(const ExperimentSpec& experiment, int tasks, std::uint64_t
   config.warmup = tweaks.warmup;
   if (!tweaks.testbed.empty()) config.testbed = tweaks.testbed;
   config.execution.units.unit_failure_probability = tweaks.unit_failure_probability;
+  config.faults = tweaks.faults;
   config.observability = tweaks.observability;
 
   const auto wall_start = std::chrono::steady_clock::now();

@@ -67,6 +67,10 @@ struct WorldTweaks {
   std::vector<cluster::TestbedSiteSpec> testbed;
   /// Failure injection for reliability experiments.
   double unit_failure_probability = 0.0;
+  /// Fault plan injected into every trial's world (empty = none): explicit
+  /// launch/kill/outage/transfer events plus stochastic rates, all seeded
+  /// from the trial seed.
+  sim::FaultPlan faults;
   /// Span tracer + metrics registry + sampler (off by default; a trial with
   /// observability on is event-for-event identical to one without).
   obs::ObservabilityOptions observability;

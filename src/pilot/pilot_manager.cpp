@@ -102,6 +102,9 @@ void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
         if (on_unit_executing) on_unit_executing(id, unit);
       };
       set_state(pilot, PilotState::kActive);
+      if (health_ != nullptr) {
+        health_->record_success(pilot.description.site, engine_.now());
+      }
       if (recorder_ != nullptr) {
         recorder_->metrics().gauge("aimes_pilot_pilots_active").add(1);
       }
@@ -141,6 +144,15 @@ void PilotManager::handle_job_event(PilotId id, const saga::JobEvent& event) {
       if (event.state == saga::JobState::kFailed) final_state = PilotState::kFailed;
       if (event.state == saga::JobState::kCanceled) final_state = PilotState::kCanceled;
       set_state(pilot, final_state);
+      if (health_ != nullptr && final_state == PilotState::kFailed) {
+        // Launch rejections and mid-flight kills both arrive as FAILED; the
+        // breaker does not care which way the site let the pilot down.
+        if (was_active) {
+          health_->record_pilot_lost(pilot.description.site, engine_.now());
+        } else {
+          health_->record_launch_failure(pilot.description.site, engine_.now());
+        }
+      }
       if (recorder_ != nullptr) {
         if (was_active) recorder_->metrics().gauge("aimes_pilot_pilots_active").add(-1);
         recorder_->tracer().annotate(pilot.obs_span, "state",

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/health.hpp"
 #include "obs/recorder.hpp"
 #include "pilot/agent.hpp"
 #include "pilot/description.hpp"
@@ -78,6 +79,11 @@ class PilotManager {
   /// each activation for an injected mid-flight kill.
   void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
 
+  /// Attaches the per-site health tracker (non-owning, may be null): pilot
+  /// activations record successes, FAILED finals record failures, so
+  /// breakers see every launch rejection and mid-flight kill.
+  void set_site_health(cluster::SiteHealthTracker* health) { health_ = health; }
+
   /// Attaches the observability recorder (nullable; off by default): one
   /// span per pilot (submit → final state) plus an active-pilots gauge.
   void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
@@ -106,6 +112,7 @@ class PilotManager {
   std::vector<saga::JobService*> services_;
   AgentOptions agent_options_;
   sim::FaultInjector* faults_ = nullptr;
+  cluster::SiteHealthTracker* health_ = nullptr;
   obs::Recorder* recorder_ = nullptr;
   obs::SpanId span_parent_ = obs::kNoSpan;
   common::IdGen<common::PilotTag> ids_;

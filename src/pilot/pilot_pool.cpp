@@ -43,6 +43,23 @@ PilotId PilotPool::launch(const PilotDescription& description, int tenant) {
   return id;
 }
 
+bool PilotPool::adopt(PilotId id) {
+  const ComputePilot* p = pilots_.find(id);
+  if (p == nullptr || is_final(p->state)) return false;
+  if (entries_.count(id) > 0) return false;
+  entries_[id] = Entry{0, 0};
+  ++stats_.adopted;
+  profiler_.record(engine_.now(), Entity::kPilot, id.value(), "POOL_ADOPT", "");
+  if (recorder_ != nullptr) {
+    recorder_->metrics().counter("aimes_pilot_pool_adopted_total").add();
+    recorder_->metrics().gauge("aimes_pilot_pool_size").add(1);
+  }
+  // No lease holds it: arm the idle grace so an adopted replacement that
+  // nobody ends up needing still leaves on its own.
+  schedule_idle_cancel(id);
+  return true;
+}
+
 bool PilotPool::lease(PilotId id, int tenant) {
   auto it = entries_.find(id);
   if (it == entries_.end()) return false;

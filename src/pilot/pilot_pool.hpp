@@ -35,6 +35,8 @@ struct PilotPoolOptions {
 struct PilotPoolStats {
   /// Fresh pilots launched through the pool.
   int launched = 0;
+  /// Recovery replacements adopted into the pool.
+  int adopted = 0;
   /// Leases served by an already-pooled pilot (the amortization count).
   int reused = 0;
   /// Pilots cancelled because their idle grace expired with no lease.
@@ -75,6 +77,13 @@ class PilotPool {
   /// Takes a lease on an existing pooled pilot (picked by the campaign
   /// planner from slots()). Fails if the pilot is unknown or already final.
   bool lease(PilotId id, int tenant);
+
+  /// Adopts a pilot submitted outside the pool (a recovery replacement)
+  /// as pool-owned with zero leases: it serves multiplexed units, shows up
+  /// in slots() for reuse, idles out on the usual grace, and is cancelled
+  /// by drain(). Fails if the pilot is unknown to the manager, final, or
+  /// already pooled.
+  bool adopt(PilotId id);
 
   /// Releases one lease. When the last lease goes, the pilot idles for
   /// `idle_grace` and is then cancelled unless re-leased.

@@ -312,7 +312,7 @@ void UnitManager::begin_staging(ComputeUnit& u) {
       xfer_span = recorder_->begin_span("stage-in " + file.name, "staging", u.obs_span);
     }
     auto status = staging_.stage(file.name, site, net::Direction::kIn, file.size,
-                                 [this, id, attempt, fid,
+                                 [this, id, attempt, fid, site,
                                   xfer_span](const net::StagingDone& done) {
       auto uit = units_.find(id);
       assert(uit != units_.end());
@@ -320,6 +320,7 @@ void UnitManager::begin_staging(ComputeUnit& u) {
       if (!done.ok) {
         profiler_.record(engine_.now(), Entity::kTransfer, fid,
                          std::string(trace_event::kUnitStageInFailed), done.file);
+        if (health_ != nullptr) health_->record_transfer_failure(site, engine_.now());
         if (recorder_ != nullptr) {
           recorder_->tracer().annotate(xfer_span, "ok", "false");
           recorder_->end_span(xfer_span);
@@ -385,7 +386,7 @@ void UnitManager::compute_done(UnitId id) {
       xfer_span = recorder_->begin_span("stage-out " + file.name, "staging", u.obs_span);
     }
     auto status = staging_.stage(file.name, site, net::Direction::kOut, file.size,
-                                 [this, id, attempt, fid,
+                                 [this, id, attempt, fid, site,
                                   xfer_span](const net::StagingDone& done) {
       auto uit = units_.find(id);
       assert(uit != units_.end());
@@ -393,6 +394,7 @@ void UnitManager::compute_done(UnitId id) {
       if (!done.ok) {
         profiler_.record(engine_.now(), Entity::kTransfer, fid,
                          std::string(trace_event::kUnitStageOutFailed), done.file);
+        if (health_ != nullptr) health_->record_transfer_failure(site, engine_.now());
         if (recorder_ != nullptr) {
           recorder_->tracer().annotate(xfer_span, "ok", "false");
           recorder_->end_span(xfer_span);
@@ -528,6 +530,52 @@ void UnitManager::handle_pilot_gone(ComputePilot& pilot, const std::vector<UnitI
       }
       u.pilot = fallback->id;
       try_start_bound_unit(id);
+    }
+  } else {
+    // Late-bound units wait in the tenant queues for *any* live pilot. When
+    // the last pilot goes (recovery resubmits synchronously before this
+    // handler runs, so a declined replacement really means none is coming)
+    // nothing will ever drain those queues: fail every unit still in
+    // SCHEDULING so each batch terminates and the run degrades to a failed
+    // report instead of stalling the engine with work nobody can serve.
+    bool survivor = false;
+    for (ComputePilot* p : pilots_.pilots()) {
+      if (!is_final(p->state)) {
+        survivor = true;
+        break;
+      }
+    }
+    if (!survivor && on_stranded && on_stranded()) {
+      // The owner provisioned replacements (they are PENDING in pilots_ now);
+      // the queues stay put until one activates.
+      survivor = true;
+    }
+    if (!survivor) {
+      std::size_t stranded = 0;
+      for (auto& [tenant, q] : tenants_) {
+        q.queue.clear();
+        q.pending_gap = 0;
+        update_queue_gauge(tenant);
+      }
+      total_queued_ = 0;
+      for (UnitId id : order_) {
+        ComputeUnit& u = unit(id);
+        if (u.state != UnitState::kScheduling) continue;
+        ++stranded;
+        finish_unit(u, UnitState::kFailed);
+      }
+      if (stranded > 0) {
+        common::Log::warn("unit-mgr", "no pilot left; failing " + std::to_string(stranded) +
+                                          " stranded units");
+        if (recorder_ != nullptr) {
+          recorder_->metrics()
+              .counter("aimes_pilot_units_stranded_total")
+              .add(static_cast<double>(stranded));
+          recorder_->instant("units_stranded", "recovery",
+                            {{"count", std::to_string(stranded)},
+                             {"last_pilot", pilot.id.str()}});
+        }
+      }
     }
   }
   pump_late_queue();

@@ -155,6 +155,13 @@ class UnitManager {
   /// attempts (legacy single-batch path; campaigns use per-batch callbacks).
   std::function<void(const UnitBatchResult&)> on_complete;
 
+  /// Last-resort hook before stranding: fired (late binding only) when the
+  /// final pilot goes while units are still queued. Return true after
+  /// launching replacement pilots to keep the queues alive; return false —
+  /// or leave the hook unset — and every queued unit fails so the batches
+  /// terminate instead of waiting on a fleet that no longer exists.
+  std::function<bool()> on_stranded;
+
   /// A submitted batch: its id and the unit ids in submission order.
   struct BatchHandle {
     BatchId batch = 0;
@@ -215,6 +222,11 @@ class UnitManager {
   /// Parent for unit spans of batches whose spec left parent_span unset
   /// (the single-run strategy span).
   void set_default_span_parent(obs::SpanId parent) { default_span_parent_ = parent; }
+
+  /// Attaches the per-site health tracker (non-owning, may be null): failed
+  /// stage-in/stage-out transfers count against the unit's bound site, so
+  /// breakers see data-path trouble too, not just pilot losses.
+  void set_site_health(cluster::SiteHealthTracker* health) { health_ = health; }
 
  private:
   /// One submitted batch and its completion bookkeeping.
@@ -315,6 +327,7 @@ class UnitManager {
   bool completed_fired_ = false;
   obs::Recorder* recorder_ = nullptr;
   obs::SpanId default_span_parent_ = obs::kNoSpan;
+  cluster::SiteHealthTracker* health_ = nullptr;
   obs::Gauge* obs_exec_total_ = nullptr;
   std::map<int, TenantObs> tenant_obs_;
 };

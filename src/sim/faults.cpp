@@ -33,6 +33,18 @@ FaultPlan& FaultPlan::site_outage(std::string site, common::SimDuration start,
   return *this;
 }
 
+FaultPlan& FaultPlan::flap_site(std::string site, common::SimDuration start,
+                                common::SimDuration duration, common::SimDuration period,
+                                int count) {
+  if (count <= 0 || duration <= common::SimDuration::zero() || period <= duration) {
+    return *this;
+  }
+  for (int k = 0; k < count; ++k) {
+    site_outage(site, start + period * static_cast<double>(k), duration);
+  }
+  return *this;
+}
+
 FaultPlan& FaultPlan::fail_transfer(int transfer_index) {
   FaultSpec spec;
   spec.kind = FaultKind::kTransferFailure;
@@ -80,6 +92,26 @@ common::Expected<FaultPlan> FaultPlan::parse(const common::Config& config) {
       }
       plan.site_outage(*site, common::SimDuration::seconds(section->get_double_or("start_s", 0.0)),
                        common::SimDuration::seconds(*duration));
+    } else if (section_is(name, "fault.flap")) {
+      auto site = section->get("site");
+      if (!site.ok()) return common::Expected<FaultPlan>::error("[" + name + "]: " + site.error());
+      auto duration = section->get_double("duration_s");
+      if (!duration.ok()) {
+        return common::Expected<FaultPlan>::error("[" + name + "]: " + duration.error());
+      }
+      auto period = section->get_double("period_s");
+      if (!period.ok()) {
+        return common::Expected<FaultPlan>::error("[" + name + "]: " + period.error());
+      }
+      auto count = section->get_int("count");
+      if (!count.ok()) return common::Expected<FaultPlan>::error("[" + name + "]: " + count.error());
+      if (*period <= *duration || *count <= 0) {
+        return common::Expected<FaultPlan>::error(
+            "[" + name + "]: need period_s > duration_s and count > 0");
+      }
+      plan.flap_site(*site, common::SimDuration::seconds(section->get_double_or("start_s", 0.0)),
+                     common::SimDuration::seconds(*duration),
+                     common::SimDuration::seconds(*period), static_cast<int>(*count));
     } else if (section_is(name, "fault.transfer")) {
       auto index = section->get_int("index");
       if (!index.ok()) return common::Expected<FaultPlan>::error("[" + name + "]: " + index.error());

@@ -101,6 +101,14 @@ class FaultPlan {
   FaultPlan& kill_pilot(int activation_index, common::SimDuration after_active);
   FaultPlan& site_outage(std::string site, common::SimDuration start,
                          common::SimDuration duration);
+  /// A flapping site: `count` outages of `duration` each, the k-th starting
+  /// at `start + k * period` (period is start-to-start, so the site is up
+  /// for `period - duration` between windows). Sugar over site_outage —
+  /// the circuit-breaker chaos tests model a site that repeatedly dies and
+  /// recovers. `period` must exceed `duration` and `count` be positive;
+  /// degenerate arguments add nothing.
+  FaultPlan& flap_site(std::string site, common::SimDuration start,
+                       common::SimDuration duration, common::SimDuration period, int count);
   FaultPlan& fail_transfer(int transfer_index);
   FaultPlan& with_rates(FaultRates rates);
 
@@ -114,6 +122,8 @@ class FaultPlan {
   ///   [fault.launch]   pilot = K
   ///   [fault.kill]     pilot = K        after_s = SECONDS
   ///   [fault.outage]   site = NAME      start_s = SECONDS   duration_s = SECONDS
+  ///   [fault.flap]     site = NAME      start_s = SECONDS   duration_s = SECONDS
+  ///                    period_s = SECONDS   count = N
   ///   [fault.transfer] index = K
   ///   [fault.rates]    pilot_launch_failure = P   pilot_kill = P
   ///                    pilot_kill_mean_delay_s = SECONDS    transfer_failure = P

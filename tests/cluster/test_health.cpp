@@ -1,0 +1,179 @@
+// Site health scoring and the circuit-breaker state machine: EWMA updates,
+// trip/half-open/close transitions, cooldown escalation, outage overlays.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/health.hpp"
+
+namespace aimes::cluster {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+BreakerPolicy quick_policy() {
+  BreakerPolicy p;
+  p.enabled = true;
+  p.ewma_alpha = 0.5;
+  p.trip_threshold = 0.6;
+  p.min_events = 2;
+  p.cooldown = SimDuration::minutes(10);
+  p.reopen_backoff = 2.0;
+  p.cooldown_max = SimDuration::minutes(30);
+  return p;
+}
+
+const common::SiteId kSite{1};
+const common::SiteId kOther{2};
+
+TEST(SiteHealth, UnknownSiteIsHealthy) {
+  SiteHealthTracker t(quick_policy());
+  EXPECT_FALSE(t.open(kSite, SimTime::epoch()));
+  EXPECT_TRUE(t.allows(kSite, SimTime::epoch()));
+  EXPECT_EQ(t.score(kSite), 0.0);
+  EXPECT_EQ(t.state(kSite, SimTime::epoch()), BreakerState::kClosed);
+}
+
+TEST(SiteHealth, EwmaScoreTracksFailuresAndDecaysOnSuccess) {
+  SiteHealthTracker t(quick_policy());
+  const auto now = SimTime::epoch();
+  t.record_launch_failure(kSite, now);
+  EXPECT_DOUBLE_EQ(t.score(kSite), 0.5);
+  t.record_launch_failure(kSite, now);
+  EXPECT_DOUBLE_EQ(t.score(kSite), 0.75);
+  // The success decays the score but the breaker is already open by now.
+  EXPECT_EQ(t.stats().failures, 2u);
+}
+
+TEST(SiteHealth, TripsAfterMinEventsAndThreshold) {
+  SiteHealthTracker t(quick_policy());
+  const auto now = SimTime::epoch();
+  t.record_launch_failure(kSite, now);  // score 0.5 < 0.6: no trip (and events < 2)
+  EXPECT_EQ(t.state(kSite, now), BreakerState::kClosed);
+  t.record_launch_failure(kSite, now);  // score 0.75 >= 0.6, events == 2: trips
+  EXPECT_EQ(t.state(kSite, now), BreakerState::kOpen);
+  EXPECT_TRUE(t.open(kSite, now));
+  EXPECT_FALSE(t.allows(kSite, now));
+  EXPECT_EQ(t.stats().trips, 1u);
+  // Other sites are unaffected.
+  EXPECT_TRUE(t.allows(kOther, now));
+}
+
+TEST(SiteHealth, HalfOpenProbeAfterCooldownThenCloseOnSuccess) {
+  SiteHealthTracker t(quick_policy());
+  const auto now = SimTime::epoch();
+  t.record_launch_failure(kSite, now);
+  t.record_launch_failure(kSite, now);
+  ASSERT_TRUE(t.open(kSite, now));
+
+  const auto later = now + SimDuration::minutes(10);
+  EXPECT_TRUE(t.open(kSite, later - SimDuration::seconds(1)));
+  EXPECT_FALSE(t.open(kSite, later));  // cooldown elapsed: probe allowed
+  // allows() past the cooldown commits the half-open transition.
+  EXPECT_TRUE(t.allows(kSite, later));
+  EXPECT_EQ(t.state(kSite, later), BreakerState::kHalfOpen);
+  EXPECT_EQ(t.stats().half_opens, 1u);
+
+  // The probe succeeds: the breaker closes and the slate is clean.
+  t.record_success(kSite, later + SimDuration::minutes(1));
+  EXPECT_EQ(t.state(kSite, later + SimDuration::minutes(1)), BreakerState::kClosed);
+  EXPECT_EQ(t.score(kSite), 0.0);
+  EXPECT_EQ(t.stats().closes, 1u);
+}
+
+TEST(SiteHealth, FailedProbeReopensWithEscalatedCooldownCapped) {
+  SiteHealthTracker t(quick_policy());
+  auto now = SimTime::epoch();
+  t.record_launch_failure(kSite, now);
+  t.record_launch_failure(kSite, now);
+
+  // Probe 1 fails: cooldown escalates 10min -> 20min.
+  now += SimDuration::minutes(10);
+  ASSERT_TRUE(t.allows(kSite, now));
+  t.record_launch_failure(kSite, now);
+  EXPECT_EQ(t.state(kSite, now), BreakerState::kOpen);
+  EXPECT_TRUE(t.open(kSite, now + SimDuration::minutes(19)));
+  EXPECT_FALSE(t.open(kSite, now + SimDuration::minutes(20)));
+
+  // Probe 2 fails: 20min -> 40min, capped at 30min.
+  now += SimDuration::minutes(20);
+  ASSERT_TRUE(t.allows(kSite, now));
+  t.record_launch_failure(kSite, now);
+  EXPECT_TRUE(t.open(kSite, now + SimDuration::minutes(29)));
+  EXPECT_FALSE(t.open(kSite, now + SimDuration::minutes(30)));
+  EXPECT_EQ(t.stats().reopens, 2u);
+}
+
+TEST(SiteHealth, SuccessfulProbeResetsCooldownEscalation) {
+  SiteHealthTracker t(quick_policy());
+  auto now = SimTime::epoch();
+  t.record_launch_failure(kSite, now);
+  t.record_launch_failure(kSite, now);
+  now += SimDuration::minutes(10);
+  ASSERT_TRUE(t.allows(kSite, now));
+  t.record_launch_failure(kSite, now);  // reopen, cooldown now 20min
+  now += SimDuration::minutes(20);
+  ASSERT_TRUE(t.allows(kSite, now));
+  t.record_success(kSite, now);  // closes, escalation reset
+
+  // Trip again: the fresh cooldown is the policy's 10min, not 20min.
+  t.record_launch_failure(kSite, now);
+  t.record_launch_failure(kSite, now);
+  ASSERT_EQ(t.state(kSite, now), BreakerState::kOpen);
+  EXPECT_TRUE(t.open(kSite, now + SimDuration::minutes(9)));
+  EXPECT_FALSE(t.open(kSite, now + SimDuration::minutes(10)));
+}
+
+TEST(SiteHealth, OutageWindowForcesOpenWithoutTransitions) {
+  SiteHealthTracker t(quick_policy());
+  t.add_outage_window(kSite, SimTime::epoch() + SimDuration::minutes(5),
+                      SimDuration::minutes(10));
+  EXPECT_FALSE(t.open(kSite, SimTime::epoch()));
+  EXPECT_TRUE(t.open(kSite, SimTime::epoch() + SimDuration::minutes(5)));
+  EXPECT_FALSE(t.allows(kSite, SimTime::epoch() + SimDuration::minutes(14)));
+  EXPECT_EQ(t.state(kSite, SimTime::epoch() + SimDuration::minutes(7)), BreakerState::kOpen);
+  // Window over: back to healthy, no scored-state transitions happened.
+  EXPECT_FALSE(t.open(kSite, SimTime::epoch() + SimDuration::minutes(15)));
+  EXPECT_EQ(t.stats().trips, 0u);
+}
+
+TEST(SiteHealth, DisabledPolicyScoresButNeverTrips) {
+  BreakerPolicy p = quick_policy();
+  p.enabled = false;
+  SiteHealthTracker t(p);
+  const auto now = SimTime::epoch();
+  for (int i = 0; i < 10; ++i) t.record_launch_failure(kSite, now);
+  EXPECT_GT(t.score(kSite), 0.9);
+  EXPECT_FALSE(t.open(kSite, now));
+  EXPECT_TRUE(t.allows(kSite, now));
+  EXPECT_EQ(t.stats().trips, 0u);
+  // Outage overlays still apply even with the breaker machinery off.
+  t.add_outage_window(kOther, now, SimDuration::minutes(1));
+  EXPECT_FALSE(t.allows(kOther, now));
+}
+
+TEST(SiteHealth, TransitionCallbackSeesEveryCommittedTransition) {
+  SiteHealthTracker t(quick_policy());
+  std::vector<BreakerState> seen;
+  t.on_transition = [&](common::SiteId site, BreakerState to, common::SimTime) {
+    EXPECT_EQ(site, kSite);
+    seen.push_back(to);
+  };
+  auto now = SimTime::epoch();
+  t.record_launch_failure(kSite, now);
+  t.record_launch_failure(kSite, now);           // trip -> open
+  now += SimDuration::minutes(10);
+  ASSERT_TRUE(t.allows(kSite, now));             // -> half-open
+  t.record_launch_failure(kSite, now);           // probe fails -> open
+  now += SimDuration::minutes(20);
+  ASSERT_TRUE(t.allows(kSite, now));             // -> half-open
+  t.record_success(kSite, now);                  // probe succeeds -> closed
+  const std::vector<BreakerState> want{
+      BreakerState::kOpen, BreakerState::kHalfOpen, BreakerState::kOpen,
+      BreakerState::kHalfOpen, BreakerState::kClosed};
+  EXPECT_EQ(seen, want);
+}
+
+}  // namespace
+}  // namespace aimes::cluster

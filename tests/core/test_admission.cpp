@@ -1,0 +1,194 @@
+// AdmissionController: the degradation ladder (admit / queue / degrade /
+// shed), quota enforcement, bounded wait, and queue ordering.
+#include <gtest/gtest.h>
+
+#include "core/admission.hpp"
+
+namespace aimes::core {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+AdmissionPolicy on_policy() {
+  AdmissionPolicy p;
+  p.enabled = true;
+  p.capacity_factor = 1.0;
+  p.max_queue_wait = SimDuration::minutes(30);
+  p.degrade_factor = 0.5;
+  p.degrade_min_pilots = 1;
+  p.shed_ceiling = 1.5;
+  return p;
+}
+
+AdmissionRequest req(int tenant, int pilots, int cores_per_pilot, int priority = 0,
+                     SloClass slo = SloClass::kStandard) {
+  AdmissionRequest r;
+  r.tenant = tenant;
+  r.pilots = pilots;
+  r.cores_per_pilot = cores_per_pilot;
+  r.priority = priority;
+  r.slo = slo;
+  return r;
+}
+
+TEST(Admission, DisabledPolicyAdmitsEverything) {
+  AdmissionController c({}, /*capacity=*/16);
+  for (int t = 1; t <= 50; ++t) {
+    const auto d = c.request(req(t, 4, 8), SimTime::epoch());
+    EXPECT_EQ(d.outcome, AdmissionOutcome::kAdmitted);
+    EXPECT_EQ(d.granted_pilots, 4);
+  }
+  EXPECT_EQ(c.stats().admitted, 50u);
+  EXPECT_EQ(c.committed_cores(), 0);  // disabled: nothing is tracked
+}
+
+TEST(Admission, AdmitsUntilCapacityThenQueues) {
+  AdmissionController c(on_policy(), /*capacity=*/64);
+  EXPECT_EQ(c.request(req(1, 4, 8), SimTime::epoch()).outcome,
+            AdmissionOutcome::kAdmitted);  // 32 committed
+  EXPECT_EQ(c.request(req(2, 4, 8), SimTime::epoch()).outcome,
+            AdmissionOutcome::kAdmitted);  // 64 committed
+  const auto d = c.request(req(3, 1, 8), SimTime::epoch());
+  EXPECT_EQ(d.outcome, AdmissionOutcome::kQueued);
+  EXPECT_EQ(d.decide_by, SimTime::epoch() + SimDuration::minutes(30));
+  EXPECT_EQ(c.committed_cores(), 64);
+  EXPECT_EQ(c.queue_depth(), 1u);
+}
+
+TEST(Admission, ReleaseDrainsQueueInPriorityThenSloThenFifoOrder) {
+  AdmissionController c(on_policy(), /*capacity=*/32);
+  ASSERT_EQ(c.request(req(1, 4, 8), SimTime::epoch()).outcome,
+            AdmissionOutcome::kAdmitted);
+  // Four waiters with distinct rank: priority beats SLO beats arrival.
+  (void)c.request(req(2, 1, 8, /*priority=*/0, SloClass::kBatch), SimTime::epoch());
+  (void)c.request(req(3, 1, 8, /*priority=*/0, SloClass::kInteractive), SimTime::epoch());
+  (void)c.request(req(4, 1, 8, /*priority=*/5, SloClass::kBatch), SimTime::epoch());
+  (void)c.request(req(5, 1, 8, /*priority=*/0, SloClass::kInteractive), SimTime::epoch());
+  ASSERT_EQ(c.queue_depth(), 4u);
+
+  const auto later = SimTime::epoch() + SimDuration::minutes(5);
+  const auto resolved = c.release(1, later);
+  ASSERT_EQ(resolved.size(), 4u);
+  EXPECT_EQ(resolved[0].tenant, 4);  // highest priority
+  EXPECT_EQ(resolved[1].tenant, 3);  // interactive before batch, FIFO within
+  EXPECT_EQ(resolved[2].tenant, 5);
+  EXPECT_EQ(resolved[3].tenant, 2);
+  for (const auto& r : resolved) {
+    EXPECT_EQ(r.decision.outcome, AdmissionOutcome::kAdmitted);
+    EXPECT_EQ(r.decision.wait, SimDuration::minutes(5));
+  }
+  EXPECT_EQ(c.stats().max_wait, SimDuration::minutes(5));
+}
+
+TEST(Admission, StrictHeadOfQueueBlocksSmallerLaterArrivals) {
+  AdmissionController c(on_policy(), /*capacity=*/32);
+  ASSERT_EQ(c.request(req(1, 2, 8), SimTime::epoch()).outcome,
+            AdmissionOutcome::kAdmitted);  // 16 committed
+  (void)c.request(req(2, 4, 8), SimTime::epoch());  // needs 32: waits
+  (void)c.request(req(3, 1, 8), SimTime::epoch());  // would fit, but is behind
+  const auto resolved = c.release(1, SimTime::epoch() + SimDuration::minutes(1));
+  // Head (tenant 2, 32 cores) fits once tenant 1's 16 are back; tenant 3
+  // must keep waiting behind it.
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].tenant, 2);
+  EXPECT_EQ(c.queue_depth(), 1u);
+}
+
+TEST(Admission, WaitBoundDegradesPilotsAndRelaxesSlo) {
+  AdmissionController c(on_policy(), /*capacity=*/32);
+  ASSERT_EQ(c.request(req(1, 4, 8), SimTime::epoch()).outcome,
+            AdmissionOutcome::kAdmitted);
+  const auto d =
+      c.request(req(2, 4, 8, /*priority=*/0, SloClass::kInteractive), SimTime::epoch());
+  ASSERT_EQ(d.outcome, AdmissionOutcome::kQueued);
+
+  const auto resolved = c.resolve_expired(d.decide_by);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].tenant, 2);
+  EXPECT_EQ(resolved[0].decision.outcome, AdmissionOutcome::kAdmittedDegraded);
+  EXPECT_EQ(resolved[0].decision.granted_pilots, 2);  // 4 * 0.5
+  EXPECT_EQ(resolved[0].decision.effective_slo, SloClass::kStandard);  // relaxed
+  EXPECT_EQ(resolved[0].decision.wait, SimDuration::minutes(30));
+  // 32 + 16 = 48 <= 32 * 1.5: overcommitted but under the shed ceiling.
+  EXPECT_EQ(c.committed_cores(), 48);
+  EXPECT_EQ(c.stats().degraded, 1u);
+}
+
+TEST(Admission, ShedsWithOverloadedWhenCeilingExceeded) {
+  AdmissionPolicy p = on_policy();
+  p.shed_ceiling = 1.0;  // no overcommit allowed for degraded admissions
+  AdmissionController c(p, /*capacity=*/32);
+  ASSERT_EQ(c.request(req(1, 4, 8), SimTime::epoch()).outcome,
+            AdmissionOutcome::kAdmitted);  // 32 of the 32-core ceiling
+  const auto d = c.request(req(2, 4, 8), SimTime::epoch());
+  ASSERT_EQ(d.outcome, AdmissionOutcome::kQueued);
+  const auto resolved = c.resolve_expired(d.decide_by);
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].decision.outcome, AdmissionOutcome::kShed);
+  EXPECT_EQ(resolved[0].decision.reason, ShedReason::kOverloaded);
+  EXPECT_EQ(c.stats().shed, 1u);
+  EXPECT_EQ(c.committed_cores(), 32);
+}
+
+TEST(Admission, ResolveExpiredLeavesUnexpiredWaiters) {
+  AdmissionController c(on_policy(), /*capacity=*/8);
+  ASSERT_EQ(c.request(req(1, 1, 8), SimTime::epoch()).outcome,
+            AdmissionOutcome::kAdmitted);
+  (void)c.request(req(2, 1, 8), SimTime::epoch());
+  (void)c.request(req(3, 1, 8), SimTime::epoch() + SimDuration::minutes(10));
+  const auto resolved = c.resolve_expired(SimTime::epoch() + SimDuration::minutes(30));
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].tenant, 2);
+  EXPECT_EQ(c.queue_depth(), 1u);  // tenant 3 expires at +40min
+}
+
+TEST(Admission, CoreQuotaClampsToDegradedAdmission) {
+  AdmissionController c(on_policy(), /*capacity=*/256);
+  AdmissionRequest r = req(1, 4, 8);
+  r.quota.max_cores = 16;  // room for 2 of the 4 requested pilots
+  const auto d = c.request(r, SimTime::epoch());
+  EXPECT_EQ(d.outcome, AdmissionOutcome::kAdmittedDegraded);
+  EXPECT_EQ(d.granted_pilots, 2);
+  EXPECT_EQ(c.committed_cores(), 16);
+}
+
+TEST(Admission, QuotaShedsCarryTypedReasons) {
+  AdmissionController c(on_policy(), /*capacity=*/256);
+  AdmissionRequest a = req(1, 4, 8);
+  a.quota.max_cores = 4;  // smaller than one 8-core pilot
+  EXPECT_EQ(c.request(a, SimTime::epoch()).reason, ShedReason::kQuotaCores);
+
+  AdmissionRequest b = req(2, 1, 8);
+  b.units = 100;
+  b.quota.max_concurrent_units = 10;
+  EXPECT_EQ(c.request(b, SimTime::epoch()).reason, ShedReason::kQuotaUnits);
+
+  AdmissionRequest ch = req(3, 1, 8);
+  ch.est_core_hours = 50.0;
+  ch.quota.max_core_hours = 10.0;
+  EXPECT_EQ(c.request(ch, SimTime::epoch()).reason, ShedReason::kQuotaCoreHours);
+  EXPECT_EQ(c.stats().shed, 3u);
+  EXPECT_EQ(c.committed_cores(), 0);
+}
+
+TEST(Admission, EveryRequestEventuallyResolves) {
+  // The bounded-wait invariant: requests + resolve_expired(decide_by) later
+  // leaves nothing queued, and admitted + degraded + shed == requests.
+  AdmissionController c(on_policy(), /*capacity=*/64);
+  SimTime now = SimTime::epoch();
+  for (int t = 1; t <= 100; ++t) {
+    (void)c.request(req(t, 2, 8, /*priority=*/t % 3), now);
+    now += SimDuration::seconds(10);
+  }
+  (void)c.release(1, now);
+  const auto resolved = c.resolve_expired(now + SimDuration::hours(1));
+  (void)resolved;
+  EXPECT_EQ(c.queue_depth(), 0u);
+  const auto& s = c.stats();
+  EXPECT_EQ(s.admitted + s.degraded + s.shed, s.requests);
+  EXPECT_LE(s.max_wait, SimDuration::minutes(30) + SimDuration::hours(1));
+}
+
+}  // namespace
+}  // namespace aimes::core

@@ -2,8 +2,11 @@
 // and replacement-site selection.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "bundle/agent.hpp"
 #include "bundle/manager.hpp"
+#include "cluster/health.hpp"
 #include "core/recovery.hpp"
 #include "test_helpers.hpp"
 
@@ -24,6 +27,65 @@ TEST(BackoffDelay, ExponentialScheduleWithCap) {
   EXPECT_EQ(backoff_delay(policy, 3), SimDuration::minutes(16));
   EXPECT_EQ(backoff_delay(policy, 4), SimDuration::minutes(30));  // capped
   EXPECT_EQ(backoff_delay(policy, 10), SimDuration::minutes(30));
+}
+
+TEST(BackoffDelay, ZeroAttemptAndNegativeAttemptUseBase) {
+  RecoveryPolicy policy;
+  policy.backoff_base = SimDuration::minutes(2);
+  EXPECT_EQ(backoff_delay(policy, 0), SimDuration::minutes(2));
+  EXPECT_EQ(backoff_delay(policy, -3), SimDuration::minutes(2));
+}
+
+TEST(BackoffDelay, HugeAttemptCountSaturatesAtMaxInsteadOfOverflowing) {
+  // Regression: the delay used to be base * factor^attempt computed naively;
+  // on a long campaign (thousands of losses in one chain) the product
+  // overflowed to inf and the SimDuration conversion wrapped negative.
+  RecoveryPolicy policy;
+  policy.backoff_base = SimDuration::minutes(2);
+  policy.backoff_factor = 2.0;
+  policy.backoff_max = SimDuration::minutes(30);
+  for (int attempt : {64, 1024, 100000, std::numeric_limits<int>::max()}) {
+    EXPECT_EQ(backoff_delay(policy, attempt), SimDuration::minutes(30)) << attempt;
+  }
+}
+
+TEST(BackoffDelay, ConstantAndShrinkingFactorsStayBounded) {
+  RecoveryPolicy policy;
+  policy.backoff_base = SimDuration::minutes(2);
+  policy.backoff_max = SimDuration::minutes(30);
+  policy.backoff_factor = 1.0;  // constant schedule, any attempt count
+  EXPECT_EQ(backoff_delay(policy, std::numeric_limits<int>::max()), SimDuration::minutes(2));
+  policy.backoff_factor = 0.5;  // shrinking schedule decays to zero
+  EXPECT_EQ(backoff_delay(policy, 1), SimDuration::minutes(1));
+  EXPECT_EQ(backoff_delay(policy, std::numeric_limits<int>::max()), SimDuration::zero());
+  policy.backoff_factor = -1.0;  // nonsense factor degrades to constant
+  EXPECT_EQ(backoff_delay(policy, 7), SimDuration::minutes(2));
+}
+
+TEST(BackoffDelay, BaseAboveMaxIsCappedEvenAtAttemptZero) {
+  RecoveryPolicy policy;
+  policy.backoff_base = SimDuration::hours(2);
+  policy.backoff_max = SimDuration::minutes(30);
+  EXPECT_EQ(backoff_delay(policy, 0), SimDuration::minutes(30));
+}
+
+TEST(BackoffDelay, JitterIsDeterministicBoundedAndPerChain) {
+  RecoveryPolicy policy;
+  policy.backoff_base = SimDuration::minutes(2);
+  policy.backoff_factor = 2.0;
+  policy.backoff_max = SimDuration::minutes(30);
+  policy.backoff_jitter = 0.5;
+  const SimDuration plain = backoff_delay(policy, 1);
+  const SimDuration a = backoff_delay(policy, 1, /*salt=*/7);
+  const SimDuration b = backoff_delay(policy, 1, /*salt=*/8);
+  EXPECT_EQ(a, backoff_delay(policy, 1, 7));  // same chain: same delay
+  EXPECT_NE(a, b);                            // different chains decorrelate
+  for (const SimDuration d : {a, b}) {
+    EXPECT_GE(d, plain);
+    EXPECT_LE(d, plain * 1.5);
+  }
+  policy.backoff_jitter = 0.0;
+  EXPECT_EQ(backoff_delay(policy, 1, 7), plain);
 }
 
 /// Two idle sites, a pilot fleet, and a recovery manager with no bundle
@@ -162,6 +224,65 @@ TEST_F(RecoveryTest, ResubmitsWithBackoffUntilCap) {
   EXPECT_NE(profiler.first(pilot::Entity::kPilot, lost_r2.id.value(),
                            std::string(pilot::trace_event::kPilotRecoveryAbandoned)),
             SimTime::max());
+}
+
+TEST_F(RecoveryTest, ZeroMaxResubmitsAbandonsImmediately) {
+  // Regression: max_pilot_resubmits == 0 must mean "never resubmit", not
+  // "resubmit once before the cap is checked".
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  policy.max_pilot_resubmits = 0;
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get(), other_service.get()},
+                           nullptr, strategy_on({site->id(), other_site->id()}), policy);
+  const auto p = lost_pilot(site->id());
+  recovery.handle_pilot_gone(p, {}, /*work_remaining=*/true);
+  EXPECT_EQ(recovery.stats().pilots_lost, 1u);
+  EXPECT_EQ(recovery.stats().pilots_resubmitted, 0u);
+  EXPECT_EQ(recovery.stats().recoveries_abandoned, 1u);
+  EXPECT_EQ(pilots->size(), 0u);
+}
+
+TEST_F(RecoveryTest, RetryBudgetCapsResubmissionsAcrossChains) {
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  policy.max_pilot_resubmits = 10;  // generous per-chain cap
+  policy.retry_budget = 2;          // ... but only two resubmits in total
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get(), other_service.get()},
+                           nullptr, strategy_on({site->id(), other_site->id()}), policy);
+  // Three distinct chains lose their pilot; only the first two get
+  // replacements, the third hits the enactment budget.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    auto p = lost_pilot(site->id());
+    p.id = common::PilotId(100 + id);
+    p.description.name = "chain" + std::to_string(id);
+    recovery.handle_pilot_gone(p, {}, /*work_remaining=*/true);
+  }
+  EXPECT_EQ(recovery.stats().pilots_lost, 3u);
+  EXPECT_EQ(recovery.stats().pilots_resubmitted, 2u);
+  EXPECT_EQ(recovery.stats().recoveries_abandoned, 1u);
+  EXPECT_EQ(recovery.stats().budget_exhausted, 1u);
+  EXPECT_EQ(pilots->size(), 2u);
+}
+
+TEST_F(RecoveryTest, OpenBreakerRoutesReplacementAwayFromSite) {
+  cluster::BreakerPolicy bp;
+  bp.enabled = true;
+  bp.min_events = 1;
+  bp.trip_threshold = 0.2;
+  cluster::SiteHealthTracker health(bp);
+
+  RecoveryPolicy policy;
+  policy.enabled = true;
+  RecoveryManager recovery(engine, profiler, *pilots, {service.get(), other_service.get()},
+                           nullptr, strategy_on({site->id(), other_site->id()}), policy);
+  recovery.set_site_health(&health);
+
+  // Healthy fleet: the replacement prefers the alternative site.
+  EXPECT_EQ(recovery.pick_replacement_site(site->id()), other_site->id());
+  // Trip the alternative's breaker: recovery must avoid it now.
+  health.record_launch_failure(other_site->id(), engine.now());
+  ASSERT_TRUE(health.open(other_site->id(), engine.now()));
+  EXPECT_EQ(recovery.pick_replacement_site(site->id()), site->id());
 }
 
 TEST_F(RecoveryTest, NoReplacementWhenBatchIsDone) {

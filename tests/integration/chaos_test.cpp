@@ -138,6 +138,55 @@ TEST(Chaos, EmptyPlanIsBitIdenticalToNoFaultSupport) {
   EXPECT_EQ(armed.report.recovery.pilots_lost, 0u);
 }
 
+TEST(Chaos, CampaignBreakerTripsOnFlappingSiteAndStillCompletes) {
+  // A flapping site (repeated short outages) under a multi-tenant campaign:
+  // pilots caught in a window are killed and their losses feed the site's
+  // circuit breaker, which trips; recovery and later placements route to
+  // the surviving site, and every tenant still completes.
+  AimesConfig config;
+  config.seed = 7;
+  config.warmup = SimDuration::hours(2);
+  config.testbed = cluster::mini_testbed();
+  config.faults.flap_site("beta-sim", SimDuration::minutes(10), SimDuration::minutes(10),
+                          SimDuration::minutes(30), 3);
+  Aimes aimes(config);
+  aimes.start();
+
+  std::vector<CampaignTenantSpec> tenants;
+  for (int i = 0; i < 3; ++i) {
+    CampaignTenantSpec t;
+    t.name = "t" + std::to_string(i + 1);
+    t.app = skeleton::materialize(skeleton::profiles::bag_gaussian(16),
+                                  7 + static_cast<std::uint64_t>(i));
+    t.arrival = SimDuration::minutes(15) * static_cast<double>(i);
+    tenants.push_back(std::move(t));
+  }
+
+  CampaignOptions options;
+  options.planner.n_pilots = 2;
+  options.units.max_attempts = 12;
+  // Routing moves everything off the flapping site after its first strike,
+  // so the breaker is told to trip on that first strike.
+  options.breaker.enabled = true;
+  options.breaker.min_events = 1;
+  options.breaker.trip_threshold = 0.25;
+  options.breaker.cooldown = SimDuration::minutes(20);
+  options.recovery.enabled = true;
+  options.recovery.backoff_base = SimDuration::minutes(1);
+
+  auto result = aimes.run_campaign(std::move(tenants), options);
+  ASSERT_TRUE(result.ok()) << result.error();
+  const auto& report = result->report;
+  EXPECT_TRUE(report.success);
+  for (const auto& t : report.tenants) EXPECT_TRUE(t.success) << t.name << ": " << t.error;
+  // The flapping site's failure reached the tracker and tripped it.
+  EXPECT_GE(report.health.failures, 1u);
+  EXPECT_GE(report.health.trips, 1u);
+  // Lost pilots were replaced (and the replacements pooled).
+  EXPECT_GE(report.recovery.pilots_lost, 1u);
+  EXPECT_GE(report.recovery.pilots_resubmitted, 1u);
+}
+
 TEST(Chaos, EarlyBindingSurvivesPilotLoss) {
   sim::FaultPlan plan;
   plan.kill_pilot(0, SimDuration::minutes(3));

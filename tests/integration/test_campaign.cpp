@@ -142,6 +142,163 @@ TEST(CampaignTest, CellChecksumIsBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+WorldTweaks mini_world() {
+  WorldTweaks tweaks = quick_world();
+  tweaks.testbed = cluster::mini_testbed();
+  return tweaks;
+}
+
+TEST(CampaignAdmissionTest, LadderResolvesEveryTenantWithBoundedWaitAndTypedSheds) {
+  // Over-subscribed on purpose: the mini testbed has 1024 cores but the
+  // policy caps outright admission at ~10, so tenants walk the full ladder.
+  CampaignSpec spec;
+  spec.n_tenants = 5;
+  spec.base_tasks = 4;
+  spec.n_pilots = 2;
+  spec.arrival.fixed_spacing = common::SimDuration::minutes(1);
+  spec.admission.enabled = true;
+  spec.admission.capacity_factor = 0.01;  // ~10 cores admit outright
+  spec.admission.max_queue_wait = common::SimDuration::minutes(45);
+  spec.admission.shed_ceiling = 0.015;  // ~15 cores even degraded
+  spec.quotas.resize(5);
+  spec.quotas[3].max_concurrent_units = 2;  // tenant 4: shed by unit quota
+
+  const auto r = run_campaign_trial(spec, 7, mini_world());
+  ASSERT_TRUE(r.success);  // policy-aware: sheds by policy don't fail the trial
+  ASSERT_EQ(r.report.tenants.size(), 5u);
+
+  const auto& stats = r.report.admission;
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.admitted + stats.degraded + stats.shed, 5u);  // all resolved
+  EXPECT_GE(stats.queued, 1u);
+  EXPECT_LE(stats.max_wait, spec.admission.max_queue_wait);
+
+  for (const auto& t : r.report.tenants) {
+    // Nobody is left queued, and nobody waited past the bound.
+    EXPECT_NE(t.admission, core::AdmissionOutcome::kQueued) << t.name;
+    EXPECT_LE(t.admission_wait, spec.admission.max_queue_wait) << t.name;
+    if (t.admission == core::AdmissionOutcome::kShed) {
+      // "Sheds only per policy": every shed carries a typed reason.
+      EXPECT_NE(t.shed_reason, core::ShedReason::kNone) << t.name;
+      EXPECT_FALSE(t.planned) << t.name;
+      EXPECT_FALSE(t.error.empty()) << t.name;
+    } else {
+      EXPECT_EQ(t.shed_reason, core::ShedReason::kNone) << t.name;
+      EXPECT_TRUE(t.success) << t.name << ": " << t.error;
+      EXPECT_GE(t.granted_pilots, 1) << t.name;
+      EXPECT_LE(t.granted_pilots, spec.n_pilots) << t.name;
+    }
+  }
+  // Tenant 4's batch (4 units) exceeds its 2-unit quota: shed, typed.
+  EXPECT_EQ(r.report.tenants[3].admission, core::AdmissionOutcome::kShed);
+  EXPECT_EQ(r.report.tenants[3].shed_reason, core::ShedReason::kQuotaUnits);
+}
+
+TEST(CampaignAdmissionTest, WaitBoundDegradesPilotsAndRelaxesSlo) {
+  // Two tenants arrive together; the second cannot fit (nor can it until
+  // the first finishes, which takes longer than the wait bound), so at the
+  // bound it degrades: half the pilots, SLO relaxed one step.
+  CampaignSpec spec;
+  spec.n_tenants = 2;
+  spec.base_tasks = 4;  // tenant asks: 4 cores, then 8 cores
+  spec.n_pilots = 2;
+  spec.arrival.fixed_spacing = common::SimDuration::zero();
+  spec.admission.enabled = true;
+  spec.admission.capacity_factor = 6.0 / 1024.0;  // 6 cores admit outright
+  spec.admission.max_queue_wait = common::SimDuration::minutes(10);
+  spec.admission.shed_ceiling = 9.0 / 1024.0;  // 9 cores for degraded grants
+  spec.slos = {core::SloClass::kStandard, core::SloClass::kStandard};
+
+  const auto r = run_campaign_trial(spec, 7, mini_world());
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.report.tenants.size(), 2u);
+  const auto& first = r.report.tenants[0];
+  const auto& second = r.report.tenants[1];
+  EXPECT_EQ(first.admission, core::AdmissionOutcome::kAdmitted);
+  EXPECT_EQ(first.granted_pilots, 2);
+  ASSERT_EQ(second.admission, core::AdmissionOutcome::kAdmittedDegraded);
+  EXPECT_EQ(second.granted_pilots, 1);
+  EXPECT_EQ(second.pilots_leased, 1);  // the degraded grant is what launches
+  EXPECT_EQ(second.slo, core::SloClass::kBatch);  // standard relaxed one step
+  EXPECT_EQ(second.admission_wait, spec.admission.max_queue_wait);
+  EXPECT_TRUE(second.success) << second.error;
+}
+
+TEST(CampaignAdmissionTest, RecoveryReplacesKilledPilotAndPoolAdoptsIt) {
+  CampaignSpec spec;
+  spec.n_tenants = 2;
+  spec.base_tasks = 4;
+  spec.n_pilots = 2;
+  spec.arrival.fixed_spacing = common::SimDuration::minutes(5);
+  spec.recovery.enabled = true;
+  spec.recovery.backoff_base = common::SimDuration::seconds(30);
+
+  WorldTweaks tweaks = mini_world();
+  tweaks.faults.kill_pilot(0, common::SimDuration::minutes(1));
+
+  const auto r = run_campaign_trial(spec, 7, tweaks);
+  ASSERT_TRUE(r.success);
+  EXPECT_GE(r.report.recovery.pilots_lost, 1u);
+  EXPECT_GE(r.report.recovery.pilots_resubmitted, 1u);
+  // The replacement joined the shared pool instead of dangling outside it.
+  EXPECT_GE(r.report.pool.adopted, 1);
+  // The kill fed the site health tracker.
+  EXPECT_GE(r.report.health.failures, 1u);
+}
+
+TEST(CampaignAdmissionTest, AdmissionRecoveryFaultCellIsBitIdenticalAcrossJobs) {
+  CampaignSpec spec;
+  spec.n_tenants = 4;
+  spec.base_tasks = 4;
+  spec.n_pilots = 2;
+  spec.arrival.poisson_per_hour = 12.0;
+  spec.admission.enabled = true;
+  spec.admission.capacity_factor = 0.02;
+  spec.admission.max_queue_wait = common::SimDuration::minutes(30);
+  spec.recovery.enabled = true;
+  spec.breaker.enabled = true;
+  spec.breaker.min_events = 2;
+  spec.breaker.trip_threshold = 0.4;
+
+  WorldTweaks tweaks = mini_world();
+  tweaks.faults.kill_pilot(1, common::SimDuration::minutes(2));
+  tweaks.faults.flap_site("beta-sim", common::SimDuration::minutes(5),
+                          common::SimDuration::minutes(5), common::SimDuration::minutes(15), 3);
+
+  const auto serial = run_campaign_cell(spec, 3, 60, tweaks, 1);
+  EXPECT_NE(serial.checksum, 0u);
+  for (int jobs : {2, 4}) {
+    const auto parallel = run_campaign_cell(spec, 3, 60, tweaks, jobs);
+    EXPECT_EQ(parallel.checksum, serial.checksum) << "jobs " << jobs;
+    EXPECT_EQ(parallel.tenants_shed, serial.tenants_shed) << "jobs " << jobs;
+    EXPECT_EQ(parallel.tenants_admitted, serial.tenants_admitted) << "jobs " << jobs;
+    EXPECT_EQ(parallel.failures, serial.failures) << "jobs " << jobs;
+  }
+}
+
+TEST(CampaignTest, AdversarialWeightsStillRespectStarvationBound) {
+  // Property: for every tenant, at most sum of the *other* tenants' weights
+  // dispatches pass it by between two of its own — even when the weights
+  // are chosen to drown the weight-1 tenant, and across several seeds.
+  CampaignSpec spec;
+  spec.n_tenants = 4;
+  spec.base_tasks = 4;
+  spec.n_pilots = 2;
+  spec.arrival.fixed_spacing = common::SimDuration::minutes(2);
+  spec.weights = {1, 16, 64, 16};
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto r = run_campaign_trial(spec, seed, quick_world());
+    ASSERT_TRUE(r.success) << "seed " << seed;
+    int total_weight = 0;
+    for (const auto& s : r.report.fair_share) total_weight += s.weight;
+    for (const auto& s : r.report.fair_share) {
+      const auto bound = static_cast<std::uint64_t>(total_weight - s.weight);
+      EXPECT_LE(s.max_dispatch_gap, bound) << "seed " << seed << " tenant " << s.tenant;
+      EXPECT_GT(s.dispatched, 0u) << "seed " << seed << " tenant " << s.tenant;
+    }
+  }
+}
+
 TEST(CampaignTest, PoissonArrivalsAreSeededAndOrdered) {
   CampaignSpec spec;
   spec.n_tenants = 6;

@@ -113,6 +113,41 @@ TEST(FaultPlan, ParsesAllSectionKinds) {
   EXPECT_FALSE(plan->empty());
 }
 
+TEST(FaultPlan, FlapExpandsToPeriodicOutages) {
+  FaultPlan plan;
+  plan.flap_site("flappy", SimDuration::minutes(5), SimDuration::minutes(2),
+                 SimDuration::minutes(10), 3);
+  ASSERT_EQ(plan.events().size(), 3u);
+  for (int k = 0; k < 3; ++k) {
+    const auto& e = plan.events()[static_cast<std::size_t>(k)];
+    EXPECT_EQ(e.kind, FaultKind::kSiteOutage);
+    EXPECT_EQ(e.site, "flappy");
+    EXPECT_EQ(e.start, SimDuration::minutes(5) + SimDuration::minutes(10) * double(k));
+    EXPECT_EQ(e.duration, SimDuration::minutes(2));
+  }
+  // Degenerate arguments add nothing.
+  FaultPlan noop;
+  noop.flap_site("x", SimDuration::zero(), SimDuration::minutes(2), SimDuration::minutes(1), 3);
+  noop.flap_site("x", SimDuration::zero(), SimDuration::zero(), SimDuration::minutes(1), 3);
+  noop.flap_site("x", SimDuration::zero(), SimDuration::minutes(1), SimDuration::minutes(2), 0);
+  EXPECT_TRUE(noop.empty());
+}
+
+TEST(FaultPlan, ParsesFlapSection) {
+  const auto config = common::Config::parse(
+      "[fault.flap]\n"
+      "site = trestles-sim\n"
+      "start_s = 60\n"
+      "duration_s = 120\n"
+      "period_s = 600\n"
+      "count = 4\n");
+  ASSERT_TRUE(config.ok()) << config.error();
+  const auto plan = FaultPlan::parse(*config);
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_EQ(plan->events().size(), 4u);
+  EXPECT_EQ(plan->events()[3].start, SimDuration::seconds(60) + SimDuration::seconds(600) * 3.0);
+}
+
 TEST(FaultPlan, ParseRejectsBadInput) {
   auto parse = [](const std::string& text) {
     auto config = common::Config::parse(text);
@@ -123,6 +158,8 @@ TEST(FaultPlan, ParseRejectsBadInput) {
   EXPECT_FALSE(parse("[fault.kill]\nafter_s = 60\n").ok());          // missing pilot
   EXPECT_FALSE(parse("[fault.outage]\nsite = x\n").ok());            // missing duration
   EXPECT_FALSE(parse("[fault.meteor]\nsize = large\n").ok());        // unknown kind
+  EXPECT_FALSE(  // flap period must exceed duration
+      parse("[fault.flap]\nsite = x\nduration_s = 60\nperiod_s = 30\ncount = 2\n").ok());
 }
 
 TEST(FaultStats, SinceComputesPerFieldDelta) {

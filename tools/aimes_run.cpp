@@ -70,6 +70,16 @@ struct Args {
   int campaign = 0;
   exp::ArrivalSpec arrival;
   exp::CampaignMode campaign_mode = exp::CampaignMode::kSharedPool;
+  // Admission ladder and site circuit breakers (campaign only). Any --quota/
+  // --slo knob arms admission; any --breaker-* knob arms the breakers.
+  bool admission = false;
+  core::TenantQuota quota;
+  core::SloClass slo = core::SloClass::kStandard;
+  double max_queue_wait_s = 0.0;  // 0 keeps the policy default
+  bool breaker = false;
+  double breaker_threshold = 0.0;   // 0 keeps the policy default
+  int breaker_min_events = 0;       // 0 keeps the policy default
+  double breaker_cooldown_s = 0.0;  // 0 keeps the policy default
 };
 
 common::Expected<Args> parse_args(int argc, char** argv) {
@@ -136,6 +146,54 @@ common::Expected<Args> parse_args(int argc, char** argv) {
                       }
                       return {};
                     });
+  cli.flag("--admission", args.admission,
+           "campaign: arm the SLO-aware admission ladder\n"
+           "(admit -> queue -> degrade -> shed)");
+  cli.custom_option("--quota", "C[:U[:H]]",
+                    "campaign: per-tenant quota as concurrent cores,\n"
+                    "optionally :units and :core-hours (0 = unlimited);\n"
+                    "implies --admission",
+                    [&args](const std::string& value) -> common::Status {
+                      std::string rest = value;
+                      double parts[3] = {0.0, 0.0, 0.0};
+                      for (int i = 0; i < 3 && !rest.empty(); ++i) {
+                        const auto colon = rest.find(':');
+                        auto field = common::cli::parse_double(rest.substr(0, colon), 0.0, 1e12);
+                        if (!field) return common::Status::error(field.error());
+                        parts[i] = *field;
+                        if (colon == std::string::npos) break;
+                        rest = rest.substr(colon + 1);
+                      }
+                      args.quota.max_cores = static_cast<int>(parts[0]);
+                      args.quota.max_concurrent_units = static_cast<int>(parts[1]);
+                      args.quota.max_core_hours = parts[2];
+                      return {};
+                    });
+  cli.custom_option("--slo", "CLASS",
+                    "campaign: declared tenant SLO class, interactive |\n"
+                    "standard | batch (standard); implies --admission",
+                    [&args](const std::string& value) -> common::Status {
+                      if (value == "interactive") args.slo = core::SloClass::kInteractive;
+                      else if (value == "standard") args.slo = core::SloClass::kStandard;
+                      else if (value == "batch") args.slo = core::SloClass::kBatch;
+                      else return common::Status::error("expected interactive, standard, or batch");
+                      return {};
+                    });
+  cli.double_option("--max-queue-wait", args.max_queue_wait_s, 1.0, 1e9,
+                    "campaign: admission queue wait bound in seconds\n"
+                    "(1800); implies --admission",
+                    "S");
+  cli.double_option("--breaker-threshold", args.breaker_threshold, 0.01, 1.0,
+                    "campaign: EWMA failure score that trips a site's\n"
+                    "breaker (0.6); any --breaker-* arms the breakers",
+                    "X");
+  cli.int_option("--breaker-min-events", args.breaker_min_events, 1, 1000000,
+                 "campaign: events recorded at a site before its\n"
+                 "breaker may trip (3)");
+  cli.double_option("--breaker-cooldown", args.breaker_cooldown_s, 1.0, 1e9,
+                    "campaign: seconds an open breaker blocks a site\n"
+                    "before the half-open probe (600)",
+                    "S");
   cli.flag("--adaptive", args.adaptive, "enable mid-run strategy adaptation");
   cli.string_option("--fault-plan", args.fault_plan_file,
                     "fault-injection plan config ([fault.*] sections);\n"
@@ -165,6 +223,24 @@ common::Expected<Args> parse_args(int argc, char** argv) {
   cli.string_option("--emit-out", args.emit_out, "emission target ('-' = stdout)", "FILE");
   cli.flag("--verbose", args.verbose, "info-level logging");
 
+  // Mode exclusions, declared once instead of hand-checked after parsing:
+  // a campaign aggregates tenants, so the single-run artifact flags and the
+  // adaptive manager cannot apply; --emit renders the skeleton without
+  // running, so there is nothing for the observability exporters to record.
+  for (const char* single_run : {"--skeleton", "--adaptive", "--emit", "--trace", "--report",
+                                 "--timeline"}) {
+    cli.conflicts("--campaign", single_run);
+  }
+  for (const char* obs_out : {"--trace-out", "--metrics-out"}) {
+    cli.conflicts("--emit", obs_out);
+    cli.conflicts("--adaptive", obs_out);
+  }
+  for (const char* campaign_only :
+       {"--arrival", "--campaign-mode", "--admission", "--quota", "--slo", "--max-queue-wait",
+        "--breaker-threshold", "--breaker-min-events", "--breaker-cooldown"}) {
+    cli.requires_option(campaign_only, "--campaign");
+  }
+
   auto parsed = cli.parse(argc, argv);
   if (!parsed) return E::error(parsed.error());
   if (parsed->help) {
@@ -176,18 +252,10 @@ common::Expected<Args> parse_args(int argc, char** argv) {
     if (!cli.seen("--pilots")) args.pilots = 2;
     if (!cli.seen("--warmup")) args.warmup_hours = 1.0;
   }
-  if (!args.trace_out.empty() || !args.metrics_out.empty()) {
-    if (args.trials > 1) {
-      return E::error("--trace-out/--metrics-out need a single run (--trials 1); use the "
-                      "bench-obs target for sweeps");
-    }
-    if (args.adaptive) {
-      return E::error("--trace-out/--metrics-out are not wired into --adaptive yet");
-    }
-    if (!args.emit.empty()) {
-      return E::error("--emit only renders the skeleton; nothing runs, so there is no "
-                      "trace to export");
-    }
+  // Value-dependent checks the declarative pairs cannot express.
+  if (args.trials > 1 && (!args.trace_out.empty() || !args.metrics_out.empty())) {
+    return E::error("--trace-out/--metrics-out need a single run (--trials 1); use the "
+                    "bench-obs target for sweeps");
   }
   if (args.trials > 1 &&
       (!args.trace_file.empty() || !args.report_file.empty() || args.timeline ||
@@ -196,22 +264,20 @@ common::Expected<Args> parse_args(int argc, char** argv) {
         "--trials > 1 aggregates replicas; it cannot combine with the single-run "
         "artifacts --trace/--report/--timeline/--emit or with --adaptive");
   }
-  if (args.campaign == 0 && (cli.seen("--arrival") || cli.seen("--campaign-mode"))) {
-    return E::error("--arrival/--campaign-mode require --campaign N");
+  if (args.campaign > 0 && args.profile != "bag-uniform" && args.profile != "bag-gaussian") {
+    return E::error("--campaign supports the bag-uniform and bag-gaussian profiles");
   }
-  if (args.campaign > 0) {
-    if (!args.skeleton_file.empty() || args.adaptive || !args.emit.empty() ||
-        !args.trace_file.empty() || !args.report_file.empty() || args.timeline) {
-      return E::error(
-          "--campaign runs built-in bag profiles; it cannot combine with --skeleton, "
-          "--adaptive, or the single-run artifacts --trace/--report/--timeline/--emit");
-    }
-    if (args.profile != "bag-uniform" && args.profile != "bag-gaussian") {
-      return E::error("--campaign supports the bag-uniform and bag-gaussian profiles");
-    }
-    if (!args.fault_plan_file.empty() || args.pilot_failure_rate > 0.0) {
-      return E::error("--campaign does not take fault injection flags yet");
-    }
+  if (cli.seen("--quota") || cli.seen("--slo") || cli.seen("--max-queue-wait")) {
+    args.admission = true;
+  }
+  if (cli.seen("--breaker-threshold") || cli.seen("--breaker-min-events") ||
+      cli.seen("--breaker-cooldown")) {
+    args.breaker = true;
+  }
+  if (args.campaign_mode == exp::CampaignMode::kSequential && (args.admission || args.breaker)) {
+    return E::error(
+        "--campaign-mode sequential runs tenants one at a time through the single-app "
+        "path, which has no admission controller or site breakers; use shared or private");
   }
   return args;
 }
@@ -259,9 +325,43 @@ int run_campaign(const Args& args) {
   spec.n_pilots = args.pilots;
   spec.arrival = args.arrival;
   spec.mode = args.campaign_mode;
+  spec.admission.enabled = args.admission;
+  if (args.max_queue_wait_s > 0.0) {
+    spec.admission.max_queue_wait = common::SimDuration::seconds(args.max_queue_wait_s);
+  }
+  if (args.admission) {
+    spec.slos = {args.slo};
+    spec.quotas = {args.quota};
+  }
+  spec.breaker.enabled = args.breaker;
+  if (args.breaker_threshold > 0.0) spec.breaker.trip_threshold = args.breaker_threshold;
+  if (args.breaker_min_events > 0) spec.breaker.min_events = args.breaker_min_events;
+  if (args.breaker_cooldown_s > 0.0) {
+    spec.breaker.cooldown = common::SimDuration::seconds(args.breaker_cooldown_s);
+  }
 
   exp::WorldTweaks tweaks;
   tweaks.warmup = common::SimDuration::hours(args.warmup_hours);
+  if (!args.fault_plan_file.empty()) {
+    auto file = common::Config::load(args.fault_plan_file);
+    if (!file) {
+      std::fprintf(stderr, "fault plan: %s\n", file.error().c_str());
+      return 1;
+    }
+    auto plan = sim::FaultPlan::parse(*file);
+    if (!plan) {
+      std::fprintf(stderr, "fault plan: %s\n", plan.error().c_str());
+      return 1;
+    }
+    tweaks.faults = std::move(*plan);
+  }
+  if (args.pilot_failure_rate > 0.0) {
+    auto rates = tweaks.faults.rates();
+    rates.pilot_launch_failure = args.pilot_failure_rate;
+    tweaks.faults.with_rates(rates);
+  }
+  // As in single-run mode, any requested fault arms pilot recovery.
+  spec.recovery.enabled = !tweaks.faults.empty();
   const bool obs_on = !args.trace_out.empty() || !args.metrics_out.empty();
   tweaks.observability.enabled = obs_on;
   tweaks.observability.sample_interval =
@@ -290,6 +390,12 @@ int run_campaign(const Args& args) {
     std::printf("  %d trials: makespan mean %.0f s (stddev %.0f) | tenant TTC mean %.0f s\n",
                 args.trials, cell.makespan_s.mean(), cell.makespan_s.stddev(),
                 cell.tenant_ttc_s.mean());
+    if (spec.admission.enabled) {
+      std::printf("  admission: %zu admitted, %zu shed | queue wait mean %.0f s | "
+                  "goodput mean %.1f units/h\n",
+                  cell.tenants_admitted, cell.tenants_shed, cell.admission_wait_s.mean(),
+                  cell.goodput_uph.mean());
+    }
     std::printf("  failed trials: %zu of %d | checksum %016llx\n", cell.failures,
                 args.trials, static_cast<unsigned long long>(cell.checksum));
     return cell.failures == static_cast<std::size_t>(args.trials) ? 1 : 0;
@@ -308,11 +414,39 @@ int run_campaign(const Args& args) {
     return trial.success ? 0 : 1;
   }
   for (const auto& t : trial.report.tenants) {
+    if (t.admission == core::AdmissionOutcome::kShed) {
+      std::printf("  %s (w%d): SHED (%s) after %s queued\n", t.name.c_str(), t.weight,
+                  core::to_string(t.shed_reason), t.admission_wait.str().c_str());
+      continue;
+    }
     std::printf("  %s (w%d): %zu done, TTC %s (Tw %s Tx %s Ts %s), pilots %d (%d reused)%s%s\n",
                 t.name.c_str(), t.weight, t.units_done, t.ttc.ttc.str().c_str(),
                 t.ttc.tw.str().c_str(), t.ttc.tx.str().c_str(), t.ttc.ts.str().c_str(),
                 t.pilots_leased, t.pilots_reused, t.error.empty() ? "" : " | ERROR: ",
                 t.error.c_str());
+    if (t.admission == core::AdmissionOutcome::kAdmittedDegraded ||
+        t.admission_wait > common::SimDuration::zero()) {
+      std::printf("    admission: %s, %d pilot(s) granted, queued %s, slo %s\n",
+                  core::to_string(t.admission), t.granted_pilots, t.admission_wait.str().c_str(),
+                  core::to_string(t.slo));
+    }
+  }
+  if (trial.report.admission.requests > 0) {
+    std::printf("  admission: %llu requests | %llu admitted, %llu degraded, %llu queued, "
+                "%llu shed\n",
+                static_cast<unsigned long long>(trial.report.admission.requests),
+                static_cast<unsigned long long>(trial.report.admission.admitted),
+                static_cast<unsigned long long>(trial.report.admission.degraded),
+                static_cast<unsigned long long>(trial.report.admission.queued),
+                static_cast<unsigned long long>(trial.report.admission.shed));
+  }
+  if (trial.report.health.trips > 0 || trial.report.recovery.pilots_lost > 0) {
+    std::printf("  health: %llu failures seen, %llu breaker trip(s), %llu probe(s) | "
+                "recovery: %zu lost, %zu resubmitted\n",
+                static_cast<unsigned long long>(trial.report.health.failures),
+                static_cast<unsigned long long>(trial.report.health.trips),
+                static_cast<unsigned long long>(trial.report.health.half_opens),
+                trial.report.recovery.pilots_lost, trial.report.recovery.pilots_resubmitted);
   }
   std::printf("  pool: %d launched, %d leases served from running pilots, %d idled out\n",
               trial.report.pool.launched, trial.report.pool.reused,

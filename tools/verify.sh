@@ -8,9 +8,13 @@
 #   2. Observability smoke: aimes-run --quick with --trace-out/--metrics-out,
 #      then validates the Chrome trace parses as JSON and the Prometheus
 #      file is non-empty — the exporters are only exercised end to end here;
-#   3. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
+#   3. Campaign-scale smoke: bench/campaign_scale --quick, whose exit code
+#      enforces the admission shape checks (goodput ratio, wait bound, typed
+#      sheds, jobs-sweep determinism), plus greps pinning the JSON evidence
+#      fields (shed_rate, checksums, admission waits);
+#   4. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
 #      fault-injection paths are where lifetime bugs hide;
-#   4. Thread (TSan) build + the sanitize label — races in the parallel
+#   5. Thread (TSan) build + the sanitize label — races in the parallel
 #      trial runner (sim::ReplicaPool) and the campaign cell sweep.
 #
 # Exits non-zero on the first failing step. Build trees default to
@@ -46,6 +50,22 @@ test -s "$obs_metrics"
 grep -q '^# TYPE ' "$obs_metrics"
 test -s "$obs_metrics.csv"
 echo "observability artifacts OK ($obs_trace, $obs_metrics)"
+
+step "Campaign-scale smoke (admission shape checks + JSON evidence fields)"
+camp_json="$prefix-release/smoke-campaign.json"
+# The bench exits non-zero when the goodput ratio, the wait bound, the
+# typed-shed invariant, or the jobs-sweep checksum comparison fails, so the
+# run itself is the shape check; the greps pin the JSON evidence fields the
+# PR points at (BENCH_campaign.json) to the schema this script expects.
+"$prefix-release/bench/campaign_scale" --quick --json "$camp_json"
+grep -q '"shed_rate"' "$camp_json"
+grep -q '"checksum"' "$camp_json"
+grep -q '"admission_wait_max_s"' "$camp_json"
+grep -q '"deterministic_across_jobs": true' "$camp_json"
+# The committed evidence must carry the same fields the smoke just produced.
+grep -q '"shed_rate"' "$src_dir/BENCH_campaign.json"
+grep -q '"checksum"' "$src_dir/BENCH_campaign.json"
+echo "campaign-scale smoke OK ($camp_json)"
 
 step "Sanitize (ASan/UBSan) build + chaos/sanitize labels"
 cmake -S "$src_dir" -B "$prefix-asan" -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
