@@ -10,6 +10,34 @@
 
 namespace aimes::bench {
 
+/// Build flavor of the *aimes* translation units (the system benchmark
+/// library reports its own `library_build_type`, which is not ours).
+#ifdef NDEBUG
+inline constexpr const char* kBuildType = "release";
+#else
+inline constexpr const char* kBuildType = "debug";
+#endif
+
+/// Checked-in BENCH_*.json files are perf evidence; numbers from a debug
+/// build would quietly undercut every threshold they assert. Every harness
+/// calls this before recording JSON and dies unless the binary was built
+/// with NDEBUG (Release/RelWithDebInfo). AIMES_ALLOW_DEBUG_BENCH=1 is the
+/// explicit escape hatch for local experiments that never get committed.
+inline void require_release_artifacts(const char* bench) {
+  if (kBuildType[0] == 'r') return;
+  const char* allow = std::getenv("AIMES_ALLOW_DEBUG_BENCH");
+  if (allow != nullptr && allow[0] == '1') {
+    std::fprintf(stderr, "%s: WARNING: recording evidence from a DEBUG build\n", bench);
+    return;
+  }
+  std::fprintf(stderr,
+               "%s: refusing to record benchmark evidence from a debug build;\n"
+               "reconfigure with -DCMAKE_BUILD_TYPE=Release (or set\n"
+               "AIMES_ALLOW_DEBUG_BENCH=1 for a local, never-committed run)\n",
+               bench);
+  std::exit(3);
+}
+
 /// Command-line knobs common to every reproduction harness:
 ///   --trials N   trials per cell (default varies per bench; N >= 1)
 ///   --seed S     base seed (default 20160418, the paper's IPDPS date)

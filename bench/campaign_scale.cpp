@@ -214,7 +214,7 @@ int main(int argc, char** argv) {
   common::TableWriter table("Campaign scale — admission + breakers vs open door (" +
                             std::to_string(args.trials) + " trials/cell)");
   table.header({"Tenants", "Rate/h", "Faults", "Goodput x", "Shed %", "Wait p100 s",
-                "SLO viol b/p", "Base fail", "Policy fail"});
+                "SLO viol b/p", "Jain b/p", "Base fail", "Policy fail"});
   for (const auto& cell : cells) {
     table.row({std::to_string(cell.config.tenants),
                common::TableWriter::num(cell.config.rate_per_hour, 0),
@@ -227,6 +227,8 @@ int main(int argc, char** argv) {
                    0),
                std::to_string(cell.baseline.slo_violations) + "/" +
                    std::to_string(cell.policy.slo_violations),
+               common::TableWriter::num(cell.baseline.fairness.mean(), 2) + "/" +
+                   common::TableWriter::num(cell.policy.fairness.mean(), 2),
                std::to_string(cell.baseline.failures), std::to_string(cell.policy.failures)});
   }
   table.render(std::cout);
@@ -301,12 +303,14 @@ int main(int argc, char** argv) {
           << "     \"baseline\": {\"goodput_uph_mean\": " << cell.baseline.goodput_uph.mean()
           << ", \"slo_goodput_uph_mean\": " << cell.baseline.slo_goodput_uph.mean()
           << ", \"slo_violations\": " << cell.baseline.slo_violations
+          << ", \"fairness_mean\": " << cell.baseline.fairness.mean()
           << ", \"makespan_mean_s\": " << cell.baseline.makespan_s.mean()
           << ", \"failures\": " << cell.baseline.failures << ", \"checksum\": \""
           << hex_checksum(cell.baseline.checksum) << "\"},\n"
           << "     \"policy\": {\"goodput_uph_mean\": " << cell.policy.goodput_uph.mean()
           << ", \"slo_goodput_uph_mean\": " << cell.policy.slo_goodput_uph.mean()
           << ", \"slo_violations\": " << cell.policy.slo_violations
+          << ", \"fairness_mean\": " << cell.policy.fairness.mean()
           << ", \"makespan_mean_s\": " << cell.policy.makespan_s.mean()
           << ", \"tenants_admitted\": " << cell.policy.tenants_admitted
           << ", \"tenants_shed\": " << cell.policy.tenants_shed

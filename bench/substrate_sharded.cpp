@@ -1,0 +1,221 @@
+// Sharded substrate scale: the 1000-site grid across 1/2/4/8 shards.
+//
+// ISSUE 7's tentpole claim is that the event substrate scales *within one
+// trial*: a machine-room grid of ~1000 sites (each with its own batch queue
+// and background workload — millions of background jobs over the horizon)
+// partitioned across sim::ShardedEngine shards runs the SAME simulation at
+// every shard count — digests and merged span checksums bit-identical — while
+// events/sec climbs with the worker count. The sweep below runs the identical
+// grid cell at --shards 1, 2, 4 and 8 and
+//   * asserts the FNV-1a digest and the obs span checksum never move, and
+//   * records events/sec per point plus the shards-8-over-shards-1 speedup
+//     against the >= 4x target.
+// On hosts with fewer than 8 hardware threads the speedup is recorded but not
+// asserted (speedup_measurable: false) — determinism is always asserted.
+//
+// --json merges a "sharded_grid" section into BENCH_substrate.json (the
+// PR's perf evidence, next to the google-benchmark engine numbers); the
+// recording refuses to run from a non-Release build.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "exp/grid.hpp"
+
+namespace {
+
+using namespace aimes;
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+struct SweepPoint {
+  int shards = 0;
+  exp::GridCellResult cell;
+  double events_per_second = 0.0;
+};
+
+/// Merges `section` (a complete `"sharded_grid": {...}` member) into the
+/// JSON object at `path`: replaces a previous section if one is already
+/// recorded (the section is always the last member), otherwise splices it
+/// before the object's closing brace. A missing or non-object file gets a
+/// fresh standalone object, so the target works before bench-substrate-json
+/// has ever run.
+bool merge_section(const std::string& path, const std::string& section) {
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+  const auto marker = text.find("\"sharded_grid\"");
+  if (marker != std::string::npos) {
+    const auto comma = text.rfind(',', marker);
+    text.erase(comma == std::string::npos ? 0 : comma);
+  } else {
+    const auto brace = text.rfind('}');
+    if (brace == std::string::npos) {
+      text.clear();
+    } else {
+      text.erase(brace);
+      const auto end = text.find_last_not_of(" \t\n\r");
+      if (end != std::string::npos) text.erase(end + 1);
+    }
+  }
+  // No preceding members (fresh file, or the section was the whole object):
+  // open the object ourselves and skip the separating comma.
+  const bool bare = text.empty() || text == "{";
+  if (bare) text = "{";
+  std::ofstream out(path);
+  out << text << (bare ? "\n" : ",\n") << "  \"sharded_grid\": " << section << "\n}\n";
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args;
+  args.trials = 1;
+  std::string json_path;
+  int sites = 1000;
+  int horizon_minutes = 240;
+  int workers = 0;
+  common::cli::Parser cli(argc > 0 ? argv[0] : "substrate_sharded");
+  args.declare(cli);
+  cli.string_option("--json", json_path,
+                    "merge a sharded_grid section into this JSON file", "PATH");
+  cli.int_option("--sites", sites, 8, 100000, "grid sites per trial (1000)");
+  cli.int_option("--horizon-minutes", horizon_minutes, 5, 24 * 60,
+                 "background/control arrival horizon (240)");
+  cli.int_option("--workers", workers, 0, 4096,
+                 "worker threads per point (default 0 =\n"
+                 "min(shards, hardware))");
+  args.finish(cli, argc, argv);
+  if (args.quick) {
+    if (!cli.seen("--sites")) sites = 128;
+    if (!cli.seen("--horizon-minutes")) horizon_minutes = 30;
+  }
+  if (!json_path.empty()) bench::require_release_artifacts("substrate_sharded");
+
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+  const int shard_sweep[] = {1, 2, 4, 8};
+
+  std::vector<SweepPoint> points;
+  for (const int shards : shard_sweep) {
+    exp::GridSpec spec;
+    spec.sites = sites;
+    spec.shards = shards;
+    spec.workers = workers;
+    spec.horizon = common::SimDuration::minutes(horizon_minutes);
+    // Short background jobs (median ~33 s) push the grid into the
+    // event-density regime: ~1M+ submissions per default trial, so the
+    // sweep measures the substrate's throughput, not scheduler think time.
+    spec.runtime_mu = 3.5;
+    spec.runtime_sigma = 0.6;
+    spec.observability = true;
+    SweepPoint point;
+    point.shards = shards;
+    point.cell = exp::run_grid_cell(spec, args.trials, args.seed, /*jobs=*/1);
+    point.events_per_second =
+        point.cell.wall_seconds > 1e-9
+            ? static_cast<double>(point.cell.events) / point.cell.wall_seconds
+            : 0.0;
+    points.push_back(point);
+    std::fprintf(stderr,
+                 "  shards %d: %" PRIu64 " events in %.2f s (%.0f ev/s), digest %s\n",
+                 shards, point.cell.events, point.cell.wall_seconds,
+                 point.events_per_second, hex64(point.cell.digest).c_str());
+  }
+
+  bool deterministic = true;
+  for (const auto& point : points) {
+    deterministic = deterministic && point.cell.digest == points.front().cell.digest &&
+                    point.cell.obs_span_checksum == points.front().cell.obs_span_checksum;
+  }
+  const double base_eps = points.front().events_per_second;
+  const double speedup =
+      base_eps > 1e-9 ? points.back().events_per_second / base_eps : 0.0;
+  const double speedup_target = 4.0;
+  // The >= 4x single-core multiple needs 8 workers to exist; on smaller
+  // hosts the honest numbers are recorded and the assertion is waived.
+  const bool measurable = hardware >= 8 && workers == 0;
+  const bool speedup_ok = !measurable || speedup >= speedup_target;
+
+  common::TableWriter table("Sharded substrate — " + std::to_string(sites) + "-site grid, " +
+                            std::to_string(args.trials) + " trial(s)/point");
+  table.header({"Shards", "Events", "Bg jobs", "Windows", "Posts", "Wall s", "Events/s",
+                "Digest"});
+  for (const auto& point : points) {
+    table.row({std::to_string(point.shards), std::to_string(point.cell.events),
+               std::to_string(point.cell.background_jobs),
+               std::to_string(point.cell.windows), std::to_string(point.cell.posts),
+               common::TableWriter::num(point.cell.wall_seconds, 2),
+               common::TableWriter::num(point.events_per_second, 0),
+               hex64(point.cell.digest)});
+  }
+  table.render(std::cout);
+  std::cout << "\nshape check: digests + span checksums across shards 1/2/4/8 "
+            << (deterministic ? "identical" : "DIVERGED") << " | speedup x"
+            << common::TableWriter::num(speedup, 2) << " (target >= "
+            << common::TableWriter::num(speedup_target, 1) << ", "
+            << (measurable ? (speedup_ok ? "OK" : "VIOLATED")
+                           : "not asserted: < 8 hardware threads")
+            << ")\n";
+
+  if (!args.csv.empty() && !table.save_csv(args.csv)) {
+    std::fprintf(stderr, "cannot write %s\n", args.csv.c_str());
+    return 1;
+  }
+  if (!json_path.empty()) {
+    std::ostringstream section;
+    section << "{\n"
+            << "    \"bench\": \"substrate_sharded\",\n"
+            << "    \"aimes_build_type\": \"" << bench::kBuildType << "\",\n"
+            << "    \"hardware_threads\": " << hardware << ",\n"
+            << "    \"sites\": " << sites << ",\n"
+            << "    \"trials\": " << args.trials << ",\n"
+            << "    \"seed\": " << args.seed << ",\n"
+            << "    \"horizon_minutes\": " << horizon_minutes << ",\n"
+            << "    \"background_jobs\": " << points.front().cell.background_jobs << ",\n"
+            << "    \"control_jobs\": " << points.front().cell.control_jobs << ",\n"
+            << "    \"sweep\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& point = points[i];
+      section << "      {\"shards\": " << point.shards << ", \"events\": "
+              << point.cell.events << ", \"windows\": " << point.cell.windows
+              << ", \"posts\": " << point.cell.posts << ", \"wall_seconds\": "
+              << point.cell.wall_seconds << ", \"events_per_second\": "
+              << point.events_per_second << ", \"digest\": \"" << hex64(point.cell.digest)
+              << "\", \"span_checksum\": \"" << hex64(point.cell.obs_span_checksum)
+              << "\"}" << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    section << "    ],\n"
+            << "    \"deterministic_across_shards\": " << (deterministic ? "true" : "false")
+            << ",\n"
+            << "    \"speedup_shards8\": " << speedup << ",\n"
+            << "    \"speedup_target\": " << speedup_target << ",\n"
+            << "    \"speedup_measurable\": " << (measurable ? "true" : "false") << ",\n"
+            << "    \"speedup_ok\": " << (speedup_ok ? "true" : "false") << "\n"
+            << "  }";
+    if (!merge_section(json_path, section.str())) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return deterministic && speedup_ok ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+#include "cluster/shard_plan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aimes::cluster {
+
+ShardPlan ShardPlan::round_robin(std::size_t sites, std::size_t shards) {
+  ShardPlan plan;
+  plan.shards_ = std::max<std::size_t>(1, shards);
+  plan.assignment_.resize(sites);
+  for (std::size_t i = 0; i < sites; ++i) plan.assignment_[i] = i % plan.shards_;
+  return plan;
+}
+
+std::size_t ShardPlan::size_of(std::size_t shard) const {
+  assert(shard < shards_);
+  return static_cast<std::size_t>(
+      std::count(assignment_.begin(), assignment_.end(), shard));
+}
+
+}  // namespace aimes::cluster

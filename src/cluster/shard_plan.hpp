@@ -1,0 +1,38 @@
+// Shard affinity for sharded (intra-trial parallel) runs.
+//
+// A *group* — one site together with its background workload generator and
+// every site-local pilot/unit event — is the atomic unit of partitioning:
+// everything in a group shares one sim::Engine, and groups on different
+// shards interact only through ShardedEngine mailboxes. The plan is a pure
+// function of (site count, shard count): no RNG, no site properties, so the
+// same world always shards the same way and the partition never perturbs a
+// seeded run (asserted by the partitioner property test).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aimes::cluster {
+
+/// Deterministic site-index -> shard-index assignment.
+class ShardPlan {
+ public:
+  /// Round-robin assignment: site i lands on shard i % shards. Adjacent
+  /// sites of a heterogeneous testbed cycle through the shards, so big and
+  /// small machines spread evenly instead of clustering on one shard.
+  [[nodiscard]] static ShardPlan round_robin(std::size_t sites, std::size_t shards);
+
+  [[nodiscard]] std::size_t shard_of(std::size_t site_index) const {
+    return assignment_[site_index];
+  }
+  [[nodiscard]] std::size_t sites() const { return assignment_.size(); }
+  [[nodiscard]] std::size_t shards() const { return shards_; }
+  /// Number of sites assigned to `shard`.
+  [[nodiscard]] std::size_t size_of(std::size_t shard) const;
+
+ private:
+  std::vector<std::size_t> assignment_;
+  std::size_t shards_ = 1;
+};
+
+}  // namespace aimes::cluster

@@ -15,6 +15,7 @@
 // state-transition trace with the TTC decomposition.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "saga/job_service.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace aimes::core {
 
@@ -58,6 +60,22 @@ struct AimesConfig {
   /// default; when enabled, a Recorder is created with the world and every
   /// layer emits spans/metrics into it alongside the flat Profiler trace.
   obs::ObservabilityOptions observability;
+  /// Intra-trial sharding (ROADMAP item 2). 0 = the legacy single-engine
+  /// drive loop, event-for-event identical to pre-sharding builds. N >= 1
+  /// drives the world in conservative lock-step windows on a
+  /// sim::ShardedEngine of N shards: the middleware/testbed group stays on
+  /// shard 0 and `grid_sites` ambient sites spread across all shards.
+  /// Reports, aggregates, and span checksums are bit-identical for every
+  /// N >= 1 (asserted by the sharded differential tests).
+  int shards = 0;
+  /// Ambient machine-room sites beyond the testbed: background weather the
+  /// planner never targets (no WAN links, no bundle agents), partitioned
+  /// across the shards by a cluster::ShardPlan. This is the load a sharded
+  /// Aimes run parallelizes.
+  int grid_sites = 0;
+  /// Worker threads for sharded runs (0 = min(shards, hardware)). A
+  /// throughput knob only: it never affects simulation results.
+  int shard_workers = 0;
 };
 
 /// Result of a full run, including the trace.
@@ -96,7 +114,12 @@ class Aimes {
   void start();
 
   // --- Component access (the virtual laboratory's instruments) ---
+  /// The middleware shard's engine (shard 0; the only shard unless the
+  /// config asked for more).
   [[nodiscard]] sim::Engine& engine() { return engine_; }
+  /// The sharded substrate (a single-shard coordinator in legacy mode).
+  /// Aggregated stats — executed(), peak_queued() — cover every shard.
+  [[nodiscard]] sim::ShardedEngine& world() { return sharded_; }
   [[nodiscard]] cluster::Testbed& testbed() { return *testbed_; }
   [[nodiscard]] bundle::BundleManager& bundles() { return bundle_manager_; }
   [[nodiscard]] net::StagingService& staging() { return *staging_; }
@@ -129,6 +152,11 @@ class Aimes {
   common::Expected<CampaignRunResult> run_campaign(std::vector<CampaignTenantSpec> tenants,
                                                    const CampaignOptions& options);
 
+  /// Advances the whole world (every shard) to absolute time `t`; no-op when
+  /// `t` is in the past. Callers that used to drive `engine().run_until()`
+  /// between runs should use this so sharded worlds stay in lock-step.
+  void run_world_until(common::SimTime t);
+
   /// Staged dynamic execution (paper §V): the application runs stage by
   /// stage; before *each* stage the planner re-derives a strategy sized to
   /// that stage from the bundle's *current* information, so the coupling
@@ -140,8 +168,20 @@ class Aimes {
                                                    const PlannerConfig& planner);
 
  private:
+  /// Drives virtual time forward while `keep_going()` holds: the legacy
+  /// step loop when config_.shards == 0, conservative windows otherwise.
+  /// Returns false if the world ran out of events first.
+  bool run_world_while(const std::function<bool()>& keep_going);
+  /// Advances the whole world (every shard) by `duration`.
+  void run_world_for(common::SimDuration duration);
+
   AimesConfig config_;
-  sim::Engine engine_;
+  sim::ShardedEngine sharded_;
+  /// Shard 0: the middleware, testbed, topology, and staging all live here.
+  sim::Engine& engine_;
+  /// Ambient grid sites (config_.grid_sites), partitioned across shards.
+  std::vector<std::unique_ptr<cluster::ClusterSite>> grid_sites_;
+  std::vector<std::unique_ptr<cluster::WorkloadGenerator>> grid_load_;
   std::unique_ptr<obs::Recorder> recorder_;
   std::unique_ptr<sim::FaultInjector> fault_injector_;
   std::unique_ptr<cluster::Testbed> testbed_;

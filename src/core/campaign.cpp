@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "core/metrics.hpp"
 
 namespace aimes::core {
 
@@ -471,6 +472,14 @@ void CampaignExecutor::maybe_finalize() {
   pool_->drain();
   report_.pool = pool_->stats();
   report_.fair_share = units_->tenant_stats();
+  // Weight-normalize before folding: a weight-2 tenant *should* get twice
+  // the core-hours, and that must read as fairness 1.0, not as skew.
+  std::vector<double> shares;
+  for (const Tenant& t : tenants_) {
+    if (t.report.admission == AdmissionOutcome::kShed || !t.report.planned) continue;
+    shares.push_back(t.report.useful_core_hours / std::max(1, t.report.weight));
+  }
+  report_.fairness_index = jain_fairness(shares);
   if (admission_ != nullptr) report_.admission = admission_->stats();
   report_.health = health_->stats();
   if (recovery_ != nullptr) report_.recovery = recovery_->stats();

@@ -151,6 +151,11 @@ struct CampaignReport {
   pilot::PilotPoolStats pool;
   /// Fair-share accounting per tenant id (dispatches, max starvation gap).
   std::vector<pilot::TenantStats> fair_share;
+  /// Jain's fairness index over the admitted tenants' weight-normalized
+  /// useful core-hours (x_i = useful_core_hours_i / weight_i): 1.0 = every
+  /// tenant got its weighted share, 1/n = one tenant took everything. Shed
+  /// tenants are excluded — admission fairness is reported separately.
+  double fairness_index = 1.0;
   /// Admission ladder accounting (all zeros when admission is disabled).
   AdmissionStats admission;
   /// Circuit-breaker accounting across every site.

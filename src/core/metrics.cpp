@@ -4,6 +4,17 @@
 
 namespace aimes::core {
 
+double jain_fairness(const std::vector<double>& shares) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (shares.empty() || sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
 RunMetrics compute_run_metrics(const pilot::Profiler& trace, const pilot::PilotManager& pilots,
                                const pilot::UnitManager& units,
                                const std::vector<SiteRates>& rates, common::SimTime now) {

@@ -18,6 +18,8 @@
 //  * energy            — Σ per-site watts/core × consumed core-time.
 #pragma once
 
+#include <vector>
+
 #include "core/strategy.hpp"
 #include "pilot/pilot_manager.hpp"
 #include "pilot/profiler.hpp"
@@ -54,6 +56,15 @@ struct SiteRates {
   double charge_per_core_hour = 1.0;
   double watts_per_core = 10.0;
 };
+
+/// Jain's fairness index over per-tenant allocations:
+///   J(x) = (sum x)^2 / (n * sum x^2),  in (0, 1]
+/// 1.0 means every tenant received an identical share, 1/n means one tenant
+/// took everything. Pass *weight-normalized* shares (x_i = received_i /
+/// weight_i) so that intentionally unequal fair-share weights do not read as
+/// unfairness. Degenerate inputs (empty, or all-zero) return 1.0 — nothing
+/// was distributed, so nothing was distributed unfairly.
+[[nodiscard]] double jain_fairness(const std::vector<double>& shares);
 
 /// Computes the metrics for a finished run. `now` bounds pilots that are
 /// still tearing down; the trace and unit manager provide the useful-work

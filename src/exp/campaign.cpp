@@ -120,6 +120,9 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   config.execution.units.unit_failure_probability = tweaks.unit_failure_probability;
   config.faults = tweaks.faults;
   config.observability = tweaks.observability;
+  config.shards = tweaks.shards;
+  config.grid_sites = tweaks.grid_sites;
+  config.shard_workers = tweaks.shard_workers;
 
   core::Aimes aimes(config);
   aimes.start();
@@ -138,7 +141,7 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
     result.success = true;
     for (int i = 0; i < spec.n_tenants; ++i) {
       const common::SimTime arrival = start + arrivals[static_cast<std::size_t>(i)];
-      if (arrival > aimes.engine().now()) aimes.engine().run_until(arrival);
+      aimes.run_world_until(arrival);
       const auto app = make_tenant_app(spec, i, seed);
       auto run = aimes.run(app, planner);
       common::SimTime finish = aimes.engine().now();
@@ -241,6 +244,9 @@ CampaignCellResult run_campaign_cell(const CampaignSpec& spec, int n_trials,
         cell.admission_wait_s.add(t.admission_wait.to_seconds());
       }
     }
+    // Sequential-mode trials leave `report` default-constructed; only trials
+    // that actually multiplexed tenants carry a meaningful fairness sample.
+    if (!r.report.tenants.empty()) cell.fairness.add(r.report.fairness_index);
     if (r.makespan > common::SimDuration::zero()) {
       cell.goodput_uph.add(static_cast<double>(r.report.units_done()) /
                            r.makespan.to_hours());

@@ -130,6 +130,11 @@ struct CampaignCellResult {
   std::size_t slo_violations = 0;
   /// Admission-queue wait per tenant that waited at all (seconds).
   common::Summary admission_wait_s;
+  /// Jain's fairness index over admitted tenants' weight-normalized useful
+  /// core-hours (core::jain_fairness), one sample per shared/private-mode
+  /// trial: did the arbiter's weighted round-robin actually deliver each
+  /// tenant its share of the pool?
+  common::Summary fairness;
   /// FNV-1a over every trial's success flag, makespan, per-tenant TTCs,
   /// admission outcomes/shed reasons and waits (raw milliseconds), in trial
   /// order — the bit-identity witness the determinism tests and bench

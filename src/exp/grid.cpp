@@ -1,0 +1,328 @@
+#include "exp/grid.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "cluster/shard_plan.hpp"
+#include "cluster/site.hpp"
+#include "cluster/workload.hpp"
+#include "common/rng.hpp"
+#include "net/sharded_stager.hpp"
+#include "net/topology.hpp"
+#include "net/transfer.hpp"
+#include "obs/recorder.hpp"
+#include "sim/replica_pool.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace aimes::exp {
+
+namespace {
+
+constexpr std::uint64_t kFnvBasis = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+struct Fnv {
+  std::uint64_t h = kFnvBasis;
+  void add(std::uint64_t x) {
+    h ^= x;
+    h *= kFnvPrime;
+  }
+};
+
+/// The heterogeneous WAN link cycle (same shape core::Aimes defaults to);
+/// the 25 ms entry is the topology's min latency, i.e. the lookahead.
+net::LinkSpec grid_link(std::size_t site_index) {
+  static constexpr double kMiBs[] = {400.0, 250.0, 150.0, 80.0, 300.0};
+  static constexpr std::int64_t kLatencyMs[] = {25, 40, 55, 70, 35};
+  const std::size_t k = site_index % 5;
+  net::LinkSpec link;
+  link.capacity = common::Bandwidth::mib_per_sec(kMiBs[k]);
+  link.latency = common::SimDuration::millis(kLatencyMs[k]);
+  return link;
+}
+
+/// One site's group: everything here lives on one shard's engine.
+struct GridSite {
+  std::unique_ptr<cluster::ClusterSite> site;
+  std::unique_ptr<cluster::WorkloadGenerator> workload;
+  std::unique_ptr<obs::Recorder> recorder;  // per *group*, not per shard
+  /// Control jobs this site received / finished (written on the site's
+  /// shard during the run, read by the coordinator after it).
+  std::uint64_t control_received = 0;
+  std::uint64_t control_finished = 0;
+};
+
+/// The whole sharded world of one trial.
+class ShardedGrid {
+ public:
+  ShardedGrid(const GridSpec& spec, std::uint64_t seed);
+
+  GridTrialResult run();
+
+ private:
+  void launch_control_job();
+  void schedule_next_control();
+
+  const GridSpec& spec_;
+  /// Declared (and thus constructed) before engines_: the engine options
+  /// lambda derives the lookahead from the already-built topology.
+  net::Topology topology_;
+  sim::ShardedEngine engines_;
+  cluster::ShardPlan plan_;
+  std::unique_ptr<net::TransferManager> transfers_;
+  std::unique_ptr<net::ShardedStager> stager_;
+  std::vector<GridSite> sites_;
+  std::unique_ptr<obs::Recorder> driver_recorder_;
+
+  // Origin-side campaign driver state: shard 0 events only.
+  common::Rng driver_rng_;
+  std::uint64_t control_launched_ = 0;
+  std::uint64_t control_completed_ = 0;
+  std::uint64_t control_failed_ = 0;
+  std::unordered_map<std::uint64_t, obs::SpanId> control_spans_;
+};
+
+sim::ShardedEngine::Options engine_options(const GridSpec& spec,
+                                           const net::Topology& topology) {
+  sim::ShardedEngine::Options options;
+  options.shards = spec.shards < 1 ? 1 : static_cast<std::size_t>(spec.shards);
+  options.workers = spec.workers < 0 ? 1 : static_cast<std::size_t>(spec.workers);
+  options.lookahead = topology.min_latency();
+  if (options.lookahead <= common::SimDuration::zero()) {
+    options.lookahead = common::SimDuration::millis(25);
+  }
+  return options;
+}
+
+ShardedGrid::ShardedGrid(const GridSpec& spec, std::uint64_t seed)
+    : spec_(spec),
+      engines_([&] {
+        // The topology (and thus the lookahead) is a pure function of the
+        // spec; build it before the engines need it.
+        for (int i = 0; i < spec.sites; ++i) {
+          topology_.add_site(common::SiteId(static_cast<std::uint64_t>(i) + 1),
+                             grid_link(static_cast<std::size_t>(i)));
+        }
+        return engine_options(spec, topology_);
+      }()),
+      plan_(cluster::ShardPlan::round_robin(static_cast<std::size_t>(spec.sites),
+                                            engines_.shards())),
+      driver_rng_(common::Rng::stream(seed, "grid/driver")) {
+  transfers_ = std::make_unique<net::TransferManager>(engines_.shard(0), topology_);
+  stager_ = std::make_unique<net::ShardedStager>(engines_, *transfers_, topology_);
+  if (spec_.observability) {
+    driver_recorder_ = std::make_unique<obs::Recorder>(engines_.shard(0));
+  }
+
+  cluster::WorkloadConfig load;
+  load.target_utilization = spec_.target_utilization;
+  load.runtime = common::DistributionSpec::lognormal(spec_.runtime_mu, spec_.runtime_sigma);
+  load.horizon = spec_.horizon;
+
+  sites_.resize(static_cast<std::size_t>(spec_.sites));
+  for (int i = 0; i < spec_.sites; ++i) {
+    const auto index = static_cast<std::size_t>(i);
+    const common::SiteId id(static_cast<std::uint64_t>(i) + 1);
+    sim::Engine& engine = engines_.shard(plan_.shard_of(index));
+    stager_->assign(id, plan_.shard_of(index));
+
+    cluster::SiteConfig site_config;
+    site_config.name = "grid-" + std::to_string(i);
+    site_config.nodes = spec_.nodes_per_site;
+    site_config.cores_per_node = spec_.cores_per_node;
+
+    GridSite& entry = sites_[index];
+    entry.site = std::make_unique<cluster::ClusterSite>(
+        engine, id, site_config, common::Rng::stream(seed, "grid/site/" + site_config.name));
+    entry.workload = std::make_unique<cluster::WorkloadGenerator>(
+        engine, *entry.site, load,
+        common::Rng::stream(seed, "grid/load/" + site_config.name));
+    if (spec_.observability) {
+      entry.recorder = std::make_unique<obs::Recorder>(engine);
+      entry.site->set_recorder(entry.recorder.get());
+    }
+  }
+
+  // Outage injection rides the owning shard's own queue — scheduled during
+  // setup (all clocks at zero), so no cross-shard post is needed and the
+  // schedule is identical for every shard count.
+  for (const GridOutage& outage : spec_.outages) {
+    if (outage.site_index < 0 || outage.site_index >= spec_.sites) continue;
+    const auto index = static_cast<std::size_t>(outage.site_index);
+    cluster::ClusterSite* site = sites_[index].site.get();
+    const auto duration = outage.duration;
+    engines_.shard(plan_.shard_of(index))
+        .schedule_at(common::SimTime::epoch() + outage.start,
+                     [site, duration] { site->begin_outage(duration); });
+  }
+
+  for (auto& entry : sites_) entry.workload->prime();
+  for (auto& entry : sites_) entry.workload->start();
+  if (spec_.control_jobs_per_hour > 0.0) schedule_next_control();
+}
+
+void ShardedGrid::schedule_next_control() {
+  const double mean_gap_s = 3600.0 / spec_.control_jobs_per_hour;
+  const auto gap = common::SimDuration::seconds(driver_rng_.exponential(mean_gap_s));
+  sim::Engine& origin = engines_.shard(0);
+  const common::SimTime when = origin.now() + gap;
+  if (when - common::SimTime::epoch() >= spec_.horizon) return;  // arrivals stop
+  origin.schedule_at(when, [this] {
+    launch_control_job();
+    schedule_next_control();
+  });
+}
+
+void ShardedGrid::launch_control_job() {
+  const std::size_t target = driver_rng_.index(sites_.size());
+  const std::uint64_t ticket = control_launched_++;
+  // Job shape is drawn on the driver side so it is part of the driver's
+  // deterministic stream, independent of shard packing.
+  const auto runtime = common::SimDuration::seconds(driver_rng_.uniform(60.0, 600.0));
+
+  if (driver_recorder_) {
+    control_spans_[ticket] =
+        driver_recorder_->begin_span("control-job", "grid/driver");
+  }
+
+  GridSite* slot = &sites_[target];
+  net::ShardedStager* stager = stager_.get();
+  obs::Recorder* site_recorder = slot->recorder.get();
+  const common::SiteId site_id = slot->site->id();
+  const std::uint64_t t = ticket;
+
+  auto notice = [this, t] {
+    // Back on shard 0: close the ledger (and the span) for this ticket.
+    ++control_completed_;
+    if (driver_recorder_) {
+      auto it = control_spans_.find(t);
+      if (it != control_spans_.end()) {
+        driver_recorder_->end_span(it->second);
+        control_spans_.erase(it);
+      }
+    }
+  };
+
+  auto status = stager_->stage_in(
+      site_id, spec_.stage_size,
+      [slot, stager, site_recorder, site_id, runtime, t, notice](common::SimTime) {
+        // Running on the site's shard now: the input landed, launch the job.
+        ++slot->control_received;
+        if (site_recorder != nullptr) {
+          site_recorder->instant("control-arrival", "grid/site");
+        }
+        cluster::ClusterSite* site = slot->site.get();
+        cluster::JobRequest request;
+        request.name = "ctl-" + std::to_string(t);
+        request.nodes = 1;
+        request.runtime = runtime;
+        request.walltime = runtime + common::SimDuration::minutes(30);
+        request.owner = "campaign";
+        request.on_state_change = [slot, stager, site_id, notice](const cluster::Job& job) {
+          if (!cluster::is_final(job.state)) return;
+          ++slot->control_finished;
+          stager->notify_origin(site_id, notice);
+        };
+        if (!site->submit(request)) {
+          // Site down (outage injection): report the refusal back the same
+          // mailbox path a completion would take.
+          stager->notify_origin(site_id, notice);
+        }
+      });
+  if (!status) {
+    ++control_failed_;
+    notice();
+  }
+}
+
+GridTrialResult ShardedGrid::run() {
+  GridTrialResult result;
+  const auto wall_start = std::chrono::steady_clock::now();
+  engines_.run();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  result.events = engines_.executed();
+  result.windows = engines_.windows();
+  result.posts = engines_.posted();
+  result.control_jobs = control_launched_;
+  result.control_completed = control_completed_;
+
+  if (spec_.observability) {
+    std::vector<obs::Snapshot> parts;
+    parts.reserve(sites_.size() + 1);
+    parts.push_back(driver_recorder_->snapshot());
+    for (const auto& entry : sites_) parts.push_back(entry.recorder->snapshot());
+    result.obs = obs::merge_snapshots(parts);
+  }
+
+  Fnv digest;
+  for (const auto& entry : sites_) {
+    const cluster::ClusterSite& site = *entry.site;
+    result.background_jobs += entry.workload->submitted();
+    digest.add(entry.workload->submitted());
+    digest.add(site.finished_count(cluster::JobState::kCompleted));
+    digest.add(site.finished_count(cluster::JobState::kTimeout));
+    digest.add(site.finished_count(cluster::JobState::kCancelled));
+    digest.add(site.finished_count(cluster::JobState::kPreempted));
+    digest.add(site.queue_length());
+    digest.add(static_cast<std::uint64_t>(site.free_nodes()));
+    digest.add(entry.control_received);
+    digest.add(entry.control_finished);
+    for (const cluster::WaitRecord& record : site.wait_history()) {
+      digest.add(static_cast<std::uint64_t>(record.submitted_at.count_ms()));
+      digest.add(static_cast<std::uint64_t>(record.started_at.count_ms()));
+      digest.add(static_cast<std::uint64_t>(record.nodes));
+    }
+  }
+  digest.add(control_launched_);
+  digest.add(control_completed_);
+  digest.add(control_failed_);
+  digest.add(transfers_->completed());
+  digest.add(result.events);
+  digest.add(result.posts);
+  digest.add(result.obs.span_checksum);
+  digest.add(result.obs.instant_count);
+  result.digest = digest.h;
+  return result;
+}
+
+}  // namespace
+
+GridTrialResult run_grid_trial(const GridSpec& spec, std::uint64_t seed) {
+  ShardedGrid grid(spec, seed);
+  return grid.run();
+}
+
+GridCellResult run_grid_cell(const GridSpec& spec, int n_trials, std::uint64_t base_seed,
+                             int jobs) {
+  GridCellResult cell;
+  if (n_trials <= 0) return cell;
+  sim::ReplicaPool pool(jobs < 0 ? 1u : static_cast<unsigned>(jobs));
+  const std::vector<GridTrialResult> results = pool.map<GridTrialResult>(
+      static_cast<std::size_t>(n_trials), [&](std::size_t t) {
+        return run_grid_trial(spec, base_seed + static_cast<std::uint64_t>(t) + 1);
+      });
+  Fnv digest;
+  Fnv spans;
+  for (const GridTrialResult& r : results) {
+    digest.add(r.digest);
+    spans.add(r.obs.span_checksum);
+    cell.events += r.events;
+    cell.windows += r.windows;
+    cell.posts += r.posts;
+    cell.background_jobs += r.background_jobs;
+    cell.control_jobs += r.control_jobs;
+    cell.control_completed += r.control_completed;
+    cell.wall_seconds += r.wall_seconds;
+  }
+  cell.digest = digest.h;
+  cell.obs_span_checksum = spans.h;
+  return cell;
+}
+
+}  // namespace aimes::exp

@@ -1,0 +1,105 @@
+// The sharded machine-room grid: the scale scenario of the sharded engine.
+//
+// One grid trial is a self-contained world of N heterogeneous sites, each
+// with its own batch queue and background workload, partitioned across
+// sim::ShardedEngine shards by a cluster::ShardPlan, plus an origin-side
+// campaign driver on shard 0 that continuously stages input files out to
+// random sites (shard-0 TransferManager flows) and launches a grid job on
+// each arrival; completion notices flow back the same way. Every
+// cross-shard interaction rides the stager's mailboxes, so a trial's digest
+// — an FNV-1a fold over per-site queue/wait/finish observables, the driver's
+// ledger, and the merged obs snapshot — is bit-identical for every shard
+// count, which the differential tests and the sharded substrate bench
+// assert. This is the 1000-site, millions-of-background-jobs shape of
+// ROADMAP item 2 (RADICAL-Pilot on leadership platforms sets the scale bar).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/data_size.hpp"
+#include "common/time.hpp"
+#include "obs/recorder.hpp"
+
+namespace aimes::exp {
+
+/// One injected site downtime window (times relative to the trial epoch).
+struct GridOutage {
+  int site_index = 0;
+  common::SimDuration start = common::SimDuration::hours(1);
+  common::SimDuration duration = common::SimDuration::minutes(30);
+};
+
+/// Shape of one grid trial.
+struct GridSpec {
+  int sites = 64;
+  /// Logical shard count; results are bit-identical for every value.
+  int shards = 1;
+  /// Worker threads (0 = min(shards, hardware)); a throughput knob only.
+  int workers = 0;
+  /// Per-site machine size. Small machines keep the per-site state cheap so
+  /// the site *count* carries the scale.
+  int nodes_per_site = 32;
+  int cores_per_node = 8;
+  double target_utilization = 0.95;
+  /// Background job runtime: lognormal over seconds. The default median of
+  /// ~4.5 minutes makes event density (not job length) dominate, which is
+  /// the regime the events/sec benchmark measures.
+  double runtime_mu = 5.6;
+  double runtime_sigma = 0.8;
+  /// Arrivals stop at the horizon and the trial runs until quiescent.
+  common::SimDuration horizon = common::SimDuration::hours(2);
+  /// Poisson rate of origin control jobs (stage a file to a random site,
+  /// run a job there, notice back) — the cross-shard traffic.
+  double control_jobs_per_hour = 120.0;
+  common::DataSize stage_size = common::DataSize::mib(64);
+  /// Per-group recorders (driver spans + per-site instants), merged
+  /// deterministically into the trial's Snapshot.
+  bool observability = false;
+  /// Site downtime injection (the fault-differential test drives this).
+  std::vector<GridOutage> outages;
+};
+
+/// Result of one grid trial.
+struct GridTrialResult {
+  /// FNV-1a over per-site observables (submitted, finish counts, wait
+  /// history), the driver ledger, events executed, posts routed, and the
+  /// merged span checksum, in site order — the bit-identity witness across
+  /// shard counts and `jobs` values.
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t posts = 0;
+  std::uint64_t background_jobs = 0;
+  std::uint64_t control_jobs = 0;
+  std::uint64_t control_completed = 0;
+  double wall_seconds = 0.0;
+  /// Merged per-group observability snapshot (all-zero when disabled).
+  obs::Snapshot obs;
+};
+
+/// Runs one grid trial in a fresh world derived from `seed`.
+[[nodiscard]] GridTrialResult run_grid_trial(const GridSpec& spec, std::uint64_t seed);
+
+/// Aggregate of repeated grid trials.
+struct GridCellResult {
+  /// FNV-1a fold of trial digests in seed order.
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t posts = 0;
+  std::uint64_t background_jobs = 0;
+  std::uint64_t control_jobs = 0;
+  std::uint64_t control_completed = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t obs_span_checksum = 0;
+};
+
+/// Runs `n_trials` trials (seeds base_seed+1 ...) on a sim::ReplicaPool of
+/// `jobs` workers and aggregates in seed order; bit-identical for every
+/// (jobs, shards) combination. Sharded trials already parallelize inside,
+/// so benches pick jobs == 1 with shards > 1 or vice versa.
+[[nodiscard]] GridCellResult run_grid_cell(const GridSpec& spec, int n_trials,
+                                           std::uint64_t base_seed, int jobs = 1);
+
+}  // namespace aimes::exp

@@ -13,8 +13,8 @@ namespace {
 /// is the caller's measurement (simulation wall clock, not setup).
 EngineStats engine_stats(core::Aimes& aimes, double wall_seconds) {
   EngineStats stats;
-  stats.events_executed = aimes.engine().executed();
-  stats.peak_queued = aimes.engine().peak_queued();
+  stats.events_executed = aimes.world().executed();
+  stats.peak_queued = aimes.world().peak_queued();
   stats.wall_seconds = wall_seconds;
   stats.events_per_second =
       wall_seconds > 1e-9 ? static_cast<double>(stats.events_executed) / wall_seconds : 0.0;
@@ -31,6 +31,9 @@ TrialResult run_trial(const ExperimentSpec& experiment, int tasks, std::uint64_t
   config.execution.units.unit_failure_probability = tweaks.unit_failure_probability;
   config.faults = tweaks.faults;
   config.observability = tweaks.observability;
+  config.shards = tweaks.shards;
+  config.grid_sites = tweaks.grid_sites;
+  config.shard_workers = tweaks.shard_workers;
 
   const auto wall_start = std::chrono::steady_clock::now();
   core::Aimes aimes(config);

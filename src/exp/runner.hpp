@@ -77,6 +77,17 @@ struct WorldTweaks {
   /// Also render the Chrome-trace/Prometheus/CSV artifacts into the trial's
   /// Snapshot (they can be large; summaries are always filled).
   bool obs_artifacts = false;
+  /// Intra-trial sharding, forwarded to core::AimesConfig: 0 = legacy
+  /// single-engine drive; N >= 1 = conservative-window drive on N shard
+  /// engines, bit-identical for every N (the `--shards` axis, orthogonal to
+  /// the across-trial `jobs` axis).
+  int shards = 0;
+  /// Ambient background sites spread across the shards (the load a sharded
+  /// trial parallelizes); 0 keeps the world exactly the legacy shape.
+  int grid_sites = 0;
+  /// Worker threads per sharded trial (0 = min(shards, hardware)); wall
+  /// clock only, never results. Benches sweeping `jobs` keep this at 1.
+  int shard_workers = 0;
 };
 
 /// Runs one trial in a fresh world derived from `seed`.

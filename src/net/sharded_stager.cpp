@@ -1,0 +1,48 @@
+#include "net/sharded_stager.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace aimes::net {
+
+ShardedStager::ShardedStager(sim::ShardedEngine& engines, TransferManager& transfers,
+                             const Topology& topology)
+    : engines_(engines), transfers_(transfers), topology_(topology) {}
+
+void ShardedStager::assign(SiteId site, std::size_t shard) {
+  assert(shard < engines_.shards());
+  shard_of_[site] = shard;
+}
+
+std::size_t ShardedStager::shard_of(SiteId site) const {
+  auto it = shard_of_.find(site);
+  return it == shard_of_.end() ? 0 : it->second;
+}
+
+Expected<common::TransferId> ShardedStager::stage_in(
+    SiteId site, DataSize size, std::function<void(common::SimTime)> deliver) {
+  const auto link = topology_.link(site, Direction::kIn);
+  if (!link) return Expected<common::TransferId>::error(link.error());
+  const common::SimDuration latency = link->latency;
+  const std::size_t dst = shard_of(site);
+  return transfers_.start(
+      site, Direction::kIn, size,
+      [this, site, dst, latency, deliver = std::move(deliver)](const TransferDone& done) {
+        // The flow finished on shard 0; the site's group learns of it one
+        // in-link latency later. latency >= topology.min_latency() ==
+        // lookahead, so the conservative post contract holds for every site.
+        const common::SimTime arrival = done.finished_at + latency;
+        engines_.post(0, dst, site.value() * 2, arrival,
+                      [deliver, arrival] { deliver(arrival); });
+      });
+}
+
+void ShardedStager::notify_origin(SiteId site, std::function<void()> fn) {
+  const auto link = topology_.link(site, Direction::kOut);
+  assert(link.ok() && "notify_origin: site has no registered out-link");
+  const std::size_t src = shard_of(site);
+  const common::SimTime when = engines_.shard(src).now() + link->latency;
+  engines_.post(src, 0, site.value() * 2 + 1, when, std::move(fn));
+}
+
+}  // namespace aimes::net

@@ -1,0 +1,68 @@
+// Cross-shard routing of transfers and control messages.
+//
+// In a sharded run the TransferManager (and the whole origin/control group)
+// lives on shard 0, while sites live wherever the ShardPlan put them. The
+// stager is the boundary adapter: the WAN transfer itself runs as a shard-0
+// fluid-model flow, and the *arrival* — the moment the destination site
+// learns the data landed — crosses shards as a mailbox message delayed by
+// that site's own link latency. Because the lookahead is the topology's
+// minimum latency, every such message satisfies the conservative contract by
+// construction; the stager asserts it anyway.
+//
+// Streams: the origin->site direction uses stream id `2 * site.value()` and
+// the site->origin direction `2 * site.value() + 1`. A stream's sequence
+// counter must count one logical sender's posts regardless of how groups
+// are packed onto shards — folding both directions of a site into one
+// stream would merge their counters exactly when the site shares shard 0
+// with the origin (e.g. at --shards 1) and break packing independence.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+
+#include "common/id.hpp"
+#include "net/topology.hpp"
+#include "net/transfer.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace aimes::net {
+
+class ShardedStager {
+ public:
+  /// All references must outlive the stager. `transfers` must run on
+  /// `engines.shard(0)` — the origin/control shard.
+  ShardedStager(sim::ShardedEngine& engines, TransferManager& transfers,
+                const Topology& topology);
+
+  ShardedStager(const ShardedStager&) = delete;
+  ShardedStager& operator=(const ShardedStager&) = delete;
+
+  /// Declares which shard hosts `site`'s group.
+  void assign(SiteId site, std::size_t shard);
+
+  [[nodiscard]] std::size_t shard_of(SiteId site) const;
+
+  /// Starts an origin -> site transfer on the shard-0 channel; when the last
+  /// byte arrives, `deliver` runs *on the site's shard* one in-link latency
+  /// later (the unpack handshake that carries the arrival across the shard
+  /// boundary). Call from shard 0 only.
+  Expected<common::TransferId> stage_in(SiteId site, DataSize size,
+                                        std::function<void(common::SimTime)> deliver);
+
+  /// Posts a control notice from `site`'s shard back to the origin shard,
+  /// delayed by the site's out-link latency. Call from the site's shard only
+  /// (typically a job-completion callback). Thread-safe with respect to
+  /// other shards because it only reads the (setup-frozen) shard map and
+  /// appends to the calling shard's own outbox.
+  void notify_origin(SiteId site, std::function<void()> fn);
+
+ private:
+  sim::ShardedEngine& engines_;
+  TransferManager& transfers_;
+  const Topology& topology_;
+  /// Frozen after world setup; concurrent reads from site shards are safe.
+  std::unordered_map<SiteId, std::size_t> shard_of_;
+};
+
+}  // namespace aimes::net

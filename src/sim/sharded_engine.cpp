@@ -1,0 +1,233 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+namespace aimes::sim {
+
+namespace {
+std::size_t resolve_workers(std::size_t requested, std::size_t shards) {
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    requested = hw == 0 ? 1 : hw;
+  }
+  return std::max<std::size_t>(1, std::min(requested, shards));
+}
+}  // namespace
+
+ShardedEngine::ShardedEngine(Options options)
+    : lookahead_(options.lookahead),
+      workers_(resolve_workers(options.workers, std::max<std::size_t>(1, options.shards))),
+      barrier_(resolve_workers(options.workers, std::max<std::size_t>(1, options.shards))) {
+  assert(options.lookahead > common::SimDuration::zero());
+  const std::size_t n = std::max<std::size_t>(1, options.shards);
+  engines_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) engines_.push_back(std::make_unique<Engine>());
+  outboxes_.resize(n);
+  stream_seq_.resize(n);
+  // Workers 1..W-1 are spawned up front and park on the cv between run_*
+  // batches; the caller's thread is worker 0.
+  for (std::size_t w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (!threads_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+  }
+  // jthread destructors join.
+}
+
+void ShardedEngine::post(std::size_t src, std::size_t dst, std::uint64_t stream,
+                         common::SimTime when, std::function<void()> fn) {
+  assert(src < engines_.size() && dst < engines_.size());
+  // The conservative contract: a message never needs to be delivered inside
+  // the window it was posted from. Violating this would make results depend
+  // on shard packing (the message would be drained one barrier late).
+  assert(when >= engines_[src]->now() + lookahead_);
+  const std::uint64_t seq = stream_seq_[src][stream]++;
+  outboxes_[src].push_back(Mail{when.count_ms(), stream, seq, dst, std::move(fn)});
+}
+
+common::SimTime ShardedEngine::global_next() const {
+  common::SimTime next = common::SimTime::max();
+  for (const auto& engine : engines_) next = std::min(next, engine->next_when());
+  return next;
+}
+
+void ShardedEngine::drain_mailboxes() {
+  drain_scratch_.clear();
+  for (auto& box : outboxes_) {
+    for (auto& mail : box) drain_scratch_.push_back(std::move(mail));
+    box.clear();
+  }
+  if (drain_scratch_.empty()) return;
+  posted_ += drain_scratch_.size();
+  // (when, stream, seq) is a total order independent of which shard a group
+  // landed on: stream ids are globally unique entity ids and seq counts that
+  // entity's own posts. Source-shard index deliberately does not appear.
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(), [](const Mail& a, const Mail& b) {
+    return std::tie(a.when_ms, a.stream, a.seq) < std::tie(b.when_ms, b.stream, b.seq);
+  });
+  for (auto& mail : drain_scratch_) {
+    const common::SimTime when(mail.when_ms);
+    assert(when >= engines_[mail.dst]->now());
+    engines_[mail.dst]->schedule_at(when, [fn = std::move(mail.fn)] { fn(); });
+  }
+  drain_scratch_.clear();
+}
+
+void ShardedEngine::run_my_engines(std::size_t worker, std::int64_t until_ms) {
+  const common::SimTime until(until_ms);
+  for (std::size_t i = worker; i < engines_.size(); i += workers_) {
+    engines_[i]->run_until(until);
+  }
+}
+
+void ShardedEngine::run_window(common::SimTime window_end) {
+  if (workers_ <= 1) {
+    run_my_engines(0, window_end.count_ms());
+  } else {
+    window_end_ms_ = window_end.count_ms();
+    barrier_.arrive_and_wait();  // start: publishes window_end_ms_ to workers
+    run_my_engines(0, window_end_ms_);
+    barrier_.arrive_and_wait();  // end: hands engines back to the coordinator
+  }
+  now_ = window_end;
+  ++windows_;
+}
+
+void ShardedEngine::start_batch() {
+  if (workers_ <= 1) return;
+  assert(!batch_active_ && "run_* calls do not nest");
+  batch_active_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batch_seq_;
+  }
+  cv_.notify_all();
+}
+
+void ShardedEngine::end_batch() {
+  if (workers_ <= 1) return;
+  window_end_ms_ = kParkBatch;
+  barrier_.arrive_and_wait();  // workers observe the sentinel and park
+  // Wait until every worker has *actually* parked. Without this handshake a
+  // worker still inside the park barrier's spin could have its sentinel read
+  // overwritten by the next batch's first window horizon — it would then
+  // skip parking and the barrier protocol would desynchronize by one
+  // arrival (observed as a shutdown deadlock). The coordinator may not
+  // reuse window_end_ms_ until all reads of the sentinel have happened.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return parked_ == workers_ - 1; });
+  parked_ = 0;
+  batch_active_ = false;
+}
+
+std::uint64_t ShardedEngine::run_until(common::SimTime until) {
+  assert(until >= now_);
+  const std::uint64_t before = executed();
+  start_batch();
+  for (;;) {
+    drain_mailboxes();
+    const common::SimTime next = global_next();
+    if (next > until) break;
+    // Overflow-safe min(until, next + lookahead): windows stretch across
+    // idle stretches because the bound hangs off the *next* event.
+    const common::SimTime window_end =
+        (until - next > lookahead_) ? next + lookahead_ : until;
+    run_window(window_end);
+  }
+  if (until > now_) run_window(until);  // advance clocks even when idle
+  end_batch();
+  return executed() - before;
+}
+
+std::uint64_t ShardedEngine::run() {
+  const std::uint64_t before = executed();
+  start_batch();
+  for (;;) {
+    drain_mailboxes();
+    const common::SimTime next = global_next();
+    if (next == common::SimTime::max()) break;  // outboxes drained above
+    run_window(next + lookahead_);
+  }
+  end_batch();
+  return executed() - before;
+}
+
+bool ShardedEngine::run_while(const std::function<bool()>& keep_going) {
+  start_batch();
+  bool have_events = true;
+  while (keep_going()) {
+    drain_mailboxes();
+    const common::SimTime next = global_next();
+    if (next == common::SimTime::max()) {
+      have_events = false;
+      break;
+    }
+    run_window(next + lookahead_);
+  }
+  end_batch();
+  return have_events;
+}
+
+std::uint64_t ShardedEngine::executed() const {
+  std::uint64_t total = 0;
+  for (const auto& engine : engines_) total += engine->executed();
+  return total;
+}
+
+std::size_t ShardedEngine::peak_queued() const {
+  std::size_t total = 0;
+  for (const auto& engine : engines_) total += engine->peak_queued();
+  return total;
+}
+
+void ShardedEngine::worker_main(std::size_t worker) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || batch_seq_ != seen; });
+    if (stopping_) return;
+    seen = batch_seq_;
+    lock.unlock();
+    for (;;) {
+      barrier_.arrive_and_wait();  // window start (or park signal)
+      // Plain read is safe: the coordinator wrote it before arriving, the
+      // barrier's atomics order that write before this read, and end_batch's
+      // parked_ handshake keeps the slot stable until this read happened.
+      const std::int64_t until_ms = window_end_ms_;
+      if (until_ms == kParkBatch) break;
+      run_my_engines(worker, until_ms);
+      barrier_.arrive_and_wait();  // window end
+    }
+    lock.lock();
+    ++parked_;
+    cv_.notify_all();  // wakes the coordinator's end_batch handshake
+  }
+}
+
+void ShardedEngine::Barrier::arrive_and_wait() {
+  const std::uint64_t phase = phase_.load(std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    count_.store(0, std::memory_order_relaxed);
+    phase_.store(phase + 1, std::memory_order_release);
+  } else {
+    // Spin briefly (windows are microseconds apart when the world is busy),
+    // then yield so oversubscribed boxes — more workers than cores — still
+    // make progress instead of burning the quantum.
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) == phase) {
+      if (++spins > 128) std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace aimes::sim

@@ -1,0 +1,194 @@
+// Conservative parallel DES: N sim::Engine shards in lock-step windows.
+//
+// ReplicaPool parallelizes *across* trials; this coordinator parallelizes
+// *inside* one trial. The world is partitioned into shard-affine groups
+// (a site plus its background workload, the middleware-and-origin group,
+// ...), each living on its own sim::Engine. Groups on different shards never
+// touch each other's state directly — every cross-group interaction is a
+// *message*: `post(src, dst, stream, when, fn)` appends to the source
+// shard's outbox, and the coordinator drains all outboxes into the
+// destination engines only at window barriers.
+//
+// The conservative window comes from the paper's own structure: sites
+// interact only through WAN transfers whose modeled latency is at least
+// `lookahead` (derived from net::Topology::min_latency()). A message posted
+// while executing a window therefore never has to be delivered inside that
+// window, so each shard can run a whole window without observing the others:
+//
+//   window_end = min(until, min over shards of next_when()) + lookahead
+//
+// Windows stretch while the world is idle (the bound is relative to the
+// *next* event, not to the previous barrier), so barrier count scales with
+// event density, not with horizon / lookahead.
+//
+// Determinism contract (the partitioned version of Engine's):
+//  * Mailboxes are drained in (when, stream, stream_seq) order — `stream`
+//    is the posting entity's stable id and `stream_seq` a per-(shard,stream)
+//    counter — which is a total order independent of how groups are packed
+//    onto shards. The barrier schedule itself depends only on the union of
+//    pending event times, which is also packing-independent. Hence
+//    aggregates, trace checksums, and obs spans are bit-identical across
+//    shard counts, including shards == 1 (asserted by the differential
+//    tests and the sharded substrate bench).
+//  * One engine is only ever touched by one thread at a time: workers own
+//    engines inside a window (static round-robin assignment), the
+//    coordinator alone touches them between barriers. Handoffs synchronize
+//    through the barrier's atomics (TSan-clean under `ctest -L sanitize`).
+//  * Logical shards are decoupled from OS threads: `--shards 8` on a
+//    single-core box still simulates 8 shards (same digests), just on
+//    fewer workers.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace aimes::sim {
+
+class ShardedEngine {
+ public:
+  struct Options {
+    /// Number of logical shards (>= 1). Determinism is per shard count;
+    /// 1 shard is the windowed single-engine baseline.
+    std::size_t shards = 1;
+    /// Conservative lookahead: every cross-shard post must be delivered at
+    /// least this far after the poster's clock. Derive from
+    /// net::Topology::min_latency() for transfer-coupled worlds.
+    common::SimDuration lookahead = common::SimDuration::millis(25);
+    /// Worker threads driving the shards (0 = min(shards, hardware)).
+    /// Purely a throughput knob: it never affects simulation results.
+    std::size_t workers = 0;
+  };
+
+  explicit ShardedEngine(Options options);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine();
+
+  [[nodiscard]] std::size_t shards() const { return engines_.size(); }
+  [[nodiscard]] Engine& shard(std::size_t i) { return *engines_[i]; }
+  [[nodiscard]] const Engine& shard(std::size_t i) const { return *engines_[i]; }
+  [[nodiscard]] common::SimDuration lookahead() const { return lookahead_; }
+  /// Actual worker-thread count (1 = everything runs inline on the caller).
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  /// Barrier-synchronized virtual time: every shard's clock agrees with this
+  /// between run_* calls (clocks are advanced in lock-step windows).
+  [[nodiscard]] common::SimTime now() const { return now_; }
+
+  /// Queues a cross-shard message. Callable from world setup (before any
+  /// run_* call) or from an event executing on shard `src`; never from an
+  /// event on a different shard. `stream` must be a stable id of the posting
+  /// entity (site id value, 0 for the origin/control group): together with
+  /// the per-(src, stream) sequence number it fixes the delivery order of
+  /// same-timestamp messages regardless of shard packing. `when` must be at
+  /// least lookahead past the source shard's clock — model the WAN latency
+  /// of the interaction into it.
+  void post(std::size_t src, std::size_t dst, std::uint64_t stream, common::SimTime when,
+            std::function<void()> fn);
+
+  /// Runs all shards to `until` in conservative windows (clocks advance to
+  /// `until` even when idle, like Engine::run_until). Returns events run.
+  std::uint64_t run_until(common::SimTime until);
+
+  /// Runs until every shard's queue and every mailbox is empty. Returns the
+  /// number of events run.
+  std::uint64_t run();
+
+  /// Runs windows while `keep_going()` returns true (checked between
+  /// windows, on the caller's thread, with all shards quiescent). Stops
+  /// early when the world runs out of events; returns false in that case.
+  bool run_while(const std::function<bool()>& keep_going);
+
+  /// Total events executed across all shards.
+  [[nodiscard]] std::uint64_t executed() const;
+  /// Peak queued() summed over shards (an upper bound of the true global
+  /// peak; per-shard peaks need not be simultaneous).
+  [[nodiscard]] std::size_t peak_queued() const;
+  /// Windows run so far (two barriers each when threaded).
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
+  /// Cross-shard messages posted so far.
+  [[nodiscard]] std::uint64_t posted() const { return posted_; }
+
+ private:
+  struct Mail {
+    std::int64_t when_ms;
+    std::uint64_t stream;
+    std::uint64_t seq;
+    std::size_t dst;
+    std::function<void()> fn;
+  };
+
+  /// Sense-reversing spin/yield barrier for the window rendezvous. The
+  /// coordinator and every worker arrive twice per window (start, end);
+  /// arrival publishes with release and departure observes with acquire, so
+  /// engine ownership hands off cleanly between the serial and parallel
+  /// phases.
+  class Barrier {
+   public:
+    explicit Barrier(std::size_t parties) : parties_(parties) {}
+    void arrive_and_wait();
+
+   private:
+    std::size_t parties_;
+    std::atomic<std::size_t> count_{0};
+    std::atomic<std::uint64_t> phase_{0};
+  };
+
+  [[nodiscard]] common::SimTime global_next() const;
+  [[nodiscard]] bool mail_pending() const;
+  /// Moves every outbox message into its destination engine, in global
+  /// (when, stream, seq) order. Serial phase only.
+  void drain_mailboxes();
+  /// Runs every engine to `window_end` (parallel when workers > 1).
+  void run_window(common::SimTime window_end);
+  void run_my_engines(std::size_t worker, std::int64_t until_ms);
+  void worker_main(std::size_t worker);
+  void start_batch();
+  void end_batch();
+
+  common::SimDuration lookahead_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  /// Outboxes indexed by source shard: only the thread currently running
+  /// that shard appends, only the coordinator (between barriers) drains.
+  std::vector<std::vector<Mail>> outboxes_;
+  /// Per-source-shard, per-stream post counters. The counter value depends
+  /// only on the posting entity's own behavior, never on shard packing —
+  /// that is what makes (when, stream, seq) a packing-independent total
+  /// order.
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> stream_seq_;
+  std::vector<Mail> drain_scratch_;
+
+  common::SimTime now_ = common::SimTime::epoch();
+  std::uint64_t windows_ = 0;
+  std::uint64_t posted_ = 0;
+
+  // --- Worker pool (only materialized when workers_ > 1) ---
+  std::size_t workers_ = 1;
+  std::vector<std::jthread> threads_;
+  Barrier barrier_;
+  /// Window horizon published by the coordinator before the start barrier;
+  /// kParkBatch tells workers to leave the window loop and park on the cv.
+  static constexpr std::int64_t kParkBatch = std::numeric_limits<std::int64_t>::min();
+  std::int64_t window_end_ms_ = kParkBatch;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t batch_seq_ = 0;
+  /// Workers that have re-parked since the last batch ended; end_batch waits
+  /// for all of them before the next batch may reuse window_end_ms_.
+  std::size_t parked_ = 0;
+  bool stopping_ = false;
+  bool batch_active_ = false;
+};
+
+}  // namespace aimes::sim

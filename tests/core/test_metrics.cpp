@@ -66,6 +66,18 @@ TEST(RunMetrics, ChargeAndEnergyScaleWithUsage) {
   EXPECT_GT(small.report.metrics.energy_kwh, 0.0);
 }
 
+TEST(RunMetrics, JainFairnessIndex) {
+  // Degenerate inputs (nothing distributed) read as perfectly fair.
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0, 0.0}), 1.0);
+  // Equal shares: 1.0 regardless of scale.
+  EXPECT_DOUBLE_EQ(jain_fairness({3.5, 3.5, 3.5, 3.5}), 1.0);
+  // One tenant takes everything: 1/n.
+  EXPECT_NEAR(jain_fairness({7.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  // Textbook middle case: (4+2)^2 / (2 * (16+4)) = 0.9.
+  EXPECT_NEAR(jain_fairness({4.0, 2.0}), 0.9, 1e-12);
+}
+
 TEST(RunMetrics, ChargeUsesSiteRates) {
   // A world whose only site charges 5 SU per core-hour: charge = 5x the
   // core-hours.

@@ -1,0 +1,105 @@
+// Sharded differential tests at the experiment layer: the same trial —
+// grid world or full Aimes middleware, faults included — must produce
+// bit-identical digests, reports, and span checksums at every shard count.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "exp/grid.hpp"
+#include "exp/matrix.hpp"
+#include "exp/runner.hpp"
+
+namespace aimes::exp {
+namespace {
+
+GridSpec small_grid(int shards) {
+  GridSpec spec;
+  spec.sites = 10;
+  spec.shards = shards;
+  spec.workers = 1;
+  spec.horizon = common::SimDuration::minutes(40);
+  spec.control_jobs_per_hour = 240.0;
+  spec.observability = true;
+  // One mid-run outage: recovery paths must be just as packing-independent.
+  spec.outages.push_back(GridOutage{3, common::SimDuration::minutes(10),
+                                    common::SimDuration::minutes(8)});
+  return spec;
+}
+
+TEST(GridSharded, TrialDigestIdenticalAcrossShardCounts) {
+  const GridTrialResult baseline = run_grid_trial(small_grid(1), /*seed=*/7);
+  EXPECT_GT(baseline.events, 0u);
+  EXPECT_GT(baseline.control_completed, 0u);
+  for (int shards : {2, 4, 8}) {
+    const GridTrialResult result = run_grid_trial(small_grid(shards), /*seed=*/7);
+    EXPECT_EQ(result.digest, baseline.digest) << "shards=" << shards;
+    EXPECT_EQ(result.events, baseline.events) << "shards=" << shards;
+    EXPECT_EQ(result.posts, baseline.posts) << "shards=" << shards;
+    EXPECT_EQ(result.obs.span_checksum, baseline.obs.span_checksum)
+        << "shards=" << shards;
+    EXPECT_EQ(result.obs.instant_count, baseline.obs.instant_count)
+        << "shards=" << shards;
+  }
+}
+
+TEST(GridSharded, WorkerCountNeverMovesTheDigest) {
+  GridSpec spec = small_grid(4);
+  const GridTrialResult baseline = run_grid_trial(spec, /*seed=*/11);
+  spec.workers = 2;
+  const GridTrialResult threaded = run_grid_trial(spec, /*seed=*/11);
+  EXPECT_EQ(threaded.digest, baseline.digest);
+  EXPECT_EQ(threaded.obs.span_checksum, baseline.obs.span_checksum);
+}
+
+TEST(GridSharded, CellAggregateIdenticalAcrossShardsAndJobs) {
+  const GridCellResult baseline = run_grid_cell(small_grid(1), /*n_trials=*/3,
+                                                /*base_seed=*/100, /*jobs=*/1);
+  const GridCellResult sharded = run_grid_cell(small_grid(4), 3, 100, /*jobs=*/1);
+  const GridCellResult pooled = run_grid_cell(small_grid(2), 3, 100, /*jobs=*/2);
+  EXPECT_EQ(sharded.digest, baseline.digest);
+  EXPECT_EQ(pooled.digest, baseline.digest);
+  EXPECT_EQ(sharded.obs_span_checksum, baseline.obs_span_checksum);
+  EXPECT_EQ(pooled.obs_span_checksum, baseline.obs_span_checksum);
+}
+
+/// The full-middleware differential: one Figure-2-shaped trial, with ambient
+/// grid sites, a flapping testbed site, and observability on. Every shard
+/// count must reproduce the identical report and span checksum — the sharded
+/// drive may not perturb the middleware by a single event.
+WorldTweaks aimes_tweaks(int shards) {
+  WorldTweaks tweaks;
+  tweaks.warmup = common::SimDuration::hours(1);
+  tweaks.shards = shards;
+  tweaks.grid_sites = 6;
+  tweaks.shard_workers = 1;
+  tweaks.observability.enabled = true;
+  tweaks.faults.flap_site("gordon-sim", common::SimDuration::minutes(10),
+                          common::SimDuration::minutes(15),
+                          common::SimDuration::minutes(45), 3);
+  return tweaks;
+}
+
+TEST(GridSharded, AimesTrialIdenticalAcrossShardCountsUnderFaults) {
+  const ExperimentSpec experiment = table1_experiment(4);
+  const TrialResult baseline = run_trial(experiment, /*tasks=*/16, /*seed=*/5,
+                                         aimes_tweaks(1));
+  ASSERT_TRUE(baseline.report.success);
+  for (int shards : {2, 4}) {
+    const TrialResult result = run_trial(experiment, 16, 5, aimes_tweaks(shards));
+    EXPECT_EQ(result.report.success, baseline.report.success) << "shards=" << shards;
+    EXPECT_EQ(result.report.ttc.ttc, baseline.report.ttc.ttc) << "shards=" << shards;
+    EXPECT_EQ(result.report.ttc.tw, baseline.report.ttc.tw) << "shards=" << shards;
+    EXPECT_EQ(result.report.ttc.tx, baseline.report.ttc.tx) << "shards=" << shards;
+    EXPECT_EQ(result.report.faults.total(), baseline.report.faults.total())
+        << "shards=" << shards;
+    EXPECT_EQ(result.obs.span_checksum, baseline.obs.span_checksum)
+        << "shards=" << shards;
+    // All shards' events are counted; the ambient sites make the sharded
+    // world's event total strictly larger than the middleware alone.
+    EXPECT_EQ(result.engine.events_executed, baseline.engine.events_executed)
+        << "shards=" << shards;
+  }
+}
+
+}  // namespace
+}  // namespace aimes::exp

@@ -59,6 +59,10 @@ TEST(CampaignTest, FairShareKeepsEveryTenantWithinStarvationBound) {
     EXPECT_LE(s.max_dispatch_gap, bound) << "tenant " << s.tenant;
     EXPECT_GT(s.dispatched, 0u) << "tenant " << s.tenant;
   }
+  // Jain over weight-normalized useful core-hours: a valid index, and not
+  // the one-tenant-took-everything floor (1/n).
+  EXPECT_GT(r.report.fairness_index, 1.0 / 4.0);
+  EXPECT_LE(r.report.fairness_index, 1.0 + 1e-12);
 }
 
 TEST(CampaignTest, TenantBreakdownsSumToCampaignMetrics) {

@@ -1,0 +1,188 @@
+// The sharded coordinator's determinism contract: the same partitioned world
+// produces bit-identical execution for every shard count and worker count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/sharded_engine.hpp"
+
+namespace aimes::sim {
+namespace {
+
+using common::SimDuration;
+using common::SimTime;
+
+ShardedEngine::Options options_for(std::size_t shards, std::size_t workers = 1) {
+  ShardedEngine::Options options;
+  options.shards = shards;
+  options.workers = workers;
+  options.lookahead = SimDuration::millis(25);
+  return options;
+}
+
+TEST(ShardedEngine, StartsAtEpochWithRequestedShape) {
+  ShardedEngine world(options_for(4));
+  EXPECT_EQ(world.shards(), 4u);
+  EXPECT_EQ(world.now(), SimTime::epoch());
+  EXPECT_EQ(world.executed(), 0u);
+  EXPECT_EQ(world.lookahead(), SimDuration::millis(25));
+}
+
+TEST(ShardedEngine, RunUntilAdvancesEveryShardClockInLockStep) {
+  ShardedEngine world(options_for(3));
+  int fired = 0;
+  world.shard(1).schedule(SimDuration::seconds(5), [&] { ++fired; });
+  world.run_until(SimTime::epoch() + SimDuration::minutes(1));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(world.now(), SimTime::epoch() + SimDuration::minutes(1));
+  for (std::size_t i = 0; i < world.shards(); ++i) {
+    EXPECT_EQ(world.shard(i).now(), world.now()) << "shard " << i;
+  }
+}
+
+TEST(ShardedEngine, SingleShardMatchesPlainEngineOrder) {
+  // The windowed drive on one shard must execute exactly what a bare Engine
+  // executes, in the same order.
+  std::vector<int> plain;
+  {
+    Engine engine;
+    for (int i = 0; i < 32; ++i) {
+      engine.schedule(SimDuration::millis(100 * (i % 7)), [&plain, i] { plain.push_back(i); });
+    }
+    engine.run();
+  }
+  std::vector<int> sharded;
+  {
+    ShardedEngine world(options_for(1));
+    for (int i = 0; i < 32; ++i) {
+      world.shard(0).schedule(SimDuration::millis(100 * (i % 7)),
+                              [&sharded, i] { sharded.push_back(i); });
+    }
+    world.run();
+  }
+  EXPECT_EQ(plain, sharded);
+}
+
+TEST(ShardedEngine, MailboxDrainsInWhenStreamSeqOrder) {
+  // Three same-timestamp messages posted from different streams (and one
+  // stream twice) must deliver in (when, stream, seq) order, not post order.
+  ShardedEngine world(options_for(2));
+  std::vector<int> order;
+  const SimTime when = SimTime::epoch() + SimDuration::seconds(1);
+  world.post(0, 1, /*stream=*/7, when, [&] { order.push_back(70); });
+  world.post(0, 1, /*stream=*/3, when, [&] { order.push_back(30); });
+  world.post(0, 1, /*stream=*/7, when, [&] { order.push_back(71); });
+  world.post(0, 1, /*stream=*/3, when + SimDuration::millis(1), [&] { order.push_back(31); });
+  world.run();
+  EXPECT_EQ(order, (std::vector<int>{30, 70, 71, 31}));
+  EXPECT_EQ(world.posted(), 4u);
+}
+
+TEST(ShardedEngine, RunWhileStopsAtPredicateAndOnExhaustion) {
+  ShardedEngine world(options_for(2));
+  int fired = 0;
+  bool stop = false;
+  for (int i = 1; i <= 10; ++i) {
+    world.shard(0).schedule(SimDuration::seconds(i), [&, i] {
+      ++fired;
+      if (i == 4) stop = true;
+    });
+  }
+  EXPECT_TRUE(world.run_while([&] { return !stop; }));
+  EXPECT_EQ(fired, 4);
+  // Draining the rest exhausts the world: run_while then reports false.
+  stop = false;
+  EXPECT_FALSE(world.run_while([&] { return !stop; }));
+  EXPECT_EQ(fired, 10);
+}
+
+/// The randomized differential harness: `groups` independent event chains,
+/// each owning a stable stream id, living on shard (group % shards). Every
+/// chain steps through a private RNG; at each step it either schedules a
+/// local follow-up or posts a message to another group (respecting the
+/// lookahead), and folds (group, now) into a digest. The digest must not
+/// depend on the packing.
+std::uint64_t differential_digest(std::size_t shards, std::size_t workers,
+                                  std::uint64_t seed) {
+  ShardedEngine world(options_for(shards, workers));
+  constexpr std::size_t kGroups = 12;
+  struct Group {
+    common::Rng rng;
+    std::uint64_t digest = 1469598103934665603ULL;
+    int remaining = 40;
+  };
+  std::vector<Group> groups;
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    groups.push_back(Group{common::Rng::stream(seed, "diff/" + std::to_string(g)), 0, 40});
+    groups.back().digest = 1469598103934665603ULL;
+  }
+  const auto shard_of = [shards](std::size_t g) { return g % shards; };
+
+  // One step of group g's chain, running on its own shard.
+  std::function<void(std::size_t)> step = [&](std::size_t g) {
+    Group& group = groups[g];
+    Engine& engine = world.shard(shard_of(g));
+    group.digest ^= static_cast<std::uint64_t>(engine.now().count_ms()) + g;
+    group.digest *= 1099511628211ULL;
+    if (group.remaining-- <= 0) return;
+    const double pick = group.rng.uniform01();
+    const auto delay = SimDuration::millis(1 + static_cast<std::int64_t>(group.rng.uniform01() * 400.0));
+    if (pick < 0.7) {
+      engine.schedule(delay, [&step, g] { step(g); });
+    } else {
+      // Cross-group: deliver at least lookahead past this shard's clock.
+      const std::size_t target = group.rng.index(kGroups);
+      world.post(shard_of(g), shard_of(target), /*stream=*/g,
+                 engine.now() + world.lookahead() + delay, [&step, target] { step(target); });
+    }
+  };
+  for (std::size_t g = 0; g < kGroups; ++g) {
+    world.shard(shard_of(g)).schedule(SimDuration::millis(static_cast<std::int64_t>(g)),
+                                      [&step, g] { step(g); });
+  }
+  world.run();
+  std::uint64_t fold = 1469598103934665603ULL;
+  for (const auto& group : groups) {
+    fold ^= group.digest;
+    fold *= 1099511628211ULL;
+  }
+  fold ^= world.executed();
+  fold *= 1099511628211ULL;
+  return fold;
+}
+
+TEST(ShardedEngine, RandomizedDifferentialAcrossShardCounts) {
+  for (std::uint64_t seed : {11u, 29u, 71u}) {
+    const std::uint64_t baseline = differential_digest(1, 1, seed);
+    for (std::size_t shards : {2u, 3u, 4u, 8u}) {
+      EXPECT_EQ(differential_digest(shards, 1, seed), baseline)
+          << "shards=" << shards << " seed=" << seed;
+    }
+  }
+}
+
+TEST(ShardedEngine, RandomizedDifferentialAcrossWorkerCounts) {
+  // Worker count is a pure throughput knob: same digest with a thread pool.
+  const std::uint64_t baseline = differential_digest(4, 1, 5);
+  EXPECT_EQ(differential_digest(4, 2, 5), baseline);
+  EXPECT_EQ(differential_digest(4, 4, 5), baseline);
+  EXPECT_EQ(differential_digest(8, 3, 5), differential_digest(8, 1, 5));
+}
+
+TEST(ShardedEngine, WindowsStretchWhileIdle) {
+  // Two events an hour apart must not cost an hour/lookahead worth of
+  // windows: the bound hangs off the *next* event, not the previous barrier.
+  ShardedEngine world(options_for(2));
+  int fired = 0;
+  world.shard(0).schedule(SimDuration::seconds(1), [&] { ++fired; });
+  world.shard(1).schedule(SimDuration::hours(1), [&] { ++fired; });
+  world.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_LT(world.windows(), 10u);
+}
+
+}  // namespace
+}  // namespace aimes::sim

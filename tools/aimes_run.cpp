@@ -50,6 +50,11 @@ struct Args {
   std::uint64_t seed = 42;
   int trials = 1;  // > 1 switches to sweep mode (seeds seed .. seed+trials-1)
   int jobs = 0;    // sweep parallelism; 0 = hardware concurrency, 1 = serial
+  // Intra-trial sharding (orthogonal to --jobs): 0 = legacy single-engine
+  // drive, N >= 1 = conservative-window drive, bit-identical for every N.
+  int shards = 0;
+  int grid_sites = 0;
+  int shard_workers = 0;
   double warmup_hours = 6.0;
   bool adaptive = false;
   std::string fault_plan_file;
@@ -109,6 +114,20 @@ common::Expected<Args> parse_args(int argc, char** argv) {
                  "concurrency; 1 = serial). Aggregates are\n"
                  "bit-identical for every M",
                  "M");
+  cli.int_option("--shards", args.shards, 0, 4096,
+                 "intra-trial shards: partition each world's sites\n"
+                 "across N engines driven in conservative lock-step\n"
+                 "windows (default 0 = classic single-engine drive).\n"
+                 "Results are bit-identical for every N >= 1",
+                 "N");
+  cli.int_option("--grid-sites", args.grid_sites, 0, 100000,
+                 "ambient background sites spread across the shards\n"
+                 "(default 0); the load --shards parallelizes");
+  cli.int_option("--shard-workers", args.shard_workers, 0, 4096,
+                 "worker threads per sharded trial (default 0 =\n"
+                 "min(shards, hardware)); wall clock only, never\n"
+                 "results. Keep at 1 when sweeping --jobs",
+                 "W");
   cli.double_option("--warmup", args.warmup_hours, 0.0, 24.0 * 365.0,
                     "background warmup hours (6)", "H");
   cli.int_option("--campaign", args.campaign, 2, 256,
@@ -342,6 +361,9 @@ int run_campaign(const Args& args) {
 
   exp::WorldTweaks tweaks;
   tweaks.warmup = common::SimDuration::hours(args.warmup_hours);
+  tweaks.shards = args.shards;
+  tweaks.grid_sites = args.grid_sites;
+  tweaks.shard_workers = args.shard_workers;
   if (!args.fault_plan_file.empty()) {
     auto file = common::Config::load(args.fault_plan_file);
     if (!file) {
@@ -539,6 +561,9 @@ int main(int argc, char** argv) {
   core::AimesConfig config;
   config.seed = args.seed;
   config.warmup = common::SimDuration::hours(args.warmup_hours);
+  config.shards = args.shards;
+  config.grid_sites = args.grid_sites;
+  config.shard_workers = args.shard_workers;
   const bool obs_on = !args.trace_out.empty() || !args.metrics_out.empty();
   config.observability.enabled = obs_on;
   config.observability.sample_interval =

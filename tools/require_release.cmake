@@ -1,0 +1,12 @@
+# Build-time gate for the bench-*-json recording targets: checked-in
+# BENCH_*.json files are perf evidence, and numbers from a Debug (or
+# unspecified) build tree would quietly undercut every threshold they
+# assert. Invoked as
+#   cmake -DBUILD_TYPE=${CMAKE_BUILD_TYPE} -P tools/require_release.cmake
+# before the recording command runs; the harness binaries carry a second,
+# NDEBUG-based guard of their own (bench/bench_util.hpp).
+if(NOT BUILD_TYPE MATCHES "^(Release|RelWithDebInfo|MinSizeRel)$")
+  message(FATAL_ERROR
+    "refusing to record benchmark evidence from CMAKE_BUILD_TYPE='${BUILD_TYPE}'; "
+    "reconfigure the build tree with -DCMAKE_BUILD_TYPE=Release first")
+endif()

@@ -12,10 +12,15 @@
 #      enforces the admission shape checks (goodput ratio, wait bound, typed
 #      sheds, jobs-sweep determinism), plus greps pinning the JSON evidence
 #      fields (shed_rate, checksums, admission waits);
-#   4. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
+#   4. Sharded-substrate smoke: bench/substrate_sharded --quick, whose exit
+#      code enforces bit-identical digests across --shards 1/2/4/8, plus
+#      greps pinning the committed evidence (speedup field present, recorded
+#      from a Release build);
+#   5. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
 #      fault-injection paths are where lifetime bugs hide;
-#   5. Thread (TSan) build + the sanitize label — races in the parallel
-#      trial runner (sim::ReplicaPool) and the campaign cell sweep.
+#   6. Thread (TSan) build + the sanitize label — races in the parallel
+#      trial runner (sim::ReplicaPool) and the sharded window coordinator
+#      (sim::ShardedEngine's barrier/mailbox/park handoffs).
 #
 # Exits non-zero on the first failing step. Build trees default to
 # build-verify-{release,asan,tsan} so an existing ./build is untouched.
@@ -66,6 +71,23 @@ grep -q '"deterministic_across_jobs": true' "$camp_json"
 grep -q '"shed_rate"' "$src_dir/BENCH_campaign.json"
 grep -q '"checksum"' "$src_dir/BENCH_campaign.json"
 echo "campaign-scale smoke OK ($camp_json)"
+
+step "Sharded-substrate smoke (cross-shard determinism + speedup evidence)"
+sharded_json="$prefix-release/smoke-sharded.json"
+# The bench exits non-zero when digests or span checksums diverge across
+# --shards 1/2/4/8 (or when a >= 8-thread host misses the speedup target),
+# so the run itself is the determinism check; the greps pin the JSON schema.
+"$prefix-release/bench/substrate_sharded" --quick --json "$sharded_json"
+grep -q '"deterministic_across_shards": true' "$sharded_json"
+grep -q '"speedup_shards8"' "$sharded_json"
+# The committed evidence must show the same determinism, carry the speedup
+# field, and have been recorded from a Release build — debug numbers are
+# refused at the source (bench_util's require_release_artifacts and the
+# bench-*-json guard), and this grep catches a stale pre-guard file.
+grep -q '"deterministic_across_shards": true' "$src_dir/BENCH_substrate.json"
+grep -q '"speedup_shards8"' "$src_dir/BENCH_substrate.json"
+grep -q '"aimes_build_type": "release"' "$src_dir/BENCH_substrate.json"
+echo "sharded-substrate smoke OK ($sharded_json)"
 
 step "Sanitize (ASan/UBSan) build + chaos/sanitize labels"
 cmake -S "$src_dir" -B "$prefix-asan" -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
