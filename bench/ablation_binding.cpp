@@ -12,6 +12,10 @@
 // task durations (Tw dominates); the gap narrows as tasks lengthen, and the
 // early strategy's larger pilot eventually pulls (near-)even because its Tx
 // is ~3/4 that of the split pilots.
+//
+// Stays on the library API (not exp::RunRequest): the sweep injects custom
+// task-duration distributions, a knob deliberately below the request
+// schema's operator surface (profiles fix their distributions).
 
 #include <iostream>
 

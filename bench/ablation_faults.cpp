@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
             if (rate > 0.0) {
               sim::FaultRates rates;
               rates.pilot_kill = rate;
-              config.faults.with_rates(rates);
+              config.faults.plan.with_rates(rates);
               config.execution.recovery.enabled = true;
             }
             core::Aimes aimes(config);

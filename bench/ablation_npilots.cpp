@@ -28,17 +28,23 @@ int main(int argc, char** argv) {
   table.header({"#Pilots", "TTC mean", "TTC stddev", "Tw mean", "Tw stddev", "Tw max"});
 
   for (int n = 1; n <= 5; ++n) {
-    exp::ExperimentSpec e;
-    e.id = 100 + n;
-    e.binding = core::Binding::kLate;
-    e.scheduler = pilot::UnitSchedulerKind::kBackfill;
-    e.n_pilots = n;
-    e.gaussian_durations = false;
-    e.label = "late backfill " + std::to_string(n) + " pilots";
+    // The custom-strategy form of a request: profile + explicit binding /
+    // scheduler / pilots. selection=random matches what ExperimentSpec's
+    // planner used, keeping this sweep's numbers stable across the
+    // migration (the request default is predicted-wait).
+    exp::RunRequest req;
+    req.name = "late backfill " + std::to_string(n) + " pilots";
+    req.profile = "bag-uniform";
+    req.tasks = tasks;
+    req.trials = args.trials;
+    req.jobs = args.jobs;
+    req.seed = args.seed + static_cast<std::uint64_t>(n) * 1000;
+    req.strategy.binding = "late";
+    req.strategy.scheduler = "backfill";
+    req.strategy.pilots = n;
+    req.strategy.selection = "random";
 
-    const auto cell = exp::run_cell(e, tasks, args.trials,
-                                    args.seed + static_cast<std::uint64_t>(n) * 1000, {},
-                                    nullptr, args.jobs);
+    const auto cell = bench::run_cell_request(req);
     table.row({std::to_string(n), common::TableWriter::num(cell.ttc_s.mean(), 0),
                common::TableWriter::num(cell.ttc_s.stddev(), 0),
                common::TableWriter::num(cell.tw_s.mean(), 0),

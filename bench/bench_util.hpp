@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "exp/request.hpp"
 
 namespace aimes::bench {
 
@@ -91,5 +92,41 @@ struct BenchArgs {
     return args;
   }
 };
+
+/// RunRequest for one Table I experiment cell under this bench's args — the
+/// exact request `aimesc submit --experiment E` carries, so a bench cell and
+/// a daemon submission run bit-identical trials. `seed_offset` reproduces
+/// the per-series seed spreading the harnesses use.
+[[nodiscard]] inline exp::RunRequest cell_request(const BenchArgs& args, int experiment_id,
+                                                 int tasks, std::uint64_t seed_offset = 0) {
+  exp::RunRequest req;
+  req.strategy.experiment = experiment_id;
+  req.tasks = tasks;
+  req.trials = args.trials;
+  req.jobs = args.jobs;
+  req.seed = args.seed + seed_offset;
+  return req;
+}
+
+/// Executes a single-app request and returns its cell. An invalid request
+/// or failed execution is a bench bug, not a data point — dies loudly.
+[[nodiscard]] inline exp::CellResult run_cell_request(const exp::RunRequest& req) {
+  exp::RunResult result = exp::execute(req);
+  if (!result.ok) {
+    std::fprintf(stderr, "bench: %s\n", result.error.c_str());
+    std::exit(2);
+  }
+  return std::move(result.cell);
+}
+
+/// Campaign counterpart of run_cell_request.
+[[nodiscard]] inline exp::CampaignCellResult run_campaign_request(const exp::RunRequest& req) {
+  exp::RunResult result = exp::execute(req);
+  if (!result.ok) {
+    std::fprintf(stderr, "bench: %s\n", result.error.c_str());
+    std::exit(2);
+  }
+  return std::move(result.campaign);
+}
 
 }  // namespace aimes::bench

@@ -21,6 +21,11 @@
 // --json records everything (BENCH_campaign.json is the PR's evidence);
 // exits non-zero when the goodput ratio, the wait bound, the typed-shed
 // invariant, or the checksum sweep fails.
+//
+// Stays on the library API (not exp::RunRequest): it calibrates admission
+// internals (capacity_factor, degrade_factor, shed_ceiling) and builds
+// programmatic fault plans on the mini testbed — operator-invisible knobs
+// the request schema deliberately does not expose.
 
 #include <algorithm>
 #include <chrono>
@@ -162,7 +167,7 @@ int main(int argc, char** argv) {
   }
   // A site that dies for 20 of every 60 minutes, indefinitely on the cell's
   // time scale: the sustained-fault half of the scenario.
-  faulted_tweaks.faults.flap_site("beta-sim", common::SimDuration::minutes(30),
+  faulted_tweaks.faults.plan.flap_site("beta-sim", common::SimDuration::minutes(30),
                                   common::SimDuration::minutes(20),
                                   common::SimDuration::minutes(60), 48);
   exp::WorldTweaks clean_tweaks = faulted_tweaks;
@@ -179,8 +184,8 @@ int main(int argc, char** argv) {
     // Both arms declare the same SLO mix — the baseline ignores it when
     // admitting, but its tenants still have deadlines their work must meet
     // to count as goodput.
-    spec.priorities = {0, 1, 2};
-    spec.slos = {core::SloClass::kInteractive, core::SloClass::kStandard,
+    spec.admission.priorities = {0, 1, 2};
+    spec.admission.slos = {core::SloClass::kInteractive, core::SloClass::kStandard,
                  core::SloClass::kBatch};
     const auto& tweaks = config.faulted ? faulted_tweaks : clean_tweaks;
 
@@ -188,8 +193,8 @@ int main(int argc, char** argv) {
     cell.config = config;
     cell.baseline = exp::run_campaign_cell(spec, args.trials, args.seed, tweaks, args.jobs);
 
-    spec.admission = admission_policy();
-    spec.breaker = breaker_policy();
+    spec.admission.policy = admission_policy();
+    spec.admission.breaker = breaker_policy();
     cell.policy = exp::run_campaign_cell(spec, args.trials, args.seed, tweaks, args.jobs);
 
     // Floor the denominator at one unit per hour: a baseline that delivered
@@ -204,7 +209,7 @@ int main(int argc, char** argv) {
                   : 0.0;
     cell.wait_bounded = cell.policy.admission_wait_s.empty() ||
                         cell.policy.admission_wait_s.max() <=
-                            spec.admission.max_queue_wait.to_seconds() + 1.0;
+                            spec.admission.policy.max_queue_wait.to_seconds() + 1.0;
     cells.push_back(cell);
     std::fprintf(stderr, "  cell %d tenants @ %.0f/h%s done (goodput x%.2f, shed %.1f%%)\n",
                  config.tenants, config.rate_per_hour, config.faulted ? " +faults" : "",
@@ -244,10 +249,10 @@ int main(int argc, char** argv) {
     spec.n_pilots = 2;
     spec.arrival.poisson_per_hour = configs.back().rate_per_hour;
     spec.recovery.enabled = true;
-    spec.admission = admission_policy();
-    spec.breaker = breaker_policy();
-    spec.priorities = {0, 1, 2};
-    spec.slos = {core::SloClass::kInteractive, core::SloClass::kStandard,
+    spec.admission.policy = admission_policy();
+    spec.admission.breaker = breaker_policy();
+    spec.admission.priorities = {0, 1, 2};
+    spec.admission.slos = {core::SloClass::kInteractive, core::SloClass::kStandard,
                  core::SloClass::kBatch};
     for (const int jobs : sweep_jobs) {
       const auto cell = exp::run_campaign_cell(spec, args.trials, args.seed, faulted_tweaks, jobs);

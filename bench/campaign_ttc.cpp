@@ -48,22 +48,30 @@ int main(int argc, char** argv) {
   cli.double_option("--rate", arrival_rate, 0.001, 1000000.0, "Poisson arrivals per hour");
   args.finish(cli, argc, argv);
 
-  exp::CampaignSpec spec;
-  spec.n_tenants = tenants;
-  spec.base_tasks = base_tasks;
-  spec.n_pilots = 2;
-  spec.arrival.poisson_per_hour = arrival_rate;
+  // The campaign request: uniform durations (the historical spec default),
+  // sizes mixed by the runner's {1,2,4} cycle. Exactly what
+  // `aimesc submit --campaign N --profile bag-uniform ...` carries.
+  exp::RunRequest req;
+  req.profile = "bag-uniform";
+  req.tasks = base_tasks;
+  req.trials = args.trials;
+  req.jobs = args.jobs;
+  req.seed = args.seed;
+  req.strategy.pilots = 2;
+  req.campaign.tenants = tenants;
+  req.campaign.arrival.poisson_per_hour = arrival_rate;
 
   const exp::CampaignMode modes[] = {exp::CampaignMode::kSharedPool,
                                      exp::CampaignMode::kPrivatePilots,
                                      exp::CampaignMode::kSequential};
   std::vector<exp::CampaignCellResult> cells;
   for (const auto mode : modes) {
-    auto cell_spec = spec;
-    cell_spec.mode = mode;
-    cells.push_back(exp::run_campaign_cell(cell_spec, args.trials, args.seed, {}, args.jobs));
+    auto cell_req = req;
+    cell_req.campaign.mode = mode;
+    cells.push_back(bench::run_campaign_request(cell_req));
     std::fprintf(stderr, "  campaign: %s done\n", std::string(to_string(mode)).c_str());
   }
+  const exp::CampaignSpec& spec = cells.front().spec;
 
   common::TableWriter table("Campaign TTC — " + std::to_string(tenants) + " tenants, " +
                             std::to_string(args.trials) +
@@ -87,7 +95,10 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> sweep_checksums;
   bool deterministic = true;
   for (const int jobs : sweep_jobs) {
-    const auto cell = exp::run_campaign_cell(spec, args.trials, args.seed, {}, jobs);
+    auto sweep_req = req;
+    sweep_req.campaign.mode = exp::CampaignMode::kSharedPool;
+    sweep_req.jobs = jobs;
+    const auto cell = bench::run_campaign_request(sweep_req);
     sweep_checksums.push_back(cell.checksum);
     deterministic = deterministic && cell.checksum == sweep_checksums.front();
   }

@@ -31,9 +31,8 @@ int main(int argc, char** argv) {
   for (int tasks : sizes) {
     std::vector<std::string> row{std::to_string(tasks)};
     for (const auto& e : experiments) {
-      const auto cell = exp::run_cell(e, tasks, args.trials,
-                                      args.seed + static_cast<std::uint64_t>(e.id) * 100000, {},
-                                      nullptr, args.jobs);
+      const auto cell = bench::run_cell_request(bench::cell_request(
+          args, e.id, tasks, static_cast<std::uint64_t>(e.id) * 100000));
       row.push_back(common::TableWriter::num(cell.ttc_s.mean(), 0) + " (" +
                     common::TableWriter::num(cell.ttc_s.stddev(), 0) + ")");
       if (cell.failures > 0) row.back() += " [" + std::to_string(cell.failures) + " fail]";

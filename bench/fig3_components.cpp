@@ -34,9 +34,8 @@ int main(int argc, char** argv) {
                               " trials");
     table.header({"#Tasks", "TTC", "Tw", "Tx", "Ts", "Tw/TTC"});
     for (int tasks : exp::table1_task_counts()) {
-      const auto cell = exp::run_cell(e, tasks, args.trials,
-                                      args.seed + static_cast<std::uint64_t>(e.id) * 100000, {},
-                                      nullptr, args.jobs);
+      const auto cell = bench::run_cell_request(bench::cell_request(
+          args, e.id, tasks, static_cast<std::uint64_t>(e.id) * 100000));
       const double ttc = cell.ttc_s.mean();
       table.row({std::to_string(tasks), common::TableWriter::num(ttc, 0),
                  common::TableWriter::num(cell.tw_s.mean(), 0),

@@ -38,9 +38,8 @@ int main(int argc, char** argv) {
     table.header({"#Tasks", "mean", "stddev", "min", "max", "rel.err"});
     cells = 0;
     for (int tasks : exp::table1_task_counts()) {
-      const auto cell = exp::run_cell(e, tasks, args.trials,
-                                      args.seed + static_cast<std::uint64_t>(e.id) * 100000, {},
-                                      nullptr, args.jobs);
+      const auto cell = bench::run_cell_request(bench::cell_request(
+          args, e.id, tasks, static_cast<std::uint64_t>(e.id) * 100000));
       const double rel = cell.ttc_s.mean() > 0 ? cell.ttc_s.stddev() / cell.ttc_s.mean() : 0;
       mean_rel_err[panel.tag - 'a'] += rel;
       ++cells;

@@ -54,9 +54,9 @@ int main(int argc, char** argv) {
   args.finish(cli, argc, argv);
 
   const exp::ExperimentSpec experiment = exp::table1_experiment(3);
-  exp::WorldTweaks traced;
+  exp::RunRequest untraced = bench::cell_request(args, experiment.id, tasks);
+  exp::RunRequest traced = untraced;
   traced.observability.enabled = true;
-  const exp::WorldTweaks untraced;
 
   // Alternate modes within each repetition so thermal / load drift hits both.
   double wall_off = 0.0;
@@ -64,10 +64,8 @@ int main(int argc, char** argv) {
   exp::CellResult cell_off;
   exp::CellResult cell_on;
   for (int rep = 0; rep < reps; ++rep) {
-    cell_off = exp::run_cell(experiment, tasks, args.trials, args.seed, untraced, nullptr,
-                             args.jobs);
-    cell_on = exp::run_cell(experiment, tasks, args.trials, args.seed, traced, nullptr,
-                            args.jobs);
+    cell_off = bench::run_cell_request(untraced);
+    cell_on = bench::run_cell_request(traced);
     wall_off = rep == 0 ? cell_off.wall_seconds : std::min(wall_off, cell_off.wall_seconds);
     wall_on = rep == 0 ? cell_on.wall_seconds : std::min(wall_on, cell_on.wall_seconds);
     std::fprintf(stderr, "  obs_overhead: rep %d/%d done\n", rep + 1, reps);
@@ -88,8 +86,9 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> sweep_checksums;
   bool deterministic = true;
   for (const int jobs : sweep_jobs) {
-    const auto cell = exp::run_cell(experiment, tasks, args.trials, args.seed, traced, nullptr,
-                                    jobs);
+    exp::RunRequest sweep = traced;
+    sweep.jobs = jobs;
+    const auto cell = bench::run_cell_request(sweep);
     sweep_checksums.push_back(cell.span_checksum);
     deterministic = deterministic && cell.span_checksum == sweep_checksums.front();
   }

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/health.hpp"
 #include "common/time.hpp"
 
 namespace aimes::core {
@@ -88,6 +89,22 @@ struct AdmissionPolicy {
   /// Degraded admissions may overcommit up to capacity * ceiling; beyond
   /// that the tenant is shed (kOverloaded).
   double shed_ceiling = 1.5;
+};
+
+/// Everything that guards campaign intake, in one struct: the admission
+/// ladder's policy, the site circuit breakers it consults, and the per-tenant
+/// attributes (priority, SLO class, quota) cycled across arrivals. Campaign
+/// specs and run requests nest this instead of five loose fields.
+struct AdmissionConfig {
+  AdmissionPolicy policy;
+  /// Per-site circuit breakers (disabled by default).
+  cluster::BreakerPolicy breaker;
+  /// Admission priorities cycled across tenants (empty = all 0).
+  std::vector<int> priorities;
+  /// SLO classes cycled across tenants (empty = all kStandard).
+  std::vector<SloClass> slos;
+  /// Per-tenant quotas cycled across tenants (empty = unlimited).
+  std::vector<TenantQuota> quotas;
 };
 
 /// One tenant's resource ask, in the planner's units (pilots x cores).

@@ -28,9 +28,9 @@ net::LinkSpec default_link(std::size_t site_index) {
 /// never post, so only the testbed's links matter.
 sim::ShardedEngine::Options sharded_options(const AimesConfig& config) {
   sim::ShardedEngine::Options options;
-  options.shards = config.shards < 1 ? 1 : static_cast<std::size_t>(config.shards);
+  options.shards = config.sharding.shards < 1 ? 1 : static_cast<std::size_t>(config.sharding.shards);
   options.workers =
-      config.shard_workers < 0 ? 1 : static_cast<std::size_t>(config.shard_workers);
+      config.sharding.shard_workers < 0 ? 1 : static_cast<std::size_t>(config.sharding.shard_workers);
   common::SimDuration lookahead = common::SimDuration::max();
   for (std::size_t i = 0; i < config.testbed.size(); ++i) {
     const net::LinkSpec link =
@@ -63,8 +63,8 @@ Aimes::Aimes(AimesConfig config)
   // so the middleware's behavior — and its span checksums — is identical
   // for every shard count; only the wall-clock cost of simulating them is
   // spread over the workers.
-  if (config_.grid_sites > 0) {
-    const auto n = static_cast<std::size_t>(config_.grid_sites);
+  if (config_.sharding.grid_sites > 0) {
+    const auto n = static_cast<std::size_t>(config_.sharding.grid_sites);
     const auto plan = cluster::ShardPlan::round_robin(n, sharded_.shards());
     for (std::size_t i = 0; i < n; ++i) {
       cluster::SiteConfig site_config;
@@ -95,7 +95,7 @@ Aimes::Aimes(AimesConfig config)
   // stream derives from the world seed, so an empty plan leaves every other
   // stream untouched.
   if (!config_.faults.empty()) {
-    fault_injector_ = std::make_unique<sim::FaultInjector>(config_.faults, config_.seed);
+    fault_injector_ = std::make_unique<sim::FaultInjector>(config_.faults.plan, config_.seed);
     config_.execution.faults = fault_injector_.get();
   }
   if (config_.execution.bundles == nullptr) config_.execution.bundles = &bundle_manager_;
@@ -123,7 +123,7 @@ Aimes::Aimes(AimesConfig config)
 }
 
 bool Aimes::run_world_while(const std::function<bool()>& keep_going) {
-  if (config_.shards >= 1) return sharded_.run_while(keep_going);
+  if (config_.sharding.shards >= 1) return sharded_.run_while(keep_going);
   bool stepped = true;
   while (keep_going() && (stepped = engine_.step())) {
   }
@@ -131,7 +131,7 @@ bool Aimes::run_world_while(const std::function<bool()>& keep_going) {
 }
 
 void Aimes::run_world_for(common::SimDuration duration) {
-  if (config_.shards >= 1) {
+  if (config_.sharding.shards >= 1) {
     sharded_.run_until(sharded_.now() + duration);
   } else {
     engine_.run_until(engine_.now() + duration);
@@ -139,7 +139,7 @@ void Aimes::run_world_for(common::SimDuration duration) {
 }
 
 void Aimes::run_world_until(common::SimTime t) {
-  if (config_.shards >= 1) {
+  if (config_.sharding.shards >= 1) {
     if (t > sharded_.now()) sharded_.run_until(t);
   } else {
     if (t > engine_.now()) engine_.run_until(t);

@@ -37,6 +37,43 @@
 
 namespace aimes::core {
 
+/// Intra-trial sharding (ROADMAP item 2), grouped so every layer that
+/// forwards the three knobs (WorldTweaks, RunRequest, AimesConfig) passes
+/// one struct instead of three loose ints.
+struct ShardingConfig {
+  /// 0 = the legacy single-engine drive loop, event-for-event identical to
+  /// pre-sharding builds. N >= 1 drives the world in conservative lock-step
+  /// windows on a sim::ShardedEngine of N shards: the middleware/testbed
+  /// group stays on shard 0 and `grid_sites` ambient sites spread across
+  /// all shards. Reports, aggregates, and span checksums are bit-identical
+  /// for every N >= 1 (asserted by the sharded differential tests).
+  int shards = 0;
+  /// Ambient machine-room sites beyond the testbed: background weather the
+  /// planner never targets (no WAN links, no bundle agents), partitioned
+  /// across the shards by a cluster::ShardPlan. This is the load a sharded
+  /// Aimes run parallelizes.
+  int grid_sites = 0;
+  /// Worker threads for sharded runs (0 = min(shards, hardware)). A
+  /// throughput knob only: it never affects simulation results.
+  int shard_workers = 0;
+};
+
+/// Fault injection for one world. Wraps the plan so fault-related knobs
+/// added later live beside it instead of loose in AimesConfig.
+struct FaultConfig {
+  /// Faults to inject (empty = none; runs are then bit-identical to a world
+  /// built without fault support). Outage windows are scheduled relative to
+  /// the end of warmup; launch/kill/transfer faults are consulted at the
+  /// SAGA, pilot, and staging layers.
+  sim::FaultPlan plan;
+
+  [[nodiscard]] bool empty() const { return plan.empty(); }
+};
+
+/// Observability configuration: the obs options already form a cohesive
+/// struct, so the config tier aliases rather than wraps it.
+using ObsConfig = obs::ObservabilityOptions;
+
 /// World configuration.
 struct AimesConfig {
   /// Master seed; every RNG stream in the world derives from it.
@@ -51,31 +88,14 @@ struct AimesConfig {
   /// Origin->site links; when empty, a deterministic heterogeneous set is
   /// generated (different bandwidth/latency per site).
   std::vector<net::LinkSpec> links;
-  /// Faults to inject into this world (empty = none; runs are then
-  /// bit-identical to a world built without fault support). Outage windows
-  /// are scheduled relative to the end of warmup; launch/kill/transfer
-  /// faults are consulted at the SAGA, pilot, and staging layers.
-  sim::FaultPlan faults;
+  /// Fault injection (plan empty = none).
+  FaultConfig faults;
   /// Observability (span tracer + metrics registry + sampler). Off by
   /// default; when enabled, a Recorder is created with the world and every
   /// layer emits spans/metrics into it alongside the flat Profiler trace.
-  obs::ObservabilityOptions observability;
-  /// Intra-trial sharding (ROADMAP item 2). 0 = the legacy single-engine
-  /// drive loop, event-for-event identical to pre-sharding builds. N >= 1
-  /// drives the world in conservative lock-step windows on a
-  /// sim::ShardedEngine of N shards: the middleware/testbed group stays on
-  /// shard 0 and `grid_sites` ambient sites spread across all shards.
-  /// Reports, aggregates, and span checksums are bit-identical for every
-  /// N >= 1 (asserted by the sharded differential tests).
-  int shards = 0;
-  /// Ambient machine-room sites beyond the testbed: background weather the
-  /// planner never targets (no WAN links, no bundle agents), partitioned
-  /// across the shards by a cluster::ShardPlan. This is the load a sharded
-  /// Aimes run parallelizes.
-  int grid_sites = 0;
-  /// Worker threads for sharded runs (0 = min(shards, hardware)). A
-  /// throughput knob only: it never affects simulation results.
-  int shard_workers = 0;
+  ObsConfig observability;
+  /// Intra-trial sharding (all zero = legacy single-engine world).
+  ShardingConfig sharding;
 };
 
 /// Result of a full run, including the trace.
@@ -169,7 +189,8 @@ class Aimes {
 
  private:
   /// Drives virtual time forward while `keep_going()` holds: the legacy
-  /// step loop when config_.shards == 0, conservative windows otherwise.
+  /// step loop when config_.sharding.shards == 0, conservative windows
+  /// otherwise.
   /// Returns false if the world ran out of events first.
   bool run_world_while(const std::function<bool()>& keep_going);
   /// Advances the whole world (every shard) by `duration`.
@@ -179,7 +200,8 @@ class Aimes {
   sim::ShardedEngine sharded_;
   /// Shard 0: the middleware, testbed, topology, and staging all live here.
   sim::Engine& engine_;
-  /// Ambient grid sites (config_.grid_sites), partitioned across shards.
+  /// Ambient grid sites (config_.sharding.grid_sites), partitioned across
+  /// shards.
   std::vector<std::unique_ptr<cluster::ClusterSite>> grid_sites_;
   std::vector<std::unique_ptr<cluster::WorkloadGenerator>> grid_load_;
   std::unique_ptr<obs::Recorder> recorder_;

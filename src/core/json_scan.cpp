@@ -1,0 +1,173 @@
+#include "core/json_scan.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace aimes::core::json {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string FieldScanner::qualified(const std::string& key) const {
+  return path_.empty() ? key : path_ + "." + key;
+}
+
+std::string FieldScanner::describe(const std::string& key) const {
+  return origin_ + ": field '" + qualified(key) + "'";
+}
+
+std::string FieldScanner::at(const std::string& key, std::size_t local) const {
+  return describe(key) + " at byte " + std::to_string(base_ + local);
+}
+
+bool FieldScanner::has(const std::string& key) const { return locate(key).ok(); }
+
+common::Expected<double> FieldScanner::number(const std::string& key) const {
+  using E = common::Expected<double>;
+  auto value_at = locate(key);
+  if (!value_at) return E::error(value_at.error());
+  char* end = nullptr;
+  const std::string token(text_.substr(*value_at, 64));
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str()) return E::error(at(key, *value_at) + ": expected a number");
+  return value;
+}
+
+common::Expected<bool> FieldScanner::boolean(const std::string& key) const {
+  using E = common::Expected<bool>;
+  auto value_at = locate(key);
+  if (!value_at) return E::error(value_at.error());
+  if (text_.substr(*value_at).starts_with("true")) return true;
+  if (text_.substr(*value_at).starts_with("false")) return false;
+  return E::error(at(key, *value_at) + ": expected true or false");
+}
+
+common::Expected<std::string> FieldScanner::text(const std::string& key) const {
+  using E = common::Expected<std::string>;
+  auto value_at = locate(key);
+  if (!value_at) return E::error(value_at.error());
+  auto parsed = parse_string(*value_at);
+  if (!parsed) return E::error(at(key, *value_at) + ": " + parsed.error());
+  return parsed->first;
+}
+
+common::Expected<FieldScanner> FieldScanner::object(const std::string& key) const {
+  using E = common::Expected<FieldScanner>;
+  auto value_at = locate(key);
+  if (!value_at) return E::error(value_at.error());
+  if (text_[*value_at] != '{') return E::error(at(key, *value_at) + ": expected an object");
+  int depth = 0;
+  for (std::size_t i = *value_at; i < text_.size(); ++i) {
+    if (text_[i] == '{') ++depth;
+    if (text_[i] == '}' && --depth == 0) {
+      return FieldScanner(origin_, text_.substr(*value_at + 1, i - *value_at - 1),
+                          qualified(key), base_ + *value_at + 1);
+    }
+  }
+  return E::error(at(key, *value_at) + ": unterminated object");
+}
+
+common::Expected<std::vector<double>> FieldScanner::numbers(const std::string& key) const {
+  using E = common::Expected<std::vector<double>>;
+  auto body = array_body(key);
+  if (!body) return E::error(body.error());
+  std::vector<double> out;
+  std::size_t i = 0;
+  while ((i = skip_ws(body->first, i)) < body->first.size()) {
+    char* end = nullptr;
+    const std::string token(body->first.substr(i, 64));
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == token.c_str()) {
+      return E::error(at(key, body->second + i) + ": expected a number");
+    }
+    out.push_back(value);
+    i += static_cast<std::size_t>(end - token.c_str());
+    i = skip_ws(body->first, i);
+    if (i < body->first.size() && body->first[i] == ',') ++i;
+  }
+  return out;
+}
+
+common::Expected<std::vector<std::string>> FieldScanner::strings(
+    const std::string& key) const {
+  using E = common::Expected<std::vector<std::string>>;
+  auto body = array_body(key);
+  if (!body) return E::error(body.error());
+  std::vector<std::string> out;
+  const FieldScanner items(origin_, body->first, path_, base_ + body->second);
+  std::size_t i = 0;
+  while ((i = skip_ws(body->first, i)) < body->first.size()) {
+    auto parsed = items.parse_string(i);
+    if (!parsed) return E::error(at(key, body->second + i) + ": " + parsed.error());
+    out.push_back(parsed->first);
+    i = skip_ws(body->first, parsed->second);
+    if (i < body->first.size() && body->first[i] == ',') ++i;
+  }
+  return out;
+}
+
+common::Expected<std::size_t> FieldScanner::locate(const std::string& key) const {
+  using E = common::Expected<std::size_t>;
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t found = text_.find(needle);
+  if (found == std::string_view::npos) {
+    return E::error(origin_ + ": missing field '" + qualified(key) + "'");
+  }
+  std::size_t i = skip_ws(text_, found + needle.size());
+  if (i >= text_.size() || text_[i] != ':') {
+    return E::error(at(key, found) + ": expected ':'");
+  }
+  i = skip_ws(text_, i + 1);
+  if (i >= text_.size()) return E::error(at(key, found) + ": missing value");
+  return i;
+}
+
+common::Expected<std::pair<std::string_view, std::size_t>> FieldScanner::array_body(
+    const std::string& key) const {
+  using E = common::Expected<std::pair<std::string_view, std::size_t>>;
+  auto value_at = locate(key);
+  if (!value_at) return E::error(value_at.error());
+  if (text_[*value_at] != '[') return E::error(at(key, *value_at) + ": expected an array");
+  const std::size_t close = text_.find(']', *value_at);
+  if (close == std::string_view::npos) {
+    return E::error(at(key, *value_at) + ": unterminated array");
+  }
+  return std::pair{text_.substr(*value_at + 1, close - *value_at - 1), *value_at + 1};
+}
+
+common::Expected<std::pair<std::string, std::size_t>> FieldScanner::parse_string(
+    std::size_t at) const {
+  using E = common::Expected<std::pair<std::string, std::size_t>>;
+  if (at >= text_.size() || text_[at] != '"') return E::error("expected a string");
+  std::string out;
+  for (std::size_t i = at + 1; i < text_.size(); ++i) {
+    if (text_[i] == '\\' && i + 1 < text_.size()) {
+      const char next = text_[++i];
+      out += next == 'n' ? '\n' : next == 't' ? '\t' : next;
+    } else if (text_[i] == '"') {
+      return std::pair{out, i + 1};
+    } else {
+      out += text_[i];
+    }
+  }
+  return E::error("unterminated string");
+}
+
+std::size_t FieldScanner::skip_ws(std::string_view text, std::size_t i) {
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
+  return i;
+}
+
+}  // namespace aimes::core::json

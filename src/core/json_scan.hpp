@@ -1,0 +1,84 @@
+// Field-addressed scanning over the flat JSON documents the repo emits
+// (run reports, run requests, daemon payloads).
+//
+// Not a general JSON parser: documents are machine-written, so the scanner
+// optimizes for *actionable rejection* instead of grammar coverage. Every
+// lookup is by key, scoped to one (sub)object's text range — same-named
+// fields in nested blocks ("pilots_resubmitted" at top level and inside
+// "recovery") never alias — and every error carries three coordinates:
+//
+//   <origin>: field 'recovery.pilots_resubmitted' at byte 1147: expected a number
+//
+// the origin (file path or "request body"), the dotted field path from the
+// document root, and the absolute byte offset of the offending value. A
+// client that gets a 400 back from `aimesc submit` can jump straight to the
+// byte instead of re-reading the whole request.
+//
+// Scanners hold a string_view into the caller's text; keep the document
+// alive for the scanner's lifetime.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/expected.hpp"
+
+namespace aimes::core::json {
+
+/// Escapes the characters JSON strings cannot hold raw.
+[[nodiscard]] std::string escape(const std::string& s);
+
+class FieldScanner {
+ public:
+  /// Scanner over a whole document. `origin` names the source in errors — a
+  /// file path, "request body", whatever the reader will recognize.
+  FieldScanner(std::string origin, std::string_view text)
+      : origin_(std::move(origin)), text_(text) {}
+
+  /// Whether `key` appears in this object at all (for optional fields).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] common::Expected<double> number(const std::string& key) const;
+  [[nodiscard]] common::Expected<bool> boolean(const std::string& key) const;
+  [[nodiscard]] common::Expected<std::string> text(const std::string& key) const;
+  /// Sub-scanner over the object value of `key` (its "{...}" body); errors
+  /// inside it extend the field path ("strategy.binding").
+  [[nodiscard]] common::Expected<FieldScanner> object(const std::string& key) const;
+  [[nodiscard]] common::Expected<std::vector<double>> numbers(const std::string& key) const;
+  [[nodiscard]] common::Expected<std::vector<std::string>> strings(
+      const std::string& key) const;
+
+  /// "<origin>: field '<path.key>'" — error prefix for a present field. The
+  /// value-typed getters append the byte offset themselves; callers layering
+  /// their own semantic checks ("unknown value 'x'") reuse this prefix.
+  [[nodiscard]] std::string describe(const std::string& key) const;
+
+ private:
+  FieldScanner(std::string origin, std::string_view text, std::string path, std::size_t base)
+      : origin_(std::move(origin)), path_(std::move(path)), text_(text), base_(base) {}
+
+  /// Dotted path of `key` from the document root.
+  [[nodiscard]] std::string qualified(const std::string& key) const;
+  /// "<origin>: field '<path.key>' at byte <abs(local)>" — prefix for errors
+  /// about the value at local offset `local`.
+  [[nodiscard]] std::string at(const std::string& key, std::size_t local) const;
+  /// Offset (within text_) of the value of `"key":`, whitespace skipped.
+  [[nodiscard]] common::Expected<std::size_t> locate(const std::string& key) const;
+  [[nodiscard]] common::Expected<std::pair<std::string_view, std::size_t>> array_body(
+      const std::string& key) const;
+  /// Parses a quoted string at `at`; returns (value, offset past the quote).
+  [[nodiscard]] common::Expected<std::pair<std::string, std::size_t>> parse_string(
+      std::size_t at) const;
+
+  static std::size_t skip_ws(std::string_view text, std::size_t i);
+
+  std::string origin_;
+  std::string path_;       ///< dotted prefix; empty at the document root
+  std::string_view text_;  ///< this (sub)object's slice of the document
+  std::size_t base_ = 0;   ///< absolute offset of text_[0] in the document
+};
+
+}  // namespace aimes::core::json

@@ -1,31 +1,15 @@
 #include "core/report_io.hpp"
 
-#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string_view>
 #include <vector>
 
+#include "core/json_scan.hpp"
+
 namespace aimes::core {
 
-namespace {
-/// Escapes the characters JSON strings cannot hold raw.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-}  // namespace
 
 std::string report_to_json(const ExecutionReport& report) {
   std::ostringstream out;
@@ -45,7 +29,7 @@ std::string report_to_json(const ExecutionReport& report) {
   out << "    \"pilot_walltime_s\": " << s.pilot_walltime.to_seconds() << ",\n";
   out << "    \"sites\": [";
   for (std::size_t i = 0; i < s.sites.size(); ++i) {
-    out << (i ? ", " : "") << "\"" << json_escape(s.sites[i].str()) << "\"";
+    out << (i ? ", " : "") << "\"" << json::escape(s.sites[i].str()) << "\"";
   }
   out << "]\n  },\n";
   out << "  \"ttc_s\": " << t.ttc.to_seconds() << ",\n";
@@ -97,161 +81,6 @@ common::Status save_report_json(const ExecutionReport& report, const std::string
   return {};
 }
 
-namespace {
-
-/// Field-addressed scanner over one (sub)object of the flat report format.
-/// Lookups are by key, scoped to the scanner's text range, so same-named
-/// fields in nested blocks ("pilots_resubmitted" at top level and inside
-/// "recovery") never alias. Every error names the file and the field.
-class FieldScanner {
- public:
-  FieldScanner(const std::string& path, std::string_view text)
-      : path_(path), text_(text) {}
-
-  [[nodiscard]] common::Expected<double> number(const std::string& key) const {
-    using E = common::Expected<double>;
-    auto at = locate(key);
-    if (!at) return E::error(at.error());
-    char* end = nullptr;
-    const std::string token(text_.substr(*at, 64));
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == token.c_str()) return E::error(describe(key) + ": expected a number");
-    return value;
-  }
-
-  [[nodiscard]] common::Expected<bool> boolean(const std::string& key) const {
-    using E = common::Expected<bool>;
-    auto at = locate(key);
-    if (!at) return E::error(at.error());
-    if (text_.substr(*at).starts_with("true")) return true;
-    if (text_.substr(*at).starts_with("false")) return false;
-    return E::error(describe(key) + ": expected true or false");
-  }
-
-  [[nodiscard]] common::Expected<std::string> text(const std::string& key) const {
-    using E = common::Expected<std::string>;
-    auto at = locate(key);
-    if (!at) return E::error(at.error());
-    auto parsed = parse_string(*at);
-    if (!parsed) return E::error(describe(key) + ": " + parsed.error());
-    return parsed->first;
-  }
-
-  /// Sub-scanner over the object value of `key` (its "{...}" body).
-  [[nodiscard]] common::Expected<FieldScanner> object(const std::string& key) const {
-    using E = common::Expected<FieldScanner>;
-    auto at = locate(key);
-    if (!at) return E::error(at.error());
-    if (text_[*at] != '{') return E::error(describe(key) + ": expected an object");
-    int depth = 0;
-    for (std::size_t i = *at; i < text_.size(); ++i) {
-      if (text_[i] == '{') ++depth;
-      if (text_[i] == '}' && --depth == 0) {
-        return FieldScanner(path_, text_.substr(*at + 1, i - *at - 1));
-      }
-    }
-    return E::error(describe(key) + ": unterminated object");
-  }
-
-  [[nodiscard]] common::Expected<std::vector<double>> numbers(const std::string& key) const {
-    using E = common::Expected<std::vector<double>>;
-    auto body = array_body(key);
-    if (!body) return E::error(body.error());
-    std::vector<double> out;
-    std::size_t i = 0;
-    while ((i = skip_ws(*body, i)) < body->size()) {
-      char* end = nullptr;
-      const std::string token(body->substr(i, 64));
-      const double value = std::strtod(token.c_str(), &end);
-      if (end == token.c_str()) return E::error(describe(key) + ": expected a number");
-      out.push_back(value);
-      i += static_cast<std::size_t>(end - token.c_str());
-      i = skip_ws(*body, i);
-      if (i < body->size() && (*body)[i] == ',') ++i;
-    }
-    return out;
-  }
-
-  [[nodiscard]] common::Expected<std::vector<std::string>> strings(
-      const std::string& key) const {
-    using E = common::Expected<std::vector<std::string>>;
-    auto body = array_body(key);
-    if (!body) return E::error(body.error());
-    std::vector<std::string> out;
-    std::size_t i = 0;
-    while ((i = skip_ws(*body, i)) < body->size()) {
-      FieldScanner item(path_, *body);
-      auto parsed = item.parse_string(i);
-      if (!parsed) return E::error(describe(key) + ": " + parsed.error());
-      out.push_back(parsed->first);
-      i = skip_ws(*body, parsed->second);
-      if (i < body->size() && (*body)[i] == ',') ++i;
-    }
-    return out;
-  }
-
-  [[nodiscard]] std::string describe(const std::string& key) const {
-    return path_ + ": field '" + key + "'";
-  }
-
- private:
-  /// Offset of the value of `"key":`, whitespace skipped.
-  [[nodiscard]] common::Expected<std::size_t> locate(const std::string& key) const {
-    using E = common::Expected<std::size_t>;
-    const std::string needle = "\"" + key + "\"";
-    const std::size_t at = text_.find(needle);
-    if (at == std::string_view::npos) return E::error(path_ + ": missing field '" + key + "'");
-    std::size_t i = skip_ws(text_, at + needle.size());
-    if (i >= text_.size() || text_[i] != ':') {
-      return E::error(describe(key) + ": expected ':'");
-    }
-    i = skip_ws(text_, i + 1);
-    if (i >= text_.size()) return E::error(describe(key) + ": missing value");
-    return i;
-  }
-
-  [[nodiscard]] common::Expected<std::string_view> array_body(const std::string& key) const {
-    using E = common::Expected<std::string_view>;
-    auto at = locate(key);
-    if (!at) return E::error(at.error());
-    if (text_[*at] != '[') return E::error(describe(key) + ": expected an array");
-    const std::size_t close = text_.find(']', *at);
-    if (close == std::string_view::npos) {
-      return E::error(describe(key) + ": unterminated array");
-    }
-    return text_.substr(*at + 1, close - *at - 1);
-  }
-
-  /// Parses a quoted string at `at`; returns (value, offset past the quote).
-  [[nodiscard]] common::Expected<std::pair<std::string, std::size_t>> parse_string(
-      std::size_t at) const {
-    using E = common::Expected<std::pair<std::string, std::size_t>>;
-    if (at >= text_.size() || text_[at] != '"') return E::error("expected a string");
-    std::string out;
-    for (std::size_t i = at + 1; i < text_.size(); ++i) {
-      if (text_[i] == '\\' && i + 1 < text_.size()) {
-        const char next = text_[++i];
-        out += next == 'n' ? '\n' : next == 't' ? '\t' : next;
-      } else if (text_[i] == '"') {
-        return std::pair{out, i + 1};
-      } else {
-        out += text_[i];
-      }
-    }
-    return E::error("unterminated string");
-  }
-
-  static std::size_t skip_ws(std::string_view text, std::size_t i) {
-    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) ++i;
-    return i;
-  }
-
-  std::string path_;
-  std::string_view text_;
-};
-
-}  // namespace
-
 common::Expected<ExecutionReport> load_report_json(const std::string& path) {
   using E = common::Expected<ExecutionReport>;
   std::ifstream f(path);
@@ -259,7 +88,7 @@ common::Expected<ExecutionReport> load_report_json(const std::string& path) {
   std::stringstream buffer;
   buffer << f.rdbuf();
   const std::string text = buffer.str();
-  const FieldScanner top(path, text);
+  const json::FieldScanner top(path, text);
   ExecutionReport r;
 
 // Each field loads or the whole parse fails with that field's error.

@@ -1,0 +1,224 @@
+#include "ctl/daemon.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "cluster/testbed.hpp"
+#include "core/json_scan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+
+namespace aimes::ctl {
+
+namespace {
+
+net::HttpResponse json_error(int status, const std::string& message) {
+  net::HttpResponse res;
+  res.status = status;
+  res.body = "{\"error\": \"" + core::json::escape(message) + "\"}\n";
+  return res;
+}
+
+net::HttpResponse json_ok(std::string body) {
+  net::HttpResponse res;
+  res.body = std::move(body);
+  return res;
+}
+
+/// Splits "/api/v1/runs/17/log" past the prefix into (id, trailing verb).
+bool parse_run_path(const std::string& path, std::uint64_t& id, std::string& verb) {
+  const std::string prefix = "/api/v1/runs/";
+  if (path.rfind(prefix, 0) != 0) return false;
+  const std::string rest = path.substr(prefix.size());
+  char* end = nullptr;
+  id = std::strtoull(rest.c_str(), &end, 10);
+  if (end == rest.c_str()) return false;
+  verb = *end == '/' ? std::string(end + 1) : std::string(end);
+  return verb.empty() || *end == '/';
+}
+
+}  // namespace
+
+std::string run_record_to_json(const RunRecord& record) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"id\": " << record.id << ",\n";
+  out << "  \"user\": \"" << core::json::escape(record.user) << "\",\n";
+  out << "  \"name\": \"" << core::json::escape(record.name) << "\",\n";
+  out << "  \"state\": \"" << to_string(record.state) << "\",\n";
+  out << "  \"cancel_reason\": \"" << to_string(record.cancel_reason) << "\",\n";
+  out << "  \"kind\": \"" << (record.request.is_campaign() ? "campaign" : "single")
+      << "\",\n";
+  out << "  \"trials\": " << record.request.trials << ",\n";
+  out << "  \"seed\": " << record.request.seed << ",\n";
+  out << "  \"submitted_at\": " << record.submitted_at << ",\n";
+  out << "  \"started_at\": " << record.started_at << ",\n";
+  out << "  \"finished_at\": " << record.finished_at << ",\n";
+  out << "  \"log_lines\": " << record.log.size() << ",\n";
+  std::string result = exp::run_result_to_json(record.result);
+  // Indent the nested object to keep the document readable in a terminal.
+  std::string indented;
+  for (const char c : result) {
+    indented += c;
+    if (c == '\n') indented += "  ";
+  }
+  while (!indented.empty() && (indented.back() == ' ' || indented.back() == '\n')) {
+    indented.pop_back();
+  }
+  out << "  \"result\": " << indented << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)),
+      registry_(Registry::Options{options_.workers, options_.executor}) {}
+
+common::Expected<std::uint16_t> Daemon::start(std::uint16_t port) {
+  return server_.start(port,
+                       [this](const net::HttpRequest& request) { return handle(request); });
+}
+
+void Daemon::stop() {
+  server_.stop();
+  registry_.drain(/*cancel_running=*/true);
+}
+
+net::HttpResponse Daemon::handle(const net::HttpRequest& request) {
+  const std::string& path = request.path;
+  if (path == "/api/v1/runs") {
+    if (request.method == "POST") return submit(request);
+    if (request.method == "GET") return list_runs(request);
+    return json_error(405, "runs supports GET and POST");
+  }
+  std::uint64_t id = 0;
+  std::string verb;
+  if (parse_run_path(path, id, verb)) {
+    if (verb.empty() && request.method == "GET") return view_run(id);
+    if (verb.empty() && request.method == "DELETE") return cancel_run(id);
+    if (verb == "log" && request.method == "GET") return run_log(id);
+    if (verb == "cancel" && request.method == "POST") return cancel_run(id);
+    return json_error(405, "unsupported run operation " + request.method + " /" + verb);
+  }
+  if (path == "/api/v1/resource" && request.method == "GET") return resource();
+  if (path == "/api/v1/health" && request.method == "GET") return health();
+  if (path == "/api/v1/shutdown" && request.method == "POST") {
+    shutdown_.store(true);
+    net::HttpResponse res;
+    res.status = 202;
+    res.body = "{\"status\": \"draining\"}\n";
+    return res;
+  }
+  if (path == "/metrics" && request.method == "GET") return metrics();
+  return json_error(404, "no route for " + request.method + " " + path);
+}
+
+net::HttpResponse Daemon::submit(const net::HttpRequest& request) {
+  auto parsed = exp::parse_run_request("request body", request.body);
+  if (!parsed) return json_error(400, parsed.error());
+  std::string user = parsed->user.empty() ? options_.default_user : parsed->user;
+  auto id = registry_.submit(std::move(*parsed), std::move(user));
+  if (!id) {
+    // Intake refusals during drain are 503 (retry against the next daemon);
+    // validation failures were caught by the parse above.
+    const bool draining = id.error().find("draining") != std::string::npos;
+    return json_error(draining ? 503 : 400, id.error());
+  }
+  net::HttpResponse res;
+  res.status = 202;
+  res.body = "{\"id\": " + std::to_string(*id) + "}\n";
+  return res;
+}
+
+net::HttpResponse Daemon::list_runs(const net::HttpRequest& request) {
+  const auto records = registry_.list(request.query_param("user"));
+  std::ostringstream out;
+  out << "{\"runs\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    out << "  {\"id\": " << r.id << ", \"user\": \"" << core::json::escape(r.user)
+        << "\", \"name\": \"" << core::json::escape(r.name) << "\", \"state\": \""
+        << to_string(r.state) << "\", \"kind\": \""
+        << (r.request.is_campaign() ? "campaign" : "single") << "\"}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+  return json_ok(out.str());
+}
+
+net::HttpResponse Daemon::view_run(std::uint64_t id) {
+  auto record = registry_.get(id);
+  if (!record) return json_error(404, record.error());
+  return json_ok(run_record_to_json(*record));
+}
+
+net::HttpResponse Daemon::run_log(std::uint64_t id) {
+  auto record = registry_.get(id);
+  if (!record) return json_error(404, record.error());
+  net::HttpResponse res;
+  res.content_type = "text/plain";
+  for (const auto& line : record->log) res.body += line + "\n";
+  return res;
+}
+
+net::HttpResponse Daemon::cancel_run(std::uint64_t id) {
+  if (auto st = registry_.cancel(id, CancelReason::kUser); !st.ok()) {
+    return json_error(404, st.error());
+  }
+  auto record = registry_.get(id);
+  net::HttpResponse res;
+  res.status = 202;
+  res.body = "{\"id\": " + std::to_string(id) + ", \"state\": \"" +
+             std::string(record ? to_string(record->state) : "unknown") + "\"}\n";
+  return res;
+}
+
+net::HttpResponse Daemon::resource() {
+  // The grid every run executes on (unless its request replaces the testbed):
+  // the paper's five-site pool.
+  const auto sites = cluster::standard_testbed();
+  std::ostringstream out;
+  out << "{\"sites\": [\n";
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const auto& s = sites[i].site;
+    out << "  {\"name\": \"" << core::json::escape(s.name) << "\", \"nodes\": " << s.nodes
+        << ", \"cores_per_node\": " << s.cores_per_node << ", \"scheduler\": \""
+        << core::json::escape(s.scheduler) << "\", \"max_walltime_h\": "
+        << s.max_walltime.to_hours() << ", \"charge_per_core_hour\": "
+        << s.charge_per_core_hour << "}" << (i + 1 < sites.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+  return json_ok(out.str());
+}
+
+net::HttpResponse Daemon::health() {
+  std::ostringstream out;
+  out << "{\"status\": \"" << (shutdown_.load() ? "draining" : "ok")
+      << "\", \"queued\": " << registry_.queued() << ", \"running\": " << registry_.running()
+      << "}\n";
+  return json_ok(out.str());
+}
+
+net::HttpResponse Daemon::metrics() {
+  // Rebuilt per scrape from the registry's counters: obs::MetricsRegistry is
+  // not thread-safe, and a scrape-local registry needs no locking discipline
+  // beyond the registry's own.
+  const RegistryCounters c = registry_.counters();
+  obs::MetricsRegistry reg;
+  reg.counter("aimes_ctl_runs_submitted").add(static_cast<double>(c.submitted));
+  reg.counter("aimes_ctl_runs_completed").add(static_cast<double>(c.completed));
+  reg.counter("aimes_ctl_runs_failed").add(static_cast<double>(c.failed));
+  reg.counter("aimes_ctl_runs_cancelled").add(static_cast<double>(c.cancelled));
+  reg.gauge("aimes_ctl_runs_queued").set(static_cast<double>(registry_.queued()));
+  reg.gauge("aimes_ctl_runs_running").set(static_cast<double>(registry_.running()));
+  std::ostringstream out;
+  obs::export_prometheus(reg, out);
+  net::HttpResponse res;
+  res.content_type = "text/plain; version=0.0.4";
+  res.body = out.str();
+  return res;
+}
+
+}  // namespace aimes::ctl

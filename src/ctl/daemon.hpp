@@ -1,0 +1,77 @@
+// aimesd's brain: the HTTP route table over ctl::Registry.
+//
+// The daemon owns the registry (worker pool + run table) and an HTTP server,
+// and maps the control-plane REST surface onto them:
+//
+//   POST   /api/v1/runs            submit a RunRequest (202 {"id": N} / 400)
+//   GET    /api/v1/runs[?user=U]   list runs, newest first
+//   GET    /api/v1/runs/<id>       one run's record + result summary
+//   GET    /api/v1/runs/<id>/log   the run's progress log, text/plain
+//   POST   /api/v1/runs/<id>/cancel   request cancellation (also DELETE)
+//   GET    /api/v1/resource        the simulated grid the runs execute on
+//   GET    /api/v1/health          liveness + queue depth
+//   POST   /api/v1/shutdown        ask the daemon to drain and exit
+//   GET    /metrics                Prometheus exposition of the counters
+//
+// handle() is a pure request->response function (given registry state), so
+// the route tests drive it directly; the socket layer is net::HttpServer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "ctl/registry.hpp"
+#include "net/http.hpp"
+
+namespace aimes::ctl {
+
+struct DaemonOptions {
+  /// Owner recorded for submissions that name no user.
+  std::string default_user = "anon";
+  /// Concurrent runs (registry workers).
+  int workers = 2;
+  /// Executor override for tests; empty = exp::execute.
+  Registry::Executor executor;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options = {});
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and serves. Returns the port.
+  [[nodiscard]] common::Expected<std::uint16_t> start(std::uint16_t port);
+
+  /// Graceful shutdown: stop accepting HTTP, then drain the registry —
+  /// queued runs are cancelled with the shutdown reason, in-flight runs are
+  /// stopped at their next trial boundary and report trials_skipped.
+  void stop();
+
+  /// The route table, exposed for transport-free tests.
+  [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& request);
+
+  /// Set once a client POSTs /api/v1/shutdown; aimesd's main loop polls it.
+  [[nodiscard]] bool shutdown_requested() const { return shutdown_.load(); }
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+ private:
+  net::HttpResponse submit(const net::HttpRequest& request);
+  net::HttpResponse list_runs(const net::HttpRequest& request);
+  net::HttpResponse view_run(std::uint64_t id);
+  net::HttpResponse run_log(std::uint64_t id);
+  net::HttpResponse cancel_run(std::uint64_t id);
+  net::HttpResponse resource();
+  net::HttpResponse health();
+  net::HttpResponse metrics();
+
+  DaemonOptions options_;
+  Registry registry_;
+  net::HttpServer server_;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// One run record as the daemon's JSON view (shared by view and list).
+[[nodiscard]] std::string run_record_to_json(const RunRecord& record);
+
+}  // namespace aimes::ctl

@@ -1,0 +1,218 @@
+#include "ctl/registry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace aimes::ctl {
+
+std::string_view to_string(RunState state) {
+  switch (state) {
+    case RunState::kQueued: return "queued";
+    case RunState::kRunning: return "running";
+    case RunState::kDone: return "done";
+    case RunState::kFailed: return "failed";
+    case RunState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::string_view to_string(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kUser: return "user";
+    case CancelReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+Registry::Registry() : Registry(Options()) {}
+
+Registry::Registry(Options options) : options_(std::move(options)) {
+  if (!options_.executor) {
+    options_.executor = [](const exp::RunRequest& req, const exp::RunHooks& hooks) {
+      return exp::execute(req, hooks);
+    };
+  }
+  const int n = std::max(1, options_.workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Registry::~Registry() { drain(); }
+
+common::Expected<std::uint64_t> Registry::submit(exp::RunRequest request, std::string user) {
+  using E = common::Expected<std::uint64_t>;
+  if (auto st = exp::validate(request); !st.ok()) return E::error(st.error());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (draining_) return E::error("registry: draining, not accepting new runs");
+  const std::uint64_t id = next_id_++;
+  auto entry = std::make_unique<Entry>();
+  entry->record.id = id;
+  entry->record.user = std::move(user);
+  entry->record.name = request.display_name();
+  entry->record.request = std::move(request);
+  entry->record.submitted_at = std::time(nullptr);
+  runs_.emplace(id, std::move(entry));
+  fifo_.push_back(id);
+  ++counters_.submitted;
+  work_cv_.notify_one();
+  return id;
+}
+
+common::Expected<RunRecord> Registry::get(std::uint64_t id) const {
+  using E = common::Expected<RunRecord>;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = runs_.find(id);
+  if (it == runs_.end()) return E::error("unknown run id " + std::to_string(id));
+  return it->second->record;
+}
+
+std::vector<RunRecord> Registry::list(const std::string& user) const {
+  std::vector<RunRecord> out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(runs_.size());
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+    if (!user.empty() && it->second->record.user != user) continue;
+    out.push_back(it->second->record);
+  }
+  return out;
+}
+
+common::Status Registry::cancel(std::uint64_t id, CancelReason reason) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = runs_.find(id);
+  if (it == runs_.end()) {
+    return common::Status::error("unknown run id " + std::to_string(id));
+  }
+  Entry& entry = *it->second;
+  switch (entry.record.state) {
+    case RunState::kQueued:
+      entry.record.state = RunState::kCancelled;
+      entry.record.cancel_reason = reason;
+      entry.record.finished_at = std::time(nullptr);
+      entry.cancel.store(true);
+      std::erase(fifo_, id);
+      ++counters_.cancelled;
+      entry.record.log.push_back("cancelled while queued (" +
+                                 std::string(to_string(reason)) + ")");
+      break;
+    case RunState::kRunning:
+      // The worker observes the flag at the next trial boundary and marks
+      // the record cancelled itself.
+      if (!entry.cancel.exchange(true)) {
+        entry.record.cancel_reason = reason;
+        entry.record.log.push_back("cancellation requested (" +
+                                   std::string(to_string(reason)) + ")");
+      }
+      break;
+    case RunState::kDone:
+    case RunState::kFailed:
+    case RunState::kCancelled:
+      break;  // nothing left to cancel; not an error
+  }
+  return {};
+}
+
+void Registry::drain(bool cancel_running) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    if (cancel_running) {
+      for (auto& [id, entry] : runs_) {
+        if (entry->record.state != RunState::kRunning) continue;
+        if (!entry->cancel.exchange(true)) {
+          entry->record.cancel_reason = CancelReason::kShutdown;
+          entry->record.log.push_back("cancellation requested (shutdown)");
+        }
+      }
+    }
+    // Queued runs never started; cancel them outright with the typed reason.
+    for (const std::uint64_t id : fifo_) {
+      Entry& entry = *runs_.at(id);
+      entry.record.state = RunState::kCancelled;
+      entry.record.cancel_reason = CancelReason::kShutdown;
+      entry.record.finished_at = std::time(nullptr);
+      entry.cancel.store(true);
+      ++counters_.cancelled;
+      entry.record.log.push_back("cancelled while queued (shutdown)");
+    }
+    fifo_.clear();
+    work_cv_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+std::size_t Registry::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fifo_.size();
+}
+
+std::size_t Registry::running() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+RegistryCounters Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void Registry::worker_loop() {
+  for (;;) {
+    Entry* entry = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return !fifo_.empty() || draining_; });
+      if (fifo_.empty()) return;  // draining and nothing left to claim
+      const std::uint64_t id = fifo_.front();
+      fifo_.pop_front();
+      entry = runs_.at(id).get();
+      entry->record.state = RunState::kRunning;
+      entry->record.started_at = std::time(nullptr);
+      ++running_;
+    }
+
+    exp::RunHooks hooks;
+    hooks.cancelled = [entry] { return entry->cancel.load(std::memory_order_relaxed); };
+    hooks.log = [this, entry](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      entry->record.log.push_back(line);
+    };
+    exp::RunResult result = options_.executor(entry->record.request, hooks);
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      entry->record.result = std::move(result);
+      entry->record.finished_at = std::time(nullptr);
+      --running_;
+      const exp::RunResult& r = entry->record.result;
+      if (!r.ok) {
+        entry->record.state = RunState::kFailed;
+        ++counters_.failed;
+        entry->record.log.push_back("failed: " + r.error);
+      } else if (r.cancelled) {
+        entry->record.state = RunState::kCancelled;
+        if (entry->record.cancel_reason == CancelReason::kNone) {
+          // drain() flipped the flag without going through cancel().
+          entry->record.cancel_reason = CancelReason::kShutdown;
+        }
+        ++counters_.cancelled;
+        entry->record.log.push_back(
+            "cancelled after " + std::to_string(r.trials_completed) + "/" +
+            std::to_string(r.trials_requested) + " trials (" +
+            std::string(to_string(entry->record.cancel_reason)) + ")");
+      } else {
+        entry->record.state = RunState::kDone;
+        ++counters_.completed;
+        entry->record.log.push_back(r.success ? "done" : "done (with failing trials)");
+      }
+    }
+  }
+}
+
+}  // namespace aimes::ctl

@@ -1,0 +1,143 @@
+// The control plane's run registry: the daemon-side table of every campaign
+// and single-app run submitted over HTTP, with FIFO dispatch onto a small
+// worker pool, per-run log capture, cooperative cancellation, and a graceful
+// drain for shutdown.
+//
+// The registry is transport-agnostic — it consumes exp::RunRequest and
+// produces exp::RunResult through an injectable Executor, so the lifecycle
+// tests drive it with a stub executor (no simulation) and the daemon wires
+// in exp::execute. Workers poll each run's cancel flag through the
+// RunHooks::cancelled token, so a cancel lands at trial granularity: the
+// in-flight trial finishes, the rest are skipped and reported as such.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <ctime>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/request.hpp"
+
+namespace aimes::ctl {
+
+/// Lifecycle of one submitted run.
+enum class RunState {
+  kQueued,     ///< accepted, waiting for a worker
+  kRunning,    ///< a worker is executing trials
+  kDone,       ///< finished; result.success says how well
+  kFailed,     ///< executor rejected it (resolve error) or every trial failed
+  kCancelled,  ///< cancelled before or during execution
+};
+
+[[nodiscard]] std::string_view to_string(RunState state);
+
+/// Why a cancelled run was cancelled — the typed reason the acceptance
+/// criteria require for drained-on-shutdown runs.
+enum class CancelReason {
+  kNone,
+  kUser,      ///< explicit aimesc cancel / DELETE
+  kShutdown,  ///< daemon drained while the run was queued or in flight
+};
+
+[[nodiscard]] std::string_view to_string(CancelReason reason);
+
+/// Full record of one run, copyable for handout under the registry lock.
+struct RunRecord {
+  std::uint64_t id = 0;
+  std::string user;
+  std::string name;
+  exp::RunRequest request;
+  RunState state = RunState::kQueued;
+  CancelReason cancel_reason = CancelReason::kNone;
+  exp::RunResult result;
+  std::vector<std::string> log;
+  std::time_t submitted_at = 0;
+  std::time_t started_at = 0;
+  std::time_t finished_at = 0;
+};
+
+/// Monotonic totals across the registry's lifetime (the /metrics counters).
+struct RegistryCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< reached kDone
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+};
+
+class Registry {
+ public:
+  /// Runs one request to completion; the daemon injects exp::execute, tests
+  /// inject stubs. Must honor hooks.cancelled for cancellation to bite.
+  using Executor = std::function<exp::RunResult(const exp::RunRequest&, const exp::RunHooks&)>;
+
+  struct Options {
+    /// Concurrent runs (each run parallelizes its own trials via req.jobs).
+    int workers = 2;
+    /// Defaults to exp::execute when empty.
+    Executor executor;
+  };
+
+  Registry();  // default Options (out-of-line: NSDMIs of a nested class
+               // cannot appear in a default argument inside this class)
+  explicit Registry(Options options);
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Validates and enqueues. Returns the run id, or the typed validation
+  /// error (a 400, not a 500: nothing was enqueued). Rejects after drain().
+  [[nodiscard]] common::Expected<std::uint64_t> submit(exp::RunRequest request,
+                                                       std::string user);
+
+  /// Copy of one run's record (its log included); error for unknown ids.
+  [[nodiscard]] common::Expected<RunRecord> get(std::uint64_t id) const;
+
+  /// All runs, newest first; `user` filters when non-empty.
+  [[nodiscard]] std::vector<RunRecord> list(const std::string& user = "") const;
+
+  /// Requests cancellation. A queued run is cancelled immediately; a running
+  /// one finishes its in-flight trial and reports the rest skipped. Errors
+  /// for unknown ids; a no-op for already-finished runs.
+  [[nodiscard]] common::Status cancel(std::uint64_t id, CancelReason reason);
+
+  /// Graceful shutdown: stop intake, cancel queued runs with kShutdown, and
+  /// join the workers. In-flight runs complete by default (they were
+  /// admitted); `cancel_running` instead stops them at the next trial
+  /// boundary with the kShutdown reason. Idempotent; the destructor calls it.
+  void drain(bool cancel_running = false);
+
+  [[nodiscard]] std::size_t queued() const;
+  [[nodiscard]] std::size_t running() const;
+  [[nodiscard]] RegistryCounters counters() const;
+
+ private:
+  /// Atomics are per-run (the executor polls cancel from a worker thread
+  /// while cancel() flips it from the HTTP thread), so records live in
+  /// stable heap entries and hand out copies.
+  struct Entry {
+    RunRecord record;
+    std::atomic<bool> cancel{false};
+  };
+
+  void worker_loop();
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::map<std::uint64_t, std::unique_ptr<Entry>> runs_;
+  std::deque<std::uint64_t> fifo_;
+  std::uint64_t next_id_ = 1;
+  bool draining_ = false;
+  std::size_t running_ = 0;
+  RegistryCounters counters_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace aimes::ctl

@@ -120,9 +120,7 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   config.execution.units.unit_failure_probability = tweaks.unit_failure_probability;
   config.faults = tweaks.faults;
   config.observability = tweaks.observability;
-  config.shards = tweaks.shards;
-  config.grid_sites = tweaks.grid_sites;
-  config.shard_workers = tweaks.shard_workers;
+  config.sharding = tweaks.sharding;
 
   core::Aimes aimes(config);
   aimes.start();
@@ -171,9 +169,9 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
     t.name = "t" + std::to_string(i + 1);
     t.arrival = arrivals[static_cast<std::size_t>(i)];
     t.weight = tenant_weight(spec, i);
-    t.priority = cycled(spec.priorities, i, 0);
-    t.slo = cycled(spec.slos, i, core::SloClass::kStandard);
-    t.quota = cycled(spec.quotas, i, core::TenantQuota{});
+    t.priority = cycled(spec.admission.priorities, i, 0);
+    t.slo = cycled(spec.admission.slos, i, core::SloClass::kStandard);
+    t.quota = cycled(spec.admission.quotas, i, core::TenantQuota{});
     tenants.push_back(std::move(t));
   }
 
@@ -185,8 +183,8 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   options.pool_idle_grace = spec.pool_idle_grace;
   options.walltime_headroom = spec.walltime_headroom;
   options.units.unit_failure_probability = tweaks.unit_failure_probability;
-  options.admission = spec.admission;
-  options.breaker = spec.breaker;
+  options.admission = spec.admission.policy;
+  options.breaker = spec.admission.breaker;
   options.recovery = spec.recovery;
 
   auto run = aimes.run_campaign(std::move(tenants), options);
@@ -197,7 +195,7 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   }
   result.report = std::move(run->report);
   result.success = result.report.success;
-  if (!result.success && spec.admission.enabled) {
+  if (!result.success && spec.admission.policy.enabled) {
     // Shedding per policy is the policy working, not a failure; only an
     // *admitted* tenant that did not complete fails the trial.
     result.success = true;
@@ -215,18 +213,30 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
 
 CampaignCellResult run_campaign_cell(const CampaignSpec& spec, int n_trials,
                                      std::uint64_t base_seed, const WorldTweaks& tweaks,
-                                     int jobs) {
+                                     int jobs, const CampaignProgress& progress,
+                                     const StopToken& stop) {
   CampaignCellResult cell;
   cell.spec = spec;
   if (n_trials <= 0) return cell;
   sim::ReplicaPool pool(jobs < 0 ? 1u : static_cast<unsigned>(jobs));
   const std::vector<CampaignTrialResult> results = pool.map<CampaignTrialResult>(
       static_cast<std::size_t>(n_trials), [&](std::size_t t) {
-        return run_campaign_trial(spec, base_seed + static_cast<std::uint64_t>(t) + 1,
-                                  tweaks);
+        if (stop && stop()) {
+          CampaignTrialResult skipped;
+          skipped.skipped = true;
+          return skipped;
+        }
+        CampaignTrialResult r =
+            run_campaign_trial(spec, base_seed + static_cast<std::uint64_t>(t) + 1, tweaks);
+        if (progress) progress(static_cast<int>(t), r);
+        return r;
       });
   Fnv fnv;
   for (const CampaignTrialResult& r : results) {
+    if (r.skipped) {
+      ++cell.trials_skipped;
+      continue;
+    }
     fnv.mix(r.success ? 1 : 0);
     fnv.mix(r.makespan.count_ms());
     for (const auto& ttc : r.tenant_ttc) fnv.mix(ttc.count_ms());

@@ -58,19 +58,12 @@ struct CampaignSpec {
   /// Pool tuning, forwarded to core::CampaignOptions in the shared mode.
   common::SimDuration pool_idle_grace = common::SimDuration::minutes(10);
   double walltime_headroom = 2.0;
-  /// SLO-aware admission in front of tenant planning (disabled = the legacy
-  /// always-admit path, bit-identical to pre-admission builds).
-  core::AdmissionPolicy admission;
-  /// Per-site circuit breakers (disabled by default).
-  cluster::BreakerPolicy breaker;
+  /// SLO-aware admission ladder + site breakers + per-tenant attributes
+  /// (policy disabled = the legacy always-admit path, bit-identical to
+  /// pre-admission builds).
+  core::AdmissionConfig admission;
   /// Pilot-chain recovery for lost campaign pilots (disabled by default).
   core::RecoveryPolicy recovery;
-  /// Admission priorities cycled across tenants (empty = all 0).
-  std::vector<int> priorities;
-  /// SLO classes cycled across tenants (empty = all kStandard).
-  std::vector<core::SloClass> slos;
-  /// Per-tenant quotas cycled across tenants (empty = unlimited).
-  std::vector<core::TenantQuota> quotas;
 };
 
 /// Tenant i's task count under `spec`'s size cycle.
@@ -99,6 +92,8 @@ struct CampaignTrialResult {
   core::CampaignReport report;
   /// Observability summary (all-zero unless tweaks.observability.enabled).
   obs::Snapshot obs;
+  /// The trial never ran: a cancellation stop() fired before its turn.
+  bool skipped = false;
 };
 
 /// Runs one campaign trial in a fresh world derived from `seed`.
@@ -135,20 +130,32 @@ struct CampaignCellResult {
   /// trial: did the arbiter's weighted round-robin actually deliver each
   /// tenant its share of the pool?
   common::Summary fairness;
+  /// Trials skipped by a cancellation stop() — when nonzero the cell was cut
+  /// short and its checksum does not claim cross-run bit-identity.
+  std::size_t trials_skipped = 0;
   /// FNV-1a over every trial's success flag, makespan, per-tenant TTCs,
   /// admission outcomes/shed reasons and waits (raw milliseconds), in trial
   /// order — the bit-identity witness the determinism tests and bench
   /// compare across `jobs` values.
   std::uint64_t checksum = 0;
+
+  [[nodiscard]] bool cancelled() const { return trials_skipped > 0; }
 };
+
+/// Invoked per finished campaign trial from whichever pool worker ran it;
+/// must be thread-safe when jobs > 1. Receives the trial index (seed order).
+using CampaignProgress = std::function<void(int, const CampaignTrialResult&)>;
 
 /// Runs `n_trials` campaign trials (seeds base_seed+1 ... base_seed+n) on a
 /// sim::ReplicaPool of `jobs` workers (1 = serial, 0 = hardware concurrency)
 /// and aggregates in seed order; aggregates and checksum are bit-identical
-/// for every `jobs` value.
+/// for every `jobs` value. `stop` (polled before each trial) cancels the
+/// remaining trials; a cut-short cell reports trials_skipped > 0.
 [[nodiscard]] CampaignCellResult run_campaign_cell(const CampaignSpec& spec, int n_trials,
                                                    std::uint64_t base_seed,
                                                    const WorldTweaks& tweaks = {},
-                                                   int jobs = 1);
+                                                   int jobs = 1,
+                                                   const CampaignProgress& progress = nullptr,
+                                                   const StopToken& stop = nullptr);
 
 }  // namespace aimes::exp

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/stats.hpp"
 #include "core/aimes.hpp"
@@ -39,6 +40,9 @@ struct TrialResult {
   /// Observability summary (all-zero unless tweaks.observability.enabled);
   /// rendered artifacts only when tweaks.obs_artifacts was set.
   obs::Snapshot obs;
+  /// The trial never ran: a cancellation stop() fired before its turn.
+  /// Skipped trials are excluded from every cell aggregate.
+  bool skipped = false;
 };
 
 /// Aggregated results of repeated trials of one (experiment, size) cell.
@@ -49,14 +53,23 @@ struct CellResult {
   common::Summary tw_s;
   common::Summary tx_s;
   common::Summary ts_s;
+  /// Faults injected / pilots resubmitted per successful trial (zero-heavy
+  /// unless the tweaks carry a fault plan).
+  common::Summary faults_n;
+  common::Summary resubmitted_n;
   std::size_t failures = 0;  // trials that did not complete all units
-  /// FNV-1a fold of every trial's span checksum in seed order — the
-  /// bit-identity witness across `jobs` (folds zeros when observability is
-  /// off, so it is still stable, just uninformative).
+  /// Trials skipped by a cancellation stop() — when nonzero the cell was cut
+  /// short and its checksum does not claim cross-run bit-identity.
+  std::size_t trials_skipped = 0;
+  /// FNV-1a fold of every completed trial's span checksum in seed order —
+  /// the bit-identity witness across `jobs` (folds zeros when observability
+  /// is off, so it is still stable, just uninformative).
   std::uint64_t span_checksum = 0;
   /// Engine self-profiling summed over the cell's trials.
   std::size_t events_executed = 0;
   double wall_seconds = 0.0;
+
+  [[nodiscard]] bool cancelled() const { return trials_skipped > 0; }
 };
 
 /// Overrides applied to every trial's world.
@@ -67,45 +80,67 @@ struct WorldTweaks {
   std::vector<cluster::TestbedSiteSpec> testbed;
   /// Failure injection for reliability experiments.
   double unit_failure_probability = 0.0;
-  /// Fault plan injected into every trial's world (empty = none): explicit
-  /// launch/kill/outage/transfer events plus stochastic rates, all seeded
-  /// from the trial seed.
-  sim::FaultPlan faults;
+  /// Fault plan injected into every trial's world (plan empty = none):
+  /// explicit launch/kill/outage/transfer events plus stochastic rates, all
+  /// seeded from the trial seed.
+  core::FaultConfig faults;
+  /// Execution-Manager pilot-loss recovery (disabled by default, matching
+  /// historical trials; front ends arm it when a fault plan is present).
+  core::RecoveryPolicy recovery;
   /// Span tracer + metrics registry + sampler (off by default; a trial with
   /// observability on is event-for-event identical to one without).
-  obs::ObservabilityOptions observability;
+  core::ObsConfig observability;
   /// Also render the Chrome-trace/Prometheus/CSV artifacts into the trial's
   /// Snapshot (they can be large; summaries are always filled).
   bool obs_artifacts = false;
-  /// Intra-trial sharding, forwarded to core::AimesConfig: 0 = legacy
-  /// single-engine drive; N >= 1 = conservative-window drive on N shard
-  /// engines, bit-identical for every N (the `--shards` axis, orthogonal to
-  /// the across-trial `jobs` axis).
-  int shards = 0;
-  /// Ambient background sites spread across the shards (the load a sharded
-  /// trial parallelizes); 0 keeps the world exactly the legacy shape.
-  int grid_sites = 0;
-  /// Worker threads per sharded trial (0 = min(shards, hardware)); wall
-  /// clock only, never results. Benches sweeping `jobs` keep this at 1.
-  int shard_workers = 0;
+  /// Intra-trial sharding, forwarded to core::AimesConfig (all zero = legacy
+  /// single-engine drive; bit-identical for every shard count — the
+  /// `--shards` axis, orthogonal to the across-trial `jobs` axis). Benches
+  /// sweeping `jobs` keep shard_workers at 1.
+  core::ShardingConfig sharding;
 };
 
+/// One application under one planning strategy — the general form of a cell,
+/// of which ExperimentSpec (Table I's four rows) is a special case. The
+/// daemon and aimes-run both land here, so a profile+strategy submitted over
+/// HTTP runs the exact trial the CLI runs.
+struct AppSpec {
+  skeleton::SkeletonSpec skeleton;
+  core::PlannerConfig planner;
+  std::string label;
+};
+
+/// The AppSpec equivalent of `experiment` x `tasks`: same skeleton, same
+/// planner inputs, bit-identical trials (asserted by the request tests).
+[[nodiscard]] AppSpec make_app_spec(const ExperimentSpec& experiment, int tasks);
+
+/// Invoked per finished trial from whichever pool worker ran it; must be
+/// thread-safe when jobs > 1. Receives the trial index (seed order).
+using TrialProgress = std::function<void(int, const TrialResult&)>;
+/// Polled before each trial starts; returning true skips the remaining
+/// trials (cooperative cancellation at trial granularity).
+using StopToken = std::function<bool()>;
+
 /// Runs one trial in a fresh world derived from `seed`.
+[[nodiscard]] TrialResult run_trial(const AppSpec& app, std::uint64_t seed,
+                                    const WorldTweaks& tweaks = {});
 [[nodiscard]] TrialResult run_trial(const ExperimentSpec& experiment, int tasks,
                                     std::uint64_t seed, const WorldTweaks& tweaks = {});
 
 /// Runs `n_trials` trials (seeds base_seed+1 ... base_seed+n) and aggregates.
-/// `progress` (optional) is invoked for every trial, in trial order.
 ///
 /// `jobs` controls parallelism: 1 (default) is the legacy serial loop, 0
 /// means hardware concurrency, N > 1 runs trials on a sim::ReplicaPool of N
 /// workers. Each trial builds its own world from its own seed, and results
 /// are aggregated in seed order, so the aggregate is bit-identical for every
 /// `jobs` value — asserted by the reproducibility tests.
+[[nodiscard]] CellResult run_cell(const AppSpec& app, int n_trials,
+                                  std::uint64_t base_seed, const WorldTweaks& tweaks = {},
+                                  const TrialProgress& progress = nullptr, int jobs = 1,
+                                  const StopToken& stop = nullptr);
 [[nodiscard]] CellResult run_cell(const ExperimentSpec& experiment, int tasks, int n_trials,
                                   std::uint64_t base_seed, const WorldTweaks& tweaks = {},
-                                  const std::function<void(int, const TrialResult&)>&
-                                      progress = nullptr,
-                                  int jobs = 1);
+                                  const TrialProgress& progress = nullptr, int jobs = 1,
+                                  const StopToken& stop = nullptr);
 
 }  // namespace aimes::exp

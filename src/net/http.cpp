@@ -1,0 +1,315 @@
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace aimes::net {
+
+namespace {
+
+/// Hard cap on one message (start-line + headers + body). The control plane
+/// exchanges kilobyte-scale JSON; anything bigger is a bug or abuse.
+constexpr std::size_t kMaxMessageBytes = 1 << 20;
+/// Per-connection read timeout; a stalled client cannot wedge the loop.
+constexpr int kIoTimeoutMs = 5000;
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Splits `text` into (start-line, headers, body) and fills `headers`/`body`.
+/// Returns the start-line or an error.
+common::Expected<std::string> parse_message(const std::string& text,
+                                            std::map<std::string, std::string>& headers,
+                                            std::string& body) {
+  using E = common::Expected<std::string>;
+  const auto head_end = text.find("\r\n\r\n");
+  if (head_end == std::string::npos) return E::error("truncated message: no header terminator");
+  const std::string head = text.substr(0, head_end);
+  body = text.substr(head_end + 4);
+  std::istringstream lines(head);
+  std::string line;
+  if (!std::getline(lines, line)) return E::error("empty message");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::string start_line = line;
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) return E::error("malformed header line '" + line + "'");
+    headers[lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+  const auto length = headers.find("content-length");
+  if (length != headers.end()) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(length->second.c_str(), &end, 10);
+    if (end == length->second.c_str() || n > kMaxMessageBytes) {
+      return E::error("bad content-length '" + length->second + "'");
+    }
+    if (body.size() < n) return E::error("truncated body");
+    body.resize(n);
+  }
+  return start_line;
+}
+
+/// Reads until the message is complete (headers seen and Content-Length
+/// bytes of body arrived) or the cap/timeout trips.
+common::Expected<std::string> read_message(int fd) {
+  using E = common::Expected<std::string>;
+  std::string buf;
+  char chunk[4096];
+  while (buf.size() <= kMaxMessageBytes) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kIoTimeoutMs);
+    if (ready <= 0) return E::error("read timeout");
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return E::error(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) break;  // peer closed
+    buf.append(chunk, static_cast<std::size_t>(n));
+    const auto head_end = buf.find("\r\n\r\n");
+    if (head_end == std::string::npos) continue;
+    // Complete once the advertised body has arrived (no Content-Length =
+    // complete at end of headers; the loop's recv of 0 also lands here).
+    const std::string head = lower(buf.substr(0, head_end));
+    const auto at = head.find("content-length:");
+    if (at == std::string::npos) return buf;
+    const unsigned long long want =
+        std::strtoull(head.c_str() + at + std::strlen("content-length:"), nullptr, 10);
+    if (want > kMaxMessageBytes) return E::error("oversized body");
+    if (buf.size() - head_end - 4 >= want) return buf;
+  }
+  if (buf.size() > kMaxMessageBytes) return E::error("oversized message");
+  return buf;
+}
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  const auto it = headers.find(lower(name));
+  return it == headers.end() ? "" : it->second;
+}
+
+std::string HttpRequest::query_param(const std::string& key) const {
+  std::size_t i = 0;
+  while (i < query.size()) {
+    auto amp = query.find('&', i);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(i, amp - i);
+    const auto eq = pair.find('=');
+    if (pair.substr(0, eq) == key) {
+      return eq == std::string::npos ? "" : pair.substr(eq + 1);
+    }
+    i = amp + 1;
+  }
+  return "";
+}
+
+std::string_view status_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+common::Expected<HttpRequest> parse_http_request(const std::string& text) {
+  using E = common::Expected<HttpRequest>;
+  HttpRequest req;
+  auto start = parse_message(text, req.headers, req.body);
+  if (!start) return E::error(start.error());
+  std::istringstream parts(*start);
+  std::string version;
+  if (!(parts >> req.method >> req.target >> version) ||
+      version.rfind("HTTP/", 0) != 0) {
+    return E::error("malformed request line '" + *start + "'");
+  }
+  std::transform(req.method.begin(), req.method.end(), req.method.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  const auto qmark = req.target.find('?');
+  req.path = req.target.substr(0, qmark);
+  req.query = qmark == std::string::npos ? "" : req.target.substr(qmark + 1);
+  return req;
+}
+
+common::Expected<HttpResponse> parse_http_response(const std::string& text) {
+  using E = common::Expected<HttpResponse>;
+  HttpResponse res;
+  std::map<std::string, std::string> headers;
+  auto start = parse_message(text, headers, res.body);
+  if (!start) return E::error(start.error());
+  std::istringstream parts(*start);
+  std::string version;
+  if (!(parts >> version >> res.status) || version.rfind("HTTP/", 0) != 0) {
+    return E::error("malformed status line '" + *start + "'");
+  }
+  const auto it = headers.find("content-type");
+  if (it != headers.end()) res.content_type = it->second;
+  return res;
+}
+
+std::string render_http_response(const HttpResponse& response) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " " << status_phrase(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  return out.str();
+}
+
+std::string render_http_request(const HttpRequest& request, const std::string& host) {
+  std::ostringstream out;
+  out << request.method << " " << request.target << " HTTP/1.1\r\n"
+      << "Host: " << host << "\r\n"
+      << "Content-Type: application/json\r\n"
+      << "Content-Length: " << request.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << request.body;
+  return out.str();
+}
+
+common::Expected<std::uint16_t> HttpServer::start(std::uint16_t port, Handler handler) {
+  using E = common::Expected<std::uint16_t>;
+  if (listen_fd_ >= 0) return E::error("server already running");
+  handler_ = std::move(handler);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return E::error(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return E::error("bind 127.0.0.1:" + std::to_string(port) + ": " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return E::error("listen: " + err);
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return E::error("getsockname: " + err);
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::jthread([this](const std::stop_token& st) { serve(st); });
+  return port_;
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  thread_.request_stop();
+  // Shut the listener down so a blocked accept/poll wakes immediately.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpServer::serve(const std::stop_token& stop_token) {
+  while (!stop_token.stop_requested()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (stop_token.stop_requested()) break;
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    auto message = read_message(conn);
+    HttpResponse response;
+    if (!message) {
+      response.status = message.error().find("oversized") != std::string::npos ? 413 : 400;
+      response.body = "{\"error\": \"" + message.error() + "\"}\n";
+    } else {
+      auto request = parse_http_request(*message);
+      if (!request) {
+        response.status = 400;
+        response.body = "{\"error\": \"" + request.error() + "\"}\n";
+      } else {
+        response = handler_(*request);
+      }
+    }
+    send_all(conn, render_http_response(response));
+    ::shutdown(conn, SHUT_RDWR);
+    ::close(conn);
+  }
+}
+
+common::Expected<HttpResponse> http_call(std::uint16_t port, const HttpRequest& request) {
+  using E = common::Expected<HttpResponse>;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return E::error(std::string("socket: ") + std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return E::error("connect 127.0.0.1:" + std::to_string(port) + ": " + err);
+  }
+  const std::string host = "127.0.0.1:" + std::to_string(port);
+  if (!send_all(fd, render_http_request(request, host))) {
+    ::close(fd);
+    return E::error("send failed");
+  }
+  ::shutdown(fd, SHUT_WR);
+  auto message = read_message(fd);
+  ::close(fd);
+  if (!message) return E::error(message.error());
+  return parse_http_response(*message);
+}
+
+}  // namespace aimes::net

@@ -1,0 +1,101 @@
+// Minimal local HTTP/1.1 transport for the control plane.
+//
+// `aimesd` speaks plain HTTP on a loopback TCP socket so any client — the
+// bundled `aimesc`, curl in tools/verify.sh, a Prometheus scraper hitting
+// /metrics — can talk to it without a bespoke wire protocol. The server is
+// deliberately small: Content-Length framing only (no chunked encoding, no
+// keep-alive — every response closes the connection), one poll()-driven
+// accept loop feeding a handler callback, size caps instead of streaming.
+// That is the whole feature set a single-host control plane needs, and every
+// line of it is testable without sockets through parse/render below.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/expected.hpp"
+
+namespace aimes::net {
+
+struct HttpRequest {
+  std::string method;  ///< GET, POST, DELETE, ... (uppercased by the parser)
+  std::string target;  ///< raw request-target, e.g. "/api/v1/runs?user=ana"
+  std::string path;    ///< target up to '?'
+  std::string query;   ///< target past '?' (no '?'), may be empty
+  /// Header names are lowercased by the parser; values are trimmed.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  /// Header value by lowercase name; empty string when absent.
+  [[nodiscard]] std::string header(const std::string& name) const;
+  /// Value of `key` in the query string ("a=1&b=2"); empty when absent.
+  [[nodiscard]] std::string query_param(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Human phrase for the handful of status codes the control plane uses.
+[[nodiscard]] std::string_view status_phrase(int status);
+
+/// Parses one complete request (start-line + headers + Content-Length body).
+/// Fails with a description when the framing is malformed or incomplete.
+[[nodiscard]] common::Expected<HttpRequest> parse_http_request(const std::string& text);
+
+/// Parses one complete response; used by the http_call client and the tests.
+[[nodiscard]] common::Expected<HttpResponse> parse_http_response(const std::string& text);
+
+/// Renders a response with Content-Length and Connection: close framing.
+[[nodiscard]] std::string render_http_response(const HttpResponse& response);
+
+/// Renders a request (Host/Content-Length/Connection: close added).
+[[nodiscard]] std::string render_http_request(const HttpRequest& request,
+                                              const std::string& host);
+
+/// Loopback HTTP server: binds 127.0.0.1:`port` (0 = ephemeral), serves each
+/// connection serially on one background jthread. The handler runs on that
+/// thread; anything slow belongs behind a queue (ctl::Registry), not in the
+/// handler. Malformed requests get a 400, oversized ones (1 MiB) a 413,
+/// handler exceptions never happen (the codebase is exception-free).
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer() { stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and starts serving. Returns the bound port (the ephemeral result
+  /// when `port` was 0) or a description of the socket failure.
+  [[nodiscard]] common::Expected<std::uint16_t> start(std::uint16_t port, Handler handler);
+
+  /// Stops accepting, closes the listener, and joins the accept loop. Safe
+  /// to call twice; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  void serve(const std::stop_token& stop_token);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  Handler handler_;
+  std::jthread thread_;
+};
+
+/// One-shot client: connects to 127.0.0.1:`port`, sends `request`, reads to
+/// EOF (the server closes), parses the response. Fails with a description on
+/// connect/IO/parse errors.
+[[nodiscard]] common::Expected<HttpResponse> http_call(std::uint16_t port,
+                                                       const HttpRequest& request);
+
+}  // namespace aimes::net

@@ -117,7 +117,7 @@ TEST(ReplicaPool, FaultInjectedReplicasBitIdenticalAcrossWorkerCounts) {
       config.seed = seed + t;
       sim::FaultRates rates;
       rates.pilot_kill = 0.3;
-      config.faults.with_rates(rates);
+      config.faults.plan.with_rates(rates);
       config.execution.recovery.enabled = true;
       config.execution.units.max_attempts = 12;
       core::Aimes world(config);

@@ -135,6 +135,42 @@ TEST(ReportIo, MalformedFieldErrorNamesFileAndField) {
   EXPECT_NE(loaded.error().find(path), std::string::npos) << loaded.error();
   EXPECT_NE(loaded.error().find("ttc_s"), std::string::npos) << loaded.error();
   EXPECT_NE(loaded.error().find("expected a number"), std::string::npos) << loaded.error();
+  // The error carries the absolute byte offset of the offending value, so a
+  // rejection is actionable without re-reading the file.
+  const auto byte_at = loaded.error().find(" at byte ");
+  ASSERT_NE(byte_at, std::string::npos) << loaded.error();
+  const std::size_t offset =
+      std::strtoull(loaded.error().c_str() + byte_at + std::string(" at byte ").size(),
+                    nullptr, 10);
+  const auto corrupted = json.find("\"soon\"");
+  ASSERT_NE(corrupted, std::string::npos);
+  EXPECT_EQ(offset, corrupted) << loaded.error();
+}
+
+TEST(ReportIo, NestedFieldErrorCarriesDottedPathAndOffset) {
+  const std::string path = "/tmp/aimes_report_nested.json";
+  auto json = report_to_json(sample_report());
+  // Corrupt a field inside the "recovery" sub-object; the error must name
+  // the dotted path, not the bare key (which also exists at top level).
+  const auto at = json.find("\"pilots_resubmitted\": ", json.find("\"recovery\": {"));
+  ASSERT_NE(at, std::string::npos);
+  const auto value_at = at + std::string("\"pilots_resubmitted\": ").size();
+  json.replace(value_at, 1, "x");
+  {
+    std::ofstream f(path);
+    f << json;
+  }
+  const auto loaded = load_report_json(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error().find("field 'recovery.pilots_resubmitted'"), std::string::npos)
+      << loaded.error();
+  const auto byte_at = loaded.error().find(" at byte ");
+  ASSERT_NE(byte_at, std::string::npos) << loaded.error();
+  const std::size_t offset =
+      std::strtoull(loaded.error().c_str() + byte_at + std::string(" at byte ").size(),
+                    nullptr, 10);
+  EXPECT_EQ(offset, value_at) << loaded.error();
 }
 
 TEST(ReportIo, MissingFieldErrorNamesField) {

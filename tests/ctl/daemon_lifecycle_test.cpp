@@ -1,0 +1,255 @@
+// Live aimesd lifecycle: a real ctl::Daemon — HTTP server on an ephemeral
+// loopback port, registry workers, runs executed by the real exp::execute —
+// driven through net::http_call exactly as aimesc drives it. Covers the
+// submit → view → cancel round trip, concurrent tenants sharing the worker
+// pool (with CLI-equivalence checksums), graceful shutdown draining
+// in-flight runs with typed reasons, malformed-request 4xx bodies, and the
+// Prometheus exporter. Labeled `sanitize` so the ASan/UBSan and TSan build
+// types exercise the daemon's threading.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json_scan.hpp"
+#include "ctl/daemon.hpp"
+#include "exp/request.hpp"
+#include "net/http.hpp"
+
+namespace {
+
+using namespace aimes;
+using namespace std::chrono_literals;
+
+exp::RunRequest quick_request() {
+  exp::RunRequest req;
+  req.tasks = 4;
+  req.trials = 1;
+  req.warmup_hours = 1.0;
+  req.strategy.pilots = 2;
+  req.observability.enabled = true;  // informative checksums
+  return req;
+}
+
+net::HttpRequest http(const std::string& method, const std::string& target,
+                      const std::string& body = "") {
+  net::HttpRequest req;
+  req.method = method;
+  req.target = target;
+  req.body = body;
+  return req;
+}
+
+/// Submits `req` over the wire; returns the run id (asserts on failure).
+std::uint64_t submit(std::uint16_t port, const exp::RunRequest& req) {
+  auto response = net::http_call(port, http("POST", "/api/v1/runs",
+                                            exp::run_request_to_json(req)));
+  EXPECT_TRUE(response.ok()) << response.error();
+  EXPECT_EQ(response->status, 202) << response->body;
+  core::json::FieldScanner scanner("response", response->body);
+  auto id = scanner.number("id");
+  EXPECT_TRUE(id.ok()) << response->body;
+  return id.ok() ? static_cast<std::uint64_t>(*id) : 0;
+}
+
+/// Polls GET /runs/<id> until the state is terminal; returns the final body.
+std::string await_terminal(std::uint16_t port, std::uint64_t id) {
+  const std::string target = "/api/v1/runs/" + std::to_string(id);
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  std::string body;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto response = net::http_call(port, http("GET", target));
+    if (!response.ok()) return "transport error: " + response.error();
+    body = response->body;
+    core::json::FieldScanner scanner("record", body);
+    auto state = scanner.text("state");
+    if (state.ok() &&
+        (*state == "done" || *state == "failed" || *state == "cancelled")) {
+      return body;
+    }
+    std::this_thread::sleep_for(5ms);
+  }
+  return body;
+}
+
+std::string field(const std::string& json, const std::string& key) {
+  core::json::FieldScanner scanner("record", json);
+  auto value = scanner.text(key);
+  return value.ok() ? *value : "";
+}
+
+TEST(DaemonLifecycle, SubmitViewCancelRoundTrip) {
+  ctl::Daemon daemon;
+  auto port = daemon.start(0);
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  exp::RunRequest req = quick_request();
+  req.user = "ana";
+  const std::uint64_t id = submit(*port, req);
+  ASSERT_GT(id, 0u);
+
+  const std::string record = await_terminal(*port, id);
+  EXPECT_EQ(field(record, "state"), "done") << record;
+  EXPECT_EQ(field(record, "user"), "ana") << record;
+
+  // The log is served as text and ends in the terminal marker.
+  auto log = net::http_call(*port, http("GET", "/api/v1/runs/" + std::to_string(id) + "/log"));
+  ASSERT_TRUE(log.ok()) << log.error();
+  EXPECT_NE(log->body.find("done"), std::string::npos) << log->body;
+
+  // Cancel a long run mid-flight: many quick trials give the cancel flag a
+  // trial boundary to land on.
+  exp::RunRequest longer = quick_request();
+  longer.trials = 200;
+  const std::uint64_t long_id = submit(*port, longer);
+  ASSERT_GT(long_id, 0u);
+  auto cancel = net::http_call(
+      *port, http("POST", "/api/v1/runs/" + std::to_string(long_id) + "/cancel"));
+  ASSERT_TRUE(cancel.ok()) << cancel.error();
+  EXPECT_EQ(cancel->status, 202) << cancel->body;
+  const std::string cancelled = await_terminal(*port, long_id);
+  // Either the cancel landed between trials (cancelled) or the run outraced
+  // it (done) — on a loaded machine both are legal; what is not legal is
+  // hanging or failing.
+  const std::string state = field(cancelled, "state");
+  EXPECT_TRUE(state == "cancelled" || state == "done") << cancelled;
+  if (state == "cancelled") {
+    EXPECT_EQ(field(cancelled, "cancel_reason"), "user") << cancelled;
+  }
+  daemon.stop();
+}
+
+TEST(DaemonLifecycle, ConcurrentTenantsMatchDirectExecution) {
+  ctl::Daemon daemon;
+  auto port = daemon.start(0);
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  // Two tenants, different seeds, submitted from concurrent clients into the
+  // shared two-worker pool.
+  exp::RunRequest ana = quick_request();
+  ana.user = "ana";
+  ana.seed = 100;
+  ana.trials = 3;
+  exp::RunRequest ben = quick_request();
+  ben.user = "ben";
+  ben.seed = 200;
+  ben.trials = 3;
+
+  std::uint64_t ana_id = 0;
+  std::uint64_t ben_id = 0;
+  std::thread t1([&] { ana_id = submit(*port, ana); });
+  std::thread t2([&] { ben_id = submit(*port, ben); });
+  t1.join();
+  t2.join();
+  ASSERT_GT(ana_id, 0u);
+  ASSERT_GT(ben_id, 0u);
+
+  const std::string ana_record = await_terminal(*port, ana_id);
+  const std::string ben_record = await_terminal(*port, ben_id);
+  EXPECT_EQ(field(ana_record, "state"), "done") << ana_record;
+  EXPECT_EQ(field(ben_record, "state"), "done") << ben_record;
+
+  // CLI equivalence: the daemon's checksum is the one exp::execute computes
+  // for the same request in this process (what `aimes-run` would print).
+  const auto direct_ana = exp::execute(ana);
+  const auto direct_ben = exp::execute(ben);
+  char expected_ana[24];
+  char expected_ben[24];
+  std::snprintf(expected_ana, sizeof(expected_ana), "%016llx",
+                static_cast<unsigned long long>(direct_ana.checksum));
+  std::snprintf(expected_ben, sizeof(expected_ben), "%016llx",
+                static_cast<unsigned long long>(direct_ben.checksum));
+  core::json::FieldScanner ana_scan("record", ana_record);
+  core::json::FieldScanner ben_scan("record", ben_record);
+  auto ana_result = ana_scan.object("result");
+  auto ben_result = ben_scan.object("result");
+  ASSERT_TRUE(ana_result.ok() && ben_result.ok());
+  EXPECT_EQ(ana_result->text("checksum").value_or(""), expected_ana) << ana_record;
+  EXPECT_EQ(ben_result->text("checksum").value_or(""), expected_ben) << ben_record;
+  // Different seeds, different worlds.
+  EXPECT_NE(direct_ana.checksum, direct_ben.checksum);
+  daemon.stop();
+}
+
+TEST(DaemonLifecycle, GracefulShutdownDrainsInFlight) {
+  ctl::Daemon daemon;
+  auto port = daemon.start(0);
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  // Enough queued work that something is still in flight when stop() lands:
+  // four long runs on two workers.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    exp::RunRequest req = quick_request();
+    req.trials = 100;
+    req.seed = 1000 + static_cast<std::uint64_t>(i);
+    ids.push_back(submit(*port, req));
+    ASSERT_GT(ids.back(), 0u);
+  }
+
+  daemon.stop();  // closes the listener, then drains with cancel_running
+
+  for (const std::uint64_t id : ids) {
+    const auto record = daemon.registry().get(id);
+    ASSERT_TRUE(record.ok()) << record.error();
+    // Every run reached a terminal state: finished, or cancelled with the
+    // typed shutdown reason — never left queued/running.
+    EXPECT_TRUE(record->state == ctl::RunState::kDone ||
+                record->state == ctl::RunState::kCancelled)
+        << "run " << id << " state " << to_string(record->state);
+    if (record->state == ctl::RunState::kCancelled) {
+      EXPECT_EQ(record->cancel_reason, ctl::CancelReason::kShutdown);
+      EXPECT_FALSE(record->log.empty());
+    }
+  }
+  // The listener is gone: new submissions cannot reach the daemon.
+  auto after = net::http_call(*port, http("GET", "/api/v1/health"));
+  EXPECT_FALSE(after.ok());
+}
+
+TEST(DaemonLifecycle, MalformedRequestsGetTypedErrorsOverTheWire) {
+  ctl::Daemon daemon;
+  auto port = daemon.start(0);
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  auto bad_json = net::http_call(*port, http("POST", "/api/v1/runs", "{\"tasks\": \"lots\"}"));
+  ASSERT_TRUE(bad_json.ok()) << bad_json.error();
+  EXPECT_EQ(bad_json->status, 400);
+  EXPECT_NE(bad_json->body.find("\"error\""), std::string::npos) << bad_json->body;
+  EXPECT_NE(bad_json->body.find("tasks"), std::string::npos) << bad_json->body;
+  EXPECT_NE(bad_json->body.find("byte"), std::string::npos) << bad_json->body;
+
+  auto bad_value = net::http_call(*port, http("POST", "/api/v1/runs", "{\"trials\": 0}"));
+  ASSERT_TRUE(bad_value.ok()) << bad_value.error();
+  EXPECT_EQ(bad_value->status, 400);
+
+  auto not_found = net::http_call(*port, http("GET", "/api/v1/runs/12345"));
+  ASSERT_TRUE(not_found.ok()) << not_found.error();
+  EXPECT_EQ(not_found->status, 404);
+  daemon.stop();
+}
+
+TEST(DaemonLifecycle, MetricsExposePrometheusBody) {
+  ctl::Daemon daemon;
+  auto port = daemon.start(0);
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  const std::uint64_t id = submit(*port, quick_request());
+  ASSERT_GT(id, 0u);
+  (void)await_terminal(*port, id);
+
+  auto metrics = net::http_call(*port, http("GET", "/metrics"));
+  ASSERT_TRUE(metrics.ok()) << metrics.error();
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_EQ(metrics->content_type.find("text/plain"), 0u) << metrics->content_type;
+  EXPECT_NE(metrics->body.find("# TYPE aimes_ctl_runs_submitted counter"),
+            std::string::npos)
+      << metrics->body;
+  EXPECT_NE(metrics->body.find("aimes_ctl_runs_completed 1"), std::string::npos)
+      << metrics->body;
+  daemon.stop();
+}
+
+}  // namespace

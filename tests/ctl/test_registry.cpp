@@ -1,0 +1,345 @@
+// ctl::Registry and ctl::Daemon::handle(): run lifecycle (queued → running
+// → done/failed/cancelled), typed cancellation reasons, drain semantics,
+// and the HTTP route table — all with stub executors, so these tests pin
+// control-plane behavior without simulating any worlds, and without
+// sockets (the transport has its own suite; the live daemon has
+// daemon_lifecycle_test.cpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "ctl/daemon.hpp"
+#include "ctl/registry.hpp"
+
+namespace {
+
+using namespace aimes;
+using namespace std::chrono_literals;
+
+exp::RunRequest small_request() {
+  exp::RunRequest req;
+  req.tasks = 4;
+  req.trials = 1;
+  return req;
+}
+
+exp::RunResult ok_result() {
+  exp::RunResult r;
+  r.ok = true;
+  r.success = true;
+  r.trials_requested = 1;
+  r.trials_completed = 1;
+  r.checksum = 0xfeedbeefcafef00dULL;
+  return r;
+}
+
+/// Polls `pred` for up to five seconds.
+template <typename Pred>
+bool eventually(Pred pred) {
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return pred();
+}
+
+/// Executor that parks until released (or cancelled), so tests can observe
+/// the kRunning state and exercise queue ordering deterministically.
+struct Gate {
+  std::atomic<bool> open{false};
+  std::atomic<int> entered{0};
+
+  ctl::Registry::Executor executor() {
+    return [this](const exp::RunRequest&, const exp::RunHooks& hooks) {
+      entered.fetch_add(1);
+      while (!open.load()) {
+        if (hooks.cancelled && hooks.cancelled()) {
+          exp::RunResult r;
+          r.ok = true;
+          r.cancelled = true;
+          r.trials_requested = 1;
+          return r;
+        }
+        std::this_thread::sleep_for(1ms);
+      }
+      return ok_result();
+    };
+  }
+};
+
+TEST(Registry, SubmitRunsToCompletion) {
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks& hooks) {
+    if (hooks.log) hooks.log("trial 1/1: ttc 42s");
+    return ok_result();
+  };
+  ctl::Registry registry(options);
+
+  auto id = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(id.ok()) << id.error();
+  ASSERT_TRUE(eventually([&] { return registry.get(*id)->state == ctl::RunState::kDone; }));
+
+  const auto record = registry.get(*id);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->user, "ana");
+  EXPECT_EQ(record->name, "bag-gaussian-4");
+  EXPECT_TRUE(record->result.ok);
+  EXPECT_EQ(record->result.checksum, 0xfeedbeefcafef00dULL);
+  ASSERT_GE(record->log.size(), 2u);
+  EXPECT_EQ(record->log.front(), "trial 1/1: ttc 42s");
+  EXPECT_EQ(record->log.back(), "done");
+
+  const auto counters = registry.counters();
+  EXPECT_EQ(counters.submitted, 1u);
+  EXPECT_EQ(counters.completed, 1u);
+  EXPECT_EQ(counters.failed, 0u);
+}
+
+TEST(Registry, InvalidRequestRejectedAtSubmit) {
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  ctl::Registry registry(options);
+
+  exp::RunRequest bad = small_request();
+  bad.tasks = 0;
+  auto id = registry.submit(bad, "ana");
+  ASSERT_FALSE(id.ok());
+  EXPECT_NE(id.error().find("tasks"), std::string::npos) << id.error();
+  EXPECT_EQ(registry.counters().submitted, 0u);
+}
+
+TEST(Registry, UnknownIdIsTypedError) {
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  ctl::Registry registry(options);
+  EXPECT_FALSE(registry.get(42).ok());
+  EXPECT_FALSE(registry.cancel(42, ctl::CancelReason::kUser).ok());
+}
+
+TEST(Registry, CancelQueuedRunNeverStarts) {
+  Gate gate;
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = gate.executor();
+  ctl::Registry registry(options);
+
+  auto first = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(eventually([&] { return gate.entered.load() == 1; }));
+  auto second = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(registry.queued(), 1u);
+
+  ASSERT_TRUE(registry.cancel(*second, ctl::CancelReason::kUser).ok());
+  const auto record = registry.get(*second);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(record->state, ctl::RunState::kCancelled);
+  EXPECT_EQ(record->cancel_reason, ctl::CancelReason::kUser);
+  EXPECT_EQ(registry.queued(), 0u);
+  EXPECT_EQ(registry.counters().cancelled, 1u);
+
+  gate.open.store(true);
+  ASSERT_TRUE(eventually([&] { return registry.get(*first)->state == ctl::RunState::kDone; }));
+  // The cancelled run stayed cancelled; only the first ever entered the
+  // executor.
+  EXPECT_EQ(gate.entered.load(), 1);
+}
+
+TEST(Registry, CancelRunningStopsAtTrialBoundary) {
+  Gate gate;
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = gate.executor();
+  ctl::Registry registry(options);
+
+  auto id = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
+
+  ASSERT_TRUE(registry.cancel(*id, ctl::CancelReason::kUser).ok());
+  ASSERT_TRUE(
+      eventually([&] { return registry.get(*id)->state == ctl::RunState::kCancelled; }));
+  const auto record = registry.get(*id);
+  EXPECT_EQ(record->cancel_reason, ctl::CancelReason::kUser);
+  EXPECT_TRUE(record->result.cancelled);
+}
+
+TEST(Registry, DrainCancelsQueuedAndRunningWithShutdownReason) {
+  Gate gate;
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = gate.executor();
+  auto registry = std::make_unique<ctl::Registry>(options);
+
+  auto running = registry->submit(small_request(), "ana");
+  ASSERT_TRUE(running.ok());
+  ASSERT_TRUE(eventually([&] { return registry->running() == 1; }));
+  auto queued = registry->submit(small_request(), "ana");
+  ASSERT_TRUE(queued.ok());
+
+  registry->drain(/*cancel_running=*/true);
+
+  const auto queued_record = registry->get(*queued);
+  ASSERT_TRUE(queued_record.ok());
+  EXPECT_EQ(queued_record->state, ctl::RunState::kCancelled);
+  EXPECT_EQ(queued_record->cancel_reason, ctl::CancelReason::kShutdown);
+
+  const auto running_record = registry->get(*running);
+  ASSERT_TRUE(running_record.ok());
+  EXPECT_EQ(running_record->state, ctl::RunState::kCancelled);
+  EXPECT_EQ(running_record->cancel_reason, ctl::CancelReason::kShutdown);
+
+  // Draining registries refuse new work with a typed error.
+  auto late = registry->submit(small_request(), "ana");
+  ASSERT_FALSE(late.ok());
+  EXPECT_NE(late.error().find("draining"), std::string::npos) << late.error();
+}
+
+TEST(Registry, ListNewestFirstWithUserFilter) {
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  ctl::Registry registry(options);
+
+  auto a = registry.submit(small_request(), "ana");
+  auto b = registry.submit(small_request(), "ben");
+  auto c = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(eventually([&] { return registry.counters().completed == 3; }));
+
+  const auto all = registry.list();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].id, *c);  // newest first
+  EXPECT_EQ(all[2].id, *a);
+
+  const auto ana = registry.list("ana");
+  ASSERT_EQ(ana.size(), 2u);
+  EXPECT_EQ(ana[0].id, *c);
+  EXPECT_EQ(ana[1].id, *a);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon route table, transport-free.
+
+net::HttpRequest http(const std::string& method, const std::string& target,
+                      const std::string& body = "") {
+  net::HttpRequest req;
+  req.method = method;
+  req.target = target;
+  const auto q = target.find('?');
+  req.path = target.substr(0, q);
+  if (q != std::string::npos) req.query = target.substr(q + 1);
+  req.body = body;
+  return req;
+}
+
+ctl::Daemon stub_daemon() {
+  ctl::DaemonOptions options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  return ctl::Daemon(options);
+}
+
+TEST(DaemonRoutes, SubmitViewCancelRoundTrip) {
+  auto daemon = stub_daemon();
+  const auto submitted =
+      daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4, \"user\": \"ana\"}"));
+  ASSERT_EQ(submitted.status, 202) << submitted.body;
+  EXPECT_NE(submitted.body.find("\"id\": 1"), std::string::npos) << submitted.body;
+
+  ASSERT_TRUE(eventually([&] {
+    return daemon.handle(http("GET", "/api/v1/runs/1")).body.find("\"state\": \"done\"") !=
+           std::string::npos;
+  }));
+  const auto view = daemon.handle(http("GET", "/api/v1/runs/1"));
+  EXPECT_EQ(view.status, 200);
+  EXPECT_NE(view.body.find("\"user\": \"ana\""), std::string::npos) << view.body;
+  EXPECT_NE(view.body.find("\"checksum\": \"feedbeefcafef00d\""), std::string::npos)
+      << view.body;
+
+  // Cancelling a finished run is a no-op, not an error.
+  const auto cancel = daemon.handle(http("POST", "/api/v1/runs/1/cancel"));
+  EXPECT_EQ(cancel.status, 202) << cancel.body;
+
+  const auto log = daemon.handle(http("GET", "/api/v1/runs/1/log"));
+  EXPECT_EQ(log.status, 200);
+  EXPECT_EQ(log.content_type.find("text/plain"), 0u) << log.content_type;
+  EXPECT_NE(log.body.find("done"), std::string::npos) << log.body;
+}
+
+TEST(DaemonRoutes, MalformedSubmitGets400WithFieldAndOffset) {
+  auto daemon = stub_daemon();
+  const auto bad = daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": \"lots\"}"));
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("\"error\""), std::string::npos) << bad.body;
+  EXPECT_NE(bad.body.find("tasks"), std::string::npos) << bad.body;
+  EXPECT_NE(bad.body.find("byte"), std::string::npos) << bad.body;
+
+  const auto invalid = daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 0}"));
+  EXPECT_EQ(invalid.status, 400);
+  EXPECT_NE(invalid.body.find("tasks"), std::string::npos) << invalid.body;
+}
+
+TEST(DaemonRoutes, ListFiltersByUser) {
+  auto daemon = stub_daemon();
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4, \"user\": \"ana\"}"))
+                .status,
+            202);
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4, \"user\": \"ben\"}"))
+                .status,
+            202);
+  ASSERT_TRUE(eventually([&] { return daemon.registry().counters().completed == 2; }));
+
+  const auto all = daemon.handle(http("GET", "/api/v1/runs"));
+  EXPECT_NE(all.body.find("\"ana\""), std::string::npos) << all.body;
+  EXPECT_NE(all.body.find("\"ben\""), std::string::npos) << all.body;
+
+  const auto ana = daemon.handle(http("GET", "/api/v1/runs?user=ana"));
+  EXPECT_NE(ana.body.find("\"ana\""), std::string::npos) << ana.body;
+  EXPECT_EQ(ana.body.find("\"ben\""), std::string::npos) << ana.body;
+}
+
+TEST(DaemonRoutes, HealthResourceAndMetrics) {
+  auto daemon = stub_daemon();
+  const auto health = daemon.handle(http("GET", "/api/v1/health"));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"status\": \"ok\""), std::string::npos) << health.body;
+
+  const auto resource = daemon.handle(http("GET", "/api/v1/resource"));
+  EXPECT_EQ(resource.status, 200);
+  EXPECT_NE(resource.body.find("\"sites\""), std::string::npos) << resource.body;
+  EXPECT_NE(resource.body.find("stampede-sim"), std::string::npos) << resource.body;
+
+  const auto metrics = daemon.handle(http("GET", "/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type.find("text/plain"), 0u) << metrics.content_type;
+  EXPECT_NE(metrics.body.find("# TYPE aimes_ctl_runs_submitted counter"), std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("aimes_ctl_runs_queued"), std::string::npos) << metrics.body;
+}
+
+TEST(DaemonRoutes, UnknownPathsAndMethodsAreTyped) {
+  auto daemon = stub_daemon();
+  EXPECT_EQ(daemon.handle(http("GET", "/api/v1/nope")).status, 404);
+  EXPECT_EQ(daemon.handle(http("PUT", "/api/v1/runs")).status, 405);
+  EXPECT_EQ(daemon.handle(http("GET", "/api/v1/runs/999")).status, 404);
+  EXPECT_EQ(daemon.handle(http("POST", "/api/v1/runs/999/cancel")).status, 404);
+}
+
+TEST(DaemonRoutes, ShutdownSetsFlag) {
+  auto daemon = stub_daemon();
+  EXPECT_FALSE(daemon.shutdown_requested());
+  const auto response = daemon.handle(http("POST", "/api/v1/shutdown"));
+  EXPECT_EQ(response.status, 202);
+  EXPECT_TRUE(daemon.shutdown_requested());
+}
+
+}  // namespace

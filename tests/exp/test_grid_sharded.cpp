@@ -69,11 +69,11 @@ TEST(GridSharded, CellAggregateIdenticalAcrossShardsAndJobs) {
 WorldTweaks aimes_tweaks(int shards) {
   WorldTweaks tweaks;
   tweaks.warmup = common::SimDuration::hours(1);
-  tweaks.shards = shards;
-  tweaks.grid_sites = 6;
-  tweaks.shard_workers = 1;
+  tweaks.sharding.shards = shards;
+  tweaks.sharding.grid_sites = 6;
+  tweaks.sharding.shard_workers = 1;
   tweaks.observability.enabled = true;
-  tweaks.faults.flap_site("gordon-sim", common::SimDuration::minutes(10),
+  tweaks.faults.plan.flap_site("gordon-sim", common::SimDuration::minutes(10),
                           common::SimDuration::minutes(15),
                           common::SimDuration::minutes(45), 3);
   return tweaks;

@@ -25,7 +25,7 @@ RunResult run_chaos(std::uint64_t seed, const sim::FaultPlan& plan, bool recover
   AimesConfig config;
   config.seed = seed;
   config.warmup = SimDuration::hours(2);
-  config.faults = plan;
+  config.faults.plan = plan;
   config.execution.recovery.enabled = recovery;
   // Pilot churn restarts units; give them headroom like the benches do.
   config.execution.units.max_attempts = 12;
@@ -147,7 +147,7 @@ TEST(Chaos, CampaignBreakerTripsOnFlappingSiteAndStillCompletes) {
   config.seed = 7;
   config.warmup = SimDuration::hours(2);
   config.testbed = cluster::mini_testbed();
-  config.faults.flap_site("beta-sim", SimDuration::minutes(10), SimDuration::minutes(10),
+  config.faults.plan.flap_site("beta-sim", SimDuration::minutes(10), SimDuration::minutes(10),
                           SimDuration::minutes(30), 3);
   Aimes aimes(config);
   aimes.start();

@@ -160,12 +160,12 @@ TEST(CampaignAdmissionTest, LadderResolvesEveryTenantWithBoundedWaitAndTypedShed
   spec.base_tasks = 4;
   spec.n_pilots = 2;
   spec.arrival.fixed_spacing = common::SimDuration::minutes(1);
-  spec.admission.enabled = true;
-  spec.admission.capacity_factor = 0.01;  // ~10 cores admit outright
-  spec.admission.max_queue_wait = common::SimDuration::minutes(45);
-  spec.admission.shed_ceiling = 0.015;  // ~15 cores even degraded
-  spec.quotas.resize(5);
-  spec.quotas[3].max_concurrent_units = 2;  // tenant 4: shed by unit quota
+  spec.admission.policy.enabled = true;
+  spec.admission.policy.capacity_factor = 0.01;  // ~10 cores admit outright
+  spec.admission.policy.max_queue_wait = common::SimDuration::minutes(45);
+  spec.admission.policy.shed_ceiling = 0.015;  // ~15 cores even degraded
+  spec.admission.quotas.resize(5);
+  spec.admission.quotas[3].max_concurrent_units = 2;  // tenant 4: shed by unit quota
 
   const auto r = run_campaign_trial(spec, 7, mini_world());
   ASSERT_TRUE(r.success);  // policy-aware: sheds by policy don't fail the trial
@@ -175,12 +175,12 @@ TEST(CampaignAdmissionTest, LadderResolvesEveryTenantWithBoundedWaitAndTypedShed
   EXPECT_EQ(stats.requests, 5u);
   EXPECT_EQ(stats.admitted + stats.degraded + stats.shed, 5u);  // all resolved
   EXPECT_GE(stats.queued, 1u);
-  EXPECT_LE(stats.max_wait, spec.admission.max_queue_wait);
+  EXPECT_LE(stats.max_wait, spec.admission.policy.max_queue_wait);
 
   for (const auto& t : r.report.tenants) {
     // Nobody is left queued, and nobody waited past the bound.
     EXPECT_NE(t.admission, core::AdmissionOutcome::kQueued) << t.name;
-    EXPECT_LE(t.admission_wait, spec.admission.max_queue_wait) << t.name;
+    EXPECT_LE(t.admission_wait, spec.admission.policy.max_queue_wait) << t.name;
     if (t.admission == core::AdmissionOutcome::kShed) {
       // "Sheds only per policy": every shed carries a typed reason.
       EXPECT_NE(t.shed_reason, core::ShedReason::kNone) << t.name;
@@ -207,11 +207,11 @@ TEST(CampaignAdmissionTest, WaitBoundDegradesPilotsAndRelaxesSlo) {
   spec.base_tasks = 4;  // tenant asks: 4 cores, then 8 cores
   spec.n_pilots = 2;
   spec.arrival.fixed_spacing = common::SimDuration::zero();
-  spec.admission.enabled = true;
-  spec.admission.capacity_factor = 6.0 / 1024.0;  // 6 cores admit outright
-  spec.admission.max_queue_wait = common::SimDuration::minutes(10);
-  spec.admission.shed_ceiling = 9.0 / 1024.0;  // 9 cores for degraded grants
-  spec.slos = {core::SloClass::kStandard, core::SloClass::kStandard};
+  spec.admission.policy.enabled = true;
+  spec.admission.policy.capacity_factor = 6.0 / 1024.0;  // 6 cores admit outright
+  spec.admission.policy.max_queue_wait = common::SimDuration::minutes(10);
+  spec.admission.policy.shed_ceiling = 9.0 / 1024.0;  // 9 cores for degraded grants
+  spec.admission.slos = {core::SloClass::kStandard, core::SloClass::kStandard};
 
   const auto r = run_campaign_trial(spec, 7, mini_world());
   ASSERT_TRUE(r.success);
@@ -224,7 +224,7 @@ TEST(CampaignAdmissionTest, WaitBoundDegradesPilotsAndRelaxesSlo) {
   EXPECT_EQ(second.granted_pilots, 1);
   EXPECT_EQ(second.pilots_leased, 1);  // the degraded grant is what launches
   EXPECT_EQ(second.slo, core::SloClass::kBatch);  // standard relaxed one step
-  EXPECT_EQ(second.admission_wait, spec.admission.max_queue_wait);
+  EXPECT_EQ(second.admission_wait, spec.admission.policy.max_queue_wait);
   EXPECT_TRUE(second.success) << second.error;
 }
 
@@ -238,7 +238,7 @@ TEST(CampaignAdmissionTest, RecoveryReplacesKilledPilotAndPoolAdoptsIt) {
   spec.recovery.backoff_base = common::SimDuration::seconds(30);
 
   WorldTweaks tweaks = mini_world();
-  tweaks.faults.kill_pilot(0, common::SimDuration::minutes(1));
+  tweaks.faults.plan.kill_pilot(0, common::SimDuration::minutes(1));
 
   const auto r = run_campaign_trial(spec, 7, tweaks);
   ASSERT_TRUE(r.success);
@@ -256,17 +256,17 @@ TEST(CampaignAdmissionTest, AdmissionRecoveryFaultCellIsBitIdenticalAcrossJobs) 
   spec.base_tasks = 4;
   spec.n_pilots = 2;
   spec.arrival.poisson_per_hour = 12.0;
-  spec.admission.enabled = true;
-  spec.admission.capacity_factor = 0.02;
-  spec.admission.max_queue_wait = common::SimDuration::minutes(30);
+  spec.admission.policy.enabled = true;
+  spec.admission.policy.capacity_factor = 0.02;
+  spec.admission.policy.max_queue_wait = common::SimDuration::minutes(30);
   spec.recovery.enabled = true;
-  spec.breaker.enabled = true;
-  spec.breaker.min_events = 2;
-  spec.breaker.trip_threshold = 0.4;
+  spec.admission.breaker.enabled = true;
+  spec.admission.breaker.min_events = 2;
+  spec.admission.breaker.trip_threshold = 0.4;
 
   WorldTweaks tweaks = mini_world();
-  tweaks.faults.kill_pilot(1, common::SimDuration::minutes(2));
-  tweaks.faults.flap_site("beta-sim", common::SimDuration::minutes(5),
+  tweaks.faults.plan.kill_pilot(1, common::SimDuration::minutes(2));
+  tweaks.faults.plan.flap_site("beta-sim", common::SimDuration::minutes(5),
                           common::SimDuration::minutes(5), common::SimDuration::minutes(15), 3);
 
   const auto serial = run_campaign_cell(spec, 3, 60, tweaks, 1);

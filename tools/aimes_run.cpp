@@ -6,6 +6,13 @@
 // and run metrics. Optionally dumps the full state-transition trace as CSV
 // and the skeleton in any of the four emitter formats.
 //
+// The flags map onto one typed exp::RunRequest (the same struct `aimesd`
+// accepts over HTTP), and sweeps/campaigns run through the same
+// exp::execute(), so a cell run here is bit-identical — same FNV-1a
+// checksum — to the same request submitted via `aimesc`. Only presentation
+// stays local: single-run artifact rendering (--trace/--timeline/--report),
+// the adaptive manager, skeleton emission, observability file outputs.
+//
 // Examples:
 //   aimes-run --profile bag-gaussian --tasks 256 --binding late --pilots 3
 //   aimes-run --skeleton app.cfg --testbed pool.cfg --seed 7 --trace run.csv
@@ -18,208 +25,45 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <iostream>
 #include <string>
 
-#include "cluster/testbed_config.hpp"
 #include "common/cli.hpp"
 #include "common/log.hpp"
-#include "common/table.hpp"
 #include "core/adaptive.hpp"
 #include "core/aimes.hpp"
 #include "core/report_io.hpp"
 #include "core/timeline.hpp"
-#include "exp/campaign.hpp"
+#include "exp/request.hpp"
+#include "exp/request_cli.hpp"
 #include "obs/recorder.hpp"
-#include "sim/replica_pool.hpp"
 #include "skeleton/emitters.hpp"
-#include "skeleton/profiles.hpp"
 
 namespace {
 
 using namespace aimes;
 
 struct Args {
-  std::string skeleton_file;
-  std::string profile = "bag-gaussian";
-  int tasks = 128;
-  std::string testbed_file;
-  std::string binding = "late";
-  int pilots = 3;
-  std::string selection = "predicted";
-  std::uint64_t seed = 42;
-  int trials = 1;  // > 1 switches to sweep mode (seeds seed .. seed+trials-1)
-  int jobs = 0;    // sweep parallelism; 0 = hardware concurrency, 1 = serial
-  // Intra-trial sharding (orthogonal to --jobs): 0 = legacy single-engine
-  // drive, N >= 1 = conservative-window drive, bit-identical for every N.
-  int shards = 0;
-  int grid_sites = 0;
-  int shard_workers = 0;
-  double warmup_hours = 6.0;
+  exp::RunRequest req;
+  bool quick = false;
+  // Presentation-only concerns that never cross the wire.
   bool adaptive = false;
-  std::string fault_plan_file;
-  double pilot_failure_rate = 0.0;
+  bool timeline = false;
+  bool verbose = false;
   std::string trace_file;
   std::string report_file;
-  bool timeline = false;
-  // Observability (src/obs): either output flag turns the recorder on.
   std::string trace_out;    // Chrome trace-event JSON (Perfetto-loadable)
   std::string metrics_out;  // Prometheus text; FILE.csv gets the series
   double sample_interval_s = 30.0;
-  bool quick = false;
-  std::string emit;       // dax | swift | shell | json
-  std::string emit_out;   // "-" or path
-  bool verbose = false;
-  // Campaign mode (exercised when campaign > 0): N tenants, size-cycled from
-  // --tasks, arriving per --arrival, sharing pilots per --campaign-mode.
-  int campaign = 0;
-  exp::ArrivalSpec arrival;
-  exp::CampaignMode campaign_mode = exp::CampaignMode::kSharedPool;
-  // Admission ladder and site circuit breakers (campaign only). Any --quota/
-  // --slo knob arms admission; any --breaker-* knob arms the breakers.
-  bool admission = false;
-  core::TenantQuota quota;
-  core::SloClass slo = core::SloClass::kStandard;
-  double max_queue_wait_s = 0.0;  // 0 keeps the policy default
-  bool breaker = false;
-  double breaker_threshold = 0.0;   // 0 keeps the policy default
-  int breaker_min_events = 0;       // 0 keeps the policy default
-  double breaker_cooldown_s = 0.0;  // 0 keeps the policy default
+  std::string emit;      // dax | swift | shell | json
+  std::string emit_out;  // "-" or path
 };
 
 common::Expected<Args> parse_args(int argc, char** argv) {
   using E = common::Expected<Args>;
   Args args;
   common::cli::Parser cli("aimes-run");
-  cli.string_option("--skeleton", args.skeleton_file, "skeleton application config file",
-                    "FILE");
-  cli.string_option("--profile", args.profile,
-                    "built-in profile when no --skeleton is given:\n"
-                    "bag-uniform | bag-gaussian | montage | blast |\n"
-                    "cybershake | mapreduce (default bag-gaussian)",
-                    "NAME");
-  cli.int_option("--tasks", args.tasks, 1, 10000000,
-                 "application size for built-in profiles (128)");
-  cli.string_option("--testbed", args.testbed_file,
-                    "resource pool config (default: paper's 5 sites)", "FILE");
-  cli.string_option("--binding", args.binding, "early | late (late)", "B");
-  cli.int_option("--pilots", args.pilots, 1, 4096, "number of pilots (3)");
-  cli.string_option("--selection", args.selection, "random | predicted (predicted)", "S");
-  cli.uint64_option("--seed", args.seed, "world/application seed (42)", "S");
-  cli.int_option("--trials", args.trials, 1, 1000000,
-                 "sweep mode: run N replicas seeded S..S+N-1 and\n"
-                 "aggregate TTC (default 1 = single run)");
-  cli.int_option("--jobs", args.jobs, 0, 4096,
-                 "sweep worker threads (default: hardware\n"
-                 "concurrency; 1 = serial). Aggregates are\n"
-                 "bit-identical for every M",
-                 "M");
-  cli.int_option("--shards", args.shards, 0, 4096,
-                 "intra-trial shards: partition each world's sites\n"
-                 "across N engines driven in conservative lock-step\n"
-                 "windows (default 0 = classic single-engine drive).\n"
-                 "Results are bit-identical for every N >= 1",
-                 "N");
-  cli.int_option("--grid-sites", args.grid_sites, 0, 100000,
-                 "ambient background sites spread across the shards\n"
-                 "(default 0); the load --shards parallelizes");
-  cli.int_option("--shard-workers", args.shard_workers, 0, 4096,
-                 "worker threads per sharded trial (default 0 =\n"
-                 "min(shards, hardware)); wall clock only, never\n"
-                 "results. Keep at 1 when sweeping --jobs",
-                 "W");
-  cli.double_option("--warmup", args.warmup_hours, 0.0, 24.0 * 365.0,
-                    "background warmup hours (6)", "H");
-  cli.int_option("--campaign", args.campaign, 2, 256,
-                 "campaign mode: N tenants with sizes cycled from\n"
-                 "--tasks x {1,2,4}; plans each arrival against a\n"
-                 "shared pilot pool (see --campaign-mode)");
-  cli.custom_option("--arrival", "SPEC",
-                    "campaign arrival process: poisson:RATE (tenants\n"
-                    "per hour) or fixed:SECONDS (default fixed:1200)",
-                    [&args](const std::string& value) -> common::Status {
-                      const auto colon = value.find(':');
-                      const std::string kind = value.substr(0, colon);
-                      const std::string rest =
-                          colon == std::string::npos ? "" : value.substr(colon + 1);
-                      if (kind == "poisson") {
-                        auto rate = common::cli::parse_double(rest, 1e-6, 1e6);
-                        if (!rate) return common::Status::error(rate.error());
-                        args.arrival.poisson_per_hour = *rate;
-                        return {};
-                      }
-                      if (kind == "fixed") {
-                        auto seconds = common::cli::parse_double(rest, 0.0, 1e9);
-                        if (!seconds) return common::Status::error(seconds.error());
-                        args.arrival.poisson_per_hour = 0.0;
-                        args.arrival.fixed_spacing = common::SimDuration::seconds(*seconds);
-                        return {};
-                      }
-                      return common::Status::error("expected poisson:RATE or fixed:SECONDS");
-                    });
-  cli.custom_option("--campaign-mode", "M", "shared | private | sequential (shared)",
-                    [&args](const std::string& value) -> common::Status {
-                      if (!exp::parse_campaign_mode(value, args.campaign_mode)) {
-                        return common::Status::error(
-                            "expected shared, private, or sequential");
-                      }
-                      return {};
-                    });
-  cli.flag("--admission", args.admission,
-           "campaign: arm the SLO-aware admission ladder\n"
-           "(admit -> queue -> degrade -> shed)");
-  cli.custom_option("--quota", "C[:U[:H]]",
-                    "campaign: per-tenant quota as concurrent cores,\n"
-                    "optionally :units and :core-hours (0 = unlimited);\n"
-                    "implies --admission",
-                    [&args](const std::string& value) -> common::Status {
-                      std::string rest = value;
-                      double parts[3] = {0.0, 0.0, 0.0};
-                      for (int i = 0; i < 3 && !rest.empty(); ++i) {
-                        const auto colon = rest.find(':');
-                        auto field = common::cli::parse_double(rest.substr(0, colon), 0.0, 1e12);
-                        if (!field) return common::Status::error(field.error());
-                        parts[i] = *field;
-                        if (colon == std::string::npos) break;
-                        rest = rest.substr(colon + 1);
-                      }
-                      args.quota.max_cores = static_cast<int>(parts[0]);
-                      args.quota.max_concurrent_units = static_cast<int>(parts[1]);
-                      args.quota.max_core_hours = parts[2];
-                      return {};
-                    });
-  cli.custom_option("--slo", "CLASS",
-                    "campaign: declared tenant SLO class, interactive |\n"
-                    "standard | batch (standard); implies --admission",
-                    [&args](const std::string& value) -> common::Status {
-                      if (value == "interactive") args.slo = core::SloClass::kInteractive;
-                      else if (value == "standard") args.slo = core::SloClass::kStandard;
-                      else if (value == "batch") args.slo = core::SloClass::kBatch;
-                      else return common::Status::error("expected interactive, standard, or batch");
-                      return {};
-                    });
-  cli.double_option("--max-queue-wait", args.max_queue_wait_s, 1.0, 1e9,
-                    "campaign: admission queue wait bound in seconds\n"
-                    "(1800); implies --admission",
-                    "S");
-  cli.double_option("--breaker-threshold", args.breaker_threshold, 0.01, 1.0,
-                    "campaign: EWMA failure score that trips a site's\n"
-                    "breaker (0.6); any --breaker-* arms the breakers",
-                    "X");
-  cli.int_option("--breaker-min-events", args.breaker_min_events, 1, 1000000,
-                 "campaign: events recorded at a site before its\n"
-                 "breaker may trip (3)");
-  cli.double_option("--breaker-cooldown", args.breaker_cooldown_s, 1.0, 1e9,
-                    "campaign: seconds an open breaker blocks a site\n"
-                    "before the half-open probe (600)",
-                    "S");
+  exp::declare_request_options(cli, args.req, args.quick);
   cli.flag("--adaptive", args.adaptive, "enable mid-run strategy adaptation");
-  cli.string_option("--fault-plan", args.fault_plan_file,
-                    "fault-injection plan config ([fault.*] sections);\n"
-                    "enables Execution-Manager recovery",
-                    "FILE");
-  cli.double_option("--pilot-failure-rate", args.pilot_failure_rate, 0.0, 1.0,
-                    "probability each pilot submission is rejected (0)", "P");
   cli.string_option("--trace", args.trace_file,
                     "write the full state-transition trace as CSV", "FILE");
   cli.string_option("--trace-out", args.trace_out,
@@ -232,9 +76,6 @@ common::Expected<Args> parse_args(int argc, char** argv) {
                     "FILE");
   cli.double_option("--sample-interval", args.sample_interval_s, 0.001, 1e6,
                     "metrics sampling interval in virtual seconds (30)", "S");
-  cli.flag("--quick", args.quick,
-           "small fast run: 16 tasks, 2 pilots, 1 h warmup\n"
-           "(each unless explicitly overridden)");
   cli.flag("--timeline", args.timeline, "print an ASCII Gantt timeline of the run");
   cli.string_option("--report", args.report_file, "write the run report as JSON", "FILE");
   cli.string_option("--emit", args.emit, "emit the skeleton: shell | json | dax | swift",
@@ -246,18 +87,13 @@ common::Expected<Args> parse_args(int argc, char** argv) {
   // a campaign aggregates tenants, so the single-run artifact flags and the
   // adaptive manager cannot apply; --emit renders the skeleton without
   // running, so there is nothing for the observability exporters to record.
-  for (const char* single_run : {"--skeleton", "--adaptive", "--emit", "--trace", "--report",
+  for (const char* single_run : {"--adaptive", "--emit", "--trace", "--report",
                                  "--timeline"}) {
     cli.conflicts("--campaign", single_run);
   }
   for (const char* obs_out : {"--trace-out", "--metrics-out"}) {
     cli.conflicts("--emit", obs_out);
     cli.conflicts("--adaptive", obs_out);
-  }
-  for (const char* campaign_only :
-       {"--arrival", "--campaign-mode", "--admission", "--quota", "--slo", "--max-queue-wait",
-        "--breaker-threshold", "--breaker-min-events", "--breaker-cooldown"}) {
-    cli.requires_option(campaign_only, "--campaign");
   }
 
   auto parsed = cli.parse(argc, argv);
@@ -266,38 +102,26 @@ common::Expected<Args> parse_args(int argc, char** argv) {
     std::fputs(cli.usage().c_str(), stdout);
     std::exit(0);
   }
-  if (args.quick) {
-    if (!cli.seen("--tasks")) args.tasks = 16;
-    if (!cli.seen("--pilots")) args.pilots = 2;
-    if (!cli.seen("--warmup")) args.warmup_hours = 1.0;
-  }
+  exp::finalize_request_options(cli, args.req, args.quick);
   // Value-dependent checks the declarative pairs cannot express.
-  if (args.trials > 1 && (!args.trace_out.empty() || !args.metrics_out.empty())) {
+  if (args.req.trials > 1 && (!args.trace_out.empty() || !args.metrics_out.empty())) {
     return E::error("--trace-out/--metrics-out need a single run (--trials 1); use the "
                     "bench-obs target for sweeps");
   }
-  if (args.trials > 1 &&
+  if (args.req.trials > 1 &&
       (!args.trace_file.empty() || !args.report_file.empty() || args.timeline ||
        !args.emit.empty() || args.adaptive)) {
     return E::error(
         "--trials > 1 aggregates replicas; it cannot combine with the single-run "
         "artifacts --trace/--report/--timeline/--emit or with --adaptive");
   }
-  if (args.campaign > 0 && args.profile != "bag-uniform" && args.profile != "bag-gaussian") {
-    return E::error("--campaign supports the bag-uniform and bag-gaussian profiles");
-  }
-  if (cli.seen("--quota") || cli.seen("--slo") || cli.seen("--max-queue-wait")) {
-    args.admission = true;
-  }
-  if (cli.seen("--breaker-threshold") || cli.seen("--breaker-min-events") ||
-      cli.seen("--breaker-cooldown")) {
-    args.breaker = true;
-  }
-  if (args.campaign_mode == exp::CampaignMode::kSequential && (args.admission || args.breaker)) {
-    return E::error(
-        "--campaign-mode sequential runs tenants one at a time through the single-app "
-        "path, which has no admission controller or site breakers; use shared or private");
-  }
+  // Observability rides the request: either output flag turns the recorder
+  // (and artifact rendering) on for the executed trial.
+  const bool obs_on = !args.trace_out.empty() || !args.metrics_out.empty();
+  args.req.observability.enabled = obs_on;
+  args.req.observability.sample_interval_s = args.sample_interval_s;
+  args.req.observability.artifacts = obs_on;
+  if (auto st = exp::validate(args.req); !st.ok()) return E::error(st.error());
   return args;
 }
 
@@ -335,101 +159,48 @@ bool emit_observability(const Args& args, const obs::Snapshot& snap) {
 }
 
 /// Campaign front end: one trial prints the per-tenant breakdown; --trials N
-/// sweeps seeded replicas through the campaign cell runner.
+/// sweeps seeded replicas through the campaign cell runner. Both run through
+/// exp::execute — the same path a daemon submission takes.
 int run_campaign(const Args& args) {
-  exp::CampaignSpec spec;
-  spec.n_tenants = args.campaign;
-  spec.base_tasks = args.tasks;
-  spec.gaussian_durations = args.profile == "bag-gaussian";
-  spec.n_pilots = args.pilots;
-  spec.arrival = args.arrival;
-  spec.mode = args.campaign_mode;
-  spec.admission.enabled = args.admission;
-  if (args.max_queue_wait_s > 0.0) {
-    spec.admission.max_queue_wait = common::SimDuration::seconds(args.max_queue_wait_s);
-  }
-  if (args.admission) {
-    spec.slos = {args.slo};
-    spec.quotas = {args.quota};
-  }
-  spec.breaker.enabled = args.breaker;
-  if (args.breaker_threshold > 0.0) spec.breaker.trip_threshold = args.breaker_threshold;
-  if (args.breaker_min_events > 0) spec.breaker.min_events = args.breaker_min_events;
-  if (args.breaker_cooldown_s > 0.0) {
-    spec.breaker.cooldown = common::SimDuration::seconds(args.breaker_cooldown_s);
-  }
-
-  exp::WorldTweaks tweaks;
-  tweaks.warmup = common::SimDuration::hours(args.warmup_hours);
-  tweaks.shards = args.shards;
-  tweaks.grid_sites = args.grid_sites;
-  tweaks.shard_workers = args.shard_workers;
-  if (!args.fault_plan_file.empty()) {
-    auto file = common::Config::load(args.fault_plan_file);
-    if (!file) {
-      std::fprintf(stderr, "fault plan: %s\n", file.error().c_str());
-      return 1;
-    }
-    auto plan = sim::FaultPlan::parse(*file);
-    if (!plan) {
-      std::fprintf(stderr, "fault plan: %s\n", plan.error().c_str());
-      return 1;
-    }
-    tweaks.faults = std::move(*plan);
-  }
-  if (args.pilot_failure_rate > 0.0) {
-    auto rates = tweaks.faults.rates();
-    rates.pilot_launch_failure = args.pilot_failure_rate;
-    tweaks.faults.with_rates(rates);
-  }
-  // As in single-run mode, any requested fault arms pilot recovery.
-  spec.recovery.enabled = !tweaks.faults.empty();
-  const bool obs_on = !args.trace_out.empty() || !args.metrics_out.empty();
-  tweaks.observability.enabled = obs_on;
-  tweaks.observability.sample_interval =
-      common::SimDuration::seconds(args.sample_interval_s);
-  tweaks.obs_artifacts = obs_on;
-  if (!args.testbed_file.empty()) {
-    auto file = common::Config::load(args.testbed_file);
-    if (!file) {
-      std::fprintf(stderr, "testbed: %s\n", file.error().c_str());
-      return 1;
-    }
-    auto pool = cluster::parse_testbed(*file);
-    if (!pool) {
-      std::fprintf(stderr, "testbed: %s\n", pool.error().c_str());
-      return 1;
-    }
-    tweaks.testbed = std::move(*pool);
-  }
-
+  const exp::RunRequest& req = args.req;
   std::printf("campaign: %d tenants (base %d tasks, sizes x{1,2,4}), mode %s\n",
-              spec.n_tenants, spec.base_tasks, std::string(to_string(spec.mode)).c_str());
+              req.campaign.tenants, req.tasks,
+              std::string(to_string(req.campaign.mode)).c_str());
 
-  if (args.trials > 1) {
-    const auto cell =
-        exp::run_campaign_cell(spec, args.trials, args.seed, tweaks, args.jobs);
+  const exp::RunResult result = exp::execute(req);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
+    return 1;
+  }
+
+  if (req.trials > 1) {
+    const exp::CampaignCellResult& cell = result.campaign;
     std::printf("  %d trials: makespan mean %.0f s (stddev %.0f) | tenant TTC mean %.0f s\n",
-                args.trials, cell.makespan_s.mean(), cell.makespan_s.stddev(),
+                req.trials, cell.makespan_s.mean(), cell.makespan_s.stddev(),
                 cell.tenant_ttc_s.mean());
-    if (spec.admission.enabled) {
+    if (req.admission.enabled) {
       std::printf("  admission: %zu admitted, %zu shed | queue wait mean %.0f s | "
                   "goodput mean %.1f units/h\n",
                   cell.tenants_admitted, cell.tenants_shed, cell.admission_wait_s.mean(),
                   cell.goodput_uph.mean());
     }
     std::printf("  failed trials: %zu of %d | checksum %016llx\n", cell.failures,
-                args.trials, static_cast<unsigned long long>(cell.checksum));
-    return cell.failures == static_cast<std::size_t>(args.trials) ? 1 : 0;
+                req.trials, static_cast<unsigned long long>(result.checksum));
+    return result.success ? 0 : 1;
   }
 
-  const auto trial = exp::run_campaign_trial(spec, args.seed, tweaks);
+  if (!result.has_first_campaign) {
+    std::fprintf(stderr, "campaign trial did not run\n");
+    return 1;
+  }
+  const exp::CampaignTrialResult& trial = result.first_campaign;
   std::printf("campaign %s: makespan %s\n", trial.success ? "succeeded" : "INCOMPLETE",
               trial.makespan.str().c_str());
-  if (spec.mode == exp::CampaignMode::kSequential) {
+  const bool obs_on = req.observability.enabled;
+  if (req.campaign.mode == exp::CampaignMode::kSequential) {
     for (std::size_t i = 0; i < trial.tenant_ttc.size(); ++i) {
       std::printf("  t%zu: %d tasks, TTC %s\n", i + 1,
-                  exp::campaign_tenant_tasks(spec, static_cast<int>(i)),
+                  exp::campaign_tenant_tasks(result.campaign.spec, static_cast<int>(i)),
                   trial.tenant_ttc[i].str().c_str());
     }
     if (obs_on && !emit_observability(args, trial.obs)) return 1;
@@ -449,8 +220,8 @@ int run_campaign(const Args& args) {
     if (t.admission == core::AdmissionOutcome::kAdmittedDegraded ||
         t.admission_wait > common::SimDuration::zero()) {
       std::printf("    admission: %s, %d pilot(s) granted, queued %s, slo %s\n",
-                  core::to_string(t.admission), t.granted_pilots, t.admission_wait.str().c_str(),
-                  core::to_string(t.slo));
+                  core::to_string(t.admission), t.granted_pilots,
+                  t.admission_wait.str().c_str(), core::to_string(t.slo));
     }
   }
   if (trial.report.admission.requests > 0) {
@@ -488,26 +259,6 @@ int run_campaign(const Args& args) {
   return trial.success ? 0 : 1;
 }
 
-common::Expected<skeleton::SkeletonSpec> load_spec(const Args& args) {
-  using E = common::Expected<skeleton::SkeletonSpec>;
-  if (!args.skeleton_file.empty()) {
-    auto config = common::Config::load(args.skeleton_file);
-    if (!config) return E::error(config.error());
-    return skeleton::parse_spec(*config);
-  }
-  if (args.profile == "bag-uniform") return skeleton::profiles::bag_uniform(args.tasks);
-  if (args.profile == "bag-gaussian") return skeleton::profiles::bag_gaussian(args.tasks);
-  if (args.profile == "montage") return skeleton::profiles::montage_like(args.tasks);
-  if (args.profile == "blast") return skeleton::profiles::blast_like(args.tasks);
-  if (args.profile == "cybershake") return skeleton::profiles::cybershake_like(args.tasks);
-  if (args.profile == "mapreduce") {
-    return skeleton::profiles::map_reduce(args.tasks, std::max(1, args.tasks / 8),
-                                          common::DistributionSpec::constant(300),
-                                          common::DistributionSpec::constant(120));
-  }
-  return E::error("unknown profile '" + args.profile + "'");
-}
-
 int emit_skeleton(const Args& args, const skeleton::SkeletonApplication& app) {
   std::string text;
   if (args.emit == "shell") text = skeleton::to_shell_script(app);
@@ -533,153 +284,61 @@ int emit_skeleton(const Args& args, const skeleton::SkeletonApplication& app) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  auto parsed = parse_args(argc, argv);
-  if (!parsed) {
-    std::fprintf(stderr, "%s\n", parsed.error().c_str());
-    return 2;
-  }
-  const Args& args = *parsed;
-  if (args.verbose) common::Log::set_level(common::LogLevel::kInfo);
-
-  if (args.campaign > 0) return run_campaign(args);
-
-  auto spec = load_spec(args);
-  if (!spec) {
-    std::fprintf(stderr, "skeleton: %s\n", spec.error().c_str());
+/// Sweep front end (--trials > 1): N seeded replicas through exp::execute —
+/// the same cell the daemon runs, same seeds S+1..S+N, same checksum.
+int run_sweep(const Args& args) {
+  const exp::RunRequest& req = args.req;
+  std::printf("\nsweep: %d trials (seeds %llu..%llu), %s worker(s)\n", req.trials,
+              static_cast<unsigned long long>(req.seed + 1),
+              static_cast<unsigned long long>(req.seed + req.trials),
+              req.jobs == 0 ? "hardware" : std::to_string(req.jobs).c_str());
+  const exp::RunResult result = exp::execute(req);
+  if (!result.ok) {
+    std::fprintf(stderr, "%s\n", result.error.c_str());
     return 1;
   }
-  const auto app = skeleton::materialize(*spec, args.seed);
+  const exp::CellResult& cell = result.cell;
+  std::printf("  TTC mean %.0f s (stddev %.0f, p50 %.0f) | Tw %.0f | Tx %.0f | Ts %.0f\n",
+              cell.ttc_s.mean(), cell.ttc_s.stddev(), cell.ttc_s.percentile(50),
+              cell.tw_s.mean(), cell.tx_s.mean(), cell.ts_s.mean());
+  if (cell.faults_n.mean() > 0.0 || cell.resubmitted_n.mean() > 0.0) {
+    std::printf("  faults/trial mean %.1f | pilots resubmitted/trial mean %.1f\n",
+                cell.faults_n.mean(), cell.resubmitted_n.mean());
+  }
+  std::printf("  failed trials: %zu of %d | checksum %016llx\n", cell.failures, req.trials,
+              static_cast<unsigned long long>(result.checksum));
+  return result.success ? 0 : 1;
+}
+
+/// Single-run front end: drives trial 1's world (seed S+1, exactly the world
+/// `--trials 1` runs through exp::execute) directly, which keeps the
+/// renderers only this path offers — strategy description, adaptive manager,
+/// CSV trace, ASCII timeline, report JSON, observability artifacts.
+int run_single(const Args& args, const exp::ResolvedRun& resolved) {
+  const exp::RunRequest& req = args.req;
+  const exp::WorldTweaks& tweaks = resolved.tweaks;
+  const std::uint64_t seed = req.seed + 1;
+
+  core::AimesConfig config;
+  config.seed = seed;
+  config.warmup = tweaks.warmup;
+  if (!tweaks.testbed.empty()) config.testbed = tweaks.testbed;
+  config.execution.recovery = tweaks.recovery;
+  config.faults = tweaks.faults;
+  config.observability = tweaks.observability;
+  config.sharding = tweaks.sharding;
+
+  const auto app = skeleton::materialize(resolved.app.skeleton, seed);
   std::printf("application '%s': %zu tasks in %zu stage(s), %s compute, %s external input\n",
               app.name().c_str(), app.task_count(), app.stages().size(),
               app.total_compute().str().c_str(), app.total_external_input().str().c_str());
 
   if (!args.emit.empty()) return emit_skeleton(args, app);
 
-  core::AimesConfig config;
-  config.seed = args.seed;
-  config.warmup = common::SimDuration::hours(args.warmup_hours);
-  config.shards = args.shards;
-  config.grid_sites = args.grid_sites;
-  config.shard_workers = args.shard_workers;
-  const bool obs_on = !args.trace_out.empty() || !args.metrics_out.empty();
-  config.observability.enabled = obs_on;
-  config.observability.sample_interval =
-      common::SimDuration::seconds(args.sample_interval_s);
-  if (!args.testbed_file.empty()) {
-    auto file = common::Config::load(args.testbed_file);
-    if (!file) {
-      std::fprintf(stderr, "testbed: %s\n", file.error().c_str());
-      return 1;
-    }
-    auto pool = cluster::parse_testbed(*file);
-    if (!pool) {
-      std::fprintf(stderr, "testbed: %s\n", pool.error().c_str());
-      return 1;
-    }
-    config.testbed = std::move(*pool);
-  }
-  if (!args.fault_plan_file.empty()) {
-    auto file = common::Config::load(args.fault_plan_file);
-    if (!file) {
-      std::fprintf(stderr, "fault plan: %s\n", file.error().c_str());
-      return 1;
-    }
-    auto plan = sim::FaultPlan::parse(*file);
-    if (!plan) {
-      std::fprintf(stderr, "fault plan: %s\n", plan.error().c_str());
-      return 1;
-    }
-    config.faults = std::move(*plan);
-  }
-  if (args.pilot_failure_rate > 0.0) {
-    auto rates = config.faults.rates();
-    rates.pilot_launch_failure = args.pilot_failure_rate;
-    config.faults.with_rates(rates);
-  }
-  // Any requested fault makes recovery part of the experiment.
-  if (!config.faults.empty()) config.execution.recovery.enabled = true;
-
-  core::PlannerConfig planner;
-  planner.binding = args.binding == "early" ? core::Binding::kEarly : core::Binding::kLate;
-  planner.n_pilots = args.pilots;
-  planner.selection = args.selection == "random" ? core::SiteSelection::kRandom
-                                                 : core::SiteSelection::kPredictedWait;
-
-  if (args.trials > 1) {
-    // Sweep mode: N independent replicas of the configured experiment, seeded
-    // seed..seed+N-1, fanned out over the pool. Each replica owns its engine
-    // and world; results come back in seed order, so the aggregate is
-    // bit-identical for every --jobs value (trial 0 == the single-run seed).
-    struct Trial {
-      bool ok = false;
-      double ttc = 0;
-      double tw = 0;
-      double tx = 0;
-      double ts = 0;
-      double faults = 0;
-      double resubmitted = 0;
-    };
-    sim::ReplicaPool pool(args.jobs == 0 ? 0u : static_cast<unsigned>(args.jobs));
-    std::printf("\nsweep: %d trials (seeds %llu..%llu), %u worker(s)\n", args.trials,
-                static_cast<unsigned long long>(args.seed),
-                static_cast<unsigned long long>(args.seed + args.trials - 1), pool.jobs());
-    const auto results = pool.map<Trial>(
-        static_cast<std::size_t>(args.trials), [&](std::size_t t) {
-          core::AimesConfig replica = config;
-          replica.seed = args.seed + t;
-          core::Aimes world(replica);
-          world.start();
-          const auto replica_app = skeleton::materialize(*spec, replica.seed);
-          auto result = world.run(replica_app, planner);
-          Trial trial;
-          if (!result.ok() || !result->report.success) return trial;
-          trial.ok = true;
-          trial.ttc = result->report.ttc.ttc.to_seconds();
-          trial.tw = result->report.ttc.tw.to_seconds();
-          trial.tx = result->report.ttc.tx.to_seconds();
-          trial.ts = result->report.ttc.ts.to_seconds();
-          trial.faults = static_cast<double>(result->report.faults.total());
-          trial.resubmitted =
-              static_cast<double>(result->report.recovery.pilots_resubmitted);
-          return trial;
-        });
-    common::Summary ttc;
-    common::Summary tw;
-    common::Summary tx;
-    common::Summary ts;
-    common::Summary faults;
-    common::Summary resubmitted;
-    int failures = 0;
-    for (const auto& trial : results) {
-      if (!trial.ok) {
-        ++failures;
-        continue;
-      }
-      ttc.add(trial.ttc);
-      tw.add(trial.tw);
-      tx.add(trial.tx);
-      ts.add(trial.ts);
-      faults.add(trial.faults);
-      resubmitted.add(trial.resubmitted);
-    }
-    std::printf("  TTC mean %.0f s (stddev %.0f, p50 %.0f) | Tw %.0f | Tx %.0f | Ts %.0f\n",
-                ttc.mean(), ttc.stddev(), ttc.percentile(50), tw.mean(), tx.mean(),
-                ts.mean());
-    if (faults.mean() > 0.0 || resubmitted.mean() > 0.0) {
-      std::printf("  faults/trial mean %.1f | pilots resubmitted/trial mean %.1f\n",
-                  faults.mean(), resubmitted.mean());
-    }
-    std::printf("  failed trials: %d of %d\n", failures, args.trials);
-    return failures == args.trials ? 1 : 0;
-  }
-
   core::Aimes aimes(config);
   aimes.start();
 
-  auto strategy = aimes.plan(app, planner);
+  auto strategy = aimes.plan(app, resolved.app.planner);
   if (!strategy) {
     std::fprintf(stderr, "planner: %s\n", strategy.error().c_str());
     return 1;
@@ -692,7 +351,7 @@ int main(int argc, char** argv) {
   if (args.adaptive) {
     core::AdaptiveExecutionManager manager(
         aimes.engine(), adaptive_trace, aimes.services(), aimes.staging(), aimes.bundles(),
-        aimes.config().execution, core::AdaptivePolicy{}, common::Rng(args.seed));
+        aimes.config().execution, core::AdaptivePolicy{}, common::Rng(seed));
     bool done = false;
     auto status = manager.enact(app, *strategy, [&](const core::ExecutionReport&) {
       done = true;
@@ -735,8 +394,8 @@ int main(int argc, char** argv) {
   if (aimes.recorder() != nullptr) {
     std::printf("  peak concurrent executing units (sampled gauge): %zu\n",
                 report.metrics.peak_units_executing);
-    std::printf("  engine: %zu events executed, peak queue %zu\n", aimes.engine().executed(),
-                aimes.engine().peak_queued());
+    std::printf("  engine: %zu events executed, peak queue %zu\n", aimes.world().executed(),
+                aimes.world().peak_queued());
     if (!emit_observability(args, aimes.recorder()->snapshot(true))) return 1;
   }
 
@@ -769,4 +428,28 @@ int main(int argc, char** argv) {
                 args.trace_file.c_str());
   }
   return report.success ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parsed = parse_args(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.error().c_str());
+    return 2;
+  }
+  const Args& args = *parsed;
+  if (args.verbose) common::Log::set_level(common::LogLevel::kInfo);
+
+  if (args.req.is_campaign()) return run_campaign(args);
+  if (args.req.trials > 1) return run_sweep(args);
+
+  // Single run (and skeleton emission): resolve files once, then drive the
+  // world directly for the artifact renderers.
+  auto resolved = exp::resolve(args.req);
+  if (!resolved) {
+    std::fprintf(stderr, "%s\n", resolved.error().c_str());
+    return 1;
+  }
+  return run_single(args, *resolved);
 }

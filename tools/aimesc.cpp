@@ -1,0 +1,342 @@
+// aimesc: command-line client for the aimesd control plane.
+//
+//   aimesc submit [run flags] [--name N] [--user U] [--wait]
+//   aimesc list   [--user U]
+//   aimesc view    <id>
+//   aimesc log     <id>
+//   aimesc cancel  <id>
+//   aimesc resource
+//   aimesc metrics
+//   aimesc shutdown
+//
+// `submit` takes the exact run flags `aimes-run` takes (they fill the same
+// typed exp::RunRequest, serialized as JSON over loopback HTTP), so any
+// command line that works locally works remotely by s/aimes-run/aimesc
+// submit/ — and produces the identical FNV-1a checksum. `--wait` polls the
+// run to completion and prints the result summary; its exit code then
+// reflects the run (0 done, 1 failed/cancelled).
+//
+// Exit codes: 0 success, 1 daemon/run error, 2 usage error.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/json_scan.hpp"
+#include "exp/request.hpp"
+#include "exp/request_cli.hpp"
+#include "net/http.hpp"
+
+namespace {
+
+using namespace aimes;
+
+constexpr int kDefaultPort = 8477;
+
+const char* kUsage =
+    "usage: aimesc <verb> [options]\n"
+    "\n"
+    "verbs:\n"
+    "  submit    submit a run request (takes aimes-run's flags; see --help)\n"
+    "  list      list runs, newest first\n"
+    "  view      show one run's record and result   (aimesc view <id>)\n"
+    "  log       print one run's progress log       (aimesc log <id>)\n"
+    "  cancel    request cancellation of a run      (aimesc cancel <id>)\n"
+    "  resource  describe the simulated grid the daemon runs on\n"
+    "  metrics   dump the daemon's Prometheus exposition\n"
+    "  shutdown  ask the daemon to drain and exit\n"
+    "\n"
+    "every verb takes --port PORT (default 8477).\n";
+
+/// One HTTP exchange with the local daemon; exits talking to stderr on
+/// transport errors so verbs can chain calls without plumbing Expected.
+common::Expected<net::HttpResponse> call(int port, const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body = "") {
+  net::HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.body = body;
+  return net::http_call(static_cast<std::uint16_t>(port), request);
+}
+
+/// Prints the daemon's typed error body ({"error": "..."}) or the raw body.
+void print_error_body(const net::HttpResponse& response) {
+  core::json::FieldScanner scanner("response", response.body);
+  if (auto err = scanner.text("error")) {
+    std::fprintf(stderr, "aimesc: %s (HTTP %d)\n", err->c_str(), response.status);
+  } else {
+    std::fprintf(stderr, "aimesc: HTTP %d: %s\n", response.status, response.body.c_str());
+  }
+}
+
+/// Splits a JSON array of objects into its "{...}" elements (enough for the
+/// daemon's own output; strings with braces are handled, arrays of arrays —
+/// which the daemon never emits — are not).
+std::vector<std::string> split_objects(const std::string& json) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{') {
+      if (depth++ == 0) start = i;
+    } else if (c == '}') {
+      if (--depth == 0) out.push_back(json.substr(start, i - start + 1));
+    }
+  }
+  return out;
+}
+
+/// One run's line in `aimesc list`: id, state, user, name.
+void print_run_line(const std::string& record_json) {
+  core::json::FieldScanner scanner("record", record_json);
+  const auto id = scanner.number("id");
+  const auto state = scanner.text("state");
+  const auto user = scanner.text("user");
+  const auto name = scanner.text("name");
+  if (!id || !state) return;
+  std::printf("  %4.0f  %-10s %-10s %s\n", *id, state->c_str(),
+              user ? user->c_str() : "?", name ? name->c_str() : "");
+}
+
+bool terminal_state(const std::string& state) {
+  return state == "done" || state == "failed" || state == "cancelled";
+}
+
+/// Prints the completed run's summary from its record JSON; returns the
+/// process exit code (0 only for a fully successful run).
+int print_outcome(const std::string& record_json) {
+  core::json::FieldScanner scanner("record", record_json);
+  const auto state = scanner.text("state");
+  if (!state) {
+    std::fprintf(stderr, "aimesc: %s\n", state.error().c_str());
+    return 1;
+  }
+  auto result = scanner.object("result");
+  if (!result) {
+    std::printf("run %s (no result recorded)\n", state->c_str());
+    return *state == "done" ? 0 : 1;
+  }
+  const auto success = result->boolean("success");
+  const auto checksum = result->text("checksum");
+  const auto wall = result->number("wall_seconds");
+  std::printf("run %s%s", state->c_str(),
+              success && *success ? "" : " (with failures)");
+  if (checksum) std::printf(" | checksum %s", checksum->c_str());
+  if (wall) std::printf(" | wall %.1f s", *wall);
+  std::printf("\n");
+  if (const auto error = result->text("error"); error && !error->empty()) {
+    std::fprintf(stderr, "aimesc: run error: %s\n", error->c_str());
+  }
+  return (*state == "done" && success && *success) ? 0 : 1;
+}
+
+int cmd_submit(int argc, char** argv) {
+  exp::RunRequest req;
+  bool quick = false;
+  bool wait = false;
+  int port = kDefaultPort;
+  double poll_s = 1.0;
+  common::cli::Parser cli("aimesc submit");
+  exp::declare_request_options(cli, req, quick);
+  cli.string_option("--name", req.name, "label for the run in list/view output", "NAME");
+  cli.string_option("--user", req.user, "owner recorded with the run", "NAME");
+  cli.flag("--wait", wait, "poll the run to completion and print its result");
+  cli.double_option("--poll", poll_s, 0.05, 3600, "poll interval with --wait (1 s)", "S");
+  cli.int_option("--port", port, 1, 65535, "aimesd port (8477)", "PORT");
+  auto parsed = cli.parse(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.error().c_str());
+    return 2;
+  }
+  if (parsed->help) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  exp::finalize_request_options(cli, req, quick);
+  if (auto st = exp::validate(req); !st.ok()) {
+    // Reject locally with the same typed message the daemon would return.
+    std::fprintf(stderr, "%s\n", st.error().c_str());
+    return 2;
+  }
+
+  auto response = call(port, "POST", "/api/v1/runs", exp::run_request_to_json(req));
+  if (!response) {
+    std::fprintf(stderr, "aimesc: %s\n", response.error().c_str());
+    return 1;
+  }
+  if (response->status != 202) {
+    print_error_body(*response);
+    return 1;
+  }
+  core::json::FieldScanner scanner("response", response->body);
+  const auto id = scanner.number("id");
+  if (!id) {
+    std::fprintf(stderr, "aimesc: %s\n", id.error().c_str());
+    return 1;
+  }
+  const auto run_id = static_cast<std::uint64_t>(*id);
+  std::printf("submitted run %llu\n", static_cast<unsigned long long>(run_id));
+  if (!wait) return 0;
+
+  const std::string target = "/api/v1/runs/" + std::to_string(run_id);
+  std::string last_state;
+  for (;;) {
+    auto view = call(port, "GET", target);
+    if (!view) {
+      std::fprintf(stderr, "aimesc: %s\n", view.error().c_str());
+      return 1;
+    }
+    if (view->status != 200) {
+      print_error_body(*view);
+      return 1;
+    }
+    core::json::FieldScanner record("record", view->body);
+    const auto state = record.text("state");
+    if (!state) {
+      std::fprintf(stderr, "aimesc: %s\n", state.error().c_str());
+      return 1;
+    }
+    if (*state != last_state) {
+      std::printf("run %llu: %s\n", static_cast<unsigned long long>(run_id),
+                  state->c_str());
+      std::fflush(stdout);
+      last_state = *state;
+    }
+    if (terminal_state(*state)) return print_outcome(view->body);
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+  }
+}
+
+/// Parses `aimesc <verb> [<id>] [--port P]` for the id-addressed verbs and
+/// the flagless ones. Returns the exit code.
+int cmd_simple(const std::string& verb, int argc, char** argv) {
+  int port = kDefaultPort;
+  std::string user;
+  std::uint64_t id = 0;
+  bool id_seen = false;
+
+  // Accept a bare numeric id directly after the verb: `aimesc view 3`. Only
+  // that position — a later bare number is some flag's value, not an id.
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  int first_flag = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    char* end = nullptr;
+    const unsigned long long parsed_id = std::strtoull(argv[1], &end, 10);
+    if (end != nullptr && *end == '\0' && *argv[1] != '\0') {
+      id = parsed_id;
+      id_seen = true;
+      first_flag = 2;
+    }
+  }
+  for (int i = first_flag; i < argc; ++i) rest.push_back(argv[i]);
+
+  common::cli::Parser cli("aimesc " + verb);
+  cli.int_option("--port", port, 1, 65535, "aimesd port (8477)", "PORT");
+  if (verb == "list") cli.string_option("--user", user, "only this user's runs", "NAME");
+  auto parsed = cli.parse(static_cast<int>(rest.size()), rest.data());
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.error().c_str());
+    return 2;
+  }
+  if (parsed->help) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+
+  const bool needs_id = verb == "view" || verb == "log" || verb == "cancel";
+  if (needs_id && !id_seen) {
+    std::fprintf(stderr, "aimesc %s: run id required (aimesc %s <id>)\n", verb.c_str(),
+                 verb.c_str());
+    return 2;
+  }
+
+  std::string method = "GET";
+  std::string target;
+  if (verb == "list") {
+    target = user.empty() ? "/api/v1/runs" : "/api/v1/runs?user=" + user;
+  } else if (verb == "view") {
+    target = "/api/v1/runs/" + std::to_string(id);
+  } else if (verb == "log") {
+    target = "/api/v1/runs/" + std::to_string(id) + "/log";
+  } else if (verb == "cancel") {
+    method = "POST";
+    target = "/api/v1/runs/" + std::to_string(id) + "/cancel";
+  } else if (verb == "resource") {
+    target = "/api/v1/resource";
+  } else if (verb == "metrics") {
+    target = "/metrics";
+  } else if (verb == "shutdown") {
+    method = "POST";
+    target = "/api/v1/shutdown";
+  }
+
+  auto response = call(port, method, target);
+  if (!response) {
+    std::fprintf(stderr, "aimesc: %s\n", response.error().c_str());
+    return 1;
+  }
+  if (response->status >= 400) {
+    print_error_body(*response);
+    return 1;
+  }
+
+  if (verb == "list") {
+    // The body is {"runs": [ {...}, ... ]}; split inside the array so the
+    // outer wrapper does not count as the one-and-only object.
+    const std::size_t open = response->body.find('[');
+    const std::size_t close = response->body.rfind(']');
+    const auto records =
+        open == std::string::npos || close == std::string::npos || close < open
+            ? std::vector<std::string>{}
+            : split_objects(response->body.substr(open, close - open + 1));
+    if (records.empty()) {
+      std::printf("no runs\n");
+      return 0;
+    }
+    std::printf("   id  state      user       name\n");
+    for (const auto& record : records) print_run_line(record);
+    return 0;
+  }
+  if (verb == "cancel") {
+    core::json::FieldScanner scanner("response", response->body);
+    const auto state = scanner.text("state");
+    std::printf("run %llu: %s\n", static_cast<unsigned long long>(id),
+                state ? state->c_str() : "cancellation requested");
+    return 0;
+  }
+  // view / log / resource / metrics / shutdown: the body is the answer.
+  std::fputs(response->body.c_str(), stdout);
+  if (!response->body.empty() && response->body.back() != '\n') std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::fputs(kUsage, argc < 2 ? stderr : stdout);
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string verb = argv[1];
+  if (verb == "submit") return cmd_submit(argc - 1, argv + 1);
+  if (verb == "list" || verb == "view" || verb == "log" || verb == "cancel" ||
+      verb == "resource" || verb == "metrics" || verb == "shutdown") {
+    return cmd_simple(verb, argc - 1, argv + 1);
+  }
+  std::fprintf(stderr, "aimesc: unknown verb '%s'\n\n%s", verb.c_str(), kUsage);
+  return 2;
+}

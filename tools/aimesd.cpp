@@ -1,0 +1,102 @@
+// aimesd: the AIMES control-plane daemon.
+//
+// Serves the run-request API over local HTTP (127.0.0.1 only) and executes
+// submitted requests concurrently on the registry's worker pool — the same
+// exp::execute the CLI uses, so a campaign submitted here is bit-identical
+// (FNV-1a checksum) to the same cell run by `aimes-run`. See ctl/daemon.hpp
+// for the route table; `aimesc` is the matching client.
+//
+// Shutdown is graceful on SIGINT/SIGTERM or POST /api/v1/shutdown: the
+// listener closes, queued runs are cancelled with a typed shutdown reason,
+// in-flight runs stop at their next trial boundary.
+//
+// Examples:
+//   aimesd --port 8477
+//   aimesd --port 0 --port-file /tmp/aimesd.port --workers 4
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "ctl/daemon.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+struct Args {
+  int port = 8477;
+  std::string port_file;
+  int workers = 2;
+  std::string user = "anon";
+  bool verbose = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace aimes;
+  Args args;
+  common::cli::Parser cli("aimesd");
+  cli.int_option("--port", args.port, 0, 65535,
+                 "TCP port on 127.0.0.1 (0 = pick an ephemeral port; 8477)", "PORT");
+  cli.string_option("--port-file", args.port_file,
+                    "write the bound port number to FILE once listening\n"
+                    "(for scripts that start with --port 0)",
+                    "FILE");
+  cli.int_option("--workers", args.workers, 1, 256, "concurrent runs (2)", "N");
+  cli.string_option("--user", args.user, "owner recorded for anonymous submissions", "NAME");
+  cli.flag("--verbose", args.verbose, "info-level logging");
+  auto parsed = cli.parse(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.error().c_str());
+    return 2;
+  }
+  if (parsed->help) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  if (args.verbose) common::Log::set_level(common::LogLevel::kInfo);
+
+  ctl::DaemonOptions options;
+  options.default_user = args.user;
+  options.workers = args.workers;
+  ctl::Daemon daemon(options);
+  auto port = daemon.start(static_cast<std::uint16_t>(args.port));
+  if (!port) {
+    std::fprintf(stderr, "aimesd: %s\n", port.error().c_str());
+    return 1;
+  }
+  if (!args.port_file.empty()) {
+    std::ofstream out(args.port_file);
+    if (!out) {
+      std::fprintf(stderr, "aimesd: cannot write %s\n", args.port_file.c_str());
+      return 1;
+    }
+    out << *port << "\n";
+  }
+  std::printf("aimesd: listening on 127.0.0.1:%u (%d worker%s)\n", unsigned{*port},
+              args.workers, args.workers == 1 ? "" : "s");
+  std::fflush(stdout);
+
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  while (!g_stop.load() && !daemon.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("aimesd: draining (%zu queued, %zu running)\n", daemon.registry().queued(),
+              daemon.registry().running());
+  std::fflush(stdout);
+  daemon.stop();
+  std::printf("aimesd: bye\n");
+  return 0;
+}

@@ -16,9 +16,13 @@
 #      code enforces bit-identical digests across --shards 1/2/4/8, plus
 #      greps pinning the committed evidence (speedup field present, recorded
 #      from a Release build);
-#   5. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
+#   5. Control-plane smoke: start aimesd on an ephemeral port, submit the
+#      --quick campaign through aimesc --wait, require the daemon's
+#      determinism checksum to equal the same request run via aimes-run,
+#      grep the Prometheus exposition, and shut down gracefully;
+#   6. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
 #      fault-injection paths are where lifetime bugs hide;
-#   6. Thread (TSan) build + the sanitize label — races in the parallel
+#   7. Thread (TSan) build + the sanitize label — races in the parallel
 #      trial runner (sim::ReplicaPool) and the sharded window coordinator
 #      (sim::ShardedEngine's barrier/mailbox/park handoffs).
 #
@@ -88,6 +92,34 @@ grep -q '"deterministic_across_shards": true' "$src_dir/BENCH_substrate.json"
 grep -q '"speedup_shards8"' "$src_dir/BENCH_substrate.json"
 grep -q '"aimes_build_type": "release"' "$src_dir/BENCH_substrate.json"
 echo "sharded-substrate smoke OK ($sharded_json)"
+
+step "Control-plane smoke (aimesd/aimesc round trip + CLI checksum parity)"
+port_file="$prefix-release/aimesd.port"
+rm -f "$port_file"
+"$prefix-release/tools/aimesd" --port 0 --port-file "$port_file" &
+aimesd_pid=$!
+trap 'kill "$aimesd_pid" 2>/dev/null || true' EXIT
+i=0
+while [ ! -s "$port_file" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+test -s "$port_file"
+port="$(cat "$port_file")"
+# Reference: the identical request on the CLI. The daemon must reproduce
+# this determinism checksum bit for bit (DESIGN.md section 14).
+ref_sum="$("$prefix-release/tools/aimes-run" --quick --campaign 3 --trials 2 \
+  | sed -n 's/.*checksum \([0-9a-f]\{16\}\).*/\1/p')"
+test -n "$ref_sum"
+submit_out="$("$prefix-release/tools/aimesc" submit --quick --campaign 3 --trials 2 \
+  --name verify-smoke --wait --poll 0.2 --port "$port")"
+echo "$submit_out" | grep -q "checksum $ref_sum"
+"$prefix-release/tools/aimesc" metrics --port "$port" | grep -q '^# TYPE aimes_ctl_'
+"$prefix-release/tools/aimesc" shutdown --port "$port"
+# Graceful shutdown: aimesd drains and exits 0 on its own.
+wait "$aimesd_pid"
+trap - EXIT
+echo "control-plane smoke OK (checksum $ref_sum via aimesd == aimes-run)"
 
 step "Sanitize (ASan/UBSan) build + chaos/sanitize labels"
 cmake -S "$src_dir" -B "$prefix-asan" -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
