@@ -79,6 +79,29 @@ common::Expected<FieldScanner> FieldScanner::object(const std::string& key) cons
   return E::error(at(key, *value_at) + ": unterminated object");
 }
 
+common::Expected<std::string> FieldScanner::raw_object(const std::string& key) const {
+  using E = common::Expected<std::string>;
+  auto value_at = locate(key);
+  if (!value_at) return E::error(value_at.error());
+  if (text_[*value_at] != '{') return E::error(at(key, *value_at) + ": expected an object");
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = *value_at; i < text_.size(); ++i) {
+    const char c = text_[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++depth;
+    if (c == '}' && --depth == 0) {
+      return std::string(text_.substr(*value_at, i - *value_at + 1));
+    }
+  }
+  return E::error(at(key, *value_at) + ": unterminated object");
+}
+
 common::Expected<std::vector<double>> FieldScanner::numbers(const std::string& key) const {
   using E = common::Expected<std::vector<double>>;
   auto body = array_body(key);
@@ -121,17 +144,21 @@ common::Expected<std::vector<std::string>> FieldScanner::strings(
 common::Expected<std::size_t> FieldScanner::locate(const std::string& key) const {
   using E = common::Expected<std::size_t>;
   const std::string needle = "\"" + key + "\"";
-  const std::size_t found = text_.find(needle);
-  if (found == std::string_view::npos) {
-    return E::error(origin_ + ": missing field '" + qualified(key) + "'");
+  // The key's spelling may also appear as a string *value* earlier in the
+  // object ({"event": "progress", ..., "progress": {...}}); only an
+  // occurrence followed by ':' is the field.
+  std::size_t search = 0;
+  std::size_t found = std::string_view::npos;
+  while ((found = text_.find(needle, search)) != std::string_view::npos) {
+    std::size_t i = skip_ws(text_, found + needle.size());
+    if (i < text_.size() && text_[i] == ':') {
+      i = skip_ws(text_, i + 1);
+      if (i >= text_.size()) return E::error(at(key, found) + ": missing value");
+      return i;
+    }
+    search = found + 1;
   }
-  std::size_t i = skip_ws(text_, found + needle.size());
-  if (i >= text_.size() || text_[i] != ':') {
-    return E::error(at(key, found) + ": expected ':'");
-  }
-  i = skip_ws(text_, i + 1);
-  if (i >= text_.size()) return E::error(at(key, found) + ": missing value");
-  return i;
+  return E::error(origin_ + ": missing field '" + qualified(key) + "'");
 }
 
 common::Expected<std::pair<std::string_view, std::size_t>> FieldScanner::array_body(

@@ -47,6 +47,10 @@ class FieldScanner {
   /// Sub-scanner over the object value of `key` (its "{...}" body); errors
   /// inside it extend the field path ("strategy.binding").
   [[nodiscard]] common::Expected<FieldScanner> object(const std::string& key) const;
+  /// Raw text of `key`'s object value, braces included — for re-parsing a
+  /// nested document with its own deserializer (the run journal embeds whole
+  /// RunRequest/RunResult documents this way).
+  [[nodiscard]] common::Expected<std::string> raw_object(const std::string& key) const;
   [[nodiscard]] common::Expected<std::vector<double>> numbers(const std::string& key) const;
   [[nodiscard]] common::Expected<std::vector<std::string>> strings(
       const std::string& key) const;

@@ -1,11 +1,14 @@
 #include "ctl/daemon.hpp"
 
 #include <cinttypes>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <sstream>
 
 #include "cluster/testbed.hpp"
+#include "ctl/journal.hpp"
 #include "core/json_scan.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
@@ -39,6 +42,18 @@ bool parse_run_path(const std::string& path, std::uint64_t& id, std::string& ver
   return verb.empty() || *end == '/';
 }
 
+/// Parses a decimal query parameter; an absent value means 0. Rejects any
+/// non-digit text (a garbled offset must be a 400, not a silent restart
+/// from byte 0 that would duplicate everything the client already has).
+bool parse_offset(const std::string& text, std::uint64_t& out) {
+  out = 0;
+  if (text.empty()) return true;
+  if (text[0] < '0' || text[0] > '9') return false;  // strtoull accepts "-1"
+  char* end = nullptr;
+  out = std::strtoull(text.c_str(), &end, 10);
+  return *end == '\0';
+}
+
 }  // namespace
 
 std::string run_record_to_json(const RunRecord& record) {
@@ -49,6 +64,7 @@ std::string run_record_to_json(const RunRecord& record) {
   out << "  \"name\": \"" << core::json::escape(record.name) << "\",\n";
   out << "  \"state\": \"" << to_string(record.state) << "\",\n";
   out << "  \"cancel_reason\": \"" << to_string(record.cancel_reason) << "\",\n";
+  out << "  \"fail_reason\": \"" << to_string(record.fail_reason) << "\",\n";
   out << "  \"kind\": \"" << (record.request.is_campaign() ? "campaign" : "single")
       << "\",\n";
   out << "  \"trials\": " << record.request.trials << ",\n";
@@ -57,6 +73,18 @@ std::string run_record_to_json(const RunRecord& record) {
   out << "  \"started_at\": " << record.started_at << ",\n";
   out << "  \"finished_at\": " << record.finished_at << ",\n";
   out << "  \"log_lines\": " << record.log.size() << ",\n";
+  out << "  \"progress_events\": " << record.progress.size() << ",\n";
+  // The most recent snapshots only: a long campaign emits one per trial and
+  // the full stream lives on /events and in the journal.
+  constexpr std::size_t kMaxProgress = 32;
+  const std::size_t skip =
+      record.progress.size() > kMaxProgress ? record.progress.size() - kMaxProgress : 0;
+  out << "  \"progress\": [";
+  for (std::size_t i = skip; i < record.progress.size(); ++i) {
+    if (i > skip) out << ",";
+    out << "\n    " << exp::run_progress_to_json(record.progress[i]);
+  }
+  out << (record.progress.size() > skip ? "\n  " : "") << "],\n";
   std::string result = exp::run_result_to_json(record.result);
   // Indent the nested object to keep the document readable in a terminal.
   std::string indented;
@@ -74,7 +102,8 @@ std::string run_record_to_json(const RunRecord& record) {
 
 Daemon::Daemon(DaemonOptions options)
     : options_(std::move(options)),
-      registry_(Registry::Options{options_.workers, options_.executor}) {}
+      registry_(Registry::Options{options_.workers, options_.executor,
+                                  options_.journal_file}) {}
 
 common::Expected<std::uint16_t> Daemon::start(std::uint16_t port) {
   return server_.start(port,
@@ -98,7 +127,8 @@ net::HttpResponse Daemon::handle(const net::HttpRequest& request) {
   if (parse_run_path(path, id, verb)) {
     if (verb.empty() && request.method == "GET") return view_run(id);
     if (verb.empty() && request.method == "DELETE") return cancel_run(id);
-    if (verb == "log" && request.method == "GET") return run_log(id);
+    if (verb == "log" && request.method == "GET") return run_log(id, request);
+    if (verb == "events" && request.method == "GET") return run_events(id, request);
     if (verb == "cancel" && request.method == "POST") return cancel_run(id);
     return json_error(405, "unsupported run operation " + request.method + " /" + verb);
   }
@@ -133,15 +163,34 @@ net::HttpResponse Daemon::submit(const net::HttpRequest& request) {
 }
 
 net::HttpResponse Daemon::list_runs(const net::HttpRequest& request) {
-  const auto records = registry_.list(request.query_param("user"));
+  const std::string user = request.query_param("user");
+  const std::string state_text = request.query_param("state");
+  std::vector<RunRecord> records;
+  if (state_text.empty()) {
+    records = registry_.list(user);
+  } else {
+    RunState state = RunState::kQueued;
+    if (!parse_run_state(state_text, state)) {
+      return json_error(400, "unknown state '" + state_text +
+                                 "' (queued|running|done|failed|cancelled)");
+    }
+    records = registry_.list(user, state);
+  }
   std::ostringstream out;
   out << "{\"runs\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const RunRecord& r = records[i];
+    // The latest snapshot rides along so `aimesc list` / `top` can show live
+    // trial counts without one /runs/<id> round trip per row.
+    const exp::RunProgress latest =
+        r.progress.empty() ? exp::RunProgress{} : r.progress.back();
     out << "  {\"id\": " << r.id << ", \"user\": \"" << core::json::escape(r.user)
         << "\", \"name\": \"" << core::json::escape(r.name) << "\", \"state\": \""
         << to_string(r.state) << "\", \"kind\": \""
-        << (r.request.is_campaign() ? "campaign" : "single") << "\"}"
+        << (r.request.is_campaign() ? "campaign" : "single")
+        << "\", \"trials_done\": " << latest.trials_done
+        << ", \"trials_total\": " << r.request.trials << ", \"vt_s\": " << latest.vt_seconds
+        << ", \"sheds\": " << latest.tenants_shed << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]}\n";
@@ -154,12 +203,67 @@ net::HttpResponse Daemon::view_run(std::uint64_t id) {
   return json_ok(run_record_to_json(*record));
 }
 
-net::HttpResponse Daemon::run_log(std::uint64_t id) {
-  auto record = registry_.get(id);
-  if (!record) return json_error(404, record.error());
+net::HttpResponse Daemon::run_log(std::uint64_t id, const net::HttpRequest& request) {
+  std::uint64_t offset = 0;
+  if (!parse_offset(request.query_param("offset"), offset)) {
+    return json_error(400, "offset must be a non-negative integer");
+  }
+  auto tail = registry_.log_tail(id, offset);
+  if (!tail) return json_error(404, tail.error());
   net::HttpResponse res;
   res.content_type = "text/plain";
-  for (const auto& line : record->log) res.body += line + "\n";
+  res.body = std::move(tail->data);
+  if (request.query_param("follow") == "1" && !tail->terminal) {
+    // Chunked live tail: each pull is one bounded registry wait, so the
+    // stream stays responsive to both new log bytes and server shutdown.
+    auto next = std::make_shared<std::size_t>(tail->next_offset);
+    res.stream = [this, id, next](std::string& out) {
+      auto slice = registry_.wait_log(id, *next, std::chrono::milliseconds(400));
+      if (!slice) return false;
+      out += slice->data;
+      const bool drained = slice->data.empty();
+      *next = slice->next_offset;
+      return !(slice->terminal && drained);
+    };
+  }
+  return res;
+}
+
+net::HttpResponse Daemon::run_events(std::uint64_t id, const net::HttpRequest& request) {
+  std::uint64_t from_seq = 0;
+  if (!parse_offset(request.query_param("offset"), from_seq)) {
+    return json_error(400, "offset must be a non-negative integer");
+  }
+  if (auto record = registry_.get(id); !record) return json_error(404, record.error());
+  net::HttpResponse res;
+  res.content_type = "text/event-stream";
+  struct Cursor {
+    std::uint64_t next_seq;
+    int idle_pulls = 0;
+  };
+  auto cursor = std::make_shared<Cursor>(Cursor{from_seq});
+  res.stream = [this, id, cursor](std::string& out) {
+    auto tail = registry_.wait_events(id, cursor->next_seq, std::chrono::milliseconds(400));
+    if (!tail) return false;
+    for (const auto& event : tail->events) {
+      out += "id: " + std::to_string(event.seq) + "\n";
+      out += "event: " + event.kind + "\n";
+      out += "data: " + event.data + "\n\n";
+    }
+    cursor->next_seq = tail->next_seq;
+    if (tail->events.empty()) {
+      if (tail->terminal) return false;  // drained and no more will come
+      // A zero-length chunk would terminate the stream, so quiet periods
+      // send SSE comments instead — they also prove liveness to the client.
+      if (++cursor->idle_pulls >= 5) {
+        cursor->idle_pulls = 0;
+        out += ": keepalive\n\n";
+      }
+    } else {
+      cursor->idle_pulls = 0;
+    }
+    return true;
+  };
   return res;
 }
 
@@ -213,6 +317,11 @@ net::HttpResponse Daemon::metrics() {
   reg.counter("aimes_ctl_runs_cancelled").add(static_cast<double>(c.cancelled));
   reg.gauge("aimes_ctl_runs_queued").set(static_cast<double>(registry_.queued()));
   reg.gauge("aimes_ctl_runs_running").set(static_cast<double>(registry_.running()));
+  auto& queue_wait =
+      reg.histogram("aimes_ctl_run_queue_wait_seconds", {}, 0.0, 30.0, 10);
+  for (const double v : registry_.queue_wait_seconds()) queue_wait.observe(v);
+  auto& duration = reg.histogram("aimes_ctl_run_duration_seconds", {}, 0.0, 120.0, 12);
+  for (const double v : registry_.run_duration_seconds()) duration.observe(v);
   std::ostringstream out;
   obs::export_prometheus(reg, out);
   net::HttpResponse res;

@@ -4,14 +4,20 @@
 // and maps the control-plane REST surface onto them:
 //
 //   POST   /api/v1/runs            submit a RunRequest (202 {"id": N} / 400)
-//   GET    /api/v1/runs[?user=U]   list runs, newest first
+//   GET    /api/v1/runs[?user=U][&state=S]   list runs, newest first
 //   GET    /api/v1/runs/<id>       one run's record + result summary
-//   GET    /api/v1/runs/<id>/log   the run's progress log, text/plain
+//   GET    /api/v1/runs/<id>/log[?offset=N][&follow=1]
+//                                  the run's log, text/plain; offset=N tails
+//                                  from byte N, follow=1 streams live
+//                                  (chunked) until the run is terminal
+//   GET    /api/v1/runs/<id>/events[?offset=N]
+//                                  live SSE stream of state transitions and
+//                                  RunProgress snapshots, resumable by seq
 //   POST   /api/v1/runs/<id>/cancel   request cancellation (also DELETE)
 //   GET    /api/v1/resource        the simulated grid the runs execute on
 //   GET    /api/v1/health          liveness + queue depth
 //   POST   /api/v1/shutdown        ask the daemon to drain and exit
-//   GET    /metrics                Prometheus exposition of the counters
+//   GET    /metrics                Prometheus counters + latency histograms
 //
 // handle() is a pure request->response function (given registry state), so
 // the route tests drive it directly; the socket layer is net::HttpServer.
@@ -32,6 +38,10 @@ struct DaemonOptions {
   int workers = 2;
   /// Executor override for tests; empty = exp::execute.
   Registry::Executor executor;
+  /// JSONL run journal (aimesd --journal): replayed at startup, appended per
+  /// lifecycle transition. Empty = in-memory only. Open/replay failures land
+  /// in registry().journal_status(); aimesd refuses to start on them.
+  std::string journal_file;
 };
 
 class Daemon {
@@ -59,7 +69,8 @@ class Daemon {
   net::HttpResponse submit(const net::HttpRequest& request);
   net::HttpResponse list_runs(const net::HttpRequest& request);
   net::HttpResponse view_run(std::uint64_t id);
-  net::HttpResponse run_log(std::uint64_t id);
+  net::HttpResponse run_log(std::uint64_t id, const net::HttpRequest& request);
+  net::HttpResponse run_events(std::uint64_t id, const net::HttpRequest& request);
   net::HttpResponse cancel_run(std::uint64_t id);
   net::HttpResponse resource();
   net::HttpResponse health();

@@ -1,0 +1,247 @@
+#include "ctl/journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "core/json_scan.hpp"
+
+namespace aimes::ctl {
+
+namespace {
+
+/// Flattens a multi-line JSON document (run_request_to_json and friends are
+/// pretty-printed) onto one journal line. Newlines only ever appear between
+/// JSON tokens — strings escape them — so a space substitution is lossless.
+std::string compact(const std::string& json) {
+  std::string out;
+  out.reserve(json.size());
+  for (const char c : json) out += c == '\n' ? ' ' : c;
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+bool parse_run_state(std::string_view text, RunState& out) {
+  if (text == "queued") {
+    out = RunState::kQueued;
+  } else if (text == "running") {
+    out = RunState::kRunning;
+  } else if (text == "done") {
+    out = RunState::kDone;
+  } else if (text == "failed") {
+    out = RunState::kFailed;
+  } else if (text == "cancelled") {
+    out = RunState::kCancelled;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_cancel_reason(std::string_view text, CancelReason& out) {
+  if (text == "none") {
+    out = CancelReason::kNone;
+  } else if (text == "user") {
+    out = CancelReason::kUser;
+  } else if (text == "shutdown") {
+    out = CancelReason::kShutdown;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_fail_reason(std::string_view text, FailReason& out) {
+  if (text == "none") {
+    out = FailReason::kNone;
+  } else if (text == "execution") {
+    out = FailReason::kExecution;
+  } else if (text == "daemon-restart") {
+    out = FailReason::kDaemonRestart;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+common::Status Journal::open(const std::string& path) {
+  if (file_ != nullptr) return common::Status::error("journal: already open");
+  file_ = std::fopen(path.c_str(), "a");
+  if (file_ == nullptr) {
+    return common::Status::error("journal: cannot open " + path + " for append: " +
+                                 std::strerror(errno));
+  }
+  return {};
+}
+
+void Journal::append(const std::string& line) {
+  if (file_ == nullptr) return;
+  std::fputs(line.c_str(), file_);
+  std::fputc('\n', file_);
+  // One flush per transition: a SIGKILL loses at most the line being
+  // written, which replay tolerates as a truncated tail.
+  std::fflush(file_);
+}
+
+void Journal::submit(const RunRecord& record) {
+  if (file_ == nullptr) return;
+  std::ostringstream out;
+  out << "{\"event\": \"submit\", \"id\": " << record.id << ", \"at\": "
+      << record.submitted_at << ", \"user\": \"" << core::json::escape(record.user)
+      << "\", \"name\": \"" << core::json::escape(record.name)
+      << "\", \"request\": " << compact(exp::run_request_to_json(record.request)) << "}";
+  append(out.str());
+}
+
+void Journal::start(const RunRecord& record) {
+  if (file_ == nullptr) return;
+  append("{\"event\": \"start\", \"id\": " + std::to_string(record.id) +
+         ", \"at\": " + std::to_string(record.started_at) + "}");
+}
+
+void Journal::log_line(std::uint64_t id, const std::string& line) {
+  if (file_ == nullptr) return;
+  append("{\"event\": \"log\", \"id\": " + std::to_string(id) + ", \"line\": \"" +
+         core::json::escape(line) + "\"}");
+}
+
+void Journal::progress(std::uint64_t id, const exp::RunProgress& progress) {
+  if (file_ == nullptr) return;
+  append("{\"event\": \"progress\", \"id\": " + std::to_string(id) +
+         ", \"progress\": " + exp::run_progress_to_json(progress) + "}");
+}
+
+void Journal::finish(const RunRecord& record) {
+  if (file_ == nullptr) return;
+  std::ostringstream out;
+  out << "{\"event\": \"finish\", \"id\": " << record.id << ", \"at\": "
+      << record.finished_at << ", \"state\": \"" << to_string(record.state)
+      << "\", \"cancel_reason\": \"" << to_string(record.cancel_reason)
+      << "\", \"fail_reason\": \"" << to_string(record.fail_reason)
+      << "\", \"result\": " << compact(exp::run_result_to_json(record.result)) << "}";
+  append(out.str());
+}
+
+namespace {
+
+/// Applies one journal line to the record table. Returns false when the line
+/// is malformed or references an unknown run (both are skipped by replay —
+/// the truncated-tail and schema-drift tolerance).
+bool apply_line(const std::string& origin, const std::string& line,
+                std::map<std::uint64_t, RunRecord>& records) {
+  const core::json::FieldScanner scan(origin, line);
+  auto event = scan.text("event");
+  if (!event) return false;
+  auto id_value = scan.number("id");
+  if (!id_value || *id_value < 1) return false;
+  const auto id = static_cast<std::uint64_t>(*id_value);
+
+  if (*event == "submit") {
+    auto raw = scan.raw_object("request");
+    if (!raw) return false;
+    auto request = exp::parse_run_request(origin, *raw);
+    if (!request) return false;
+    RunRecord record;
+    record.id = id;
+    if (scan.has("user")) {
+      auto user = scan.text("user");
+      if (!user) return false;
+      record.user = std::move(*user);
+    }
+    if (scan.has("name")) {
+      auto name = scan.text("name");
+      if (!name) return false;
+      record.name = std::move(*name);
+    }
+    if (auto at = scan.number("at")) record.submitted_at = static_cast<std::time_t>(*at);
+    record.request = std::move(*request);
+    records[id] = std::move(record);
+    return true;
+  }
+
+  const auto found = records.find(id);
+  if (found == records.end()) return false;  // transition without a submit
+  RunRecord& record = found->second;
+
+  if (*event == "start") {
+    record.state = RunState::kRunning;
+    if (auto at = scan.number("at")) record.started_at = static_cast<std::time_t>(*at);
+    return true;
+  }
+  if (*event == "log") {
+    auto text = scan.text("line");
+    if (!text) return false;
+    record.log.push_back(std::move(*text));
+    return true;
+  }
+  if (*event == "progress") {
+    auto raw = scan.raw_object("progress");
+    if (!raw) return false;
+    auto progress = exp::parse_run_progress(origin, *raw);
+    if (!progress) return false;
+    record.progress.push_back(*progress);
+    return true;
+  }
+  if (*event == "finish") {
+    auto state_text = scan.text("state");
+    if (!state_text) return false;
+    RunState state = RunState::kQueued;
+    if (!parse_run_state(*state_text, state)) return false;
+    auto raw = scan.raw_object("result");
+    if (!raw) return false;
+    auto result = exp::parse_run_result(origin, *raw);
+    if (!result) return false;
+    record.state = state;
+    record.result = std::move(*result);
+    if (auto at = scan.number("at")) record.finished_at = static_cast<std::time_t>(*at);
+    if (scan.has("cancel_reason")) {
+      auto reason = scan.text("cancel_reason");
+      if (reason) (void)parse_cancel_reason(*reason, record.cancel_reason);
+    }
+    if (scan.has("fail_reason")) {
+      auto reason = scan.text("fail_reason");
+      if (reason) (void)parse_fail_reason(*reason, record.fail_reason);
+    }
+    return true;
+  }
+  return false;  // unknown event kind
+}
+
+}  // namespace
+
+common::Expected<JournalReplay> replay_journal(const std::string& path) {
+  using E = common::Expected<JournalReplay>;
+  JournalReplay out;
+  errno = 0;
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    // A journal that does not exist yet is a fresh daemon, not a failure;
+    // anything else (permissions, a directory) is.
+    if (errno == ENOENT || errno == 0) return out;
+    return E::error("journal: cannot read " + path + ": " + std::strerror(errno));
+  }
+  std::map<std::uint64_t, RunRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    ++out.lines;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    const std::string origin = path + ":" + std::to_string(line_no);
+    if (!apply_line(origin, line, records)) ++out.malformed_lines;
+  }
+  out.records.reserve(records.size());
+  for (auto& [id, record] : records) out.records.push_back(std::move(record));
+  return out;
+}
+
+}  // namespace aimes::ctl

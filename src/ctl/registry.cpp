@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <utility>
 
+#include "ctl/journal.hpp"
+
 namespace aimes::ctl {
+
+namespace {
+
+bool is_terminal(RunState state) {
+  return state == RunState::kDone || state == RunState::kFailed ||
+         state == RunState::kCancelled;
+}
+
+/// Single-line payload of a "state" RunEvent.
+std::string state_event_json(const RunRecord& record) {
+  return "{\"id\": " + std::to_string(record.id) + ", \"state\": \"" +
+         std::string(to_string(record.state)) + "\", \"cancel_reason\": \"" +
+         std::string(to_string(record.cancel_reason)) + "\", \"fail_reason\": \"" +
+         std::string(to_string(record.fail_reason)) + "\"}";
+}
+
+double seconds_since(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - from).count();
+}
+
+}  // namespace
 
 std::string_view to_string(RunState state) {
   switch (state) {
@@ -25,6 +48,15 @@ std::string_view to_string(CancelReason reason) {
   return "?";
 }
 
+std::string_view to_string(FailReason reason) {
+  switch (reason) {
+    case FailReason::kNone: return "none";
+    case FailReason::kExecution: return "execution";
+    case FailReason::kDaemonRestart: return "daemon-restart";
+  }
+  return "?";
+}
+
 Registry::Registry() : Registry(Options()) {}
 
 Registry::Registry(Options options) : options_(std::move(options)) {
@@ -33,6 +65,7 @@ Registry::Registry(Options options) : options_(std::move(options)) {
       return exp::execute(req, hooks);
     };
   }
+  if (!options_.journal_file.empty()) recover_journal();
   const int n = std::max(1, options_.workers);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -41,6 +74,99 @@ Registry::Registry(Options options) : options_(std::move(options)) {
 }
 
 Registry::~Registry() { drain(); }
+
+void Registry::recover_journal() {
+  // Runs from the constructor before any worker or server thread exists, so
+  // no lock is needed (or wanted: journal_status_ must be set before start).
+  auto replay = replay_journal(options_.journal_file);
+  if (!replay) {
+    journal_status_ = common::Status::error(replay.error());
+    return;
+  }
+  std::vector<std::uint64_t> resurrected;
+  for (auto& replayed : replay->records) {
+    auto entry = std::make_unique<Entry>();
+    entry->record = std::move(replayed);
+    RunRecord& record = entry->record;
+    if (!is_terminal(record.state)) {
+      // The daemon died with this run queued or in flight: the journal has
+      // no finish record, so fail it with the typed restart reason.
+      const std::string was(to_string(record.state));
+      record.state = RunState::kFailed;
+      record.fail_reason = FailReason::kDaemonRestart;
+      record.finished_at = std::time(nullptr);
+      record.log.push_back("daemon restart: run was " + was +
+                           ", marked failed (daemon-restart)");
+      resurrected.push_back(record.id);
+    }
+    ++counters_.submitted;
+    switch (record.state) {
+      case RunState::kDone: ++counters_.completed; break;
+      case RunState::kFailed: ++counters_.failed; break;
+      case RunState::kCancelled: ++counters_.cancelled; break;
+      case RunState::kQueued:
+      case RunState::kRunning: break;  // unreachable after resurrection
+    }
+    for (const auto& line : record.log) {
+      entry->log_bytes += line;
+      entry->log_bytes += '\n';
+    }
+    for (const auto& progress : record.progress) {
+      RunEvent event;
+      event.seq = entry->events.size();
+      event.kind = "progress";
+      event.data = exp::run_progress_to_json(progress);
+      entry->events.push_back(std::move(event));
+    }
+    RunEvent event;
+    event.seq = entry->events.size();
+    event.kind = "state";
+    event.data = state_event_json(record);
+    entry->events.push_back(std::move(event));
+    next_id_ = std::max(next_id_, record.id + 1);
+    runs_.emplace(record.id, std::move(entry));
+  }
+  journal_ = std::make_unique<Journal>();
+  if (auto st = journal_->open(options_.journal_file); !st.ok()) {
+    journal_status_ = st;
+    journal_.reset();
+    return;
+  }
+  // Persist the resurrection itself — the restart log line and the terminal
+  // state — so a second replay (another restart, or the idempotence test)
+  // sees the finished record instead of re-deciding (and re-logging) it.
+  for (const std::uint64_t id : resurrected) {
+    const RunRecord& record = runs_.at(id)->record;
+    journal_->log_line(id, record.log.back());
+    journal_->finish(record);
+  }
+}
+
+void Registry::append_log(Entry& entry, const std::string& line) {
+  entry.record.log.push_back(line);
+  entry.log_bytes += line;
+  entry.log_bytes += '\n';
+  if (journal_) journal_->log_line(entry.record.id, line);
+  update_cv_.notify_all();
+}
+
+void Registry::push_state_event(Entry& entry) {
+  RunEvent event;
+  event.seq = entry.events.size();
+  event.kind = "state";
+  event.data = state_event_json(entry.record);
+  entry.events.push_back(std::move(event));
+  update_cv_.notify_all();
+}
+
+void Registry::push_progress_event(Entry& entry, const exp::RunProgress& progress) {
+  RunEvent event;
+  event.seq = entry.events.size();
+  event.kind = "progress";
+  event.data = exp::run_progress_to_json(progress);
+  entry.events.push_back(std::move(event));
+  update_cv_.notify_all();
+}
 
 common::Expected<std::uint64_t> Registry::submit(exp::RunRequest request, std::string user) {
   using E = common::Expected<std::uint64_t>;
@@ -54,9 +180,13 @@ common::Expected<std::uint64_t> Registry::submit(exp::RunRequest request, std::s
   entry->record.name = request.display_name();
   entry->record.request = std::move(request);
   entry->record.submitted_at = std::time(nullptr);
+  entry->submitted_steady = std::chrono::steady_clock::now();
+  Entry& ref = *entry;
   runs_.emplace(id, std::move(entry));
   fifo_.push_back(id);
   ++counters_.submitted;
+  if (journal_) journal_->submit(ref.record);
+  push_state_event(ref);
   work_cv_.notify_one();
   return id;
 }
@@ -80,6 +210,70 @@ std::vector<RunRecord> Registry::list(const std::string& user) const {
   return out;
 }
 
+std::vector<RunRecord> Registry::list(const std::string& user, RunState state) const {
+  std::vector<RunRecord> out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+    if (!user.empty() && it->second->record.user != user) continue;
+    if (it->second->record.state != state) continue;
+    out.push_back(it->second->record);
+  }
+  return out;
+}
+
+common::Expected<Registry::LogTail> Registry::log_tail(std::uint64_t id,
+                                                       std::size_t offset) const {
+  using E = common::Expected<LogTail>;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = runs_.find(id);
+  if (it == runs_.end()) return E::error("unknown run id " + std::to_string(id));
+  const Entry& entry = *it->second;
+  LogTail tail;
+  tail.state = entry.record.state;
+  tail.terminal = is_terminal(tail.state);
+  tail.data = entry.log_bytes.substr(std::min(offset, entry.log_bytes.size()));
+  tail.next_offset = entry.log_bytes.size();
+  return tail;
+}
+
+common::Expected<Registry::LogTail> Registry::wait_log(std::uint64_t id, std::size_t offset,
+                                                       std::chrono::milliseconds timeout) {
+  using E = common::Expected<LogTail>;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = runs_.find(id);
+  if (it == runs_.end()) return E::error("unknown run id " + std::to_string(id));
+  Entry& entry = *it->second;  // entries are never erased: stable address
+  update_cv_.wait_for(lock, timeout, [&entry, offset] {
+    return entry.log_bytes.size() > offset || is_terminal(entry.record.state);
+  });
+  LogTail tail;
+  tail.state = entry.record.state;
+  tail.terminal = is_terminal(tail.state);
+  tail.data = entry.log_bytes.substr(std::min(offset, entry.log_bytes.size()));
+  tail.next_offset = entry.log_bytes.size();
+  return tail;
+}
+
+common::Expected<Registry::EventTail> Registry::wait_events(
+    std::uint64_t id, std::uint64_t from_seq, std::chrono::milliseconds timeout) {
+  using E = common::Expected<EventTail>;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = runs_.find(id);
+  if (it == runs_.end()) return E::error("unknown run id " + std::to_string(id));
+  Entry& entry = *it->second;
+  update_cv_.wait_for(lock, timeout, [&entry, from_seq] {
+    return entry.events.size() > from_seq || is_terminal(entry.record.state);
+  });
+  EventTail tail;
+  tail.state = entry.record.state;
+  tail.terminal = is_terminal(tail.state);
+  for (std::size_t i = from_seq; i < entry.events.size(); ++i) {
+    tail.events.push_back(entry.events[i]);
+  }
+  tail.next_seq = entry.events.size();
+  return tail;
+}
+
 common::Status Registry::cancel(std::uint64_t id, CancelReason reason) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = runs_.find(id);
@@ -95,16 +289,17 @@ common::Status Registry::cancel(std::uint64_t id, CancelReason reason) {
       entry.cancel.store(true);
       std::erase(fifo_, id);
       ++counters_.cancelled;
-      entry.record.log.push_back("cancelled while queued (" +
-                                 std::string(to_string(reason)) + ")");
+      append_log(entry, "cancelled while queued (" + std::string(to_string(reason)) + ")");
+      if (journal_) journal_->finish(entry.record);
+      push_state_event(entry);
       break;
     case RunState::kRunning:
       // The worker observes the flag at the next trial boundary and marks
       // the record cancelled itself.
       if (!entry.cancel.exchange(true)) {
         entry.record.cancel_reason = reason;
-        entry.record.log.push_back("cancellation requested (" +
-                                   std::string(to_string(reason)) + ")");
+        append_log(entry,
+                   "cancellation requested (" + std::string(to_string(reason)) + ")");
       }
       break;
     case RunState::kDone:
@@ -124,7 +319,7 @@ void Registry::drain(bool cancel_running) {
         if (entry->record.state != RunState::kRunning) continue;
         if (!entry->cancel.exchange(true)) {
           entry->record.cancel_reason = CancelReason::kShutdown;
-          entry->record.log.push_back("cancellation requested (shutdown)");
+          append_log(*entry, "cancellation requested (shutdown)");
         }
       }
     }
@@ -136,7 +331,9 @@ void Registry::drain(bool cancel_running) {
       entry.record.finished_at = std::time(nullptr);
       entry.cancel.store(true);
       ++counters_.cancelled;
-      entry.record.log.push_back("cancelled while queued (shutdown)");
+      append_log(entry, "cancelled while queued (shutdown)");
+      if (journal_) journal_->finish(entry.record);
+      push_state_event(entry);
     }
     fifo_.clear();
     work_cv_.notify_all();
@@ -162,6 +359,21 @@ RegistryCounters Registry::counters() const {
   return counters_;
 }
 
+common::Status Registry::journal_status() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return journal_status_;
+}
+
+std::vector<double> Registry::queue_wait_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_wait_s_;
+}
+
+std::vector<double> Registry::run_duration_seconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return run_duration_s_;
+}
+
 void Registry::worker_loop() {
   for (;;) {
     Entry* entry = nullptr;
@@ -174,14 +386,24 @@ void Registry::worker_loop() {
       entry = runs_.at(id).get();
       entry->record.state = RunState::kRunning;
       entry->record.started_at = std::time(nullptr);
+      entry->started_steady = std::chrono::steady_clock::now();
+      queue_wait_s_.push_back(seconds_since(entry->submitted_steady));
       ++running_;
+      if (journal_) journal_->start(entry->record);
+      push_state_event(*entry);
     }
 
     exp::RunHooks hooks;
     hooks.cancelled = [entry] { return entry->cancel.load(std::memory_order_relaxed); };
     hooks.log = [this, entry](const std::string& line) {
       const std::lock_guard<std::mutex> lock(mutex_);
-      entry->record.log.push_back(line);
+      append_log(*entry, line);
+    };
+    hooks.progress = [this, entry](const exp::RunProgress& progress) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      entry->record.progress.push_back(progress);
+      push_progress_event(*entry, progress);
+      if (journal_) journal_->progress(entry->record.id, progress);
     };
     exp::RunResult result = options_.executor(entry->record.request, hooks);
 
@@ -189,12 +411,14 @@ void Registry::worker_loop() {
       const std::lock_guard<std::mutex> lock(mutex_);
       entry->record.result = std::move(result);
       entry->record.finished_at = std::time(nullptr);
+      run_duration_s_.push_back(seconds_since(entry->started_steady));
       --running_;
       const exp::RunResult& r = entry->record.result;
       if (!r.ok) {
         entry->record.state = RunState::kFailed;
+        entry->record.fail_reason = FailReason::kExecution;
         ++counters_.failed;
-        entry->record.log.push_back("failed: " + r.error);
+        append_log(*entry, "failed: " + r.error);
       } else if (r.cancelled) {
         entry->record.state = RunState::kCancelled;
         if (entry->record.cancel_reason == CancelReason::kNone) {
@@ -202,15 +426,17 @@ void Registry::worker_loop() {
           entry->record.cancel_reason = CancelReason::kShutdown;
         }
         ++counters_.cancelled;
-        entry->record.log.push_back(
-            "cancelled after " + std::to_string(r.trials_completed) + "/" +
-            std::to_string(r.trials_requested) + " trials (" +
-            std::string(to_string(entry->record.cancel_reason)) + ")");
+        append_log(*entry,
+                   "cancelled after " + std::to_string(r.trials_completed) + "/" +
+                       std::to_string(r.trials_requested) + " trials (" +
+                       std::string(to_string(entry->record.cancel_reason)) + ")");
       } else {
         entry->record.state = RunState::kDone;
         ++counters_.completed;
-        entry->record.log.push_back(r.success ? "done" : "done (with failing trials)");
+        append_log(*entry, r.success ? "done" : "done (with failing trials)");
       }
+      if (journal_) journal_->finish(entry->record);
+      push_state_event(*entry);
     }
   }
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <ctime>
@@ -26,6 +27,8 @@
 #include "exp/request.hpp"
 
 namespace aimes::ctl {
+
+class Journal;
 
 /// Lifecycle of one submitted run.
 enum class RunState {
@@ -48,6 +51,16 @@ enum class CancelReason {
 
 [[nodiscard]] std::string_view to_string(CancelReason reason);
 
+/// Why a failed run failed — distinguishes an executor rejection from a run
+/// orphaned by a daemon crash and resurrected from the journal.
+enum class FailReason {
+  kNone,
+  kExecution,      ///< the executor reported !ok (resolve/validation error)
+  kDaemonRestart,  ///< in flight when the daemon died; journal replay marked it
+};
+
+[[nodiscard]] std::string_view to_string(FailReason reason);
+
 /// Full record of one run, copyable for handout under the registry lock.
 struct RunRecord {
   std::uint64_t id = 0;
@@ -56,11 +69,24 @@ struct RunRecord {
   exp::RunRequest request;
   RunState state = RunState::kQueued;
   CancelReason cancel_reason = CancelReason::kNone;
+  FailReason fail_reason = FailReason::kNone;
   exp::RunResult result;
   std::vector<std::string> log;
+  /// Every RunProgress snapshot the run emitted, in emission order (replayed
+  /// from the journal after a restart).
+  std::vector<exp::RunProgress> progress;
   std::time_t submitted_at = 0;
   std::time_t started_at = 0;
   std::time_t finished_at = 0;
+};
+
+/// One entry of a run's event stream (the /events SSE feed): a state
+/// transition or a progress snapshot, with a monotonically increasing
+/// per-run sequence number clients use to resume after a reconnect.
+struct RunEvent {
+  std::uint64_t seq = 0;
+  std::string kind;  ///< "state" | "progress"
+  std::string data;  ///< single-line JSON payload
 };
 
 /// Monotonic totals across the registry's lifetime (the /metrics counters).
@@ -82,6 +108,11 @@ class Registry {
     int workers = 2;
     /// Defaults to exp::execute when empty.
     Executor executor;
+    /// JSONL journal file: replayed on construction (history recovered,
+    /// orphaned runs failed with kDaemonRestart), then appended per
+    /// lifecycle transition. Empty = no persistence. Open/replay problems
+    /// land in journal_status(), not a constructor failure.
+    std::string journal_file;
   };
 
   Registry();  // default Options (out-of-line: NSDMIs of a nested class
@@ -99,8 +130,40 @@ class Registry {
   /// Copy of one run's record (its log included); error for unknown ids.
   [[nodiscard]] common::Expected<RunRecord> get(std::uint64_t id) const;
 
-  /// All runs, newest first; `user` filters when non-empty.
+  /// All runs, newest first; `user` filters when non-empty. The second form
+  /// additionally keeps only runs in `state`.
   [[nodiscard]] std::vector<RunRecord> list(const std::string& user = "") const;
+  [[nodiscard]] std::vector<RunRecord> list(const std::string& user, RunState state) const;
+
+  /// A slice of one run's log as flat bytes ("line\n" joined), from `offset`
+  /// to the current end — the /log?offset=N tail. next_offset is the byte
+  /// position to pass next time; terminal means no more bytes will ever come.
+  struct LogTail {
+    std::string data;
+    std::size_t next_offset = 0;
+    RunState state = RunState::kQueued;
+    bool terminal = false;
+  };
+  [[nodiscard]] common::Expected<LogTail> log_tail(std::uint64_t id,
+                                                   std::size_t offset) const;
+  /// Blocking form: waits up to `timeout` for bytes past `offset` (or a
+  /// terminal transition). Each wait is one bounded slice, so stream pulls
+  /// stay responsive to server shutdown.
+  [[nodiscard]] common::Expected<LogTail> wait_log(std::uint64_t id, std::size_t offset,
+                                                   std::chrono::milliseconds timeout);
+
+  /// Events with seq >= from_seq (the /events SSE feed), waiting up to
+  /// `timeout` for new ones; terminal means the stream is complete once the
+  /// returned events are consumed.
+  struct EventTail {
+    std::vector<RunEvent> events;
+    std::uint64_t next_seq = 0;
+    RunState state = RunState::kQueued;
+    bool terminal = false;
+  };
+  [[nodiscard]] common::Expected<EventTail> wait_events(std::uint64_t id,
+                                                        std::uint64_t from_seq,
+                                                        std::chrono::milliseconds timeout);
 
   /// Requests cancellation. A queued run is cancelled immediately; a running
   /// one finishes its in-flight trial and reports the rest skipped. Errors
@@ -117,6 +180,16 @@ class Registry {
   [[nodiscard]] std::size_t running() const;
   [[nodiscard]] RegistryCounters counters() const;
 
+  /// Journal health: OK when no journal was configured or replay + open
+  /// succeeded; otherwise the typed open/replay error (aimesd refuses to
+  /// start on it — a silently non-durable daemon is worse than no daemon).
+  [[nodiscard]] common::Status journal_status() const;
+
+  /// Latency samples for the daemon's /metrics histograms: seconds each run
+  /// waited in the queue, and seconds each finished run spent executing.
+  [[nodiscard]] std::vector<double> queue_wait_seconds() const;
+  [[nodiscard]] std::vector<double> run_duration_seconds() const;
+
  private:
   /// Atomics are per-run (the executor polls cancel from a worker thread
   /// while cancel() flips it from the HTTP thread), so records live in
@@ -124,19 +197,45 @@ class Registry {
   struct Entry {
     RunRecord record;
     std::atomic<bool> cancel{false};
+    /// The run's event stream (seq == index) and its log as flat bytes —
+    /// derived views the /events and /log?offset=N routes serve.
+    std::vector<RunEvent> events;
+    std::string log_bytes;
+    /// Steady-clock counterparts of submitted_at/started_at for the latency
+    /// histograms (wall time_t has 1 s granularity and can step).
+    std::chrono::steady_clock::time_point submitted_steady{};
+    std::chrono::steady_clock::time_point started_steady{};
   };
 
   void worker_loop();
+  /// Appends to record.log + log_bytes + journal and wakes waiters. Callers
+  /// hold mutex_.
+  void append_log(Entry& entry, const std::string& line);
+  /// Records a state-transition event (and journals terminal ones via the
+  /// caller) and wakes waiters. Callers hold mutex_.
+  void push_state_event(Entry& entry);
+  void push_progress_event(Entry& entry, const exp::RunProgress& progress);
+  /// Replays options_.journal_file into runs_ (resurrecting orphans as
+  /// failed) and opens it for append. Called from the constructor before the
+  /// workers exist, so it runs unlocked.
+  void recover_journal();
 
   Options options_;
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
+  /// Notified on every record mutation (log line, progress, state change);
+  /// wait_log/wait_events block on it.
+  std::condition_variable update_cv_;
   std::map<std::uint64_t, std::unique_ptr<Entry>> runs_;
   std::deque<std::uint64_t> fifo_;
   std::uint64_t next_id_ = 1;
   bool draining_ = false;
   std::size_t running_ = 0;
   RegistryCounters counters_;
+  std::unique_ptr<Journal> journal_;
+  common::Status journal_status_;
+  std::vector<double> queue_wait_s_;
+  std::vector<double> run_duration_s_;
   std::vector<std::jthread> workers_;
 };
 

@@ -17,6 +17,8 @@ namespace {
 /// FNV-1a over the raw bytes of successive int64 values.
 class Fnv {
  public:
+  Fnv() = default;
+  explicit Fnv(std::uint64_t seed) : hash_(seed) {}
   void mix(std::int64_t v) {
     auto u = static_cast<std::uint64_t>(v);
     for (int i = 0; i < 8; ++i) {
@@ -27,7 +29,7 @@ class Fnv {
   [[nodiscard]] std::uint64_t value() const { return hash_; }
 
  private:
-  std::uint64_t hash_ = 1469598103934665603ULL;
+  std::uint64_t hash_ = kChecksumSeed;
 };
 
 core::PlannerConfig campaign_planner_config(const CampaignSpec& spec) {
@@ -211,6 +213,20 @@ CampaignTrialResult run_campaign_trial(const CampaignSpec& spec, std::uint64_t s
   return result;
 }
 
+std::uint64_t fold_campaign_trial(std::uint64_t state, const CampaignTrialResult& r) {
+  Fnv fnv(state);
+  fnv.mix(r.success ? 1 : 0);
+  fnv.mix(r.makespan.count_ms());
+  for (const auto& ttc : r.tenant_ttc) fnv.mix(ttc.count_ms());
+  for (const auto& t : r.report.tenants) {
+    fnv.mix(static_cast<std::int64_t>(t.admission));
+    fnv.mix(static_cast<std::int64_t>(t.shed_reason));
+    fnv.mix(t.admission_wait.count_ms());
+    fnv.mix(t.granted_pilots);
+  }
+  return fnv.value();
+}
+
 CampaignCellResult run_campaign_cell(const CampaignSpec& spec, int n_trials,
                                      std::uint64_t base_seed, const WorldTweaks& tweaks,
                                      int jobs, const CampaignProgress& progress,
@@ -231,20 +247,14 @@ CampaignCellResult run_campaign_cell(const CampaignSpec& spec, int n_trials,
         if (progress) progress(static_cast<int>(t), r);
         return r;
       });
-  Fnv fnv;
+  std::uint64_t checksum = kChecksumSeed;
   for (const CampaignTrialResult& r : results) {
     if (r.skipped) {
       ++cell.trials_skipped;
       continue;
     }
-    fnv.mix(r.success ? 1 : 0);
-    fnv.mix(r.makespan.count_ms());
-    for (const auto& ttc : r.tenant_ttc) fnv.mix(ttc.count_ms());
+    checksum = fold_campaign_trial(checksum, r);
     for (const auto& t : r.report.tenants) {
-      fnv.mix(static_cast<std::int64_t>(t.admission));
-      fnv.mix(static_cast<std::int64_t>(t.shed_reason));
-      fnv.mix(t.admission_wait.count_ms());
-      fnv.mix(t.granted_pilots);
       if (t.admission == core::AdmissionOutcome::kShed) {
         ++cell.tenants_shed;
       } else if (t.planned) {
@@ -280,7 +290,7 @@ CampaignCellResult run_campaign_cell(const CampaignSpec& spec, int n_trials,
       ++cell.failures;
     }
   }
-  cell.checksum = fnv.value();
+  cell.checksum = checksum;
   return cell;
 }
 

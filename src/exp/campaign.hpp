@@ -142,6 +142,13 @@ struct CampaignCellResult {
   [[nodiscard]] bool cancelled() const { return trials_skipped > 0; }
 };
 
+/// One fold step of a campaign trial into `state` — the per-trial unit of
+/// CampaignCellResult::checksum, shared with the streaming-progress prefix
+/// fold so a watcher's running checksum lands exactly on the cell checksum
+/// when the last trial completes. `state` starts at kChecksumSeed.
+[[nodiscard]] std::uint64_t fold_campaign_trial(std::uint64_t state,
+                                                const CampaignTrialResult& r);
+
 /// Invoked per finished campaign trial from whichever pool worker ran it;
 /// must be thread-safe when jobs > 1. Receives the trial index (seed order).
 using CampaignProgress = std::function<void(int, const CampaignTrialResult&)>;

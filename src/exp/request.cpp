@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -336,6 +338,22 @@ common::Status take_u64(const core::json::FieldScanner& scan, const std::string&
   return {};
 }
 
+/// Checksums travel as hex16 strings (JSON numbers lose uint64 precision
+/// past 2^53); this reads one back.
+common::Status take_hex64(const core::json::FieldScanner& scan, const std::string& key,
+                          std::uint64_t& dst) {
+  if (!scan.has(key)) return {};
+  auto v = scan.text(key);
+  if (!v) return common::Status::error(v.error());
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(v->c_str(), &end, 16);
+  if (end == v->c_str() || *end != '\0') {
+    return common::Status::error(scan.describe(key) + ": expected a hex checksum string");
+  }
+  dst = value;
+  return {};
+}
+
 }  // namespace
 
 common::Expected<RunRequest> parse_run_request(const std::string& origin,
@@ -441,6 +459,41 @@ common::Expected<RunRequest> parse_run_request(const std::string& origin,
 
   if (auto st = validate(req); !st.ok()) return E::error(st.error());
   return req;
+}
+
+std::string run_progress_to_json(const RunProgress& p) {
+  std::ostringstream out;
+  out << "{\"trials_done\": " << p.trials_done << ", \"trials_total\": " << p.trials_total
+      << ", \"units_done\": " << p.units_done << ", \"units_failed\": " << p.units_failed
+      << ", \"vt_s\": " << fmt(p.vt_seconds) << ", \"checksum\": \"" << hex16(p.checksum)
+      << "\", \"tenants_admitted\": " << p.tenants_admitted
+      << ", \"tenants_shed\": " << p.tenants_shed
+      << ", \"pilots_resubmitted\": " << p.pilots_resubmitted
+      << ", \"faults_injected\": " << p.faults_injected << "}";
+  return out.str();
+}
+
+common::Expected<RunProgress> parse_run_progress(const std::string& origin,
+                                                 const std::string& text) {
+  using E = common::Expected<RunProgress>;
+  RunProgress p;
+  const core::json::FieldScanner scan(origin, text);
+#define AIMES_TAKE(expr)                                        \
+  do {                                                          \
+    if (auto st = (expr); !st.ok()) return E::error(st.error()); \
+  } while (0)
+  AIMES_TAKE(take_int(scan, "trials_done", p.trials_done));
+  AIMES_TAKE(take_int(scan, "trials_total", p.trials_total));
+  AIMES_TAKE(take_u64(scan, "units_done", p.units_done));
+  AIMES_TAKE(take_u64(scan, "units_failed", p.units_failed));
+  AIMES_TAKE(take_double(scan, "vt_s", p.vt_seconds));
+  AIMES_TAKE(take_hex64(scan, "checksum", p.checksum));
+  AIMES_TAKE(take_u64(scan, "tenants_admitted", p.tenants_admitted));
+  AIMES_TAKE(take_u64(scan, "tenants_shed", p.tenants_shed));
+  AIMES_TAKE(take_u64(scan, "pilots_resubmitted", p.pilots_resubmitted));
+  AIMES_TAKE(take_u64(scan, "faults_injected", p.faults_injected));
+#undef AIMES_TAKE
+  return p;
 }
 
 common::Expected<ResolvedRun> resolve(const RunRequest& req) {
@@ -573,12 +626,58 @@ RunResult execute(const RunRequest& req, const RunHooks& hooks) {
   const auto started = std::chrono::steady_clock::now();
   std::mutex first_mutex;
 
+  // Live telemetry: one RunProgress per trial boundary, maintained under
+  // first_mutex because trials finish on pool workers. The checksum is a
+  // prefix fold — out-of-order finishers park in `pending_*` keyed by trial
+  // index until the seed-order predecessor lands — so the final snapshot's
+  // checksum equals the cell checksum for a run that completed every trial.
+  RunProgress live;
+  live.trials_total = req.trials;
+  live.checksum = kChecksumSeed;
+  int next_fold = 0;
+  std::map<int, std::uint64_t> pending_spans;
+  std::map<int, CampaignTrialResult> pending_campaign;
+  const auto emit = [&] {
+    ++result.progress_events;
+    result.progress = live;
+    if (hooks.progress) hooks.progress(live);
+  };
+  {
+    // Initial snapshot: watchers learn trials_total before any trial lands.
+    const std::lock_guard<std::mutex> lock(first_mutex);
+    emit();
+  }
+
   if (resolved->is_campaign) {
     const CampaignProgress progress = [&](int t, const CampaignTrialResult& r) {
-      if (t == 0) {
+      {
         const std::lock_guard<std::mutex> lock(first_mutex);
-        result.first_campaign = r;
-        result.has_first_campaign = true;
+        if (t == 0) {
+          result.first_campaign = r;
+          result.has_first_campaign = true;
+        }
+        ++live.trials_done;
+        live.units_done += static_cast<std::uint64_t>(r.report.units_done());
+        live.vt_seconds = std::max(live.vt_seconds, r.makespan.to_seconds());
+        live.pilots_resubmitted +=
+            static_cast<std::uint64_t>(r.report.recovery.pilots_resubmitted);
+        for (const auto& ten : r.report.tenants) {
+          live.units_failed += static_cast<std::uint64_t>(ten.units_failed);
+          if (ten.admission == core::AdmissionOutcome::kShed) {
+            ++live.tenants_shed;
+          } else if (ten.planned) {
+            ++live.tenants_admitted;
+          }
+        }
+        CampaignTrialResult trimmed = r;
+        trimmed.obs = {};  // the fold never reads obs; don't park artifact buffers
+        pending_campaign.emplace(t, std::move(trimmed));
+        while (!pending_campaign.empty() && pending_campaign.begin()->first == next_fold) {
+          live.checksum = fold_campaign_trial(live.checksum, pending_campaign.begin()->second);
+          pending_campaign.erase(pending_campaign.begin());
+          ++next_fold;
+        }
+        emit();
       }
       if (hooks.log) {
         hooks.log("trial " + std::to_string(t + 1) + "/" + std::to_string(req.trials) +
@@ -598,10 +697,26 @@ RunResult execute(const RunRequest& req, const RunHooks& hooks) {
     result.checksum = result.campaign.checksum;
   } else {
     const TrialProgress progress = [&](int t, const TrialResult& r) {
-      if (t == 0) {
+      {
         const std::lock_guard<std::mutex> lock(first_mutex);
-        result.first_trial = r;
-        result.has_first_trial = true;
+        if (t == 0) {
+          result.first_trial = r;
+          result.has_first_trial = true;
+        }
+        ++live.trials_done;
+        live.units_done += static_cast<std::uint64_t>(r.report.units_done);
+        live.units_failed += static_cast<std::uint64_t>(r.report.units_failed);
+        live.vt_seconds = std::max(live.vt_seconds, r.report.ttc.ttc.to_seconds());
+        live.pilots_resubmitted +=
+            static_cast<std::uint64_t>(r.report.recovery.pilots_resubmitted);
+        live.faults_injected += static_cast<std::uint64_t>(r.report.faults.total());
+        pending_spans.emplace(t, r.obs.span_checksum);
+        while (!pending_spans.empty() && pending_spans.begin()->first == next_fold) {
+          live.checksum = fold_trial_span(live.checksum, pending_spans.begin()->second);
+          pending_spans.erase(pending_spans.begin());
+          ++next_fold;
+        }
+        emit();
       }
       if (hooks.log) {
         hooks.log("trial " + std::to_string(t + 1) + "/" + std::to_string(req.trials) +
@@ -638,6 +753,8 @@ std::string run_result_to_json(const RunResult& result) {
   // Hex string: JSON numbers lose uint64 precision past 2^53.
   out << "  \"checksum\": \"" << hex16(result.checksum) << "\",\n";
   out << "  \"wall_seconds\": " << fmt(result.wall_seconds) << ",\n";
+  out << "  \"progress_events\": " << result.progress_events << ",\n";
+  out << "  \"progress\": " << run_progress_to_json(result.progress) << ",\n";
   if (result.is_campaign) {
     const auto& c = result.campaign;
     out << "  \"failures\": " << c.failures << ",\n";
@@ -660,6 +777,42 @@ std::string run_result_to_json(const RunResult& result) {
   }
   out << "}\n";
   return out.str();
+}
+
+common::Expected<RunResult> parse_run_result(const std::string& origin,
+                                             const std::string& text) {
+  using E = common::Expected<RunResult>;
+  RunResult result;
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos || text[first] != '{') {
+    return E::error(origin + ": expected a JSON object");
+  }
+  const core::json::FieldScanner top(origin, text);
+#define AIMES_TAKE(expr)                                        \
+  do {                                                          \
+    if (auto st = (expr); !st.ok()) return E::error(st.error()); \
+  } while (0)
+  AIMES_TAKE(take_bool(top, "ok", result.ok));
+  AIMES_TAKE(take_bool(top, "success", result.success));
+  AIMES_TAKE(take_bool(top, "cancelled", result.cancelled));
+  AIMES_TAKE(take_text(top, "error", result.error));
+  std::string kind = "single";
+  AIMES_TAKE(take_text(top, "kind", kind));
+  result.is_campaign = kind == "campaign";
+  AIMES_TAKE(take_int(top, "trials_requested", result.trials_requested));
+  AIMES_TAKE(take_int(top, "trials_completed", result.trials_completed));
+  AIMES_TAKE(take_hex64(top, "checksum", result.checksum));
+  AIMES_TAKE(take_double(top, "wall_seconds", result.wall_seconds));
+  AIMES_TAKE(take_int(top, "progress_events", result.progress_events));
+#undef AIMES_TAKE
+  if (top.has("progress")) {
+    auto raw = top.raw_object("progress");
+    if (!raw) return E::error(raw.error());
+    auto progress = parse_run_progress(origin, *raw);
+    if (!progress) return E::error(progress.error());
+    result.progress = *progress;
+  }
+  return result;
 }
 
 }  // namespace aimes::exp

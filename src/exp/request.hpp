@@ -142,11 +142,54 @@ struct ResolvedRun {
 
 [[nodiscard]] common::Expected<ResolvedRun> resolve(const RunRequest& req);
 
+/// One live snapshot of a run in flight, emitted at trial boundaries — the
+/// typed progress event the daemon journals, streams over SSE, and
+/// `aimesc watch`/`top` render. Counter semantics:
+///
+///  - `checksum` is a *prefix fold*: completed trials are folded in seed
+///    order (out-of-order finishers wait in a pending buffer), so the
+///    running value converges to the exact CellResult/CampaignCellResult
+///    checksum when the last trial lands — a watcher sees the final
+///    bit-identity witness before the result document exists.
+///  - `vt_seconds` is the maximum virtual time reached by any completed
+///    trial (ttc for single-app, makespan for campaigns); trials are
+///    independent worlds, so a max is the only order-free notion of "how
+///    far the simulation got".
+///  - The remaining counters are sums over completed trials, so the *final*
+///    snapshot is deterministic for every `jobs` value even though
+///    intermediate snapshots depend on worker finish order.
+struct RunProgress {
+  int trials_done = 0;
+  int trials_total = 0;
+  std::uint64_t units_done = 0;
+  std::uint64_t units_failed = 0;
+  double vt_seconds = 0.0;
+  std::uint64_t checksum = 0;
+  /// Campaign-only (zero for single-app runs).
+  std::uint64_t tenants_admitted = 0;
+  std::uint64_t tenants_shed = 0;
+  /// Recovery / fault-injection counters (single-app sums report.recovery
+  /// and report.faults; campaigns sum the campaign recovery stats).
+  std::uint64_t pilots_resubmitted = 0;
+  std::uint64_t faults_injected = 0;
+};
+
+/// Single-line JSON object (no trailing newline) — the journal/SSE wire form.
+[[nodiscard]] std::string run_progress_to_json(const RunProgress& progress);
+/// Parses the wire form back; the checksum field is the hex16 string that
+/// run_progress_to_json wrote.
+[[nodiscard]] common::Expected<RunProgress> parse_run_progress(const std::string& origin,
+                                                               const std::string& text);
+
 /// Execution-side hooks, all optional. `log` receives progress lines from
 /// whichever pool worker finished a trial (must be thread-safe when
-/// jobs != 1); `cancelled` is polled before each trial starts.
+/// jobs != 1); `progress` receives a RunProgress snapshot per trial boundary
+/// (one initial zero-trials snapshot, then one per completed trial, from the
+/// finishing worker — same thread-safety contract as `log`); `cancelled` is
+/// polled before each trial starts.
 struct RunHooks {
   std::function<void(const std::string&)> log;
+  std::function<void(const RunProgress&)> progress;
   StopToken cancelled;
 };
 
@@ -176,6 +219,11 @@ struct RunResult {
   /// The bit-identity witness: campaign.checksum or cell.span_checksum.
   std::uint64_t checksum = 0;
   double wall_seconds = 0.0;
+  /// Progress snapshots emitted while running (0 when no progress hook ran)
+  /// and the final snapshot — its checksum equals `checksum` for a run that
+  /// completed every trial.
+  int progress_events = 0;
+  RunProgress progress;
 };
 
 /// Validates, resolves, and runs the request — the single execution path
@@ -185,5 +233,13 @@ struct RunResult {
 /// Status summary of a finished (or failed) run as a JSON object — the
 /// daemon's view/list payload and `aimes-run --json`-style reporting.
 [[nodiscard]] std::string run_result_to_json(const RunResult& result);
+
+/// Parses run_result_to_json's output back into the scalar summary fields
+/// (ok/success/cancelled/error/kind/trials/checksum/wall/progress). The
+/// per-cell aggregates (Summary means, first-trial detail) are not on the
+/// wire and stay default — this is the journal-replay path, which needs the
+/// verdict and the bit-identity witness, not the full in-memory aggregates.
+[[nodiscard]] common::Expected<RunResult> parse_run_result(const std::string& origin,
+                                                           const std::string& text);
 
 }  // namespace aimes::exp

@@ -93,15 +93,14 @@ CellResult run_cell(const AppSpec& app, int n_trials, std::uint64_t base_seed,
         if (progress) progress(static_cast<int>(t), r);
         return r;
       });
-  cell.span_checksum = 1469598103934665603ULL;  // FNV offset basis
+  cell.span_checksum = kChecksumSeed;
   for (int t = 0; t < n_trials; ++t) {
     const TrialResult& r = results[static_cast<std::size_t>(t)];
     if (r.skipped) {
       ++cell.trials_skipped;
       continue;
     }
-    cell.span_checksum ^= r.obs.span_checksum;
-    cell.span_checksum *= 1099511628211ULL;
+    cell.span_checksum = fold_trial_span(cell.span_checksum, r.obs.span_checksum);
     cell.events_executed += r.engine.events_executed;
     cell.wall_seconds += r.engine.wall_seconds;
     if (r.report.success) {

@@ -114,6 +114,20 @@ struct AppSpec {
 /// planner inputs, bit-identical trials (asserted by the request tests).
 [[nodiscard]] AppSpec make_app_spec(const ExperimentSpec& experiment, int tasks);
 
+/// FNV-1a offset basis: the initial state of every cell checksum fold. A
+/// live RunProgress can start here and fold completed trials in seed order
+/// to converge on the exact CellResult / CampaignCellResult checksum.
+inline constexpr std::uint64_t kChecksumSeed = 1469598103934665603ULL;
+
+/// One fold step of a trial's span checksum into `state` — shared by the
+/// cell aggregation and the streaming-progress prefix fold, so the running
+/// checksum a watcher sees equals CellResult::span_checksum once the last
+/// trial lands.
+[[nodiscard]] constexpr std::uint64_t fold_trial_span(std::uint64_t state,
+                                                      std::uint64_t span_checksum) {
+  return (state ^ span_checksum) * 1099511628211ULL;
+}
+
 /// Invoked per finished trial from whichever pool worker ran it; must be
 /// thread-safe when jobs > 1. Receives the trial index (seed order).
 using TrialProgress = std::function<void(int, const TrialResult&)>;

@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 
@@ -37,10 +39,12 @@ std::string trim(const std::string& s) {
 }
 
 /// Splits `text` into (start-line, headers, body) and fills `headers`/`body`.
-/// Returns the start-line or an error.
+/// Returns the start-line or an error. `head_only` skips the Content-Length
+/// body check — the streaming client parses the header block before the body
+/// exists.
 common::Expected<std::string> parse_message(const std::string& text,
                                             std::map<std::string, std::string>& headers,
-                                            std::string& body) {
+                                            std::string& body, bool head_only = false) {
   using E = common::Expected<std::string>;
   const auto head_end = text.find("\r\n\r\n");
   if (head_end == std::string::npos) return E::error("truncated message: no header terminator");
@@ -59,7 +63,7 @@ common::Expected<std::string> parse_message(const std::string& text,
     headers[lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
   }
   const auto length = headers.find("content-length");
-  if (length != headers.end()) {
+  if (length != headers.end() && !head_only) {
     char* end = nullptr;
     const unsigned long long n = std::strtoull(length->second.c_str(), &end, 10);
     if (end == length->second.c_str() || n > kMaxMessageBytes) {
@@ -199,6 +203,100 @@ std::string render_http_response(const HttpResponse& response) {
   return out.str();
 }
 
+std::string render_stream_header(const HttpResponse& response) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " " << status_phrase(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Transfer-Encoding: chunked\r\n"
+      << "Connection: close\r\n\r\n";
+  return out.str();
+}
+
+std::string render_chunk(std::string_view data) {
+  char size_line[32];
+  std::snprintf(size_line, sizeof size_line, "%zx\r\n", data.size());
+  std::string out = size_line;
+  out.append(data);
+  out += "\r\n";
+  return out;
+}
+
+common::Status ChunkDecoder::feed(std::string_view data, std::string& out) {
+  std::size_t i = 0;
+  while (i < data.size()) {
+    switch (state_) {
+      case State::kSize: {
+        // Accumulate the "<hex>[;ext]\r\n" size line. 32 bytes is generous
+        // for a capped chunk size; more means garbage, not a bigger chunk.
+        const char c = data[i++];
+        if (c == '\n') {
+          if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+          const std::string size_text = line_.substr(0, line_.find(';'));
+          line_.clear();
+          char* end = nullptr;
+          const unsigned long long size = std::strtoull(size_text.c_str(), &end, 16);
+          if (end == size_text.c_str() || *end != '\0') {
+            return common::Status::error("malformed chunk size '" + size_text + "'");
+          }
+          if (size > kMaxMessageBytes) {
+            return common::Status::error("oversized chunk (" + size_text + " > 1 MiB cap)");
+          }
+          if (size == 0) {
+            state_ = State::kTrailer;
+          } else {
+            remaining_ = static_cast<std::size_t>(size);
+            state_ = State::kData;
+          }
+        } else {
+          line_ += c;
+          if (line_.size() > 32) return common::Status::error("chunk size line too long");
+        }
+        break;
+      }
+      case State::kData: {
+        const std::size_t take = std::min(remaining_, data.size() - i);
+        out.append(data.substr(i, take));
+        i += take;
+        remaining_ -= take;
+        if (remaining_ == 0) state_ = State::kDataEnd;
+        break;
+      }
+      case State::kDataEnd: {
+        // The CRLF that closes a data chunk.
+        const char c = data[i++];
+        if (c == '\r') {
+          if (!line_.empty()) return common::Status::error("malformed chunk terminator");
+          line_ = "\r";
+        } else if (c == '\n' && line_ == "\r") {
+          line_.clear();
+          state_ = State::kSize;
+        } else {
+          return common::Status::error("malformed chunk terminator");
+        }
+        break;
+      }
+      case State::kTrailer: {
+        // Trailer lines after the zero-length chunk; an empty line ends the
+        // message. The control plane sends none, but tolerate them.
+        const char c = data[i++];
+        if (c == '\n') {
+          if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+          const bool empty = line_.empty();
+          line_.clear();
+          if (empty) state_ = State::kDone;
+        } else {
+          line_ += c;
+          if (line_.size() > 1024) return common::Status::error("trailer line too long");
+        }
+        break;
+      }
+      case State::kDone:
+        return common::Status::error("data after final chunk");
+    }
+  }
+  return {};
+}
+
 std::string render_http_request(const HttpRequest& request, const std::string& host) {
   std::ostringstream out;
   out << request.method << " " << request.target << " HTTP/1.1\r\n"
@@ -248,13 +346,17 @@ common::Expected<std::uint16_t> HttpServer::start(std::uint16_t port, Handler ha
 
 void HttpServer::stop() {
   if (listen_fd_ < 0) return;
+  // Streaming connection threads re-check this between pulls; set it before
+  // joining so a follower mid-stream winds down instead of wedging stop().
+  stopping_.store(true, std::memory_order_relaxed);
   thread_.request_stop();
   // Shut the listener down so a blocked accept/poll wakes immediately.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  if (thread_.joinable()) thread_.join();
+  if (thread_.joinable()) thread_.join();  // joins the connection threads too
   ::close(listen_fd_);
   listen_fd_ = -1;
   port_ = 0;
+  stopping_.store(false, std::memory_order_relaxed);
 }
 
 void HttpServer::serve(const std::stop_token& stop_token) {
@@ -262,28 +364,63 @@ void HttpServer::serve(const std::stop_token& stop_token) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
     if (stop_token.stop_requested()) break;
+    // Reap finished connection threads (jthread joins on destruction; a
+    // done flag keeps that join instant).
+    connections_.remove_if([](const Connection& c) {
+      return c.done.load(std::memory_order_acquire);
+    });
     if (ready <= 0) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
-
-    auto message = read_message(conn);
-    HttpResponse response;
-    if (!message) {
-      response.status = message.error().find("oversized") != std::string::npos ? 413 : 400;
-      response.body = "{\"error\": \"" + message.error() + "\"}\n";
-    } else {
-      auto request = parse_http_request(*message);
-      if (!request) {
-        response.status = 400;
-        response.body = "{\"error\": \"" + request.error() + "\"}\n";
-      } else {
-        response = handler_(*request);
-      }
-    }
-    send_all(conn, render_http_response(response));
-    ::shutdown(conn, SHUT_RDWR);
-    ::close(conn);
+    Connection& slot = connections_.emplace_back();
+    slot.thread = std::jthread([this, conn, &slot] {
+      handle_connection(conn);
+      slot.done.store(true, std::memory_order_release);
+    });
   }
+  // Accept loop exiting joins every connection (list destruction).
+  connections_.clear();
+}
+
+void HttpServer::handle_connection(int conn) {
+  // A dead client that stops reading must not wedge a streaming send.
+  timeval send_timeout{};
+  send_timeout.tv_sec = kIoTimeoutMs / 1000;
+  ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &send_timeout, sizeof send_timeout);
+
+  auto message = read_message(conn);
+  HttpResponse response;
+  if (!message) {
+    response.status = message.error().find("oversized") != std::string::npos ? 413 : 400;
+    response.body = "{\"error\": \"" + message.error() + "\"}\n";
+  } else {
+    auto request = parse_http_request(*message);
+    if (!request) {
+      response.status = 400;
+      response.body = "{\"error\": \"" + request.error() + "\"}\n";
+    } else {
+      response = handler_(*request);
+    }
+  }
+  if (response.stream) {
+    bool alive = send_all(conn, render_stream_header(response));
+    if (alive && !response.body.empty()) {
+      alive = send_all(conn, render_chunk(response.body));
+    }
+    std::string piece;
+    bool more = true;
+    while (alive && more && !stopping_.load(std::memory_order_relaxed)) {
+      piece.clear();
+      more = response.stream(piece);
+      if (!piece.empty()) alive = send_all(conn, render_chunk(piece));
+    }
+    // Terminator even on interrupt: a stopped server ends streams cleanly.
+    if (alive) send_all(conn, render_chunk({}));
+  } else {
+    send_all(conn, render_http_response(response));
+  }
+  ::shutdown(conn, SHUT_RDWR);
+  ::close(conn);
 }
 
 common::Expected<HttpResponse> http_call(std::uint16_t port, const HttpRequest& request) {
@@ -310,6 +447,148 @@ common::Expected<HttpResponse> http_call(std::uint16_t port, const HttpRequest& 
   ::close(fd);
   if (!message) return E::error(message.error());
   return parse_http_response(*message);
+}
+
+common::Expected<HttpResponse> http_stream(std::uint16_t port, const HttpRequest& request,
+                                           const StreamSink& on_data, int idle_timeout_ms) {
+  using E = common::Expected<HttpResponse>;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return E::error(std::string("socket: ") + std::strerror(errno));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return E::error("connect 127.0.0.1:" + std::to_string(port) + ": " + err);
+  }
+  const std::string host = "127.0.0.1:" + std::to_string(port);
+  if (!send_all(fd, render_http_request(request, host))) {
+    ::close(fd);
+    return E::error("send failed");
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  // Read the header block, then hand the rest to the chunk decoder as it
+  // arrives — the whole point over http_call is not waiting for EOF.
+  std::string buf;
+  char chunk[4096];
+  std::size_t head_end = std::string::npos;
+  while (head_end == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, idle_timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return E::error("stream idle timeout waiting for headers");
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return E::error(std::string("recv: ") + err);
+    }
+    if (n == 0) {
+      ::close(fd);
+      return E::error("connection closed before headers completed");
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() > kMaxMessageBytes) {
+      ::close(fd);
+      return E::error("oversized header block");
+    }
+    head_end = buf.find("\r\n\r\n");
+  }
+
+  HttpResponse res;
+  std::map<std::string, std::string> headers;
+  {
+    // Header-only parse: the body is still in flight at this point.
+    std::string ignored_body;
+    auto start = parse_message(buf.substr(0, head_end + 4), headers, ignored_body,
+                               /*head_only=*/true);
+    if (!start) {
+      ::close(fd);
+      return E::error(start.error());
+    }
+    std::istringstream parts(*start);
+    std::string version;
+    if (!(parts >> version >> res.status) || version.rfind("HTTP/", 0) != 0) {
+      ::close(fd);
+      return E::error("malformed status line '" + *start + "'");
+    }
+  }
+  const auto ct = headers.find("content-type");
+  if (ct != headers.end()) res.content_type = ct->second;
+
+  std::string rest = buf.substr(head_end + 4);
+  if (lower(headers.count("transfer-encoding") != 0 ? headers.at("transfer-encoding") : "") !=
+      "chunked") {
+    // Non-chunked (the daemon's error responses): buffer to EOF like
+    // http_call, bounded by Content-Length when present.
+    res.body = std::move(rest);
+    while (res.body.size() <= kMaxMessageBytes) {
+      pollfd pfd{fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, idle_timeout_ms);
+      if (ready <= 0) break;
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      res.body.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    const auto length = headers.find("content-length");
+    if (length != headers.end()) {
+      const unsigned long long want = std::strtoull(length->second.c_str(), nullptr, 10);
+      if (res.body.size() > want) res.body.resize(want);
+    }
+    return res;
+  }
+
+  ChunkDecoder decoder;
+  std::string decoded;
+  auto deliver = [&]() -> bool {  // false = sink asked to stop
+    if (decoded.empty()) return true;
+    const bool keep_going = !on_data || on_data(decoded);
+    decoded.clear();
+    return keep_going;
+  };
+  if (auto st = decoder.feed(rest, decoded); !st.ok()) {
+    ::close(fd);
+    return E::error(st.error());
+  }
+  if (!deliver()) {
+    ::close(fd);
+    return res;
+  }
+  while (!decoder.done()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, idle_timeout_ms);
+    if (ready <= 0) {
+      ::close(fd);
+      return E::error("stream idle timeout");
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return E::error(std::string("recv: ") + err);
+    }
+    if (n == 0) {
+      ::close(fd);
+      return E::error("connection closed mid-stream");
+    }
+    if (auto st = decoder.feed({chunk, static_cast<std::size_t>(n)}, decoded); !st.ok()) {
+      ::close(fd);
+      return E::error(st.error());
+    }
+    if (!deliver()) break;
+  }
+  ::close(fd);
+  return res;
 }
 
 }  // namespace aimes::net

@@ -3,17 +3,22 @@
 // `aimesd` speaks plain HTTP on a loopback TCP socket so any client — the
 // bundled `aimesc`, curl in tools/verify.sh, a Prometheus scraper hitting
 // /metrics — can talk to it without a bespoke wire protocol. The server is
-// deliberately small: Content-Length framing only (no chunked encoding, no
-// keep-alive — every response closes the connection), one poll()-driven
-// accept loop feeding a handler callback, size caps instead of streaming.
-// That is the whole feature set a single-host control plane needs, and every
-// line of it is testable without sockets through parse/render below.
+// deliberately small: Content-Length framing for one-shot exchanges, chunked
+// framing for the live-telemetry streams (log tail, SSE events), no
+// keep-alive — every response closes the connection — and size caps
+// everywhere. Each accepted connection gets its own thread (a follower
+// tailing a one-hour run must not block the next `aimesc list`), reaped by
+// the accept loop. Every framing path is testable without sockets through
+// parse/render/ChunkDecoder below.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 
 #include "common/expected.hpp"
@@ -39,6 +44,13 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Streaming body pull: append the next piece to `out`, return true while
+  /// more may come (an empty append is a legal "nothing yet" tick), false
+  /// once the stream is finished. When set, the server sends the headers
+  /// with chunked framing, `body` as the first chunk, then drains the pull
+  /// until it returns false (or the client disconnects / the server stops).
+  using Pull = std::function<bool(std::string&)>;
+  Pull stream;
 };
 
 /// Human phrase for the handful of status codes the control plane uses.
@@ -52,17 +64,50 @@ struct HttpResponse {
 [[nodiscard]] common::Expected<HttpResponse> parse_http_response(const std::string& text);
 
 /// Renders a response with Content-Length and Connection: close framing.
+/// (Ignores `stream`; the server uses the chunked renderers below for that.)
 [[nodiscard]] std::string render_http_response(const HttpResponse& response);
+
+/// Renders the header block of a chunked (streaming) response — status line,
+/// Content-Type, Transfer-Encoding: chunked, Connection: close — no body.
+[[nodiscard]] std::string render_stream_header(const HttpResponse& response);
+
+/// Renders one chunk ("<hex-size>\r\n<data>\r\n"); empty data renders the
+/// zero-length terminator chunk "0\r\n\r\n" that ends the stream.
+[[nodiscard]] std::string render_chunk(std::string_view data);
+
+/// Incremental HTTP/1.1 chunked-transfer decoder. Feed raw bytes as they
+/// arrive off the socket — in any split, down to one byte at a time — and
+/// decoded payload is appended to `out`. Strict CRLF framing; a chunk larger
+/// than the 1 MiB message cap (or an over-long size line) is rejected with a
+/// typed error rather than buffered. done() turns true once the zero-length
+/// terminator chunk and its trailer section have been consumed; feeding
+/// bytes after that is an error (the control plane closes after one stream).
+class ChunkDecoder {
+ public:
+  [[nodiscard]] common::Status feed(std::string_view data, std::string& out);
+  [[nodiscard]] bool done() const { return state_ == State::kDone; }
+
+ private:
+  enum class State { kSize, kData, kDataEnd, kTrailer, kDone };
+  State state_ = State::kSize;
+  std::string line_;           ///< partial size/CRLF/trailer line
+  std::size_t remaining_ = 0;  ///< payload bytes left in the current chunk
+};
 
 /// Renders a request (Host/Content-Length/Connection: close added).
 [[nodiscard]] std::string render_http_request(const HttpRequest& request,
                                               const std::string& host);
 
-/// Loopback HTTP server: binds 127.0.0.1:`port` (0 = ephemeral), serves each
-/// connection serially on one background jthread. The handler runs on that
-/// thread; anything slow belongs behind a queue (ctl::Registry), not in the
-/// handler. Malformed requests get a 400, oversized ones (1 MiB) a 413,
-/// handler exceptions never happen (the codebase is exception-free).
+/// Loopback HTTP server: binds 127.0.0.1:`port` (0 = ephemeral) and runs one
+/// accept loop on a background jthread; each accepted connection is handled
+/// on its own jthread (reaped by the accept loop), so a long-lived telemetry
+/// stream never blocks the next request. The handler runs on the connection
+/// thread; anything slow belongs behind a queue (ctl::Registry) or a
+/// response `stream` pull, not in the handler body. Malformed requests get a
+/// 400, oversized ones (1 MiB) a 413, handler exceptions never happen (the
+/// codebase is exception-free). stop() interrupts in-flight streams: the
+/// pull loop re-checks a stopping flag between pulls, so handlers must keep
+/// each pull bounded (the registry waits in sub-second slices).
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -76,19 +121,27 @@ class HttpServer {
   /// when `port` was 0) or a description of the socket failure.
   [[nodiscard]] common::Expected<std::uint16_t> start(std::uint16_t port, Handler handler);
 
-  /// Stops accepting, closes the listener, and joins the accept loop. Safe
-  /// to call twice; the destructor calls it.
+  /// Stops accepting, interrupts streaming responses, closes the listener,
+  /// and joins every thread. Safe to call twice; the destructor calls it.
   void stop();
 
   [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
   [[nodiscard]] std::uint16_t port() const { return port_; }
 
  private:
+  struct Connection {
+    std::atomic<bool> done{false};
+    std::jthread thread;
+  };
+
   void serve(const std::stop_token& stop_token);
+  void handle_connection(int conn);
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   Handler handler_;
+  std::atomic<bool> stopping_{false};
+  std::list<Connection> connections_;  ///< touched only by the accept loop
   std::jthread thread_;
 };
 
@@ -97,5 +150,21 @@ class HttpServer {
 /// connect/IO/parse errors.
 [[nodiscard]] common::Expected<HttpResponse> http_call(std::uint16_t port,
                                                        const HttpRequest& request);
+
+/// Incremental-delivery sink for http_stream: receives each decoded piece as
+/// it arrives; return false to stop reading early (client-side cancel).
+using StreamSink = std::function<bool(std::string_view)>;
+
+/// Streaming client: like http_call, but delivers a chunked response body
+/// incrementally through `on_data` as pieces arrive instead of buffering to
+/// EOF. A non-chunked response (the daemon's 4xx errors) is read whole into
+/// the returned HttpResponse without touching `on_data`; for a chunked one
+/// the returned body is empty and `on_data` saw everything. Fails when no
+/// bytes arrive for `idle_timeout_ms` (streams keepalive well under that) —
+/// callers tailing a run reconnect from their last offset.
+[[nodiscard]] common::Expected<HttpResponse> http_stream(std::uint16_t port,
+                                                         const HttpRequest& request,
+                                                         const StreamSink& on_data,
+                                                         int idle_timeout_ms = 30000);
 
 }  // namespace aimes::net

@@ -231,6 +231,107 @@ TEST(DaemonLifecycle, MalformedRequestsGetTypedErrorsOverTheWire) {
   daemon.stop();
 }
 
+TEST(DaemonLifecycle, FollowLogStreamsProgressLinesOverTheSocket) {
+  ctl::Daemon daemon;
+  auto port = daemon.start(0);
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  // Several trials so the stream carries at least two trial-boundary lines
+  // before the terminal marker.
+  exp::RunRequest req = quick_request();
+  req.trials = 4;
+  const std::uint64_t id = submit(*port, req);
+  ASSERT_GT(id, 0u);
+
+  // Tail from offset 0 exactly as `aimesc submit --wait` does: the chunked
+  // response delivers log bytes as trials finish, and the stream ends on its
+  // own once the run is terminal and the tail is drained.
+  std::string streamed;
+  int deliveries = 0;
+  auto res = net::http_stream(
+      *port,
+      http("GET", "/api/v1/runs/" + std::to_string(id) + "/log?follow=1&offset=0"),
+      [&](std::string_view piece) {
+        streamed.append(piece.data(), piece.size());
+        ++deliveries;
+        return true;
+      },
+      30000);
+  ASSERT_TRUE(res.ok()) << res.error();
+  EXPECT_TRUE(res->body.empty());  // chunked: everything went through the sink
+
+  // The streamed tail is byte-identical to the stored log, carries >= 2
+  // progress lines plus the terminal marker, and arrived incrementally.
+  const auto record = daemon.registry().get(id);
+  ASSERT_TRUE(record.ok());
+  std::string stored;
+  for (const auto& line : record->log) stored += line + "\n";
+  EXPECT_EQ(streamed, stored);
+  int trial_lines = 0;
+  for (std::size_t at = streamed.find("trial "); at != std::string::npos;
+       at = streamed.find("trial ", at + 1)) {
+    ++trial_lines;
+  }
+  EXPECT_GE(trial_lines, 2) << streamed;
+  EXPECT_NE(streamed.find("done"), std::string::npos) << streamed;
+  EXPECT_GE(deliveries, 1);
+
+  // Re-tailing a finished run from a mid-stream offset returns exactly the
+  // suffix and completes immediately: the run is terminal, so the daemon
+  // answers with a plain (non-chunked) body instead of opening a stream.
+  std::string suffix;
+  auto tail = net::http_stream(
+      *port,
+      http("GET", "/api/v1/runs/" + std::to_string(id) + "/log?follow=1&offset=" +
+                      std::to_string(streamed.size() / 2)),
+      [&](std::string_view piece) {
+        suffix.append(piece.data(), piece.size());
+        return true;
+      },
+      30000);
+  ASSERT_TRUE(tail.ok()) << tail.error();
+  suffix += tail->body;  // non-chunked: the whole tail rides the response body
+  EXPECT_EQ(suffix, streamed.substr(streamed.size() / 2));
+  daemon.stop();
+}
+
+TEST(DaemonLifecycle, EventStreamCarriesProgressSnapshotsAsSse) {
+  ctl::Daemon daemon;
+  auto port = daemon.start(0);
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  exp::RunRequest req = quick_request();
+  req.trials = 3;
+  const std::uint64_t id = submit(*port, req);
+  ASSERT_GT(id, 0u);
+
+  std::string frames;
+  auto res = net::http_stream(
+      *port, http("GET", "/api/v1/runs/" + std::to_string(id) + "/events"),
+      [&](std::string_view piece) {
+        frames.append(piece.data(), piece.size());
+        return true;
+      },
+      30000);
+  ASSERT_TRUE(res.ok()) << res.error();
+  EXPECT_EQ(res->content_type, "text/event-stream");
+
+  // The SSE stream replays the whole lifecycle: queued + running + terminal
+  // state frames and one progress frame per trial boundary, each id:-stamped
+  // so `aimesc watch` can resume from its last seq after a reconnect.
+  int progress_frames = 0;
+  for (std::size_t at = frames.find("event: progress");
+       at != std::string::npos; at = frames.find("event: progress", at + 1)) {
+    ++progress_frames;
+  }
+  EXPECT_GE(progress_frames, 2) << frames;
+  EXPECT_NE(frames.find("id: 0\n"), std::string::npos) << frames;
+  EXPECT_NE(frames.find("event: state\n"), std::string::npos) << frames;
+  EXPECT_NE(frames.find("\"state\": \"done\""), std::string::npos) << frames;
+  EXPECT_NE(frames.find("\"trials_total\": 3"), std::string::npos) << frames;
+  daemon.stop();
+}
+
 TEST(DaemonLifecycle, MetricsExposePrometheusBody) {
   ctl::Daemon daemon;
   auto port = daemon.start(0);

@@ -226,6 +226,149 @@ TEST(Registry, ListNewestFirstWithUserFilter) {
   EXPECT_EQ(ana[1].id, *a);
 }
 
+TEST(Registry, ListFiltersByState) {
+  Gate gate;
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = gate.executor();
+  ctl::Registry registry(options);
+
+  auto running = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(running.ok());
+  ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
+  auto queued = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(queued.ok());
+
+  const auto running_only = registry.list("", ctl::RunState::kRunning);
+  ASSERT_EQ(running_only.size(), 1u);
+  EXPECT_EQ(running_only[0].id, *running);
+  const auto queued_only = registry.list("", ctl::RunState::kQueued);
+  ASSERT_EQ(queued_only.size(), 1u);
+  EXPECT_EQ(queued_only[0].id, *queued);
+  EXPECT_TRUE(registry.list("", ctl::RunState::kDone).empty());
+
+  gate.open.store(true);
+  ASSERT_TRUE(eventually([&] { return registry.counters().completed == 2; }));
+  EXPECT_EQ(registry.list("", ctl::RunState::kDone).size(), 2u);
+}
+
+TEST(Registry, ProgressSnapshotsRecordedAndFoldedIntoEvents) {
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks& hooks) {
+    for (int i = 1; i <= 3; ++i) {
+      exp::RunProgress p;
+      p.trials_done = i;
+      p.trials_total = 3;
+      p.units_done = static_cast<std::uint64_t>(i) * 10;
+      if (hooks.progress) hooks.progress(p);
+    }
+    return ok_result();
+  };
+  ctl::Registry registry(options);
+
+  auto id = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(eventually([&] { return registry.get(*id)->state == ctl::RunState::kDone; }));
+
+  const auto record = registry.get(*id);
+  ASSERT_EQ(record->progress.size(), 3u);
+  EXPECT_EQ(record->progress.back().trials_done, 3);
+  EXPECT_EQ(record->progress.back().units_done, 30u);
+
+  // The event stream interleaves the state transitions with every snapshot:
+  // queued, running, 3x progress, done — in order, with dense seq numbers.
+  auto events = registry.wait_events(*id, 0, 0ms);
+  ASSERT_TRUE(events.ok()) << events.error();
+  ASSERT_EQ(events->events.size(), 6u);
+  EXPECT_TRUE(events->terminal);
+  for (std::size_t i = 0; i < events->events.size(); ++i) {
+    EXPECT_EQ(events->events[i].seq, i);
+  }
+  EXPECT_EQ(events->events[0].kind, "state");
+  EXPECT_EQ(events->events[1].kind, "state");
+  EXPECT_EQ(events->events[2].kind, "progress");
+  EXPECT_EQ(events->events[5].kind, "state");
+  EXPECT_NE(events->events[5].data.find("\"state\": \"done\""), std::string::npos);
+
+  // Resume semantics: asking from seq 4 yields only the tail.
+  auto tail = registry.wait_events(*id, 4, 0ms);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->events.size(), 2u);
+  EXPECT_EQ(tail->events[0].seq, 4u);
+}
+
+TEST(Registry, LogTailByByteOffset) {
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks& hooks) {
+    hooks.log("alpha");
+    hooks.log("beta");
+    return ok_result();
+  };
+  ctl::Registry registry(options);
+
+  auto id = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(eventually([&] { return registry.get(*id)->state == ctl::RunState::kDone; }));
+
+  auto whole = registry.log_tail(*id, 0);
+  ASSERT_TRUE(whole.ok()) << whole.error();
+  EXPECT_EQ(whole->data, "alpha\nbeta\ndone\n");
+  EXPECT_TRUE(whole->terminal);
+
+  // Offset resumes mid-stream with no duplication and no loss.
+  auto rest = registry.log_tail(*id, 6);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->data, "beta\ndone\n");
+  EXPECT_EQ(rest->next_offset, whole->next_offset);
+
+  // Past-the-end offsets yield an empty terminal slice, not an error.
+  auto empty = registry.log_tail(*id, whole->next_offset);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->data.empty());
+  EXPECT_TRUE(empty->terminal);
+
+  EXPECT_FALSE(registry.log_tail(999, 0).ok());
+  EXPECT_FALSE(registry.wait_events(999, 0, 0ms).ok());
+}
+
+TEST(Registry, WaitLogBlocksUntilBytesArrive) {
+  Gate gate;
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = gate.executor();
+  ctl::Registry registry(options);
+
+  auto id = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
+
+  // Nothing logged yet: the bounded wait returns an empty non-terminal slice.
+  auto quiet = registry.wait_log(*id, 0, 20ms);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_TRUE(quiet->data.empty());
+  EXPECT_FALSE(quiet->terminal);
+
+  gate.open.store(true);
+  auto slice = registry.wait_log(*id, 0, 5000ms);
+  ASSERT_TRUE(slice.ok());
+  EXPECT_FALSE(slice->data.empty());
+}
+
+TEST(Registry, LatencySamplesRecorded) {
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  ctl::Registry registry(options);
+  auto id = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(eventually([&] { return registry.counters().completed == 1; }));
+  EXPECT_EQ(registry.queue_wait_seconds().size(), 1u);
+  EXPECT_EQ(registry.run_duration_seconds().size(), 1u);
+  EXPECT_GE(registry.queue_wait_seconds()[0], 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Daemon route table, transport-free.
 
@@ -332,6 +475,127 @@ TEST(DaemonRoutes, UnknownPathsAndMethodsAreTyped) {
   EXPECT_EQ(daemon.handle(http("PUT", "/api/v1/runs")).status, 405);
   EXPECT_EQ(daemon.handle(http("GET", "/api/v1/runs/999")).status, 404);
   EXPECT_EQ(daemon.handle(http("POST", "/api/v1/runs/999/cancel")).status, 404);
+}
+
+TEST(DaemonRoutes, ListStateFilterAndBadStateIs400) {
+  auto daemon = stub_daemon();
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}")).status, 202);
+  ASSERT_TRUE(eventually([&] { return daemon.registry().counters().completed == 1; }));
+
+  const auto done = daemon.handle(http("GET", "/api/v1/runs?state=done"));
+  EXPECT_EQ(done.status, 200);
+  EXPECT_NE(done.body.find("\"id\": 1"), std::string::npos) << done.body;
+  const auto queued = daemon.handle(http("GET", "/api/v1/runs?state=queued"));
+  EXPECT_EQ(queued.body.find("\"id\": 1"), std::string::npos) << queued.body;
+
+  const auto bad = daemon.handle(http("GET", "/api/v1/runs?state=sideways"));
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("sideways"), std::string::npos) << bad.body;
+}
+
+TEST(DaemonRoutes, LogOffsetTailAndGarbageOffsetIs400) {
+  auto daemon = stub_daemon();
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}")).status, 202);
+  ASSERT_TRUE(eventually([&] { return daemon.registry().counters().completed == 1; }));
+
+  const auto whole = daemon.handle(http("GET", "/api/v1/runs/1/log"));
+  ASSERT_EQ(whole.status, 200);
+  const auto tail = daemon.handle(http("GET", "/api/v1/runs/1/log?offset=2"));
+  ASSERT_EQ(tail.status, 200);
+  EXPECT_EQ(tail.body, whole.body.substr(2));
+
+  EXPECT_EQ(daemon.handle(http("GET", "/api/v1/runs/1/log?offset=2x")).status, 400);
+  EXPECT_EQ(daemon.handle(http("GET", "/api/v1/runs/999/log")).status, 404);
+}
+
+TEST(DaemonRoutes, FollowLogStreamsToTerminal) {
+  auto daemon = stub_daemon();
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}")).status, 202);
+
+  // A terminal run served with follow=1 may come back unstreamed (all bytes
+  // in the body) or as a short stream; accept both by draining the pull.
+  ASSERT_TRUE(eventually([&] { return daemon.registry().counters().completed == 1; }));
+  auto res = daemon.handle(http("GET", "/api/v1/runs/1/log?follow=1"));
+  ASSERT_EQ(res.status, 200);
+  std::string collected = res.body;
+  while (res.stream) {
+    std::string piece;
+    if (!res.stream(piece)) break;
+    collected += piece;
+  }
+  EXPECT_NE(collected.find("done"), std::string::npos) << collected;
+}
+
+TEST(DaemonRoutes, EventsRouteStreamsSseFrames) {
+  auto daemon = stub_daemon();
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}")).status, 202);
+  ASSERT_TRUE(eventually([&] { return daemon.registry().counters().completed == 1; }));
+
+  auto res = daemon.handle(http("GET", "/api/v1/runs/1/events"));
+  ASSERT_EQ(res.status, 200);
+  EXPECT_EQ(res.content_type, "text/event-stream");
+  ASSERT_TRUE(res.stream);
+  std::string collected;
+  for (int pulls = 0; pulls < 50; ++pulls) {
+    std::string piece;
+    const bool more = res.stream(piece);
+    collected += piece;
+    if (!more) break;
+  }
+  // SSE framing: id/event/data lines per event, blank-line separated, and
+  // the stream ends (pull returned false) once the terminal state is out.
+  EXPECT_NE(collected.find("id: 0\n"), std::string::npos) << collected;
+  EXPECT_NE(collected.find("event: state\n"), std::string::npos) << collected;
+  EXPECT_NE(collected.find("\"state\": \"done\""), std::string::npos) << collected;
+
+  // Resume from an offset past the end of a terminal run: stream ends fast.
+  auto resumed = daemon.handle(http("GET", "/api/v1/runs/1/events?offset=99"));
+  ASSERT_TRUE(resumed.stream);
+  std::string piece;
+  EXPECT_FALSE(resumed.stream(piece));
+
+  EXPECT_EQ(daemon.handle(http("GET", "/api/v1/runs/999/events")).status, 404);
+  EXPECT_EQ(daemon.handle(http("GET", "/api/v1/runs/1/events?offset=-1")).status, 400);
+}
+
+TEST(DaemonRoutes, MetricsIncludeLatencyHistograms) {
+  auto daemon = stub_daemon();
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}")).status, 202);
+  ASSERT_TRUE(eventually([&] { return daemon.registry().counters().completed == 1; }));
+
+  const auto metrics = daemon.handle(http("GET", "/metrics"));
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("# TYPE aimes_ctl_run_queue_wait_seconds histogram"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("aimes_ctl_run_queue_wait_seconds_bucket"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("aimes_ctl_run_duration_seconds_sum"), std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("aimes_ctl_run_duration_seconds_count 1"), std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("le=\"+Inf\""), std::string::npos) << metrics.body;
+}
+
+TEST(DaemonRoutes, ViewIncludesProgressAndFailReason) {
+  ctl::DaemonOptions options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks& hooks) {
+    exp::RunProgress p;
+    p.trials_done = 1;
+    p.trials_total = 1;
+    if (hooks.progress) hooks.progress(p);
+    return ok_result();
+  };
+  ctl::Daemon daemon(options);
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}")).status, 202);
+  ASSERT_TRUE(eventually([&] { return daemon.registry().counters().completed == 1; }));
+
+  const auto view = daemon.handle(http("GET", "/api/v1/runs/1"));
+  EXPECT_NE(view.body.find("\"fail_reason\": \"none\""), std::string::npos) << view.body;
+  EXPECT_NE(view.body.find("\"progress_events\": 1"), std::string::npos) << view.body;
+  EXPECT_NE(view.body.find("\"trials_done\": 1"), std::string::npos) << view.body;
 }
 
 TEST(DaemonRoutes, ShutdownSetsFlag) {

@@ -268,6 +268,112 @@ TEST(RunRequestExecute, FaultPlanArmsRecovery) {
   EXPECT_FALSE(resolved->tweaks.recovery.enabled);
 }
 
+TEST(RunProgress, JsonRoundTripPreservesEveryField) {
+  exp::RunProgress progress;
+  progress.trials_done = 3;
+  progress.trials_total = 8;
+  progress.units_done = 420;
+  progress.units_failed = 7;
+  progress.vt_seconds = 1234.5;
+  progress.checksum = 0xdeadbeefcafef00dULL;
+  progress.tenants_admitted = 9;
+  progress.tenants_shed = 2;
+  progress.pilots_resubmitted = 4;
+  progress.faults_injected = 5;
+
+  const std::string json = exp::run_progress_to_json(progress);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line: journal/SSE framing
+  auto parsed = exp::parse_run_progress("test", json);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_EQ(parsed->trials_done, 3);
+  EXPECT_EQ(parsed->trials_total, 8);
+  EXPECT_EQ(parsed->units_done, 420u);
+  EXPECT_EQ(parsed->units_failed, 7u);
+  EXPECT_DOUBLE_EQ(parsed->vt_seconds, 1234.5);
+  EXPECT_EQ(parsed->checksum, 0xdeadbeefcafef00dULL);  // hex16, not a JSON double
+  EXPECT_EQ(parsed->tenants_admitted, 9u);
+  EXPECT_EQ(parsed->tenants_shed, 2u);
+  EXPECT_EQ(parsed->pilots_resubmitted, 4u);
+  EXPECT_EQ(parsed->faults_injected, 5u);
+}
+
+TEST(RunProgress, ExecuteEmitsMonotonicSnapshotsConvergingToChecksum) {
+  exp::RunRequest req = quick_request();
+  req.trials = 3;
+  req.observability.enabled = true;
+  std::vector<exp::RunProgress> seen;
+  exp::RunHooks hooks;
+  hooks.progress = [&seen](const exp::RunProgress& p) { seen.push_back(p); };
+  const exp::RunResult result = exp::execute(req, hooks);
+  ASSERT_TRUE(result.ok) << result.error;
+
+  // One initial snapshot plus one per trial, monotone in trials_done.
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(result.progress_events, 4);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].trials_done, static_cast<int>(i));
+    EXPECT_EQ(seen[i].trials_total, 3);
+  }
+  // The running prefix-fold checksum converges to the final cell checksum:
+  // the last live snapshot is bit-identical to the result, so a watcher can
+  // verify determinism without waiting for the record.
+  EXPECT_EQ(seen.back().checksum, result.checksum);
+  EXPECT_EQ(result.progress.checksum, result.checksum);
+  EXPECT_GT(seen.back().units_done, 0u);
+  EXPECT_GT(seen.back().vt_seconds, 0.0);
+}
+
+TEST(RunProgress, ParallelJobsConvergeToSameFinalSnapshot) {
+  exp::RunRequest req = quick_request();
+  req.trials = 4;
+  req.observability.enabled = true;
+  const exp::RunResult serial = exp::execute(req);
+  req.jobs = 2;
+  const exp::RunResult parallel_run = exp::execute(req);
+  ASSERT_TRUE(serial.ok && parallel_run.ok);
+  // Out-of-order trial completion parks spans until their seed-order turn,
+  // so the final folded snapshot is identical across worker counts.
+  EXPECT_EQ(serial.progress.checksum, parallel_run.progress.checksum);
+  EXPECT_EQ(serial.progress.units_done, parallel_run.progress.units_done);
+  EXPECT_EQ(parallel_run.progress.trials_done, 4);
+}
+
+TEST(RunProgress, CampaignSnapshotsCountTenantsAndConverge) {
+  exp::RunRequest req = quick_request();
+  req.profile = "bag-uniform";
+  req.campaign.tenants = 3;
+  req.trials = 2;
+  std::vector<exp::RunProgress> seen;
+  exp::RunHooks hooks;
+  hooks.progress = [&seen](const exp::RunProgress& p) { seen.push_back(p); };
+  const exp::RunResult result = exp::execute(req, hooks);
+  ASSERT_TRUE(result.ok) << result.error;
+  ASSERT_EQ(seen.size(), 3u);  // initial + one per campaign trial
+  EXPECT_EQ(seen.back().trials_done, 2);
+  EXPECT_EQ(seen.back().checksum, result.checksum);
+  // Every planned tenant across both trials was either admitted or shed.
+  EXPECT_EQ(seen.back().tenants_admitted + seen.back().tenants_shed, 6u);
+}
+
+TEST(RunProgress, RunResultJsonRoundTripRestoresVerdict) {
+  exp::RunRequest req = quick_request();
+  req.trials = 2;
+  req.observability.enabled = true;
+  const exp::RunResult result = exp::execute(req);
+  ASSERT_TRUE(result.ok);
+
+  auto restored = exp::parse_run_result("test", exp::run_result_to_json(result));
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  EXPECT_EQ(restored->ok, result.ok);
+  EXPECT_EQ(restored->success, result.success);
+  EXPECT_EQ(restored->checksum, result.checksum);
+  EXPECT_EQ(restored->trials_completed, result.trials_completed);
+  EXPECT_EQ(restored->is_campaign, result.is_campaign);
+  EXPECT_EQ(restored->progress_events, result.progress_events);
+  EXPECT_EQ(restored->progress.checksum, result.progress.checksum);
+  EXPECT_EQ(restored->progress.trials_done, result.progress.trials_done);
+}
+
 TEST(RunRequestResult, JsonCarriesChecksumAsHexString) {
   exp::RunRequest req = quick_request();
   req.observability.enabled = true;

@@ -1,9 +1,11 @@
 // aimesc: command-line client for the aimesd control plane.
 //
 //   aimesc submit [run flags] [--name N] [--user U] [--wait]
-//   aimesc list   [--user U]
+//   aimesc list   [--user U] [--state S]
 //   aimesc view    <id>
-//   aimesc log     <id>
+//   aimesc log     <id> [--offset N] [--follow]
+//   aimesc watch   <id>
+//   aimesc top    [--interval S] [--once]
 //   aimesc cancel  <id>
 //   aimesc resource
 //   aimesc metrics
@@ -12,9 +14,12 @@
 // `submit` takes the exact run flags `aimes-run` takes (they fill the same
 // typed exp::RunRequest, serialized as JSON over loopback HTTP), so any
 // command line that works locally works remotely by s/aimes-run/aimesc
-// submit/ — and produces the identical FNV-1a checksum. `--wait` polls the
-// run to completion and prints the result summary; its exit code then
-// reflects the run (0 done, 1 failed/cancelled).
+// submit/ — and produces the identical FNV-1a checksum. `--wait` tails the
+// run's log live over a chunked stream (reconnecting from its byte offset
+// after an idle timeout) and prints the result summary; its exit code then
+// reflects the run (0 done, 1 failed/cancelled). `watch` renders the run's
+// SSE event stream — every state transition and per-trial RunProgress
+// snapshot — and `top` is a self-refreshing table of all runs.
 //
 // Exit codes: 0 success, 1 daemon/run error, 2 usage error.
 
@@ -42,9 +47,11 @@ const char* kUsage =
     "\n"
     "verbs:\n"
     "  submit    submit a run request (takes aimes-run's flags; see --help)\n"
-    "  list      list runs, newest first\n"
+    "  list      list runs, newest first (--state S filters)\n"
     "  view      show one run's record and result   (aimesc view <id>)\n"
-    "  log       print one run's progress log       (aimesc log <id>)\n"
+    "  log       print one run's progress log       (aimesc log <id> [--follow])\n"
+    "  watch     stream a run's live progress       (aimesc watch <id>)\n"
+    "  top       self-refreshing table of all runs  (aimesc top [--once])\n"
     "  cancel    request cancellation of a run      (aimesc cancel <id>)\n"
     "  resource  describe the simulated grid the daemon runs on\n"
     "  metrics   dump the daemon's Prometheus exposition\n"
@@ -99,20 +106,80 @@ std::vector<std::string> split_objects(const std::string& json) {
   return out;
 }
 
-/// One run's line in `aimesc list`: id, state, user, name.
+/// One run's line in `aimesc list`: id, state, user, trials, name — widths
+/// fixed so the columns stay aligned as runs progress.
 void print_run_line(const std::string& record_json) {
   core::json::FieldScanner scanner("record", record_json);
   const auto id = scanner.number("id");
   const auto state = scanner.text("state");
   const auto user = scanner.text("user");
   const auto name = scanner.text("name");
+  const auto done = scanner.number("trials_done");
+  const auto total = scanner.number("trials_total");
   if (!id || !state) return;
-  std::printf("  %4.0f  %-10s %-10s %s\n", *id, state->c_str(),
-              user ? user->c_str() : "?", name ? name->c_str() : "");
+  char trials[32];
+  std::snprintf(trials, sizeof trials, "%.0f/%.0f", done ? *done : 0,
+                total ? *total : 0);
+  std::printf("  %4.0f  %-10s %-10s %9s  %s\n", *id, state->c_str(),
+              user ? user->c_str() : "?", trials, name ? name->c_str() : "");
 }
 
-bool terminal_state(const std::string& state) {
-  return state == "done" || state == "failed" || state == "cancelled";
+/// One run's line in `aimesc top`: adds virtual time and shed count from the
+/// run's latest progress snapshot.
+void print_top_line(const std::string& record_json) {
+  core::json::FieldScanner scanner("record", record_json);
+  const auto id = scanner.number("id");
+  const auto state = scanner.text("state");
+  const auto user = scanner.text("user");
+  const auto name = scanner.text("name");
+  const auto done = scanner.number("trials_done");
+  const auto total = scanner.number("trials_total");
+  const auto vt = scanner.number("vt_s");
+  const auto sheds = scanner.number("sheds");
+  if (!id || !state) return;
+  char trials[32];
+  std::snprintf(trials, sizeof trials, "%.0f/%.0f", done ? *done : 0,
+                total ? *total : 0);
+  std::printf("  %4.0f  %-10s %-10s %9s %10.1f %6.0f  %s\n", *id, state->c_str(),
+              user ? user->c_str() : "?", trials, vt ? *vt : 0.0,
+              sheds ? *sheds : 0.0, name ? name->c_str() : "");
+}
+
+/// Human one-liner for a RunProgress JSON document (an /events data payload
+/// or one element of a record's "progress" array).
+void print_progress_line(std::uint64_t run_id, const std::string& progress_json) {
+  core::json::FieldScanner scanner("progress", progress_json);
+  const auto done = scanner.number("trials_done");
+  const auto total = scanner.number("trials_total");
+  const auto units = scanner.number("units_done");
+  const auto vt = scanner.number("vt_s");
+  const auto sheds = scanner.number("tenants_shed");
+  if (!done || !total) return;
+  std::printf("run %llu: trial %.0f/%.0f | units %.0f | vt %.1f s | sheds %.0f\n",
+              static_cast<unsigned long long>(run_id), *done, *total,
+              units ? *units : 0, vt ? *vt : 0, sheds ? *sheds : 0);
+  std::fflush(stdout);
+}
+
+/// Raw text of the record's "progress" array ("[...]"), or empty.
+std::string progress_array(const std::string& record_json) {
+  const std::size_t key = record_json.find("\"progress\": [");
+  if (key == std::string::npos) return "";
+  const std::size_t open = record_json.find('[', key);
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open; i < record_json.size(); ++i) {
+    const char c = record_json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '[') ++depth;
+    else if (c == ']' && --depth == 0) return record_json.substr(open, i - open + 1);
+  }
+  return "";
 }
 
 /// Prints the completed run's summary from its record JSON; returns the
@@ -143,18 +210,60 @@ int print_outcome(const std::string& record_json) {
   return (*state == "done" && success && *success) ? 0 : 1;
 }
 
+/// Tails one run's log to stdout over the chunked /log?follow=1 stream,
+/// reconnecting from the last byte offset after idle timeouts, until the run
+/// reaches a terminal state (the server ends the stream). Returns false only
+/// when the daemon became unreachable.
+bool follow_log(int port, std::uint64_t run_id, std::size_t offset = 0) {
+  int consecutive_failures = 0;
+  for (;;) {
+    net::HttpRequest request;
+    request.method = "GET";
+    request.target = "/api/v1/runs/" + std::to_string(run_id) +
+                     "/log?follow=1&offset=" + std::to_string(offset);
+    bool got_data = false;
+    auto response = net::http_stream(
+        static_cast<std::uint16_t>(port), request, [&](std::string_view piece) {
+          offset += piece.size();
+          if (!piece.empty()) got_data = true;
+          std::fwrite(piece.data(), 1, piece.size(), stdout);
+          std::fflush(stdout);
+          return true;
+        });
+    if (response) {
+      if (response->status != 200) {
+        print_error_body(*response);
+        return false;
+      }
+      // A run already terminal at connect time comes back unstreamed with
+      // the remaining bytes in the body.
+      if (!response->body.empty()) {
+        std::fwrite(response->body.data(), 1, response->body.size(), stdout);
+        std::fflush(stdout);
+      }
+      return true;  // the server ended the stream: the run is terminal
+    }
+    // Idle timeout or transient transport error: resume from `offset` — the
+    // byte position makes the retry loss- and duplicate-free.
+    consecutive_failures = got_data ? 1 : consecutive_failures + 1;
+    if (consecutive_failures > 5) {
+      std::fprintf(stderr, "aimesc: %s\n", response.error().c_str());
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
 int cmd_submit(int argc, char** argv) {
   exp::RunRequest req;
   bool quick = false;
   bool wait = false;
   int port = kDefaultPort;
-  double poll_s = 1.0;
   common::cli::Parser cli("aimesc submit");
   exp::declare_request_options(cli, req, quick);
   cli.string_option("--name", req.name, "label for the run in list/view output", "NAME");
   cli.string_option("--user", req.user, "owner recorded with the run", "NAME");
-  cli.flag("--wait", wait, "poll the run to completion and print its result");
-  cli.double_option("--poll", poll_s, 0.05, 3600, "poll interval with --wait (1 s)", "S");
+  cli.flag("--wait", wait, "tail the run's log live and print its result");
   cli.int_option("--port", port, 1, 65535, "aimesd port (8477)", "PORT");
   auto parsed = cli.parse(argc, argv);
   if (!parsed) {
@@ -191,32 +300,159 @@ int cmd_submit(int argc, char** argv) {
   std::printf("submitted run %llu\n", static_cast<unsigned long long>(run_id));
   if (!wait) return 0;
 
-  const std::string target = "/api/v1/runs/" + std::to_string(run_id);
-  std::string last_state;
+  // Live tail instead of polling: the chunked stream delivers log lines as
+  // the workers emit them and ends exactly when the run is terminal.
+  if (!follow_log(port, run_id)) return 1;
+  auto view = call(port, "GET", "/api/v1/runs/" + std::to_string(run_id));
+  if (!view || view->status != 200) {
+    if (!view) std::fprintf(stderr, "aimesc: %s\n", view.error().c_str());
+    else print_error_body(*view);
+    return 1;
+  }
+  return print_outcome(view->body);
+}
+
+/// One SSE event block (the lines between blank-line separators).
+struct SseEvent {
+  std::uint64_t id = 0;
+  bool has_id = false;
+  std::string kind;
+  std::string data;
+};
+
+SseEvent parse_sse_event(const std::string& text) {
+  SseEvent event;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == ':') continue;  // comment = keepalive
+    if (line.rfind("id: ", 0) == 0) {
+      event.id = std::strtoull(line.c_str() + 4, nullptr, 10);
+      event.has_id = true;
+    } else if (line.rfind("event: ", 0) == 0) {
+      event.kind = line.substr(7);
+    } else if (line.rfind("data: ", 0) == 0) {
+      event.data = line.substr(6);
+    }
+  }
+  return event;
+}
+
+/// `aimesc watch <id>`: renders the run's SSE event stream — one line per
+/// state transition and per-trial progress snapshot — then the outcome.
+int cmd_watch(std::uint64_t run_id, int port) {
+  std::uint64_t next_seq = 0;
+  int consecutive_failures = 0;
   for (;;) {
-    auto view = call(port, "GET", target);
-    if (!view) {
-      std::fprintf(stderr, "aimesc: %s\n", view.error().c_str());
+    net::HttpRequest request;
+    request.method = "GET";
+    request.target = "/api/v1/runs/" + std::to_string(run_id) +
+                     "/events?offset=" + std::to_string(next_seq);
+    std::string carry;
+    bool got_event = false;
+    auto response = net::http_stream(
+        static_cast<std::uint16_t>(port), request, [&](std::string_view piece) {
+          carry.append(piece);
+          std::size_t sep;
+          while ((sep = carry.find("\n\n")) != std::string::npos) {
+            const SseEvent event = parse_sse_event(carry.substr(0, sep));
+            carry.erase(0, sep + 2);
+            if (!event.has_id) continue;  // keepalive comment block
+            next_seq = event.id + 1;
+            got_event = true;
+            if (event.kind == "progress") {
+              print_progress_line(run_id, event.data);
+            } else if (event.kind == "state") {
+              core::json::FieldScanner scanner("event", event.data);
+              const auto state = scanner.text("state");
+              if (state) {
+                std::printf("run %llu: %s\n",
+                            static_cast<unsigned long long>(run_id), state->c_str());
+                std::fflush(stdout);
+              }
+            }
+          }
+          return true;
+        });
+    if (response) {
+      if (response->status != 200) {
+        print_error_body(*response);
+        return 1;
+      }
+      break;  // the server ended the stream: the run is terminal
+    }
+    // Idle timeout: resume from the next sequence number.
+    consecutive_failures = got_event ? 1 : consecutive_failures + 1;
+    if (consecutive_failures > 5) {
+      std::fprintf(stderr, "aimesc: %s\n", response.error().c_str());
       return 1;
     }
-    if (view->status != 200) {
-      print_error_body(*view);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  auto view = call(port, "GET", "/api/v1/runs/" + std::to_string(run_id));
+  if (!view || view->status != 200) {
+    if (!view) std::fprintf(stderr, "aimesc: %s\n", view.error().c_str());
+    else print_error_body(*view);
+    return 1;
+  }
+  return print_outcome(view->body);
+}
+
+/// `aimesc top`: a self-refreshing table of every run the daemon knows.
+int cmd_top(int argc, char** argv) {
+  int port = kDefaultPort;
+  double interval_s = 2.0;
+  bool once = false;
+  common::cli::Parser cli("aimesc top");
+  cli.int_option("--port", port, 1, 65535, "aimesd port (8477)", "PORT");
+  cli.double_option("--interval", interval_s, 0.1, 3600, "refresh interval (2 s)", "S");
+  cli.flag("--once", once, "print one snapshot and exit (no screen clearing)");
+  auto parsed = cli.parse(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr, "%s\n", parsed.error().c_str());
+    return 2;
+  }
+  if (parsed->help) {
+    std::fputs(cli.usage().c_str(), stdout);
+    return 0;
+  }
+  for (;;) {
+    auto runs = call(port, "GET", "/api/v1/runs");
+    if (!runs || runs->status != 200) {
+      if (!runs) std::fprintf(stderr, "aimesc: %s\n", runs.error().c_str());
+      else print_error_body(*runs);
       return 1;
     }
-    core::json::FieldScanner record("record", view->body);
-    const auto state = record.text("state");
-    if (!state) {
-      std::fprintf(stderr, "aimesc: %s\n", state.error().c_str());
-      return 1;
+    auto health = call(port, "GET", "/api/v1/health");
+    std::string status = "?";
+    double queued = 0, running = 0;
+    if (health && health->status == 200) {
+      core::json::FieldScanner scanner("health", health->body);
+      if (auto s = scanner.text("status")) status = *s;
+      if (auto q = scanner.number("queued")) queued = *q;
+      if (auto r = scanner.number("running")) running = *r;
     }
-    if (*state != last_state) {
-      std::printf("run %llu: %s\n", static_cast<unsigned long long>(run_id),
-                  state->c_str());
-      std::fflush(stdout);
-      last_state = *state;
+    if (!once) std::printf("\033[2J\033[H");  // clear screen, home cursor
+    std::printf("aimesd 127.0.0.1:%d | %s | %.0f queued, %.0f running\n\n", port,
+                status.c_str(), queued, running);
+    const std::size_t open = runs->body.find('[');
+    const std::size_t close = runs->body.rfind(']');
+    const auto records =
+        open == std::string::npos || close == std::string::npos || close < open
+            ? std::vector<std::string>{}
+            : split_objects(runs->body.substr(open, close - open + 1));
+    if (records.empty()) {
+      std::printf("no runs\n");
+    } else {
+      std::printf("    id  state      user          trials       vt_s  sheds  name\n");
+      for (const auto& record : records) print_top_line(record);
     }
-    if (terminal_state(*state)) return print_outcome(view->body);
-    std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+    std::fflush(stdout);
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
   }
 }
 
@@ -225,6 +461,9 @@ int cmd_submit(int argc, char** argv) {
 int cmd_simple(const std::string& verb, int argc, char** argv) {
   int port = kDefaultPort;
   std::string user;
+  std::string state;
+  int offset = 0;
+  bool follow = false;
   std::uint64_t id = 0;
   bool id_seen = false;
 
@@ -246,7 +485,17 @@ int cmd_simple(const std::string& verb, int argc, char** argv) {
 
   common::cli::Parser cli("aimesc " + verb);
   cli.int_option("--port", port, 1, 65535, "aimesd port (8477)", "PORT");
-  if (verb == "list") cli.string_option("--user", user, "only this user's runs", "NAME");
+  if (verb == "list") {
+    cli.string_option("--user", user, "only this user's runs", "NAME");
+    cli.string_option("--state", state,
+                      "only runs in this state\n"
+                      "(queued|running|done|failed|cancelled)",
+                      "S");
+  }
+  if (verb == "log") {
+    cli.int_option("--offset", offset, 0, 1 << 30, "start at byte N of the log (0)", "N");
+    cli.flag("--follow", follow, "stream new log lines until the run finishes");
+  }
   auto parsed = cli.parse(static_cast<int>(rest.size()), rest.data());
   if (!parsed) {
     std::fprintf(stderr, "%s\n", parsed.error().c_str());
@@ -257,21 +506,31 @@ int cmd_simple(const std::string& verb, int argc, char** argv) {
     return 0;
   }
 
-  const bool needs_id = verb == "view" || verb == "log" || verb == "cancel";
+  const bool needs_id =
+      verb == "view" || verb == "log" || verb == "cancel" || verb == "watch";
   if (needs_id && !id_seen) {
     std::fprintf(stderr, "aimesc %s: run id required (aimesc %s <id>)\n", verb.c_str(),
                  verb.c_str());
     return 2;
   }
 
+  if (verb == "watch") return cmd_watch(id, port);
+  if (verb == "log" && follow) {
+    return follow_log(port, id, static_cast<std::size_t>(offset)) ? 0 : 1;
+  }
+
   std::string method = "GET";
   std::string target;
   if (verb == "list") {
-    target = user.empty() ? "/api/v1/runs" : "/api/v1/runs?user=" + user;
+    std::string query;
+    if (!user.empty()) query += (query.empty() ? "?" : "&") + std::string("user=") + user;
+    if (!state.empty()) query += (query.empty() ? "?" : "&") + std::string("state=") + state;
+    target = "/api/v1/runs" + query;
   } else if (verb == "view") {
     target = "/api/v1/runs/" + std::to_string(id);
   } else if (verb == "log") {
     target = "/api/v1/runs/" + std::to_string(id) + "/log";
+    if (offset > 0) target += "?offset=" + std::to_string(offset);
   } else if (verb == "cancel") {
     method = "POST";
     target = "/api/v1/runs/" + std::to_string(id) + "/cancel";
@@ -307,8 +566,19 @@ int cmd_simple(const std::string& verb, int argc, char** argv) {
       std::printf("no runs\n");
       return 0;
     }
-    std::printf("   id  state      user       name\n");
+    std::printf("    id  state      user          trials  name\n");
     for (const auto& record : records) print_run_line(record);
+    return 0;
+  }
+  if (verb == "view") {
+    std::fputs(response->body.c_str(), stdout);
+    // Trailing human summary of the latest progress snapshot, so a glance
+    // answers "how far along is it" without reading the JSON.
+    const std::string array = progress_array(response->body);
+    if (!array.empty()) {
+      const auto snapshots = split_objects(array);
+      if (!snapshots.empty()) print_progress_line(id, snapshots.back());
+    }
     return 0;
   }
   if (verb == "cancel") {
@@ -333,8 +603,9 @@ int main(int argc, char** argv) {
   }
   const std::string verb = argv[1];
   if (verb == "submit") return cmd_submit(argc - 1, argv + 1);
+  if (verb == "top") return cmd_top(argc - 1, argv + 1);
   if (verb == "list" || verb == "view" || verb == "log" || verb == "cancel" ||
-      verb == "resource" || verb == "metrics" || verb == "shutdown") {
+      verb == "watch" || verb == "resource" || verb == "metrics" || verb == "shutdown") {
     return cmd_simple(verb, argc - 1, argv + 1);
   }
   std::fprintf(stderr, "aimesc: unknown verb '%s'\n\n%s", verb.c_str(), kUsage);

@@ -10,9 +10,16 @@
 // listener closes, queued runs are cancelled with a typed shutdown reason,
 // in-flight runs stop at their next trial boundary.
 //
+// With `--journal FILE` the run table is durable: every lifecycle transition
+// is appended to a JSONL journal and replayed at startup, so a restarted
+// daemon serves the full history and marks runs orphaned by a crash as
+// failed (daemon-restart). A journal that cannot be opened or replayed is a
+// startup failure — a silently non-durable daemon is worse than no daemon.
+//
 // Examples:
 //   aimesd --port 8477
 //   aimesd --port 0 --port-file /tmp/aimesd.port --workers 4
+//   aimesd --journal /var/tmp/aimes-runs.jsonl
 
 #include <csignal>
 #include <cstdio>
@@ -35,6 +42,7 @@ struct Args {
   std::string port_file;
   int workers = 2;
   std::string user = "anon";
+  std::string journal;
   bool verbose = false;
 };
 
@@ -52,6 +60,11 @@ int main(int argc, char** argv) {
                     "FILE");
   cli.int_option("--workers", args.workers, 1, 256, "concurrent runs (2)", "N");
   cli.string_option("--user", args.user, "owner recorded for anonymous submissions", "NAME");
+  cli.string_option("--journal", args.journal,
+                    "JSONL run journal: replayed at startup (prior runs\n"
+                    "recovered, orphaned ones failed with daemon-restart),\n"
+                    "then appended per lifecycle transition",
+                    "FILE");
   cli.flag("--verbose", args.verbose, "info-level logging");
   auto parsed = cli.parse(argc, argv);
   if (!parsed) {
@@ -67,7 +80,17 @@ int main(int argc, char** argv) {
   ctl::DaemonOptions options;
   options.default_user = args.user;
   options.workers = args.workers;
+  options.journal_file = args.journal;
   ctl::Daemon daemon(options);
+  if (auto st = daemon.registry().journal_status(); !st.ok()) {
+    std::fprintf(stderr, "aimesd: %s\n", st.error().c_str());
+    return 1;
+  }
+  if (!args.journal.empty()) {
+    const auto recovered = static_cast<unsigned long long>(daemon.registry().counters().submitted);
+    std::printf("aimesd: journal %s (%llu prior run%s recovered)\n", args.journal.c_str(),
+                recovered, recovered == 1 ? "" : "s");
+  }
   auto port = daemon.start(static_cast<std::uint16_t>(args.port));
   if (!port) {
     std::fprintf(stderr, "aimesd: %s\n", port.error().c_str());

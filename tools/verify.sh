@@ -17,12 +17,19 @@
 #      greps pinning the committed evidence (speedup field present, recorded
 #      from a Release build);
 #   5. Control-plane smoke: start aimesd on an ephemeral port, submit the
-#      --quick campaign through aimesc --wait, require the daemon's
-#      determinism checksum to equal the same request run via aimes-run,
-#      grep the Prometheus exposition, and shut down gracefully;
-#   6. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
+#      --quick campaign through aimesc --wait (which live-streams the run
+#      log), require the daemon's determinism checksum to equal the same
+#      request run via aimes-run, grep the Prometheus exposition (including
+#      the latency histograms), and shut down gracefully;
+#   6. Live-telemetry smoke: aimesd with a --journal file, a streamed
+#      submit --wait that must carry >= 2 trial-boundary lines, an
+#      `aimesc watch` replay of the finished run's event stream, then a
+#      SIGKILL mid-run followed by a restart on the same journal — the
+#      finished run must replay complete and the orphan must come back
+#      failed with the typed daemon-restart reason;
+#   7. Sanitize (ASan/UBSan) build + the chaos and sanitize labels — the
 #      fault-injection paths are where lifetime bugs hide;
-#   7. Thread (TSan) build + the sanitize label — races in the parallel
+#   8. Thread (TSan) build + the sanitize label — races in the parallel
 #      trial runner (sim::ReplicaPool) and the sharded window coordinator
 #      (sim::ShardedEngine's barrier/mailbox/park handoffs).
 #
@@ -112,14 +119,80 @@ ref_sum="$("$prefix-release/tools/aimes-run" --quick --campaign 3 --trials 2 \
   | sed -n 's/.*checksum \([0-9a-f]\{16\}\).*/\1/p')"
 test -n "$ref_sum"
 submit_out="$("$prefix-release/tools/aimesc" submit --quick --campaign 3 --trials 2 \
-  --name verify-smoke --wait --poll 0.2 --port "$port")"
+  --name verify-smoke --wait --port "$port")"
 echo "$submit_out" | grep -q "checksum $ref_sum"
-"$prefix-release/tools/aimesc" metrics --port "$port" | grep -q '^# TYPE aimes_ctl_'
+metrics_out="$("$prefix-release/tools/aimesc" metrics --port "$port")"
+echo "$metrics_out" | grep -q '^# TYPE aimes_ctl_'
+echo "$metrics_out" | grep -q '^# TYPE aimes_ctl_run_duration_seconds histogram'
+echo "$metrics_out" | grep -q '_bucket{le="+Inf"}'
 "$prefix-release/tools/aimesc" shutdown --port "$port"
 # Graceful shutdown: aimesd drains and exits 0 on its own.
 wait "$aimesd_pid"
 trap - EXIT
 echo "control-plane smoke OK (checksum $ref_sum via aimesd == aimes-run)"
+
+step "Live telemetry smoke (streamed --wait, watch replay, journal recovery)"
+journal="$prefix-release/aimesd-journal.jsonl"
+rm -f "$journal" "$port_file"
+"$prefix-release/tools/aimesd" --port 0 --port-file "$port_file" --journal "$journal" &
+aimesd_pid=$!
+trap 'kill -9 "$aimesd_pid" 2>/dev/null || true' EXIT
+i=0
+while [ ! -s "$port_file" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+test -s "$port_file"
+port="$(cat "$port_file")"
+# Streamed wait: the log tail rides a chunked response, so the client must
+# see the per-trial progress lines (>= 2 of them), not just the verdict.
+wait_out="$("$prefix-release/tools/aimesc" submit --quick --trials 3 \
+  --name telemetry-smoke --wait --port "$port")"
+test "$(echo "$wait_out" | grep -c '^trial ')" -ge 2
+echo "$wait_out" | grep -q 'run done'
+smoke_id="$(echo "$wait_out" | sed -n 's/^submitted run \([0-9]*\).*/\1/p')"
+test -n "$smoke_id"
+# Watch replays the finished run's whole SSE event stream: lifecycle states
+# plus the per-trial progress snapshots.
+watch_out="$("$prefix-release/tools/aimesc" watch "$smoke_id" --port "$port")"
+echo "$watch_out" | grep -q "run $smoke_id: trial"
+echo "$watch_out" | grep -q 'run done'
+# Journal recovery: park a long campaign mid-flight, SIGKILL the daemon (no
+# drain, no journal finish record), restart on the same journal.
+long_out="$("$prefix-release/tools/aimesc" submit --campaign 3 --trials 5000 \
+  --name killed-mid-run --port "$port")"
+long_id="$(echo "$long_out" | sed -n 's/^submitted run \([0-9]*\).*/\1/p')"
+test -n "$long_id"
+i=0
+until "$prefix-release/tools/aimesc" view "$long_id" --port "$port" \
+    | grep -q '"state": "running"'; do
+  sleep 0.1
+  i=$((i + 1))
+  test "$i" -lt 100
+done
+kill -9 "$aimesd_pid"
+wait "$aimesd_pid" 2>/dev/null || true
+rm -f "$port_file"
+"$prefix-release/tools/aimesd" --port 0 --port-file "$port_file" --journal "$journal" &
+aimesd_pid=$!
+i=0
+while [ ! -s "$port_file" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+test -s "$port_file"
+port="$(cat "$port_file")"
+# The finished run replays complete (terminal state + checksummed result);
+# the orphan comes back failed with the typed restart reason.
+"$prefix-release/tools/aimesc" view "$smoke_id" --port "$port" | grep -q '"state": "done"'
+recovered="$("$prefix-release/tools/aimesc" view "$long_id" --port "$port")"
+echo "$recovered" | grep -q '"state": "failed"'
+echo "$recovered" | grep -q '"fail_reason": "daemon-restart"'
+"$prefix-release/tools/aimesc" list --state failed --port "$port" | grep -q killed-mid-run
+"$prefix-release/tools/aimesc" shutdown --port "$port"
+wait "$aimesd_pid"
+trap - EXIT
+echo "live-telemetry smoke OK (streamed wait, watch replay, journal recovery)"
 
 step "Sanitize (ASan/UBSan) build + chaos/sanitize labels"
 cmake -S "$src_dir" -B "$prefix-asan" -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
