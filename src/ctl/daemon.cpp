@@ -1,7 +1,9 @@
 #include "ctl/daemon.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -103,11 +105,17 @@ std::string run_record_to_json(const RunRecord& record) {
 Daemon::Daemon(DaemonOptions options)
     : options_(std::move(options)),
       registry_(Registry::Options{options_.workers, options_.executor,
-                                  options_.journal_file}) {}
+                                  options_.journal_file, options_.quota,
+                                  options_.clock_s}) {}
 
 common::Expected<std::uint16_t> Daemon::start(std::uint16_t port) {
   return server_.start(port,
                        [this](const net::HttpRequest& request) { return handle(request); });
+}
+
+common::Status Daemon::start_unix(const std::string& path) {
+  return server_.start_unix(
+      path, [this](const net::HttpRequest& request) { return handle(request); });
 }
 
 void Daemon::stop() {
@@ -149,16 +157,45 @@ net::HttpResponse Daemon::submit(const net::HttpRequest& request) {
   auto parsed = exp::parse_run_request("request body", request.body);
   if (!parsed) return json_error(400, parsed.error());
   std::string user = parsed->user.empty() ? options_.default_user : parsed->user;
-  auto id = registry_.submit(std::move(*parsed), std::move(user));
-  if (!id) {
-    // Intake refusals during drain are 503 (retry against the next daemon);
-    // validation failures were caught by the parse above.
-    const bool draining = id.error().find("draining") != std::string::npos;
-    return json_error(draining ? 503 : 400, id.error());
+  const std::string key = request.header("idempotency-key");
+  const SubmitOutcome outcome = registry_.submit(std::move(*parsed), std::move(user), key);
+  if (!outcome.accepted) {
+    // The quota ladder's typed refusals: transient ones (bucket empty, quota
+    // hit, queue full, draining) are 429/503 with a Retry-After hint so a
+    // well-behaved client backs off instead of hammering; kInvalid stays a
+    // 400 — no retry will ever help.
+    int status = 400;
+    switch (outcome.reject) {
+      case RejectReason::kRateLimited:
+      case RejectReason::kUserQueued:
+        status = 429;
+        break;
+      case RejectReason::kQueueFull:
+      case RejectReason::kDraining:
+        status = 503;
+        break;
+      default:
+        break;
+    }
+    net::HttpResponse res;
+    res.status = status;
+    std::ostringstream body;
+    body << "{\"error\": \"" << core::json::escape(outcome.error) << "\", \"reason\": \""
+         << to_string(outcome.reject) << "\"";
+    if (status != 400) {
+      res.headers["Retry-After"] =
+          std::to_string(std::max(1, static_cast<int>(std::ceil(outcome.retry_after_s))));
+      body << ", \"retry_after_s\": " << outcome.retry_after_s;
+    }
+    body << "}\n";
+    res.body = body.str();
+    return res;
   }
   net::HttpResponse res;
   res.status = 202;
-  res.body = "{\"id\": " + std::to_string(*id) + "}\n";
+  if (!key.empty()) res.headers["Idempotency-Key"] = key;
+  res.body = "{\"id\": " + std::to_string(outcome.id) +
+             ", \"duplicate\": " + (outcome.duplicate ? "true" : "false") + "}\n";
   return res;
 }
 
@@ -322,6 +359,24 @@ net::HttpResponse Daemon::metrics() {
   for (const double v : registry_.queue_wait_seconds()) queue_wait.observe(v);
   auto& duration = reg.histogram("aimes_ctl_run_duration_seconds", {}, 0.0, 120.0, 12);
   for (const double v : registry_.run_duration_seconds()) duration.observe(v);
+  // The hardening tier: per-user admission ledgers, the rate-limit total,
+  // and how often idempotency keys were replayed (each submit-with-key run
+  // contributes its replay count as one histogram sample, so the histogram's
+  // count is keyed runs and its sum is retried submits answered for free).
+  std::uint64_t rate_limited_total = 0;
+  for (const auto& [user, uc] : registry_.user_counters()) {
+    const obs::Labels labels{{"user", user}};
+    reg.counter("aimes_ctl_user_runs_submitted", labels).add(static_cast<double>(uc.submitted));
+    reg.counter("aimes_ctl_user_runs_admitted", labels).add(static_cast<double>(uc.admitted));
+    reg.counter("aimes_ctl_user_runs_shed", labels).add(static_cast<double>(uc.shed));
+    reg.counter("aimes_ctl_user_rate_limited", labels).add(static_cast<double>(uc.rate_limited));
+    reg.counter("aimes_ctl_user_idempotent_replays", labels)
+        .add(static_cast<double>(uc.replays));
+    rate_limited_total += uc.rate_limited;
+  }
+  reg.counter("aimes_ctl_rate_limited_total").add(static_cast<double>(rate_limited_total));
+  auto& replays = reg.histogram("aimes_ctl_idempotency_replays", {}, 0.0, 8.0, 8);
+  for (const double v : registry_.idempotency_replays()) replays.observe(v);
   std::ostringstream out;
   obs::export_prometheus(reg, out);
   net::HttpResponse res;

@@ -3,7 +3,10 @@
 // The daemon owns the registry (worker pool + run table) and an HTTP server,
 // and maps the control-plane REST surface onto them:
 //
-//   POST   /api/v1/runs            submit a RunRequest (202 {"id": N} / 400)
+//   POST   /api/v1/runs            submit a RunRequest (202 {"id": N} / 400;
+//                                  quota refusals are typed 429/503 bodies
+//                                  with Retry-After; an Idempotency-Key
+//                                  header dedups retried submits)
 //   GET    /api/v1/runs[?user=U][&state=S]   list runs, newest first
 //   GET    /api/v1/runs/<id>       one run's record + result summary
 //   GET    /api/v1/runs/<id>/log[?offset=N][&follow=1]
@@ -42,6 +45,11 @@ struct DaemonOptions {
   /// lifecycle transition. Empty = in-memory only. Open/replay failures land
   /// in registry().journal_status(); aimesd refuses to start on them.
   std::string journal_file;
+  /// The per-user quota ladder (aimesd --rate/--max-queued/...); all-zero
+  /// defaults keep the daemon unlimited, matching the pre-hardening surface.
+  QuotaPolicy quota;
+  /// Clock override for the registry's rate limiter and deadlines (tests).
+  std::function<double()> clock_s;
 };
 
 class Daemon {
@@ -50,6 +58,9 @@ class Daemon {
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and serves. Returns the port.
   [[nodiscard]] common::Expected<std::uint16_t> start(std::uint16_t port);
+
+  /// Binds a unix-domain socket at `path` (aimesd --socket) and serves.
+  [[nodiscard]] common::Status start_unix(const std::string& path);
 
   /// Graceful shutdown: stop accepting HTTP, then drain the registry —
   /// queued runs are cancelled with the shutdown reason, in-flight runs are
@@ -64,6 +75,7 @@ class Daemon {
 
   [[nodiscard]] Registry& registry() { return registry_; }
   [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+  [[nodiscard]] const net::Endpoint& endpoint() const { return server_.endpoint(); }
 
  private:
   net::HttpResponse submit(const net::HttpRequest& request);

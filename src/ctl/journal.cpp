@@ -50,6 +50,8 @@ bool parse_cancel_reason(std::string_view text, CancelReason& out) {
     out = CancelReason::kUser;
   } else if (text == "shutdown") {
     out = CancelReason::kShutdown;
+  } else if (text == "deadline") {
+    out = CancelReason::kDeadline;
   } else {
     return false;
   }
@@ -63,6 +65,8 @@ bool parse_fail_reason(std::string_view text, FailReason& out) {
     out = FailReason::kExecution;
   } else if (text == "daemon-restart") {
     out = FailReason::kDaemonRestart;
+  } else if (text == "deadline") {
+    out = FailReason::kDeadline;
   } else {
     return false;
   }
@@ -97,8 +101,13 @@ void Journal::submit(const RunRecord& record) {
   std::ostringstream out;
   out << "{\"event\": \"submit\", \"id\": " << record.id << ", \"at\": "
       << record.submitted_at << ", \"user\": \"" << core::json::escape(record.user)
-      << "\", \"name\": \"" << core::json::escape(record.name)
-      << "\", \"request\": " << compact(exp::run_request_to_json(record.request)) << "}";
+      << "\", \"name\": \"" << core::json::escape(record.name) << "\"";
+  // The dedup token rides the journal so a restarted daemon still recognizes
+  // a client's retried submit as the same run.
+  if (!record.idempotency_key.empty()) {
+    out << ", \"idempotency_key\": \"" << core::json::escape(record.idempotency_key) << "\"";
+  }
+  out << ", \"request\": " << compact(exp::run_request_to_json(record.request)) << "}";
   append(out.str());
 }
 
@@ -161,6 +170,11 @@ bool apply_line(const std::string& origin, const std::string& line,
       auto name = scan.text("name");
       if (!name) return false;
       record.name = std::move(*name);
+    }
+    if (scan.has("idempotency_key")) {
+      auto key = scan.text("idempotency_key");
+      if (!key) return false;
+      record.idempotency_key = std::move(*key);
     }
     if (auto at = scan.number("at")) record.submitted_at = static_cast<std::time_t>(*at);
     record.request = std::move(*request);

@@ -1,6 +1,7 @@
 #include "ctl/registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "ctl/journal.hpp"
@@ -26,6 +27,12 @@ double seconds_since(std::chrono::steady_clock::time_point from) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - from).count();
 }
 
+std::string fmt_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3g", s);
+  return buf;
+}
+
 }  // namespace
 
 std::string_view to_string(RunState state) {
@@ -44,6 +51,7 @@ std::string_view to_string(CancelReason reason) {
     case CancelReason::kNone: return "none";
     case CancelReason::kUser: return "user";
     case CancelReason::kShutdown: return "shutdown";
+    case CancelReason::kDeadline: return "deadline";
   }
   return "?";
 }
@@ -53,6 +61,19 @@ std::string_view to_string(FailReason reason) {
     case FailReason::kNone: return "none";
     case FailReason::kExecution: return "execution";
     case FailReason::kDaemonRestart: return "daemon-restart";
+    case FailReason::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+std::string_view to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kInvalid: return "invalid";
+    case RejectReason::kRateLimited: return "rate-limited";
+    case RejectReason::kUserQueued: return "user-queue-quota";
+    case RejectReason::kQueueFull: return "queue-full";
+    case RejectReason::kDraining: return "draining";
   }
   return "?";
 }
@@ -65,12 +86,23 @@ Registry::Registry(Options options) : options_(std::move(options)) {
       return exp::execute(req, hooks);
     };
   }
+  if (!options_.clock_s) {
+    options_.clock_s = [] {
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+  }
   if (!options_.journal_file.empty()) recover_journal();
   const int n = std::max(1, options_.workers);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  // A dedicated reaper sweeps deadlines: the workers may all be parked in
+  // long executions when a queued run's deadline lands, so dispatch-time
+  // checks alone would let it rot in the queue past its promise.
+  reaper_ = std::jthread([this](const std::stop_token& st) { reaper_loop(st); });
 }
 
 Registry::~Registry() { drain(); }
@@ -100,6 +132,8 @@ void Registry::recover_journal() {
       resurrected.push_back(record.id);
     }
     ++counters_.submitted;
+    ++user_counters_[record.user].submitted;
+    if (record.started_at != 0) ++user_counters_[record.user].admitted;
     switch (record.state) {
       case RunState::kDone: ++counters_.completed; break;
       case RunState::kFailed: ++counters_.failed; break;
@@ -124,6 +158,9 @@ void Registry::recover_journal() {
     event.data = state_event_json(record);
     entry->events.push_back(std::move(event));
     next_id_ = std::max(next_id_, record.id + 1);
+    // The dedup index survives restarts: a client retrying a submit after a
+    // crash must land on the journaled run, not create a second one.
+    if (!record.idempotency_key.empty()) idempotency_[record.idempotency_key] = record.id;
     runs_.emplace(record.id, std::move(entry));
   }
   journal_ = std::make_unique<Journal>();
@@ -168,27 +205,103 @@ void Registry::push_progress_event(Entry& entry, const exp::RunProgress& progres
   update_cv_.notify_all();
 }
 
-common::Expected<std::uint64_t> Registry::submit(exp::RunRequest request, std::string user) {
-  using E = common::Expected<std::uint64_t>;
-  if (auto st = exp::validate(request); !st.ok()) return E::error(st.error());
+SubmitOutcome Registry::submit(exp::RunRequest request, std::string user,
+                               std::string idempotency_key) {
+  SubmitOutcome out;
+  if (auto st = exp::validate(request); !st.ok()) {
+    out.reject = RejectReason::kInvalid;
+    out.error = st.error();
+    return out;
+  }
   const std::lock_guard<std::mutex> lock(mutex_);
-  if (draining_) return E::error("registry: draining, not accepting new runs");
+  if (draining_) {
+    out.reject = RejectReason::kDraining;
+    out.retry_after_s = 1.0;
+    out.error = "registry: draining, not accepting new runs";
+    return out;
+  }
+  // Idempotent replay comes before every quota rung: retries of an already
+  // accepted submit must converge on the original run even when the user is
+  // now rate-limited or over quota — that is the whole point of the key.
+  if (!idempotency_key.empty()) {
+    const auto hit = idempotency_.find(idempotency_key);
+    if (hit != idempotency_.end()) {
+      Entry& prior = *runs_.at(hit->second);
+      ++prior.replays;
+      ++user_counters_[prior.record.user].replays;
+      out.accepted = true;
+      out.duplicate = true;
+      out.id = hit->second;
+      return out;
+    }
+  }
+  UserCounters& tallies = user_counters_[user];
+  const QuotaPolicy& quota = options_.quota;
+  // Ladder rung 1: the per-user token bucket on submit itself.
+  if (quota.rate_per_s > 0.0) {
+    Bucket& bucket = buckets_[user];
+    const double now = now_s();
+    const double burst =
+        quota.rate_burst > 0.0 ? quota.rate_burst : std::max(1.0, quota.rate_per_s);
+    if (!bucket.primed) {
+      bucket.tokens = burst;
+      bucket.last_s = now;
+      bucket.primed = true;
+    }
+    bucket.tokens = std::min(burst, bucket.tokens + (now - bucket.last_s) * quota.rate_per_s);
+    bucket.last_s = now;
+    if (bucket.tokens < 1.0) {
+      ++tallies.rate_limited;
+      out.reject = RejectReason::kRateLimited;
+      out.retry_after_s = (1.0 - bucket.tokens) / quota.rate_per_s;
+      out.error = "user '" + user + "' rate-limited (" + fmt_seconds(quota.rate_per_s) +
+                  " submits/s, burst " + fmt_seconds(burst) + ")";
+      return out;
+    }
+    bucket.tokens -= 1.0;
+  }
+  // Rung 2: per-user queued-run quota.
+  if (quota.max_queued_per_user > 0 &&
+      queued_by_user_[user] >= quota.max_queued_per_user) {
+    ++tallies.shed;
+    out.reject = RejectReason::kUserQueued;
+    out.retry_after_s = 1.0;
+    out.error = "user '" + user + "' is at the queued-run quota (" +
+                std::to_string(quota.max_queued_per_user) + ")";
+    return out;
+  }
+  // Rung 3: the bounded global queue.
+  if (quota.max_queue_depth > 0 && fifo_.size() >= quota.max_queue_depth) {
+    ++tallies.shed;
+    out.reject = RejectReason::kQueueFull;
+    out.retry_after_s = 1.0;
+    out.error =
+        "queue full (" + std::to_string(quota.max_queue_depth) + " runs queued)";
+    return out;
+  }
   const std::uint64_t id = next_id_++;
   auto entry = std::make_unique<Entry>();
   entry->record.id = id;
   entry->record.user = std::move(user);
+  entry->record.idempotency_key = idempotency_key;
   entry->record.name = request.display_name();
-  entry->record.request = std::move(request);
   entry->record.submitted_at = std::time(nullptr);
   entry->submitted_steady = std::chrono::steady_clock::now();
+  if (request.deadline_s > 0.0) entry->deadline_at = now_s() + request.deadline_s;
+  entry->record.request = std::move(request);
   Entry& ref = *entry;
   runs_.emplace(id, std::move(entry));
   fifo_.push_back(id);
   ++counters_.submitted;
+  ++tallies.submitted;
+  ++queued_by_user_[ref.record.user];
+  if (!idempotency_key.empty()) idempotency_[std::move(idempotency_key)] = id;
   if (journal_) journal_->submit(ref.record);
   push_state_event(ref);
   work_cv_.notify_one();
-  return id;
+  out.accepted = true;
+  out.id = id;
+  return out;
 }
 
 common::Expected<RunRecord> Registry::get(std::uint64_t id) const {
@@ -288,6 +401,7 @@ common::Status Registry::cancel(std::uint64_t id, CancelReason reason) {
       entry.record.finished_at = std::time(nullptr);
       entry.cancel.store(true);
       std::erase(fifo_, id);
+      --queued_by_user_[entry.record.user];
       ++counters_.cancelled;
       append_log(entry, "cancelled while queued (" + std::string(to_string(reason)) + ")");
       if (journal_) journal_->finish(entry.record);
@@ -336,12 +450,17 @@ void Registry::drain(bool cancel_running) {
       push_state_event(entry);
     }
     fifo_.clear();
+    queued_by_user_.clear();
     work_cv_.notify_all();
   }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  if (reaper_.joinable()) {
+    reaper_.request_stop();
+    reaper_.join();
+  }
 }
 
 std::size_t Registry::queued() const {
@@ -359,6 +478,21 @@ RegistryCounters Registry::counters() const {
   return counters_;
 }
 
+std::map<std::string, UserCounters> Registry::user_counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return user_counters_;
+}
+
+std::vector<double> Registry::idempotency_replays() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> out;
+  for (const auto& [id, entry] : runs_) {
+    if (entry->record.idempotency_key.empty()) continue;
+    out.push_back(static_cast<double>(entry->replays));
+  }
+  return out;
+}
+
 common::Status Registry::journal_status() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return journal_status_;
@@ -374,16 +508,86 @@ std::vector<double> Registry::run_duration_seconds() const {
   return run_duration_s_;
 }
 
+void Registry::expire_deadlines_locked() {
+  const double now = now_s();
+  // Queued past-deadline runs fail typed right here — a run that cannot
+  // start in time must not burn a worker just to discover that.
+  for (auto it = fifo_.begin(); it != fifo_.end();) {
+    Entry& entry = *runs_.at(*it);
+    if (entry.deadline_at <= 0.0 || now < entry.deadline_at) {
+      ++it;
+      continue;
+    }
+    it = fifo_.erase(it);
+    --queued_by_user_[entry.record.user];
+    entry.record.state = RunState::kFailed;
+    entry.record.fail_reason = FailReason::kDeadline;
+    entry.record.finished_at = std::time(nullptr);
+    entry.cancel.store(true);
+    ++counters_.failed;
+    append_log(entry, "deadline (" + fmt_seconds(entry.record.request.deadline_s) +
+                          " s) expired while queued");
+    if (journal_) journal_->finish(entry.record);
+    push_state_event(entry);
+  }
+  // Running ones get the cooperative cut: flag + typed reason, and the
+  // worker's finish path turns the cancelled result into failed/deadline.
+  for (auto& [id, entry] : runs_) {
+    if (entry->record.state != RunState::kRunning) continue;
+    if (entry->deadline_at <= 0.0 || now < entry->deadline_at) continue;
+    if (!entry->cancel.exchange(true)) {
+      entry->record.cancel_reason = CancelReason::kDeadline;
+      append_log(*entry, "deadline (" + fmt_seconds(entry->record.request.deadline_s) +
+                             " s) exceeded; stopping at the next trial boundary");
+    }
+  }
+}
+
+void Registry::reaper_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      // drain() owns queued runs once it starts; don't race its sweep.
+      if (!draining_) expire_deadlines_locked();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+Registry::Entry* Registry::claim_next_locked() {
+  const QuotaPolicy& quota = options_.quota;
+  for (auto it = fifo_.begin(); it != fifo_.end(); ++it) {
+    Entry& entry = *runs_.at(*it);
+    const std::string& user = entry.record.user;
+    // Per-user concurrency cap: skip (don't reorder other users behind) a
+    // run whose owner is saturated; it stays queued in place.
+    if (quota.max_running_per_user > 0 &&
+        running_by_user_[user] >= quota.max_running_per_user) {
+      continue;
+    }
+    fifo_.erase(it);
+    --queued_by_user_[user];
+    ++running_by_user_[user];
+    ++user_counters_[user].admitted;
+    return &entry;
+  }
+  return nullptr;
+}
+
 void Registry::worker_loop() {
   for (;;) {
     Entry* entry = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [this] { return !fifo_.empty() || draining_; });
-      if (fifo_.empty()) return;  // draining and nothing left to claim
-      const std::uint64_t id = fifo_.front();
-      fifo_.pop_front();
-      entry = runs_.at(id).get();
+      for (;;) {
+        expire_deadlines_locked();
+        entry = claim_next_locked();
+        if (entry != nullptr) break;
+        if (draining_) return;  // drain() cancelled whatever was left queued
+        // Bounded wait: a finish notification wakes us when a user-capped
+        // head run becomes eligible; the timeout backstops deadline sweeps.
+        work_cv_.wait_for(lock, std::chrono::milliseconds(100));
+      }
       entry->record.state = RunState::kRunning;
       entry->record.started_at = std::time(nullptr);
       entry->started_steady = std::chrono::steady_clock::now();
@@ -413,6 +617,7 @@ void Registry::worker_loop() {
       entry->record.finished_at = std::time(nullptr);
       run_duration_s_.push_back(seconds_since(entry->started_steady));
       --running_;
+      --running_by_user_[entry->record.user];
       const exp::RunResult& r = entry->record.result;
       if (!r.ok) {
         entry->record.state = RunState::kFailed;
@@ -420,16 +625,27 @@ void Registry::worker_loop() {
         ++counters_.failed;
         append_log(*entry, "failed: " + r.error);
       } else if (r.cancelled) {
-        entry->record.state = RunState::kCancelled;
-        if (entry->record.cancel_reason == CancelReason::kNone) {
-          // drain() flipped the flag without going through cancel().
-          entry->record.cancel_reason = CancelReason::kShutdown;
+        if (entry->record.cancel_reason == CancelReason::kDeadline) {
+          // A deadline cut is a typed failure, not a user cancel: the client
+          // asked for completion by T and the daemon could not deliver.
+          entry->record.state = RunState::kFailed;
+          entry->record.fail_reason = FailReason::kDeadline;
+          ++counters_.failed;
+          append_log(*entry, "failed: deadline exceeded after " +
+                                 std::to_string(r.trials_completed) + "/" +
+                                 std::to_string(r.trials_requested) + " trials");
+        } else {
+          entry->record.state = RunState::kCancelled;
+          if (entry->record.cancel_reason == CancelReason::kNone) {
+            // drain() flipped the flag without going through cancel().
+            entry->record.cancel_reason = CancelReason::kShutdown;
+          }
+          ++counters_.cancelled;
+          append_log(*entry,
+                     "cancelled after " + std::to_string(r.trials_completed) + "/" +
+                         std::to_string(r.trials_requested) + " trials (" +
+                         std::string(to_string(entry->record.cancel_reason)) + ")");
         }
-        ++counters_.cancelled;
-        append_log(*entry,
-                   "cancelled after " + std::to_string(r.trials_completed) + "/" +
-                       std::to_string(r.trials_requested) + " trials (" +
-                       std::string(to_string(entry->record.cancel_reason)) + ")");
       } else {
         entry->record.state = RunState::kDone;
         ++counters_.completed;
@@ -437,6 +653,8 @@ void Registry::worker_loop() {
       }
       if (journal_) journal_->finish(entry->record);
       push_state_event(*entry);
+      // A finish may free a user-capped worker's head-of-queue run.
+      work_cv_.notify_all();
     }
   }
 }

@@ -9,6 +9,17 @@
 // in exp::execute. Workers poll each run's cancel flag through the
 // RunHooks::cancelled token, so a cancel lands at trial granularity: the
 // in-flight trial finishes, the rest are skipped and reported as such.
+//
+// The registry is also where hostile tenants are stopped (the daemon-tier
+// mirror of core::AdmissionController's admit -> queue -> shed ladder):
+// per-user token-bucket rate limiting on submit, per-user queued/running
+// quotas, a bounded global queue, typed RejectReason results the daemon maps
+// to 429/503 + Retry-After, request deadlines (queued past-deadline runs
+// failed with a typed reason by a reaper thread, running ones cut at the
+// next trial boundary), and client-generated idempotency keys so a retried
+// submit lands on the existing run instead of duplicating it. The quota
+// clock is injectable, so the rate-limit and deadline tests are
+// deterministic.
 #pragma once
 
 #include <atomic>
@@ -17,11 +28,13 @@
 #include <cstdint>
 #include <ctime>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "exp/request.hpp"
@@ -47,6 +60,7 @@ enum class CancelReason {
   kNone,
   kUser,      ///< explicit aimesc cancel / DELETE
   kShutdown,  ///< daemon drained while the run was queued or in flight
+  kDeadline,  ///< the request's deadline expired while the run was in flight
 };
 
 [[nodiscard]] std::string_view to_string(CancelReason reason);
@@ -57,15 +71,34 @@ enum class FailReason {
   kNone,
   kExecution,      ///< the executor reported !ok (resolve/validation error)
   kDaemonRestart,  ///< in flight when the daemon died; journal replay marked it
+  kDeadline,       ///< the request's deadline expired (in queue or mid-run)
 };
 
 [[nodiscard]] std::string_view to_string(FailReason reason);
+
+/// Why a submit was refused at the door — the daemon-tier ShedReason. The
+/// daemon maps kRateLimited/kUserQueued to 429 and kQueueFull/kDraining to
+/// 503, both with Retry-After; kInvalid stays a 400.
+enum class RejectReason {
+  kNone,         ///< accepted
+  kInvalid,      ///< request failed validation (no retry will help)
+  kRateLimited,  ///< user's token bucket for POST /runs is empty
+  kUserQueued,   ///< user is at their queued-run quota
+  kQueueFull,    ///< global queue depth bound reached
+  kDraining,     ///< daemon is shutting down
+};
+
+[[nodiscard]] std::string_view to_string(RejectReason reason);
 
 /// Full record of one run, copyable for handout under the registry lock.
 struct RunRecord {
   std::uint64_t id = 0;
   std::string user;
   std::string name;
+  /// Client-generated dedup token (the Idempotency-Key header); empty when
+  /// the client sent none. Journaled with the submit record, so the dedup
+  /// index survives a daemon restart.
+  std::string idempotency_key;
   exp::RunRequest request;
   RunState state = RunState::kQueued;
   CancelReason cancel_reason = CancelReason::kNone;
@@ -97,6 +130,38 @@ struct RegistryCounters {
   std::uint64_t cancelled = 0;
 };
 
+/// Per-user monotonic totals (the labeled /metrics counters).
+struct UserCounters {
+  std::uint64_t submitted = 0;     ///< accepted submissions (new runs)
+  std::uint64_t admitted = 0;      ///< dispatched to a worker
+  std::uint64_t shed = 0;          ///< refused on a quota (kUserQueued/kQueueFull)
+  std::uint64_t rate_limited = 0;  ///< refused by the token bucket
+  std::uint64_t replays = 0;       ///< idempotent resubmits answered from the index
+};
+
+/// The daemon-tier quota ladder (all zero = everything unlimited, the
+/// pre-hardening behavior the lifecycle tests rely on).
+struct QuotaPolicy {
+  int max_queued_per_user = 0;   ///< queued runs one user may hold; 0 = unlimited
+  int max_running_per_user = 0;  ///< concurrent runs one user may hold; 0 = unlimited
+  std::size_t max_queue_depth = 0;  ///< global queued-run bound; 0 = unlimited
+  double rate_per_s = 0.0;          ///< per-user submit token refill; 0 = unlimited
+  double rate_burst = 0.0;          ///< bucket capacity; 0 = max(1, rate_per_s)
+};
+
+/// What submit() decided. Exactly one of these holds: accepted (possibly a
+/// `duplicate` replay of an earlier idempotency key, in which case `id` is
+/// the existing run), or rejected with a typed reason, a retry hint, and a
+/// human description.
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint64_t id = 0;
+  bool duplicate = false;
+  RejectReason reject = RejectReason::kNone;
+  double retry_after_s = 0.0;
+  std::string error;
+};
+
 class Registry {
  public:
   /// Runs one request to completion; the daemon injects exp::execute, tests
@@ -113,6 +178,11 @@ class Registry {
     /// lifecycle transition. Empty = no persistence. Open/replay problems
     /// land in journal_status(), not a constructor failure.
     std::string journal_file;
+    /// The per-user ladder; default = unlimited everything.
+    QuotaPolicy quota;
+    /// Monotonic seconds for the token buckets and deadlines; defaults to
+    /// steady_clock. Tests inject a fake to step time deterministically.
+    std::function<double()> clock_s;
   };
 
   Registry();  // default Options (out-of-line: NSDMIs of a nested class
@@ -122,10 +192,12 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  /// Validates and enqueues. Returns the run id, or the typed validation
-  /// error (a 400, not a 500: nothing was enqueued). Rejects after drain().
-  [[nodiscard]] common::Expected<std::uint64_t> submit(exp::RunRequest request,
-                                                       std::string user);
+  /// Validates, applies the quota ladder, dedups on `idempotency_key` (empty
+  /// = no dedup), and enqueues. Never throws away an accepted run: a replayed
+  /// key returns the existing run with duplicate = true, even after it
+  /// finished or the daemon restarted (the key rides the journal).
+  [[nodiscard]] SubmitOutcome submit(exp::RunRequest request, std::string user,
+                                     std::string idempotency_key = {});
 
   /// Copy of one run's record (its log included); error for unknown ids.
   [[nodiscard]] common::Expected<RunRecord> get(std::uint64_t id) const;
@@ -179,6 +251,11 @@ class Registry {
   [[nodiscard]] std::size_t queued() const;
   [[nodiscard]] std::size_t running() const;
   [[nodiscard]] RegistryCounters counters() const;
+  /// Per-user totals in user order (stable exposition for /metrics).
+  [[nodiscard]] std::map<std::string, UserCounters> user_counters() const;
+  /// Replay count of every run submitted with an idempotency key (0 = the
+  /// key was never retried) — the /metrics retry histogram's samples.
+  [[nodiscard]] std::vector<double> idempotency_replays() const;
 
   /// Journal health: OK when no journal was configured or replay + open
   /// succeeded; otherwise the typed open/replay error (aimesd refuses to
@@ -205,9 +282,29 @@ class Registry {
     /// histograms (wall time_t has 1 s granularity and can step).
     std::chrono::steady_clock::time_point submitted_steady{};
     std::chrono::steady_clock::time_point started_steady{};
+    /// clock_s() instant the request's deadline lands; 0 = no deadline.
+    double deadline_at = 0.0;
+    /// Times this run's idempotency key was replayed by a retried submit.
+    std::uint64_t replays = 0;
+  };
+
+  /// Per-user token bucket for the submit rate limit.
+  struct Bucket {
+    double tokens = 0.0;
+    double last_s = 0.0;
+    bool primed = false;
   };
 
   void worker_loop();
+  void reaper_loop(const std::stop_token& st);
+  [[nodiscard]] double now_s() const { return options_.clock_s(); }
+  /// Fails queued past-deadline runs and flips the cancel flag (with the
+  /// kDeadline reason) on running ones. Callers hold mutex_.
+  void expire_deadlines_locked();
+  /// First FIFO run whose user is under the running cap, removed from the
+  /// queue and accounted as dispatched; nullptr when none is eligible.
+  /// Callers hold mutex_.
+  [[nodiscard]] Entry* claim_next_locked();
   /// Appends to record.log + log_bytes + journal and wakes waiters. Callers
   /// hold mutex_.
   void append_log(Entry& entry, const std::string& line);
@@ -232,11 +329,18 @@ class Registry {
   bool draining_ = false;
   std::size_t running_ = 0;
   RegistryCounters counters_;
+  std::map<std::string, UserCounters> user_counters_;
+  std::unordered_map<std::string, int> queued_by_user_;
+  std::unordered_map<std::string, int> running_by_user_;
+  std::unordered_map<std::string, Bucket> buckets_;
+  /// Idempotency key -> run id, rebuilt from the journal on restart.
+  std::unordered_map<std::string, std::uint64_t> idempotency_;
   std::unique_ptr<Journal> journal_;
   common::Status journal_status_;
   std::vector<double> queue_wait_s_;
   std::vector<double> run_duration_s_;
   std::vector<std::jthread> workers_;
+  std::jthread reaper_;
 };
 
 }  // namespace aimes::ctl

@@ -131,6 +131,9 @@ common::Status validate(const RunRequest& req) {
     return field_error("trials", "must be in [1, 1000000]");
   }
   if (req.jobs < 0 || req.jobs > 4096) return field_error("jobs", "must be in [0, 4096]");
+  if (req.deadline_s < 0.0 || req.deadline_s > 24.0 * 3600.0 * 365.0) {
+    return field_error("deadline_s", "must be in [0, 31536000] (0 = no deadline)");
+  }
   if (req.warmup_hours < 0.0 || req.warmup_hours > 24.0 * 365.0) {
     return field_error("warmup_hours", "must be in [0, 8760]");
   }
@@ -247,6 +250,7 @@ std::string run_request_to_json(const RunRequest& req) {
   out << "  \"seed\": " << req.seed << ",\n";
   out << "  \"trials\": " << req.trials << ",\n";
   out << "  \"jobs\": " << req.jobs << ",\n";
+  out << "  \"deadline_s\": " << fmt(req.deadline_s) << ",\n";
   out << "  \"strategy\": {\n";
   out << "    \"experiment\": " << s.experiment << ",\n";
   out << "    \"binding\": \"" << core::json::escape(s.binding) << "\",\n";
@@ -388,6 +392,7 @@ common::Expected<RunRequest> parse_run_request(const std::string& origin,
   AIMES_TAKE(take_u64(top, "seed", req.seed));
   AIMES_TAKE(take_int(top, "trials", req.trials));
   AIMES_TAKE(take_int(top, "jobs", req.jobs));
+  AIMES_TAKE(take_double(top, "deadline_s", req.deadline_s));
 
   if (top.has("strategy")) {
     auto scan = top.object("strategy");

@@ -97,6 +97,12 @@ struct RunRequest {
   /// (bit-identical for every `jobs` value).
   int trials = 1;
   int jobs = 1;  ///< trial-level workers; 0 = hardware concurrency
+  /// Client-requested completion deadline in wall seconds from submission;
+  /// 0 = none. The daemon fails a run still queued at the deadline with a
+  /// typed reason and cuts a running one at its next trial boundary. Local
+  /// execution (aimes-run) ignores it, so a deadline never perturbs the
+  /// daemon-vs-CLI checksum parity.
+  double deadline_s = 0.0;
   StrategyRequest strategy;
   CampaignRequest campaign;
   core::ShardingConfig sharding;

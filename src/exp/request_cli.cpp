@@ -51,6 +51,12 @@ void declare_request_options(common::cli::Parser& cli, RunRequest& req, bool& qu
                  "W");
   cli.double_option("--warmup", req.warmup_hours, 0.0, 24.0 * 365.0,
                     "background warmup hours (6)", "H");
+  cli.double_option("--deadline", req.deadline_s, 0.1, 24.0 * 3600.0 * 365.0,
+                    "daemon submissions: fail the run if still queued,\n"
+                    "or cut it at the next trial boundary, this many\n"
+                    "wall seconds after submit (default 0 = none);\n"
+                    "local runs ignore it",
+                    "S");
   cli.int_option("--campaign", req.campaign.tenants, 2, 256,
                  "campaign mode: N tenants with sizes cycled from\n"
                  "--tasks x {1,2,4}; plans each arrival against a\n"

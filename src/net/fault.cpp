@@ -1,0 +1,169 @@
+#include "net/fault.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace aimes::net {
+namespace {
+
+struct ShimState {
+  std::mutex mu;
+  FaultSpec spec;
+  std::uint64_t ops = 0;
+};
+
+// Hot-path gate: one relaxed load when no profile is installed.
+std::atomic<bool> g_active{false};
+
+ShimState& shim() {
+  static ShimState state;
+  return state;
+}
+
+// One uniform draw in [0, 1) per (seed, op, lane). Lanes keep the reset /
+// short / stall decisions of a single operation independent of each other.
+double uniform01(std::uint64_t seed, std::uint64_t op, std::uint64_t lane) {
+  std::uint64_t state = seed ^ (op * 0x9e3779b97f4a7c15ULL) ^ (lane << 56);
+  const std::uint64_t bits = common::splitmix64(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+common::Expected<FaultSpec> spec_error(const std::string& what) {
+  return common::Expected<FaultSpec>::error(
+      "invalid --net-faults spec: " + what +
+      " (expected comma-separated key=value with keys seed, short-read, "
+      "short-write, read-stall, reset, accept-reset, stall-ms)");
+}
+
+bool parse_probability(const std::string& text, double& out) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size() || value < 0.0 || value > 1.0) return false;
+    out = value;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+common::Expected<FaultSpec> parse_fault_spec(const std::string& text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string item =
+        text.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? text.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return spec_error("item '" + item + "' has no '='");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      try {
+        std::size_t used = 0;
+        spec.seed = std::stoull(value, &used);
+        if (used != value.size()) return spec_error("seed '" + value + "' is not an integer");
+      } catch (...) {
+        return spec_error("seed '" + value + "' is not an integer");
+      }
+    } else if (key == "short-read" || key == "short-write" || key == "read-stall" ||
+               key == "reset" || key == "accept-reset") {
+      double p = 0.0;
+      if (!parse_probability(value, p)) {
+        return spec_error(key + " '" + value + "' is not a probability in [0, 1]");
+      }
+      if (key == "short-read") spec.short_read = p;
+      if (key == "short-write") spec.short_write = p;
+      if (key == "read-stall") spec.read_stall = p;
+      if (key == "reset") spec.reset = p;
+      if (key == "accept-reset") spec.accept_reset = p;
+    } else if (key == "stall-ms") {
+      try {
+        std::size_t used = 0;
+        const long ms = std::stol(value, &used);
+        // Stalls must stay well under the 5 s socket poll timeouts or every
+        // faulted read turns into a spurious timeout instead of a stall.
+        if (used != value.size() || ms < 1 || ms > 2000) {
+          return spec_error("stall-ms '" + value + "' is not in [1, 2000]");
+        }
+        spec.stall_ms = static_cast<int>(ms);
+      } catch (...) {
+        return spec_error("stall-ms '" + value + "' is not an integer");
+      }
+    } else {
+      return spec_error("unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+std::string to_string(const FaultSpec& spec) {
+  std::ostringstream out;
+  out << "seed=" << spec.seed << ",short-read=" << spec.short_read
+      << ",short-write=" << spec.short_write << ",read-stall=" << spec.read_stall
+      << ",reset=" << spec.reset << ",accept-reset=" << spec.accept_reset
+      << ",stall-ms=" << spec.stall_ms;
+  return out.str();
+}
+
+void install_net_faults(const FaultSpec& spec) {
+  ShimState& state = shim();
+  std::lock_guard lock(state.mu);
+  state.spec = spec;
+  state.ops = 0;
+  g_active.store(spec.any(), std::memory_order_release);
+}
+
+void clear_net_faults() {
+  ShimState& state = shim();
+  std::lock_guard lock(state.mu);
+  state.spec = FaultSpec{};
+  state.ops = 0;
+  g_active.store(false, std::memory_order_release);
+}
+
+bool net_faults_active() { return g_active.load(std::memory_order_acquire); }
+
+FaultDecision next_net_fault(FaultPoint point) {
+  FaultDecision decision;
+  if (!net_faults_active()) return decision;
+  ShimState& state = shim();
+  std::lock_guard lock(state.mu);
+  if (!state.spec.any()) return decision;
+  const std::uint64_t op = state.ops++;
+  const FaultSpec& spec = state.spec;
+  switch (point) {
+    case FaultPoint::kAccept:
+      decision.reset = uniform01(spec.seed, op, 0) < spec.accept_reset;
+      return decision;
+    case FaultPoint::kRead:
+      decision.reset = uniform01(spec.seed, op, 0) < spec.reset;
+      if (decision.reset) return decision;
+      decision.short_op = uniform01(spec.seed, op, 1) < spec.short_read;
+      if (uniform01(spec.seed, op, 2) < spec.read_stall) decision.stall_ms = spec.stall_ms;
+      return decision;
+    case FaultPoint::kWrite:
+      decision.reset = uniform01(spec.seed, op, 0) < spec.reset;
+      if (decision.reset) return decision;
+      decision.short_op = uniform01(spec.seed, op, 1) < spec.short_write;
+      return decision;
+  }
+  return decision;
+}
+
+std::uint64_t net_fault_ops() {
+  ShimState& state = shim();
+  std::lock_guard lock(state.mu);
+  return state.ops;
+}
+
+}  // namespace aimes::net

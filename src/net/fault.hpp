@@ -1,0 +1,81 @@
+// Deterministic fault injection for the control plane's wire.
+//
+// The simulation tiers have had a seeded adversary since PR 1 (sim::FaultPlan),
+// but the daemon's sockets — the one layer with *real* I/O — did not. This
+// shim sits between the HTTP layer and the socket calls in net/http.cpp and
+// injects, with seeded per-operation decisions:
+//
+//   - short reads/writes  (a recv/send clamped to one byte: maximal framing
+//                          tearing — every parser sees every possible split)
+//   - stalled reads       (a bounded sleep before the recv, exercising the
+//                          poll timeouts and the clients' reconnect paths)
+//   - mid-stream resets   (the connection is torn down mid-operation; the
+//                          fd is lingered at zero so the peer sees an abort,
+//                          not a clean close)
+//   - accept-time resets  (a just-accepted connection is reset before any
+//                          byte is served)
+//
+// Decisions are a pure function of (seed, operation index), so a single-
+// threaded test replays the exact same fault sequence every run; concurrent
+// connections interleave operations nondeterministically but still draw from
+// the same seeded stream, which keeps smoke runs reproducible in
+// distribution. Install in-process for tests (install_net_faults) or via
+// `aimesd --net-faults SPEC`; the shim is process-wide and off by default
+// with one relaxed atomic load on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/expected.hpp"
+
+namespace aimes::net {
+
+/// One fault profile: per-operation probabilities plus the stall bound.
+/// Spec string form (aimesd --net-faults): comma-separated key=value with
+/// keys seed, short-read, short-write, read-stall, reset, accept-reset,
+/// stall-ms — e.g. "seed=7,reset=0.1,short-read=0.25,short-write=0.25".
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double short_read = 0.0;    ///< P(recv clamped to 1 byte)
+  double short_write = 0.0;   ///< P(send clamped to 1 byte)
+  double read_stall = 0.0;    ///< P(sleep stall_ms before the recv)
+  double reset = 0.0;         ///< P(connection reset instead of the op)
+  double accept_reset = 0.0;  ///< P(accepted connection reset immediately)
+  int stall_ms = 50;          ///< stall duration (bounded well under IO timeouts)
+
+  [[nodiscard]] bool any() const {
+    return short_read > 0.0 || short_write > 0.0 || read_stall > 0.0 || reset > 0.0 ||
+           accept_reset > 0.0;
+  }
+};
+
+/// Parses the --net-faults spec string. Unknown keys and out-of-range values
+/// are typed errors (a mistyped chaos knob must not silently run clean).
+[[nodiscard]] common::Expected<FaultSpec> parse_fault_spec(const std::string& text);
+[[nodiscard]] std::string to_string(const FaultSpec& spec);
+
+/// Where the socket layer consults the shim.
+enum class FaultPoint { kRead, kWrite, kAccept };
+
+/// What the shim decided for one operation.
+struct FaultDecision {
+  bool reset = false;    ///< tear the connection down instead of the op
+  bool short_op = false; ///< clamp the op to one byte
+  int stall_ms = 0;      ///< sleep this long before the op
+};
+
+/// Installs `spec` process-wide (replacing any prior profile) and resets the
+/// operation counter; a spec with no armed fault (any() == false) clears.
+void install_net_faults(const FaultSpec& spec);
+void clear_net_faults();
+[[nodiscard]] bool net_faults_active();
+
+/// Draws the next seeded decision for `point`. A no-op (all-false decision)
+/// when no profile is installed.
+[[nodiscard]] FaultDecision next_net_fault(FaultPoint point);
+
+/// Operations consulted since install — tests pin determinism with it.
+[[nodiscard]] std::uint64_t net_fault_ops();
+
+}  // namespace aimes::net

@@ -1,18 +1,27 @@
 #include "net/http.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "net/fault.hpp"
 
 namespace aimes::net {
 
@@ -36,6 +45,58 @@ std::string trim(const std::string& s) {
   while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
   return s.substr(b, e - b);
+}
+
+/// Arms the fd so the eventual ::close() aborts the connection (RST) rather
+/// than lingering in a half-closed state, then shuts both directions down so
+/// every in-flight operation on it fails immediately. Used by the fault shim
+/// for mid-stream resets; the caller's normal close path stays the owner of
+/// the fd (no double close).
+void fault_abort(int fd) {
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+/// recv(2) behind the fault shim: may stall, reset the connection (errno
+/// ECONNRESET), or clamp the read to one byte — the torn-framing generator
+/// every incremental parser above this layer must survive.
+ssize_t net_recv(int fd, char* buf, std::size_t len) {
+  if (net_faults_active()) {
+    const FaultDecision d = next_net_fault(FaultPoint::kRead);
+    if (d.stall_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(d.stall_ms));
+    if (d.reset) {
+      fault_abort(fd);
+      errno = ECONNRESET;
+      return -1;
+    }
+    if (d.short_op && len > 1) len = 1;
+  }
+  return ::recv(fd, buf, len, 0);
+}
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    std::size_t len = text.size() - sent;
+    if (net_faults_active()) {
+      const FaultDecision d = next_net_fault(FaultPoint::kWrite);
+      if (d.reset) {
+        fault_abort(fd);
+        return false;
+      }
+      if (d.short_op && len > 1) len = 1;
+    }
+    const ssize_t n = ::send(fd, text.data() + sent, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
 }
 
 /// Splits `text` into (start-line, headers, body) and fills `headers`/`body`.
@@ -85,7 +146,7 @@ common::Expected<std::string> read_message(int fd) {
     pollfd pfd{fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kIoTimeoutMs);
     if (ready <= 0) return E::error("read timeout");
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    const ssize_t n = net_recv(fd, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       return E::error(std::string("recv: ") + std::strerror(errno));
@@ -108,22 +169,102 @@ common::Expected<std::string> read_message(int fd) {
   return buf;
 }
 
-bool send_all(int fd, const std::string& text) {
-  std::size_t sent = 0;
-  while (sent < text.size()) {
-    const ssize_t n = ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
+/// Non-blocking connect with a poll-based deadline: a black-holed address
+/// fails typed after `timeout_ms` instead of hanging the caller in
+/// ::connect() past any deadline it promised its own user.
+common::Status connect_with_deadline(int fd, const sockaddr* addr, socklen_t len,
+                                     int timeout_ms, const std::string& where) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return common::Status::error("fcntl: " + std::string(std::strerror(errno)));
   }
-  return true;
+  if (::connect(fd, addr, len) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      return common::Status::error("connect " + where + ": " + std::strerror(errno));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      return common::Status::error("connect " + where + ": timeout after " +
+                                   std::to_string(timeout_ms) + " ms");
+    }
+    int err = 0;
+    socklen_t errlen = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) < 0 || err != 0) {
+      return common::Status::error("connect " + where + ": " +
+                                   std::strerror(err != 0 ? err : errno));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    return common::Status::error("fcntl: " + std::string(std::strerror(errno)));
+  }
+  return {};
+}
+
+/// Creates and connects a client socket for `endpoint` (loopback TCP or
+/// unix-domain). Returns the connected fd; the caller owns the close.
+common::Expected<int> open_client_fd(const Endpoint& endpoint, int connect_timeout_ms) {
+  using E = common::Expected<int>;
+  sockaddr_storage storage{};
+  socklen_t addr_len = 0;
+  int fd = -1;
+  if (endpoint.is_unix()) {
+    auto* addr = reinterpret_cast<sockaddr_un*>(&storage);
+    if (endpoint.socket_path.size() >= sizeof addr->sun_path) {
+      return E::error("unix socket path too long: " + endpoint.socket_path);
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return E::error(std::string("socket: ") + std::strerror(errno));
+    addr->sun_family = AF_UNIX;
+    std::memcpy(addr->sun_path, endpoint.socket_path.c_str(), endpoint.socket_path.size() + 1);
+    addr_len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                      endpoint.socket_path.size() + 1);
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return E::error(std::string("socket: ") + std::strerror(errno));
+    auto* addr = reinterpret_cast<sockaddr_in*>(&storage);
+    addr->sin_family = AF_INET;
+    addr->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr->sin_port = htons(endpoint.port);
+    addr_len = sizeof(sockaddr_in);
+  }
+  if (auto st = connect_with_deadline(fd, reinterpret_cast<const sockaddr*>(&storage),
+                                      addr_len, connect_timeout_ms, endpoint.describe());
+      !st.ok()) {
+    ::close(fd);
+    return E::error(st.error());
+  }
+  return fd;
+}
+
+/// True when `name` is one of the headers the renderers synthesize; entries
+/// in the user-facing maps with these names are skipped, not duplicated.
+bool synthesized_header(const std::string& name) {
+  const std::string key = lower(name);
+  return key == "content-type" || key == "content-length" || key == "connection" ||
+         key == "transfer-encoding" || key == "host";
+}
+
+void render_extra_headers(std::ostringstream& out,
+                          const std::map<std::string, std::string>& headers) {
+  for (const auto& [name, value] : headers) {
+    if (synthesized_header(name)) continue;
+    out << name << ": " << value << "\r\n";
+  }
 }
 
 }  // namespace
 
+std::string Endpoint::describe() const {
+  return is_unix() ? "unix:" + socket_path : "127.0.0.1:" + std::to_string(port);
+}
+
 std::string HttpRequest::header(const std::string& name) const {
+  const auto it = headers.find(lower(name));
+  return it == headers.end() ? "" : it->second;
+}
+
+std::string HttpResponse::header(const std::string& name) const {
   const auto it = headers.find(lower(name));
   return it == headers.end() ? "" : it->second;
 }
@@ -153,6 +294,7 @@ std::string_view status_phrase(int status) {
     case 405: return "Method Not Allowed";
     case 409: return "Conflict";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 503: return "Service Unavailable";
     default: return "Unknown";
   }
@@ -180,16 +322,15 @@ common::Expected<HttpRequest> parse_http_request(const std::string& text) {
 common::Expected<HttpResponse> parse_http_response(const std::string& text) {
   using E = common::Expected<HttpResponse>;
   HttpResponse res;
-  std::map<std::string, std::string> headers;
-  auto start = parse_message(text, headers, res.body);
+  auto start = parse_message(text, res.headers, res.body);
   if (!start) return E::error(start.error());
   std::istringstream parts(*start);
   std::string version;
   if (!(parts >> version >> res.status) || version.rfind("HTTP/", 0) != 0) {
     return E::error("malformed status line '" + *start + "'");
   }
-  const auto it = headers.find("content-type");
-  if (it != headers.end()) res.content_type = it->second;
+  const auto it = res.headers.find("content-type");
+  if (it != res.headers.end()) res.content_type = it->second;
   return res;
 }
 
@@ -197,9 +338,9 @@ std::string render_http_response(const HttpResponse& response) {
   std::ostringstream out;
   out << "HTTP/1.1 " << response.status << " " << status_phrase(response.status) << "\r\n"
       << "Content-Type: " << response.content_type << "\r\n"
-      << "Content-Length: " << response.body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << response.body;
+      << "Content-Length: " << response.body.size() << "\r\n";
+  render_extra_headers(out, response.headers);
+  out << "Connection: close\r\n\r\n" << response.body;
   return out.str();
 }
 
@@ -207,8 +348,9 @@ std::string render_stream_header(const HttpResponse& response) {
   std::ostringstream out;
   out << "HTTP/1.1 " << response.status << " " << status_phrase(response.status) << "\r\n"
       << "Content-Type: " << response.content_type << "\r\n"
-      << "Transfer-Encoding: chunked\r\n"
-      << "Connection: close\r\n\r\n";
+      << "Transfer-Encoding: chunked\r\n";
+  render_extra_headers(out, response.headers);
+  out << "Connection: close\r\n\r\n";
   return out.str();
 }
 
@@ -302,10 +444,64 @@ std::string render_http_request(const HttpRequest& request, const std::string& h
   out << request.method << " " << request.target << " HTTP/1.1\r\n"
       << "Host: " << host << "\r\n"
       << "Content-Type: application/json\r\n"
-      << "Content-Length: " << request.body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << request.body;
+      << "Content-Length: " << request.body.size() << "\r\n";
+  render_extra_headers(out, request.headers);
+  out << "Connection: close\r\n\r\n" << request.body;
   return out.str();
+}
+
+SseEvent parse_sse_event(const std::string& block) {
+  SseEvent event;
+  std::size_t pos = 0;
+  while (pos <= block.size()) {
+    const auto nl = block.find('\n', pos);
+    const std::string line =
+        block.substr(pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    pos = nl == std::string::npos ? block.size() + 1 : nl + 1;
+    if (line.empty() || line.front() == ':') continue;  // comment / keepalive
+    const auto colon = line.find(':');
+    const std::string field = colon == std::string::npos ? line : line.substr(0, colon);
+    std::string value = colon == std::string::npos ? "" : line.substr(colon + 1);
+    if (!value.empty() && value.front() == ' ') value.erase(0, 1);
+    if (field == "id") {
+      event.has_id = true;
+      event.id = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (field == "event") {
+      event.kind = value;
+    } else if (field == "data") {
+      if (!event.data.empty()) event.data += '\n';
+      event.data += value;
+    }
+    // Unknown fields are ignored per the SSE spec.
+  }
+  return event;
+}
+
+std::vector<SseEvent> drain_sse_frames(std::string& carry) {
+  std::vector<SseEvent> events;
+  for (;;) {
+    const auto end = carry.find("\n\n");
+    if (end == std::string::npos) break;
+    const std::string block = carry.substr(0, end);
+    carry.erase(0, end + 2);
+    SseEvent event = parse_sse_event(block);
+    if (!event.has_id && event.kind.empty() && event.data.empty()) continue;  // keepalive
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+int Backoff::next_ms() {
+  const int n = attempt_++;
+  const double base = static_cast<double>(base_ms_) *
+                      static_cast<double>(1ULL << std::min(n, 20));
+  const double capped = std::min(base, static_cast<double>(cap_ms_));
+  std::uint64_t state = seed_ ^ (static_cast<std::uint64_t>(n) * 0x9e3779b97f4a7c15ULL);
+  const double jitter01 =
+      static_cast<double>(common::splitmix64(state) >> 11) * 0x1.0p-53;
+  const double total = std::min(capped * (1.0 + 0.5 * jitter01),
+                                static_cast<double>(cap_ms_));
+  return std::max(1, static_cast<int>(total));
 }
 
 common::Expected<std::uint16_t> HttpServer::start(std::uint16_t port, Handler handler) {
@@ -338,10 +534,46 @@ common::Expected<std::uint16_t> HttpServer::start(std::uint16_t port, Handler ha
     ::close(fd);
     return E::error("getsockname: " + err);
   }
-  port_ = ntohs(addr.sin_port);
+  endpoint_ = Endpoint::tcp(ntohs(addr.sin_port));
   listen_fd_ = fd;
   thread_ = std::jthread([this](const std::stop_token& st) { serve(st); });
-  return port_;
+  return endpoint_.port;
+}
+
+common::Status HttpServer::start_unix(const std::string& path, Handler handler) {
+  if (listen_fd_ >= 0) return common::Status::error("server already running");
+  handler_ = std::move(handler);
+
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    return common::Status::error("unix socket path too long (max " +
+                                 std::to_string(sizeof addr.sun_path - 1) +
+                                 " bytes): " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return common::Status::error(std::string("socket: ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  // A stale socket file from a crashed daemon would make bind fail with
+  // EADDRINUSE even though nobody is listening; replace it.
+  ::unlink(path.c_str());
+  const auto addr_len =
+      static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), addr_len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return common::Status::error("bind unix:" + path + ": " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    return common::Status::error("listen: " + err);
+  }
+  endpoint_ = Endpoint::unix_path(path);
+  listen_fd_ = fd;
+  thread_ = std::jthread([this](const std::stop_token& st) { serve(st); });
+  return {};
 }
 
 void HttpServer::stop() {
@@ -355,7 +587,8 @@ void HttpServer::stop() {
   if (thread_.joinable()) thread_.join();  // joins the connection threads too
   ::close(listen_fd_);
   listen_fd_ = -1;
-  port_ = 0;
+  if (endpoint_.is_unix()) ::unlink(endpoint_.socket_path.c_str());
+  endpoint_ = Endpoint{};
   stopping_.store(false, std::memory_order_relaxed);
 }
 
@@ -372,6 +605,14 @@ void HttpServer::serve(const std::stop_token& stop_token) {
     if (ready <= 0) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
+    if (net_faults_active() && next_net_fault(FaultPoint::kAccept).reset) {
+      // Accept-time reset: the client's connect succeeded but its first
+      // read/write gets an abort — we own this fd, so close-with-linger-0
+      // sends a genuine RST.
+      fault_abort(conn);
+      ::close(conn);
+      continue;
+    }
     Connection& slot = connections_.emplace_back();
     slot.thread = std::jthread([this, conn, &slot] {
       handle_connection(conn);
@@ -423,48 +664,35 @@ void HttpServer::handle_connection(int conn) {
   ::close(conn);
 }
 
-common::Expected<HttpResponse> http_call(std::uint16_t port, const HttpRequest& request) {
+common::Expected<HttpResponse> http_call(const Endpoint& endpoint, const HttpRequest& request,
+                                         int connect_timeout_ms) {
   using E = common::Expected<HttpResponse>;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return E::error(std::string("socket: ") + std::strerror(errno));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    return E::error("connect 127.0.0.1:" + std::to_string(port) + ": " + err);
-  }
-  const std::string host = "127.0.0.1:" + std::to_string(port);
-  if (!send_all(fd, render_http_request(request, host))) {
-    ::close(fd);
+  auto fd = open_client_fd(endpoint, connect_timeout_ms);
+  if (!fd) return E::error(fd.error());
+  const std::string host = endpoint.is_unix() ? "localhost" : endpoint.describe();
+  if (!send_all(*fd, render_http_request(request, host))) {
+    ::close(*fd);
     return E::error("send failed");
   }
-  ::shutdown(fd, SHUT_WR);
-  auto message = read_message(fd);
-  ::close(fd);
+  ::shutdown(*fd, SHUT_WR);
+  auto message = read_message(*fd);
+  ::close(*fd);
   if (!message) return E::error(message.error());
   return parse_http_response(*message);
 }
 
-common::Expected<HttpResponse> http_stream(std::uint16_t port, const HttpRequest& request,
-                                           const StreamSink& on_data, int idle_timeout_ms) {
-  using E = common::Expected<HttpResponse>;
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return E::error(std::string("socket: ") + std::strerror(errno));
+common::Expected<HttpResponse> http_call(std::uint16_t port, const HttpRequest& request) {
+  return http_call(Endpoint::tcp(port), request);
+}
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    return E::error("connect 127.0.0.1:" + std::to_string(port) + ": " + err);
-  }
-  const std::string host = "127.0.0.1:" + std::to_string(port);
+common::Expected<HttpResponse> http_stream(const Endpoint& endpoint, const HttpRequest& request,
+                                           const StreamSink& on_data, int idle_timeout_ms,
+                                           int connect_timeout_ms) {
+  using E = common::Expected<HttpResponse>;
+  auto opened = open_client_fd(endpoint, connect_timeout_ms);
+  if (!opened) return E::error(opened.error());
+  const int fd = *opened;
+  const std::string host = endpoint.is_unix() ? "localhost" : endpoint.describe();
   if (!send_all(fd, render_http_request(request, host))) {
     ::close(fd);
     return E::error("send failed");
@@ -483,7 +711,7 @@ common::Expected<HttpResponse> http_stream(std::uint16_t port, const HttpRequest
       ::close(fd);
       return E::error("stream idle timeout waiting for headers");
     }
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    const ssize_t n = net_recv(fd, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       const std::string err = std::strerror(errno);
@@ -503,11 +731,10 @@ common::Expected<HttpResponse> http_stream(std::uint16_t port, const HttpRequest
   }
 
   HttpResponse res;
-  std::map<std::string, std::string> headers;
   {
     // Header-only parse: the body is still in flight at this point.
     std::string ignored_body;
-    auto start = parse_message(buf.substr(0, head_end + 4), headers, ignored_body,
+    auto start = parse_message(buf.substr(0, head_end + 4), res.headers, ignored_body,
                                /*head_only=*/true);
     if (!start) {
       ::close(fd);
@@ -520,12 +747,12 @@ common::Expected<HttpResponse> http_stream(std::uint16_t port, const HttpRequest
       return E::error("malformed status line '" + *start + "'");
     }
   }
-  const auto ct = headers.find("content-type");
-  if (ct != headers.end()) res.content_type = ct->second;
+  const auto ct = res.headers.find("content-type");
+  if (ct != res.headers.end()) res.content_type = ct->second;
 
   std::string rest = buf.substr(head_end + 4);
-  if (lower(headers.count("transfer-encoding") != 0 ? headers.at("transfer-encoding") : "") !=
-      "chunked") {
+  if (lower(res.headers.count("transfer-encoding") != 0 ? res.headers.at("transfer-encoding")
+                                                        : "") != "chunked") {
     // Non-chunked (the daemon's error responses): buffer to EOF like
     // http_call, bounded by Content-Length when present.
     res.body = std::move(rest);
@@ -533,14 +760,14 @@ common::Expected<HttpResponse> http_stream(std::uint16_t port, const HttpRequest
       pollfd pfd{fd, POLLIN, 0};
       const int ready = ::poll(&pfd, 1, idle_timeout_ms);
       if (ready <= 0) break;
-      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      const ssize_t n = net_recv(fd, chunk, sizeof chunk);
       if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       res.body.append(chunk, static_cast<std::size_t>(n));
     }
     ::close(fd);
-    const auto length = headers.find("content-length");
-    if (length != headers.end()) {
+    const auto length = res.headers.find("content-length");
+    if (length != res.headers.end()) {
       const unsigned long long want = std::strtoull(length->second.c_str(), nullptr, 10);
       if (res.body.size() > want) res.body.resize(want);
     }
@@ -570,7 +797,7 @@ common::Expected<HttpResponse> http_stream(std::uint16_t port, const HttpRequest
       ::close(fd);
       return E::error("stream idle timeout");
     }
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    const ssize_t n = net_recv(fd, chunk, sizeof chunk);
     if (n < 0) {
       if (errno == EINTR) continue;
       const std::string err = std::strerror(errno);
@@ -589,6 +816,11 @@ common::Expected<HttpResponse> http_stream(std::uint16_t port, const HttpRequest
   }
   ::close(fd);
   return res;
+}
+
+common::Expected<HttpResponse> http_stream(std::uint16_t port, const HttpRequest& request,
+                                           const StreamSink& on_data, int idle_timeout_ms) {
+  return http_stream(Endpoint::tcp(port), request, on_data, idle_timeout_ms);
 }
 
 }  // namespace aimes::net

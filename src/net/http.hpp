@@ -1,15 +1,17 @@
 // Minimal local HTTP/1.1 transport for the control plane.
 //
-// `aimesd` speaks plain HTTP on a loopback TCP socket so any client — the
-// bundled `aimesc`, curl in tools/verify.sh, a Prometheus scraper hitting
-// /metrics — can talk to it without a bespoke wire protocol. The server is
-// deliberately small: Content-Length framing for one-shot exchanges, chunked
-// framing for the live-telemetry streams (log tail, SSE events), no
-// keep-alive — every response closes the connection — and size caps
-// everywhere. Each accepted connection gets its own thread (a follower
-// tailing a one-hour run must not block the next `aimesc list`), reaped by
-// the accept loop. Every framing path is testable without sockets through
-// parse/render/ChunkDecoder below.
+// `aimesd` speaks plain HTTP on a loopback TCP socket — or a unix-domain
+// socket (`--socket PATH`) — so any client — the bundled `aimesc`, curl in
+// tools/verify.sh, a Prometheus scraper hitting /metrics — can talk to it
+// without a bespoke wire protocol. The server is deliberately small:
+// Content-Length framing for one-shot exchanges, chunked framing for the
+// live-telemetry streams (log tail, SSE events), no keep-alive — every
+// response closes the connection — and size caps everywhere. Each accepted
+// connection gets its own thread (a follower tailing a one-hour run must not
+// block the next `aimesc list`), reaped by the accept loop. Every framing
+// path is testable without sockets through parse/render/ChunkDecoder below,
+// and every socket path is testable *with* sockets under the seeded fault
+// shim in net/fault.hpp (short reads/writes, stalls, resets).
 #pragma once
 
 #include <atomic>
@@ -20,17 +22,34 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "common/expected.hpp"
 
 namespace aimes::net {
+
+/// Where a control-plane peer lives: loopback TCP (port != 0 after bind) or
+/// a unix-domain socket path. Exactly one of the two is set.
+struct Endpoint {
+  std::uint16_t port = 0;
+  std::string socket_path;
+
+  [[nodiscard]] bool is_unix() const { return !socket_path.empty(); }
+  /// "127.0.0.1:8477" or "unix:/run/aimesd.sock" — for error messages.
+  [[nodiscard]] std::string describe() const;
+
+  static Endpoint tcp(std::uint16_t port) { return Endpoint{port, ""}; }
+  static Endpoint unix_path(std::string path) { return Endpoint{0, std::move(path)}; }
+};
 
 struct HttpRequest {
   std::string method;  ///< GET, POST, DELETE, ... (uppercased by the parser)
   std::string target;  ///< raw request-target, e.g. "/api/v1/runs?user=ana"
   std::string path;    ///< target up to '?'
   std::string query;   ///< target past '?' (no '?'), may be empty
-  /// Header names are lowercased by the parser; values are trimmed.
+  /// Header names are lowercased by the parser; values are trimmed. On the
+  /// client side, entries here are rendered onto the wire (Idempotency-Key,
+  /// deadline hints); Host/Content-Length/Connection are always synthesized.
   std::map<std::string, std::string> headers;
   std::string body;
 
@@ -44,6 +63,11 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers (Retry-After, Idempotency-Key echo). Names are
+  /// rendered as given and lowercased by the client-side parser;
+  /// Content-Type/Content-Length/Connection/Transfer-Encoding are always
+  /// synthesized by the renderers and must not appear here.
+  std::map<std::string, std::string> headers;
   /// Streaming body pull: append the next piece to `out`, return true while
   /// more may come (an empty append is a legal "nothing yet" tick), false
   /// once the stream is finished. When set, the server sends the headers
@@ -51,6 +75,9 @@ struct HttpResponse {
   /// until it returns false (or the client disconnects / the server stops).
   using Pull = std::function<bool(std::string&)>;
   Pull stream;
+
+  /// Header value by lowercase name; empty string when absent.
+  [[nodiscard]] std::string header(const std::string& name) const;
 };
 
 /// Human phrase for the handful of status codes the control plane uses.
@@ -94,20 +121,63 @@ class ChunkDecoder {
   std::size_t remaining_ = 0;  ///< payload bytes left in the current chunk
 };
 
-/// Renders a request (Host/Content-Length/Connection: close added).
+/// Renders a request (Host/Content-Length/Connection: close added, plus any
+/// request.headers entries not in that synthesized set).
 [[nodiscard]] std::string render_http_request(const HttpRequest& request,
                                               const std::string& host);
 
-/// Loopback HTTP server: binds 127.0.0.1:`port` (0 = ephemeral) and runs one
-/// accept loop on a background jthread; each accepted connection is handled
-/// on its own jthread (reaped by the accept loop), so a long-lived telemetry
-/// stream never blocks the next request. The handler runs on the connection
-/// thread; anything slow belongs behind a queue (ctl::Registry) or a
-/// response `stream` pull, not in the handler body. Malformed requests get a
-/// 400, oversized ones (1 MiB) a 413, handler exceptions never happen (the
-/// codebase is exception-free). stop() interrupts in-flight streams: the
-/// pull loop re-checks a stopping flag between pulls, so handlers must keep
-/// each pull bounded (the registry waits in sub-second slices).
+/// One server-sent event as the daemon's /events stream frames them:
+///   id: 7\nevent: progress\ndata: {...}\n\n
+struct SseEvent {
+  bool has_id = false;
+  std::uint64_t id = 0;
+  std::string kind;  ///< the "event:" field; empty for keepalive comments
+  std::string data;  ///< "data:" lines joined with '\n'
+};
+
+/// Parses one complete ("\n\n"-terminated body, terminator excluded) SSE
+/// frame. Comment lines (":") and unknown fields are skipped per the spec.
+[[nodiscard]] SseEvent parse_sse_event(const std::string& block);
+
+/// Extracts every complete frame from `carry` (in arrival order), leaving
+/// any truncated tail — e.g. a frame cut mid-`id:` line by a dropped
+/// connection — in place for the next feed. Comment-only frames (keepalives)
+/// are dropped. This is how `aimesc watch` resumes from the last *complete*
+/// seq after a torn stream.
+[[nodiscard]] std::vector<SseEvent> drain_sse_frames(std::string& carry);
+
+/// Capped exponential backoff with deterministic seeded jitter: attempt n
+/// sleeps base·2^n plus up to 50% jitter, capped. Reset() after a success so
+/// steady-state retries stay cheap. Deterministic per (seed, attempt), so
+/// chaos tests replay the exact same retry cadence.
+class Backoff {
+ public:
+  Backoff(int base_ms, int cap_ms, std::uint64_t seed)
+      : base_ms_(base_ms), cap_ms_(cap_ms), seed_(seed) {}
+
+  /// Delay for the next attempt, advancing the attempt counter.
+  [[nodiscard]] int next_ms();
+  void reset() { attempt_ = 0; }
+  [[nodiscard]] int attempts() const { return attempt_; }
+
+ private:
+  int base_ms_;
+  int cap_ms_;
+  std::uint64_t seed_;
+  int attempt_ = 0;
+};
+
+/// Loopback HTTP server: binds 127.0.0.1:`port` (0 = ephemeral) or a unix
+/// socket path and runs one accept loop on a background jthread; each
+/// accepted connection is handled on its own jthread (reaped by the accept
+/// loop), so a long-lived telemetry stream never blocks the next request.
+/// The handler runs on the connection thread; anything slow belongs behind a
+/// queue (ctl::Registry) or a response `stream` pull, not in the handler
+/// body. Malformed requests get a 400, oversized ones (1 MiB) a 413, handler
+/// exceptions never happen (the codebase is exception-free). stop()
+/// interrupts in-flight streams: the pull loop re-checks a stopping flag
+/// between pulls, so handlers must keep each pull bounded (the registry
+/// waits in sub-second slices).
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -121,12 +191,18 @@ class HttpServer {
   /// when `port` was 0) or a description of the socket failure.
   [[nodiscard]] common::Expected<std::uint16_t> start(std::uint16_t port, Handler handler);
 
+  /// Binds and starts serving on a unix-domain socket. A stale socket file
+  /// from a crashed daemon is unlinked first; the file is unlinked again on
+  /// stop(). Fails when the path exceeds sockaddr_un limits (~107 bytes).
+  [[nodiscard]] common::Status start_unix(const std::string& path, Handler handler);
+
   /// Stops accepting, interrupts streaming responses, closes the listener,
   /// and joins every thread. Safe to call twice; the destructor calls it.
   void stop();
 
   [[nodiscard]] bool running() const { return listen_fd_ >= 0; }
-  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t port() const { return endpoint_.port; }
+  [[nodiscard]] const Endpoint& endpoint() const { return endpoint_; }
 
  private:
   struct Connection {
@@ -138,16 +214,21 @@ class HttpServer {
   void handle_connection(int conn);
 
   int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
+  Endpoint endpoint_;
   Handler handler_;
   std::atomic<bool> stopping_{false};
   std::list<Connection> connections_;  ///< touched only by the accept loop
   std::jthread thread_;
 };
 
-/// One-shot client: connects to 127.0.0.1:`port`, sends `request`, reads to
-/// EOF (the server closes), parses the response. Fails with a description on
-/// connect/IO/parse errors.
+/// One-shot client: connects to `endpoint`, sends `request`, reads to EOF
+/// (the server closes), parses the response. The connect is non-blocking
+/// with a poll-based deadline — a black-holed address fails typed after
+/// `connect_timeout_ms` instead of hanging in ::connect(). Fails with a
+/// description on connect/IO/parse errors.
+[[nodiscard]] common::Expected<HttpResponse> http_call(const Endpoint& endpoint,
+                                                       const HttpRequest& request,
+                                                       int connect_timeout_ms = 5000);
 [[nodiscard]] common::Expected<HttpResponse> http_call(std::uint16_t port,
                                                        const HttpRequest& request);
 
@@ -162,6 +243,11 @@ using StreamSink = std::function<bool(std::string_view)>;
 /// the returned body is empty and `on_data` saw everything. Fails when no
 /// bytes arrive for `idle_timeout_ms` (streams keepalive well under that) —
 /// callers tailing a run reconnect from their last offset.
+[[nodiscard]] common::Expected<HttpResponse> http_stream(const Endpoint& endpoint,
+                                                         const HttpRequest& request,
+                                                         const StreamSink& on_data,
+                                                         int idle_timeout_ms = 30000,
+                                                         int connect_timeout_ms = 5000);
 [[nodiscard]] common::Expected<HttpResponse> http_stream(std::uint16_t port,
                                                          const HttpRequest& request,
                                                          const StreamSink& on_data,

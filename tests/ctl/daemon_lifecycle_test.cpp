@@ -332,6 +332,102 @@ TEST(DaemonLifecycle, EventStreamCarriesProgressSnapshotsAsSse) {
   daemon.stop();
 }
 
+TEST(DaemonLifecycle, RateLimitedSubmitIs429WithRetryAfterOnTheWire) {
+  ctl::DaemonOptions options;
+  options.quota.rate_per_s = 0.001;  // one token per ~17 minutes
+  options.quota.rate_burst = 1.0;
+  ctl::Daemon daemon(options);
+  auto port = daemon.start(0);
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  // The single burst token admits the first submit; the second is refused
+  // with the full typed shape a retrying client needs: 429 + Retry-After +
+  // a machine-readable reason.
+  const std::uint64_t id = submit(*port, quick_request());
+  ASSERT_GT(id, 0u);
+  auto refused = net::http_call(
+      *port, http("POST", "/api/v1/runs", exp::run_request_to_json(quick_request())));
+  ASSERT_TRUE(refused.ok()) << refused.error();
+  EXPECT_EQ(refused->status, 429) << refused->body;
+  EXPECT_NE(refused->body.find("\"reason\": \"rate-limited\""), std::string::npos)
+      << refused->body;
+  const std::string retry_after = refused->header("retry-after");
+  ASSERT_FALSE(retry_after.empty());
+  EXPECT_GE(std::stoi(retry_after), 1);
+  daemon.stop();
+}
+
+TEST(DaemonLifecycle, IdempotentResubmitOverTheSocketYieldsOneRun) {
+  ctl::Daemon daemon;
+  auto port = daemon.start(0);
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  net::HttpRequest req =
+      http("POST", "/api/v1/runs", exp::run_request_to_json(quick_request()));
+  req.headers["Idempotency-Key"] = "wire-key-1";
+  auto first = net::http_call(*port, req);
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_EQ(first->status, 202);
+  EXPECT_NE(first->body.find("\"duplicate\": false"), std::string::npos) << first->body;
+  EXPECT_EQ(first->header("idempotency-key"), "wire-key-1");
+
+  // The retry — same key, possibly after the run finished — returns the
+  // same id with duplicate: true, and the run table holds exactly one run.
+  auto again = net::http_call(*port, req);
+  ASSERT_TRUE(again.ok()) << again.error();
+  EXPECT_EQ(again->status, 202);
+  EXPECT_NE(again->body.find("\"duplicate\": true"), std::string::npos) << again->body;
+  core::json::FieldScanner first_scan("response", first->body);
+  core::json::FieldScanner again_scan("response", again->body);
+  EXPECT_EQ(first_scan.number("id").value_or(0), again_scan.number("id").value_or(-1));
+  EXPECT_EQ(daemon.registry().list().size(), 1u);
+  daemon.stop();
+}
+
+TEST(DaemonLifecycle, ServesTheFullApiOverAUnixDomainSocket) {
+  const std::string path = testing::TempDir() + "aimesd_lifecycle.sock";
+  ctl::Daemon daemon;
+  auto status = daemon.start_unix(path);
+  ASSERT_TRUE(status.ok()) << status.error();
+  const net::Endpoint endpoint = daemon.endpoint();
+  ASSERT_TRUE(endpoint.is_unix());
+
+  // Submit, poll to terminal, and read the log — the exact flow aimesc
+  // --socket drives — all over the unix socket.
+  auto response = net::http_call(
+      endpoint, http("POST", "/api/v1/runs", exp::run_request_to_json(quick_request())));
+  ASSERT_TRUE(response.ok()) << response.error();
+  ASSERT_EQ(response->status, 202) << response->body;
+  core::json::FieldScanner scanner("response", response->body);
+  const auto id = scanner.number("id");
+  ASSERT_TRUE(id.ok()) << response->body;
+
+  const std::string target = "/api/v1/runs/" + std::to_string(static_cast<std::uint64_t>(*id));
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  std::string state;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto view = net::http_call(endpoint, http("GET", target));
+    ASSERT_TRUE(view.ok()) << view.error();
+    state = field(view->body, "state");
+    if (state == "done" || state == "failed" || state == "cancelled") break;
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_EQ(state, "done");
+
+  auto log = net::http_call(endpoint, http("GET", target + "/log"));
+  ASSERT_TRUE(log.ok()) << log.error();
+  EXPECT_NE(log->body.find("done"), std::string::npos) << log->body;
+
+  auto health = net::http_call(endpoint, http("GET", "/api/v1/health"));
+  ASSERT_TRUE(health.ok()) << health.error();
+  EXPECT_EQ(health->status, 200);
+  daemon.stop();
+
+  // The socket file is gone with the daemon.
+  auto after = net::http_call(endpoint, http("GET", "/api/v1/health"));
+  EXPECT_FALSE(after.ok());
+}
+
 TEST(DaemonLifecycle, MetricsExposePrometheusBody) {
   ctl::Daemon daemon;
   auto port = daemon.start(0);

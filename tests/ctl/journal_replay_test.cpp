@@ -81,8 +81,8 @@ void run_one_through(const std::string& path) {
   };
   ctl::Registry registry(options);
   ASSERT_TRUE(registry.journal_status().ok()) << registry.journal_status().error();
-  auto id = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(id.ok()) << id.error();
+  const auto outcome = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(outcome.accepted) << outcome.error;
   ASSERT_TRUE(eventually([&] { return registry.counters().completed == 1; }));
 }
 
@@ -240,9 +240,9 @@ TEST(Journal, RegistryRestartRecoversHistoryAndFailsOrphans) {
   EXPECT_EQ(registry.counters().submitted, 2u);
   EXPECT_EQ(registry.counters().completed, 1u);
   EXPECT_EQ(registry.counters().failed, 1u);
-  auto next = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(next.ok());
-  EXPECT_EQ(*next, 3u);
+  const auto next = registry.submit(small_request(), "ana");
+  ASSERT_TRUE(next.accepted) << next.error;
+  EXPECT_EQ(next.id, 3u);
   ASSERT_TRUE(eventually([&] { return registry.counters().completed == 2; }));
 
   // Third life: the resurrection was journaled, so it replays terminal —
@@ -286,17 +286,56 @@ TEST(Journal, StateAndReasonSpellingsRoundTrip) {
 
   ctl::CancelReason cancel{};
   for (const auto expected :
-       {ctl::CancelReason::kNone, ctl::CancelReason::kUser, ctl::CancelReason::kShutdown}) {
+       {ctl::CancelReason::kNone, ctl::CancelReason::kUser, ctl::CancelReason::kShutdown,
+        ctl::CancelReason::kDeadline}) {
     ASSERT_TRUE(ctl::parse_cancel_reason(ctl::to_string(expected), cancel));
     EXPECT_EQ(cancel, expected);
   }
   ctl::FailReason fail{};
   for (const auto expected : {ctl::FailReason::kNone, ctl::FailReason::kExecution,
-                              ctl::FailReason::kDaemonRestart}) {
+                              ctl::FailReason::kDaemonRestart, ctl::FailReason::kDeadline}) {
     ASSERT_TRUE(ctl::parse_fail_reason(ctl::to_string(expected), fail));
     EXPECT_EQ(fail, expected);
   }
   EXPECT_FALSE(ctl::parse_fail_reason("gremlins", fail));
+}
+
+TEST(Journal, IdempotencyKeySurvivesRestart) {
+  const std::string path = temp_journal("idempotency-restart");
+  std::remove(path.c_str());
+
+  // First life: a keyed submit runs to completion.
+  {
+    ctl::Registry::Options options;
+    options.workers = 1;
+    options.journal_file = path;
+    options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+    ctl::Registry registry(options);
+    const auto first = registry.submit(small_request(), "ana", "retry-token-9");
+    ASSERT_TRUE(first.accepted) << first.error;
+    EXPECT_FALSE(first.duplicate);
+    ASSERT_TRUE(eventually([&] { return registry.counters().completed == 1; }));
+  }
+
+  // Second life: the key replays from the journal, so a client retrying its
+  // submit against the restarted daemon still gets the original run.
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.journal_file = path;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  ctl::Registry registry(options);
+  ASSERT_TRUE(registry.journal_status().ok()) << registry.journal_status().error();
+
+  const auto recovered = registry.get(1);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->idempotency_key, "retry-token-9");
+
+  const auto retry = registry.submit(small_request(), "ana", "retry-token-9");
+  ASSERT_TRUE(retry.accepted) << retry.error;
+  EXPECT_TRUE(retry.duplicate);
+  EXPECT_EQ(retry.id, 1u);
+  EXPECT_EQ(registry.counters().submitted, 1u);
+  EXPECT_EQ(registry.list().size(), 1u);
 }
 
 }  // namespace

@@ -37,6 +37,14 @@ exp::RunResult ok_result() {
   return r;
 }
 
+/// Submit that must be accepted; returns the run id.
+std::uint64_t must_submit(ctl::Registry& registry, const exp::RunRequest& req,
+                          const std::string& user, const std::string& key = "") {
+  const auto outcome = registry.submit(req, user, key);
+  EXPECT_TRUE(outcome.accepted) << outcome.error;
+  return outcome.id;
+}
+
 /// Polls `pred` for up to five seconds.
 template <typename Pred>
 bool eventually(Pred pred) {
@@ -81,11 +89,10 @@ TEST(Registry, SubmitRunsToCompletion) {
   };
   ctl::Registry registry(options);
 
-  auto id = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(id.ok()) << id.error();
-  ASSERT_TRUE(eventually([&] { return registry.get(*id)->state == ctl::RunState::kDone; }));
+  const std::uint64_t id = must_submit(registry, small_request(), "ana");
+  ASSERT_TRUE(eventually([&] { return registry.get(id)->state == ctl::RunState::kDone; }));
 
-  const auto record = registry.get(*id);
+  const auto record = registry.get(id);
   ASSERT_TRUE(record.ok());
   EXPECT_EQ(record->user, "ana");
   EXPECT_EQ(record->name, "bag-gaussian-4");
@@ -109,9 +116,10 @@ TEST(Registry, InvalidRequestRejectedAtSubmit) {
 
   exp::RunRequest bad = small_request();
   bad.tasks = 0;
-  auto id = registry.submit(bad, "ana");
-  ASSERT_FALSE(id.ok());
-  EXPECT_NE(id.error().find("tasks"), std::string::npos) << id.error();
+  const auto outcome = registry.submit(bad, "ana");
+  ASSERT_FALSE(outcome.accepted);
+  EXPECT_EQ(outcome.reject, ctl::RejectReason::kInvalid);
+  EXPECT_NE(outcome.error.find("tasks"), std::string::npos) << outcome.error;
   EXPECT_EQ(registry.counters().submitted, 0u);
 }
 
@@ -131,15 +139,13 @@ TEST(Registry, CancelQueuedRunNeverStarts) {
   options.executor = gate.executor();
   ctl::Registry registry(options);
 
-  auto first = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(first.ok());
+  const std::uint64_t first = must_submit(registry, small_request(), "ana");
   ASSERT_TRUE(eventually([&] { return gate.entered.load() == 1; }));
-  auto second = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(second.ok());
+  const std::uint64_t second = must_submit(registry, small_request(), "ana");
   ASSERT_EQ(registry.queued(), 1u);
 
-  ASSERT_TRUE(registry.cancel(*second, ctl::CancelReason::kUser).ok());
-  const auto record = registry.get(*second);
+  ASSERT_TRUE(registry.cancel(second, ctl::CancelReason::kUser).ok());
+  const auto record = registry.get(second);
   ASSERT_TRUE(record.ok());
   EXPECT_EQ(record->state, ctl::RunState::kCancelled);
   EXPECT_EQ(record->cancel_reason, ctl::CancelReason::kUser);
@@ -147,7 +153,7 @@ TEST(Registry, CancelQueuedRunNeverStarts) {
   EXPECT_EQ(registry.counters().cancelled, 1u);
 
   gate.open.store(true);
-  ASSERT_TRUE(eventually([&] { return registry.get(*first)->state == ctl::RunState::kDone; }));
+  ASSERT_TRUE(eventually([&] { return registry.get(first)->state == ctl::RunState::kDone; }));
   // The cancelled run stayed cancelled; only the first ever entered the
   // executor.
   EXPECT_EQ(gate.entered.load(), 1);
@@ -160,14 +166,13 @@ TEST(Registry, CancelRunningStopsAtTrialBoundary) {
   options.executor = gate.executor();
   ctl::Registry registry(options);
 
-  auto id = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(id.ok());
+  const std::uint64_t id = must_submit(registry, small_request(), "ana");
   ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
 
-  ASSERT_TRUE(registry.cancel(*id, ctl::CancelReason::kUser).ok());
+  ASSERT_TRUE(registry.cancel(id, ctl::CancelReason::kUser).ok());
   ASSERT_TRUE(
-      eventually([&] { return registry.get(*id)->state == ctl::RunState::kCancelled; }));
-  const auto record = registry.get(*id);
+      eventually([&] { return registry.get(id)->state == ctl::RunState::kCancelled; }));
+  const auto record = registry.get(id);
   EXPECT_EQ(record->cancel_reason, ctl::CancelReason::kUser);
   EXPECT_TRUE(record->result.cancelled);
 }
@@ -179,28 +184,27 @@ TEST(Registry, DrainCancelsQueuedAndRunningWithShutdownReason) {
   options.executor = gate.executor();
   auto registry = std::make_unique<ctl::Registry>(options);
 
-  auto running = registry->submit(small_request(), "ana");
-  ASSERT_TRUE(running.ok());
+  const std::uint64_t running = must_submit(*registry, small_request(), "ana");
   ASSERT_TRUE(eventually([&] { return registry->running() == 1; }));
-  auto queued = registry->submit(small_request(), "ana");
-  ASSERT_TRUE(queued.ok());
+  const std::uint64_t queued = must_submit(*registry, small_request(), "ana");
 
   registry->drain(/*cancel_running=*/true);
 
-  const auto queued_record = registry->get(*queued);
+  const auto queued_record = registry->get(queued);
   ASSERT_TRUE(queued_record.ok());
   EXPECT_EQ(queued_record->state, ctl::RunState::kCancelled);
   EXPECT_EQ(queued_record->cancel_reason, ctl::CancelReason::kShutdown);
 
-  const auto running_record = registry->get(*running);
+  const auto running_record = registry->get(running);
   ASSERT_TRUE(running_record.ok());
   EXPECT_EQ(running_record->state, ctl::RunState::kCancelled);
   EXPECT_EQ(running_record->cancel_reason, ctl::CancelReason::kShutdown);
 
-  // Draining registries refuse new work with a typed error.
-  auto late = registry->submit(small_request(), "ana");
-  ASSERT_FALSE(late.ok());
-  EXPECT_NE(late.error().find("draining"), std::string::npos) << late.error();
+  // Draining registries refuse new work with a typed reason.
+  const auto late = registry->submit(small_request(), "ana");
+  ASSERT_FALSE(late.accepted);
+  EXPECT_EQ(late.reject, ctl::RejectReason::kDraining);
+  EXPECT_NE(late.error.find("draining"), std::string::npos) << late.error;
 }
 
 TEST(Registry, ListNewestFirstWithUserFilter) {
@@ -209,21 +213,20 @@ TEST(Registry, ListNewestFirstWithUserFilter) {
   options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
   ctl::Registry registry(options);
 
-  auto a = registry.submit(small_request(), "ana");
-  auto b = registry.submit(small_request(), "ben");
-  auto c = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  const std::uint64_t a = must_submit(registry, small_request(), "ana");
+  must_submit(registry, small_request(), "ben");
+  const std::uint64_t c = must_submit(registry, small_request(), "ana");
   ASSERT_TRUE(eventually([&] { return registry.counters().completed == 3; }));
 
   const auto all = registry.list();
   ASSERT_EQ(all.size(), 3u);
-  EXPECT_EQ(all[0].id, *c);  // newest first
-  EXPECT_EQ(all[2].id, *a);
+  EXPECT_EQ(all[0].id, c);  // newest first
+  EXPECT_EQ(all[2].id, a);
 
   const auto ana = registry.list("ana");
   ASSERT_EQ(ana.size(), 2u);
-  EXPECT_EQ(ana[0].id, *c);
-  EXPECT_EQ(ana[1].id, *a);
+  EXPECT_EQ(ana[0].id, c);
+  EXPECT_EQ(ana[1].id, a);
 }
 
 TEST(Registry, ListFiltersByState) {
@@ -233,18 +236,16 @@ TEST(Registry, ListFiltersByState) {
   options.executor = gate.executor();
   ctl::Registry registry(options);
 
-  auto running = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(running.ok());
+  const std::uint64_t running = must_submit(registry, small_request(), "ana");
   ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
-  auto queued = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(queued.ok());
+  const std::uint64_t queued = must_submit(registry, small_request(), "ana");
 
   const auto running_only = registry.list("", ctl::RunState::kRunning);
   ASSERT_EQ(running_only.size(), 1u);
-  EXPECT_EQ(running_only[0].id, *running);
+  EXPECT_EQ(running_only[0].id, running);
   const auto queued_only = registry.list("", ctl::RunState::kQueued);
   ASSERT_EQ(queued_only.size(), 1u);
-  EXPECT_EQ(queued_only[0].id, *queued);
+  EXPECT_EQ(queued_only[0].id, queued);
   EXPECT_TRUE(registry.list("", ctl::RunState::kDone).empty());
 
   gate.open.store(true);
@@ -267,18 +268,17 @@ TEST(Registry, ProgressSnapshotsRecordedAndFoldedIntoEvents) {
   };
   ctl::Registry registry(options);
 
-  auto id = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(eventually([&] { return registry.get(*id)->state == ctl::RunState::kDone; }));
+  const std::uint64_t id = must_submit(registry, small_request(), "ana");
+  ASSERT_TRUE(eventually([&] { return registry.get(id)->state == ctl::RunState::kDone; }));
 
-  const auto record = registry.get(*id);
+  const auto record = registry.get(id);
   ASSERT_EQ(record->progress.size(), 3u);
   EXPECT_EQ(record->progress.back().trials_done, 3);
   EXPECT_EQ(record->progress.back().units_done, 30u);
 
   // The event stream interleaves the state transitions with every snapshot:
   // queued, running, 3x progress, done — in order, with dense seq numbers.
-  auto events = registry.wait_events(*id, 0, 0ms);
+  auto events = registry.wait_events(id, 0, 0ms);
   ASSERT_TRUE(events.ok()) << events.error();
   ASSERT_EQ(events->events.size(), 6u);
   EXPECT_TRUE(events->terminal);
@@ -292,7 +292,7 @@ TEST(Registry, ProgressSnapshotsRecordedAndFoldedIntoEvents) {
   EXPECT_NE(events->events[5].data.find("\"state\": \"done\""), std::string::npos);
 
   // Resume semantics: asking from seq 4 yields only the tail.
-  auto tail = registry.wait_events(*id, 4, 0ms);
+  auto tail = registry.wait_events(id, 4, 0ms);
   ASSERT_TRUE(tail.ok());
   ASSERT_EQ(tail->events.size(), 2u);
   EXPECT_EQ(tail->events[0].seq, 4u);
@@ -308,23 +308,22 @@ TEST(Registry, LogTailByByteOffset) {
   };
   ctl::Registry registry(options);
 
-  auto id = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(eventually([&] { return registry.get(*id)->state == ctl::RunState::kDone; }));
+  const std::uint64_t id = must_submit(registry, small_request(), "ana");
+  ASSERT_TRUE(eventually([&] { return registry.get(id)->state == ctl::RunState::kDone; }));
 
-  auto whole = registry.log_tail(*id, 0);
+  auto whole = registry.log_tail(id, 0);
   ASSERT_TRUE(whole.ok()) << whole.error();
   EXPECT_EQ(whole->data, "alpha\nbeta\ndone\n");
   EXPECT_TRUE(whole->terminal);
 
   // Offset resumes mid-stream with no duplication and no loss.
-  auto rest = registry.log_tail(*id, 6);
+  auto rest = registry.log_tail(id, 6);
   ASSERT_TRUE(rest.ok());
   EXPECT_EQ(rest->data, "beta\ndone\n");
   EXPECT_EQ(rest->next_offset, whole->next_offset);
 
   // Past-the-end offsets yield an empty terminal slice, not an error.
-  auto empty = registry.log_tail(*id, whole->next_offset);
+  auto empty = registry.log_tail(id, whole->next_offset);
   ASSERT_TRUE(empty.ok());
   EXPECT_TRUE(empty->data.empty());
   EXPECT_TRUE(empty->terminal);
@@ -340,18 +339,17 @@ TEST(Registry, WaitLogBlocksUntilBytesArrive) {
   options.executor = gate.executor();
   ctl::Registry registry(options);
 
-  auto id = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(id.ok());
+  const std::uint64_t id = must_submit(registry, small_request(), "ana");
   ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
 
   // Nothing logged yet: the bounded wait returns an empty non-terminal slice.
-  auto quiet = registry.wait_log(*id, 0, 20ms);
+  auto quiet = registry.wait_log(id, 0, 20ms);
   ASSERT_TRUE(quiet.ok());
   EXPECT_TRUE(quiet->data.empty());
   EXPECT_FALSE(quiet->terminal);
 
   gate.open.store(true);
-  auto slice = registry.wait_log(*id, 0, 5000ms);
+  auto slice = registry.wait_log(id, 0, 5000ms);
   ASSERT_TRUE(slice.ok());
   EXPECT_FALSE(slice->data.empty());
 }
@@ -361,12 +359,234 @@ TEST(Registry, LatencySamplesRecorded) {
   options.workers = 1;
   options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
   ctl::Registry registry(options);
-  auto id = registry.submit(small_request(), "ana");
-  ASSERT_TRUE(id.ok());
+  must_submit(registry, small_request(), "ana");
   ASSERT_TRUE(eventually([&] { return registry.counters().completed == 1; }));
   EXPECT_EQ(registry.queue_wait_seconds().size(), 1u);
   EXPECT_EQ(registry.run_duration_seconds().size(), 1u);
   EXPECT_GE(registry.queue_wait_seconds()[0], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The quota ladder, deadlines, and idempotency (PR 10 hardening).
+
+TEST(Registry, TokenBucketRateLimitsPerUser) {
+  std::atomic<double> now{100.0};
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  options.quota.rate_per_s = 1.0;
+  options.quota.rate_burst = 2.0;
+  options.clock_s = [&now] { return now.load(); };
+  ctl::Registry registry(options);
+
+  // The bucket starts full: the burst passes, the next submit is refused
+  // typed with a retry hint sized to the refill.
+  must_submit(registry, small_request(), "ana");
+  must_submit(registry, small_request(), "ana");
+  const auto refused = registry.submit(small_request(), "ana");
+  ASSERT_FALSE(refused.accepted);
+  EXPECT_EQ(refused.reject, ctl::RejectReason::kRateLimited);
+  EXPECT_GT(refused.retry_after_s, 0.0);
+  EXPECT_LE(refused.retry_after_s, 1.0);
+
+  // Buckets are per-user: ben is unaffected by ana's exhaustion.
+  must_submit(registry, small_request(), "ben");
+
+  // Refill: advancing the injected clock restores tokens deterministically.
+  now.store(101.5);
+  must_submit(registry, small_request(), "ana");
+
+  const auto counters = registry.user_counters();
+  ASSERT_EQ(counters.count("ana"), 1u);
+  EXPECT_EQ(counters.at("ana").submitted, 3u);
+  EXPECT_EQ(counters.at("ana").rate_limited, 1u);
+  EXPECT_EQ(counters.at("ben").submitted, 1u);
+  EXPECT_EQ(counters.at("ben").rate_limited, 0u);
+}
+
+TEST(Registry, PerUserQueuedQuotaRefusesTyped) {
+  Gate gate;
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = gate.executor();
+  options.quota.max_queued_per_user = 1;
+  ctl::Registry registry(options);
+
+  must_submit(registry, small_request(), "ana");
+  ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
+  must_submit(registry, small_request(), "ana");  // ana's one queued slot
+
+  const auto refused = registry.submit(small_request(), "ana");
+  ASSERT_FALSE(refused.accepted);
+  EXPECT_EQ(refused.reject, ctl::RejectReason::kUserQueued);
+  EXPECT_GT(refused.retry_after_s, 0.0);
+
+  // The quota is per-user, not global: ben still gets a queued slot.
+  must_submit(registry, small_request(), "ben");
+  EXPECT_EQ(registry.user_counters().at("ana").shed, 1u);
+
+  gate.open.store(true);
+  ASSERT_TRUE(eventually([&] { return registry.counters().completed == 3; }));
+}
+
+TEST(Registry, GlobalQueueDepthBoundIs503Shaped) {
+  Gate gate;
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = gate.executor();
+  options.quota.max_queue_depth = 1;
+  ctl::Registry registry(options);
+
+  must_submit(registry, small_request(), "ana");
+  ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
+  must_submit(registry, small_request(), "ben");  // fills the global queue
+
+  const auto refused = registry.submit(small_request(), "cleo");
+  ASSERT_FALSE(refused.accepted);
+  EXPECT_EQ(refused.reject, ctl::RejectReason::kQueueFull);
+  EXPECT_EQ(registry.user_counters().at("cleo").shed, 1u);
+
+  gate.open.store(true);
+  ASSERT_TRUE(eventually([&] { return registry.counters().completed == 2; }));
+}
+
+TEST(Registry, PerUserRunningCapDispatchesAroundTheHog) {
+  Gate gate;
+  ctl::Registry::Options options;
+  options.workers = 2;
+  options.executor = gate.executor();
+  options.quota.max_running_per_user = 1;
+  ctl::Registry registry(options);
+
+  const std::uint64_t ana1 = must_submit(registry, small_request(), "ana");
+  ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
+  const std::uint64_t ana2 = must_submit(registry, small_request(), "ana");
+  const std::uint64_t ben = must_submit(registry, small_request(), "ben");
+
+  // ben's run is behind ana2 in the FIFO, but ana is at her running cap, so
+  // the free worker skips over ana2 and claims ben's run.
+  ASSERT_TRUE(eventually([&] { return registry.running() == 2; }));
+  EXPECT_EQ(registry.get(ben)->state, ctl::RunState::kRunning);
+  EXPECT_EQ(registry.get(ana2)->state, ctl::RunState::kQueued);
+  EXPECT_EQ(registry.get(ana1)->state, ctl::RunState::kRunning);
+
+  gate.open.store(true);
+  ASSERT_TRUE(eventually([&] { return registry.counters().completed == 3; }));
+}
+
+TEST(Registry, QueuedRunPastDeadlineFailsTyped) {
+  Gate gate;
+  std::atomic<double> now{1000.0};
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = gate.executor();
+  options.clock_s = [&now] { return now.load(); };
+  ctl::Registry registry(options);
+
+  const std::uint64_t hog = must_submit(registry, small_request(), "ana");
+  ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
+  exp::RunRequest dated = small_request();
+  dated.deadline_s = 5.0;
+  const std::uint64_t late = must_submit(registry, dated, "ben");
+  EXPECT_EQ(registry.get(late)->state, ctl::RunState::kQueued);
+
+  // Step past the deadline: the reaper fails the queued run without it ever
+  // reaching a worker, with the typed reason and an explanatory log line.
+  now.store(1006.0);
+  ASSERT_TRUE(
+      eventually([&] { return registry.get(late)->state == ctl::RunState::kFailed; }));
+  const auto record = registry.get(late);
+  EXPECT_EQ(record->fail_reason, ctl::FailReason::kDeadline);
+  ASSERT_FALSE(record->log.empty());
+  EXPECT_NE(record->log.back().find("deadline"), std::string::npos) << record->log.back();
+
+  gate.open.store(true);
+  ASSERT_TRUE(eventually([&] { return registry.get(hog)->state == ctl::RunState::kDone; }));
+  EXPECT_EQ(registry.counters().failed, 1u);
+}
+
+TEST(Registry, RunningRunPastDeadlineCutAtTrialBoundary) {
+  Gate gate;  // never opened: the run only ends via its cancel token
+  std::atomic<double> now{50.0};
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = gate.executor();
+  options.clock_s = [&now] { return now.load(); };
+  ctl::Registry registry(options);
+
+  exp::RunRequest dated = small_request();
+  dated.deadline_s = 3.0;
+  const std::uint64_t id = must_submit(registry, dated, "ana");
+  ASSERT_TRUE(eventually([&] { return registry.running() == 1; }));
+
+  now.store(60.0);
+  ASSERT_TRUE(eventually([&] { return registry.get(id)->state == ctl::RunState::kFailed; }));
+  const auto record = registry.get(id);
+  EXPECT_EQ(record->fail_reason, ctl::FailReason::kDeadline);
+  EXPECT_EQ(record->cancel_reason, ctl::CancelReason::kDeadline);
+  EXPECT_TRUE(record->result.cancelled);
+}
+
+TEST(Registry, IdempotentResubmitReturnsExistingRun) {
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  ctl::Registry registry(options);
+
+  const auto first = registry.submit(small_request(), "ana", "key-77");
+  ASSERT_TRUE(first.accepted) << first.error;
+  EXPECT_FALSE(first.duplicate);
+
+  // The retried submit — same key — lands on the existing run, whatever
+  // request body rides along, and does not create a second run.
+  const auto retry = registry.submit(small_request(), "ana", "key-77");
+  ASSERT_TRUE(retry.accepted);
+  EXPECT_TRUE(retry.duplicate);
+  EXPECT_EQ(retry.id, first.id);
+  EXPECT_EQ(registry.counters().submitted, 1u);
+  EXPECT_EQ(registry.list().size(), 1u);
+
+  // Still deduplicated after the run finished: a very late retry must not
+  // silently re-execute the campaign.
+  ASSERT_TRUE(eventually([&] { return registry.counters().completed == 1; }));
+  const auto late = registry.submit(small_request(), "ana", "key-77");
+  ASSERT_TRUE(late.accepted);
+  EXPECT_TRUE(late.duplicate);
+  EXPECT_EQ(late.id, first.id);
+
+  EXPECT_EQ(registry.user_counters().at("ana").replays, 2u);
+  const auto samples = registry.idempotency_replays();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0], 2.0);
+
+  // A different key is a different run.
+  const auto other = registry.submit(small_request(), "ana", "key-78");
+  ASSERT_TRUE(other.accepted);
+  EXPECT_FALSE(other.duplicate);
+  EXPECT_NE(other.id, first.id);
+}
+
+TEST(Registry, IdempotencyReplayBypassesQuotaLadder) {
+  std::atomic<double> now{0.0};
+  ctl::Registry::Options options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  options.quota.rate_per_s = 0.001;  // one token, glacial refill
+  options.quota.rate_burst = 1.0;
+  options.clock_s = [&now] { return now.load(); };
+  ctl::Registry registry(options);
+
+  const auto first = registry.submit(small_request(), "ana", "key-1");
+  ASSERT_TRUE(first.accepted) << first.error;
+  // A retry of an already-accepted submit must succeed even though the
+  // bucket is empty — refusing it would strand the client without its id.
+  const auto retry = registry.submit(small_request(), "ana", "key-1");
+  ASSERT_TRUE(retry.accepted);
+  EXPECT_TRUE(retry.duplicate);
+  // A genuinely new submit is still rate-limited.
+  const auto fresh = registry.submit(small_request(), "ana", "key-2");
+  ASSERT_FALSE(fresh.accepted);
+  EXPECT_EQ(fresh.reject, ctl::RejectReason::kRateLimited);
 }
 
 // ---------------------------------------------------------------------------
@@ -596,6 +816,79 @@ TEST(DaemonRoutes, ViewIncludesProgressAndFailReason) {
   EXPECT_NE(view.body.find("\"fail_reason\": \"none\""), std::string::npos) << view.body;
   EXPECT_NE(view.body.find("\"progress_events\": 1"), std::string::npos) << view.body;
   EXPECT_NE(view.body.find("\"trials_done\": 1"), std::string::npos) << view.body;
+}
+
+TEST(DaemonRoutes, RateLimitRefusalIs429WithRetryAfter) {
+  ctl::DaemonOptions options;
+  options.workers = 1;
+  options.executor = [](const exp::RunRequest&, const exp::RunHooks&) { return ok_result(); };
+  options.quota.rate_per_s = 0.001;  // one token, then a very slow refill
+  options.quota.rate_burst = 1.0;
+  ctl::Daemon daemon(options);
+
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}")).status, 202);
+  const auto refused = daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}"));
+  EXPECT_EQ(refused.status, 429) << refused.body;
+  EXPECT_NE(refused.body.find("\"reason\": \"rate-limited\""), std::string::npos)
+      << refused.body;
+  EXPECT_NE(refused.body.find("\"retry_after_s\""), std::string::npos) << refused.body;
+  ASSERT_EQ(refused.headers.count("Retry-After"), 1u);
+  EXPECT_GE(std::stol(refused.headers.at("Retry-After")), 1);
+}
+
+TEST(DaemonRoutes, QueueFullRefusalIs503) {
+  ctl::DaemonOptions options;
+  options.workers = 1;
+  auto gate = std::make_shared<Gate>();
+  options.executor = gate->executor();
+  options.quota.max_queue_depth = 1;
+  ctl::Daemon daemon(options);
+
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}")).status, 202);
+  ASSERT_TRUE(eventually([&] { return daemon.registry().running() == 1; }));
+  ASSERT_EQ(daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}")).status, 202);
+
+  const auto refused = daemon.handle(http("POST", "/api/v1/runs", "{\"tasks\": 4}"));
+  EXPECT_EQ(refused.status, 503) << refused.body;
+  EXPECT_NE(refused.body.find("\"reason\": \"queue-full\""), std::string::npos)
+      << refused.body;
+  EXPECT_EQ(refused.headers.count("Retry-After"), 1u);
+
+  gate->open.store(true);
+  ASSERT_TRUE(eventually([&] { return daemon.registry().counters().completed == 2; }));
+}
+
+TEST(DaemonRoutes, IdempotencyKeyDedupsAndFeedsMetrics) {
+  auto daemon = stub_daemon();
+  auto request = http("POST", "/api/v1/runs", "{\"tasks\": 4}");
+  request.headers["idempotency-key"] = "cli-abc123";
+
+  const auto first = daemon.handle(request);
+  ASSERT_EQ(first.status, 202) << first.body;
+  EXPECT_NE(first.body.find("\"duplicate\": false"), std::string::npos) << first.body;
+  ASSERT_EQ(first.headers.count("Idempotency-Key"), 1u);
+  EXPECT_EQ(first.headers.at("Idempotency-Key"), "cli-abc123");
+
+  const auto retry = daemon.handle(request);
+  ASSERT_EQ(retry.status, 202) << retry.body;
+  EXPECT_NE(retry.body.find("\"id\": 1"), std::string::npos) << retry.body;
+  EXPECT_NE(retry.body.find("\"duplicate\": true"), std::string::npos) << retry.body;
+  EXPECT_EQ(daemon.registry().counters().submitted, 1u);
+
+  ASSERT_TRUE(eventually([&] { return daemon.registry().counters().completed == 1; }));
+  const auto metrics = daemon.handle(http("GET", "/metrics"));
+  EXPECT_NE(metrics.body.find("aimes_ctl_user_runs_submitted{user=\"anon\"} 1"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("aimes_ctl_user_idempotent_replays{user=\"anon\"} 1"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("aimes_ctl_idempotency_replays_count 1"), std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("aimes_ctl_idempotency_replays_sum 1"), std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("aimes_ctl_rate_limited_total 0"), std::string::npos)
+      << metrics.body;
 }
 
 TEST(DaemonRoutes, ShutdownSetsFlag) {

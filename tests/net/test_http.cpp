@@ -8,11 +8,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/http.hpp"
 
 namespace {
@@ -334,6 +336,299 @@ TEST(HttpStream, SinkCanCancelEarly) {
   ASSERT_TRUE(res.ok()) << res.error();
   EXPECT_GE(seen, 2);
   server.stop();
+}
+
+TEST(FaultSpec, ParsesFullSpecAndRoundTripsThroughToString) {
+  auto spec = net::parse_fault_spec(
+      "seed=7,short-read=0.25,short-write=0.5,read-stall=0.05,reset=0.1,"
+      "accept-reset=0.02,stall-ms=20");
+  ASSERT_TRUE(spec.ok()) << spec.error();
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_DOUBLE_EQ(spec->short_read, 0.25);
+  EXPECT_DOUBLE_EQ(spec->short_write, 0.5);
+  EXPECT_DOUBLE_EQ(spec->read_stall, 0.05);
+  EXPECT_DOUBLE_EQ(spec->reset, 0.1);
+  EXPECT_DOUBLE_EQ(spec->accept_reset, 0.02);
+  EXPECT_EQ(spec->stall_ms, 20);
+  EXPECT_TRUE(spec->any());
+  auto again = net::parse_fault_spec(net::to_string(*spec));
+  ASSERT_TRUE(again.ok()) << again.error();
+  EXPECT_DOUBLE_EQ(again->reset, spec->reset);
+  EXPECT_EQ(again->stall_ms, spec->stall_ms);
+}
+
+TEST(FaultSpec, MistypedChaosKnobsAreTypedErrors) {
+  EXPECT_FALSE(net::parse_fault_spec("rset=0.1").ok());        // unknown key
+  EXPECT_FALSE(net::parse_fault_spec("reset").ok());           // no '='
+  EXPECT_FALSE(net::parse_fault_spec("reset=1.5").ok());       // p > 1
+  EXPECT_FALSE(net::parse_fault_spec("reset=-0.1").ok());      // p < 0
+  EXPECT_FALSE(net::parse_fault_spec("reset=lots").ok());      // not a number
+  EXPECT_FALSE(net::parse_fault_spec("seed=banana").ok());     // bad seed
+  EXPECT_FALSE(net::parse_fault_spec("stall-ms=0").ok());      // under the floor
+  EXPECT_FALSE(net::parse_fault_spec("stall-ms=60000").ok());  // over the IO timeouts
+  // The error names the knob so a mistyped chaos run fails loudly.
+  auto bad = net::parse_fault_spec("short-read=2");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().find("short-read"), std::string::npos) << bad.error();
+}
+
+TEST(FaultShim, DecisionsAreAPureFunctionOfSeedAndOpIndex) {
+  net::FaultSpec spec;
+  spec.seed = 1234;
+  spec.reset = 0.3;
+  spec.short_read = 0.5;
+  spec.read_stall = 0.2;
+  spec.stall_ms = 1;
+
+  auto draw_sequence = [&] {
+    std::vector<net::FaultDecision> out;
+    net::install_net_faults(spec);
+    for (int i = 0; i < 64; ++i) out.push_back(net::next_net_fault(net::FaultPoint::kRead));
+    EXPECT_EQ(net::net_fault_ops(), 64u);
+    net::clear_net_faults();
+    return out;
+  };
+  const auto first = draw_sequence();
+  const auto second = draw_sequence();
+  ASSERT_EQ(first.size(), second.size());
+  int resets = 0;
+  int shorts = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].reset, second[i].reset) << "op " << i;
+    EXPECT_EQ(first[i].short_op, second[i].short_op) << "op " << i;
+    EXPECT_EQ(first[i].stall_ms, second[i].stall_ms) << "op " << i;
+    resets += first[i].reset ? 1 : 0;
+    shorts += first[i].short_op ? 1 : 0;
+  }
+  // The armed probabilities actually fire (loosely — 64 draws at p >= 0.3).
+  EXPECT_GT(resets, 0);
+  EXPECT_GT(shorts, 0);
+
+  // A different seed draws a different sequence.
+  spec.seed = 4321;
+  net::install_net_faults(spec);
+  bool differs = false;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const auto d = net::next_net_fault(net::FaultPoint::kRead);
+    if (d.reset != first[i].reset || d.short_op != first[i].short_op) differs = true;
+  }
+  net::clear_net_faults();
+  EXPECT_TRUE(differs);
+  EXPECT_FALSE(net::net_faults_active());
+}
+
+TEST(FaultShim, ByteTearingEveryReadAndWriteStillRoundTrips) {
+  // short-read/short-write at 1.0 clamp *every* socket op to one byte: the
+  // server's request parser and the client's response parser see every
+  // possible framing split. No resets, so the exchange must still succeed.
+  net::HttpServer server;
+  auto port = server.start(0, [](const net::HttpRequest& req) {
+    net::HttpResponse res;
+    res.body = "echo:" + req.body;
+    return res;
+  });
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  net::FaultSpec spec;
+  spec.short_read = 1.0;
+  spec.short_write = 1.0;
+  net::install_net_faults(spec);
+  net::HttpRequest req;
+  req.method = "POST";
+  req.target = "/echo";
+  req.body = "torn-frame payload";
+  auto res = net::http_call(*port, req);
+  net::clear_net_faults();
+  ASSERT_TRUE(res.ok()) << res.error();
+  EXPECT_EQ(res->status, 200);
+  EXPECT_EQ(res->body, "echo:torn-frame payload");
+  server.stop();
+}
+
+TEST(FaultShim, AcceptResetFailsTheCallTypedNotHanging) {
+  net::HttpServer server;
+  auto port = server.start(0, [](const net::HttpRequest&) { return net::HttpResponse{}; });
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  net::FaultSpec spec;
+  spec.accept_reset = 1.0;  // every accepted connection is reset before a byte
+  net::install_net_faults(spec);
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/";
+  const auto start = std::chrono::steady_clock::now();
+  auto res = net::http_call(*port, req);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  net::clear_net_faults();
+  EXPECT_FALSE(res.ok());  // typed transport error, never a hang
+  EXPECT_FALSE(res.error().empty());
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  server.stop();
+}
+
+TEST(HttpServer, ServesOnUnixDomainSocketAndClearsStaleFile) {
+  const std::string path = testing::TempDir() + "aimes_http_test.sock";
+  {  // a stale socket file from a "crashed" daemon must not block startup
+    std::ofstream stale(path);
+    stale << "stale";
+  }
+  net::HttpServer server;
+  auto status = server.start_unix(path, [](const net::HttpRequest& req) {
+    net::HttpResponse res;
+    res.body = "unix:" + req.path;
+    return res;
+  });
+  ASSERT_TRUE(status.ok()) << status.error();
+  EXPECT_TRUE(server.endpoint().is_unix());
+  EXPECT_EQ(server.endpoint().describe(), "unix:" + path);
+
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/api/v1/health";
+  auto res = net::http_call(net::Endpoint::unix_path(path), req);
+  ASSERT_TRUE(res.ok()) << res.error();
+  EXPECT_EQ(res->body, "unix:/api/v1/health");
+  server.stop();
+
+  // stop() unlinks the socket file; a follow-up call fails typed.
+  auto after = net::http_call(net::Endpoint::unix_path(path), req);
+  EXPECT_FALSE(after.ok());
+}
+
+TEST(HttpServer, UnixSocketPathOverSockaddrLimitIsATypedError) {
+  std::string path = testing::TempDir();
+  path.append(200, 'x');  // sockaddr_un caps at ~107 bytes
+  net::HttpServer server;
+  auto status = server.start_unix(path, [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpClient, ConnectFailuresAreTypedAndBoundedNotBlocking) {
+  // A loopback port with no listener refuses immediately; the poll-based
+  // connect turns that into a typed error well under the timeout instead of
+  // blocking in ::connect().
+  net::HttpServer server;
+  auto port = server.start(0, [](const net::HttpRequest&) { return net::HttpResponse{}; });
+  ASSERT_TRUE(port.ok()) << port.error();
+  server.stop();  // the port is now closed
+
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/";
+  const auto start = std::chrono::steady_clock::now();
+  auto res = net::http_call(net::Endpoint::tcp(*port), req, 500);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(res.ok());
+  EXPECT_FALSE(res.error().empty());
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+
+  // Same for a unix path that does not exist.
+  auto unix_res =
+      net::http_call(net::Endpoint::unix_path(testing::TempDir() + "no-such.sock"), req, 500);
+  EXPECT_FALSE(unix_res.ok());
+}
+
+TEST(HttpServer, OversizedRequestGets413AtTheMessageCap) {
+  net::HttpServer server;
+  auto port = server.start(0, [](const net::HttpRequest&) { return net::HttpResponse{}; });
+  ASSERT_TRUE(port.ok()) << port.error();
+
+  // A header block alone past the 1 MiB cap: the server refuses with 413
+  // instead of buffering it.
+  net::HttpRequest req;
+  req.method = "GET";
+  req.target = "/";
+  req.headers["x-bloat"] = std::string((1 << 20) + 4096, 'a');
+  auto res = net::http_call(*port, req);
+  ASSERT_TRUE(res.ok()) << res.error();
+  EXPECT_EQ(res->status, 413) << res->body;
+
+  // An oversized Content-Length body is refused the same way.
+  net::HttpRequest big;
+  big.method = "POST";
+  big.target = "/";
+  big.body = std::string((1 << 20) + 4096, 'b');
+  auto res2 = net::http_call(*port, big);
+  ASSERT_TRUE(res2.ok()) << res2.error();
+  EXPECT_EQ(res2->status, 413) << res2->body;
+  server.stop();
+}
+
+TEST(Sse, ParsesFramesAndLeavesTornTailInCarry) {
+  std::string carry =
+      "id: 3\nevent: progress\ndata: {\"trials_done\": 1}\n\n"
+      ": keepalive\n\n"
+      "id: 4\nevent: state\ndata: {\"state\": \"done\"}\n\n"
+      "id: 5\nev";  // torn mid-line by a dropped connection
+  auto events = net::drain_sse_frames(carry);
+  ASSERT_EQ(events.size(), 2u);  // the keepalive comment frame is dropped
+  EXPECT_TRUE(events[0].has_id);
+  EXPECT_EQ(events[0].id, 3u);
+  EXPECT_EQ(events[0].kind, "progress");
+  EXPECT_EQ(events[0].data, "{\"trials_done\": 1}");
+  EXPECT_EQ(events[1].id, 4u);
+  EXPECT_EQ(events[1].kind, "state");
+  // The truncated frame stays buffered for the next feed — this is how a
+  // watcher resumes from the last *complete* seq after a torn stream.
+  EXPECT_EQ(carry, "id: 5\nev");
+
+  // The tail completes once the missing bytes arrive.
+  carry += "ent: state\ndata: {\"state\": \"failed\"}\n\n";
+  auto rest = net::drain_sse_frames(carry);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].id, 5u);
+  EXPECT_EQ(rest[0].data, "{\"state\": \"failed\"}");
+  EXPECT_TRUE(carry.empty());
+}
+
+TEST(Sse, TruncationMidIdLineNeverYieldsAPartialEvent) {
+  // Feed an id:-stamped frame byte by byte: no event may surface until the
+  // full "\n\n" terminator arrives, and the final event is exact.
+  const std::string frame = "id: 12\nevent: progress\ndata: {\"x\": 1}\n\n";
+  std::string carry;
+  std::vector<net::SseEvent> events;
+  for (char c : frame) {
+    carry.push_back(c);
+    auto drained = net::drain_sse_frames(carry);
+    events.insert(events.end(), drained.begin(), drained.end());
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].has_id);
+  EXPECT_EQ(events[0].id, 12u);
+  EXPECT_EQ(events[0].kind, "progress");
+  EXPECT_EQ(events[0].data, "{\"x\": 1}");
+}
+
+TEST(Backoff, DeterministicSeededGrowthWithCap) {
+  net::Backoff a(100, 2000, 42);
+  net::Backoff b(100, 2000, 42);
+  std::vector<int> delays;
+  for (int i = 0; i < 8; ++i) {
+    const int d = a.next_ms();
+    EXPECT_EQ(d, b.next_ms()) << "attempt " << i;  // same seed, same cadence
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 2000);  // capped (jitter included)
+    delays.push_back(d);
+  }
+  // Exponential shape: later attempts dominate early ones until the cap.
+  EXPECT_GT(delays[3], delays[0]);
+  EXPECT_EQ(a.attempts(), 8);
+
+  // reset() drops back to the base tier after a success.
+  a.reset();
+  EXPECT_EQ(a.attempts(), 0);
+  EXPECT_LE(a.next_ms(), 150);  // base 100 + <= 50% jitter
+
+  // A different seed jitters differently somewhere in the window.
+  net::Backoff c(100, 2000, 43);
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    if (c.next_ms() != delays[static_cast<std::size_t>(i)]) differs = true;
+  }
+  EXPECT_TRUE(differs);
 }
 
 TEST(HttpServer, StopIsIdempotentAndRestartable) {

@@ -12,25 +12,38 @@
 //   aimesc shutdown
 //
 // `submit` takes the exact run flags `aimes-run` takes (they fill the same
-// typed exp::RunRequest, serialized as JSON over loopback HTTP), so any
-// command line that works locally works remotely by s/aimes-run/aimesc
-// submit/ — and produces the identical FNV-1a checksum. `--wait` tails the
-// run's log live over a chunked stream (reconnecting from its byte offset
-// after an idle timeout) and prints the result summary; its exit code then
-// reflects the run (0 done, 1 failed/cancelled). `watch` renders the run's
-// SSE event stream — every state transition and per-trial RunProgress
+// typed exp::RunRequest, serialized as JSON over loopback HTTP or a unix
+// socket), so any command line that works locally works remotely by
+// s/aimes-run/aimesc submit/ — and produces the identical FNV-1a checksum.
+// `--wait` tails the run's log live over a chunked stream (reconnecting from
+// its byte offset after drops) and prints the result summary; its exit code
+// then reflects the run (0 done, 1 failed/cancelled). `watch` renders the
+// run's SSE event stream — every state transition and per-trial RunProgress
 // snapshot — and `top` is a self-refreshing table of all runs.
+//
+// Resilience: every request retries transport failures and the daemon's
+// typed 429/503 refusals (honoring Retry-After) with capped exponential
+// backoff — except 503 "draining", which no retry against the same daemon
+// will fix. A submit carries a client-generated Idempotency-Key, so a retry
+// whose first attempt actually landed is answered with the existing run id
+// instead of a duplicate run; the key survives daemon restarts via the
+// journal. --retries 0 disables all of this (fail fast, typed).
 //
 // Exit codes: 0 success, 1 daemon/run error, 2 usage error.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "core/json_scan.hpp"
 #include "exp/request.hpp"
 #include "exp/request_cli.hpp"
@@ -57,24 +70,94 @@ const char* kUsage =
     "  metrics   dump the daemon's Prometheus exposition\n"
     "  shutdown  ask the daemon to drain and exit\n"
     "\n"
-    "every verb takes --port PORT (default 8477).\n";
+    "every verb takes --port PORT (default 8477) or --socket PATH, and\n"
+    "--retries N (default 5) for transport/429/503 retry behavior.\n";
 
-/// One HTTP exchange with the local daemon; exits talking to stderr on
-/// transport errors so verbs can chain calls without plumbing Expected.
-common::Expected<net::HttpResponse> call(int port, const std::string& method,
+/// Where the daemon lives plus how hard to try reaching it — shared flags
+/// every verb declares.
+struct Remote {
+  int port = kDefaultPort;
+  std::string socket;
+  int retries = 5;
+
+  [[nodiscard]] net::Endpoint endpoint() const {
+    return socket.empty() ? net::Endpoint::tcp(static_cast<std::uint16_t>(port))
+                          : net::Endpoint::unix_path(socket);
+  }
+};
+
+void declare_remote_options(common::cli::Parser& cli, Remote& remote) {
+  cli.int_option("--port", remote.port, 1, 65535, "aimesd port (8477)", "PORT");
+  cli.string_option("--socket", remote.socket,
+                    "connect to aimesd's unix-domain socket instead of TCP", "PATH");
+  cli.int_option("--retries", remote.retries, 0, 100,
+                 "retry transport errors and 429/503 refusals this\n"
+                 "many times with capped backoff (5; 0 = fail fast)",
+                 "N");
+}
+
+/// One HTTP exchange with the daemon, with the Remote's retry policy: capped
+/// exponential backoff over transport errors and retryable 429/503 bodies,
+/// honoring the server's Retry-After hint when present. Retries are safe for
+/// every verb: GETs are idempotent, cancel/shutdown are no-op repeats, and
+/// submit carries an Idempotency-Key the registry dedups on.
+common::Expected<net::HttpResponse> call(const Remote& remote, const std::string& method,
                                          const std::string& target,
-                                         const std::string& body = "") {
+                                         const std::string& body = "",
+                                         std::map<std::string, std::string> headers = {}) {
   net::HttpRequest request;
   request.method = method;
   request.target = target;
   request.body = body;
-  return net::http_call(static_cast<std::uint16_t>(port), request);
+  request.headers = std::move(headers);
+  net::Backoff backoff(100, 2000, 0x61696d6573ULL);
+  for (int attempt = 0;; ++attempt) {
+    auto response = net::http_call(remote.endpoint(), request);
+    bool transient = !response;
+    if (response && (response->status == 429 || response->status == 503)) {
+      // "draining" means this daemon is going away — retrying against it
+      // cannot succeed, so surface the typed refusal immediately.
+      transient =
+          response->body.find("\"reason\": \"draining\"") == std::string::npos;
+    }
+    if (!transient || attempt >= remote.retries) return response;
+    int delay_ms = backoff.next_ms();
+    if (response) {
+      if (const std::string after = response->header("retry-after"); !after.empty()) {
+        const long seconds = std::strtol(after.c_str(), nullptr, 10);
+        if (seconds > 0) {
+          delay_ms = std::min(static_cast<int>(seconds) * 1000, 30000);
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
 }
 
-/// Prints the daemon's typed error body ({"error": "..."}) or the raw body.
+/// A fresh dedup token for one submit: 128 random bits as hex. Entropy comes
+/// from random_device XOR the clock, so two concurrent shells never collide.
+std::string make_idempotency_key() {
+  std::random_device rd;
+  std::uint64_t state = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  state ^= static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const std::uint64_t hi = common::splitmix64(state);
+  const std::uint64_t lo = common::splitmix64(state);
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+/// Prints the daemon's typed error body ({"error": "...", "reason": ...}).
 void print_error_body(const net::HttpResponse& response) {
   core::json::FieldScanner scanner("response", response.body);
-  if (auto err = scanner.text("error")) {
+  const auto err = scanner.text("error");
+  const auto reason = scanner.text("reason");
+  if (err && reason) {
+    std::fprintf(stderr, "aimesc: %s [%s] (HTTP %d)\n", err->c_str(), reason->c_str(),
+                 response.status);
+  } else if (err) {
     std::fprintf(stderr, "aimesc: %s (HTTP %d)\n", err->c_str(), response.status);
   } else {
     std::fprintf(stderr, "aimesc: HTTP %d: %s\n", response.status, response.body.c_str());
@@ -211,10 +294,13 @@ int print_outcome(const std::string& record_json) {
 }
 
 /// Tails one run's log to stdout over the chunked /log?follow=1 stream,
-/// reconnecting from the last byte offset after idle timeouts, until the run
-/// reaches a terminal state (the server ends the stream). Returns false only
-/// when the daemon became unreachable.
-bool follow_log(int port, std::uint64_t run_id, std::size_t offset = 0) {
+/// reconnecting from the last byte offset after drops — idle timeouts,
+/// injected resets, even a daemon restart (the journal rebuilds the same
+/// byte stream, so the offset stays valid). Returns false only when the
+/// daemon stayed unreachable through the whole backoff ladder.
+bool follow_log(const Remote& remote, std::uint64_t run_id, std::size_t offset = 0) {
+  net::Backoff backoff(100, 2000, 0x6c6f67ULL);
+  const int max_consecutive = std::max(5, remote.retries * 3);
   int consecutive_failures = 0;
   for (;;) {
     net::HttpRequest request;
@@ -223,7 +309,7 @@ bool follow_log(int port, std::uint64_t run_id, std::size_t offset = 0) {
                      "/log?follow=1&offset=" + std::to_string(offset);
     bool got_data = false;
     auto response = net::http_stream(
-        static_cast<std::uint16_t>(port), request, [&](std::string_view piece) {
+        remote.endpoint(), request, [&](std::string_view piece) {
           offset += piece.size();
           if (!piece.empty()) got_data = true;
           std::fwrite(piece.data(), 1, piece.size(), stdout);
@@ -240,17 +326,23 @@ bool follow_log(int port, std::uint64_t run_id, std::size_t offset = 0) {
       if (!response->body.empty()) {
         std::fwrite(response->body.data(), 1, response->body.size(), stdout);
         std::fflush(stdout);
+        offset += response->body.size();
       }
       return true;  // the server ended the stream: the run is terminal
     }
-    // Idle timeout or transient transport error: resume from `offset` — the
-    // byte position makes the retry loss- and duplicate-free.
-    consecutive_failures = got_data ? 1 : consecutive_failures + 1;
-    if (consecutive_failures > 5) {
+    // Drop or timeout: resume from `offset` — the byte position makes the
+    // retry loss- and duplicate-free. Progress resets the failure budget.
+    if (got_data) {
+      consecutive_failures = 1;
+      backoff.reset();
+    } else {
+      ++consecutive_failures;
+    }
+    if (consecutive_failures > max_consecutive) {
       std::fprintf(stderr, "aimesc: %s\n", response.error().c_str());
       return false;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff.next_ms()));
   }
 }
 
@@ -258,13 +350,20 @@ int cmd_submit(int argc, char** argv) {
   exp::RunRequest req;
   bool quick = false;
   bool wait = false;
-  int port = kDefaultPort;
+  Remote remote;
+  std::string idempotency_key;
   common::cli::Parser cli("aimesc submit");
   exp::declare_request_options(cli, req, quick);
   cli.string_option("--name", req.name, "label for the run in list/view output", "NAME");
   cli.string_option("--user", req.user, "owner recorded with the run", "NAME");
   cli.flag("--wait", wait, "tail the run's log live and print its result");
-  cli.int_option("--port", port, 1, 65535, "aimesd port (8477)", "PORT");
+  cli.string_option("--idempotency-key", idempotency_key,
+                    "dedup token sent as the Idempotency-Key header\n"
+                    "(default: a fresh random key per invocation);\n"
+                    "resubmitting the same key returns the existing\n"
+                    "run instead of starting a duplicate",
+                    "KEY");
+  declare_remote_options(cli, remote);
   auto parsed = cli.parse(argc, argv);
   if (!parsed) {
     std::fprintf(stderr, "%s\n", parsed.error().c_str());
@@ -280,8 +379,10 @@ int cmd_submit(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", st.error().c_str());
     return 2;
   }
+  if (idempotency_key.empty()) idempotency_key = make_idempotency_key();
 
-  auto response = call(port, "POST", "/api/v1/runs", exp::run_request_to_json(req));
+  auto response = call(remote, "POST", "/api/v1/runs", exp::run_request_to_json(req),
+                       {{"Idempotency-Key", idempotency_key}});
   if (!response) {
     std::fprintf(stderr, "aimesc: %s\n", response.error().c_str());
     return 1;
@@ -297,13 +398,15 @@ int cmd_submit(int argc, char** argv) {
     return 1;
   }
   const auto run_id = static_cast<std::uint64_t>(*id);
-  std::printf("submitted run %llu\n", static_cast<unsigned long long>(run_id));
+  const auto duplicate = scanner.boolean("duplicate");
+  std::printf("submitted run %llu%s\n", static_cast<unsigned long long>(run_id),
+              duplicate && *duplicate ? " (deduplicated retry)" : "");
   if (!wait) return 0;
 
   // Live tail instead of polling: the chunked stream delivers log lines as
   // the workers emit them and ends exactly when the run is terminal.
-  if (!follow_log(port, run_id)) return 1;
-  auto view = call(port, "GET", "/api/v1/runs/" + std::to_string(run_id));
+  if (!follow_log(remote, run_id)) return 1;
+  auto view = call(remote, "GET", "/api/v1/runs/" + std::to_string(run_id));
   if (!view || view->status != 200) {
     if (!view) std::fprintf(stderr, "aimesc: %s\n", view.error().c_str());
     else print_error_body(*view);
@@ -312,39 +415,16 @@ int cmd_submit(int argc, char** argv) {
   return print_outcome(view->body);
 }
 
-/// One SSE event block (the lines between blank-line separators).
-struct SseEvent {
-  std::uint64_t id = 0;
-  bool has_id = false;
-  std::string kind;
-  std::string data;
-};
-
-SseEvent parse_sse_event(const std::string& text) {
-  SseEvent event;
-  std::size_t start = 0;
-  while (start < text.size()) {
-    std::size_t end = text.find('\n', start);
-    if (end == std::string::npos) end = text.size();
-    const std::string line = text.substr(start, end - start);
-    start = end + 1;
-    if (line.empty() || line[0] == ':') continue;  // comment = keepalive
-    if (line.rfind("id: ", 0) == 0) {
-      event.id = std::strtoull(line.c_str() + 4, nullptr, 10);
-      event.has_id = true;
-    } else if (line.rfind("event: ", 0) == 0) {
-      event.kind = line.substr(7);
-    } else if (line.rfind("data: ", 0) == 0) {
-      event.data = line.substr(6);
-    }
-  }
-  return event;
-}
-
 /// `aimesc watch <id>`: renders the run's SSE event stream — one line per
 /// state transition and per-trial progress snapshot — then the outcome.
-int cmd_watch(std::uint64_t run_id, int port) {
+/// Reconnects from the last complete event's sequence number after drops
+/// and daemon restarts (seqs are rebuilt identically from the journal);
+/// net::drain_sse_frames leaves a torn frame in the carry, so a stream cut
+/// mid-`id:` line never advances the resume point past data we lost.
+int cmd_watch(const Remote& remote, std::uint64_t run_id) {
   std::uint64_t next_seq = 0;
+  net::Backoff backoff(100, 2000, 0x7761746368ULL);
+  const int max_consecutive = std::max(5, remote.retries * 3);
   int consecutive_failures = 0;
   for (;;) {
     net::HttpRequest request;
@@ -354,13 +434,10 @@ int cmd_watch(std::uint64_t run_id, int port) {
     std::string carry;
     bool got_event = false;
     auto response = net::http_stream(
-        static_cast<std::uint16_t>(port), request, [&](std::string_view piece) {
+        remote.endpoint(), request, [&](std::string_view piece) {
           carry.append(piece);
-          std::size_t sep;
-          while ((sep = carry.find("\n\n")) != std::string::npos) {
-            const SseEvent event = parse_sse_event(carry.substr(0, sep));
-            carry.erase(0, sep + 2);
-            if (!event.has_id) continue;  // keepalive comment block
+          for (const net::SseEvent& event : net::drain_sse_frames(carry)) {
+            if (!event.has_id) continue;
             next_seq = event.id + 1;
             got_event = true;
             if (event.kind == "progress") {
@@ -384,15 +461,20 @@ int cmd_watch(std::uint64_t run_id, int port) {
       }
       break;  // the server ended the stream: the run is terminal
     }
-    // Idle timeout: resume from the next sequence number.
-    consecutive_failures = got_event ? 1 : consecutive_failures + 1;
-    if (consecutive_failures > 5) {
+    // Drop or timeout: resume from the next sequence number.
+    if (got_event) {
+      consecutive_failures = 1;
+      backoff.reset();
+    } else {
+      ++consecutive_failures;
+    }
+    if (consecutive_failures > max_consecutive) {
       std::fprintf(stderr, "aimesc: %s\n", response.error().c_str());
       return 1;
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff.next_ms()));
   }
-  auto view = call(port, "GET", "/api/v1/runs/" + std::to_string(run_id));
+  auto view = call(remote, "GET", "/api/v1/runs/" + std::to_string(run_id));
   if (!view || view->status != 200) {
     if (!view) std::fprintf(stderr, "aimesc: %s\n", view.error().c_str());
     else print_error_body(*view);
@@ -403,11 +485,11 @@ int cmd_watch(std::uint64_t run_id, int port) {
 
 /// `aimesc top`: a self-refreshing table of every run the daemon knows.
 int cmd_top(int argc, char** argv) {
-  int port = kDefaultPort;
+  Remote remote;
   double interval_s = 2.0;
   bool once = false;
   common::cli::Parser cli("aimesc top");
-  cli.int_option("--port", port, 1, 65535, "aimesd port (8477)", "PORT");
+  declare_remote_options(cli, remote);
   cli.double_option("--interval", interval_s, 0.1, 3600, "refresh interval (2 s)", "S");
   cli.flag("--once", once, "print one snapshot and exit (no screen clearing)");
   auto parsed = cli.parse(argc, argv);
@@ -420,13 +502,13 @@ int cmd_top(int argc, char** argv) {
     return 0;
   }
   for (;;) {
-    auto runs = call(port, "GET", "/api/v1/runs");
+    auto runs = call(remote, "GET", "/api/v1/runs");
     if (!runs || runs->status != 200) {
       if (!runs) std::fprintf(stderr, "aimesc: %s\n", runs.error().c_str());
       else print_error_body(*runs);
       return 1;
     }
-    auto health = call(port, "GET", "/api/v1/health");
+    auto health = call(remote, "GET", "/api/v1/health");
     std::string status = "?";
     double queued = 0, running = 0;
     if (health && health->status == 200) {
@@ -436,8 +518,8 @@ int cmd_top(int argc, char** argv) {
       if (auto r = scanner.number("running")) running = *r;
     }
     if (!once) std::printf("\033[2J\033[H");  // clear screen, home cursor
-    std::printf("aimesd 127.0.0.1:%d | %s | %.0f queued, %.0f running\n\n", port,
-                status.c_str(), queued, running);
+    std::printf("aimesd %s | %s | %.0f queued, %.0f running\n\n",
+                remote.endpoint().describe().c_str(), status.c_str(), queued, running);
     const std::size_t open = runs->body.find('[');
     const std::size_t close = runs->body.rfind(']');
     const auto records =
@@ -459,7 +541,7 @@ int cmd_top(int argc, char** argv) {
 /// Parses `aimesc <verb> [<id>] [--port P]` for the id-addressed verbs and
 /// the flagless ones. Returns the exit code.
 int cmd_simple(const std::string& verb, int argc, char** argv) {
-  int port = kDefaultPort;
+  Remote remote;
   std::string user;
   std::string state;
   int offset = 0;
@@ -484,7 +566,7 @@ int cmd_simple(const std::string& verb, int argc, char** argv) {
   for (int i = first_flag; i < argc; ++i) rest.push_back(argv[i]);
 
   common::cli::Parser cli("aimesc " + verb);
-  cli.int_option("--port", port, 1, 65535, "aimesd port (8477)", "PORT");
+  declare_remote_options(cli, remote);
   if (verb == "list") {
     cli.string_option("--user", user, "only this user's runs", "NAME");
     cli.string_option("--state", state,
@@ -514,9 +596,9 @@ int cmd_simple(const std::string& verb, int argc, char** argv) {
     return 2;
   }
 
-  if (verb == "watch") return cmd_watch(id, port);
+  if (verb == "watch") return cmd_watch(remote, id);
   if (verb == "log" && follow) {
-    return follow_log(port, id, static_cast<std::size_t>(offset)) ? 0 : 1;
+    return follow_log(remote, id, static_cast<std::size_t>(offset)) ? 0 : 1;
   }
 
   std::string method = "GET";
@@ -543,7 +625,7 @@ int cmd_simple(const std::string& verb, int argc, char** argv) {
     target = "/api/v1/shutdown";
   }
 
-  auto response = call(port, method, target);
+  auto response = call(remote, method, target);
   if (!response) {
     std::fprintf(stderr, "aimesc: %s\n", response.error().c_str());
     return 1;
@@ -583,9 +665,9 @@ int cmd_simple(const std::string& verb, int argc, char** argv) {
   }
   if (verb == "cancel") {
     core::json::FieldScanner scanner("response", response->body);
-    const auto state = scanner.text("state");
+    const auto state_text = scanner.text("state");
     std::printf("run %llu: %s\n", static_cast<unsigned long long>(id),
-                state ? state->c_str() : "cancellation requested");
+                state_text ? state_text->c_str() : "cancellation requested");
     return 0;
   }
   // view / log / resource / metrics / shutdown: the body is the answer.

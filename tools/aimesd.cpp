@@ -1,10 +1,11 @@
 // aimesd: the AIMES control-plane daemon.
 //
-// Serves the run-request API over local HTTP (127.0.0.1 only) and executes
-// submitted requests concurrently on the registry's worker pool — the same
-// exp::execute the CLI uses, so a campaign submitted here is bit-identical
-// (FNV-1a checksum) to the same cell run by `aimes-run`. See ctl/daemon.hpp
-// for the route table; `aimesc` is the matching client.
+// Serves the run-request API over local HTTP (127.0.0.1 only, or a
+// unix-domain socket with --socket) and executes submitted requests
+// concurrently on the registry's worker pool — the same exp::execute the CLI
+// uses, so a campaign submitted here is bit-identical (FNV-1a checksum) to
+// the same cell run by `aimes-run`. See ctl/daemon.hpp for the route table;
+// `aimesc` is the matching client.
 //
 // Shutdown is graceful on SIGINT/SIGTERM or POST /api/v1/shutdown: the
 // listener closes, queued runs are cancelled with a typed shutdown reason,
@@ -16,10 +17,18 @@
 // failed (daemon-restart). A journal that cannot be opened or replayed is a
 // startup failure — a silently non-durable daemon is worse than no daemon.
 //
+// Hostile-tenant defenses (all off by default): --rate puts a per-user token
+// bucket in front of POST /runs, --max-queued/--max-running cap one user's
+// share of the pool, --queue-depth bounds the global backlog. Refusals are
+// typed 429/503 responses with Retry-After. --net-faults installs the seeded
+// wire-fault shim (short reads/writes, stalls, resets) for chaos testing.
+//
 // Examples:
 //   aimesd --port 8477
 //   aimesd --port 0 --port-file /tmp/aimesd.port --workers 4
 //   aimesd --journal /var/tmp/aimes-runs.jsonl
+//   aimesd --socket /tmp/aimesd.sock --max-queued 4 --rate 5:10
+//   aimesd --net-faults 'seed=7,reset=0.1,short-read=0.25'
 
 #include <csignal>
 #include <cstdio>
@@ -30,6 +39,7 @@
 #include "common/cli.hpp"
 #include "common/log.hpp"
 #include "ctl/daemon.hpp"
+#include "net/fault.hpp"
 
 namespace {
 
@@ -40,11 +50,36 @@ void on_signal(int) { g_stop.store(true); }
 struct Args {
   int port = 8477;
   std::string port_file;
+  std::string socket;
   int workers = 2;
   std::string user = "anon";
   std::string journal;
+  std::string net_faults;
+  int max_queued = 0;
+  int max_running = 0;
+  int queue_depth = 0;
+  std::string rate;
   bool verbose = false;
 };
+
+/// Parses --rate R[:BURST] into the quota policy.
+aimes::common::Status parse_rate(const std::string& text, aimes::ctl::QuotaPolicy& quota) {
+  const auto colon = text.find(':');
+  char* end = nullptr;
+  const std::string rate_text = text.substr(0, colon);
+  quota.rate_per_s = std::strtod(rate_text.c_str(), &end);
+  if (end == rate_text.c_str() || *end != '\0' || quota.rate_per_s <= 0.0) {
+    return aimes::common::Status::error("expected R[:BURST] with R > 0, got '" + text + "'");
+  }
+  if (colon != std::string::npos) {
+    const std::string burst_text = text.substr(colon + 1);
+    quota.rate_burst = std::strtod(burst_text.c_str(), &end);
+    if (end == burst_text.c_str() || *end != '\0' || quota.rate_burst < 1.0) {
+      return aimes::common::Status::error("burst must be >= 1, got '" + burst_text + "'");
+    }
+  }
+  return {};
+}
 
 }  // namespace
 
@@ -58,6 +93,10 @@ int main(int argc, char** argv) {
                     "write the bound port number to FILE once listening\n"
                     "(for scripts that start with --port 0)",
                     "FILE");
+  cli.string_option("--socket", args.socket,
+                    "serve on a unix-domain socket at PATH instead of TCP\n"
+                    "(aimesc --socket PATH is the matching client)",
+                    "PATH");
   cli.int_option("--workers", args.workers, 1, 256, "concurrent runs (2)", "N");
   cli.string_option("--user", args.user, "owner recorded for anonymous submissions", "NAME");
   cli.string_option("--journal", args.journal,
@@ -65,7 +104,28 @@ int main(int argc, char** argv) {
                     "recovered, orphaned ones failed with daemon-restart),\n"
                     "then appended per lifecycle transition",
                     "FILE");
+  cli.int_option("--max-queued", args.max_queued, 0, 1000000,
+                 "queued runs one user may hold (0 = unlimited)", "N");
+  cli.int_option("--max-running", args.max_running, 0, 1000000,
+                 "concurrent runs one user may hold (0 = unlimited)", "N");
+  cli.int_option("--queue-depth", args.queue_depth, 0, 1000000,
+                 "global queued-run bound; over it submits get 503\n"
+                 "(0 = unlimited)",
+                 "N");
+  cli.string_option("--rate", args.rate,
+                    "per-user submit rate limit: R tokens/second with\n"
+                    "an optional :BURST bucket size (default burst =\n"
+                    "max(1, R)); over it submits get 429 + Retry-After",
+                    "R[:B]");
+  cli.string_option("--net-faults", args.net_faults,
+                    "seeded wire-fault injection for chaos testing, e.g.\n"
+                    "'seed=7,reset=0.1,short-read=0.25,read-stall=0.05';\n"
+                    "keys: seed, short-read, short-write, read-stall,\n"
+                    "reset, accept-reset, stall-ms",
+                    "SPEC");
   cli.flag("--verbose", args.verbose, "info-level logging");
+  cli.conflicts("--socket", "--port");
+  cli.conflicts("--socket", "--port-file");
   auto parsed = cli.parse(argc, argv);
   if (!parsed) {
     std::fprintf(stderr, "%s\n", parsed.error().c_str());
@@ -77,10 +137,29 @@ int main(int argc, char** argv) {
   }
   if (args.verbose) common::Log::set_level(common::LogLevel::kInfo);
 
+  if (!args.net_faults.empty()) {
+    auto spec = net::parse_fault_spec(args.net_faults);
+    if (!spec) {
+      std::fprintf(stderr, "aimesd: --net-faults: %s\n", spec.error().c_str());
+      return 2;
+    }
+    net::install_net_faults(*spec);
+    std::printf("aimesd: net-fault shim armed (%s)\n", net::to_string(*spec).c_str());
+  }
+
   ctl::DaemonOptions options;
   options.default_user = args.user;
   options.workers = args.workers;
   options.journal_file = args.journal;
+  options.quota.max_queued_per_user = args.max_queued;
+  options.quota.max_running_per_user = args.max_running;
+  options.quota.max_queue_depth = static_cast<std::size_t>(args.queue_depth);
+  if (!args.rate.empty()) {
+    if (auto st = parse_rate(args.rate, options.quota); !st.ok()) {
+      std::fprintf(stderr, "aimesd: --rate: %s\n", st.error().c_str());
+      return 2;
+    }
+  }
   ctl::Daemon daemon(options);
   if (auto st = daemon.registry().journal_status(); !st.ok()) {
     std::fprintf(stderr, "aimesd: %s\n", st.error().c_str());
@@ -91,21 +170,30 @@ int main(int argc, char** argv) {
     std::printf("aimesd: journal %s (%llu prior run%s recovered)\n", args.journal.c_str(),
                 recovered, recovered == 1 ? "" : "s");
   }
-  auto port = daemon.start(static_cast<std::uint16_t>(args.port));
-  if (!port) {
-    std::fprintf(stderr, "aimesd: %s\n", port.error().c_str());
-    return 1;
-  }
-  if (!args.port_file.empty()) {
-    std::ofstream out(args.port_file);
-    if (!out) {
-      std::fprintf(stderr, "aimesd: cannot write %s\n", args.port_file.c_str());
+  if (!args.socket.empty()) {
+    if (auto st = daemon.start_unix(args.socket); !st.ok()) {
+      std::fprintf(stderr, "aimesd: %s\n", st.error().c_str());
       return 1;
     }
-    out << *port << "\n";
+    std::printf("aimesd: listening on unix:%s (%d worker%s)\n", args.socket.c_str(),
+                args.workers, args.workers == 1 ? "" : "s");
+  } else {
+    auto port = daemon.start(static_cast<std::uint16_t>(args.port));
+    if (!port) {
+      std::fprintf(stderr, "aimesd: %s\n", port.error().c_str());
+      return 1;
+    }
+    if (!args.port_file.empty()) {
+      std::ofstream out(args.port_file);
+      if (!out) {
+        std::fprintf(stderr, "aimesd: cannot write %s\n", args.port_file.c_str());
+        return 1;
+      }
+      out << *port << "\n";
+    }
+    std::printf("aimesd: listening on 127.0.0.1:%u (%d worker%s)\n", unsigned{*port},
+                args.workers, args.workers == 1 ? "" : "s");
   }
-  std::printf("aimesd: listening on 127.0.0.1:%u (%d worker%s)\n", unsigned{*port},
-              args.workers, args.workers == 1 ? "" : "s");
   std::fflush(stdout);
 
   struct sigaction sa = {};

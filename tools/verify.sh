@@ -194,6 +194,90 @@ wait "$aimesd_pid"
 trap - EXIT
 echo "live-telemetry smoke OK (streamed wait, watch replay, journal recovery)"
 
+step "Control-plane chaos smoke (--net-faults, quotas, exactly-once, unix socket)"
+chaos_journal="$prefix-release/aimesd-chaos-journal.jsonl"
+rm -f "$chaos_journal" "$port_file"
+# A daemon whose own wire misbehaves: ~10% mid-stream resets plus heavy
+# 1-byte framing tears on every read and write, and a real (generous) rate
+# limit in front of POST /runs. aimesc must ride it out with retries and an
+# idempotency key.
+"$prefix-release/tools/aimesd" --port 0 --port-file "$port_file" \
+  --journal "$chaos_journal" \
+  --net-faults 'seed=11,reset=0.1,short-read=0.25,short-write=0.25' \
+  --rate 50:50 &
+aimesd_pid=$!
+trap 'kill -9 "$aimesd_pid" 2>/dev/null || true' EXIT
+i=0
+while [ ! -s "$port_file" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+test -s "$port_file"
+port="$(cat "$port_file")"
+# Through the burning wire: the retrying submit --wait still lands and
+# streams to the verdict. --retries 20 gives the client plenty of runway.
+chaos_out="$("$prefix-release/tools/aimesc" submit --quick --trials 3 \
+  --name chaos-smoke --wait --retries 20 --port "$port")"
+echo "$chaos_out" | grep -q 'run done'
+chaos_id="$(echo "$chaos_out" | sed -n 's/^submitted run \([0-9]*\).*/\1/p')"
+test -n "$chaos_id"
+# Exactly once: for all the torn submit round trips, one run carries the
+# name, and the journal holds exactly one submit record.
+runs_list="$("$prefix-release/tools/aimesc" list --retries 20 --port "$port")"
+test "$(echo "$runs_list" | grep -c 'chaos-smoke')" -eq 1
+test "$(grep -c '"event": "submit"' "$chaos_journal")" -eq 1
+# No duplicate ids anywhere in the run table.
+test -z "$(echo "$runs_list" | awk '$1 ~ /^[0-9]+$/ {print $1}' | sort | uniq -d)"
+# SIGKILL the faulted daemon, restart on the same journal (faults off), and
+# resume: the finished run replays complete and watch replays its stream.
+kill -9 "$aimesd_pid"
+wait "$aimesd_pid" 2>/dev/null || true
+rm -f "$port_file"
+"$prefix-release/tools/aimesd" --port 0 --port-file "$port_file" \
+  --journal "$chaos_journal" &
+aimesd_pid=$!
+i=0
+while [ ! -s "$port_file" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+test -s "$port_file"
+port="$(cat "$port_file")"
+"$prefix-release/tools/aimesc" view "$chaos_id" --port "$port" | grep -q '"state": "done"'
+watch_resumed="$("$prefix-release/tools/aimesc" watch "$chaos_id" --port "$port")"
+echo "$watch_resumed" | grep -q 'run done'
+"$prefix-release/tools/aimesc" shutdown --port "$port"
+wait "$aimesd_pid"
+trap - EXIT
+# Unix-domain transport: the same API over --socket, no TCP at all.
+chaos_sock="$prefix-release/aimesd-chaos.sock"
+rm -f "$chaos_sock"
+"$prefix-release/tools/aimesd" --socket "$chaos_sock" --rate 0.001:1 &
+aimesd_pid=$!
+trap 'kill -9 "$aimesd_pid" 2>/dev/null || true' EXIT
+i=0
+while [ ! -S "$chaos_sock" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1
+  i=$((i + 1))
+done
+test -S "$chaos_sock"
+"$prefix-release/tools/aimesc" submit --quick --trials 1 --name unix-smoke \
+  --wait --socket "$chaos_sock" | grep -q 'run done'
+# The burst token is spent: the next submit is refused 429 rate-limited,
+# and with --retries 0 the client reports it typed and exits non-zero.
+if rate_err="$("$prefix-release/tools/aimesc" submit --quick --trials 1 \
+    --name unix-refused --retries 0 --socket "$chaos_sock" 2>&1)"; then
+  echo "expected the rate-limited submit to fail" >&2
+  exit 1
+fi
+echo "$rate_err" | grep -q 'rate-limited'
+"$prefix-release/tools/aimesc" list --socket "$chaos_sock" | grep -q 'unix-smoke'
+"$prefix-release/tools/aimesc" shutdown --socket "$chaos_sock"
+wait "$aimesd_pid"
+trap - EXIT
+test ! -S "$chaos_sock"
+echo "control-plane chaos smoke OK (exactly-once under faults, typed quota refusal, unix socket)"
+
 step "Sanitize (ASan/UBSan) build + chaos/sanitize labels"
 cmake -S "$src_dir" -B "$prefix-asan" -DCMAKE_BUILD_TYPE=Sanitize >/dev/null
 cmake --build "$prefix-asan" -j "$jobs"
